@@ -1,0 +1,88 @@
+// Ablation (Section 6.1): the curse of dimensionality. At fixed space the
+// join estimator's error grows with d because (a) each instance needs 2^d
+// counters so fewer instances fit, and (b) the self-join masses gain 2^d
+// contributing sums. Reports error at equal space for d = 1, 2, 3.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/common/rng.h"
+#include "src/common/stopwatch.h"
+#include "src/estimators/join_estimator.h"
+#include "src/exact/brute.h"
+#include "src/exact/interval_join.h"
+#include "src/exact/rect_join.h"
+#include "src/workload/zipf_boxes.h"
+
+namespace spatialsketch {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  const Flags flags = ParseFlagsOrDie(argc, argv);
+  const bool full = flags.GetBool("full");
+  const uint64_t n = flags.GetInt("n", full ? 20000 : 8000);
+  const uint32_t log2_domain = 10;
+  const uint64_t budget = flags.GetInt("words", 20000);
+  const int runs = static_cast<int>(flags.GetInt("runs", 3));
+
+  std::printf("# fig=abl_dimensionality n=%llu budget_words=%llu\n",
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(budget));
+  std::printf("# dims  instances  exact  rel_err  secs\n");
+
+  for (const uint32_t dims : {1u, 2u, 3u}) {
+    Stopwatch watch;
+    SyntheticBoxOptions gen;
+    gen.dims = dims;
+    gen.log2_domain = log2_domain;
+    gen.count = n;
+    // Keep per-dimension selectivity comparable across d.
+    gen.mean_side_factor = 1.5;
+    gen.seed = 3;
+    const auto r = GenerateSyntheticBoxes(gen);
+    gen.seed = 4;
+    const auto s = GenerateSyntheticBoxes(gen);
+
+    double exact;
+    if (dims == 1) {
+      exact = static_cast<double>(ExactIntervalJoinCount(r, s));
+    } else if (dims == 2) {
+      exact = static_cast<double>(ExactRectJoinCount(r, s));
+    } else {
+      exact = static_cast<double>(GridJoinCount(r, s, 3, 8));
+    }
+
+    const SpaceBudget sk = SplitBudget(budget, uint32_t{1} << dims);
+    std::vector<double> errs;
+    for (int run = 0; run < runs; ++run) {
+      JoinPipelineOptions opt;
+      opt.dims = dims;
+      opt.log2_domain = log2_domain;
+      opt.auto_max_level = true;  // Section 6.5 adaptive sketches
+      opt.k1 = sk.k1;
+      opt.k2 = sk.k2;
+      opt.seed = 13 * run + 1;
+      auto est = SketchSpatialJoin(r, s, opt);
+      if (!est.ok()) {
+        std::fprintf(stderr, "pipeline failed: %s\n",
+                     est.status().ToString().c_str());
+        return 1;
+      }
+      errs.push_back(RelativeError(est->estimate, exact));
+    }
+    std::printf("%4u  %9u  %.0f  %.4f  %.1f\n", dims,
+                sk.k1 * sk.k2, exact, Mean(errs), watch.Seconds());
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spatialsketch
+
+int main(int argc, char** argv) {
+  return spatialsketch::bench::Run(argc, argv);
+}

@@ -1,0 +1,104 @@
+// Ablation (Section 6.3): eps-join estimation accuracy as eps (and thus
+// the true join size) grows, at two space budgets, against the exact
+// sweep-based count.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/common/rng.h"
+#include "src/estimators/eps_join_estimator.h"
+#include "src/exact/eps_join.h"
+#include "src/geom/box.h"
+
+namespace spatialsketch {
+namespace bench {
+namespace {
+
+std::vector<Box> ClusteredPoints(uint64_t n, uint32_t log2_domain,
+                                 uint64_t seed) {
+  // Half background, half around a few hot spots: the eps-join of
+  // sensor-like point clouds.
+  Rng rng(seed);
+  const double extent = static_cast<double>(Coord{1} << log2_domain);
+  const Coord max_coord = (Coord{1} << log2_domain) - 1;
+  std::vector<std::pair<double, double>> spots;
+  for (int i = 0; i < 6; ++i) {
+    spots.emplace_back(rng.NextDouble() * extent, rng.NextDouble() * extent);
+  }
+  std::vector<Box> out;
+  out.reserve(n);
+  auto clamp = [&](double v) {
+    if (v < 0) return Coord{0};
+    if (v > static_cast<double>(max_coord)) return max_coord;
+    return static_cast<Coord>(v);
+  };
+  for (uint64_t i = 0; i < n; ++i) {
+    double x, y;
+    if (rng.NextDouble() < 0.5) {
+      x = rng.NextDouble() * extent;
+      y = rng.NextDouble() * extent;
+    } else {
+      const auto& [cx, cy] = spots[rng.Uniform(spots.size())];
+      x = cx + rng.NextGaussian() * extent * 0.02;
+      y = cy + rng.NextGaussian() * extent * 0.02;
+    }
+    out.push_back(MakePoint({clamp(x), clamp(y), 0, 0}));
+  }
+  return out;
+}
+
+int Run(int argc, char** argv) {
+  const Flags flags = ParseFlagsOrDie(argc, argv);
+  const bool full = flags.GetBool("full");
+  const uint64_t n = flags.GetInt("n", full ? 40000 : 10000);
+  const uint32_t log2_domain = 12;
+  const int runs = static_cast<int>(flags.GetInt("runs", 2));
+
+  const auto a = ClusteredPoints(n, log2_domain, 31);
+  const auto b = ClusteredPoints(n, log2_domain, 32);
+
+  std::printf("# fig=abl_eps_join n=%llu log2_domain=%u\n",
+              static_cast<unsigned long long>(n), log2_domain);
+  std::printf("# eps  exact  kwords  rel_err\n");
+
+  for (const Coord eps : {16ull, 32ull, 64ull}) {
+    const double exact =
+        static_cast<double>(ExactEpsJoinCount2D(a, b, eps));
+    for (const uint64_t budget : {4000ull, 16000ull}) {
+      // Point + box-cover sketches store 1 counter each: 2 words/inst.
+      const SpaceBudget sk = SplitBudget(budget, 1);
+      std::vector<double> errs;
+      for (int run = 0; run < runs; ++run) {
+        EpsJoinPipelineOptions opt;
+        opt.dims = 2;
+        opt.log2_domain = log2_domain;
+        opt.eps = eps;
+        opt.auto_max_level = true;  // Section 6.5 adaptive sketches
+        opt.k1 = sk.k1;
+        opt.k2 = sk.k2;
+        opt.seed = 11 * run + 3;
+        auto est = SketchEpsJoin(a, b, opt);
+        if (!est.ok()) {
+          std::fprintf(stderr, "pipeline failed: %s\n",
+                       est.status().ToString().c_str());
+          return 1;
+        }
+        errs.push_back(RelativeError(est->estimate, exact));
+      }
+      std::printf("%4llu  %.0f  %5.1f  %.4f\n",
+                  static_cast<unsigned long long>(eps), exact,
+                  static_cast<double>(budget) / 1000.0, Mean(errs));
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spatialsketch
+
+int main(int argc, char** argv) {
+  return spatialsketch::bench::Run(argc, argv);
+}

@@ -1,0 +1,92 @@
+// Ablation (Section 6.5): the maxLevel cap trades endpoint-cover
+// self-join mass against longer interval covers. Sweeps the cap for a
+// short-interval and a long-interval workload at fixed space and reports
+// relative error plus the total self-join size that drives the variance.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/common/stopwatch.h"
+#include "src/dyadic/endpoint_transform.h"
+#include "src/estimators/join_estimator.h"
+#include "src/exact/interval_join.h"
+#include "src/sketch/self_join.h"
+#include "src/workload/zipf_boxes.h"
+
+namespace spatialsketch {
+namespace bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  const Flags flags = ParseFlagsOrDie(argc, argv);
+  const bool full = flags.GetBool("full");
+  const uint64_t n = flags.GetInt("n", full ? 40000 : 10000);
+  const uint32_t log2_domain = 12;
+  const uint32_t tlog2 = EndpointTransform::TransformedLog2(log2_domain);
+  const int runs = static_cast<int>(flags.GetInt("runs", 2));
+
+  std::printf("# fig=abl_maxlevel n=%llu log2_domain=%u (cap applies to "
+              "the transformed domain, %u levels)\n",
+              static_cast<unsigned long long>(n), log2_domain, tlog2);
+  std::printf("# workload  cap  sj_r  rel_err  secs\n");
+
+  struct Workload {
+    const char* name;
+    double side_factor;
+  };
+  // Short intervals (mean ~6) vs long intervals (mean ~1/4 domain).
+  const Workload workloads[] = {{"short", 0.1}, {"long", 16.0}};
+
+  for (const Workload& w : workloads) {
+    SyntheticBoxOptions gen;
+    gen.dims = 1;
+    gen.log2_domain = log2_domain;
+    gen.count = n;
+    gen.mean_side_factor = w.side_factor;
+    gen.seed = 11;
+    const auto r = GenerateSyntheticBoxes(gen);
+    gen.seed = 12;
+    const auto s = GenerateSyntheticBoxes(gen);
+    const double exact = static_cast<double>(ExactIntervalJoinCount(r, s));
+
+    std::vector<Box> rt;
+    for (const Box& b : r) rt.push_back(EndpointTransform::MapR(b, 1));
+
+    for (const uint32_t cap : {2u, 4u, 6u, 8u, 10u, tlog2}) {
+      Stopwatch watch;
+      const DyadicDomain capped(tlog2, cap);
+      const double sj_r = ExactTotalSelfJoin1D(rt, capped);
+
+      std::vector<double> errs;
+      for (int run = 0; run < runs; ++run) {
+        JoinPipelineOptions opt;
+        opt.dims = 1;
+        opt.log2_domain = log2_domain;
+        opt.max_level = cap;
+        opt.k1 = 400;
+        opt.k2 = 9;
+        opt.seed = 31 * run + 7;
+        auto est = SketchSpatialJoin(r, s, opt);
+        if (!est.ok()) {
+          std::fprintf(stderr, "pipeline failed: %s\n",
+                       est.status().ToString().c_str());
+          return 1;
+        }
+        errs.push_back(RelativeError(est->estimate, exact));
+      }
+      std::printf("%7s  %3u  %.3e  %.4f  %.1f\n", w.name, cap, sj_r,
+                  Mean(errs), watch.Seconds());
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spatialsketch
+
+int main(int argc, char** argv) {
+  return spatialsketch::bench::Run(argc, argv);
+}

@@ -1,0 +1,57 @@
+#include "bench/bench_common.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace spatialsketch {
+namespace bench {
+
+double RelativeError(double estimate, double exact) {
+  if (exact == 0.0) return estimate == 0.0 ? 0.0 : 1.0;
+  return std::abs(estimate - exact) / exact;
+}
+
+SpaceBudget SplitBudget(uint64_t budget_words, uint32_t shape_words,
+                        uint32_t k2) {
+  SpaceBudget out;
+  const uint64_t per_instance = shape_words + 1;
+  uint64_t instances = budget_words / per_instance;
+  if (instances < k2) k2 = instances < 1 ? 1 : static_cast<uint32_t>(instances);
+  out.k2 = k2;
+  out.k1 = static_cast<uint32_t>(
+      std::max<uint64_t>(1, instances / k2));
+  out.words = static_cast<uint64_t>(out.k1) * out.k2 * per_instance;
+  return out;
+}
+
+uint32_t EulerGridForBudget(uint64_t budget_words) {
+  uint32_t g = 2;
+  while ((3ull * (g + 1) - 1) * (3ull * (g + 1) - 1) <= budget_words) ++g;
+  return g;
+}
+
+uint32_t GeometricGridForBudget(uint64_t budget_words) {
+  uint32_t g = 2;
+  while (4ull * (g + 1) * (g + 1) <= budget_words) ++g;
+  return g;
+}
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+Flags ParseFlagsOrDie(int argc, char** argv) {
+  auto flags = Flags::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
+    std::exit(2);
+  }
+  return *flags;
+}
+
+}  // namespace bench
+}  // namespace spatialsketch

@@ -1,0 +1,53 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Shared helpers for the figure-reproduction benchmarks. Every bench
+// binary prints a `# fig=<id>` header followed by whitespace-separated
+// rows matching the paper figure's axes, runs at a reduced default scale,
+// and accepts --full for the paper-scale sweep plus --runs/--seed
+// overrides.
+
+#ifndef SPATIALSKETCH_BENCH_BENCH_COMMON_H_
+#define SPATIALSKETCH_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/geom/box.h"
+
+namespace spatialsketch {
+namespace bench {
+
+/// Relative estimation error |est - exact| / exact (0 if exact == 0 and
+/// est == 0; 1 if exact == 0 and est != 0).
+double RelativeError(double estimate, double exact);
+
+/// Split a word budget into the boosting grid: k2 groups (default 9) and
+/// k1 = budget / (k2 * words_per_instance) instances per group, at least
+/// 1. words_per_instance = shape words + 1 (amortized seed).
+struct SpaceBudget {
+  uint32_t k1 = 1;
+  uint32_t k2 = 1;
+  uint64_t words = 0;  ///< actually consumed words per dataset
+};
+SpaceBudget SplitBudget(uint64_t budget_words, uint32_t shape_words,
+                        uint32_t k2 = 9);
+
+/// Largest Euler-histogram grid (cells per side) whose paper-accounted
+/// space (3g-1)^2 fits the budget; at least 2.
+uint32_t EulerGridForBudget(uint64_t budget_words);
+
+/// Largest geometric-histogram grid with 4 g^2 <= budget; at least 2.
+uint32_t GeometricGridForBudget(uint64_t budget_words);
+
+/// Mean of a vector (0 for empty).
+double Mean(const std::vector<double>& v);
+
+/// Parse flags or die with a message.
+Flags ParseFlagsOrDie(int argc, char** argv);
+
+}  // namespace bench
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,22 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Shared driver for Figures 5 and 6: relative error of SKETCH / EH / GH
+// on 2-d synthetic rectangle joins as the dataset size grows, all three
+// techniques at the Euler-histogram-level-6 space allocation (36481 words
+// per dataset, Section 7.1).
+
+#ifndef SPATIALSKETCH_BENCH_ERROR_VS_SIZE_H_
+#define SPATIALSKETCH_BENCH_ERROR_VS_SIZE_H_
+
+namespace spatialsketch {
+namespace bench {
+
+/// Runs the experiment and prints one row per dataset size:
+///   size_k  exact  sketch_err  eh_err  gh_err
+int RunErrorVsSize(const char* figure_id, double zipf_z, int argc,
+                   char** argv);
+
+}  // namespace bench
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_BENCH_ERROR_VS_SIZE_H_

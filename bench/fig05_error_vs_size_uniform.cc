@@ -1,0 +1,8 @@
+// Figure 5 reproduction: relative error vs dataset size for uniform
+// (Zipf z = 0) 2-d rectangle joins; SKETCH / EH / GH at equal space.
+
+#include "bench/error_vs_size.h"
+
+int main(int argc, char** argv) {
+  return spatialsketch::bench::RunErrorVsSize("5", 0.0, argc, argv);
+}

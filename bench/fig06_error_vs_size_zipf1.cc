@@ -1,0 +1,8 @@
+// Figure 6 reproduction: relative error vs dataset size for skewed
+// (Zipf z = 1) 2-d rectangle joins; SKETCH / EH / GH at equal space.
+
+#include "bench/error_vs_size.h"
+
+int main(int argc, char** argv) {
+  return spatialsketch::bench::RunErrorVsSize("6", 1.0, argc, argv);
+}

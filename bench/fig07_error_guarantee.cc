@@ -1,0 +1,8 @@
+// Figure 7 reproduction: actual relative error vs the guaranteed bound
+// (epsilon = 0.3, phi = 0.01) for 1-d interval joins sized by Lemma 1.
+
+#include "bench/guarantee_experiment.h"
+
+int main(int argc, char** argv) {
+  return spatialsketch::bench::RunGuaranteeExperiment("7", 'e', argc, argv);
+}

@@ -1,0 +1,9 @@
+// Figure 9 reproduction: LANDC join LANDO relative error vs space.
+
+#include "bench/real_world_experiment.h"
+
+int main(int argc, char** argv) {
+  using spatialsketch::RealWorldLayer;
+  return spatialsketch::bench::RunRealWorldJoin(
+      "9", RealWorldLayer::kLandc, RealWorldLayer::kLando, argc, argv);
+}

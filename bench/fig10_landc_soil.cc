@@ -1,0 +1,9 @@
+// Figure 10 reproduction: LANDC join SOIL relative error vs space.
+
+#include "bench/real_world_experiment.h"
+
+int main(int argc, char** argv) {
+  using spatialsketch::RealWorldLayer;
+  return spatialsketch::bench::RunRealWorldJoin(
+      "10", RealWorldLayer::kLandc, RealWorldLayer::kSoil, argc, argv);
+}

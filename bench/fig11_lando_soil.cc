@@ -1,0 +1,9 @@
+// Figure 11 reproduction: LANDO join SOIL relative error vs space.
+
+#include "bench/real_world_experiment.h"
+
+int main(int argc, char** argv) {
+  using spatialsketch::RealWorldLayer;
+  return spatialsketch::bench::RunRealWorldJoin(
+      "11", RealWorldLayer::kLando, RealWorldLayer::kSoil, argc, argv);
+}

@@ -1,0 +1,24 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Shared driver for Figures 7 and 8: 1-d interval joins of uniformly
+// distributed intervals, sketch sized by the Lemma-1 formula for a
+// guaranteed relative error bound (epsilon = 0.3 at 99% confidence).
+// Figure 7 reports the actual relative error against the guaranteed
+// bound; Figure 8 reports the sketch size in thousands of words, which is
+// nearly flat in the dataset size.
+
+#ifndef SPATIALSKETCH_BENCH_GUARANTEE_EXPERIMENT_H_
+#define SPATIALSKETCH_BENCH_GUARANTEE_EXPERIMENT_H_
+
+namespace spatialsketch {
+namespace bench {
+
+/// mode = 'e': print size_k true_err guaranteed_bound (Figure 7).
+/// mode = 's': print size_k sketch_kwords (Figure 8).
+int RunGuaranteeExperiment(const char* figure_id, char mode, int argc,
+                           char** argv);
+
+}  // namespace bench
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_BENCH_GUARANTEE_EXPERIMENT_H_

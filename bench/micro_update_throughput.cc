@@ -1,0 +1,119 @@
+// Micro-benchmarks (google-benchmark) for the cost model of Section 4.1.5:
+// streaming insert cost (O(instances * log^2 n)), bulk-load throughput,
+// estimate combination cost, and histogram maintenance, across domain
+// sizes and synopsis widths.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/estimators/join_estimator.h"
+#include "src/histogram/euler_histogram.h"
+#include "src/histogram/geometric_histogram.h"
+#include "src/sketch/dataset_sketch.h"
+#include "src/workload/zipf_boxes.h"
+
+namespace spatialsketch {
+namespace {
+
+SchemaPtr MakeSchema(uint32_t dims, uint32_t h, uint32_t k1, uint32_t k2) {
+  SchemaOptions opt;
+  opt.dims = dims;
+  for (uint32_t i = 0; i < dims; ++i) opt.domains[i].log2_size = h;
+  opt.k1 = k1;
+  opt.k2 = k2;
+  opt.seed = 7;
+  auto schema = SketchSchema::Create(opt);
+  SKETCH_CHECK(schema.ok());
+  return *schema;
+}
+
+std::vector<Box> MakeBoxes(uint32_t dims, uint32_t h, uint64_t n) {
+  SyntheticBoxOptions gen;
+  gen.dims = dims;
+  gen.log2_domain = h;
+  gen.count = n;
+  gen.seed = 5;
+  return GenerateSyntheticBoxes(gen);
+}
+
+// Streaming insert: args = {log2_domain, instances}.
+void BM_StreamingInsert2D(benchmark::State& state) {
+  const uint32_t h = static_cast<uint32_t>(state.range(0));
+  const uint32_t instances = static_cast<uint32_t>(state.range(1));
+  auto schema = MakeSchema(2, h, instances, 1);
+  DatasetSketch sketch(schema, Shape::JoinShape(2));
+  const auto boxes = MakeBoxes(2, h, 512);
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Insert(boxes[i++ & 511]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StreamingInsert2D)
+    ->Args({10, 64})
+    ->Args({10, 512})
+    ->Args({16, 64})
+    ->Args({16, 512})
+    ->Args({20, 64});
+
+// Bulk load: args = {instances}; fixed 2^14 domain, 4096 boxes per batch.
+void BM_BulkLoad2D(benchmark::State& state) {
+  const uint32_t instances = static_cast<uint32_t>(state.range(0));
+  auto schema = MakeSchema(2, 14, instances, 1);
+  const auto boxes = MakeBoxes(2, 14, 4096);
+  for (auto _ : state) {
+    DatasetSketch sketch(schema, Shape::JoinShape(2));
+    sketch.BulkLoad(boxes);
+    benchmark::DoNotOptimize(sketch.Counter(0, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * boxes.size());
+}
+BENCHMARK(BM_BulkLoad2D)->Arg(512)->Arg(2048)->Arg(7290);
+
+// Join-estimate combination cost over the synopsis.
+void BM_EstimateJoin2D(benchmark::State& state) {
+  const uint32_t instances = static_cast<uint32_t>(state.range(0));
+  auto schema = MakeSchema(2, 14, instances / 9, 9);
+  DatasetSketch r(schema, Shape::JoinShape(2));
+  DatasetSketch s(schema, Shape::JoinShape(2));
+  const auto boxes = MakeBoxes(2, 14, 256);
+  r.BulkLoad(boxes);
+  s.BulkLoad(boxes);
+  for (auto _ : state) {
+    auto est = EstimateJoinCardinality(r, s);
+    benchmark::DoNotOptimize(est);
+  }
+}
+BENCHMARK(BM_EstimateJoin2D)->Arg(720)->Arg(7290);
+
+// Histogram maintenance for comparison.
+void BM_EulerHistogramAdd(benchmark::State& state) {
+  const uint32_t grid = static_cast<uint32_t>(state.range(0));
+  EulerHistogram hist(16384.0, grid);
+  const auto boxes = MakeBoxes(2, 14, 512);
+  size_t i = 0;
+  for (auto _ : state) {
+    hist.Add(boxes[i++ & 511]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EulerHistogramAdd)->Arg(16)->Arg(64);
+
+void BM_GeometricHistogramAdd(benchmark::State& state) {
+  const uint32_t grid = static_cast<uint32_t>(state.range(0));
+  GeometricHistogram hist(16384.0, grid);
+  const auto boxes = MakeBoxes(2, 14, 512);
+  size_t i = 0;
+  for (auto _ : state) {
+    hist.Add(boxes[i++ & 511]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GeometricHistogramAdd)->Arg(16)->Arg(95);
+
+}  // namespace
+}  // namespace spatialsketch
+
+BENCHMARK_MAIN();

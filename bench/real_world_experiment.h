@@ -1,0 +1,23 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Shared driver for Figures 9-11: relative error vs allocated space for
+// the three pairwise joins of the real-world-like layers (LANDO, LANDC,
+// SOIL stand-ins; see DESIGN.md Substitutions).
+
+#ifndef SPATIALSKETCH_BENCH_REAL_WORLD_EXPERIMENT_H_
+#define SPATIALSKETCH_BENCH_REAL_WORLD_EXPERIMENT_H_
+
+#include "src/workload/real_world.h"
+
+namespace spatialsketch {
+namespace bench {
+
+/// Prints one row per space budget:
+///   kwords  sketch_err  eh_err  gh_err
+int RunRealWorldJoin(const char* figure_id, RealWorldLayer left,
+                     RealWorldLayer right, int argc, char** argv);
+
+}  // namespace bench
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_BENCH_REAL_WORLD_EXPERIMENT_H_

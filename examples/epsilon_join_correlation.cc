@@ -1,0 +1,97 @@
+// eps-join for correlation analysis (Sections 1 and 6.3): how many pairs
+// of readings from two sensor networks lie within L-infinity distance eps
+// of each other? The approximate join cardinality, swept over eps, gives
+// a cheap spatial-correlation profile of the two point clouds without
+// computing any join exactly.
+//
+//   build/examples/epsilon_join_correlation [--n=20000]
+
+#include <cstdio>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/common/rng.h"
+#include "src/estimators/eps_join_estimator.h"
+#include "src/exact/eps_join.h"
+#include "src/geom/box.h"
+
+using namespace spatialsketch;  // NOLINT: example brevity
+
+namespace {
+
+// Two sensor fleets sampling the same physical field: fleet B's hot spots
+// partially overlap fleet A's.
+std::vector<Box> SensorReadings(uint64_t n, uint64_t seed, double shift) {
+  Rng rng(seed);
+  const double extent = 4096.0;
+  std::vector<Box> out;
+  out.reserve(n);
+  const double hot_x[3] = {600.0, 2000.0, 3300.0};
+  const double hot_y[3] = {700.0, 2600.0, 1500.0};
+  for (uint64_t i = 0; i < n; ++i) {
+    double x, y;
+    if (rng.NextDouble() < 0.35) {
+      x = rng.NextDouble() * extent;
+      y = rng.NextDouble() * extent;
+    } else {
+      const int c = static_cast<int>(rng.Uniform(3));
+      x = hot_x[c] + shift + rng.NextGaussian() * 120.0;
+      y = hot_y[c] + shift + rng.NextGaussian() * 120.0;
+    }
+    auto clamp = [&](double v) {
+      if (v < 0) return Coord{0};
+      if (v > 4095.0) return Coord{4095};
+      return static_cast<Coord>(v);
+    };
+    out.push_back(MakePoint({clamp(x), clamp(y), 0, 0}));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = Flags::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
+    return 2;
+  }
+  const uint64_t n = flags->GetInt("n", 20000);
+
+  const auto fleet_a = SensorReadings(n, 1, 0.0);
+  const auto fleet_b = SensorReadings(n, 2, 60.0);
+
+  std::printf("Correlation profile of two sensor fleets (%llu readings "
+              "each)\n\n",
+              static_cast<unsigned long long>(n));
+  std::printf("%6s %14s %14s %9s %16s\n", "eps", "exact_pairs",
+              "est_pairs", "rel_err", "pair_density");
+
+  for (const Coord eps : {8ull, 16ull, 32ull, 64ull, 128ull}) {
+    EpsJoinPipelineOptions opt;
+    opt.dims = 2;
+    opt.log2_domain = 12;
+    opt.eps = eps;
+    opt.auto_max_level = true;  // Section 6.5 adaptive sketches
+    opt.k1 = 900;
+    opt.k2 = 9;
+    opt.seed = 100 + eps;
+    auto est = SketchEpsJoin(fleet_a, fleet_b, opt);
+    if (!est.ok()) {
+      std::fprintf(stderr, "%s\n", est.status().ToString().c_str());
+      return 1;
+    }
+    const double exact =
+        static_cast<double>(ExactEpsJoinCount2D(fleet_a, fleet_b, eps));
+    const double density =
+        est->estimate / (static_cast<double>(n) * static_cast<double>(n));
+    std::printf("%6llu %14.0f %14.0f %9.3f %16.3e\n",
+                static_cast<unsigned long long>(eps), exact, est->estimate,
+                exact > 0 ? std::abs(est->estimate - exact) / exact : 0.0,
+                density);
+  }
+  std::printf("\nUnder independence the density would grow like "
+              "(2*eps)^2 / area; a faster rise at small eps indicates "
+              "spatially correlated fleets.\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Bit-manipulation helpers shared by the GF(2) and xi modules.
+
+#ifndef SPATIALSKETCH_COMMON_BITS_H_
+#define SPATIALSKETCH_COMMON_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace spatialsketch {
+
+/// Parity (XOR of all bits) of x: 0 or 1.
+inline uint32_t Parity64(uint64_t x) {
+  return static_cast<uint32_t>(std::popcount(x) & 1);
+}
+
+/// True iff x is a power of two (x > 0).
+inline bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Smallest power of two >= x (x >= 1). Precondition: x <= 2^63.
+inline uint64_t NextPowerOfTwo(uint64_t x) { return std::bit_ceil(x); }
+
+/// floor(log2(x)) for x >= 1.
+inline uint32_t FloorLog2(uint64_t x) {
+  return 63u - static_cast<uint32_t>(std::countl_zero(x));
+}
+
+/// ceil(log2(x)) for x >= 1.
+inline uint32_t CeilLog2(uint64_t x) {
+  return x <= 1 ? 0 : FloorLog2(x - 1) + 1;
+}
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_COMMON_BITS_H_

@@ -1,0 +1,45 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Tiny command-line flag parser used by the benchmark and example binaries.
+// Syntax: --name=value or --name value; bare --flag sets a boolean true.
+// Unknown flags are reported via Status so binaries can fail fast.
+
+#ifndef SPATIALSKETCH_COMMON_FLAGS_H_
+#define SPATIALSKETCH_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace spatialsketch {
+
+/// Parsed command line: a map from flag name (without leading dashes) to
+/// its raw string value, plus positional arguments.
+class Flags {
+ public:
+  /// Parse argv. Returns InvalidArgument on malformed flags.
+  static Result<Flags> Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+  /// Typed getters with defaults. Malformed numeric values fall back to the
+  /// default (benchmarks prefer robustness over strictness here).
+  std::string GetString(const std::string& name,
+                        const std::string& def = "") const;
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  bool GetBool(const std::string& name, bool def = false) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_COMMON_FLAGS_H_

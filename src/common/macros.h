@@ -1,0 +1,37 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Assertion and utility macros shared across the library.
+
+#ifndef SPATIALSKETCH_COMMON_MACROS_H_
+#define SPATIALSKETCH_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// SKETCH_CHECK(cond): always-on invariant check. Used on cold paths
+/// (construction, configuration). Aborts with a message when violated.
+#define SKETCH_CHECK(cond)                                                    \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "SKETCH_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                          \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+/// SKETCH_DCHECK(cond): debug-only invariant check; compiled out in NDEBUG
+/// builds so it is safe on hot paths (per-update code).
+#ifdef NDEBUG
+#define SKETCH_DCHECK(cond) \
+  do {                      \
+  } while (0)
+#else
+#define SKETCH_DCHECK(cond) SKETCH_CHECK(cond)
+#endif
+
+/// Disallow copy and assign; place in the private section of a class.
+#define SKETCH_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;             \
+  TypeName& operator=(const TypeName&) = delete
+
+#endif  // SPATIALSKETCH_COMMON_MACROS_H_

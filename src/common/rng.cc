@@ -1,0 +1,63 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+#include "src/common/macros.h"
+
+namespace spatialsketch {
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.Next();
+}
+
+uint64_t Rng::Next64() {
+  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  SKETCH_DCHECK(bound > 0);
+  // Lemire's method with rejection to remove modulo bias.
+  while (true) {
+    uint64_t x = Next64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low >= bound || low >= (-bound) % bound) {
+      return static_cast<uint64_t>(m >> 64);
+    }
+  }
+}
+
+uint64_t Rng::UniformInRange(uint64_t lo, uint64_t hi) {
+  SKETCH_DCHECK(lo <= hi);
+  return lo + Uniform(hi - lo + 1);
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextGaussian() {
+  // Box-Muller; avoids log(0) by nudging u1 away from zero.
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+Rng Rng::Fork() { return Rng(Next64()); }
+
+}  // namespace spatialsketch

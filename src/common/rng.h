@@ -1,0 +1,64 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Deterministic pseudo-random generators used throughout the library.
+// We avoid <random> engines for reproducibility across standard-library
+// implementations: all experiments must be bit-reproducible from a seed.
+
+#ifndef SPATIALSKETCH_COMMON_RNG_H_
+#define SPATIALSKETCH_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace spatialsketch {
+
+/// SplitMix64: tiny 64-bit generator; used for seeding and for cheap
+/// stateless hashing of seeds into streams.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Xoshiro256++: the library's general-purpose PRNG. Deterministic, fast,
+/// and high quality; state is seeded via SplitMix64 so any 64-bit seed is
+/// acceptable (including 0).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit word.
+  uint64_t Next64();
+
+  /// Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
+  /// nearly-divisionless method (bias is rejected away).
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t UniformInRange(uint64_t lo, uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare).
+  double NextGaussian();
+
+  /// Derive an independent child generator; useful for giving each sketch
+  /// instance / worker its own stream.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_COMMON_RNG_H_

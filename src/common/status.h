@@ -1,0 +1,113 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Minimal Status / Result<T> error model in the style used by database
+// engines (RocksDB, Arrow): configuration and validation APIs return a
+// Status instead of throwing; hot paths never produce errors.
+
+#ifndef SPATIALSKETCH_COMMON_STATUS_H_
+#define SPATIALSKETCH_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "src/common/macros.h"
+
+namespace spatialsketch {
+
+/// Coarse error categories; mirrors the subset of codes the library needs.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kFailedPrecondition = 3,
+  kUnimplemented = 4,
+  kInternal = 5,
+};
+
+/// Value-semantic status object. `Status::OK()` is cheap (no allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: k1 must be positive".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> carries either a value or an error Status. Access to the value
+/// of an error result is a checked failure (mirrors StatusOr).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  Result(Status status) : value_(std::move(status)) {    // NOLINT(runtime/explicit)
+    SKETCH_CHECK(!std::get<Status>(value_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    return ok() ? kOk : std::get<Status>(value_);
+  }
+
+  const T& value() const& {
+    SKETCH_CHECK(ok());
+    return std::get<T>(value_);
+  }
+  T& value() & {
+    SKETCH_CHECK(ok());
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    SKETCH_CHECK(ok());
+    return std::get<T>(std::move(value_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+/// Propagate a non-OK status to the caller.
+#define SKETCH_RETURN_NOT_OK(expr)     \
+  do {                                 \
+    ::spatialsketch::Status _s = (expr); \
+    if (!_s.ok()) return _s;           \
+  } while (0)
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_COMMON_STATUS_H_

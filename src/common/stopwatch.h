@@ -1,0 +1,33 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Wall-clock stopwatch for the benchmark harnesses.
+
+#ifndef SPATIALSKETCH_COMMON_STOPWATCH_H_
+#define SPATIALSKETCH_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace spatialsketch {
+
+/// Monotonic stopwatch; starts at construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction/Restart.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_COMMON_STOPWATCH_H_

@@ -1,0 +1,31 @@
+#include "src/common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/macros.h"
+
+namespace spatialsketch {
+
+ZipfSampler::ZipfSampler(uint64_t n, double z) : n_(n), z_(z) {
+  SKETCH_CHECK(n > 0);
+  SKETCH_CHECK(z >= 0.0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    acc += (z == 0.0) ? 1.0 : std::pow(static_cast<double>(i + 1), -z);
+    cdf_[i] = acc;
+  }
+  const double total = acc;
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+uint64_t ZipfSampler::Sample(Rng* rng) const {
+  const double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace spatialsketch

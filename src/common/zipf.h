@@ -1,0 +1,40 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Zipfian sampler over {0, ..., n-1}: P(i) proportional to 1/(i+1)^z.
+// Used by the Section 7.1 synthetic workloads ("intervals along each
+// dimension generated independently according to a Zipfian distribution
+// with Zipf parameter z").
+
+#ifndef SPATIALSKETCH_COMMON_ZIPF_H_
+#define SPATIALSKETCH_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace spatialsketch {
+
+/// Inverse-CDF Zipf sampler. Construction is O(n) (builds the CDF once);
+/// sampling is O(log n). z = 0 degenerates to the uniform distribution.
+class ZipfSampler {
+ public:
+  /// \param n    domain size (must be > 0)
+  /// \param z    skew parameter (>= 0); z=0 is uniform
+  ZipfSampler(uint64_t n, double z);
+
+  /// Draw a value in [0, n).
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t n() const { return n_; }
+  double z() const { return z_; }
+
+ private:
+  uint64_t n_;
+  double z_;
+  std::vector<double> cdf_;  // cdf_[i] = P(X <= i); cdf_.back() == 1.0
+};
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_COMMON_ZIPF_H_

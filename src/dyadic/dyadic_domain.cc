@@ -1,0 +1,37 @@
+#include "src/dyadic/dyadic_domain.h"
+
+namespace spatialsketch {
+
+DyadicDomain::DyadicDomain(uint32_t log2_size, uint32_t max_level)
+    : h_(log2_size), max_level_(max_level) {
+  SKETCH_CHECK(log2_size >= 1 && log2_size <= 40);
+}
+
+std::vector<uint64_t> DyadicDomain::IntervalCover(Coord a, Coord b) const {
+  std::vector<uint64_t> out;
+  ForEachCoverId(a, b, [&](uint64_t id) { out.push_back(id); });
+  return out;
+}
+
+std::vector<uint64_t> DyadicDomain::PointCover(Coord a) const {
+  std::vector<uint64_t> out;
+  ForEachPointCoverId(a, [&](uint64_t id) { out.push_back(id); });
+  return out;
+}
+
+uint64_t DyadicDomain::CoverSize(Coord a, Coord b) const {
+  uint64_t n = 0;
+  ForEachCoverId(a, b, [&](uint64_t) { ++n; });
+  return n;
+}
+
+void DyadicDomain::IdRange(uint64_t id, Coord* lo, Coord* hi) const {
+  SKETCH_DCHECK(id >= 1 && id < num_ids());
+  const uint32_t level = LevelOf(id);
+  const uint64_t first_at_level = uint64_t{1} << (h_ - level);
+  const uint64_t pos = id - first_at_level;
+  *lo = pos << level;
+  *hi = *lo + (Coord{1} << level) - 1;
+}
+
+}  // namespace spatialsketch

@@ -1,0 +1,139 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Dyadic-interval machinery (Section 3.1 of the paper).
+//
+// The coordinate domain N = [0, 2^h) is organized into dyadic intervals:
+// level i holds the 2^{h-i} aligned intervals of size 2^i. We number the
+// 2^{h+1} - 1 dyadic intervals with the classic heap scheme: the root
+// (level h, the whole domain) is id 1, the children of id v are 2v and
+// 2v+1, and the leaf for coordinate x is id 2^h + x. The id is what the
+// xi-families are indexed by.
+//
+// Key facts used by the sketches:
+//  * Lemma 2: the dyadic cover of [a,b] (minimal partition into dyadic
+//    intervals) has at most 2h members;
+//  * Lemma 3: the dyadic point cover of a coordinate (all dyadic intervals
+//    containing it) has exactly h+1 members, one per level;
+//  * Lemma 4: c in [a,b] iff the two covers share exactly one interval.
+//
+// Section 6.5 ("taking data properties into account") caps the usable
+// levels at max_level: covers may only use intervals of size <= 2^max_level.
+// A cap of 0 degenerates dyadic sketches into the standard sketches of
+// Equation (1). All three facts above continue to hold under a cap (the
+// capped interval cover is still a partition, and the capped point cover
+// still contains every capped dyadic interval containing the point).
+
+#ifndef SPATIALSKETCH_DYADIC_DYADIC_DOMAIN_H_
+#define SPATIALSKETCH_DYADIC_DYADIC_DOMAIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bits.h"
+#include "src/common/macros.h"
+
+namespace spatialsketch {
+
+/// Coordinate type for the discrete data space.
+using Coord = uint64_t;
+
+/// One dimension's dyadic structure. Cheap value type.
+class DyadicDomain {
+ public:
+  /// Domain [0, 2^log2_size); covers use levels 0..max_level only.
+  /// max_level defaults to log2_size (no cap). log2_size <= 40 keeps the
+  /// id universe within table-friendly bounds.
+  explicit DyadicDomain(uint32_t log2_size, uint32_t max_level = kNoCap);
+
+  static constexpr uint32_t kNoCap = 0xFFFFFFFFu;
+
+  uint32_t log2_size() const { return h_; }
+  uint32_t max_level() const { return max_level_; }
+  Coord size() const { return Coord{1} << h_; }
+
+  /// Number of distinct ids (exclusive upper bound on any emitted id):
+  /// ids live in [1, 2^{h+1}).
+  uint64_t num_ids() const { return uint64_t{2} << h_; }
+
+  /// Heap id of the level-0 (leaf) interval of coordinate x.
+  uint64_t LeafId(Coord x) const {
+    SKETCH_DCHECK(x < size());
+    return (uint64_t{1} << h_) + x;
+  }
+
+  /// Level of a dyadic id (leaf = 0, root = h).
+  uint32_t LevelOf(uint64_t id) const { return h_ - FloorLog2(id); }
+
+  /// Visit the ids of the (capped) dyadic cover of [a, b] (inclusive).
+  /// The visited intervals partition [a, b]. fn(uint64_t id).
+  template <typename Fn>
+  void ForEachCoverId(Coord a, Coord b, Fn&& fn) const {
+    SKETCH_DCHECK(a <= b);
+    SKETCH_DCHECK(b < size());
+    uint64_t l = a + (uint64_t{1} << h_);
+    uint64_t r = b + (uint64_t{1} << h_) + 1;  // exclusive
+    while (l < r) {
+      if (l & 1) EmitCapped(l++, fn);
+      if (r & 1) EmitCapped(--r, fn);
+      l >>= 1;
+      r >>= 1;
+    }
+  }
+
+  /// Visit the ids of the (capped) dyadic point cover of coordinate a:
+  /// all dyadic intervals of level <= max_level containing a, lowest level
+  /// first. fn(uint64_t id).
+  template <typename Fn>
+  void ForEachPointCoverId(Coord a, Fn&& fn) const {
+    SKETCH_DCHECK(a < size());
+    uint64_t id = LeafId(a);
+    const uint32_t top = EffectiveMaxLevel();
+    for (uint32_t level = 0; level <= top; ++level) {
+      fn(id);
+      id >>= 1;
+    }
+  }
+
+  /// Convenience: materialized covers (tests and query-side code).
+  std::vector<uint64_t> IntervalCover(Coord a, Coord b) const;
+  std::vector<uint64_t> PointCover(Coord a) const;
+
+  /// Number of ids in the capped interval cover of [a, b].
+  uint64_t CoverSize(Coord a, Coord b) const;
+
+  /// Coordinate range [lo, hi] covered by a dyadic id.
+  void IdRange(uint64_t id, Coord* lo, Coord* hi) const;
+
+  /// Effective cap: min(max_level, h).
+  uint32_t EffectiveMaxLevel() const {
+    return max_level_ < h_ ? max_level_ : h_;
+  }
+
+  friend bool operator==(const DyadicDomain& a, const DyadicDomain& b) {
+    return a.h_ == b.h_ && a.max_level_ == b.max_level_;
+  }
+
+ private:
+  // Emit id if its level respects the cap; otherwise emit its level-cap
+  // descendants (which partition the same range).
+  template <typename Fn>
+  void EmitCapped(uint64_t id, Fn&& fn) const {
+    const uint32_t level = LevelOf(id);
+    const uint32_t top = EffectiveMaxLevel();
+    if (level <= top) {
+      fn(id);
+      return;
+    }
+    const uint32_t down = level - top;
+    const uint64_t first = id << down;
+    const uint64_t count = uint64_t{1} << down;
+    for (uint64_t k = 0; k < count; ++k) fn(first + k);
+  }
+
+  uint32_t h_;
+  uint32_t max_level_;
+};
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_DYADIC_DYADIC_DOMAIN_H_

@@ -1,0 +1,24 @@
+#include "src/dyadic/endpoint_transform.h"
+
+namespace spatialsketch {
+
+Box EndpointTransform::MapR(const Box& b, uint32_t dims) {
+  Box out;
+  for (uint32_t i = 0; i < dims; ++i) {
+    out.lo[i] = MapPoint(b.lo[i]);
+    out.hi[i] = MapPoint(b.hi[i]);
+  }
+  return out;
+}
+
+Box EndpointTransform::ShrinkS(const Box& b, uint32_t dims) {
+  Box out;
+  for (uint32_t i = 0; i < dims; ++i) {
+    SKETCH_DCHECK(b.lo[i] < b.hi[i]);  // non-degenerate
+    out.lo[i] = MapPointPlus(b.lo[i]);
+    out.hi[i] = MapPointMinus(b.hi[i]);
+  }
+  return out;
+}
+
+}  // namespace spatialsketch

@@ -1,0 +1,55 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Endpoint transformation of Section 5.2: Assumption 1 (no interval of R
+// shares an endpoint coordinate with any interval of S) is enforced for
+// arbitrary inputs by embedding the domain N = {0..n-1} into
+// M = {0..3n-1}: coordinate x maps to 3x+1, and every S-interval is shrunk
+// "a little": [c, d] becomes [3c+2, 3d] (i.e. [c+, d-]). The spatial-join
+// result is unchanged (overlap(r,s) <=> overlap(r', s') for the strict
+// Definition-1 semantics) while no transformed R endpoint can equal a
+// transformed S endpoint (R endpoints are 1 mod 3, S endpoints are 2 or 0
+// mod 3). Domain size grows by at most a factor 3 (two extra dyadic
+// levels).
+
+#ifndef SPATIALSKETCH_DYADIC_ENDPOINT_TRANSFORM_H_
+#define SPATIALSKETCH_DYADIC_ENDPOINT_TRANSFORM_H_
+
+#include <cstdint>
+
+#include "src/dyadic/dyadic_domain.h"
+#include "src/geom/box.h"
+
+namespace spatialsketch {
+
+/// Stateless mapping helpers for the Section 5.2 transformation.
+class EndpointTransform {
+ public:
+  /// Transformed image of an original coordinate ("x itself").
+  static Coord MapPoint(Coord x) { return 3 * x + 1; }
+
+  /// "x+": the value immediately above x in the augmented domain.
+  static Coord MapPointPlus(Coord x) { return 3 * x + 2; }
+
+  /// "x-": the value immediately below x in the augmented domain.
+  /// Requires x >= 1... not enforced: 3x is the '-' of x for any x >= 0
+  /// (for x=0 there is nothing below it to collide with).
+  static Coord MapPointMinus(Coord x) { return 3 * x; }
+
+  /// log2 size of the transformed domain for an original h-bit domain:
+  /// 3 * 2^h <= 2^{h+2}.
+  static uint32_t TransformedLog2(uint32_t log2_size) {
+    return log2_size + 2;
+  }
+
+  /// Transformed R-side box: endpoints map through MapPoint.
+  static Box MapR(const Box& b, uint32_t dims);
+
+  /// Transformed-and-shrunk S-side box: [c, d] -> [c+, d-]. The box must
+  /// be non-degenerate in every dimension (degenerate objects cannot
+  /// contribute to a strict spatial join; callers drop them).
+  static Box ShrinkS(const Box& b, uint32_t dims);
+};
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_DYADIC_ENDPOINT_TRANSFORM_H_

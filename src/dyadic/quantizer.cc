@@ -1,0 +1,46 @@
+#include "src/dyadic/quantizer.h"
+
+#include <cmath>
+
+namespace spatialsketch {
+
+Result<Quantizer> Quantizer::Create(double lo, double hi, uint32_t bits) {
+  if (!(lo < hi)) {
+    return Status::InvalidArgument("quantizer range must satisfy lo < hi");
+  }
+  if (bits < 1 || bits > 40) {
+    return Status::InvalidArgument("quantizer bits must be in [1, 40]");
+  }
+  return Quantizer(lo, hi, bits);
+}
+
+Quantizer::Quantizer(double lo, double hi, uint32_t bits)
+    : lo_(lo), hi_(hi), bits_(bits) {
+  const double cells = std::ldexp(1.0, static_cast<int>(bits));
+  scale_ = cells / (hi - lo);
+}
+
+Coord Quantizer::ToGrid(double x) const {
+  if (x <= lo_) return 0;
+  const Coord max_cell = (Coord{1} << bits_) - 1;
+  if (x >= hi_) return max_cell;
+  const double cell = std::floor((x - lo_) * scale_);
+  const Coord c = static_cast<Coord>(cell);
+  return c > max_cell ? max_cell : c;
+}
+
+double Quantizer::ToReal(Coord g) const {
+  return lo_ + static_cast<double>(g) / scale_;
+}
+
+Box Quantizer::ToGridBox(const double* lo, const double* hi,
+                         uint32_t dims) const {
+  Box b;
+  for (uint32_t i = 0; i < dims; ++i) {
+    b.lo[i] = ToGrid(lo[i]);
+    b.hi[i] = ToGrid(hi[i]);
+  }
+  return b;
+}
+
+}  // namespace spatialsketch

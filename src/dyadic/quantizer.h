@@ -1,0 +1,52 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Real-valued domains (Section 5.1): spatial applications store
+// coordinates with bounded precision, so a real interval [lo, hi] can be
+// gridded onto the finite domain [0, 2^bits) that the sketches require.
+// Sketch storage is logarithmic in the grid size, so generous bit budgets
+// are cheap — this is the scaling advantage Section 5.1 highlights over
+// histogram bucketing.
+
+#ifndef SPATIALSKETCH_DYADIC_QUANTIZER_H_
+#define SPATIALSKETCH_DYADIC_QUANTIZER_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+#include "src/dyadic/dyadic_domain.h"
+#include "src/geom/box.h"
+
+namespace spatialsketch {
+
+/// Uniform quantizer from [lo, hi] (real) onto [0, 2^bits) (grid).
+class Quantizer {
+ public:
+  /// Validates lo < hi and 1 <= bits <= 40.
+  static Result<Quantizer> Create(double lo, double hi, uint32_t bits);
+
+  /// Grid cell of a real coordinate (clamped to the domain).
+  Coord ToGrid(double x) const;
+
+  /// Representative real value (cell lower edge) of a grid coordinate.
+  double ToReal(Coord g) const;
+
+  /// Quantize a real box given per-dimension real ranges equal to this
+  /// quantizer's range (convenience for isotropic spaces).
+  Box ToGridBox(const double* lo, const double* hi, uint32_t dims) const;
+
+  uint32_t bits() const { return bits_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+ private:
+  Quantizer(double lo, double hi, uint32_t bits);
+
+  double lo_;
+  double hi_;
+  uint32_t bits_;
+  double scale_;  // cells per unit
+};
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_DYADIC_QUANTIZER_H_

@@ -1,0 +1,47 @@
+#include "src/estimators/adaptive.h"
+
+#include "src/sketch/self_join.h"
+
+namespace spatialsketch {
+
+MaxLevelChoice SelectMaxLevel1D(const std::vector<Box>& r,
+                                const std::vector<Box>& s,
+                                uint32_t log2_size, uint32_t min_level) {
+  MaxLevelChoice best;
+  double best_cost = -1.0;
+  if (min_level > log2_size) min_level = log2_size;
+  for (uint32_t cap = min_level; cap <= log2_size; ++cap) {
+    const DyadicDomain dom(log2_size, cap);
+    const double sj_r = ExactTotalSelfJoin1D(r, dom);
+    const double sj_s = ExactTotalSelfJoin1D(s, dom);
+    const double cost = sj_r + sj_s;
+    if (best_cost < 0.0 || cost < best_cost) {
+      best_cost = cost;
+      best.max_level = cap;
+      best.sj_r = sj_r;
+      best.sj_s = sj_s;
+    }
+  }
+  return best;
+}
+
+std::vector<uint32_t> SelectMaxLevelPerDim(const std::vector<Box>& r,
+                                           const std::vector<Box>& s,
+                                           uint32_t dims, uint32_t log2_size,
+                                           uint32_t min_level) {
+  std::vector<uint32_t> caps(dims, DyadicDomain::kNoCap);
+  std::vector<Box> rp(r.size());
+  std::vector<Box> sp(s.size());
+  for (uint32_t d = 0; d < dims; ++d) {
+    for (size_t i = 0; i < r.size(); ++i) {
+      rp[i] = MakeInterval(r[i].lo[d], r[i].hi[d]);
+    }
+    for (size_t i = 0; i < s.size(); ++i) {
+      sp[i] = MakeInterval(s[i].lo[d], s[i].hi[d]);
+    }
+    caps[d] = SelectMaxLevel1D(rp, sp, log2_size, min_level).max_level;
+  }
+  return caps;
+}
+
+}  // namespace spatialsketch

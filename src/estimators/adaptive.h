@@ -1,0 +1,50 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Adaptive maxLevel selection (Section 6.5): the dyadic endpoint sketches
+// add the top-level dyadic intervals (up to the whole-domain root) for
+// every object, so for short-interval workloads SJ(X_E) approaches
+// 2*(2N)^2 and the Lemma-1 sizing explodes. Capping covers at maxLevel
+// trades that endpoint mass against longer interval covers; "based on
+// statistics about the interval length distribution, the algorithm
+// determines the maximum level". Here the statistic is the exact (or
+// sampled) total self-join size itself: pick the cap minimizing
+// SJ(R) + SJ(S), the quantity the variance bound is built from.
+
+#ifndef SPATIALSKETCH_ESTIMATORS_ADAPTIVE_H_
+#define SPATIALSKETCH_ESTIMATORS_ADAPTIVE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/dyadic/dyadic_domain.h"
+#include "src/geom/box.h"
+
+namespace spatialsketch {
+
+struct MaxLevelChoice {
+  uint32_t max_level = DyadicDomain::kNoCap;
+  double sj_r = 0.0;  ///< SJ(R) = SJ(X_I) + SJ(X_E) under the chosen cap
+  double sj_s = 0.0;
+};
+
+/// Choose the cap for a 1-d join of (already transformed) interval sets by
+/// exact SJ minimization over caps {min_level, ..., log2_size}. Runs in
+/// O(levels * (N log n + n)).
+MaxLevelChoice SelectMaxLevel1D(const std::vector<Box>& r,
+                                const std::vector<Box>& s,
+                                uint32_t log2_size, uint32_t min_level = 2);
+
+/// Per-dimension caps for a d-dimensional join of (already transformed)
+/// box sets, chosen by minimizing the 1-d marginal self-join size of each
+/// dimension's interval projections. The d-dimensional self-join masses
+/// are (sums of) products of per-dimension incidence vectors, so shrinking
+/// each marginal shrinks every product term; this is the practical reading
+/// of Section 6.5's "statistics about the interval length distribution".
+std::vector<uint32_t> SelectMaxLevelPerDim(const std::vector<Box>& r,
+                                           const std::vector<Box>& s,
+                                           uint32_t dims, uint32_t log2_size,
+                                           uint32_t min_level = 2);
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_ESTIMATORS_ADAPTIVE_H_

@@ -1,0 +1,28 @@
+#include "src/estimators/combine.h"
+
+#include <algorithm>
+
+#include "src/common/macros.h"
+
+namespace spatialsketch {
+
+double MedianOfMeans(const std::vector<double>& per_instance, uint32_t k1,
+                     uint32_t k2) {
+  SKETCH_CHECK(k1 >= 1 && k2 >= 1);
+  SKETCH_CHECK(per_instance.size() == static_cast<size_t>(k1) * k2);
+  std::vector<double> means;
+  means.reserve(k2);
+  for (uint32_t g = 0; g < k2; ++g) {
+    double sum = 0.0;
+    for (uint32_t i = 0; i < k1; ++i) {
+      sum += per_instance[static_cast<size_t>(g) * k1 + i];
+    }
+    means.push_back(sum / k1);
+  }
+  std::sort(means.begin(), means.end());
+  const uint32_t mid = k2 / 2;
+  if (k2 % 2 == 1) return means[mid];
+  return 0.5 * (means[mid - 1] + means[mid]);
+}
+
+}  // namespace spatialsketch

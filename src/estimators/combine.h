@@ -1,0 +1,23 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Accuracy boosting (Section 2.3 / Figure 1): given one estimate per
+// boosting instance, average within each of the k2 groups of k1 instances
+// and return the median of the group averages. Lemma 1 turns this into
+// the (epsilon, phi) guarantee.
+
+#ifndef SPATIALSKETCH_ESTIMATORS_COMBINE_H_
+#define SPATIALSKETCH_ESTIMATORS_COMBINE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace spatialsketch {
+
+/// Median of k2 means of k1 values each. per_instance must hold k1*k2
+/// values, instance index = group * k1 + position.
+double MedianOfMeans(const std::vector<double>& per_instance, uint32_t k1,
+                     uint32_t k2);
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_ESTIMATORS_COMBINE_H_

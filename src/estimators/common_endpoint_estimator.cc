@@ -1,0 +1,84 @@
+#include "src/estimators/common_endpoint_estimator.h"
+
+#include "src/estimators/combine.h"
+
+namespace spatialsketch {
+
+Result<double> EstimateJoinWithCommonEndpoints1D(const DatasetSketch& r,
+                                                 const DatasetSketch& s) {
+  if (r.schema() != s.schema()) {
+    return Status::FailedPrecondition(
+        "common-endpoint join requires a shared schema");
+  }
+  if (r.schema()->dims() != 1) {
+    return Status::InvalidArgument(
+        "the Appendix-C estimator is one-dimensional; use the endpoint "
+        "transformation pipeline for d > 1");
+  }
+  const Shape expected = Shape::ExtendedJoinShape(1);  // words I, E, l, u
+  if (!(r.shape() == expected) || !(s.shape() == expected)) {
+    return Status::FailedPrecondition(
+        "common-endpoint join requires the {I,E,l,u} shape on both sides");
+  }
+  // Word indices in ExtendedJoinShape(1) digit order.
+  constexpr uint32_t kI = 0, kE = 1, kLeafL = 2, kLeafU = 3;
+
+  const uint32_t instances = r.schema()->instances();
+  std::vector<double> z(instances);
+  for (uint32_t inst = 0; inst < instances; ++inst) {
+    const double xi = static_cast<double>(r.Counter(inst, kI));
+    const double xe = static_cast<double>(r.Counter(inst, kE));
+    const double xl = static_cast<double>(r.Counter(inst, kLeafL));
+    const double xu = static_cast<double>(r.Counter(inst, kLeafU));
+    const double yi = static_cast<double>(s.Counter(inst, kI));
+    const double ye = static_cast<double>(s.Counter(inst, kE));
+    const double yl = static_cast<double>(s.Counter(inst, kLeafL));
+    const double yu = static_cast<double>(s.Counter(inst, kLeafU));
+    z[inst] =
+        (xi * ye + xe * yi - 2.0 * xl * yu - 2.0 * xu * yl - xl * yl -
+         xu * yu) /
+        2.0;
+  }
+  return MedianOfMeans(z, r.schema()->k1(), r.schema()->k2());
+}
+
+Result<CommonEndpointResult> SketchJoinCommonEndpoints1D(
+    const std::vector<Box>& r, const std::vector<Box>& s,
+    const CommonEndpointOptions& opt) {
+  SchemaOptions so;
+  so.dims = 1;
+  so.domains[0].log2_size = opt.log2_domain;
+  so.domains[0].max_level = opt.max_level;
+  so.k1 = opt.k1;
+  so.k2 = opt.k2;
+  so.seed = opt.seed;
+  auto schema = SketchSchema::Create(so);
+  if (!schema.ok()) return schema.status();
+
+  const Shape shape = Shape::ExtendedJoinShape(1);
+  CommonEndpointResult out;
+  auto load = [&](const std::vector<Box>& v, uint64_t* dropped) {
+    DatasetSketch sk(*schema, shape);
+    std::vector<Box> kept;
+    kept.reserve(v.size());
+    for (const Box& b : v) {
+      if (IsDegenerate(b, 1)) {
+        ++*dropped;
+        continue;
+      }
+      kept.push_back(b);
+    }
+    sk.BulkLoad(kept);
+    return sk;
+  };
+  DatasetSketch rx = load(r, &out.dropped_r);
+  DatasetSketch sy = load(s, &out.dropped_s);
+
+  auto est = EstimateJoinWithCommonEndpoints1D(rx, sy);
+  if (!est.ok()) return est.status();
+  out.estimate = *est;
+  out.words_per_dataset = rx.MemoryWords();
+  return out;
+}
+
+}  // namespace spatialsketch

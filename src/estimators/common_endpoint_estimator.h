@@ -1,0 +1,51 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Common-endpoint join estimation (Appendix C / Lemma 13): the alternative
+// to the Section-5.2 endpoint transformation. The sketches are built on
+// the ORIGINAL (untripled) domain; four extra leaf-level endpoint sketches
+// explicitly subtract the over-counts of the spatial relationships that
+// share endpoint coordinates (cases 2, 5, 6 of Figure 3):
+//     Z = (X_I Y_E + X_E Y_I - 2 X_l Y_u - 2 X_u Y_l - X_l Y_l - X_u Y_u)/2.
+
+#ifndef SPATIALSKETCH_ESTIMATORS_COMMON_ENDPOINT_ESTIMATOR_H_
+#define SPATIALSKETCH_ESTIMATORS_COMMON_ENDPOINT_ESTIMATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/geom/box.h"
+#include "src/sketch/dataset_sketch.h"
+#include "src/sketch/schema.h"
+
+namespace spatialsketch {
+
+struct CommonEndpointOptions {
+  uint32_t log2_domain = 16;  ///< domain bits (NOT transformed)
+  uint32_t max_level = DyadicDomain::kNoCap;
+  uint32_t k1 = 64;
+  uint32_t k2 = 9;
+  uint64_t seed = 1;
+};
+
+struct CommonEndpointResult {
+  double estimate = 0.0;
+  uint64_t words_per_dataset = 0;
+  uint64_t dropped_r = 0;
+  uint64_t dropped_s = 0;
+};
+
+/// Combined 1-d join estimate from two ExtendedJoinShape(1) sketches built
+/// on untransformed coordinates under one schema.
+Result<double> EstimateJoinWithCommonEndpoints1D(const DatasetSketch& r,
+                                                 const DatasetSketch& s);
+
+/// One-call pipeline for 1-d interval sets with arbitrary shared
+/// endpoints; degenerate intervals are dropped.
+Result<CommonEndpointResult> SketchJoinCommonEndpoints1D(
+    const std::vector<Box>& r, const std::vector<Box>& s,
+    const CommonEndpointOptions& opt);
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_ESTIMATORS_COMMON_ENDPOINT_ESTIMATOR_H_

@@ -1,0 +1,81 @@
+#include "src/estimators/containment_estimator.h"
+
+#include "src/estimators/adaptive.h"
+#include "src/estimators/eps_join_estimator.h"
+#include "src/sketch/dataset_sketch.h"
+
+namespace spatialsketch {
+
+Box LiftInnerToPoint(const Box& r, uint32_t dims) {
+  // r in s  <=>  per dim i: s.lo <= r.lo and r.hi <= s.hi
+  //          <=>  the 2d-point (r.lo_i, r.hi_i)_i lies in the 2d-box
+  //               ([s.lo_i, s.hi_i], [s.lo_i, s.hi_i])_i,
+  // using r.lo_i <= r.hi_i to discharge the two redundant inequalities.
+  Box p;
+  for (uint32_t i = 0; i < dims; ++i) {
+    p.lo[2 * i] = r.lo[i];
+    p.hi[2 * i] = r.lo[i];
+    p.lo[2 * i + 1] = r.hi[i];
+    p.hi[2 * i + 1] = r.hi[i];
+  }
+  return p;
+}
+
+Box LiftOuterToBox(const Box& s, uint32_t dims) {
+  Box b;
+  for (uint32_t i = 0; i < dims; ++i) {
+    b.lo[2 * i] = s.lo[i];
+    b.hi[2 * i] = s.hi[i];
+    b.lo[2 * i + 1] = s.lo[i];
+    b.hi[2 * i + 1] = s.hi[i];
+  }
+  return b;
+}
+
+Result<ContainmentPipelineResult> SketchContainmentJoin(
+    const std::vector<Box>& r, const std::vector<Box>& s,
+    const ContainmentPipelineOptions& opt) {
+  if (opt.dims < 1 || 2 * opt.dims > kMaxDims) {
+    return Status::InvalidArgument(
+        "containment join supports 1 or 2 original dimensions");
+  }
+  const uint32_t lifted = 2 * opt.dims;
+  std::vector<Box> pts;
+  pts.reserve(r.size());
+  for (const Box& b : r) pts.push_back(LiftInnerToPoint(b, opt.dims));
+  std::vector<Box> boxes;
+  boxes.reserve(s.size());
+  for (const Box& b : s) boxes.push_back(LiftOuterToBox(b, opt.dims));
+
+  std::vector<uint32_t> caps(lifted, opt.max_level);
+  if (opt.auto_max_level && !pts.empty() && !boxes.empty()) {
+    caps = SelectMaxLevelPerDim(pts, boxes, lifted, opt.log2_domain);
+  }
+  SchemaOptions so;
+  so.dims = lifted;
+  for (uint32_t i = 0; i < lifted; ++i) {
+    so.domains[i].log2_size = opt.log2_domain;
+    so.domains[i].max_level = caps[i];
+  }
+  so.k1 = opt.k1;
+  so.k2 = opt.k2;
+  so.seed = opt.seed;
+  auto schema = SketchSchema::Create(so);
+  if (!schema.ok()) return schema.status();
+
+  DatasetSketch inner(*schema, Shape::PointShape(lifted));
+  DatasetSketch outer(*schema, Shape::BoxCoverShape(lifted));
+  BulkLoader loader(*schema);
+  loader.Add(&inner, &pts);
+  loader.Add(&outer, &boxes);
+  loader.Run();
+
+  auto est = EstimateContainmentCardinality(inner, outer);
+  if (!est.ok()) return est.status();
+  ContainmentPipelineResult out;
+  out.estimate = *est;
+  out.words_per_dataset = inner.MemoryWords();
+  return out;
+}
+
+}  // namespace spatialsketch

@@ -1,0 +1,55 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Containment-join estimation (Appendix B.2): "how many intervals
+// [a, b] of R are contained in intervals [c, d] of S" translates into
+// 2-dimensional space — count squares [c, d] x [c, d] containing the point
+// (a, b) — and is then estimated exactly like the eps-join (point sketch x
+// box-cover sketch). Generally a d-dimensional containment join lifts to a
+// 2d-dimensional point-in-box problem; with kMaxDims = 4 the library
+// supports d in {1, 2}. Containment is a closed predicate, so no endpoint
+// transformation is needed (dyadic point-in-interval counting is exact
+// under coordinate collisions).
+
+#ifndef SPATIALSKETCH_ESTIMATORS_CONTAINMENT_ESTIMATOR_H_
+#define SPATIALSKETCH_ESTIMATORS_CONTAINMENT_ESTIMATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/geom/box.h"
+#include "src/sketch/schema.h"
+
+namespace spatialsketch {
+
+struct ContainmentPipelineOptions {
+  uint32_t dims = 1;          ///< original dimensionality (1 or 2)
+  uint32_t log2_domain = 16;  ///< original domain bits per dimension
+  uint32_t max_level = DyadicDomain::kNoCap;
+  /// Section 6.5 adaptive per-dimension caps on the lifted problem.
+  bool auto_max_level = false;
+  uint32_t k1 = 64;
+  uint32_t k2 = 9;
+  uint64_t seed = 1;
+};
+
+struct ContainmentPipelineResult {
+  double estimate = 0.0;
+  uint64_t words_per_dataset = 0;
+};
+
+/// Estimate |{(r, s) : r contained in s}| for box sets of dimensionality
+/// opt.dims (lifted internally to 2*dims sketch dimensions).
+Result<ContainmentPipelineResult> SketchContainmentJoin(
+    const std::vector<Box>& r, const std::vector<Box>& s,
+    const ContainmentPipelineOptions& opt);
+
+/// The lift used by the pipeline, exposed for tests: r-boxes become
+/// 2*dims-dimensional points (lo_1, hi_1, ..., lo_d, hi_d) and s-boxes
+/// become 2*dims-dimensional boxes ([lo_i, hi_i] twice per dimension).
+Box LiftInnerToPoint(const Box& r, uint32_t dims);
+Box LiftOuterToBox(const Box& s, uint32_t dims);
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_ESTIMATORS_CONTAINMENT_ESTIMATOR_H_

@@ -1,0 +1,73 @@
+#include "src/estimators/eps_join_estimator.h"
+
+#include "src/estimators/adaptive.h"
+#include "src/estimators/combine.h"
+#include "src/exact/eps_join.h"
+
+namespace spatialsketch {
+
+Result<std::vector<double>> ContainmentEstimatesPerInstance(
+    const DatasetSketch& points, const DatasetSketch& boxes) {
+  if (points.schema() != boxes.schema()) {
+    return Status::FailedPrecondition(
+        "eps-join requires both sketches to share one schema");
+  }
+  const uint32_t dims = points.schema()->dims();
+  if (!(points.shape() == Shape::PointShape(dims)) ||
+      !(boxes.shape() == Shape::BoxCoverShape(dims))) {
+    return Status::FailedPrecondition(
+        "eps-join requires PointShape x BoxCoverShape sketches");
+  }
+  const uint32_t instances = points.schema()->instances();
+  std::vector<double> z(instances);
+  for (uint32_t inst = 0; inst < instances; ++inst) {
+    z[inst] = static_cast<double>(points.Counter(inst, 0)) *
+              static_cast<double>(boxes.Counter(inst, 0));
+  }
+  return z;
+}
+
+Result<double> EstimateContainmentCardinality(const DatasetSketch& points,
+                                              const DatasetSketch& boxes) {
+  auto z = ContainmentEstimatesPerInstance(points, boxes);
+  if (!z.ok()) return z.status();
+  return MedianOfMeans(*z, points.schema()->k1(), points.schema()->k2());
+}
+
+Result<EpsJoinPipelineResult> SketchEpsJoin(
+    const std::vector<Box>& a, const std::vector<Box>& b,
+    const EpsJoinPipelineOptions& opt) {
+  const auto squares = ExpandEpsSquares(b, opt.dims, opt.eps,
+                                        opt.log2_domain);
+  std::vector<uint32_t> caps(opt.dims, opt.max_level);
+  if (opt.auto_max_level) {
+    caps = SelectMaxLevelPerDim(a, squares, opt.dims, opt.log2_domain);
+  }
+  SchemaOptions so;
+  so.dims = opt.dims;
+  for (uint32_t i = 0; i < opt.dims; ++i) {
+    so.domains[i].log2_size = opt.log2_domain;
+    so.domains[i].max_level = caps[i];
+  }
+  so.k1 = opt.k1;
+  so.k2 = opt.k2;
+  so.seed = opt.seed;
+  auto schema = SketchSchema::Create(so);
+  if (!schema.ok()) return schema.status();
+
+  DatasetSketch pa(*schema, Shape::PointShape(opt.dims));
+  DatasetSketch sb(*schema, Shape::BoxCoverShape(opt.dims));
+  BulkLoader loader(*schema);
+  loader.Add(&pa, &a);
+  loader.Add(&sb, &squares);
+  loader.Run();
+
+  auto est = EstimateContainmentCardinality(pa, sb);
+  if (!est.ok()) return est.status();
+  EpsJoinPipelineResult out;
+  out.estimate = *est;
+  out.words_per_dataset = pa.MemoryWords();
+  return out;
+}
+
+}  // namespace spatialsketch

@@ -1,0 +1,57 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// eps-join estimation for point sets (Section 6.3): points of B are
+// replaced by closed L-infinity squares of side 2*eps; the join count is
+// the number of (point of A, square of B') containments, estimated per
+// instance by Z = X_{L^d} * Y_{I^d}. Containment counting with dyadic
+// covers is exact under coordinate collisions, so no endpoint
+// transformation is needed.
+
+#ifndef SPATIALSKETCH_ESTIMATORS_EPS_JOIN_ESTIMATOR_H_
+#define SPATIALSKETCH_ESTIMATORS_EPS_JOIN_ESTIMATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/geom/box.h"
+#include "src/sketch/dataset_sketch.h"
+#include "src/sketch/schema.h"
+
+namespace spatialsketch {
+
+/// Combined estimate from a point sketch (PointShape) and a box-cover
+/// sketch (BoxCoverShape) under one schema.
+Result<double> EstimateContainmentCardinality(const DatasetSketch& points,
+                                              const DatasetSketch& boxes);
+
+/// Per-instance raw estimates Z_i = X_{L^d}(i) * Y_{I^d}(i).
+Result<std::vector<double>> ContainmentEstimatesPerInstance(
+    const DatasetSketch& points, const DatasetSketch& boxes);
+
+struct EpsJoinPipelineOptions {
+  uint32_t dims = 2;
+  uint32_t log2_domain = 14;
+  Coord eps = 16;
+  uint32_t max_level = DyadicDomain::kNoCap;
+  /// Section 6.5: choose per-dimension caps minimizing the marginal
+  /// self-join sizes of the point set and the expanded squares.
+  bool auto_max_level = false;
+  uint32_t k1 = 64;
+  uint32_t k2 = 9;
+  uint64_t seed = 1;
+};
+
+struct EpsJoinPipelineResult {
+  double estimate = 0.0;
+  uint64_t words_per_dataset = 0;
+};
+
+/// One-call eps-join estimate of two point sets (degenerate boxes).
+Result<EpsJoinPipelineResult> SketchEpsJoin(const std::vector<Box>& a,
+                                            const std::vector<Box>& b,
+                                            const EpsJoinPipelineOptions& opt);
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_ESTIMATORS_EPS_JOIN_ESTIMATOR_H_

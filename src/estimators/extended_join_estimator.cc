@@ -1,0 +1,105 @@
+#include "src/estimators/extended_join_estimator.h"
+
+#include "src/dyadic/endpoint_transform.h"
+#include "src/estimators/adaptive.h"
+#include "src/estimators/combine.h"
+
+namespace spatialsketch {
+
+Result<double> EstimateExtendedJoinCardinality(const DatasetSketch& r,
+                                               const DatasetSketch& s) {
+  if (r.schema() != s.schema()) {
+    return Status::FailedPrecondition(
+        "extended join requires both sketches to share one schema");
+  }
+  const uint32_t dims = r.schema()->dims();
+  const Shape expected = Shape::ExtendedJoinShape(dims);
+  if (!(r.shape() == expected) || !(s.shape() == expected)) {
+    return Status::FailedPrecondition(
+        "extended join requires the {I,E,l,u}^d shape on both sides");
+  }
+  const uint32_t instances = r.schema()->instances();
+  const uint32_t num_words = expected.size();
+
+  // Precompute per word: complement index and 2^{-c(w)} weight.
+  std::vector<uint32_t> comp(num_words);
+  std::vector<double> weight(num_words);
+  for (uint32_t w = 0; w < num_words; ++w) {
+    const Word& word = expected.word(w);
+    const Word cw = ComplementWord(word, dims);
+    const int ci = expected.IndexOf(cw);
+    SKETCH_CHECK(ci >= 0);
+    comp[w] = static_cast<uint32_t>(ci);
+    weight[w] =
+        1.0 / static_cast<double>(uint64_t{1}
+                                  << CountIntervalEndpointLetters(word, dims));
+  }
+
+  std::vector<double> z(instances);
+  for (uint32_t inst = 0; inst < instances; ++inst) {
+    double acc = 0.0;
+    for (uint32_t w = 0; w < num_words; ++w) {
+      acc += weight[w] * static_cast<double>(r.Counter(inst, w)) *
+             static_cast<double>(s.Counter(inst, comp[w]));
+    }
+    z[inst] = acc;
+  }
+  return MedianOfMeans(z, r.schema()->k1(), r.schema()->k2());
+}
+
+Result<JoinPipelineResult> SketchExtendedSpatialJoin(
+    const std::vector<Box>& r, const std::vector<Box>& s,
+    const JoinPipelineOptions& opt) {
+  const Shape shape = Shape::ExtendedJoinShape(opt.dims);
+  JoinPipelineResult out;
+
+  std::vector<Box> r_main;
+  r_main.reserve(r.size());
+  for (const Box& b : r) {
+    if (IsDegenerate(b, opt.dims)) {
+      ++out.dropped_r;
+      continue;
+    }
+    r_main.push_back(EndpointTransform::MapR(b, opt.dims));
+  }
+  // S side: interval/endpoint letters read the shrunk geometry, leaf
+  // letters read the unshrunk mapped endpoints so coincidences with R
+  // endpoints remain detectable.
+  std::vector<Box> s_main;
+  std::vector<Box> s_leaf;
+  s_main.reserve(s.size());
+  s_leaf.reserve(s.size());
+  for (const Box& b : s) {
+    if (IsDegenerate(b, opt.dims)) {
+      ++out.dropped_s;
+      continue;
+    }
+    s_main.push_back(EndpointTransform::ShrinkS(b, opt.dims));
+    s_leaf.push_back(EndpointTransform::MapR(b, opt.dims));
+  }
+
+  for (uint32_t d = 0; d < opt.dims; ++d) out.max_levels[d] = opt.max_level;
+  if (opt.auto_max_level) {
+    const auto caps = SelectMaxLevelPerDim(
+        r_main, s_main, opt.dims,
+        EndpointTransform::TransformedLog2(opt.log2_domain));
+    for (uint32_t d = 0; d < opt.dims; ++d) out.max_levels[d] = caps[d];
+  }
+  auto schema = MakeTransformedJoinSchema(opt, out.max_levels.data());
+  if (!schema.ok()) return schema.status();
+
+  DatasetSketch rx(*schema, shape);
+  DatasetSketch sy(*schema, shape);
+  BulkLoader loader(*schema);
+  loader.Add(&rx, &r_main);
+  loader.Add(&sy, &s_main, &s_leaf);
+  loader.Run();
+
+  auto est = EstimateExtendedJoinCardinality(rx, sy);
+  if (!est.ok()) return est.status();
+  out.estimate = *est;
+  out.words_per_dataset = rx.MemoryWords();
+  return out;
+}
+
+}  // namespace spatialsketch

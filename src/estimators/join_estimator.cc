@@ -1,0 +1,159 @@
+#include "src/estimators/join_estimator.h"
+
+#include "src/dyadic/endpoint_transform.h"
+#include "src/estimators/adaptive.h"
+#include "src/estimators/combine.h"
+
+namespace spatialsketch {
+
+namespace {
+
+Status CheckJoinable(const DatasetSketch& r, const DatasetSketch& s) {
+  if (r.schema() != s.schema()) {
+    return Status::FailedPrecondition(
+        "join requires both sketches to share one schema");
+  }
+  const Shape expected = Shape::JoinShape(r.schema()->dims());
+  if (!(r.shape() == expected) || !(s.shape() == expected)) {
+    return Status::FailedPrecondition(
+        "join requires the {I,E}^d JoinShape on both sides");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<double>> JoinEstimatesPerInstance(const DatasetSketch& r,
+                                                     const DatasetSketch& s) {
+  SKETCH_RETURN_NOT_OK(CheckJoinable(r, s));
+  const uint32_t dims = r.schema()->dims();
+  const uint32_t instances = r.schema()->instances();
+  const uint32_t num_words = uint32_t{1} << dims;
+  const double scale = 1.0 / static_cast<double>(uint64_t{1} << dims);
+  const uint32_t cmask = num_words - 1;
+
+  std::vector<double> z(instances);
+  for (uint32_t inst = 0; inst < instances; ++inst) {
+    double acc = 0.0;
+    for (uint32_t w = 0; w < num_words; ++w) {
+      // JoinShape is bitmask-ordered (bit i set => E in dim i), so the
+      // complement word wbar is simply the inverted mask.
+      acc += static_cast<double>(r.Counter(inst, w)) *
+             static_cast<double>(s.Counter(inst, w ^ cmask));
+    }
+    z[inst] = acc * scale;
+  }
+  return z;
+}
+
+Result<double> EstimateJoinCardinality(const DatasetSketch& r,
+                                       const DatasetSketch& s) {
+  auto z = JoinEstimatesPerInstance(r, s);
+  if (!z.ok()) return z.status();
+  return MedianOfMeans(*z, r.schema()->k1(), r.schema()->k2());
+}
+
+Result<SchemaPtr> MakeTransformedJoinSchema(const JoinPipelineOptions& opt) {
+  return MakeTransformedJoinSchema(opt, nullptr);
+}
+
+Result<SchemaPtr> MakeTransformedJoinSchema(const JoinPipelineOptions& opt,
+                                            const uint32_t* max_levels) {
+  SchemaOptions so;
+  so.dims = opt.dims;
+  for (uint32_t i = 0; i < opt.dims; ++i) {
+    so.domains[i].log2_size =
+        EndpointTransform::TransformedLog2(opt.log2_domain);
+    so.domains[i].max_level =
+        max_levels != nullptr ? max_levels[i] : opt.max_level;
+  }
+  so.k1 = opt.k1;
+  so.k2 = opt.k2;
+  so.seed = opt.seed;
+  return SketchSchema::Create(so);
+}
+
+namespace {
+
+DatasetSketch SketchSide(const SchemaPtr& schema, const std::vector<Box>& v,
+                         bool shrink, uint64_t* dropped) {
+  const uint32_t dims = schema->dims();
+  DatasetSketch sketch(schema, Shape::JoinShape(dims));
+  std::vector<Box> transformed;
+  transformed.reserve(v.size());
+  uint64_t skipped = 0;
+  for (const Box& b : v) {
+    if (IsDegenerate(b, dims)) {
+      ++skipped;
+      continue;
+    }
+    transformed.push_back(shrink ? EndpointTransform::ShrinkS(b, dims)
+                                 : EndpointTransform::MapR(b, dims));
+  }
+  sketch.BulkLoad(transformed);
+  if (dropped != nullptr) *dropped = skipped;
+  return sketch;
+}
+
+}  // namespace
+
+DatasetSketch SketchJoinSideR(const SchemaPtr& schema,
+                              const std::vector<Box>& r, uint64_t* dropped) {
+  return SketchSide(schema, r, /*shrink=*/false, dropped);
+}
+
+DatasetSketch SketchJoinSideS(const SchemaPtr& schema,
+                              const std::vector<Box>& s, uint64_t* dropped) {
+  return SketchSide(schema, s, /*shrink=*/true, dropped);
+}
+
+Result<JoinPipelineResult> SketchSpatialJoin(const std::vector<Box>& r,
+                                             const std::vector<Box>& s,
+                                             const JoinPipelineOptions& opt) {
+  const uint32_t dims = opt.dims;
+
+  JoinPipelineResult out;
+  std::vector<Box> rt, st;
+  rt.reserve(r.size());
+  st.reserve(s.size());
+  for (const Box& b : r) {
+    if (IsDegenerate(b, dims)) {
+      ++out.dropped_r;
+      continue;
+    }
+    rt.push_back(EndpointTransform::MapR(b, dims));
+  }
+  for (const Box& b : s) {
+    if (IsDegenerate(b, dims)) {
+      ++out.dropped_s;
+      continue;
+    }
+    st.push_back(EndpointTransform::ShrinkS(b, dims));
+  }
+
+  // Section 6.5 adaptive level caps, chosen on the transformed data.
+  for (uint32_t d = 0; d < dims; ++d) out.max_levels[d] = opt.max_level;
+  if (opt.auto_max_level) {
+    const auto caps = SelectMaxLevelPerDim(
+        rt, st, dims, EndpointTransform::TransformedLog2(opt.log2_domain));
+    for (uint32_t d = 0; d < dims; ++d) out.max_levels[d] = caps[d];
+  }
+  auto schema = MakeTransformedJoinSchema(opt, out.max_levels.data());
+  if (!schema.ok()) return schema.status();
+
+  // Load both sides in one pass so the packed sign tables are shared.
+  DatasetSketch rx(*schema, Shape::JoinShape(dims));
+  DatasetSketch sy(*schema, Shape::JoinShape(dims));
+  BulkLoader loader(*schema);
+  loader.Add(&rx, &rt);
+  loader.Add(&sy, &st);
+  loader.Run();
+
+  auto est = EstimateJoinCardinality(rx, sy);
+  if (!est.ok()) return est.status();
+  out.estimate = *est;
+  out.words_per_dataset = rx.MemoryWords();
+  return out;
+}
+
+}  // namespace spatialsketch

@@ -1,0 +1,90 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Spatial-join cardinality estimation (Section 4 / Theorems 1-3).
+//
+// Per boosting instance the estimator is
+//     Z = 2^{-d} * sum over w in {I,E}^d of  X_w * Y_wbar
+// which is unbiased for |R join_o S| under Assumption 1 (no common
+// endpoint coordinates); the pipeline enforces the assumption for
+// arbitrary data with the Section-5.2 endpoint transformation. Instances
+// are combined with median-of-means.
+
+#ifndef SPATIALSKETCH_ESTIMATORS_JOIN_ESTIMATOR_H_
+#define SPATIALSKETCH_ESTIMATORS_JOIN_ESTIMATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/geom/box.h"
+#include "src/sketch/dataset_sketch.h"
+#include "src/sketch/schema.h"
+
+namespace spatialsketch {
+
+/// Combined (median-of-means) join-size estimate from two sketches built
+/// under the same schema with JoinShape(dims). Errors if the sketches are
+/// incompatible.
+Result<double> EstimateJoinCardinality(const DatasetSketch& r,
+                                       const DatasetSketch& s);
+
+/// Per-instance raw estimates Z_i (for analysis / tests / custom
+/// combining): Z_i = 2^{-d} sum_w X_w(i) Y_wbar(i).
+Result<std::vector<double>> JoinEstimatesPerInstance(const DatasetSketch& r,
+                                                     const DatasetSketch& s);
+
+/// End-to-end pipeline configuration. Coordinates of the input boxes must
+/// lie in [0, 2^log2_domain) per dimension; the pipeline applies the
+/// endpoint transformation internally (domain grows by 2 bits).
+struct JoinPipelineOptions {
+  uint32_t dims = 2;
+  uint32_t log2_domain = 14;  ///< original (untransformed) domain bits
+  uint32_t max_level = DyadicDomain::kNoCap;  ///< cap on TRANSFORMED domain
+  /// Section 6.5 adaptive sketches: choose per-dimension level caps that
+  /// minimize the marginal self-join sizes of the (transformed) inputs,
+  /// overriding max_level. Strongly recommended for short-object
+  /// workloads, whose dyadic endpoint sketches otherwise concentrate
+  /// O(N^2) self-join mass in the top levels.
+  bool auto_max_level = false;
+  uint32_t k1 = 64;
+  uint32_t k2 = 9;
+  uint64_t seed = 1;
+};
+
+struct JoinPipelineResult {
+  double estimate = 0.0;
+  uint64_t words_per_dataset = 0;  ///< paper-accounted space
+  uint64_t dropped_r = 0;  ///< degenerate objects removed from R
+  uint64_t dropped_s = 0;  ///< degenerate objects removed from S
+  /// Level caps actually used per dimension (filled by auto_max_level).
+  std::array<uint32_t, kMaxDims> max_levels{
+      DyadicDomain::kNoCap, DyadicDomain::kNoCap, DyadicDomain::kNoCap,
+      DyadicDomain::kNoCap};
+};
+
+/// Schema over the TRANSFORMED domain implied by the options. Both join
+/// sides must be sketched under this single schema.
+Result<SchemaPtr> MakeTransformedJoinSchema(const JoinPipelineOptions& opt);
+
+/// Variant with explicit per-dimension level caps (overriding
+/// opt.max_level); max_levels may be nullptr.
+Result<SchemaPtr> MakeTransformedJoinSchema(const JoinPipelineOptions& opt,
+                                            const uint32_t* max_levels);
+
+/// Sketch the R side (endpoints mapped with x -> 3x+1); drops degenerate
+/// boxes and reports how many were dropped.
+DatasetSketch SketchJoinSideR(const SchemaPtr& schema,
+                              const std::vector<Box>& r, uint64_t* dropped);
+
+/// Sketch the S side (shrunk: [l, u] -> [3l+2, 3u]).
+DatasetSketch SketchJoinSideS(const SchemaPtr& schema,
+                              const std::vector<Box>& s, uint64_t* dropped);
+
+/// One-call spatial-join estimate: transform, sketch both sides, combine.
+Result<JoinPipelineResult> SketchSpatialJoin(const std::vector<Box>& r,
+                                             const std::vector<Box>& s,
+                                             const JoinPipelineOptions& opt);
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_ESTIMATORS_JOIN_ESTIMATOR_H_

@@ -1,0 +1,122 @@
+#include "src/estimators/range_query_estimator.h"
+
+#include "src/dyadic/endpoint_transform.h"
+#include "src/estimators/adaptive.h"
+#include "src/estimators/combine.h"
+#include "src/gf2/gf2_64.h"
+#include "src/xi/bch_family.h"
+
+namespace spatialsketch {
+
+Result<RangeQueryEstimator> RangeQueryEstimator::Build(
+    const std::vector<Box>& boxes, const RangeEstimatorOptions& opt) {
+  std::vector<Box> transformed;
+  transformed.reserve(boxes.size());
+  for (const Box& b : boxes) {
+    if (IsDegenerate(b, opt.dims)) continue;
+    transformed.push_back(EndpointTransform::MapR(b, opt.dims));
+  }
+
+  const uint32_t tlog2 = EndpointTransform::TransformedLog2(opt.log2_domain);
+  std::vector<uint32_t> caps(opt.dims, opt.max_level);
+  if (opt.auto_max_level) {
+    caps = SelectMaxLevelPerDim(transformed, transformed, opt.dims, tlog2);
+  }
+  SchemaOptions so;
+  so.dims = opt.dims;
+  for (uint32_t i = 0; i < opt.dims; ++i) {
+    so.domains[i].log2_size = tlog2;
+    so.domains[i].max_level = caps[i];
+  }
+  so.k1 = opt.k1;
+  so.k2 = opt.k2;
+  so.seed = opt.seed;
+  auto schema = SketchSchema::Create(so);
+  if (!schema.ok()) return schema.status();
+
+  auto sketch = std::make_unique<DatasetSketch>(*schema,
+                                                Shape::RangeShape(opt.dims));
+  sketch->BulkLoad(transformed);
+  return RangeQueryEstimator(*schema, std::move(sketch), opt.dims);
+}
+
+void RangeQueryEstimator::Insert(const Box& box) {
+  if (IsDegenerate(box, dims_)) return;
+  sketch_->Insert(EndpointTransform::MapR(box, dims_));
+}
+
+void RangeQueryEstimator::Delete(const Box& box) {
+  if (IsDegenerate(box, dims_)) return;
+  sketch_->Delete(EndpointTransform::MapR(box, dims_));
+}
+
+double RangeQueryEstimator::EstimateCount(const Box& query) const {
+  SKETCH_CHECK(!IsDegenerate(query, dims_));
+  const Box q = EndpointTransform::ShrinkS(query, dims_);
+  const uint32_t instances = schema_->instances();
+  const uint32_t num_words = uint32_t{1} << dims_;
+
+  // Per-dimension query id lists with precomputed cubes (shared across
+  // instances): the interval cover of q's range and the point cover of
+  // q's upper endpoint.
+  struct QueryIds {
+    std::vector<uint64_t> cover_ids, cover_cubes;
+    std::vector<uint64_t> upper_ids, upper_cubes;
+  };
+  std::vector<QueryIds> qids(dims_);
+  for (uint32_t d = 0; d < dims_; ++d) {
+    const DyadicDomain& dom = schema_->domain(d);
+    dom.ForEachCoverId(q.lo[d], q.hi[d], [&](uint64_t id) {
+      qids[d].cover_ids.push_back(id);
+      qids[d].cover_cubes.push_back(gf2::Cube(id));
+    });
+    dom.ForEachPointCoverId(q.hi[d], [&](uint64_t id) {
+      qids[d].upper_ids.push_back(id);
+      qids[d].upper_cubes.push_back(gf2::Cube(id));
+    });
+  }
+
+  std::vector<double> z(instances);
+  for (uint32_t inst = 0; inst < instances; ++inst) {
+    // Per-dim factors: q_I (cover sum) pairs with data letter U; q_U
+    // (upper point-cover sum) pairs with data letter I.
+    double q_factor[kMaxDims][2];  // [dim][0]=q_I, [dim][1]=q_U
+    for (uint32_t d = 0; d < dims_; ++d) {
+      const BchXiFamily fam(schema_->seed(inst, d));
+      int32_t s_cover = 0;
+      for (size_t i = 0; i < qids[d].cover_ids.size(); ++i) {
+        s_cover += fam.SignWithCube(qids[d].cover_ids[i],
+                                    qids[d].cover_cubes[i]);
+      }
+      int32_t s_upper = 0;
+      for (size_t i = 0; i < qids[d].upper_ids.size(); ++i) {
+        s_upper += fam.SignWithCube(qids[d].upper_ids[i],
+                                    qids[d].upper_cubes[i]);
+      }
+      q_factor[d][0] = s_cover;
+      q_factor[d][1] = s_upper;
+    }
+    double acc = 0.0;
+    for (uint32_t w = 0; w < num_words; ++w) {
+      // RangeShape is bitmask-ordered (bit d set => data letter U in dim
+      // d). Complementary pairing per dimension: data letter U pairs with
+      // the query's interval-cover factor q_I (index 0), data letter I
+      // pairs with the query's upper-point factor q_U (index 1).
+      double prod = static_cast<double>(sketch_->Counter(inst, w));
+      for (uint32_t d = 0; d < dims_; ++d) {
+        prod *= q_factor[d][((w >> d) & 1) ? 0 : 1];
+      }
+      acc += prod;
+    }
+    z[inst] = acc;
+  }
+  return MedianOfMeans(z, schema_->k1(), schema_->k2());
+}
+
+double RangeQueryEstimator::EstimateSelectivity(const Box& query) const {
+  const int64_t n = sketch_->num_objects();
+  if (n <= 0) return 0.0;
+  return EstimateCount(query) / static_cast<double>(n);
+}
+
+}  // namespace spatialsketch

@@ -1,0 +1,79 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Range-query selectivity estimation (Section 6.4 / Lemma 9).
+//
+// A 1-d interval [a, b] overlaps query [u, v] iff its upper endpoint lies
+// in [u, v] or v lies in [a, b] — mutually exclusive and exhaustive under
+// Assumption 1. The sketch therefore only needs the interval covers (I)
+// and upper-endpoint covers (U) of the data; the query contributes its own
+// cover sums at estimation time:
+//     Z = xi_bar[u,v] * X_U + xi_bar[v] * X_I,
+// generalized in d dimensions to Z = sum over w in {I,U}^d of
+// X_w * prod_i q_{wbar[i]}. Assumption 1 is enforced with the endpoint
+// transformation, shrinking the QUERY (the "S side" of this degenerate
+// join) rather than the data.
+
+#ifndef SPATIALSKETCH_ESTIMATORS_RANGE_QUERY_ESTIMATOR_H_
+#define SPATIALSKETCH_ESTIMATORS_RANGE_QUERY_ESTIMATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/geom/box.h"
+#include "src/sketch/dataset_sketch.h"
+#include "src/sketch/schema.h"
+
+namespace spatialsketch {
+
+struct RangeEstimatorOptions {
+  uint32_t dims = 1;
+  uint32_t log2_domain = 16;  ///< original domain bits
+  uint32_t max_level = DyadicDomain::kNoCap;
+  /// Section 6.5: choose per-dimension caps minimizing the data's
+  /// marginal self-join sizes (queries are unknown at build time, so the
+  /// statistic is data-only).
+  bool auto_max_level = false;
+  uint32_t k1 = 64;
+  uint32_t k2 = 9;
+  uint64_t seed = 1;
+};
+
+/// Maintains a RangeShape sketch of one dataset and answers range-count
+/// estimates for arbitrary query boxes. Supports incremental updates.
+class RangeQueryEstimator {
+ public:
+  /// Builds the estimator and bulk-loads `boxes` (degenerate boxes are
+  /// dropped: they cannot satisfy strict overlap).
+  static Result<RangeQueryEstimator> Build(const std::vector<Box>& boxes,
+                                           const RangeEstimatorOptions& opt);
+
+  /// Streaming maintenance (boxes in ORIGINAL coordinates).
+  void Insert(const Box& box);
+  void Delete(const Box& box);
+
+  /// Estimated |Q(query, R)| for a query box in ORIGINAL coordinates; the
+  /// query must be non-degenerate in every dimension.
+  double EstimateCount(const Box& query) const;
+
+  /// Estimated selectivity (count / |R|); 0 for an empty dataset.
+  double EstimateSelectivity(const Box& query) const;
+
+  int64_t num_objects() const { return sketch_->num_objects(); }
+  uint64_t MemoryWords() const { return sketch_->MemoryWords(); }
+  const SchemaPtr& schema() const { return schema_; }
+
+ private:
+  RangeQueryEstimator(SchemaPtr schema, std::unique_ptr<DatasetSketch> sketch,
+                      uint32_t dims)
+      : schema_(std::move(schema)), sketch_(std::move(sketch)), dims_(dims) {}
+
+  SchemaPtr schema_;
+  std::unique_ptr<DatasetSketch> sketch_;
+  uint32_t dims_;
+};
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_ESTIMATORS_RANGE_QUERY_ESTIMATOR_H_

@@ -1,0 +1,50 @@
+#include "src/estimators/sizing.h"
+
+#include <cmath>
+
+namespace spatialsketch {
+
+Result<SizingResult> SizeForGuarantee(double epsilon, double phi,
+                                      double variance_bound,
+                                      double expected_value) {
+  if (!(epsilon > 0.0 && epsilon < 1.0)) {
+    return Status::InvalidArgument("epsilon must be in (0, 1)");
+  }
+  if (!(phi > 0.0 && phi < 1.0)) {
+    return Status::InvalidArgument("phi must be in (0, 1)");
+  }
+  if (!(variance_bound >= 0.0)) {
+    return Status::InvalidArgument("variance bound must be non-negative");
+  }
+  if (!(expected_value > 0.0)) {
+    return Status::InvalidArgument("expected value must be positive");
+  }
+  SizingResult out;
+  const double k1 =
+      std::ceil(8.0 * variance_bound /
+                (epsilon * epsilon * expected_value * expected_value));
+  out.k1 = static_cast<uint32_t>(std::max(1.0, k1));
+  uint32_t k2 = static_cast<uint32_t>(std::ceil(2.0 * std::log2(1.0 / phi)));
+  if (k2 < 1) k2 = 1;
+  if (k2 % 2 == 0) ++k2;  // odd medians are strictly order statistics
+  out.k2 = k2;
+  out.instances = static_cast<uint64_t>(out.k1) * out.k2;
+  return out;
+}
+
+double JoinVarianceBound(double sj_r, double sj_s, uint32_t dims) {
+  const double num = std::pow(3.0, dims) - 1.0;
+  const double den = std::pow(4.0, dims);
+  return num / den * sj_r * sj_s;
+}
+
+double EpsJoinVarianceBound(double sj_points, double sj_boxes,
+                            uint32_t dims) {
+  return (std::pow(3.0, dims) - 1.0) * sj_points * sj_boxes;
+}
+
+double RangeQueryVarianceBound(double sj_r, uint32_t log2_domain) {
+  return 2.0 * (3.0 * log2_domain + 1.0) * sj_r;
+}
+
+}  // namespace spatialsketch

@@ -1,0 +1,58 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Space sizing from quality guarantees (Lemma 1 / Theorems 1-3): with
+// Var[Z] <= V and E[Z] = Q, using k1 = 8 V / (eps^2 Q^2) instances per
+// group and k2 = 2 lg(1/phi) groups, the median-of-means estimate is
+// within relative error eps of Q with probability >= 1 - phi.
+//
+// The variance bounds plugged in per estimator:
+//   spatial join, d dims:   V = (3^d - 1)/4^d * SJ(R) * SJ(S)
+//                           (d=1 and d=2 give the paper's 1/2 SJ SJ)
+//   eps-join, d dims:       V = (3^d - 1) * SJ(X_E) * SJ(Y_I)
+//   range query, 1-d:       V = 2 (3 log2 n + 1) * SJ(R)
+//
+// Like every guarantee-driven sizing (Section 2.3 discussion), these need
+// (an estimate or sanity bound of) the unknown E[Z]; callers supply it
+// from pilot sketches, historical answers, or lower bounds.
+
+#ifndef SPATIALSKETCH_ESTIMATORS_SIZING_H_
+#define SPATIALSKETCH_ESTIMATORS_SIZING_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+
+namespace spatialsketch {
+
+struct SizingResult {
+  uint32_t k1 = 1;
+  uint32_t k2 = 1;
+  uint64_t instances = 1;  ///< k1 * k2
+
+  /// Paper-accounted words per dataset for a shape with `shape_words`
+  /// counters (one amortized seed word per instance).
+  uint64_t WordsPerDataset(uint32_t shape_words) const {
+    return instances * (shape_words + 1);
+  }
+};
+
+/// Generic Lemma-1 sizing: k1 = ceil(8 V / (eps^2 Q^2)), k2 = the smallest
+/// odd integer >= 2*lg(1/phi). Requires eps, phi in (0, 1), V >= 0, Q > 0.
+Result<SizingResult> SizeForGuarantee(double epsilon, double phi,
+                                      double variance_bound,
+                                      double expected_value);
+
+/// Variance bound of the d-dimensional spatial-join estimator
+/// (Theorem 3): (3^d - 1)/4^d * sj_r * sj_s.
+double JoinVarianceBound(double sj_r, double sj_s, uint32_t dims);
+
+/// Variance bound of the d-dimensional eps-join estimator (Lemma 8).
+double EpsJoinVarianceBound(double sj_points, double sj_boxes, uint32_t dims);
+
+/// Variance bound of the 1-d range-query estimator (Lemma 9);
+/// log2_domain is log2 of the (transformed) domain size.
+double RangeQueryVarianceBound(double sj_r, uint32_t log2_domain);
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_ESTIMATORS_SIZING_H_

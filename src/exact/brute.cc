@@ -1,0 +1,59 @@
+#include "src/exact/brute.h"
+
+namespace spatialsketch {
+
+uint64_t BruteJoinCount(const std::vector<Box>& r, const std::vector<Box>& s,
+                        uint32_t dims) {
+  uint64_t count = 0;
+  for (const Box& rb : r) {
+    for (const Box& sb : s) {
+      if (Overlaps(rb, sb, dims)) ++count;
+    }
+  }
+  return count;
+}
+
+uint64_t BruteExtendedJoinCount(const std::vector<Box>& r,
+                                const std::vector<Box>& s, uint32_t dims) {
+  uint64_t count = 0;
+  for (const Box& rb : r) {
+    for (const Box& sb : s) {
+      if (OverlapsExtended(rb, sb, dims)) ++count;
+    }
+  }
+  return count;
+}
+
+uint64_t BruteContainmentCount(const std::vector<Box>& r,
+                               const std::vector<Box>& s, uint32_t dims) {
+  uint64_t count = 0;
+  for (const Box& rb : r) {
+    for (const Box& sb : s) {
+      if (Contains(sb, rb, dims)) ++count;
+    }
+  }
+  return count;
+}
+
+uint64_t BruteEpsJoinCount(const std::vector<Box>& a,
+                           const std::vector<Box>& b, uint32_t dims,
+                           Coord eps) {
+  uint64_t count = 0;
+  for (const Box& pa : a) {
+    for (const Box& pb : b) {
+      if (LInfDistance(pa, pb, dims) <= eps) ++count;
+    }
+  }
+  return count;
+}
+
+uint64_t BruteRangeCount(const std::vector<Box>& r, const Box& q,
+                         uint32_t dims) {
+  uint64_t count = 0;
+  for (const Box& rb : r) {
+    if (Overlaps(rb, q, dims)) ++count;
+  }
+  return count;
+}
+
+}  // namespace spatialsketch

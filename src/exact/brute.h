@@ -1,0 +1,41 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// O(|R|*|S|) reference implementations of every query the library
+// estimates. These define ground truth in the test suite and back the
+// faster algorithms' property tests; they are also usable directly for
+// small datasets.
+
+#ifndef SPATIALSKETCH_EXACT_BRUTE_H_
+#define SPATIALSKETCH_EXACT_BRUTE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/geom/box.h"
+
+namespace spatialsketch {
+
+/// |R join_o S| under strict Definition-1 overlap.
+uint64_t BruteJoinCount(const std::vector<Box>& r, const std::vector<Box>& s,
+                        uint32_t dims);
+
+/// |R join+_o S| under extended Definition-4 overlap (boundaries count).
+uint64_t BruteExtendedJoinCount(const std::vector<Box>& r,
+                                const std::vector<Box>& s, uint32_t dims);
+
+/// Containment join |{(r, s) : r contained in s}| (Appendix B.2).
+uint64_t BruteContainmentCount(const std::vector<Box>& r,
+                               const std::vector<Box>& s, uint32_t dims);
+
+/// eps-join of point sets under L-infinity distance (Definition 2).
+uint64_t BruteEpsJoinCount(const std::vector<Box>& a,
+                           const std::vector<Box>& b, uint32_t dims,
+                           Coord eps);
+
+/// Range query |Q(q, R)| (Definition 3, strict overlap semantics).
+uint64_t BruteRangeCount(const std::vector<Box>& r, const Box& q,
+                         uint32_t dims);
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_EXACT_BRUTE_H_

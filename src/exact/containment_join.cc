@@ -1,0 +1,41 @@
+#include "src/exact/containment_join.h"
+
+#include <algorithm>
+
+#include "src/exact/fenwick.h"
+
+namespace spatialsketch {
+
+uint64_t ExactContainmentCount1D(const std::vector<Box>& r,
+                                 const std::vector<Box>& s) {
+  if (r.empty() || s.empty()) return 0;
+  // Sweep r by lower endpoint ascending; maintain the outer candidates s
+  // with l_s <= l_r in a Fenwick keyed by u_s, and count u_s >= u_r.
+  std::vector<std::pair<Coord, Coord>> rs;  // (l_r, u_r)
+  std::vector<std::pair<Coord, Coord>> ss;  // (l_s, u_s)
+  Coord max_u = 0;
+  for (const Box& b : r) {
+    rs.emplace_back(b.lo[0], b.hi[0]);
+    max_u = std::max(max_u, b.hi[0]);
+  }
+  for (const Box& b : s) {
+    ss.emplace_back(b.lo[0], b.hi[0]);
+    max_u = std::max(max_u, b.hi[0]);
+  }
+  std::sort(rs.begin(), rs.end());
+  std::sort(ss.begin(), ss.end());
+
+  Fenwick uppers(max_u + 1);
+  uint64_t count = 0;
+  size_t j = 0;
+  for (const auto& [lr, ur] : rs) {
+    while (j < ss.size() && ss[j].first <= lr) {
+      uppers.Add(ss[j].second, +1);
+      ++j;
+    }
+    count += static_cast<uint64_t>(uppers.RangeCount(ur, max_u));
+  }
+  return count;
+}
+
+}  // namespace spatialsketch

@@ -1,0 +1,23 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Exact containment-join cardinality (Appendix B.2): pairs (r, s) with r
+// contained in s. The 1-d case is dominance counting over (lower, upper)
+// endpoint pairs, solved with a Fenwick tree in O(N log N).
+
+#ifndef SPATIALSKETCH_EXACT_CONTAINMENT_JOIN_H_
+#define SPATIALSKETCH_EXACT_CONTAINMENT_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/geom/box.h"
+
+namespace spatialsketch {
+
+/// |{(r, s) in R x S : l_s <= l_r and u_r <= u_s}| for 1-d intervals.
+uint64_t ExactContainmentCount1D(const std::vector<Box>& r,
+                                 const std::vector<Box>& s);
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_EXACT_CONTAINMENT_JOIN_H_

@@ -1,0 +1,94 @@
+#include "src/exact/eps_join.h"
+
+#include <algorithm>
+
+#include "src/common/macros.h"
+#include "src/exact/fenwick.h"
+
+namespace spatialsketch {
+
+std::vector<Box> ExpandEpsSquares(const std::vector<Box>& b, uint32_t dims,
+                                  Coord eps, uint32_t log2_size) {
+  const Coord max_coord = (Coord{1} << log2_size) - 1;
+  std::vector<Box> out;
+  out.reserve(b.size());
+  for (const Box& p : b) {
+    Box sq;
+    for (uint32_t i = 0; i < dims; ++i) {
+      SKETCH_DCHECK(p.lo[i] == p.hi[i]);
+      sq.lo[i] = p.lo[i] >= eps ? p.lo[i] - eps : 0;
+      sq.hi[i] = p.lo[i] + eps <= max_coord ? p.lo[i] + eps : max_coord;
+    }
+    out.push_back(sq);
+  }
+  return out;
+}
+
+uint64_t ExactEpsJoinCount2D(const std::vector<Box>& a,
+                             const std::vector<Box>& b, Coord eps) {
+  if (a.empty() || b.empty()) return 0;
+
+  // Sweep events over x: square activations, point queries, square
+  // deactivations. Closed predicates demand start <= query <= end order at
+  // equal coordinates.
+  enum EventKind { kStart = 0, kPoint = 1, kEnd = 2 };
+  struct Event {
+    Coord x;
+    EventKind kind;
+    Coord y_lo;
+    Coord y_hi;  // for kPoint, y_lo == y_hi == point y
+  };
+
+  std::vector<Event> events;
+  events.reserve(a.size() + 2 * b.size());
+  Coord max_y = 0;
+  for (const Box& p : a) {
+    SKETCH_DCHECK(p.lo[0] == p.hi[0] && p.lo[1] == p.hi[1]);
+    events.push_back({p.lo[0], kPoint, p.lo[1], p.lo[1]});
+    max_y = std::max(max_y, p.lo[1]);
+  }
+  for (const Box& p : b) {
+    SKETCH_DCHECK(p.lo[0] == p.hi[0] && p.lo[1] == p.hi[1]);
+    const Coord x_lo = p.lo[0] >= eps ? p.lo[0] - eps : 0;
+    const Coord x_hi = p.lo[0] + eps;  // clamping unnecessary: A-points are
+                                       // in-domain so larger x never matches
+    const Coord y_lo = p.lo[1] >= eps ? p.lo[1] - eps : 0;
+    const Coord y_hi = p.lo[1] + eps;
+    events.push_back({x_lo, kStart, y_lo, y_hi});
+    events.push_back({x_hi, kEnd, y_lo, y_hi});
+    max_y = std::max(max_y, y_hi);
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a2, const Event& b2) {
+    if (a2.x != b2.x) return a2.x < b2.x;
+    return a2.kind < b2.kind;
+  });
+
+  Fenwick lower(max_y + 1);
+  Fenwick upper(max_y + 1);
+  uint64_t count = 0;
+  for (const Event& e : events) {
+    switch (e.kind) {
+      case kStart:
+        lower.Add(e.y_lo, +1);
+        upper.Add(e.y_hi, +1);
+        break;
+      case kEnd:
+        lower.Add(e.y_lo, -1);
+        upper.Add(e.y_hi, -1);
+        break;
+      case kPoint: {
+        const Coord y = e.y_lo;
+        const int64_t active = lower.total();
+        // Active squares failing the closed y-test: end below y or start
+        // above y (disjoint events).
+        const int64_t ends_below = y == 0 ? 0 : upper.PrefixCount(y - 1);
+        const int64_t starts_above = active - lower.PrefixCount(y);
+        count += static_cast<uint64_t>(active - ends_below - starts_above);
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace spatialsketch

@@ -1,0 +1,31 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Exact eps-join cardinality for 2-d point sets under L-infinity distance
+// (Definition 2): |{(a, b) : dist_inf(a, b) <= eps}|. Equivalent to
+// counting containments of A-points in the side-2eps squares centered at
+// B-points (Section 6.3), which a plane sweep counts in O(N log N).
+
+#ifndef SPATIALSKETCH_EXACT_EPS_JOIN_H_
+#define SPATIALSKETCH_EXACT_EPS_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/geom/box.h"
+
+namespace spatialsketch {
+
+/// Exact 2-d eps-join count. Inputs are degenerate boxes (points).
+uint64_t ExactEpsJoinCount2D(const std::vector<Box>& a,
+                             const std::vector<Box>& b, Coord eps);
+
+/// Expand point set B into the closed L-infinity eps-squares B' of
+/// Section 6.3, clamped to the domain [0, 2^log2_size). Containment of an
+/// in-domain point in the clamped square is equivalent to the distance
+/// predicate.
+std::vector<Box> ExpandEpsSquares(const std::vector<Box>& b, uint32_t dims,
+                                  Coord eps, uint32_t log2_size);
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_EXACT_EPS_JOIN_H_

@@ -1,0 +1,54 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Fenwick (binary indexed) tree over integer coordinates; supports point
+// add and prefix-count queries. Used by the exact plane-sweep joins.
+
+#ifndef SPATIALSKETCH_EXACT_FENWICK_H_
+#define SPATIALSKETCH_EXACT_FENWICK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/macros.h"
+
+namespace spatialsketch {
+
+/// Counting Fenwick tree over positions [0, size).
+class Fenwick {
+ public:
+  explicit Fenwick(uint64_t size) : tree_(size + 1, 0), total_(0) {}
+
+  /// Add delta at position pos.
+  void Add(uint64_t pos, int64_t delta) {
+    SKETCH_DCHECK(pos + 1 < tree_.size() + 1);
+    total_ += delta;
+    for (uint64_t i = pos + 1; i < tree_.size(); i += i & (~i + 1)) {
+      tree_[i] += delta;
+    }
+  }
+
+  /// Count of items at positions <= pos.
+  int64_t PrefixCount(uint64_t pos) const {
+    if (pos + 1 >= tree_.size()) return total_;
+    int64_t sum = 0;
+    for (uint64_t i = pos + 1; i > 0; i -= i & (~i + 1)) sum += tree_[i];
+    return sum;
+  }
+
+  /// Count of items at positions in [lo, hi] (inclusive); 0 if lo > hi.
+  int64_t RangeCount(uint64_t lo, uint64_t hi) const {
+    if (lo > hi) return 0;
+    const int64_t below = lo == 0 ? 0 : PrefixCount(lo - 1);
+    return PrefixCount(hi) - below;
+  }
+
+  int64_t total() const { return total_; }
+
+ private:
+  std::vector<int64_t> tree_;
+  int64_t total_;
+};
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_EXACT_FENWICK_H_

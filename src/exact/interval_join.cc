@@ -1,0 +1,70 @@
+#include "src/exact/interval_join.h"
+
+#include <algorithm>
+
+#include "src/common/macros.h"
+
+namespace spatialsketch {
+
+namespace {
+
+// Shared skeleton: overlap(r, s) fails iff u_r <= l_s + slack or
+// u_s <= l_r + slack in the "strict" sense. With slack semantics:
+//   strict overlap   fails iff u_r <= l_s  or  u_s <= l_r
+//   extended overlap fails iff u_r <  l_s  or  u_s <  l_r
+// The two events are disjoint (strict case needs non-degenerate
+// intervals; extended case is disjoint unconditionally), so
+//   |join| = |R||S| - sum_s #{r : r ends before s} - sum_s #{r : r starts
+//   after s}.
+uint64_t JoinCountImpl(const std::vector<Box>& r, const std::vector<Box>& s,
+                       bool extended) {
+  if (r.empty() || s.empty()) return 0;
+  std::vector<Coord> r_upper;
+  std::vector<Coord> r_lower;
+  r_upper.reserve(r.size());
+  r_lower.reserve(r.size());
+  for (const Box& b : r) {
+    SKETCH_DCHECK(extended || b.lo[0] < b.hi[0]);
+    r_upper.push_back(b.hi[0]);
+    r_lower.push_back(b.lo[0]);
+  }
+  std::sort(r_upper.begin(), r_upper.end());
+  std::sort(r_lower.begin(), r_lower.end());
+
+  uint64_t disjoint = 0;
+  for (const Box& b : s) {
+    SKETCH_DCHECK(extended || b.lo[0] < b.hi[0]);
+    if (extended) {
+      // #r with u_r < l_s
+      disjoint += std::lower_bound(r_upper.begin(), r_upper.end(), b.lo[0]) -
+                  r_upper.begin();
+      // #r with l_r > u_s
+      disjoint += r_lower.end() -
+                  std::upper_bound(r_lower.begin(), r_lower.end(), b.hi[0]);
+    } else {
+      // #r with u_r <= l_s
+      disjoint += std::upper_bound(r_upper.begin(), r_upper.end(), b.lo[0]) -
+                  r_upper.begin();
+      // #r with l_r >= u_s
+      disjoint += r_lower.end() -
+                  std::lower_bound(r_lower.begin(), r_lower.end(), b.hi[0]);
+    }
+  }
+  const uint64_t all = static_cast<uint64_t>(r.size()) * s.size();
+  SKETCH_DCHECK(disjoint <= all);
+  return all - disjoint;
+}
+
+}  // namespace
+
+uint64_t ExactIntervalJoinCount(const std::vector<Box>& r,
+                                const std::vector<Box>& s) {
+  return JoinCountImpl(r, s, /*extended=*/false);
+}
+
+uint64_t ExactExtendedIntervalJoinCount(const std::vector<Box>& r,
+                                        const std::vector<Box>& s) {
+  return JoinCountImpl(r, s, /*extended=*/true);
+}
+
+}  // namespace spatialsketch

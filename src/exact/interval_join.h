@@ -1,0 +1,30 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Exact 1-d interval-join cardinality in O((|R|+|S|) log |R|) by counting
+// the complement: two intervals fail strict Definition-1 overlap iff one
+// ends at or before the other starts; the two failure events are disjoint
+// for non-degenerate intervals. Used as ground truth at benchmark scale.
+
+#ifndef SPATIALSKETCH_EXACT_INTERVAL_JOIN_H_
+#define SPATIALSKETCH_EXACT_INTERVAL_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/geom/box.h"
+
+namespace spatialsketch {
+
+/// |R join_o S| for 1-d interval sets (boxes interpreted in dimension 0).
+/// Intervals must be non-degenerate (lo < hi); degenerate inputs cannot
+/// contribute to a strict join and are rejected by a debug check.
+uint64_t ExactIntervalJoinCount(const std::vector<Box>& r,
+                                const std::vector<Box>& s);
+
+/// Extended (Definition 4) 1-d join count: boundary meetings also join.
+uint64_t ExactExtendedIntervalJoinCount(const std::vector<Box>& r,
+                                        const std::vector<Box>& s);
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_EXACT_INTERVAL_JOIN_H_

@@ -1,0 +1,23 @@
+#include "src/exact/range_query.h"
+
+namespace spatialsketch {
+
+uint64_t ExactRangeCount(const std::vector<Box>& r, const Box& q,
+                         uint32_t dims) {
+  uint64_t count = 0;
+  for (const Box& b : r) {
+    if (Overlaps(b, q, dims)) ++count;
+  }
+  return count;
+}
+
+uint64_t ExactRangeCountClosed(const std::vector<Box>& r, const Box& q,
+                               uint32_t dims) {
+  uint64_t count = 0;
+  for (const Box& b : r) {
+    if (OverlapsExtended(b, q, dims)) ++count;
+  }
+  return count;
+}
+
+}  // namespace spatialsketch

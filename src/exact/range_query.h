@@ -1,0 +1,30 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Exact range-query cardinalities (Definition 3) plus the alternative
+// counting identity behind the Lemma 9 estimator: a 1-d interval [a, b]
+// overlaps query [u, v] iff its upper endpoint lies in [u, v] or v lies in
+// [a, b] — two mutually exclusive, exhaustive events (under Assumption 1).
+
+#ifndef SPATIALSKETCH_EXACT_RANGE_QUERY_H_
+#define SPATIALSKETCH_EXACT_RANGE_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/geom/box.h"
+
+namespace spatialsketch {
+
+/// |Q(q, R)| by linear scan (strict Definition-1 overlap semantics).
+uint64_t ExactRangeCount(const std::vector<Box>& r, const Box& q,
+                         uint32_t dims);
+
+/// Closed-overlap variant: counts r whose CLOSED box intersects the closed
+/// query box (what the Lemma-9 dyadic counting actually measures). Used to
+/// validate the estimator's counting identity.
+uint64_t ExactRangeCountClosed(const std::vector<Box>& r, const Box& q,
+                               uint32_t dims);
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_EXACT_RANGE_QUERY_H_

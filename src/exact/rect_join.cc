@@ -1,0 +1,165 @@
+#include "src/exact/rect_join.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/common/macros.h"
+#include "src/exact/fenwick.h"
+
+namespace spatialsketch {
+
+namespace {
+
+struct Entry {
+  Coord x_lo;
+  Coord x_hi;
+  Coord y_lo;
+  Coord y_hi;
+  uint32_t set;  // 0 = R, 1 = S
+};
+
+struct ExpiryOrder {
+  bool operator()(const Entry* a, const Entry* b) const {
+    return a->x_hi > b->x_hi;  // min-heap on upper x
+  }
+};
+
+}  // namespace
+
+uint64_t ExactRectJoinCount(const std::vector<Box>& r,
+                            const std::vector<Box>& s) {
+  if (r.empty() || s.empty()) return 0;
+
+  std::vector<Entry> entries;
+  entries.reserve(r.size() + s.size());
+  Coord max_y = 0;
+  auto add = [&](const std::vector<Box>& v, uint32_t set) {
+    for (const Box& b : v) {
+      SKETCH_DCHECK(b.lo[0] < b.hi[0] && b.lo[1] < b.hi[1]);
+      entries.push_back({b.lo[0], b.hi[0], b.lo[1], b.hi[1], set});
+      max_y = std::max(max_y, b.hi[1]);
+    }
+  };
+  add(r, 0);
+  add(s, 1);
+
+  // Activation order: increasing lower x. Ties are harmless — when the
+  // second of an equal-lower pair activates, the first is still active
+  // (its upper x exceeds the shared lower x since it is non-degenerate),
+  // so every cross pair is examined exactly once.
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.x_lo < b.x_lo; });
+
+  // Per set: active-count Fenwicks over lower/upper y.
+  Fenwick lower[2] = {Fenwick(max_y + 1), Fenwick(max_y + 1)};
+  Fenwick upper[2] = {Fenwick(max_y + 1), Fenwick(max_y + 1)};
+
+  std::priority_queue<const Entry*, std::vector<const Entry*>, ExpiryOrder>
+      expiry;
+
+  uint64_t count = 0;
+  for (const Entry& e : entries) {
+    // Deactivate everything that ends at or before this activation: the
+    // strict x-overlap condition needs x_hi > e.x_lo.
+    while (!expiry.empty() && expiry.top()->x_hi <= e.x_lo) {
+      const Entry* dead = expiry.top();
+      expiry.pop();
+      lower[dead->set].Add(dead->y_lo, -1);
+      upper[dead->set].Add(dead->y_hi, -1);
+    }
+    const uint32_t other = 1 - e.set;
+    const int64_t active = lower[other].total();
+    // y-overlap fails iff the active object ends at/below our lower y or
+    // starts at/above our upper y; the two events are disjoint for
+    // non-degenerate rectangles.
+    const int64_t ends_below = upper[other].PrefixCount(e.y_lo);
+    const int64_t starts_above =
+        active - (e.y_hi == 0 ? 0 : lower[other].PrefixCount(e.y_hi - 1));
+    count += static_cast<uint64_t>(active - ends_below - starts_above);
+
+    lower[e.set].Add(e.y_lo, +1);
+    upper[e.set].Add(e.y_hi, +1);
+    expiry.push(&e);
+  }
+  return count;
+}
+
+uint64_t GridJoinCount(const std::vector<Box>& r, const std::vector<Box>& s,
+                       uint32_t dims, uint32_t cells_per_dim) {
+  SKETCH_CHECK(dims >= 1 && dims <= kMaxDims);
+  SKETCH_CHECK(cells_per_dim >= 1);
+  if (r.empty() || s.empty()) return 0;
+
+  Coord max_c = 0;
+  for (const auto* v : {&r, &s}) {
+    for (const Box& b : *v) {
+      for (uint32_t i = 0; i < dims; ++i) max_c = std::max(max_c, b.hi[i]);
+    }
+  }
+  const Coord width = max_c / cells_per_dim + 1;
+
+  auto cell_of = [&](Coord x) { return x / width; };
+  auto flat = [&](const std::array<Coord, kMaxDims>& cell) {
+    uint64_t f = 0;
+    for (uint32_t i = 0; i < dims; ++i) f = f * cells_per_dim + cell[i];
+    return f;
+  };
+
+  uint64_t total_cells = 1;
+  for (uint32_t i = 0; i < dims; ++i) total_cells *= cells_per_dim;
+
+  // Per-cell object lists, built by rasterizing each box over the cells it
+  // touches.
+  std::vector<std::vector<uint32_t>> cells_r(total_cells);
+  std::vector<std::vector<uint32_t>> cells_s(total_cells);
+  auto rasterize = [&](const std::vector<Box>& v,
+                       std::vector<std::vector<uint32_t>>* cells) {
+    for (uint32_t idx = 0; idx < v.size(); ++idx) {
+      const Box& b = v[idx];
+      std::array<Coord, kMaxDims> lo_cell{};
+      std::array<Coord, kMaxDims> hi_cell{};
+      for (uint32_t i = 0; i < dims; ++i) {
+        lo_cell[i] = cell_of(b.lo[i]);
+        hi_cell[i] = cell_of(b.hi[i]);
+      }
+      std::array<Coord, kMaxDims> cur = lo_cell;
+      while (true) {
+        (*cells)[flat(cur)].push_back(idx);
+        uint32_t i = 0;
+        for (; i < dims; ++i) {
+          if (cur[i] < hi_cell[i]) {
+            ++cur[i];
+            for (uint32_t j = 0; j < i; ++j) cur[j] = lo_cell[j];
+            break;
+          }
+        }
+        if (i == dims) break;
+      }
+    }
+  };
+  rasterize(r, &cells_r);
+  rasterize(s, &cells_s);
+
+  // Each overlapping pair is counted in the unique cell that owns the
+  // lower corner of the pair's intersection.
+  uint64_t count = 0;
+  for (uint64_t c = 0; c < total_cells; ++c) {
+    if (cells_r[c].empty() || cells_s[c].empty()) continue;
+    for (uint32_t ir : cells_r[c]) {
+      for (uint32_t is : cells_s[c]) {
+        const Box& rb = r[ir];
+        const Box& sb = s[is];
+        if (!Overlaps(rb, sb, dims)) continue;
+        uint64_t owner = 0;
+        for (uint32_t i = 0; i < dims; ++i) {
+          const Coord corner = std::max(rb.lo[i], sb.lo[i]);
+          owner = owner * cells_per_dim + cell_of(corner);
+        }
+        if (owner == c) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace spatialsketch

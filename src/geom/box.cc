@@ -1,0 +1,45 @@
+#include "src/geom/box.h"
+
+#include <cstdio>
+
+namespace spatialsketch {
+
+bool IsValid(const Box& b, uint32_t dims) {
+  SKETCH_DCHECK(dims >= 1 && dims <= kMaxDims);
+  for (uint32_t i = 0; i < dims; ++i) {
+    if (b.lo[i] > b.hi[i]) return false;
+  }
+  return true;
+}
+
+bool IsDegenerate(const Box& b, uint32_t dims) {
+  for (uint32_t i = 0; i < dims; ++i) {
+    if (b.lo[i] == b.hi[i]) return true;
+  }
+  return false;
+}
+
+Coord LInfDistance(const Box& a, const Box& b, uint32_t dims) {
+  Coord d = 0;
+  for (uint32_t i = 0; i < dims; ++i) {
+    const Coord lo = a.lo[i] < b.lo[i] ? a.lo[i] : b.lo[i];
+    const Coord hi = a.lo[i] < b.lo[i] ? b.lo[i] : a.lo[i];
+    const Coord diff = hi - lo;
+    if (diff > d) d = diff;
+  }
+  return d;
+}
+
+std::string ToString(const Box& b, uint32_t dims) {
+  std::string out;
+  char buf[64];
+  for (uint32_t i = 0; i < dims; ++i) {
+    std::snprintf(buf, sizeof(buf), "%s[%llu,%llu]", i ? "x" : "",
+                  static_cast<unsigned long long>(b.lo[i]),
+                  static_cast<unsigned long long>(b.hi[i]));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace spatialsketch

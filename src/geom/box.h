@@ -1,0 +1,112 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// d-dimensional axis-aligned boxes over the discrete coordinate space
+// (Section 2.1). A Box stores per-dimension closed ranges [lo, hi]; the
+// number of active dimensions is carried by the dataset / query context
+// rather than by every box (they are bulk data).
+
+#ifndef SPATIALSKETCH_GEOM_BOX_H_
+#define SPATIALSKETCH_GEOM_BOX_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/common/macros.h"
+
+namespace spatialsketch {
+
+using Coord = uint64_t;
+
+/// Maximum dimensionality supported by the library. The paper's analysis
+/// covers any d; 4 dimensions cover the evaluated workloads (1-3) plus the
+/// 2d-dimensional lift used by containment joins of intervals.
+inline constexpr uint32_t kMaxDims = 4;
+
+/// Axis-aligned hyper-rectangle with closed per-dimension ranges.
+struct Box {
+  std::array<Coord, kMaxDims> lo{};
+  std::array<Coord, kMaxDims> hi{};
+
+  friend bool operator==(const Box& a, const Box& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+/// 1-d interval [l, u].
+inline Box MakeInterval(Coord l, Coord u) {
+  Box b;
+  b.lo[0] = l;
+  b.hi[0] = u;
+  return b;
+}
+
+/// 2-d rectangle [lx, ux] x [ly, uy].
+inline Box MakeRect(Coord lx, Coord ux, Coord ly, Coord uy) {
+  Box b;
+  b.lo[0] = lx;
+  b.hi[0] = ux;
+  b.lo[1] = ly;
+  b.hi[1] = uy;
+  return b;
+}
+
+/// d-dimensional point.
+inline Box MakePoint(std::array<Coord, kMaxDims> coords) {
+  Box b;
+  b.lo = coords;
+  b.hi = coords;
+  return b;
+}
+
+/// True iff the box is a valid (lo <= hi per dimension) region.
+bool IsValid(const Box& b, uint32_t dims);
+
+/// True iff the box is degenerate (zero extent) in some dimension.
+/// Degenerate objects cannot contribute to a strict spatial join
+/// (Definition 1) and are dropped by the join pipelines.
+bool IsDegenerate(const Box& b, uint32_t dims);
+
+/// Strict overlap of Definition 1: interiors intersect; boxes that only
+/// touch at a boundary do NOT overlap. Equivalent per dimension to
+/// max(lo) < min(hi).
+inline bool Overlaps(const Box& a, const Box& b, uint32_t dims) {
+  for (uint32_t i = 0; i < dims; ++i) {
+    const Coord lo = a.lo[i] > b.lo[i] ? a.lo[i] : b.lo[i];
+    const Coord hi = a.hi[i] < b.hi[i] ? a.hi[i] : b.hi[i];
+    if (!(lo < hi)) return false;
+  }
+  return true;
+}
+
+/// Extended overlap of Definition 4 (Appendix B.1): non-empty closed
+/// intersection; boundary-touching counts. Per dimension max(lo) <= min(hi).
+inline bool OverlapsExtended(const Box& a, const Box& b, uint32_t dims) {
+  for (uint32_t i = 0; i < dims; ++i) {
+    const Coord lo = a.lo[i] > b.lo[i] ? a.lo[i] : b.lo[i];
+    const Coord hi = a.hi[i] < b.hi[i] ? a.hi[i] : b.hi[i];
+    if (!(lo <= hi)) return false;
+  }
+  return true;
+}
+
+/// Containment (Appendix B.2): inner lies inside outer (closed, per
+/// dimension outer.lo <= inner.lo and inner.hi <= outer.hi).
+inline bool Contains(const Box& outer, const Box& inner, uint32_t dims) {
+  for (uint32_t i = 0; i < dims; ++i) {
+    if (!(outer.lo[i] <= inner.lo[i] && inner.hi[i] <= outer.hi[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// L-infinity distance between two points (boxes must be degenerate).
+Coord LInfDistance(const Box& a, const Box& b, uint32_t dims);
+
+/// Debug rendering, e.g. "[3,7]x[0,2]".
+std::string ToString(const Box& b, uint32_t dims);
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_GEOM_BOX_H_

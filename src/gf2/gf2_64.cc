@@ -1,0 +1,63 @@
+#include "src/gf2/gf2_64.h"
+
+namespace spatialsketch {
+namespace gf2 {
+
+namespace {
+// Low coefficients of the reduction polynomial: x^4 + x^3 + x + 1.
+constexpr uint64_t kPolyLow = 0x1Bu;
+}  // namespace
+
+Clmul128 Clmul64(uint64_t a, uint64_t b) {
+  // 4-bit windowed carry-less multiplication: precompute a * v for every
+  // 4-bit v, then combine 16 windows of b. ~16 iterations instead of 64.
+  uint64_t tab_lo[16];
+  uint64_t tab_hi[16];
+  tab_lo[0] = 0;
+  tab_hi[0] = 0;
+  tab_lo[1] = a;
+  tab_hi[1] = 0;
+  for (int v = 2; v < 16; v += 2) {
+    // tab[v] = tab[v/2] << 1; tab[v+1] = tab[v] ^ tab[1].
+    tab_lo[v] = tab_lo[v / 2] << 1;
+    tab_hi[v] = (tab_hi[v / 2] << 1) | (tab_lo[v / 2] >> 63);
+    tab_lo[v + 1] = tab_lo[v] ^ a;
+    tab_hi[v + 1] = tab_hi[v];
+  }
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  for (int w = 15; w >= 0; --w) {
+    // Shift accumulator left by 4 and fold in the next window.
+    hi = (hi << 4) | (lo >> 60);
+    lo <<= 4;
+    const uint32_t nib = static_cast<uint32_t>((b >> (4 * w)) & 0xF);
+    lo ^= tab_lo[nib];
+    hi ^= tab_hi[nib];
+  }
+  return {lo, hi};
+}
+
+uint64_t Reduce128(Clmul128 v) {
+  // hi * x^64 == hi * (x^4 + x^3 + x + 1) (mod p). The folded product has
+  // at most 4 bits above position 63, so a second tiny fold finishes.
+  Clmul128 fold = Clmul64(v.hi, kPolyLow);
+  uint64_t r = v.lo ^ fold.lo;
+  // fold.hi < 16; its reduction cannot overflow 64 bits.
+  r ^= Clmul64(fold.hi, kPolyLow).lo;
+  return r;
+}
+
+uint64_t Mul(uint64_t a, uint64_t b) { return Reduce128(Clmul64(a, b)); }
+
+uint64_t Square(uint64_t a) { return Reduce128(Clmul64(a, a)); }
+
+uint64_t Cube(uint64_t a) { return Mul(Square(a), a); }
+
+uint64_t FrobeniusPower(uint64_t a, uint32_t k) {
+  uint64_t r = a;
+  for (uint32_t i = 0; i < k; ++i) r = Square(r);
+  return r;
+}
+
+}  // namespace gf2
+}  // namespace spatialsketch

@@ -1,0 +1,49 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Arithmetic in GF(2^64) represented as polynomials over GF(2) modulo the
+// irreducible pentanomial p(x) = x^64 + x^4 + x^3 + x + 1.
+//
+// The BCH-style four-wise independent xi-families (Section 2.2 of the
+// paper) need the cube i^3 of an index i computed in a binary field that
+// contains all indices; GF(2^64) covers every domain the library supports.
+// Multiplication is portable carry-less multiplication (no PCLMUL
+// dependency); this code runs on table-build and per-query paths, not the
+// per-update hot loop, so portability beats peak speed.
+
+#ifndef SPATIALSKETCH_GF2_GF2_64_H_
+#define SPATIALSKETCH_GF2_GF2_64_H_
+
+#include <cstdint>
+
+namespace spatialsketch {
+namespace gf2 {
+
+/// 128-bit carry-less product of two 64-bit polynomials.
+struct Clmul128 {
+  uint64_t lo;
+  uint64_t hi;
+};
+
+/// Carry-less (XOR) multiplication of 64-bit polynomials a and b.
+Clmul128 Clmul64(uint64_t a, uint64_t b);
+
+/// Reduce a 128-bit polynomial modulo p(x) = x^64 + x^4 + x^3 + x + 1.
+uint64_t Reduce128(Clmul128 v);
+
+/// Product a*b in GF(2^64).
+uint64_t Mul(uint64_t a, uint64_t b);
+
+/// Square a^2 in GF(2^64) (linear over GF(2); cheaper than Mul).
+uint64_t Square(uint64_t a);
+
+/// Cube a^3 in GF(2^64). This is the map used by the BCH xi-family.
+uint64_t Cube(uint64_t a);
+
+/// a^(2^k) by repeated squaring; exposed for the Frobenius-based
+/// irreducibility self-test.
+uint64_t FrobeniusPower(uint64_t a, uint32_t k);
+
+}  // namespace gf2
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_GF2_GF2_64_H_

@@ -1,0 +1,49 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Tiny binary fields GF(2^k), k <= 16, used by the test suite to verify
+// the four-wise independence of the BCH xi-construction *exhaustively*
+// (enumerating the entire seed space, which is infeasible for GF(2^64)).
+
+#ifndef SPATIALSKETCH_GF2_GF2_SMALL_H_
+#define SPATIALSKETCH_GF2_GF2_SMALL_H_
+
+#include <cstdint>
+
+namespace spatialsketch {
+namespace gf2 {
+
+/// GF(2^Bits) with reduction polynomial x^Bits + PolyLow.
+/// PolyLow must make the full polynomial irreducible; e.g.
+/// SmallField<8, 0x1B> is the AES field x^8 + x^4 + x^3 + x + 1.
+template <int Bits, uint64_t PolyLow>
+struct SmallField {
+  static_assert(Bits >= 2 && Bits <= 16, "SmallField supports 2..16 bits");
+
+  static constexpr uint64_t kMask = (uint64_t{1} << Bits) - 1;
+
+  static uint64_t Mul(uint64_t a, uint64_t b) {
+    uint64_t acc = 0;
+    // Schoolbook carry-less multiply; operands fit in 16 bits.
+    for (int i = 0; i < Bits; ++i) {
+      if ((b >> i) & 1) acc ^= a << i;
+    }
+    // Reduce from the top down.
+    for (int i = 2 * Bits - 2; i >= Bits; --i) {
+      if ((acc >> i) & 1) {
+        acc ^= (uint64_t{1} << i);
+        acc ^= PolyLow << (i - Bits);
+      }
+    }
+    return acc & kMask;
+  }
+
+  static uint64_t Cube(uint64_t a) { return Mul(Mul(a, a), a); }
+};
+
+/// AES field, handy default for exhaustive tests over 8-bit index domains.
+using Gf256 = SmallField<8, 0x1B>;
+
+}  // namespace gf2
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_GF2_GF2_SMALL_H_

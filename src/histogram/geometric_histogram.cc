@@ -1,0 +1,67 @@
+#include "src/histogram/geometric_histogram.h"
+
+#include <algorithm>
+
+namespace spatialsketch {
+
+GeometricHistogram::GeometricHistogram(double extent, uint32_t g)
+    : grid_(extent, extent, g, g),
+      corners_(grid_.num_cells(), 0.0),
+      area_(grid_.num_cells(), 0.0),
+      hlen_(grid_.num_cells(), 0.0),
+      vlen_(grid_.num_cells(), 0.0) {}
+
+void GeometricHistogram::Add(const Box& b, double weight) {
+  const double lx = static_cast<double>(b.lo[0]);
+  const double ux = static_cast<double>(b.hi[0]);
+  const double ly = static_cast<double>(b.lo[1]);
+  const double uy = static_cast<double>(b.hi[1]);
+
+  // Corners (clamped into the grid).
+  for (const double cx : {lx, ux}) {
+    for (const double cy : {ly, uy}) {
+      corners_[grid_.CellIndex(grid_.CellX(cx), grid_.CellY(cy))] += weight;
+    }
+  }
+
+  const uint32_t cx0 = grid_.CellX(lx);
+  const uint32_t cx1 = std::max(cx0, grid_.CellXEnd(ux));
+  const uint32_t cy0 = grid_.CellY(ly);
+  const uint32_t cy1 = std::max(cy0, grid_.CellYEnd(uy));
+
+  for (uint32_t cx = cx0; cx <= cx1; ++cx) {
+    const double cell_lo_x = grid_.CellLoX(cx);
+    const double cell_hi_x = cell_lo_x + grid_.cell_width();
+    const double clip_w =
+        std::max(0.0, std::min(ux, cell_hi_x) - std::max(lx, cell_lo_x));
+    for (uint32_t cy = cy0; cy <= cy1; ++cy) {
+      const double cell_lo_y = grid_.CellLoY(cy);
+      const double cell_hi_y = cell_lo_y + grid_.cell_height();
+      const double clip_h =
+          std::max(0.0, std::min(uy, cell_hi_y) - std::max(ly, cell_lo_y));
+      const uint64_t idx = grid_.CellIndex(cx, cy);
+      area_[idx] += weight * clip_w * clip_h;
+      // The two horizontal edges contribute their clipped width to the
+      // cells containing their y coordinate; ditto vertical edges.
+      if (grid_.CellY(ly) == cy) hlen_[idx] += weight * clip_w;
+      if (grid_.CellY(uy) == cy) hlen_[idx] += weight * clip_w;
+      if (grid_.CellX(lx) == cx) vlen_[idx] += weight * clip_h;
+      if (grid_.CellX(ux) == cx) vlen_[idx] += weight * clip_h;
+    }
+  }
+}
+
+double GeometricHistogram::EstimateJoin(const GeometricHistogram& r,
+                                        const GeometricHistogram& s) {
+  SKETCH_CHECK(r.grid_.gx() == s.grid_.gx() &&
+               r.grid_.gy() == s.grid_.gy());
+  const double cell_area = r.grid_.cell_area();
+  double events = 0.0;
+  for (uint64_t c = 0; c < r.grid_.num_cells(); ++c) {
+    events += r.corners_[c] * s.area_[c] + s.corners_[c] * r.area_[c] +
+              r.hlen_[c] * s.vlen_[c] + r.vlen_[c] * s.hlen_[c];
+  }
+  return 0.25 * events / cell_area;
+}
+
+}  // namespace spatialsketch

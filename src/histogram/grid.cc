@@ -1,0 +1,31 @@
+#include "src/histogram/grid.h"
+
+#include <cmath>
+
+namespace spatialsketch {
+
+Grid2D::Grid2D(double extent_x, double extent_y, uint32_t gx, uint32_t gy)
+    : gx_(gx), gy_(gy), wx_(extent_x / gx), wy_(extent_y / gy) {
+  SKETCH_CHECK(extent_x > 0 && extent_y > 0);
+  SKETCH_CHECK(gx >= 1 && gy >= 1);
+}
+
+uint32_t Grid2D::Clamp(double cell, uint32_t g) {
+  if (cell <= 0.0) return 0;
+  const uint32_t c = static_cast<uint32_t>(cell);
+  return c >= g ? g - 1 : c;
+}
+
+uint32_t Grid2D::ClampEnd(double cell, uint32_t g) {
+  // A hi coordinate exactly on boundary k belongs to cell k-1.
+  double f = std::floor(cell);
+  uint32_t c;
+  if (cell == f && f > 0.0) {
+    c = static_cast<uint32_t>(f) - 1;
+  } else {
+    c = static_cast<uint32_t>(f);
+  }
+  return c >= g ? g - 1 : c;
+}
+
+}  // namespace spatialsketch

@@ -1,0 +1,61 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Regular-grid partitioning shared by the Geometric and Euler histogram
+// baselines (Section 7): the data space [0, extent_x) x [0, extent_y) is
+// cut into gx x gy equal cells. Geometry is handled in continuous
+// coordinates (a discrete box [lo, hi] occupies the continuous rectangle
+// [lo, hi]).
+
+#ifndef SPATIALSKETCH_HISTOGRAM_GRID_H_
+#define SPATIALSKETCH_HISTOGRAM_GRID_H_
+
+#include <cstdint>
+
+#include "src/common/macros.h"
+#include "src/geom/box.h"
+
+namespace spatialsketch {
+
+/// 2-d regular grid geometry helper.
+class Grid2D {
+ public:
+  Grid2D(double extent_x, double extent_y, uint32_t gx, uint32_t gy);
+
+  uint32_t gx() const { return gx_; }
+  uint32_t gy() const { return gy_; }
+  double cell_width() const { return wx_; }
+  double cell_height() const { return wy_; }
+  double cell_area() const { return wx_ * wy_; }
+  uint64_t num_cells() const { return static_cast<uint64_t>(gx_) * gy_; }
+
+  /// Cell column of an x coordinate (clamped into the grid).
+  uint32_t CellX(double x) const { return Clamp(x / wx_, gx_); }
+  uint32_t CellY(double y) const { return Clamp(y / wy_, gy_); }
+
+  /// Last cell column positively intersected by [lo, hi]: a coordinate
+  /// exactly on a cell boundary belongs to the lower cell so zero-width
+  /// slivers are not produced.
+  uint32_t CellXEnd(double hi) const { return ClampEnd(hi / wx_, gx_); }
+  uint32_t CellYEnd(double hi) const { return ClampEnd(hi / wy_, gy_); }
+
+  uint64_t CellIndex(uint32_t cx, uint32_t cy) const {
+    SKETCH_DCHECK(cx < gx_ && cy < gy_);
+    return static_cast<uint64_t>(cy) * gx_ + cx;
+  }
+
+  double CellLoX(uint32_t cx) const { return cx * wx_; }
+  double CellLoY(uint32_t cy) const { return cy * wy_; }
+
+ private:
+  static uint32_t Clamp(double cell, uint32_t g);
+  static uint32_t ClampEnd(double cell, uint32_t g);
+
+  uint32_t gx_;
+  uint32_t gy_;
+  double wx_;
+  double wy_;
+};
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_HISTOGRAM_GRID_H_

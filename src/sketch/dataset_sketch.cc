@@ -1,0 +1,463 @@
+#include "src/sketch/dataset_sketch.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "src/gf2/gf2_64.h"
+#include "src/xi/bch_family.h"
+#include "src/xi/sign_table.h"
+
+namespace spatialsketch {
+
+namespace {
+
+// Instances per bulk-load batch: bounds sign-table memory to
+// kBlocksPerBatch * num_ids * 8 bytes per dimension (per worker thread).
+constexpr uint32_t kBlocksPerBatch = 8;
+constexpr uint32_t kInstancesPerBatch = kBlocksPerBatch * 64;
+
+// Spread the 8 bits of a byte into the 8 byte lanes of a word: bit b of
+// `bits` becomes 0x01 in byte b. (Table-driven: the multiply-shift idioms
+// either reverse the bit order or need per-byte normalization; lane order
+// must be preserved exactly, since instance lanes pair sketch counters
+// with per-instance seeds elsewhere.)
+struct SpreadTable {
+  uint64_t v[256];
+  constexpr SpreadTable() : v() {
+    for (int b = 0; b < 256; ++b) {
+      uint64_t out = 0;
+      for (int m = 0; m < 8; ++m) {
+        if ((b >> m) & 1) out |= uint64_t{1} << (8 * m);
+      }
+      v[b] = out;
+    }
+  }
+};
+constexpr SpreadTable kSpreadTable;
+
+inline uint64_t SpreadBitsToBytes(uint64_t bits) {
+  return kSpreadTable.v[bits & 0xFF];
+}
+
+// Per-lane minus-counts of m <= 255 signs, bit-sliced then packed into 64
+// byte lanes: byte j of out8[j/8] counts the ids whose xi is -1 for lane
+// j. Bit `lane` of row[id] set means xi = -1.
+void CountMinusPacked(const uint64_t* row, const uint64_t* ids, size_t m,
+                      uint64_t out8[8]) {
+  for (int g = 0; g < 8; ++g) out8[g] = 0;
+  size_t done = 0;
+  while (done < m) {
+    const size_t chunk = std::min<size_t>(63, m - done);
+    uint64_t planes[6] = {0, 0, 0, 0, 0, 0};
+    for (size_t i = 0; i < chunk; ++i) {
+      uint64_t carry = row[ids[done + i]];
+      for (uint32_t k = 0; carry != 0 && k < 6; ++k) {
+        const uint64_t t = planes[k] & carry;
+        planes[k] ^= carry;
+        carry = t;
+      }
+    }
+    for (uint32_t k = 0; k < 6; ++k) {
+      if (planes[k] == 0) continue;
+      const uint64_t plane = planes[k];
+      for (int g = 0; g < 8; ++g) {
+        out8[g] += SpreadBitsToBytes((plane >> (8 * g)) & 0xFF) << k;
+      }
+    }
+    done += chunk;
+  }
+}
+
+// Per-lane minus-counts for arbitrary m into 32-bit counters.
+void CountMinusWide(const uint64_t* row, const uint64_t* ids, size_t m,
+                    int32_t out[64]) {
+  std::fill(out, out + 64, 0);
+  uint64_t packed[8];
+  size_t done = 0;
+  while (done < m) {
+    const size_t part = std::min<size_t>(252, m - done);
+    CountMinusPacked(row, ids + done, part, packed);
+    for (uint32_t j = 0; j < 64; ++j) {
+      out[j] += static_cast<int32_t>((packed[j >> 3] >> ((j & 7) * 8)) &
+                                     0xFF);
+    }
+    done += part;
+  }
+}
+
+}  // namespace
+
+DatasetSketch::DatasetSketch(SchemaPtr schema, Shape shape)
+    : schema_(std::move(schema)), shape_(std::move(shape)) {
+  SKETCH_CHECK(schema_ != nullptr);
+  SKETCH_CHECK(shape_.size() >= 1);
+  counters_.assign(
+      static_cast<size_t>(schema_->instances()) * shape_.size(), 0);
+  ComputeNeeds();
+}
+
+void DatasetSketch::ComputeNeeds() {
+  needs_.assign(schema_->dims(), DimNeeds{});
+  for (const Word& w : shape_.words()) {
+    for (uint32_t d = 0; d < schema_->dims(); ++d) {
+      switch (w.letters[d]) {
+        case Letter::kI:
+          needs_[d].group[kGroupI] = true;
+          break;
+        case Letter::kE:
+          needs_[d].group[kGroupL] = true;
+          needs_[d].group[kGroupU] = true;
+          break;
+        case Letter::kL:
+          needs_[d].group[kGroupL] = true;
+          break;
+        case Letter::kU:
+          needs_[d].group[kGroupU] = true;
+          break;
+        case Letter::kLeafL:
+          needs_[d].leaf_lower = true;
+          break;
+        case Letter::kLeafU:
+          needs_[d].leaf_upper = true;
+          break;
+      }
+    }
+  }
+}
+
+void DatasetSketch::GatherIds(const Box& box, uint32_t dim) {
+  const DyadicDomain& dom = schema_->domain(dim);
+  SKETCH_DCHECK(box.lo[dim] <= box.hi[dim]);
+  SKETCH_DCHECK(box.hi[dim] < dom.size());
+  for (auto& v : scratch_ids_) v.clear();
+  if (needs_[dim].group[kGroupI]) {
+    dom.ForEachCoverId(box.lo[dim], box.hi[dim], [&](uint64_t id) {
+      scratch_ids_[kGroupI].push_back(id);
+    });
+  }
+  if (needs_[dim].group[kGroupL]) {
+    dom.ForEachPointCoverId(box.lo[dim], [&](uint64_t id) {
+      scratch_ids_[kGroupL].push_back(id);
+    });
+  }
+  if (needs_[dim].group[kGroupU]) {
+    dom.ForEachPointCoverId(box.hi[dim], [&](uint64_t id) {
+      scratch_ids_[kGroupU].push_back(id);
+    });
+  }
+}
+
+int64_t DatasetSketch::LetterValue(Letter l, const int32_t* sums,
+                                   int32_t leaf_l, int32_t leaf_u) {
+  switch (l) {
+    case Letter::kI:
+      return sums[kGroupI];
+    case Letter::kE:
+      return sums[kGroupL] + sums[kGroupU];
+    case Letter::kL:
+      return sums[kGroupL];
+    case Letter::kU:
+      return sums[kGroupU];
+    case Letter::kLeafL:
+      return leaf_l;
+    case Letter::kLeafU:
+      return leaf_u;
+  }
+  SKETCH_CHECK(false);
+  return 0;
+}
+
+void DatasetSketch::Update(const Box& box, const Box& leaf_box, int sign) {
+  const uint32_t dims = schema_->dims();
+  const uint32_t instances = schema_->instances();
+  const uint32_t num_words = shape_.size();
+
+  // Per-dimension gathered ids with precomputed GF(2^64) cubes (the cube
+  // depends only on the id, so it is shared across all instances).
+  struct DimData {
+    std::vector<uint64_t> ids[kNumGroups];
+    std::vector<uint64_t> cubes[kNumGroups];
+    uint64_t leaf_l_id = 0, leaf_l_cube = 0;
+    uint64_t leaf_u_id = 0, leaf_u_cube = 0;
+  };
+  std::vector<DimData> dim_data(dims);
+  for (uint32_t d = 0; d < dims; ++d) {
+    GatherIds(box, d);
+    for (uint32_t g = 0; g < kNumGroups; ++g) {
+      dim_data[d].ids[g] = scratch_ids_[g];
+      dim_data[d].cubes[g].reserve(scratch_ids_[g].size());
+      for (uint64_t id : scratch_ids_[g]) {
+        dim_data[d].cubes[g].push_back(gf2::Cube(id));
+      }
+    }
+    const DyadicDomain& dom = schema_->domain(d);
+    if (needs_[d].leaf_lower) {
+      dim_data[d].leaf_l_id = dom.LeafId(leaf_box.lo[d]);
+      dim_data[d].leaf_l_cube = gf2::Cube(dim_data[d].leaf_l_id);
+    }
+    if (needs_[d].leaf_upper) {
+      dim_data[d].leaf_u_id = dom.LeafId(leaf_box.hi[d]);
+      dim_data[d].leaf_u_cube = gf2::Cube(dim_data[d].leaf_u_id);
+    }
+  }
+
+  int64_t letter_vals[kMaxDims][6];
+  for (uint32_t inst = 0; inst < instances; ++inst) {
+    for (uint32_t d = 0; d < dims; ++d) {
+      const BchXiFamily fam(schema_->seed(inst, d));
+      int32_t sums[kNumGroups] = {0, 0, 0};
+      for (uint32_t g = 0; g < kNumGroups; ++g) {
+        const auto& ids = dim_data[d].ids[g];
+        const auto& cubes = dim_data[d].cubes[g];
+        int32_t s = 0;
+        for (size_t i = 0; i < ids.size(); ++i) {
+          s += fam.SignWithCube(ids[i], cubes[i]);
+        }
+        sums[g] = s;
+      }
+      int32_t leaf_l = 0, leaf_u = 0;
+      if (needs_[d].leaf_lower) {
+        leaf_l = fam.SignWithCube(dim_data[d].leaf_l_id,
+                                  dim_data[d].leaf_l_cube);
+      }
+      if (needs_[d].leaf_upper) {
+        leaf_u = fam.SignWithCube(dim_data[d].leaf_u_id,
+                                  dim_data[d].leaf_u_cube);
+      }
+      for (uint32_t li = 0; li < 6; ++li) {
+        letter_vals[d][li] =
+            LetterValue(static_cast<Letter>(li), sums, leaf_l, leaf_u);
+      }
+    }
+    int64_t* row = counters_.data() + static_cast<size_t>(inst) * num_words;
+    for (uint32_t w = 0; w < num_words; ++w) {
+      const Word& word = shape_.word(w);
+      int64_t prod = sign;
+      for (uint32_t d = 0; d < dims; ++d) {
+        prod *= letter_vals[d][static_cast<uint32_t>(word.letters[d])];
+      }
+      row[w] += prod;
+    }
+  }
+  num_objects_ += sign;
+}
+
+void DatasetSketch::BulkLoad(const std::vector<Box>& boxes, int sign) {
+  BulkLoader loader(schema_);
+  loader.Add(this, &boxes, nullptr, sign);
+  loader.Run();
+}
+
+void DatasetSketch::BulkLoadWithLeafBoxes(const std::vector<Box>& boxes,
+                                          const std::vector<Box>& leaf_boxes,
+                                          int sign) {
+  BulkLoader loader(schema_);
+  loader.Add(this, &boxes, &leaf_boxes, sign);
+  loader.Run();
+}
+
+void BulkLoader::Add(DatasetSketch* sketch, const std::vector<Box>* boxes,
+                     const std::vector<Box>* leaf_boxes, int sign) {
+  SKETCH_CHECK(sketch != nullptr && boxes != nullptr);
+  SKETCH_CHECK(sketch->schema() == schema_);
+  SKETCH_CHECK(leaf_boxes == nullptr || leaf_boxes->size() == boxes->size());
+  SKETCH_CHECK(sign == 1 || sign == -1);
+  jobs_.push_back({sketch, boxes, leaf_boxes, sign});
+}
+
+void BulkLoader::Run() {
+  if (jobs_.empty()) return;
+  const uint32_t dims = schema_->dims();
+  const uint32_t instances = schema_->instances();
+  const uint32_t num_batches =
+      (instances + kInstancesPerBatch - 1) / kInstancesPerBatch;
+
+  // Per-job update plan: which letters each dimension needs and the flat
+  // letter codes of every word (shared, read-only).
+  struct Plan {
+    bool letter_used[kMaxDims][6] = {};
+    std::vector<uint8_t> word_letters;  // [word * dims + d]
+  };
+  std::vector<Plan> plans(jobs_.size());
+  for (size_t ji = 0; ji < jobs_.size(); ++ji) {
+    const Shape& shape = jobs_[ji].sketch->shape_;
+    Plan& plan = plans[ji];
+    plan.word_letters.resize(static_cast<size_t>(shape.size()) * dims);
+    for (uint32_t w = 0; w < shape.size(); ++w) {
+      for (uint32_t d = 0; d < dims; ++d) {
+        const uint8_t code =
+            static_cast<uint8_t>(shape.word(w).letters[d]);
+        plan.word_letters[static_cast<size_t>(w) * dims + d] = code;
+        plan.letter_used[d][code] = true;
+      }
+    }
+  }
+
+  // Batches write disjoint counter ranges, so they parallelize cleanly.
+  std::atomic<uint32_t> next_batch{0};
+  auto worker = [&]() {
+    // Thread-local scratch: gathered cover ids per (dim, group), packed
+    // minus-counts per (dim, group) for one block, and wide fallbacks for
+    // covers longer than 255 ids.
+    std::vector<uint64_t> all_ids[kMaxDims][DatasetSketch::kNumGroups];
+    uint64_t packed[kMaxDims][DatasetSketch::kNumGroups][8];
+    int32_t wide[kMaxDims][DatasetSketch::kNumGroups][64];
+    bool use_wide[kMaxDims][DatasetSketch::kNumGroups];
+
+    uint32_t batch_idx;
+    while ((batch_idx = next_batch.fetch_add(1)) < num_batches) {
+      const uint32_t first = batch_idx * kInstancesPerBatch;
+      const uint32_t batch = std::min(kInstancesPerBatch, instances - first);
+      const uint32_t blocks = (batch + 63) / 64;
+
+      // Packed sign tables for this batch, shared by every job.
+      std::vector<SignTable> tables;
+      tables.reserve(dims);
+      for (uint32_t d = 0; d < dims; ++d) {
+        tables.emplace_back(schema_->SeedsForDim(d, first, batch),
+                            schema_->domain(d).num_ids());
+      }
+
+      for (size_t ji = 0; ji < jobs_.size(); ++ji) {
+        const Job& job = jobs_[ji];
+        const Plan& plan = plans[ji];
+        DatasetSketch& sk = *job.sketch;
+        const uint32_t num_words = sk.shape_.size();
+        for (size_t bi = 0; bi < job.boxes->size(); ++bi) {
+          const Box& box = (*job.boxes)[bi];
+          const Box& leaf_box =
+              job.leaf_boxes != nullptr ? (*job.leaf_boxes)[bi] : box;
+
+          // Gather cover ids once per (object, dim); shared by blocks.
+          size_t group_size[kMaxDims][DatasetSketch::kNumGroups] = {};
+          uint64_t leaf_l_id[kMaxDims] = {};
+          uint64_t leaf_u_id[kMaxDims] = {};
+          for (uint32_t d = 0; d < dims; ++d) {
+            const DyadicDomain& dom = schema_->domain(d);
+            const auto& needs = sk.needs_[d];
+            for (auto& v : all_ids[d]) v.clear();
+            if (needs.group[DatasetSketch::kGroupI]) {
+              dom.ForEachCoverId(box.lo[d], box.hi[d], [&](uint64_t id) {
+                all_ids[d][DatasetSketch::kGroupI].push_back(id);
+              });
+            }
+            if (needs.group[DatasetSketch::kGroupL]) {
+              dom.ForEachPointCoverId(box.lo[d], [&](uint64_t id) {
+                all_ids[d][DatasetSketch::kGroupL].push_back(id);
+              });
+            }
+            if (needs.group[DatasetSketch::kGroupU]) {
+              dom.ForEachPointCoverId(box.hi[d], [&](uint64_t id) {
+                all_ids[d][DatasetSketch::kGroupU].push_back(id);
+              });
+            }
+            for (uint32_t g = 0; g < DatasetSketch::kNumGroups; ++g) {
+              group_size[d][g] = all_ids[d][g].size();
+            }
+            if (needs.leaf_lower) leaf_l_id[d] = dom.LeafId(leaf_box.lo[d]);
+            if (needs.leaf_upper) leaf_u_id[d] = dom.LeafId(leaf_box.hi[d]);
+          }
+
+          for (uint32_t blk = 0; blk < blocks; ++blk) {
+            const uint32_t lanes = std::min(64u, batch - blk * 64);
+            uint64_t leaf_l_mask[kMaxDims] = {};
+            uint64_t leaf_u_mask[kMaxDims] = {};
+            for (uint32_t d = 0; d < dims; ++d) {
+              const uint64_t* row = tables[d].Row(blk);
+              const auto& needs = sk.needs_[d];
+              for (uint32_t g = 0; g < DatasetSketch::kNumGroups; ++g) {
+                const auto& gi = all_ids[d][g];
+                use_wide[d][g] = gi.size() > 255;
+                if (gi.empty()) {
+                  for (int q = 0; q < 8; ++q) packed[d][g][q] = 0;
+                } else if (use_wide[d][g]) {
+                  CountMinusWide(row, gi.data(), gi.size(), wide[d][g]);
+                } else {
+                  CountMinusPacked(row, gi.data(), gi.size(),
+                                   packed[d][g]);
+                }
+              }
+              if (needs.leaf_lower) leaf_l_mask[d] = row[leaf_l_id[d]];
+              if (needs.leaf_upper) leaf_u_mask[d] = row[leaf_u_id[d]];
+            }
+
+            int64_t letter_vals[kMaxDims][6];
+            for (uint32_t j = 0; j < lanes; ++j) {
+              const uint32_t inst = first + blk * 64 + j;
+              for (uint32_t d = 0; d < dims; ++d) {
+                int32_t gs[DatasetSketch::kNumGroups];
+                for (uint32_t g = 0; g < DatasetSketch::kNumGroups; ++g) {
+                  const int32_t v =
+                      use_wide[d][g]
+                          ? wide[d][g][j]
+                          : static_cast<int32_t>(
+                                (packed[d][g][j >> 3] >> ((j & 7) * 8)) &
+                                0xFF);
+                  gs[g] = static_cast<int32_t>(group_size[d][g]) - 2 * v;
+                }
+                const auto& used = plan.letter_used[d];
+                if (used[0]) letter_vals[d][0] = gs[DatasetSketch::kGroupI];
+                if (used[1]) {
+                  letter_vals[d][1] = gs[DatasetSketch::kGroupL] +
+                                      gs[DatasetSketch::kGroupU];
+                }
+                if (used[2]) letter_vals[d][2] = gs[DatasetSketch::kGroupL];
+                if (used[3]) letter_vals[d][3] = gs[DatasetSketch::kGroupU];
+                if (used[4]) {
+                  letter_vals[d][4] =
+                      1 - 2 * static_cast<int64_t>((leaf_l_mask[d] >> j) &
+                                                   1);
+                }
+                if (used[5]) {
+                  letter_vals[d][5] =
+                      1 - 2 * static_cast<int64_t>((leaf_u_mask[d] >> j) &
+                                                   1);
+                }
+              }
+              int64_t* row_out = sk.counters_.data() +
+                                 static_cast<size_t>(inst) * num_words;
+              const uint8_t* wl = plan.word_letters.data();
+              for (uint32_t w = 0; w < num_words; ++w) {
+                int64_t prod = job.sign;
+                for (uint32_t d = 0; d < dims; ++d) {
+                  prod *= letter_vals[d][wl[w * dims + d]];
+                }
+                row_out[w] += prod;
+              }
+            }
+          }
+        }
+      }
+    }
+  };
+
+  uint32_t num_threads = std::thread::hardware_concurrency();
+  if (num_threads == 0) num_threads = 1;
+  num_threads = std::min(num_threads, num_batches);
+  if (num_threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (uint32_t t = 0; t < num_threads; ++t) threads.emplace_back(worker);
+    for (auto& t : threads) t.join();
+  }
+
+  for (const Job& job : jobs_) {
+    job.sketch->num_objects_ +=
+        job.sign * static_cast<int64_t>(job.boxes->size());
+  }
+  jobs_.clear();
+}
+
+void DatasetSketch::Merge(const DatasetSketch& other) {
+  SKETCH_CHECK(schema_ == other.schema_);
+  SKETCH_CHECK(shape_ == other.shape_);
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+  num_objects_ += other.num_objects_;
+}
+
+}  // namespace spatialsketch

@@ -1,0 +1,151 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// DatasetSketch: the synopsis of one spatial dataset (Sections 3 and 4).
+//
+// For every boosting instance (Section 2.3) and every word of its Shape,
+// the sketch keeps one integer counter X_w = sum over objects of the
+// product, across dimensions, of the letter's xi-sum (interval cover,
+// endpoint cover(s), or leaf xi). Inserts add the contribution, deletes
+// subtract it — the synopsis is a linear projection of the data, which is
+// what makes it maintainable under arbitrary insert/delete streams and
+// mergeable across partitions.
+//
+// Two update paths produce bit-identical counters:
+//  * Insert/Delete: per-object streaming updates, O(instances * log^2 n);
+//  * BulkLoad: batches instances, precomputes packed sign tables over the
+//    (small) dyadic-id universe, and uses bit-sliced counting so the cost
+//    per (object, instance) drops to a handful of word operations.
+
+#ifndef SPATIALSKETCH_SKETCH_DATASET_SKETCH_H_
+#define SPATIALSKETCH_SKETCH_DATASET_SKETCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/geom/box.h"
+#include "src/sketch/schema.h"
+#include "src/sketch/shape.h"
+
+namespace spatialsketch {
+
+class DatasetSketch;
+/// Defined in serialize.h; declared here for the friend grant.
+Result<DatasetSketch> DeserializeSketch(const std::string& blob);
+
+class DatasetSketch {
+ public:
+  /// Sketch under `schema` maintaining the counters of `shape`.
+  DatasetSketch(SchemaPtr schema, Shape shape);
+
+  /// Streaming updates. The box must be valid within the schema domains;
+  /// leaf letters (if any in the shape) use the box's own endpoints.
+  void Insert(const Box& box) { Update(box, box, +1); }
+  void Delete(const Box& box) { Update(box, box, -1); }
+
+  /// Variant for the Appendix-B.1 extended join: interval/endpoint letters
+  /// read `box` (the shrunk-transformed geometry) while leaf letters read
+  /// `leaf_box` (the unshrunk endpoints used for equality tracking).
+  void InsertWithLeafBox(const Box& box, const Box& leaf_box) {
+    Update(box, leaf_box, +1);
+  }
+  void DeleteWithLeafBox(const Box& box, const Box& leaf_box) {
+    Update(box, leaf_box, -1);
+  }
+
+  /// Bulk-load `boxes` (sign +1) or bulk-remove (sign -1). Equivalent to
+  /// calling Insert per box but typically orders of magnitude faster.
+  void BulkLoad(const std::vector<Box>& boxes, int sign = +1);
+
+  /// Bulk variant with separate leaf boxes (parallel array; must have the
+  /// same length as boxes).
+  void BulkLoadWithLeafBoxes(const std::vector<Box>& boxes,
+                             const std::vector<Box>& leaf_boxes,
+                             int sign = +1);
+
+  /// Counter X_w of one boosting instance.
+  int64_t Counter(uint32_t instance, uint32_t word_index) const {
+    SKETCH_DCHECK(instance < schema_->instances());
+    SKETCH_DCHECK(word_index < shape_.size());
+    return counters_[static_cast<size_t>(instance) * shape_.size() +
+                     word_index];
+  }
+
+  /// Net number of objects currently summarized (inserts minus deletes).
+  int64_t num_objects() const { return num_objects_; }
+
+  const Shape& shape() const { return shape_; }
+  const SchemaPtr& schema() const { return schema_; }
+
+  /// Merge another sketch built under the SAME schema and shape (the
+  /// synopsis is linear): counters add, object counts add.
+  void Merge(const DatasetSketch& other);
+
+  /// Paper-accounted size in words (counters + amortized seed).
+  uint64_t MemoryWords() const { return schema_->WordsPerDataset(shape_); }
+
+ private:
+  friend class BulkLoader;
+  friend Result<DatasetSketch> DeserializeSketch(const std::string& blob);
+  // Per-dimension xi-sum groups a shape can require.
+  enum Group : uint32_t { kGroupI = 0, kGroupL = 1, kGroupU = 2 };
+  static constexpr uint32_t kNumGroups = 3;
+
+  struct DimNeeds {
+    bool group[kNumGroups] = {false, false, false};
+    bool leaf_lower = false;
+    bool leaf_upper = false;
+  };
+
+  void Update(const Box& box, const Box& leaf_box, int sign);
+  void ComputeNeeds();
+  void GatherIds(const Box& box, uint32_t dim);
+
+  // Letter value from per-dim group sums and leaf signs.
+  static int64_t LetterValue(Letter l, const int32_t* sums, int32_t leaf_l,
+                             int32_t leaf_u);
+
+  SchemaPtr schema_;
+  Shape shape_;
+  std::vector<int64_t> counters_;  // [instance * shape.size() + word]
+  int64_t num_objects_ = 0;
+  std::vector<DimNeeds> needs_;  // per dim
+
+  // Scratch: gathered dyadic ids per group for the current object/dim.
+  std::vector<uint64_t> scratch_ids_[kNumGroups];
+  // Scratch for the slow path: GF(2^64) cubes parallel to scratch_ids_.
+  std::vector<uint64_t> scratch_cubes_[kNumGroups];
+};
+
+/// Loads several sketches that share one schema in a single pass, so the
+/// packed sign tables (the dominant bulk-load cost) are built once per
+/// instance batch instead of once per sketch. The join pipelines use this
+/// to sketch both sides of a join together.
+class BulkLoader {
+ public:
+  explicit BulkLoader(SchemaPtr schema) : schema_(std::move(schema)) {}
+
+  /// Register a load job. `boxes` (and `leaf_boxes` if non-null, parallel
+  /// to boxes) must outlive Run(). The sketch must use this loader's
+  /// schema.
+  void Add(DatasetSketch* sketch, const std::vector<Box>* boxes,
+           const std::vector<Box>* leaf_boxes = nullptr, int sign = +1);
+
+  /// Execute all registered jobs; equivalent to per-sketch BulkLoad.
+  void Run();
+
+ private:
+  struct Job {
+    DatasetSketch* sketch;
+    const std::vector<Box>* boxes;
+    const std::vector<Box>* leaf_boxes;  // nullptr => boxes
+    int sign;
+  };
+  SchemaPtr schema_;
+  std::vector<Job> jobs_;
+};
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_SKETCH_DATASET_SKETCH_H_

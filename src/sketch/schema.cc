@@ -1,0 +1,53 @@
+#include "src/sketch/schema.h"
+
+#include "src/common/rng.h"
+
+namespace spatialsketch {
+
+Result<SchemaPtr> SketchSchema::Create(const SchemaOptions& options) {
+  if (options.dims < 1 || options.dims > kMaxDims) {
+    return Status::InvalidArgument("dims must be in [1, kMaxDims]");
+  }
+  if (options.k1 < 1 || options.k2 < 1) {
+    return Status::InvalidArgument("k1 and k2 must be positive");
+  }
+  for (uint32_t i = 0; i < options.dims; ++i) {
+    const auto& d = options.domains[i];
+    if (d.log2_size < 1 || d.log2_size > 40) {
+      return Status::InvalidArgument("log2_size must be in [1, 40]");
+    }
+  }
+  std::vector<DyadicDomain> domains;
+  domains.reserve(options.dims);
+  for (uint32_t i = 0; i < options.dims; ++i) {
+    domains.emplace_back(options.domains[i].log2_size,
+                         options.domains[i].max_level);
+  }
+  // One independently drawn seed per (instance, dimension): instances are
+  // i.i.d. (Section 2.3), and per instance the per-dimension families are
+  // mutually independent (Section 3.2).
+  Rng rng(options.seed);
+  const uint64_t total =
+      static_cast<uint64_t>(options.k1) * options.k2 * options.dims;
+  std::vector<XiSeed> seeds;
+  seeds.reserve(total);
+  for (uint64_t i = 0; i < total; ++i) seeds.push_back(XiSeed::Random(&rng));
+
+  return SchemaPtr(
+      new SketchSchema(options, std::move(domains), std::move(seeds)));
+}
+
+std::vector<XiSeed> SketchSchema::SeedsForDim(uint32_t dim,
+                                              uint32_t first_instance,
+                                              uint32_t count) const {
+  SKETCH_DCHECK(dim < dims());
+  SKETCH_DCHECK(first_instance + count <= instances());
+  std::vector<XiSeed> out;
+  out.reserve(count);
+  for (uint32_t j = 0; j < count; ++j) {
+    out.push_back(seed(first_instance + j, dim));
+  }
+  return out;
+}
+
+}  // namespace spatialsketch

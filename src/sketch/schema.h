@@ -1,0 +1,97 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// SketchSchema: everything two sketches must SHARE to be comparable.
+//
+// The join estimators multiply counters of an R-sketch and an S-sketch
+// built over the same xi-families (Section 4.1.3: "we construct atomic
+// sketches XI and XE for R, and the corresponding sketches YI and YE for
+// S" — same xi's). A schema owns the per-dimension dyadic domains and the
+// k1 x k2 boosting grid of independently seeded xi-families (Section 2.3);
+// every dataset sketched under the same schema can be joined.
+
+#ifndef SPATIALSKETCH_SKETCH_SCHEMA_H_
+#define SPATIALSKETCH_SKETCH_SCHEMA_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/dyadic/dyadic_domain.h"
+#include "src/geom/box.h"
+#include "src/sketch/shape.h"
+#include "src/xi/seed.h"
+
+namespace spatialsketch {
+
+/// Per-dimension domain configuration.
+struct DomainSpec {
+  uint32_t log2_size = 16;  ///< domain [0, 2^log2_size)
+  uint32_t max_level = DyadicDomain::kNoCap;  ///< Section 6.5 level cap
+};
+
+/// Schema configuration.
+struct SchemaOptions {
+  uint32_t dims = 1;
+  std::array<DomainSpec, kMaxDims> domains{};
+  uint32_t k1 = 64;   ///< estimators averaged per group (accuracy)
+  uint32_t k2 = 9;    ///< groups medianed (confidence); odd recommended
+  uint64_t seed = 1;  ///< master seed; schemas with equal options are
+                      ///< bit-identical (reproducible experiments)
+};
+
+/// Immutable, shared via shared_ptr<const SketchSchema>.
+class SketchSchema {
+ public:
+  /// Validates options and derives all instance seeds.
+  static Result<std::shared_ptr<const SketchSchema>> Create(
+      const SchemaOptions& options);
+
+  uint32_t dims() const { return options_.dims; }
+  uint32_t k1() const { return options_.k1; }
+  uint32_t k2() const { return options_.k2; }
+  uint32_t instances() const { return options_.k1 * options_.k2; }
+  const SchemaOptions& options() const { return options_; }
+
+  const DyadicDomain& domain(uint32_t dim) const {
+    SKETCH_DCHECK(dim < dims());
+    return domains_[dim];
+  }
+
+  /// Seed of the xi-family of (instance, dim).
+  const XiSeed& seed(uint32_t instance, uint32_t dim) const {
+    SKETCH_DCHECK(instance < instances() && dim < dims());
+    return seeds_[instance * dims() + dim];
+  }
+
+  /// All instance seeds of one dimension, instance-ordered (for packed
+  /// sign-table construction over instance sub-ranges).
+  std::vector<XiSeed> SeedsForDim(uint32_t dim, uint32_t first_instance,
+                                  uint32_t count) const;
+
+  /// Paper-conformant storage accounting: per instance a dataset stores
+  /// one counter word per shape word plus one (amortized) seed word; the
+  /// 1-d join instance of Section 4.1.5 ("a seed ... and four counters")
+  /// then costs 5 words across both datasets.
+  uint64_t WordsPerDataset(const Shape& shape) const {
+    return static_cast<uint64_t>(instances()) * (shape.size() + 1);
+  }
+
+ private:
+  SketchSchema(const SchemaOptions& options, std::vector<DyadicDomain> domains,
+               std::vector<XiSeed> seeds)
+      : options_(options),
+        domains_(std::move(domains)),
+        seeds_(std::move(seeds)) {}
+
+  SchemaOptions options_;
+  std::vector<DyadicDomain> domains_;
+  std::vector<XiSeed> seeds_;  // [instance * dims + dim]
+};
+
+using SchemaPtr = std::shared_ptr<const SketchSchema>;
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_SKETCH_SCHEMA_H_

@@ -1,0 +1,132 @@
+#include "src/sketch/self_join.h"
+
+#include <unordered_map>
+
+#include "src/estimators/combine.h"
+
+namespace spatialsketch {
+
+namespace {
+
+// Append the dyadic ids a letter contributes for one box dimension
+// (with multiplicity: letter E appends both endpoint covers, and an id on
+// both covers legitimately counts twice — f_E counts endpoint incidences).
+void LetterIds(const DyadicDomain& dom, Letter letter, Coord lo, Coord hi,
+               std::vector<uint64_t>* out) {
+  out->clear();
+  switch (letter) {
+    case Letter::kI:
+      dom.ForEachCoverId(lo, hi, [&](uint64_t id) { out->push_back(id); });
+      break;
+    case Letter::kE:
+      dom.ForEachPointCoverId(lo, [&](uint64_t id) { out->push_back(id); });
+      dom.ForEachPointCoverId(hi, [&](uint64_t id) { out->push_back(id); });
+      break;
+    case Letter::kL:
+      dom.ForEachPointCoverId(lo, [&](uint64_t id) { out->push_back(id); });
+      break;
+    case Letter::kU:
+      dom.ForEachPointCoverId(hi, [&](uint64_t id) { out->push_back(id); });
+      break;
+    case Letter::kLeafL:
+      out->push_back(dom.LeafId(lo));
+      break;
+    case Letter::kLeafU:
+      out->push_back(dom.LeafId(hi));
+      break;
+  }
+}
+
+}  // namespace
+
+std::vector<double> ExactSelfJoinSizes1D(const std::vector<Box>& boxes,
+                                         const DyadicDomain& domain,
+                                         const Shape& shape) {
+  std::vector<double> out;
+  out.reserve(shape.size());
+  std::vector<int64_t> freq(domain.num_ids());
+  std::vector<uint64_t> ids;
+  for (uint32_t w = 0; w < shape.size(); ++w) {
+    std::fill(freq.begin(), freq.end(), 0);
+    const Letter letter = shape.word(w).letters[0];
+    for (const Box& b : boxes) {
+      LetterIds(domain, letter, b.lo[0], b.hi[0], &ids);
+      for (uint64_t id : ids) ++freq[id];
+    }
+    double sj = 0.0;
+    for (int64_t f : freq) sj += static_cast<double>(f) * f;
+    out.push_back(sj);
+  }
+  return out;
+}
+
+double ExactTotalSelfJoin1D(const std::vector<Box>& boxes,
+                            const DyadicDomain& domain) {
+  const Shape shape = Shape::JoinShape(1);  // words I, E
+  const auto sizes = ExactSelfJoinSizes1D(boxes, domain, shape);
+  double total = 0.0;
+  for (double s : sizes) total += s;
+  return total;
+}
+
+double ExactSelfJoinSizeND(const std::vector<Box>& boxes,
+                           const std::vector<DyadicDomain>& domains,
+                           const Word& word, uint32_t dims) {
+  SKETCH_CHECK(dims >= 1 && dims <= kMaxDims);
+  SKETCH_CHECK(domains.size() >= dims);
+  uint32_t total_bits = 0;
+  for (uint32_t d = 0; d < dims; ++d) {
+    total_bits += domains[d].log2_size() + 1;
+  }
+  SKETCH_CHECK(total_bits <= 64);
+
+  std::unordered_map<uint64_t, int64_t> freq;
+  std::vector<uint64_t> lists[kMaxDims];
+  for (const Box& b : boxes) {
+    for (uint32_t d = 0; d < dims; ++d) {
+      LetterIds(domains[d], word.letters[d], b.lo[d], b.hi[d], &lists[d]);
+    }
+    // Cross product over dimensions.
+    std::array<size_t, kMaxDims> idx{};
+    while (true) {
+      uint64_t key = 0;
+      for (uint32_t d = 0; d < dims; ++d) {
+        key = (key << (domains[d].log2_size() + 1)) | lists[d][idx[d]];
+      }
+      ++freq[key];
+      uint32_t d = 0;
+      for (; d < dims; ++d) {
+        if (++idx[d] < lists[d].size()) break;
+        idx[d] = 0;
+      }
+      if (d == dims) break;
+    }
+  }
+  double sj = 0.0;
+  for (const auto& [key, f] : freq) {
+    (void)key;
+    sj += static_cast<double>(f) * f;
+  }
+  return sj;
+}
+
+double EstimateSelfJoinSize(const DatasetSketch& sketch,
+                            uint32_t word_index) {
+  const auto& schema = *sketch.schema();
+  std::vector<double> z(schema.instances());
+  for (uint32_t inst = 0; inst < schema.instances(); ++inst) {
+    const double x = static_cast<double>(sketch.Counter(inst, word_index));
+    z[inst] = x * x;
+  }
+  return MedianOfMeans(z, schema.k1(), schema.k2());
+}
+
+double EstimateTotalSelfJoin(const DatasetSketch& sketch) {
+  double total = 0.0;
+  for (uint32_t w = 0; w < sketch.shape().size(); ++w) {
+    total += EstimateSelfJoinSize(sketch, w);
+  }
+  return total;
+}
+
+}  // namespace spatialsketch

@@ -1,0 +1,55 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Self-join sizes of atomic sketches (Section 3): SJ(X_w) = E[X_w^2] =
+// sum over dyadic-id tuples of f_w(tuple)^2, where f_w counts the objects
+// whose covers contain the tuple. These drive both the variance bounds
+// and the Lemma-1 space sizing.
+//
+// Three evaluation routes:
+//  * exact 1-d via frequency arrays over the (small) id universe;
+//  * exact d-dim via a hash map over packed id tuples (test-scale data);
+//  * sketched: E[X_w^2] = SJ(X_w), so a pilot sketch estimates its own
+//    self-join size with median-of-means over squared counters — this is
+//    how the sizing experiments obtain SJ without a second data pass.
+
+#ifndef SPATIALSKETCH_SKETCH_SELF_JOIN_H_
+#define SPATIALSKETCH_SKETCH_SELF_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/dyadic/dyadic_domain.h"
+#include "src/geom/box.h"
+#include "src/sketch/dataset_sketch.h"
+#include "src/sketch/shape.h"
+
+namespace spatialsketch {
+
+/// Exact SJ(X_w) for every word of `shape` over a 1-dimensional dataset.
+/// Boxes must fit the domain. O(|boxes| log n + n) time, O(n) memory.
+std::vector<double> ExactSelfJoinSizes1D(const std::vector<Box>& boxes,
+                                         const DyadicDomain& domain,
+                                         const Shape& shape);
+
+/// Exact SJ(R) = SJ(X_I) + SJ(X_E) for a 1-d dataset (Section 4.1.4).
+double ExactTotalSelfJoin1D(const std::vector<Box>& boxes,
+                            const DyadicDomain& domain);
+
+/// Exact SJ(X_w) for one word over a d-dimensional dataset via hashed id
+/// tuples. Id bit-widths across dimensions must pack into 64 bits; meant
+/// for tests and small data (cost is the product of per-dim cover sizes
+/// per object).
+double ExactSelfJoinSizeND(const std::vector<Box>& boxes,
+                           const std::vector<DyadicDomain>& domains,
+                           const Word& word, uint32_t dims);
+
+/// Sketched estimate of SJ(X_w) from the sketch's own counters.
+double EstimateSelfJoinSize(const DatasetSketch& sketch, uint32_t word_index);
+
+/// Sketched estimate of SJ(R) = sum over the sketch's words of SJ(X_w)
+/// (for the JoinShape this is the paper's SJ(R)).
+double EstimateTotalSelfJoin(const DatasetSketch& sketch);
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_SKETCH_SELF_JOIN_H_

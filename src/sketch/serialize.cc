@@ -1,0 +1,214 @@
+#include "src/sketch/serialize.h"
+
+#include <cstring>
+
+namespace spatialsketch {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x4B535053;  // "SPSK"
+constexpr uint8_t kVersion = 1;
+constexpr uint8_t kKindSchema = 1;
+constexpr uint8_t kKindSketch = 2;
+
+// Little-endian append/read helpers. The format is explicitly LE so blobs
+// are portable across hosts.
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+/// Bounds-checked little-endian reader over a blob.
+class Reader {
+ public:
+  explicit Reader(const std::string& blob) : blob_(blob) {}
+
+  bool ReadU8(uint8_t* v) {
+    if (pos_ + 1 > blob_.size()) return false;
+    *v = static_cast<uint8_t>(blob_[pos_++]);
+    return true;
+  }
+  bool ReadU32(uint32_t* v) {
+    if (pos_ + 4 > blob_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(static_cast<uint8_t>(blob_[pos_++]))
+            << (8 * i);
+    }
+    return true;
+  }
+  bool ReadU64(uint64_t* v) {
+    if (pos_ + 8 > blob_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(static_cast<uint8_t>(blob_[pos_++]))
+            << (8 * i);
+    }
+    return true;
+  }
+  bool ReadI64(int64_t* v) {
+    uint64_t u;
+    if (!ReadU64(&u)) return false;
+    *v = static_cast<int64_t>(u);
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == blob_.size(); }
+  size_t pos() const { return pos_; }
+
+ private:
+  const std::string& blob_;
+  size_t pos_ = 0;
+};
+
+void AppendHeader(std::string* out, uint8_t kind) {
+  PutU32(out, kMagic);
+  PutU8(out, kVersion);
+  PutU8(out, kind);
+}
+
+Status ReadHeader(Reader* r, uint8_t expected_kind) {
+  uint32_t magic;
+  uint8_t version, kind;
+  if (!r->ReadU32(&magic) || !r->ReadU8(&version) || !r->ReadU8(&kind)) {
+    return Status::InvalidArgument("blob truncated in header");
+  }
+  if (magic != kMagic) return Status::InvalidArgument("bad magic");
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported blob version");
+  }
+  if (kind != expected_kind) {
+    return Status::InvalidArgument("blob kind mismatch");
+  }
+  return Status::OK();
+}
+
+void AppendSchemaPayload(std::string* out, const SketchSchema& schema) {
+  const SchemaOptions& opt = schema.options();
+  PutU32(out, opt.dims);
+  PutU32(out, opt.k1);
+  PutU32(out, opt.k2);
+  PutU64(out, opt.seed);
+  for (uint32_t d = 0; d < opt.dims; ++d) {
+    PutU32(out, opt.domains[d].log2_size);
+    PutU32(out, opt.domains[d].max_level);
+  }
+}
+
+Result<SchemaPtr> ReadSchemaPayload(Reader* r) {
+  SchemaOptions opt;
+  if (!r->ReadU32(&opt.dims) || !r->ReadU32(&opt.k1) ||
+      !r->ReadU32(&opt.k2) || !r->ReadU64(&opt.seed)) {
+    return Status::InvalidArgument("blob truncated in schema options");
+  }
+  if (opt.dims < 1 || opt.dims > kMaxDims) {
+    return Status::InvalidArgument("blob has invalid dims");
+  }
+  for (uint32_t d = 0; d < opt.dims; ++d) {
+    if (!r->ReadU32(&opt.domains[d].log2_size) ||
+        !r->ReadU32(&opt.domains[d].max_level)) {
+      return Status::InvalidArgument("blob truncated in domain specs");
+    }
+  }
+  return SketchSchema::Create(opt);
+}
+
+}  // namespace
+
+std::string SerializeSchema(const SketchSchema& schema) {
+  std::string out;
+  AppendHeader(&out, kKindSchema);
+  AppendSchemaPayload(&out, schema);
+  return out;
+}
+
+Result<SchemaPtr> DeserializeSchema(const std::string& blob) {
+  Reader r(blob);
+  SKETCH_RETURN_NOT_OK(ReadHeader(&r, kKindSchema));
+  auto schema = ReadSchemaPayload(&r);
+  if (!schema.ok()) return schema.status();
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after schema blob");
+  }
+  return schema;
+}
+
+std::string SerializeSketch(const DatasetSketch& sketch) {
+  std::string out;
+  AppendHeader(&out, kKindSketch);
+  AppendSchemaPayload(&out, *sketch.schema());
+
+  const Shape& shape = sketch.shape();
+  const uint32_t dims = sketch.schema()->dims();
+  PutU32(&out, shape.size());
+  for (uint32_t w = 0; w < shape.size(); ++w) {
+    for (uint32_t d = 0; d < dims; ++d) {
+      PutU8(&out, static_cast<uint8_t>(shape.word(w).letters[d]));
+    }
+  }
+  PutI64(&out, sketch.num_objects());
+  const uint32_t instances = sketch.schema()->instances();
+  for (uint32_t inst = 0; inst < instances; ++inst) {
+    for (uint32_t w = 0; w < shape.size(); ++w) {
+      PutI64(&out, sketch.Counter(inst, w));
+    }
+  }
+  return out;
+}
+
+Result<DatasetSketch> DeserializeSketch(const std::string& blob) {
+  Reader r(blob);
+  SKETCH_RETURN_NOT_OK(ReadHeader(&r, kKindSketch));
+  auto schema = ReadSchemaPayload(&r);
+  if (!schema.ok()) return schema.status();
+  const uint32_t dims = (*schema)->dims();
+
+  uint32_t num_words;
+  if (!r.ReadU32(&num_words)) {
+    return Status::InvalidArgument("blob truncated before shape");
+  }
+  if (num_words == 0 || num_words > 4096) {
+    return Status::InvalidArgument("blob has implausible shape size");
+  }
+  std::vector<Word> words(num_words);
+  for (uint32_t w = 0; w < num_words; ++w) {
+    for (uint32_t d = 0; d < dims; ++d) {
+      uint8_t code;
+      if (!r.ReadU8(&code)) {
+        return Status::InvalidArgument("blob truncated in shape letters");
+      }
+      if (code > static_cast<uint8_t>(Letter::kLeafU)) {
+        return Status::InvalidArgument("blob has invalid letter code");
+      }
+      words[w].letters[d] = static_cast<Letter>(code);
+    }
+  }
+
+  DatasetSketch sketch(*schema, Shape(std::move(words)));
+  if (!r.ReadI64(&sketch.num_objects_)) {
+    return Status::InvalidArgument("blob truncated before counters");
+  }
+  for (size_t i = 0; i < sketch.counters_.size(); ++i) {
+    if (!r.ReadI64(&sketch.counters_[i])) {
+      return Status::InvalidArgument("blob truncated in counters");
+    }
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after sketch blob");
+  }
+  return sketch;
+}
+
+}  // namespace spatialsketch

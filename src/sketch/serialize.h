@@ -1,0 +1,39 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Binary serialization of schemas and sketches. A synopsis is only useful
+// to a DBMS if it can live in the catalog: schemas serialize their
+// configuration and every derived xi-seed is regenerated from the master
+// seed on load (bit-identical by construction), while sketches serialize
+// their counters. The wire format is a little-endian tagged blob with a
+// version byte; readers validate sizes and magics and fail with Status
+// rather than crashing on corrupt input.
+
+#ifndef SPATIALSKETCH_SKETCH_SERIALIZE_H_
+#define SPATIALSKETCH_SKETCH_SERIALIZE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/sketch/dataset_sketch.h"
+#include "src/sketch/schema.h"
+
+namespace spatialsketch {
+
+/// Serialize the schema configuration (options only; seeds are derived).
+std::string SerializeSchema(const SketchSchema& schema);
+
+/// Reconstruct a schema; the result is bit-identical to the original
+/// (same options => same seeds).
+Result<SchemaPtr> DeserializeSchema(const std::string& blob);
+
+/// Serialize a sketch: shape, object count and counters. The schema is
+/// serialized inline so a sketch blob is self-contained.
+std::string SerializeSketch(const DatasetSketch& sketch);
+
+/// Reconstruct a sketch (schema included). Validates counter sizes.
+Result<DatasetSketch> DeserializeSketch(const std::string& blob);
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_SKETCH_SERIALIZE_H_

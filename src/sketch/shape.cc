@@ -1,0 +1,165 @@
+#include "src/sketch/shape.h"
+
+namespace spatialsketch {
+
+Letter ComplementLetter(Letter l) {
+  switch (l) {
+    case Letter::kI:
+      return Letter::kE;
+    case Letter::kE:
+      return Letter::kI;
+    case Letter::kL:
+      return Letter::kU;
+    case Letter::kU:
+      return Letter::kL;
+    case Letter::kLeafL:
+      return Letter::kLeafU;
+    case Letter::kLeafU:
+      return Letter::kLeafL;
+  }
+  SKETCH_CHECK(false);
+  return Letter::kI;
+}
+
+char LetterChar(Letter l) {
+  switch (l) {
+    case Letter::kI:
+      return 'I';
+    case Letter::kE:
+      return 'E';
+    case Letter::kL:
+      return 'L';
+    case Letter::kU:
+      return 'U';
+    case Letter::kLeafL:
+      return 'l';
+    case Letter::kLeafU:
+      return 'u';
+  }
+  return '?';
+}
+
+Word ComplementWord(const Word& w, uint32_t dims) {
+  Word out;
+  for (uint32_t i = 0; i < dims; ++i) {
+    out.letters[i] = ComplementLetter(w.letters[i]);
+  }
+  return out;
+}
+
+uint32_t CountIntervalEndpointLetters(const Word& w, uint32_t dims) {
+  uint32_t c = 0;
+  for (uint32_t i = 0; i < dims; ++i) {
+    if (w.letters[i] == Letter::kI || w.letters[i] == Letter::kE) ++c;
+  }
+  return c;
+}
+
+std::string WordToString(const Word& w, uint32_t dims) {
+  std::string s;
+  for (uint32_t i = 0; i < dims; ++i) s += LetterChar(w.letters[i]);
+  return s;
+}
+
+Result<Word> WordFromString(const std::string& s) {
+  if (s.empty() || s.size() > kMaxDims) {
+    return Status::InvalidArgument("word length must be in [1, kMaxDims]");
+  }
+  Word w;
+  for (size_t i = 0; i < s.size(); ++i) {
+    switch (s[i]) {
+      case 'I':
+        w.letters[i] = Letter::kI;
+        break;
+      case 'E':
+        w.letters[i] = Letter::kE;
+        break;
+      case 'L':
+        w.letters[i] = Letter::kL;
+        break;
+      case 'U':
+        w.letters[i] = Letter::kU;
+        break;
+      case 'l':
+        w.letters[i] = Letter::kLeafL;
+        break;
+      case 'u':
+        w.letters[i] = Letter::kLeafU;
+        break;
+      default:
+        return Status::InvalidArgument("unknown letter in sketch word");
+    }
+  }
+  return w;
+}
+
+Shape Shape::JoinShape(uint32_t dims) {
+  SKETCH_CHECK(dims >= 1 && dims <= kMaxDims);
+  std::vector<Word> words;
+  words.reserve(uint32_t{1} << dims);
+  for (uint32_t mask = 0; mask < (uint32_t{1} << dims); ++mask) {
+    Word w;
+    for (uint32_t i = 0; i < dims; ++i) {
+      w.letters[i] = (mask >> i) & 1 ? Letter::kE : Letter::kI;
+    }
+    words.push_back(w);
+  }
+  return Shape(std::move(words));
+}
+
+Shape Shape::RangeShape(uint32_t dims) {
+  SKETCH_CHECK(dims >= 1 && dims <= kMaxDims);
+  std::vector<Word> words;
+  words.reserve(uint32_t{1} << dims);
+  for (uint32_t mask = 0; mask < (uint32_t{1} << dims); ++mask) {
+    Word w;
+    for (uint32_t i = 0; i < dims; ++i) {
+      w.letters[i] = (mask >> i) & 1 ? Letter::kU : Letter::kI;
+    }
+    words.push_back(w);
+  }
+  return Shape(std::move(words));
+}
+
+Shape Shape::PointShape(uint32_t dims) {
+  SKETCH_CHECK(dims >= 1 && dims <= kMaxDims);
+  Word w;
+  for (uint32_t i = 0; i < dims; ++i) w.letters[i] = Letter::kL;
+  return Shape({w});
+}
+
+Shape Shape::BoxCoverShape(uint32_t dims) {
+  SKETCH_CHECK(dims >= 1 && dims <= kMaxDims);
+  Word w;
+  for (uint32_t i = 0; i < dims; ++i) w.letters[i] = Letter::kI;
+  return Shape({w});
+}
+
+Shape Shape::ExtendedJoinShape(uint32_t dims) {
+  SKETCH_CHECK(dims >= 1 && dims <= kMaxDims);
+  static constexpr Letter kDigits[4] = {Letter::kI, Letter::kE,
+                                        Letter::kLeafL, Letter::kLeafU};
+  std::vector<Word> words;
+  uint32_t total = 1;
+  for (uint32_t i = 0; i < dims; ++i) total *= 4;
+  words.reserve(total);
+  for (uint32_t code = 0; code < total; ++code) {
+    Word w;
+    uint32_t c = code;
+    for (uint32_t i = 0; i < dims; ++i) {
+      w.letters[i] = kDigits[c % 4];
+      c /= 4;
+    }
+    words.push_back(w);
+  }
+  return Shape(std::move(words));
+}
+
+int Shape::IndexOf(const Word& w) const {
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] == w) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace spatialsketch

@@ -1,0 +1,113 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Sketch "shapes": which atomic sketches a dataset maintains.
+//
+// Section 3.2 indexes the atomic sketches of a d-dimensional dataset by
+// words w over the alphabet {I, E}: letter I tracks a dimension's interval
+// via its dyadic cover, letter E tracks both endpoints via their dyadic
+// point covers. The appendices extend the alphabet:
+//   L / U       dyadic point cover of only the lower / upper endpoint
+//               (range queries, Lemma 9; point sketches, Section 6.3);
+//   l / u       the *standard* xi variable at the lower / upper endpoint
+//               coordinate, i.e. only the leaf dyadic interval
+//               (common-endpoint tracking, Appendices B.1 and C).
+//
+// A Word assigns one letter per dimension; a Shape is the ordered list of
+// words whose counters a DatasetSketch maintains.
+
+#ifndef SPATIALSKETCH_SKETCH_SHAPE_H_
+#define SPATIALSKETCH_SKETCH_SHAPE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/geom/box.h"
+
+namespace spatialsketch {
+
+/// Per-dimension tracking mode of an atomic sketch.
+enum class Letter : uint8_t {
+  kI = 0,      ///< dyadic interval cover of [lo, hi]
+  kE = 1,      ///< dyadic point covers of both endpoints
+  kL = 2,      ///< dyadic point cover of the lower endpoint
+  kU = 3,      ///< dyadic point cover of the upper endpoint
+  kLeafL = 4,  ///< standard xi at the lower endpoint (leaf only)
+  kLeafU = 5,  ///< standard xi at the upper endpoint (leaf only)
+};
+
+/// Complement used when pairing X_w with Y_wbar in the join estimators:
+/// I <-> E, L <-> U, leaf-l <-> leaf-u.
+Letter ComplementLetter(Letter l);
+
+/// Character rendering: I E L U l u.
+char LetterChar(Letter l);
+
+/// One atomic-sketch word; dims letters are significant.
+struct Word {
+  std::array<Letter, kMaxDims> letters{};
+
+  friend bool operator==(const Word& a, const Word& b) {
+    return a.letters == b.letters;
+  }
+};
+
+/// Complement every letter of a word (the paper's "wbar").
+Word ComplementWord(const Word& w, uint32_t dims);
+
+/// Number of I/E letters in the word (the paper's c(w) in Appendix B.1).
+uint32_t CountIntervalEndpointLetters(const Word& w, uint32_t dims);
+
+/// Render e.g. "IE" or "Iu".
+std::string WordToString(const Word& w, uint32_t dims);
+
+/// Parse from the characters accepted by LetterChar.
+Result<Word> WordFromString(const std::string& s);
+
+/// Ordered list of words maintained by a sketch.
+class Shape {
+ public:
+  Shape() = default;
+  explicit Shape(std::vector<Word> words) : words_(std::move(words)) {}
+
+  /// {I,E}^d in bitmask order (bit i set => E in dimension i); word 0 is
+  /// the all-I word. This is the spatial-join shape of Theorems 1-3.
+  static Shape JoinShape(uint32_t dims);
+
+  /// {I,U}^d in bitmask order (bit i set => U); the range-query shape of
+  /// Lemma 9 and its d-dimensional generalization.
+  static Shape RangeShape(uint32_t dims);
+
+  /// The single word L^d: point datasets (Section 6.3 / B.2); for a point
+  /// the lower cover equals the upper cover.
+  static Shape PointShape(uint32_t dims);
+
+  /// The single word I^d: hyper-rectangle interval covers only (the
+  /// Y_II... sketch of the eps-join / containment estimators).
+  static Shape BoxCoverShape(uint32_t dims);
+
+  /// {I,E,l,u}^d in base-4 digit order (digit i: 0=I,1=E,2=l,3=u); the
+  /// extended-overlap join shape of Appendix B.1 and the common-endpoint
+  /// shape of Appendix C.
+  static Shape ExtendedJoinShape(uint32_t dims);
+
+  uint32_t size() const { return static_cast<uint32_t>(words_.size()); }
+  const Word& word(uint32_t i) const { return words_[i]; }
+  const std::vector<Word>& words() const { return words_; }
+
+  /// Index of a word, or -1 if absent.
+  int IndexOf(const Word& w) const;
+
+  friend bool operator==(const Shape& a, const Shape& b) {
+    return a.words_ == b.words_;
+  }
+
+ private:
+  std::vector<Word> words_;
+};
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_SKETCH_SHAPE_H_

@@ -1,0 +1,89 @@
+#include "src/workload/clustered_boxes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/macros.h"
+#include "src/common/rng.h"
+
+namespace spatialsketch {
+
+std::vector<Box> GenerateClusteredBoxes(const ClusteredBoxOptions& opt) {
+  SKETCH_CHECK(opt.log2_domain >= 6 && opt.log2_domain <= 30);
+  SKETCH_CHECK(opt.num_clusters >= 1);
+  const double n = std::ldexp(1.0, static_cast<int>(opt.log2_domain));
+  const Coord max_coord = (Coord{1} << opt.log2_domain) - 1;
+
+  // Terrain: cluster centers and relative weights shared by every layer
+  // generated with the same terrain seed.
+  Rng terrain(opt.terrain_seed);
+  struct Cluster {
+    double cx, cy, weight;
+  };
+  std::vector<Cluster> clusters(opt.num_clusters);
+  double weight_sum = 0.0;
+  for (auto& c : clusters) {
+    c.cx = terrain.NextDouble() * n;
+    c.cy = terrain.NextDouble() * n;
+    // Heavy-tailed cluster popularity.
+    c.weight = std::pow(terrain.NextDouble(), 2.0) + 0.05;
+    weight_sum += c.weight;
+  }
+
+  Rng rng(opt.layer_seed);
+  const double sigma = opt.cluster_sigma_frac * n;
+
+  std::vector<Box> out;
+  out.reserve(opt.count);
+  while (out.size() < opt.count) {
+    double cx, cy;
+    if (rng.NextDouble() < opt.background_fraction) {
+      cx = rng.NextDouble() * n;
+      cy = rng.NextDouble() * n;
+    } else {
+      // Weighted cluster choice.
+      double pick = rng.NextDouble() * weight_sum;
+      size_t ci = 0;
+      while (ci + 1 < clusters.size() && pick > clusters[ci].weight) {
+        pick -= clusters[ci].weight;
+        ++ci;
+      }
+      cx = clusters[ci].cx + rng.NextGaussian() * sigma;
+      cy = clusters[ci].cy + rng.NextGaussian() * sigma;
+    }
+    const double w =
+        opt.median_side * std::exp(rng.NextGaussian() * opt.side_log_sigma);
+    const double h =
+        opt.median_side * std::exp(rng.NextGaussian() * opt.side_log_sigma);
+
+    auto clamp = [&](double v) {
+      if (v < 0.0) return Coord{0};
+      if (v > static_cast<double>(max_coord)) return max_coord;
+      return static_cast<Coord>(v);
+    };
+    Box b;
+    b.lo[0] = clamp(cx - w / 2);
+    b.hi[0] = clamp(cx + w / 2);
+    b.lo[1] = clamp(cy - h / 2);
+    b.hi[1] = clamp(cy + h / 2);
+    // Enforce non-degeneracy (objects fully clamped to an edge collapse).
+    if (b.lo[0] >= b.hi[0]) {
+      if (b.hi[0] == max_coord) {
+        b.lo[0] = max_coord - 1;
+      } else {
+        b.hi[0] = b.lo[0] + 1;
+      }
+    }
+    if (b.lo[1] >= b.hi[1]) {
+      if (b.hi[1] == max_coord) {
+        b.lo[1] = max_coord - 1;
+      } else {
+        b.hi[1] = b.lo[1] + 1;
+      }
+    }
+    out.push_back(b);
+  }
+  return out;
+}
+
+}  // namespace spatialsketch

@@ -1,0 +1,37 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Clustered rectangle generator: a Gaussian-mixture "terrain" of cluster
+// centers with log-normal object sizes plus a uniform background. Used to
+// synthesize GIS-layer-like datasets (many small adjacent parcels, a few
+// large regions, strong spatial skew). Layers generated with the same
+// terrain_seed share cluster geography, so cross-layer joins behave like
+// joins of thematic layers of one map.
+
+#ifndef SPATIALSKETCH_WORKLOAD_CLUSTERED_BOXES_H_
+#define SPATIALSKETCH_WORKLOAD_CLUSTERED_BOXES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/geom/box.h"
+
+namespace spatialsketch {
+
+struct ClusteredBoxOptions {
+  uint32_t log2_domain = 14;  ///< 2-d domain [0, 2^log2_domain)^2
+  uint64_t count = 30000;
+  uint32_t num_clusters = 64;
+  double cluster_sigma_frac = 0.02;  ///< cluster spread / domain size
+  double median_side = 48.0;         ///< log-normal size median
+  double side_log_sigma = 0.9;       ///< log-normal sigma (in ln units)
+  double background_fraction = 0.1;  ///< uniform background objects
+  uint64_t terrain_seed = 7;  ///< shared across layers of one "map"
+  uint64_t layer_seed = 1;    ///< per-layer randomness
+};
+
+/// Generate `count` non-degenerate rectangles. Deterministic.
+std::vector<Box> GenerateClusteredBoxes(const ClusteredBoxOptions& opt);
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_WORKLOAD_CLUSTERED_BOXES_H_

@@ -1,0 +1,75 @@
+#include "src/workload/real_world.h"
+
+#include "src/common/macros.h"
+#include "src/workload/clustered_boxes.h"
+
+namespace spatialsketch {
+
+namespace {
+// One shared terrain: all layers describe the same "state".
+constexpr uint64_t kTerrainSeed = 90210;
+}  // namespace
+
+uint64_t RealWorldLayerCount(RealWorldLayer layer) {
+  switch (layer) {
+    case RealWorldLayer::kLando:
+      return 33860;
+    case RealWorldLayer::kLandc:
+      return 14731;
+    case RealWorldLayer::kSoil:
+      return 29662;
+  }
+  SKETCH_CHECK(false);
+  return 0;
+}
+
+std::string RealWorldLayerName(RealWorldLayer layer) {
+  switch (layer) {
+    case RealWorldLayer::kLando:
+      return "LANDO";
+    case RealWorldLayer::kLandc:
+      return "LANDC";
+    case RealWorldLayer::kSoil:
+      return "SOIL";
+  }
+  return "?";
+}
+
+std::vector<Box> GenerateRealWorldLayer(RealWorldLayer layer) {
+  ClusteredBoxOptions opt;
+  opt.log2_domain = kRealWorldLog2Domain;
+  opt.terrain_seed = kTerrainSeed;
+  opt.count = RealWorldLayerCount(layer);
+  switch (layer) {
+    case RealWorldLayer::kLando:
+      // Ownership parcels: many, small-to-mid, tightly clustered.
+      opt.num_clusters = 96;
+      opt.median_side = 70.0;
+      opt.side_log_sigma = 0.8;
+      opt.cluster_sigma_frac = 0.035;
+      opt.background_fraction = 0.15;
+      opt.layer_seed = 1001;
+      break;
+    case RealWorldLayer::kLandc:
+      // Land-cover polygons: mid-sized, moderately clustered.
+      opt.num_clusters = 48;
+      opt.median_side = 170.0;
+      opt.side_log_sigma = 1.0;
+      opt.cluster_sigma_frac = 0.06;
+      opt.background_fraction = 0.25;
+      opt.layer_seed = 2002;
+      break;
+    case RealWorldLayer::kSoil:
+      // Soil polygons: fewer clusters, larger regions.
+      opt.num_clusters = 40;
+      opt.median_side = 210.0;
+      opt.side_log_sigma = 1.1;
+      opt.cluster_sigma_frac = 0.08;
+      opt.background_fraction = 0.20;
+      opt.layer_seed = 3003;
+      break;
+  }
+  return GenerateClusteredBoxes(opt);
+}
+
+}  // namespace spatialsketch

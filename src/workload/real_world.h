@@ -1,0 +1,44 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Stand-ins for the paper's real-life datasets (Section 7.3): LANDO (land
+// ownership), LANDC (land cover) and SOIL (soils) of Wyoming at 1:10^6
+// scale, with the paper's cardinalities (33860, 14731, 29662). The actual
+// shapefiles are not redistributable; these generators synthesize
+// GIS-layer-like MBR sets over one shared "state" terrain (see DESIGN.md,
+// Substitutions): ownership parcels are many and small, land-cover
+// polygons mid-sized, soil polygons fewer and larger. All three layers
+// share cluster geography so their pairwise joins are selective but
+// non-trivial, the regime where bucket-model baselines mis-estimate.
+
+#ifndef SPATIALSKETCH_WORKLOAD_REAL_WORLD_H_
+#define SPATIALSKETCH_WORKLOAD_REAL_WORLD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/geom/box.h"
+
+namespace spatialsketch {
+
+enum class RealWorldLayer {
+  kLando,  ///< land ownership, 33860 objects
+  kLandc,  ///< land cover, 14731 objects
+  kSoil,   ///< soils, 29662 objects
+};
+
+/// Domain bits shared by all real-world-like layers.
+inline constexpr uint32_t kRealWorldLog2Domain = 14;
+
+/// Paper cardinality of a layer.
+uint64_t RealWorldLayerCount(RealWorldLayer layer);
+
+/// Layer name ("LANDO" etc.) for reporting.
+std::string RealWorldLayerName(RealWorldLayer layer);
+
+/// Deterministically generate a layer.
+std::vector<Box> GenerateRealWorldLayer(RealWorldLayer layer);
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_WORKLOAD_REAL_WORLD_H_

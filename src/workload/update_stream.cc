@@ -1,0 +1,44 @@
+#include "src/workload/update_stream.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "src/common/rng.h"
+
+namespace spatialsketch {
+
+std::vector<Update> MakeUpdateStream(const std::vector<Box>& final_boxes,
+                                     const std::vector<Box>& transient_boxes,
+                                     const UpdateStreamOptions& opt) {
+  Rng rng(opt.seed);
+  std::vector<Update> stream;
+  stream.reserve(final_boxes.size() + 2 * transient_boxes.size());
+  for (const Box& b : final_boxes) {
+    stream.push_back({Update::Op::kInsert, b});
+  }
+  for (const Box& b : transient_boxes) {
+    stream.push_back({Update::Op::kInsert, b});
+  }
+  // Shuffle all inserts, then weave each transient delete in at a random
+  // position AFTER its insert.
+  for (size_t i = stream.size(); i > 1; --i) {
+    std::swap(stream[i - 1], stream[rng.Uniform(i)]);
+  }
+  for (const Box& b : transient_boxes) {
+    // Find the insert position of b lazily: appending the delete at a
+    // random position after the matching insert keeps the stream valid.
+    size_t pos = 0;
+    for (size_t i = 0; i < stream.size(); ++i) {
+      if (stream[i].op == Update::Op::kInsert && stream[i].box == b) {
+        pos = i;
+        break;
+      }
+    }
+    const size_t at = pos + 1 + rng.Uniform(stream.size() - pos);
+    stream.insert(stream.begin() + static_cast<ptrdiff_t>(at),
+                  {Update::Op::kDelete, b});
+  }
+  return stream;
+}
+
+}  // namespace spatialsketch

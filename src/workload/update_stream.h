@@ -1,0 +1,38 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Insert/delete update streams: the sketches are linear projections, so
+// they track arbitrary mixed workloads (the paper's "incremental
+// construction under insertion and deletion"). This generator interleaves
+// the inserts of a final dataset with transient objects that are inserted
+// and later deleted; after replay the sketch state must equal a fresh
+// build of the final dataset (tested bit-exactly).
+
+#ifndef SPATIALSKETCH_WORKLOAD_UPDATE_STREAM_H_
+#define SPATIALSKETCH_WORKLOAD_UPDATE_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/geom/box.h"
+
+namespace spatialsketch {
+
+struct Update {
+  enum class Op { kInsert, kDelete } op;
+  Box box;
+};
+
+struct UpdateStreamOptions {
+  double churn_factor = 0.5;  ///< transient objects / final objects
+  uint64_t seed = 1;
+};
+
+/// Build a randomized update stream whose net effect is exactly
+/// `final_boxes` (every transient insert has a matching later delete).
+std::vector<Update> MakeUpdateStream(const std::vector<Box>& final_boxes,
+                                     const std::vector<Box>& transient_boxes,
+                                     const UpdateStreamOptions& opt);
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_WORKLOAD_UPDATE_STREAM_H_

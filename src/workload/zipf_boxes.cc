@@ -1,0 +1,44 @@
+#include "src/workload/zipf_boxes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/macros.h"
+#include "src/common/rng.h"
+#include "src/common/zipf.h"
+
+namespace spatialsketch {
+
+std::vector<Box> GenerateSyntheticBoxes(const SyntheticBoxOptions& opt) {
+  SKETCH_CHECK(opt.dims >= 1 && opt.dims <= kMaxDims);
+  SKETCH_CHECK(opt.log2_domain >= 2 && opt.log2_domain <= 30);
+  const Coord n = Coord{1} << opt.log2_domain;
+  const double mean_side =
+      opt.mean_side_factor * std::sqrt(static_cast<double>(n));
+
+  Rng rng(opt.seed);
+  ZipfSampler zipf(n, opt.zipf_z);
+
+  std::vector<Box> out;
+  out.reserve(opt.count);
+  for (uint64_t i = 0; i < opt.count; ++i) {
+    Box b;
+    for (uint32_t d = 0; d < opt.dims; ++d) {
+      const Coord lo = zipf.Sample(&rng);
+      // Geometric side length with the requested mean, at least 1 so the
+      // box is non-degenerate.
+      const double u = std::max(rng.NextDouble(), 1e-12);
+      Coord len = static_cast<Coord>(-mean_side * std::log(u));
+      if (len < 1) len = 1;
+      Coord hi = lo + len;
+      if (hi > n - 1) hi = n - 1;
+      b.lo[d] = hi > lo ? lo : (lo > 0 ? lo - 1 : 0);
+      b.hi[d] = hi > lo ? hi : lo + (lo > 0 ? 0 : 1);
+      SKETCH_DCHECK(b.lo[d] < b.hi[d]);
+    }
+    out.push_back(b);
+  }
+  return out;
+}
+
+}  // namespace spatialsketch

@@ -1,0 +1,32 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Synthetic workloads of Section 7.1: d-dimensional boxes whose
+// per-dimension projections are generated independently, lower endpoints
+// Zipf-distributed with parameter z (z=0 is uniform), side lengths with
+// mean O(sqrt(domain)).
+
+#ifndef SPATIALSKETCH_WORKLOAD_ZIPF_BOXES_H_
+#define SPATIALSKETCH_WORKLOAD_ZIPF_BOXES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/geom/box.h"
+
+namespace spatialsketch {
+
+struct SyntheticBoxOptions {
+  uint32_t dims = 2;
+  uint32_t log2_domain = 14;   ///< domain [0, 2^log2_domain) per dimension
+  double zipf_z = 0.0;         ///< lower-endpoint skew; 0 = uniform
+  double mean_side_factor = 1.0;  ///< mean side = factor * sqrt(domain)
+  uint64_t count = 10000;
+  uint64_t seed = 1;
+};
+
+/// Generate `count` non-degenerate boxes. Deterministic in the options.
+std::vector<Box> GenerateSyntheticBoxes(const SyntheticBoxOptions& opt);
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_WORKLOAD_ZIPF_BOXES_H_

@@ -1,0 +1,3 @@
+// BchXiFamily is header-only; this translation unit anchors the header so
+// missing-include errors surface in library builds.
+#include "src/xi/bch_family.h"

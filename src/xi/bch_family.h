@@ -1,0 +1,53 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Four-wise independent {-1,+1} families via the BCH construction
+// (Alon-Babai-Itai; used by Alon-Matias-Szegedy sketches, Section 2.2 of
+// the paper): xi_i = (-1)^{b XOR <s0, i> XOR <s1, i^3>}, with i^3 in
+// GF(2^64). For any four distinct indices the vectors (1, i, i^3) are
+// linearly independent over GF(2), which yields exact four-wise
+// independence; the test suite verifies this exhaustively on a small field.
+
+#ifndef SPATIALSKETCH_XI_BCH_FAMILY_H_
+#define SPATIALSKETCH_XI_BCH_FAMILY_H_
+
+#include <cstdint>
+
+#include "src/common/bits.h"
+#include "src/gf2/gf2_64.h"
+#include "src/xi/seed.h"
+
+namespace spatialsketch {
+
+/// One xi-family; cheap value type (three words of state).
+class BchXiFamily {
+ public:
+  explicit BchXiFamily(XiSeed seed) : seed_(seed) {}
+
+  /// xi_index in {-1, +1}. Computes index^3 on the fly.
+  int Sign(uint64_t index) const {
+    return SignWithCube(index, gf2::Cube(index));
+  }
+
+  /// xi_index when the caller has precomputed cube = index^3 in GF(2^64).
+  /// This is the form used by bulk loading: the cube depends only on the
+  /// index, so it is shared across every instance/seed.
+  int SignWithCube(uint64_t index, uint64_t cube) const {
+    const uint32_t bit =
+        Parity64((seed_.s0 & index) ^ (seed_.s1 & cube)) ^ seed_.b;
+    return 1 - 2 * static_cast<int>(bit);
+  }
+
+  /// The raw GF(2) bit (0 => +1, 1 => -1); used by the packed sign tables.
+  uint32_t BitWithCube(uint64_t index, uint64_t cube) const {
+    return Parity64((seed_.s0 & index) ^ (seed_.s1 & cube)) ^ seed_.b;
+  }
+
+  const XiSeed& seed() const { return seed_; }
+
+ private:
+  XiSeed seed_;
+};
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_XI_BCH_FAMILY_H_

@@ -1,0 +1,36 @@
+#include "src/xi/poly_family.h"
+
+namespace spatialsketch {
+
+PolyXiFamily PolyXiFamily::Random(Rng* rng) {
+  auto draw = [&] { return rng->Uniform(kPrime); };
+  return PolyXiFamily(draw(), draw(), draw(), draw());
+}
+
+uint64_t PolyXiFamily::MulMod(uint64_t a, uint64_t b) {
+  // 2^61 == 2 (mod p) lets us fold the 122-bit product cheaply.
+  __uint128_t prod = static_cast<__uint128_t>(a) * b;
+  uint64_t lo = static_cast<uint64_t>(prod & kPrime);
+  uint64_t hi = static_cast<uint64_t>(prod >> 61);
+  uint64_t r = lo + hi;
+  if (r >= kPrime) r -= kPrime;
+  return r;
+}
+
+uint64_t PolyXiFamily::AddMod(uint64_t a, uint64_t b) {
+  uint64_t r = a + b;  // both < p < 2^61, no overflow
+  if (r >= kPrime) r -= kPrime;
+  return r;
+}
+
+uint64_t PolyXiFamily::Hash(uint64_t index) const {
+  // Horner evaluation of a3 x^3 + a2 x^2 + a1 x + a0 at x = index mod p.
+  uint64_t x = index % kPrime;
+  uint64_t h = a3_;
+  h = AddMod(MulMod(h, x), a2_);
+  h = AddMod(MulMod(h, x), a1_);
+  h = AddMod(MulMod(h, x), a0_);
+  return h;
+}
+
+}  // namespace spatialsketch

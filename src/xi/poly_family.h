@@ -1,0 +1,46 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Alternative four-wise independent family: a random degree-3 polynomial
+// over the Mersenne prime p = 2^61 - 1. h(i) is exactly 4-wise independent
+// and uniform on [0, p); the sign is taken from the low bit, which carries
+// a negligible 1/p bias (p is odd). Provided for ablation against the
+// exact BCH family; the library default is BchXiFamily.
+
+#ifndef SPATIALSKETCH_XI_POLY_FAMILY_H_
+#define SPATIALSKETCH_XI_POLY_FAMILY_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace spatialsketch {
+
+/// Degree-3 polynomial hash family over GF(2^61 - 1) mapped to {-1,+1}.
+class PolyXiFamily {
+ public:
+  static constexpr uint64_t kPrime = (uint64_t{1} << 61) - 1;
+
+  /// Draw random coefficients a0..a3 uniform in [0, p).
+  static PolyXiFamily Random(Rng* rng);
+
+  PolyXiFamily(uint64_t a0, uint64_t a1, uint64_t a2, uint64_t a3)
+      : a0_(a0), a1_(a1), a2_(a2), a3_(a3) {}
+
+  /// xi_index in {-1, +1}.
+  int Sign(uint64_t index) const {
+    return 1 - 2 * static_cast<int>(Hash(index) & 1);
+  }
+
+  /// The underlying 4-wise independent hash value in [0, p).
+  uint64_t Hash(uint64_t index) const;
+
+ private:
+  static uint64_t MulMod(uint64_t a, uint64_t b);
+  static uint64_t AddMod(uint64_t a, uint64_t b);
+
+  uint64_t a0_, a1_, a2_, a3_;
+};
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_XI_POLY_FAMILY_H_

@@ -1,0 +1,40 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Seeds for four-wise independent xi-families. Following Section 2.2 of the
+// paper, a family over a k-bit index domain is generated from a (2k+1)-bit
+// seed; we store the three components in fixed-width words.
+
+#ifndef SPATIALSKETCH_XI_SEED_H_
+#define SPATIALSKETCH_XI_SEED_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace spatialsketch {
+
+/// Seed of one BCH xi-family: xi_i = (-1)^{b XOR <s0,i> XOR <s1,i^3>}
+/// where <.,.> is the GF(2) inner product of bit vectors and i^3 is
+/// computed in GF(2^64).
+struct XiSeed {
+  uint64_t s0 = 0;
+  uint64_t s1 = 0;
+  uint32_t b = 0;  // 0 or 1
+
+  /// Draw an independent seed from the given generator.
+  static XiSeed Random(Rng* rng) {
+    XiSeed s;
+    s.s0 = rng->Next64();
+    s.s1 = rng->Next64();
+    s.b = static_cast<uint32_t>(rng->Next64() & 1);
+    return s;
+  }
+
+  friend bool operator==(const XiSeed& a, const XiSeed& b2) {
+    return a.s0 == b2.s0 && a.s1 == b2.s1 && a.b == b2.b;
+  }
+};
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_XI_SEED_H_

@@ -1,0 +1,25 @@
+#include "src/xi/sign_table.h"
+
+#include "src/common/macros.h"
+#include "src/gf2/gf2_64.h"
+
+namespace spatialsketch {
+
+SignTable::SignTable(const std::vector<XiSeed>& seeds, uint64_t num_ids)
+    : num_ids_(num_ids),
+      num_instances_(static_cast<uint32_t>(seeds.size())),
+      num_blocks_((num_instances_ + 63) / 64) {
+  SKETCH_CHECK(num_ids > 0);
+  SKETCH_CHECK(!seeds.empty());
+  bits_.assign(static_cast<size_t>(num_blocks_) * num_ids_, 0);
+  for (uint64_t id = 0; id < num_ids_; ++id) {
+    const uint64_t cube = gf2::Cube(id);
+    for (uint32_t j = 0; j < num_instances_; ++j) {
+      const BchXiFamily fam(seeds[j]);
+      const uint64_t bit = fam.BitWithCube(id, cube);
+      bits_[static_cast<size_t>(j / 64) * num_ids_ + id] |= bit << (j % 64);
+    }
+  }
+}
+
+}  // namespace spatialsketch

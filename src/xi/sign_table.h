@@ -1,0 +1,59 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Packed sign tables: for a batch of xi-family instances over the same
+// index domain, precompute every sign once and store them bit-packed,
+// 64 instances per word. Bulk sketch loading then replaces per-instance
+// GF(2^64) evaluations by table lookups: the dyadic-id universe (2n - 1
+// ids) is tiny compared to instances x objects.
+//
+// Layout is block-major: block b (instances 64b .. 64b+63) owns a
+// contiguous row of `num_ids` words, so the per-object inner loop walks a
+// single row with good locality.
+
+#ifndef SPATIALSKETCH_XI_SIGN_TABLE_H_
+#define SPATIALSKETCH_XI_SIGN_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/xi/bch_family.h"
+#include "src/xi/seed.h"
+
+namespace spatialsketch {
+
+/// Bit-packed signs for a span of instances over ids [0, num_ids).
+/// Bit j of Row(block)[id] is 0 for xi=+1 and 1 for xi=-1 of instance
+/// 64*block + j.
+class SignTable {
+ public:
+  /// Build the table for `seeds.size()` instances. Cost is
+  /// O(num_ids * seeds.size()) with one GF(2^64) cube per id (shared
+  /// across instances).
+  SignTable(const std::vector<XiSeed>& seeds, uint64_t num_ids);
+
+  uint64_t num_ids() const { return num_ids_; }
+  uint32_t num_instances() const { return num_instances_; }
+  uint32_t num_blocks() const { return num_blocks_; }
+
+  /// Row of packed sign words for one block; indexed by id.
+  const uint64_t* Row(uint32_t block) const {
+    return bits_.data() + static_cast<size_t>(block) * num_ids_;
+  }
+
+  /// Scalar access (tests / slow paths): sign of `instance` at `id`.
+  int Sign(uint32_t instance, uint64_t id) const {
+    const uint64_t word = Row(instance / 64)[id];
+    return 1 - 2 * static_cast<int>((word >> (instance % 64)) & 1);
+  }
+
+ private:
+  uint64_t num_ids_;
+  uint32_t num_instances_;
+  uint32_t num_blocks_;
+  std::vector<uint64_t> bits_;
+};
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_XI_SIGN_TABLE_H_

@@ -1,0 +1,120 @@
+// Tests for the Section-6.5 adaptive maxLevel selection: the chosen cap
+// minimizes the exact total self-join size, tracks the interval-length
+// distribution (short data -> low caps, long data -> high caps), and is
+// chosen independently per dimension.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/estimators/adaptive.h"
+#include "src/sketch/self_join.h"
+#include "src/workload/zipf_boxes.h"
+
+namespace spatialsketch {
+namespace {
+
+std::vector<Box> Intervals(double side_factor, uint32_t log2_domain,
+                           uint64_t seed, uint64_t n = 800) {
+  SyntheticBoxOptions gen;
+  gen.dims = 1;
+  gen.log2_domain = log2_domain;
+  gen.count = n;
+  gen.mean_side_factor = side_factor;
+  gen.seed = seed;
+  return GenerateSyntheticBoxes(gen);
+}
+
+TEST(SelectMaxLevel, ChoiceMinimizesExactSelfJoin) {
+  const uint32_t h = 10;
+  const auto r = Intervals(0.5, h, 1);
+  const auto s = Intervals(0.5, h, 2);
+  const auto choice = SelectMaxLevel1D(r, s, h);
+  // Exhaustively verify optimality over all caps.
+  double best = -1.0;
+  for (uint32_t cap = 2; cap <= h; ++cap) {
+    const DyadicDomain dom(h, cap);
+    const double cost =
+        ExactTotalSelfJoin1D(r, dom) + ExactTotalSelfJoin1D(s, dom);
+    if (best < 0 || cost < best) best = cost;
+  }
+  EXPECT_DOUBLE_EQ(choice.sj_r + choice.sj_s, best);
+  // Reported SJs match a direct evaluation at the chosen cap.
+  const DyadicDomain chosen(h, choice.max_level);
+  EXPECT_DOUBLE_EQ(choice.sj_r, ExactTotalSelfJoin1D(r, chosen));
+  EXPECT_DOUBLE_EQ(choice.sj_s, ExactTotalSelfJoin1D(s, chosen));
+}
+
+TEST(SelectMaxLevel, ShortDataGetsLowerCapThanLongData) {
+  const uint32_t h = 12;
+  const auto short_r = Intervals(0.05, h, 3);
+  const auto short_s = Intervals(0.05, h, 4);
+  const auto long_r = Intervals(8.0, h, 5);
+  const auto long_s = Intervals(8.0, h, 6);
+  const auto short_cap = SelectMaxLevel1D(short_r, short_s, h);
+  const auto long_cap = SelectMaxLevel1D(long_r, long_s, h);
+  EXPECT_LT(short_cap.max_level, long_cap.max_level);
+}
+
+TEST(SelectMaxLevel, CapDrasticallyReducesShortIntervalSelfJoin) {
+  // The uncapped dyadic endpoint sketch carries ~2*(2N)^2 of top-level
+  // mass; the selected cap must remove most of it.
+  const uint32_t h = 12;
+  const auto r = Intervals(0.05, h, 7, 2000);
+  const auto s = Intervals(0.05, h, 8, 2000);
+  const auto choice = SelectMaxLevel1D(r, s, h);
+  const DyadicDomain uncapped(h);
+  const double sj_uncapped = ExactTotalSelfJoin1D(r, uncapped);
+  EXPECT_LT(choice.sj_r, sj_uncapped / 4.0);
+}
+
+TEST(SelectMaxLevel, RespectsMinLevel) {
+  const uint32_t h = 8;
+  const auto r = Intervals(0.05, h, 9);
+  const auto s = Intervals(0.05, h, 10);
+  const auto choice = SelectMaxLevel1D(r, s, h, /*min_level=*/6);
+  EXPECT_GE(choice.max_level, 6u);
+  EXPECT_LE(choice.max_level, h);
+}
+
+TEST(SelectMaxLevelPerDim, IndependentPerDimension) {
+  // Dimension 0 has tiny extents, dimension 1 has huge extents: the caps
+  // must differ accordingly.
+  Rng rng(11);
+  const uint32_t h = 12;
+  const Coord n = Coord{1} << h;
+  std::vector<Box> r, s;
+  for (int i = 0; i < 600; ++i) {
+    Box b;
+    const Coord x = rng.Uniform(n - 8);
+    b.lo[0] = x;
+    b.hi[0] = x + 1 + rng.Uniform(4);  // short dim 0
+    const Coord y = rng.Uniform(n / 2);
+    b.lo[1] = y;
+    b.hi[1] = y + n / 4 + rng.Uniform(n / 8);  // long dim 1
+    (i % 2 ? r : s).push_back(b);
+  }
+  const auto caps = SelectMaxLevelPerDim(r, s, 2, h);
+  ASSERT_EQ(caps.size(), 2u);
+  EXPECT_LT(caps[0], caps[1]);
+}
+
+TEST(SelectMaxLevelPerDim, HandlesUniformData) {
+  SyntheticBoxOptions gen;
+  gen.dims = 2;
+  gen.log2_domain = 10;
+  gen.count = 500;
+  gen.seed = 12;
+  const auto r = GenerateSyntheticBoxes(gen);
+  gen.seed = 13;
+  const auto s = GenerateSyntheticBoxes(gen);
+  const auto caps = SelectMaxLevelPerDim(r, s, 2, 10);
+  for (uint32_t c : caps) {
+    EXPECT_GE(c, 2u);
+    EXPECT_LE(c, 10u);
+  }
+}
+
+}  // namespace
+}  // namespace spatialsketch

@@ -1,0 +1,170 @@
+// Tests for BulkLoader: multi-job loads (several sketches sharing one
+// schema, as used by the join pipelines) must be bit-identical to
+// independent loads, across shapes, signs and leaf-box variants.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/sketch/dataset_sketch.h"
+#include "src/sketch/schema.h"
+#include "src/workload/zipf_boxes.h"
+
+namespace spatialsketch {
+namespace {
+
+SchemaPtr MakeSchema(uint32_t dims, uint32_t h, uint32_t k1, uint32_t k2) {
+  SchemaOptions opt;
+  opt.dims = dims;
+  for (uint32_t i = 0; i < dims; ++i) opt.domains[i].log2_size = h;
+  opt.k1 = k1;
+  opt.k2 = k2;
+  opt.seed = 31337;
+  auto schema = SketchSchema::Create(opt);
+  EXPECT_TRUE(schema.ok());
+  return *schema;
+}
+
+void ExpectEqualCounters(const DatasetSketch& a, const DatasetSketch& b) {
+  ASSERT_TRUE(a.shape() == b.shape());
+  ASSERT_EQ(a.num_objects(), b.num_objects());
+  for (uint32_t inst = 0; inst < a.schema()->instances(); ++inst) {
+    for (uint32_t w = 0; w < a.shape().size(); ++w) {
+      ASSERT_EQ(a.Counter(inst, w), b.Counter(inst, w))
+          << "inst=" << inst << " w=" << w;
+    }
+  }
+}
+
+TEST(BulkLoader, MultiJobEqualsIndependentLoads) {
+  auto schema = MakeSchema(2, 7, 40, 3);
+  SyntheticBoxOptions gen;
+  gen.dims = 2;
+  gen.log2_domain = 7;
+  gen.count = 80;
+  gen.seed = 1;
+  const auto r = GenerateSyntheticBoxes(gen);
+  gen.seed = 2;
+  const auto s = GenerateSyntheticBoxes(gen);
+
+  DatasetSketch joint_r(schema, Shape::JoinShape(2));
+  DatasetSketch joint_s(schema, Shape::JoinShape(2));
+  BulkLoader loader(schema);
+  loader.Add(&joint_r, &r);
+  loader.Add(&joint_s, &s);
+  loader.Run();
+
+  DatasetSketch solo_r(schema, Shape::JoinShape(2));
+  solo_r.BulkLoad(r);
+  DatasetSketch solo_s(schema, Shape::JoinShape(2));
+  solo_s.BulkLoad(s);
+
+  ExpectEqualCounters(joint_r, solo_r);
+  ExpectEqualCounters(joint_s, solo_s);
+}
+
+TEST(BulkLoader, MixedShapesInOnePass) {
+  // The eps-join pipeline loads a PointShape and a BoxCoverShape sketch
+  // together; both must match their solo equivalents.
+  auto schema = MakeSchema(2, 6, 30, 2);
+  Rng rng(3);
+  std::vector<Box> points, boxes;
+  for (int i = 0; i < 50; ++i) {
+    points.push_back(MakePoint({rng.Uniform(64), rng.Uniform(64), 0, 0}));
+    const Coord lx = rng.Uniform(50);
+    const Coord ly = rng.Uniform(50);
+    boxes.push_back(MakeRect(lx, lx + 1 + rng.Uniform(10), ly,
+                             ly + 1 + rng.Uniform(10)));
+  }
+
+  DatasetSketch joint_p(schema, Shape::PointShape(2));
+  DatasetSketch joint_b(schema, Shape::BoxCoverShape(2));
+  BulkLoader loader(schema);
+  loader.Add(&joint_p, &points);
+  loader.Add(&joint_b, &boxes);
+  loader.Run();
+
+  DatasetSketch solo_p(schema, Shape::PointShape(2));
+  solo_p.BulkLoad(points);
+  DatasetSketch solo_b(schema, Shape::BoxCoverShape(2));
+  solo_b.BulkLoad(boxes);
+
+  ExpectEqualCounters(joint_p, solo_p);
+  ExpectEqualCounters(joint_b, solo_b);
+}
+
+TEST(BulkLoader, NegativeSignJobUnloads) {
+  auto schema = MakeSchema(1, 8, 20, 2);
+  SyntheticBoxOptions gen;
+  gen.dims = 1;
+  gen.log2_domain = 8;
+  gen.count = 60;
+  gen.seed = 4;
+  const auto boxes = GenerateSyntheticBoxes(gen);
+
+  DatasetSketch sketch(schema, Shape::JoinShape(1));
+  BulkLoader loader(schema);
+  loader.Add(&sketch, &boxes, nullptr, +1);
+  loader.Add(&sketch, &boxes, nullptr, -1);
+  loader.Run();
+  EXPECT_EQ(sketch.num_objects(), 0);
+  for (uint32_t inst = 0; inst < schema->instances(); ++inst) {
+    EXPECT_EQ(sketch.Counter(inst, 0), 0);
+    EXPECT_EQ(sketch.Counter(inst, 1), 0);
+  }
+}
+
+TEST(BulkLoader, LeafBoxJobsMatchStreamingVariant) {
+  auto schema = MakeSchema(1, 7, 25, 2);
+  Rng rng(5);
+  std::vector<Box> main_boxes, leaf_boxes;
+  for (int i = 0; i < 40; ++i) {
+    const Coord a = rng.Uniform(100);
+    const Box m = MakeInterval(a + 1, a + 3 + rng.Uniform(20));
+    main_boxes.push_back(m);
+    leaf_boxes.push_back(MakeInterval(m.lo[0] - 1, m.hi[0] + 1));
+  }
+  const Shape shape = Shape::ExtendedJoinShape(1);
+
+  DatasetSketch bulk(schema, shape);
+  BulkLoader loader(schema);
+  loader.Add(&bulk, &main_boxes, &leaf_boxes);
+  loader.Run();
+
+  DatasetSketch streaming(schema, shape);
+  for (size_t i = 0; i < main_boxes.size(); ++i) {
+    streaming.InsertWithLeafBox(main_boxes[i], leaf_boxes[i]);
+  }
+  ExpectEqualCounters(bulk, streaming);
+}
+
+TEST(BulkLoader, RunIsIdempotentAfterClear) {
+  // Run() consumes jobs; a second Run() is a no-op.
+  auto schema = MakeSchema(1, 6, 4, 2);
+  const std::vector<Box> boxes = {MakeInterval(3, 9), MakeInterval(11, 20)};
+  DatasetSketch sketch(schema, Shape::JoinShape(1));
+  BulkLoader loader(schema);
+  loader.Add(&sketch, &boxes);
+  loader.Run();
+  const int64_t c0 = sketch.Counter(0, 0);
+  loader.Run();
+  EXPECT_EQ(sketch.Counter(0, 0), c0);
+  EXPECT_EQ(sketch.num_objects(), 2);
+}
+
+TEST(BulkLoader, EmptyBoxListIsHarmless) {
+  auto schema = MakeSchema(2, 6, 4, 2);
+  const std::vector<Box> empty;
+  DatasetSketch sketch(schema, Shape::JoinShape(2));
+  BulkLoader loader(schema);
+  loader.Add(&sketch, &empty);
+  loader.Run();
+  EXPECT_EQ(sketch.num_objects(), 0);
+  for (uint32_t inst = 0; inst < schema->instances(); ++inst) {
+    for (uint32_t w = 0; w < 4; ++w) EXPECT_EQ(sketch.Counter(inst, w), 0);
+  }
+}
+
+}  // namespace
+}  // namespace spatialsketch

@@ -1,0 +1,185 @@
+// Tests for the common substrate: RNG, Zipf sampling, flags, status, bits.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "src/common/bits.h"
+#include "src/common/flags.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/zipf.h"
+
+namespace spatialsketch {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.Next64() == b.Next64());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.Uniform(bound), bound);
+  }
+}
+
+TEST(RngTest, UniformIsRoughlyUniform) {
+  Rng rng(11);
+  const int kBuckets = 8;
+  const int kDraws = 80000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.Uniform(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, 5 * std::sqrt(kDraws / kBuckets));
+  }
+}
+
+TEST(RngTest, UniformInRangeInclusive) {
+  Rng rng(3);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformInRange(5, 7));
+  EXPECT_EQ(seen.size(), 3u);
+  EXPECT_TRUE(seen.count(5) && seen.count(7));
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(5);
+  const int kDraws = 100000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.02);
+  EXPECT_NEAR(sq / kDraws, 1.0, 0.03);
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng a(77);
+  Rng b = a.Fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.Next64() == b.Next64());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(ZipfTest, UniformWhenZZero) {
+  ZipfSampler zipf(16, 0.0);
+  Rng rng(1);
+  std::vector<int> counts(16, 0);
+  const int kDraws = 64000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Sample(&rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 16, 5 * std::sqrt(kDraws / 16.0));
+  }
+}
+
+TEST(ZipfTest, SkewPrefersSmallValues) {
+  ZipfSampler zipf(1024, 1.0);
+  Rng rng(2);
+  int low = 0;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) low += (zipf.Sample(&rng) < 32);
+  // Under z=1 the first 32 of 1024 values carry far more than 3% of mass.
+  EXPECT_GT(low, kDraws / 4);
+}
+
+TEST(ZipfTest, SampleWithinDomain) {
+  ZipfSampler zipf(100, 2.0);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.Sample(&rng), 100u);
+}
+
+TEST(FlagsTest, ParsesEqualsAndSpaceForms) {
+  const char* argv[] = {"prog", "--alpha=3", "--beta", "4.5", "pos1",
+                        "--gamma"};
+  auto flags = Flags::Parse(6, argv);
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->GetInt("alpha", 0), 3);
+  EXPECT_DOUBLE_EQ(flags->GetDouble("beta", 0.0), 4.5);
+  // A trailing bare flag is boolean true.
+  EXPECT_TRUE(flags->GetBool("gamma"));
+  ASSERT_EQ(flags->positional().size(), 1u);
+  EXPECT_EQ(flags->positional()[0], "pos1");
+}
+
+TEST(FlagsTest, SpaceFormConsumesNextNonFlagToken) {
+  // "--name value" binds the value; flags cannot be values.
+  const char* argv[] = {"prog", "--name", "--other", "x"};
+  auto flags = Flags::Parse(4, argv);
+  ASSERT_TRUE(flags.ok());
+  EXPECT_TRUE(flags->GetBool("name"));
+  EXPECT_EQ(flags->GetString("other"), "x");
+}
+
+TEST(FlagsTest, DefaultsApplyWhenAbsentOrMalformed) {
+  const char* argv[] = {"prog", "--n=notanumber"};
+  auto flags = Flags::Parse(2, argv);
+  ASSERT_TRUE(flags.ok());
+  EXPECT_EQ(flags->GetInt("n", 42), 42);
+  EXPECT_EQ(flags->GetInt("missing", 7), 7);
+  EXPECT_EQ(flags->GetString("missing", "x"), "x");
+}
+
+TEST(FlagsTest, RejectsBareDashes) {
+  const char* argv[] = {"prog", "--"};
+  auto flags = Flags::Parse(2, argv);
+  EXPECT_FALSE(flags.ok());
+}
+
+TEST(StatusTest, OkAndErrorRendering) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+  const Status s = Status::InvalidArgument("bad k1");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k1");
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> good(5);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 5);
+  Result<int> bad(Status::OutOfRange("x"));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(BitsTest, ParityAndLogHelpers) {
+  EXPECT_EQ(Parity64(0), 0u);
+  EXPECT_EQ(Parity64(1), 1u);
+  EXPECT_EQ(Parity64(0b1011), 1u);
+  EXPECT_EQ(Parity64(~0ull), 0u);
+  EXPECT_TRUE(IsPowerOfTwo(64));
+  EXPECT_FALSE(IsPowerOfTwo(65));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_EQ(NextPowerOfTwo(5), 8u);
+  EXPECT_EQ(NextPowerOfTwo(8), 8u);
+  EXPECT_EQ(FloorLog2(1), 0u);
+  EXPECT_EQ(FloorLog2(9), 3u);
+  EXPECT_EQ(CeilLog2(1), 0u);
+  EXPECT_EQ(CeilLog2(9), 4u);
+}
+
+}  // namespace
+}  // namespace spatialsketch

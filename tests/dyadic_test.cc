@@ -1,0 +1,305 @@
+// Tests for the dyadic-interval machinery: Lemmas 2-4 (cover sizes, point
+// covers, the unique-common-interval property), maxLevel capping
+// (Section 6.5), the endpoint transformation (Section 5.2) and the
+// real-value quantizer (Section 5.1).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "src/dyadic/dyadic_domain.h"
+#include "src/dyadic/endpoint_transform.h"
+#include "src/dyadic/quantizer.h"
+#include "src/geom/box.h"
+
+namespace spatialsketch {
+namespace {
+
+// ---------------------------------------------------------------------
+// DyadicDomain, uncapped.
+
+class DyadicDomainParamTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(DyadicDomainParamTest, CoverPartitionsTheInterval) {
+  const uint32_t h = GetParam();
+  const DyadicDomain dom(h);
+  const Coord n = dom.size();
+  // Every interval over a small domain; sampled intervals otherwise.
+  for (Coord a = 0; a < std::min<Coord>(n, 20); ++a) {
+    for (Coord b = a; b < std::min<Coord>(n, 20); ++b) {
+      std::set<Coord> covered;
+      dom.ForEachCoverId(a, b, [&](uint64_t id) {
+        Coord lo, hi;
+        dom.IdRange(id, &lo, &hi);
+        for (Coord x = lo; x <= hi; ++x) {
+          EXPECT_TRUE(covered.insert(x).second) << "overlap at " << x;
+        }
+      });
+      EXPECT_EQ(covered.size(), b - a + 1);
+      EXPECT_EQ(*covered.begin(), a);
+      EXPECT_EQ(*covered.rbegin(), b);
+    }
+  }
+}
+
+TEST_P(DyadicDomainParamTest, CoverSizeWithinLemma2Bound) {
+  const uint32_t h = GetParam();
+  const DyadicDomain dom(h);
+  const Coord n = dom.size();
+  for (Coord a = 0; a < n; a += std::max<Coord>(1, n / 37)) {
+    for (Coord b = a; b < n; b += std::max<Coord>(1, n / 41)) {
+      EXPECT_LE(dom.CoverSize(a, b), 2ull * h + 1);
+    }
+  }
+}
+
+TEST_P(DyadicDomainParamTest, PointCoverHasOnePerLevel) {
+  const uint32_t h = GetParam();
+  const DyadicDomain dom(h);
+  const Coord n = dom.size();
+  for (Coord a = 0; a < n; a += std::max<Coord>(1, n / 53)) {
+    const auto cover = dom.PointCover(a);
+    ASSERT_EQ(cover.size(), h + 1);  // Lemma 3
+    std::set<uint32_t> levels;
+    for (uint64_t id : cover) {
+      Coord lo, hi;
+      dom.IdRange(id, &lo, &hi);
+      EXPECT_LE(lo, a);
+      EXPECT_GE(hi, a);
+      levels.insert(dom.LevelOf(id));
+    }
+    EXPECT_EQ(levels.size(), h + 1);
+  }
+}
+
+TEST_P(DyadicDomainParamTest, Lemma4UniqueCommonInterval) {
+  const uint32_t h = GetParam();
+  const DyadicDomain dom(h);
+  const Coord n = std::min<Coord>(dom.size(), 32);
+  for (Coord a = 0; a < n; ++a) {
+    for (Coord b = a; b < n; ++b) {
+      const auto cover = dom.IntervalCover(a, b);
+      const std::set<uint64_t> cover_set(cover.begin(), cover.end());
+      for (Coord c = 0; c < n; ++c) {
+        int common = 0;
+        dom.ForEachPointCoverId(c, [&](uint64_t id) {
+          common += cover_set.count(id);
+        });
+        EXPECT_EQ(common, (a <= c && c <= b) ? 1 : 0)
+            << "a=" << a << " b=" << b << " c=" << c;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Domains, DyadicDomainParamTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 12u, 20u));
+
+TEST(DyadicDomain, IdUniverseAndLeaves) {
+  const DyadicDomain dom(4);
+  EXPECT_EQ(dom.size(), 16u);
+  EXPECT_EQ(dom.num_ids(), 32u);
+  EXPECT_EQ(dom.LeafId(0), 16u);
+  EXPECT_EQ(dom.LeafId(15), 31u);
+  EXPECT_EQ(dom.LevelOf(1), 4u);     // root
+  EXPECT_EQ(dom.LevelOf(16), 0u);    // leaf
+  Coord lo, hi;
+  dom.IdRange(1, &lo, &hi);
+  EXPECT_EQ(lo, 0u);
+  EXPECT_EQ(hi, 15u);
+  dom.IdRange(3, &lo, &hi);  // right child of root
+  EXPECT_EQ(lo, 8u);
+  EXPECT_EQ(hi, 15u);
+}
+
+TEST(DyadicDomain, WholeDomainCoverIsRoot) {
+  const DyadicDomain dom(6);
+  const auto cover = dom.IntervalCover(0, dom.size() - 1);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], 1u);
+}
+
+// ---------------------------------------------------------------------
+// maxLevel capping (Section 6.5).
+
+class CappedDomainTest
+    : public ::testing::TestWithParam<std::pair<uint32_t, uint32_t>> {};
+
+TEST_P(CappedDomainTest, CapRestrictsLevelsButStillPartitions) {
+  const auto [h, cap] = GetParam();
+  const DyadicDomain dom(h, cap);
+  const Coord n = dom.size();
+  for (Coord a = 0; a < n; a += std::max<Coord>(1, n / 13)) {
+    for (Coord b = a; b < n; b += std::max<Coord>(1, n / 17)) {
+      Coord covered = 0;
+      dom.ForEachCoverId(a, b, [&](uint64_t id) {
+        EXPECT_LE(dom.LevelOf(id), cap);
+        Coord lo, hi;
+        dom.IdRange(id, &lo, &hi);
+        EXPECT_GE(lo, a);
+        EXPECT_LE(hi, b);
+        covered += hi - lo + 1;
+      });
+      EXPECT_EQ(covered, b - a + 1);
+    }
+  }
+}
+
+TEST_P(CappedDomainTest, PointCoverHasCapPlusOneLevels) {
+  const auto [h, cap] = GetParam();
+  const DyadicDomain dom(h, cap);
+  const auto cover = dom.PointCover(dom.size() / 2);
+  EXPECT_EQ(cover.size(), std::min(cap, h) + 1);
+}
+
+TEST_P(CappedDomainTest, Lemma4HoldsUnderCap) {
+  const auto [h, cap] = GetParam();
+  const DyadicDomain dom(h, cap);
+  const Coord n = std::min<Coord>(dom.size(), 24);
+  for (Coord a = 0; a < n; a += 2) {
+    for (Coord b = a; b < n; b += 3) {
+      const auto cover = dom.IntervalCover(a, b);
+      const std::set<uint64_t> cover_set(cover.begin(), cover.end());
+      for (Coord c = 0; c < n; ++c) {
+        int common = 0;
+        dom.ForEachPointCoverId(c, [&](uint64_t id) {
+          common += cover_set.count(id);
+        });
+        EXPECT_EQ(common, (a <= c && c <= b) ? 1 : 0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Caps, CappedDomainTest,
+    ::testing::Values(std::make_pair(6u, 0u), std::make_pair(6u, 2u),
+                      std::make_pair(6u, 5u), std::make_pair(8u, 3u),
+                      std::make_pair(5u, 5u)));
+
+TEST(CappedDomain, CapZeroDegeneratesToStandardSketch) {
+  // maxLevel = 0 must cover [a, b] by exactly its b-a+1 leaves.
+  const DyadicDomain dom(5, 0);
+  const auto cover = dom.IntervalCover(3, 9);
+  EXPECT_EQ(cover.size(), 7u);
+  for (uint64_t id : cover) EXPECT_EQ(dom.LevelOf(id), 0u);
+  EXPECT_EQ(dom.PointCover(7).size(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Endpoint transformation (Section 5.2).
+
+TEST(EndpointTransform, OrderingOfAugmentedValues) {
+  // x- < x < x+ < (x+1)- for every x.
+  for (Coord x = 0; x < 100; ++x) {
+    EXPECT_LT(EndpointTransform::MapPointMinus(x),
+              EndpointTransform::MapPoint(x));
+    EXPECT_LT(EndpointTransform::MapPoint(x),
+              EndpointTransform::MapPointPlus(x));
+    EXPECT_LT(EndpointTransform::MapPointPlus(x),
+              EndpointTransform::MapPointMinus(x + 1));
+  }
+}
+
+TEST(EndpointTransform, PreservesStrictOverlapExhaustively1D) {
+  // All interval pairs over a small domain: overlap(r, s) must equal
+  // overlap(MapR(r), ShrinkS(s)).
+  const Coord n = 12;
+  for (Coord a = 0; a < n; ++a) {
+    for (Coord b = a + 1; b < n; ++b) {
+      for (Coord c = 0; c < n; ++c) {
+        for (Coord d = c + 1; d < n; ++d) {
+          const Box r = MakeInterval(a, b);
+          const Box s = MakeInterval(c, d);
+          const Box rt = EndpointTransform::MapR(r, 1);
+          const Box st = EndpointTransform::ShrinkS(s, 1);
+          EXPECT_EQ(Overlaps(r, s, 1), Overlaps(rt, st, 1))
+              << "r=[" << a << "," << b << "] s=[" << c << "," << d << "]";
+        }
+      }
+    }
+  }
+}
+
+TEST(EndpointTransform, NoSharedEndpointCoordinatesAfterTransform) {
+  // R endpoints are 1 mod 3; S endpoints are 2 or 0 mod 3.
+  for (Coord x = 0; x < 50; ++x) {
+    EXPECT_EQ(EndpointTransform::MapPoint(x) % 3, 1u);
+    EXPECT_EQ(EndpointTransform::MapPointPlus(x) % 3, 2u);
+    EXPECT_EQ(EndpointTransform::MapPointMinus(x) % 3, 0u);
+  }
+}
+
+TEST(EndpointTransform, TransformedDomainFitsTwoExtraBits) {
+  for (uint32_t h = 1; h <= 30; ++h) {
+    const Coord n = Coord{1} << h;
+    const Coord max_transformed = EndpointTransform::MapPointPlus(n - 1);
+    EXPECT_LT(max_transformed,
+              Coord{1} << EndpointTransform::TransformedLog2(h));
+  }
+}
+
+TEST(EndpointTransform, MapsBoxesPerDimension) {
+  const Box b = MakeRect(1, 4, 2, 6);
+  const Box r = EndpointTransform::MapR(b, 2);
+  EXPECT_EQ(r.lo[0], 4u);
+  EXPECT_EQ(r.hi[0], 13u);
+  EXPECT_EQ(r.lo[1], 7u);
+  EXPECT_EQ(r.hi[1], 19u);
+  const Box s = EndpointTransform::ShrinkS(b, 2);
+  EXPECT_EQ(s.lo[0], 5u);
+  EXPECT_EQ(s.hi[0], 12u);
+  EXPECT_EQ(s.lo[1], 8u);
+  EXPECT_EQ(s.hi[1], 18u);
+}
+
+// ---------------------------------------------------------------------
+// Quantizer (Section 5.1).
+
+TEST(Quantizer, RejectsBadRanges) {
+  EXPECT_FALSE(Quantizer::Create(1.0, 1.0, 8).ok());
+  EXPECT_FALSE(Quantizer::Create(2.0, 1.0, 8).ok());
+  EXPECT_FALSE(Quantizer::Create(0.0, 1.0, 0).ok());
+  EXPECT_FALSE(Quantizer::Create(0.0, 1.0, 41).ok());
+  EXPECT_TRUE(Quantizer::Create(0.0, 1.0, 16).ok());
+}
+
+TEST(Quantizer, MapsEndpointsAndClamps) {
+  auto q = Quantizer::Create(0.0, 100.0, 10);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->ToGrid(-5.0), 0u);
+  EXPECT_EQ(q->ToGrid(0.0), 0u);
+  EXPECT_EQ(q->ToGrid(100.0), 1023u);
+  EXPECT_EQ(q->ToGrid(1000.0), 1023u);
+  EXPECT_EQ(q->ToGrid(50.0), 512u);
+}
+
+TEST(Quantizer, MonotoneAndInvertibleUpToCell) {
+  auto q = Quantizer::Create(-10.0, 10.0, 12);
+  ASSERT_TRUE(q.ok());
+  Coord prev = 0;
+  for (double x = -10.0; x <= 10.0; x += 0.37) {
+    const Coord g = q->ToGrid(x);
+    EXPECT_GE(g, prev);
+    prev = g;
+    // Representative value within one cell width of x.
+    EXPECT_NEAR(q->ToReal(g), x, 20.0 / 4096 + 1e-9);
+  }
+}
+
+TEST(Quantizer, GridBoxQuantization) {
+  auto q = Quantizer::Create(0.0, 1.0, 8);
+  ASSERT_TRUE(q.ok());
+  const double lo[2] = {0.25, 0.5};
+  const double hi[2] = {0.75, 1.0};
+  const Box b = q->ToGridBox(lo, hi, 2);
+  EXPECT_EQ(b.lo[0], 64u);
+  EXPECT_EQ(b.hi[0], 192u);
+  EXPECT_EQ(b.lo[1], 128u);
+  EXPECT_EQ(b.hi[1], 255u);
+}
+
+}  // namespace
+}  // namespace spatialsketch

@@ -1,0 +1,326 @@
+// Statistical correctness of the spatial-join estimators.
+//
+// The estimators are randomized, so the tests are statistical but
+// deterministic: with a fixed schema seed the estimate is reproducible,
+// and tolerances are derived from the paper's variance bounds
+// (Var[Z] <= (3^d-1)/4^d SJ(R) SJ(S), Lemma 6 / Theorem 3) at five
+// standard errors of the k1-instance mean.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/dyadic/endpoint_transform.h"
+#include "src/estimators/adaptive.h"
+#include "src/estimators/combine.h"
+#include "src/estimators/join_estimator.h"
+#include "src/estimators/sizing.h"
+#include "src/exact/brute.h"
+#include "src/exact/interval_join.h"
+#include "src/exact/rect_join.h"
+#include "src/geom/box.h"
+#include "src/sketch/dataset_sketch.h"
+#include "src/sketch/self_join.h"
+#include "src/workload/zipf_boxes.h"
+
+namespace spatialsketch {
+namespace {
+
+SchemaPtr MakeSchema(uint32_t dims, uint32_t h, uint32_t k1, uint32_t k2,
+                     uint64_t seed) {
+  SchemaOptions opt;
+  opt.dims = dims;
+  for (uint32_t i = 0; i < dims; ++i) opt.domains[i].log2_size = h;
+  opt.k1 = k1;
+  opt.k2 = k2;
+  opt.seed = seed;
+  auto schema = SketchSchema::Create(opt);
+  EXPECT_TRUE(schema.ok());
+  return *schema;
+}
+
+double MeanEstimate(const std::vector<Box>& r, const std::vector<Box>& s,
+                    uint32_t dims, uint32_t h, uint32_t instances,
+                    uint64_t seed) {
+  // Direct sketches WITHOUT transformation: callers guarantee
+  // Assumption 1 themselves.
+  auto schema = MakeSchema(dims, h, instances, 1, seed);
+  DatasetSketch rx(schema, Shape::JoinShape(dims));
+  rx.BulkLoad(r);
+  DatasetSketch sy(schema, Shape::JoinShape(dims));
+  sy.BulkLoad(s);
+  auto z = JoinEstimatesPerInstance(rx, sy);
+  EXPECT_TRUE(z.ok());
+  double sum = 0.0;
+  for (double v : *z) sum += v;
+  return sum / instances;
+}
+
+TEST(MedianOfMeans, BasicCombinatorics) {
+  // k1=2, k2=3: means are 1.5, 3.5, 100 -> median 3.5.
+  EXPECT_DOUBLE_EQ(MedianOfMeans({1, 2, 3, 4, 0, 200}, 2, 3), 3.5);
+  // Even k2 averages the middle two.
+  EXPECT_DOUBLE_EQ(MedianOfMeans({1, 3, 5, 100}, 1, 4), 4.0);
+  // Single instance is the identity.
+  EXPECT_DOUBLE_EQ(MedianOfMeans({7.25}, 1, 1), 7.25);
+}
+
+TEST(MedianOfMeans, RobustToOutlierGroups) {
+  std::vector<double> z(3 * 5, 10.0);
+  for (int i = 0; i < 3; ++i) z[i] = 1e9;  // one poisoned group
+  EXPECT_DOUBLE_EQ(MedianOfMeans(z, 3, 5), 10.0);
+}
+
+TEST(JoinEstimator, Figure2ExampleIsUnbiased) {
+  // The paper's running example (Figure 2): r = [0, 2], s = [1, 3] over
+  // the 4-value domain, |R join S| = 1. Mean of many instances must
+  // converge to 1 well within five standard errors.
+  const std::vector<Box> r = {MakeInterval(0, 2)};
+  const std::vector<Box> s = {MakeInterval(1, 3)};
+  ASSERT_EQ(ExactIntervalJoinCount(r, s), 1u);
+
+  const uint32_t k1 = 50000;
+  const double mean = MeanEstimate(r, s, 1, 2, k1, 4242);
+  // SJ(R) = SJ(S) = 10 (2 cover ids + endpoint covers sharing the root).
+  const double sigma = std::sqrt(0.5 * 10.0 * 10.0 / k1);
+  EXPECT_NEAR(mean, 1.0, 5.0 * sigma);
+}
+
+TEST(JoinEstimator, DisjointSetsEstimateNearZero) {
+  const std::vector<Box> r = {MakeInterval(1, 10), MakeInterval(3, 12)};
+  const std::vector<Box> s = {MakeInterval(40, 50), MakeInterval(45, 60)};
+  const uint32_t k1 = 30000;
+  const double mean = MeanEstimate(r, s, 1, 6, k1, 7);
+  const DyadicDomain dom(6);
+  const double sj_r = ExactTotalSelfJoin1D(r, dom);
+  const double sj_s = ExactTotalSelfJoin1D(s, dom);
+  const double sigma = std::sqrt(0.5 * sj_r * sj_s / k1);
+  EXPECT_NEAR(mean, 0.0, 5.0 * sigma);
+}
+
+class UnbiasednessTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UnbiasednessTest, Interval1D) {
+  Rng rng(GetParam());
+  // Odd endpoints for R, even for S: Assumption 1 by construction.
+  std::vector<Box> r, s;
+  for (int i = 0; i < 10; ++i) {
+    const Coord a = 1 + 2 * rng.Uniform(14);
+    r.push_back(MakeInterval(a, a + 2 * (1 + rng.Uniform(8))));
+    const Coord c = 2 * rng.Uniform(15);
+    s.push_back(MakeInterval(c, c + 2 * (1 + rng.Uniform(8)) + 2));
+  }
+  const double exact = static_cast<double>(BruteJoinCount(r, s, 1));
+  const uint32_t k1 = 40000;
+  const double mean = MeanEstimate(r, s, 1, 6, k1, GetParam() * 31 + 1);
+
+  const DyadicDomain dom(6);
+  const double var =
+      JoinVarianceBound(ExactTotalSelfJoin1D(r, dom),
+                        ExactTotalSelfJoin1D(s, dom), 1);
+  EXPECT_NEAR(mean, exact, 5.0 * std::sqrt(var / k1) + 1e-9);
+}
+
+TEST_P(UnbiasednessTest, Rect2D) {
+  Rng rng(GetParam() + 100);
+  std::vector<Box> r, s;
+  for (int i = 0; i < 6; ++i) {
+    Box rb, sb;
+    for (uint32_t d = 0; d < 2; ++d) {
+      const Coord a = 1 + 2 * rng.Uniform(10);
+      rb.lo[d] = a;
+      rb.hi[d] = a + 2 * (1 + rng.Uniform(6));
+      const Coord c = 2 * rng.Uniform(9);
+      sb.lo[d] = c;
+      sb.hi[d] = c + 2 * (1 + rng.Uniform(5)) + 2;
+    }
+    r.push_back(rb);
+    s.push_back(sb);
+  }
+  const double exact = static_cast<double>(BruteJoinCount(r, s, 2));
+  const uint32_t k1 = 30000;
+  const double mean = MeanEstimate(r, s, 2, 5, k1, GetParam() * 17 + 3);
+
+  const std::vector<DyadicDomain> doms = {DyadicDomain(5), DyadicDomain(5)};
+  double sj_r = 0, sj_s = 0;
+  const Shape shape = Shape::JoinShape(2);
+  for (uint32_t w = 0; w < shape.size(); ++w) {
+    sj_r += ExactSelfJoinSizeND(r, doms, shape.word(w), 2);
+    sj_s += ExactSelfJoinSizeND(s, doms, shape.word(w), 2);
+  }
+  const double var = JoinVarianceBound(sj_r, sj_s, 2);
+  EXPECT_NEAR(mean, exact, 5.0 * std::sqrt(var / k1) + 1e-9);
+}
+
+TEST_P(UnbiasednessTest, Box3D) {
+  Rng rng(GetParam() + 200);
+  std::vector<Box> r, s;
+  for (int i = 0; i < 4; ++i) {
+    Box rb, sb;
+    for (uint32_t d = 0; d < 3; ++d) {
+      const Coord a = 1 + 2 * rng.Uniform(5);
+      rb.lo[d] = a;
+      rb.hi[d] = a + 2 * (1 + rng.Uniform(3));
+      const Coord c = 2 * rng.Uniform(4);
+      sb.lo[d] = c;
+      sb.hi[d] = c + 2 * (1 + rng.Uniform(2)) + 2;
+    }
+    r.push_back(rb);
+    s.push_back(sb);
+  }
+  const double exact = static_cast<double>(BruteJoinCount(r, s, 3));
+  const uint32_t k1 = 25000;
+  const double mean = MeanEstimate(r, s, 3, 4, k1, GetParam() * 13 + 5);
+
+  const std::vector<DyadicDomain> doms(3, DyadicDomain(4));
+  double sj_r = 0, sj_s = 0;
+  const Shape shape = Shape::JoinShape(3);
+  for (uint32_t w = 0; w < shape.size(); ++w) {
+    sj_r += ExactSelfJoinSizeND(r, doms, shape.word(w), 3);
+    sj_s += ExactSelfJoinSizeND(s, doms, shape.word(w), 3);
+  }
+  const double var = JoinVarianceBound(sj_r, sj_s, 3);
+  EXPECT_NEAR(mean, exact, 5.0 * std::sqrt(var / k1) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnbiasednessTest,
+                         ::testing::Values(1, 2, 3));
+
+TEST(JoinEstimator, PipelineHandlesSharedEndpoints) {
+  // Grid-aligned data violates Assumption 1 massively; the pipeline's
+  // endpoint transformation must keep the estimator unbiased.
+  Rng rng(4);
+  std::vector<Box> r, s;
+  for (int i = 0; i < 12; ++i) {
+    const Coord a = 4 * rng.Uniform(8);
+    r.push_back(MakeInterval(a, a + 4 * (1 + rng.Uniform(3))));
+    const Coord c = 4 * rng.Uniform(8);
+    s.push_back(MakeInterval(c, c + 4 * (1 + rng.Uniform(3))));
+  }
+  const double exact = static_cast<double>(BruteJoinCount(r, s, 1));
+
+  JoinPipelineOptions opt;
+  opt.dims = 1;
+  opt.log2_domain = 6;
+  opt.k1 = 40000;
+  opt.k2 = 1;
+  opt.seed = 11;
+  auto result = SketchSpatialJoin(r, s, opt);
+  ASSERT_TRUE(result.ok());
+  // With k2 = 1 the combined estimate is the plain mean.
+  const DyadicDomain dom(8);  // transformed domain
+  std::vector<Box> rt, st;
+  for (const Box& b : r) rt.push_back(EndpointTransform::MapR(b, 1));
+  for (const Box& b : s) st.push_back(EndpointTransform::ShrinkS(b, 1));
+  const double var = JoinVarianceBound(ExactTotalSelfJoin1D(rt, dom),
+                                       ExactTotalSelfJoin1D(st, dom), 1);
+  EXPECT_NEAR(result->estimate, exact,
+              5.0 * std::sqrt(var / opt.k1) + 1e-9);
+}
+
+TEST(JoinEstimator, PipelineMatchesExactOnModerateData) {
+  // End-to-end: moderately sized synthetic rectangles, median-of-means
+  // combined; demand a sane relative error.
+  SyntheticBoxOptions gen;
+  gen.dims = 2;
+  gen.log2_domain = 8;
+  gen.count = 800;
+  gen.seed = 21;
+  const auto r = GenerateSyntheticBoxes(gen);
+  gen.seed = 22;
+  const auto s = GenerateSyntheticBoxes(gen);
+  const double exact = static_cast<double>(ExactRectJoinCount(r, s));
+  ASSERT_GT(exact, 0.0);
+
+  JoinPipelineOptions opt;
+  opt.dims = 2;
+  opt.log2_domain = 8;
+  opt.auto_max_level = true;  // Section 6.5: essential for short objects
+  opt.k1 = 600;
+  opt.k2 = 5;
+  opt.seed = 31;
+  auto result = SketchSpatialJoin(r, s, opt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->estimate, exact, 0.30 * exact);
+  // The adaptive selection must actually have capped the levels.
+  EXPECT_LT(result->max_levels[0], 10u);  // transformed domain has h = 10
+}
+
+TEST(JoinEstimator, GuaranteeSizedSketchMeetsEpsilon) {
+  // Size a sketch from the Lemma-1 formula with exact SJ values and a
+  // pilot-exact E[Z]; the resulting estimate must respect the requested
+  // relative error (fixed seed; failure probability phi = 5%).
+  SyntheticBoxOptions gen;
+  gen.dims = 1;
+  gen.log2_domain = 10;
+  gen.count = 2000;
+  gen.seed = 51;
+  const auto r = GenerateSyntheticBoxes(gen);
+  gen.seed = 52;
+  const auto s = GenerateSyntheticBoxes(gen);
+  const double exact = static_cast<double>(ExactIntervalJoinCount(r, s));
+  ASSERT_GT(exact, 0.0);
+
+  std::vector<Box> rt, st;
+  for (const Box& b : r) rt.push_back(EndpointTransform::MapR(b, 1));
+  for (const Box& b : s) st.push_back(EndpointTransform::ShrinkS(b, 1));
+  // Section 6.5 cap selection keeps the self-join masses (and hence the
+  // Lemma-1 instance count) practical.
+  const auto cap = SelectMaxLevel1D(rt, st, 12);
+  const double var = JoinVarianceBound(cap.sj_r, cap.sj_s, 1);
+  const double epsilon = 0.25;
+  auto sizing = SizeForGuarantee(epsilon, 0.05, var, exact);
+  ASSERT_TRUE(sizing.ok());
+  ASSERT_LT(sizing->instances, 200000u)
+      << "capped sizing should stay practical";
+
+  JoinPipelineOptions opt;
+  opt.dims = 1;
+  opt.log2_domain = 10;
+  opt.max_level = cap.max_level;
+  opt.k1 = sizing->k1;
+  opt.k2 = sizing->k2;
+  opt.seed = 61;
+  auto result = SketchSpatialJoin(r, s, opt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(std::abs(result->estimate - exact), epsilon * exact);
+}
+
+TEST(JoinEstimator, RejectsMismatchedSchemas) {
+  auto sa = MakeSchema(1, 6, 4, 2, 1);
+  auto sb = MakeSchema(1, 6, 4, 2, 1);
+  DatasetSketch a(sa, Shape::JoinShape(1));
+  DatasetSketch b(sb, Shape::JoinShape(1));
+  EXPECT_FALSE(EstimateJoinCardinality(a, b).ok());
+}
+
+TEST(JoinEstimator, RejectsWrongShape) {
+  auto schema = MakeSchema(1, 6, 4, 2, 1);
+  DatasetSketch a(schema, Shape::JoinShape(1));
+  DatasetSketch b(schema, Shape::RangeShape(1));
+  EXPECT_FALSE(EstimateJoinCardinality(a, b).ok());
+}
+
+TEST(JoinEstimator, EstimateScalesWithDuplicatedInput) {
+  // Linearity sanity: duplicating every S object doubles the estimate
+  // deterministically (counters are linear).
+  const std::vector<Box> r = {MakeInterval(1, 9), MakeInterval(3, 13)};
+  const std::vector<Box> s = {MakeInterval(4, 8), MakeInterval(6, 12)};
+  auto schema = MakeSchema(1, 5, 500, 1, 77);
+  DatasetSketch rx(schema, Shape::JoinShape(1));
+  rx.BulkLoad(r);
+  DatasetSketch sy(schema, Shape::JoinShape(1));
+  sy.BulkLoad(s);
+  DatasetSketch sy2(schema, Shape::JoinShape(1));
+  sy2.BulkLoad(s);
+  sy2.BulkLoad(s);
+  auto e1 = EstimateJoinCardinality(rx, sy);
+  auto e2 = EstimateJoinCardinality(rx, sy2);
+  ASSERT_TRUE(e1.ok() && e2.ok());
+  EXPECT_DOUBLE_EQ(*e2, 2.0 * *e1);
+}
+
+}  // namespace
+}  // namespace spatialsketch

@@ -1,0 +1,301 @@
+// Tests for the exact query processors: Fenwick tree unit tests plus
+// randomized property tests pitting the O(N log N) sweeps against the
+// brute-force references and the independently-implemented grid join.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/exact/brute.h"
+#include "src/exact/containment_join.h"
+#include "src/exact/eps_join.h"
+#include "src/exact/fenwick.h"
+#include "src/exact/interval_join.h"
+#include "src/exact/range_query.h"
+#include "src/exact/rect_join.h"
+#include "src/geom/box.h"
+#include "src/workload/zipf_boxes.h"
+
+namespace spatialsketch {
+namespace {
+
+std::vector<Box> RandomIntervals(Rng* rng, size_t n, Coord domain) {
+  std::vector<Box> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Coord a = rng->Uniform(domain - 1);
+    const Coord b = a + 1 + rng->Uniform(domain - a - 1);
+    out.push_back(MakeInterval(a, b));
+  }
+  return out;
+}
+
+std::vector<Box> RandomRects(Rng* rng, size_t n, Coord domain) {
+  std::vector<Box> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Box b;
+    for (uint32_t d = 0; d < 2; ++d) {
+      const Coord lo = rng->Uniform(domain - 1);
+      const Coord hi = lo + 1 + rng->Uniform((domain - lo - 1) / 4 + 1);
+      b.lo[d] = lo;
+      b.hi[d] = std::min<Coord>(hi, domain - 1);
+      if (b.hi[d] <= b.lo[d]) b.hi[d] = b.lo[d] + 1;
+    }
+    out.push_back(b);
+  }
+  return out;
+}
+
+std::vector<Box> RandomPoints(Rng* rng, size_t n, Coord domain,
+                              uint32_t dims) {
+  std::vector<Box> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::array<Coord, kMaxDims> c{};
+    for (uint32_t d = 0; d < dims; ++d) c[d] = rng->Uniform(domain);
+    out.push_back(MakePoint(c));
+  }
+  return out;
+}
+
+TEST(Fenwick, PrefixAndRangeCounts) {
+  Fenwick f(16);
+  f.Add(0, 1);
+  f.Add(5, 2);
+  f.Add(15, 1);
+  EXPECT_EQ(f.total(), 4);
+  EXPECT_EQ(f.PrefixCount(0), 1);
+  EXPECT_EQ(f.PrefixCount(4), 1);
+  EXPECT_EQ(f.PrefixCount(5), 3);
+  EXPECT_EQ(f.PrefixCount(15), 4);
+  EXPECT_EQ(f.RangeCount(1, 5), 2);
+  EXPECT_EQ(f.RangeCount(6, 14), 0);
+  EXPECT_EQ(f.RangeCount(5, 15), 3);
+  f.Add(5, -2);
+  EXPECT_EQ(f.PrefixCount(5), 1);
+}
+
+TEST(Fenwick, MatchesNaiveOnRandomOps) {
+  Rng rng(1);
+  const uint64_t kSize = 64;
+  Fenwick f(kSize);
+  std::vector<int64_t> naive(kSize, 0);
+  for (int t = 0; t < 2000; ++t) {
+    const uint64_t pos = rng.Uniform(kSize);
+    f.Add(pos, 1);
+    ++naive[pos];
+    const uint64_t q = rng.Uniform(kSize);
+    int64_t expect = 0;
+    for (uint64_t i = 0; i <= q; ++i) expect += naive[i];
+    ASSERT_EQ(f.PrefixCount(q), expect);
+  }
+}
+
+TEST(IntervalJoin, HandCheckedCases) {
+  const std::vector<Box> r = {MakeInterval(0, 10), MakeInterval(20, 30)};
+  const std::vector<Box> s = {MakeInterval(5, 15), MakeInterval(10, 20),
+                              MakeInterval(30, 40)};
+  // r0-s0 overlap; r0-s1 meet at 10 (no); r1-s1 meet at 20 (no);
+  // r1-s2 meet at 30 (no).
+  EXPECT_EQ(ExactIntervalJoinCount(r, s), 1u);
+  EXPECT_EQ(ExactExtendedIntervalJoinCount(r, s), 4u);
+  EXPECT_EQ(BruteJoinCount(r, s, 1), 1u);
+  EXPECT_EQ(BruteExtendedJoinCount(r, s, 1), 4u);
+}
+
+TEST(IntervalJoin, EmptyInputs) {
+  EXPECT_EQ(ExactIntervalJoinCount({}, {MakeInterval(0, 1)}), 0u);
+  EXPECT_EQ(ExactIntervalJoinCount({MakeInterval(0, 1)}, {}), 0u);
+}
+
+class IntervalJoinPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntervalJoinPropertyTest, SweepMatchesBrute) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto r = RandomIntervals(&rng, 40 + rng.Uniform(60), 64);
+    const auto s = RandomIntervals(&rng, 40 + rng.Uniform(60), 64);
+    EXPECT_EQ(ExactIntervalJoinCount(r, s), BruteJoinCount(r, s, 1));
+    EXPECT_EQ(ExactExtendedIntervalJoinCount(r, s),
+              BruteExtendedJoinCount(r, s, 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalJoinPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(RectJoin, HandCheckedCases) {
+  const std::vector<Box> r = {MakeRect(0, 10, 0, 10)};
+  const std::vector<Box> s = {
+      MakeRect(5, 15, 5, 15),    // overlap
+      MakeRect(10, 20, 0, 10),   // meet in x
+      MakeRect(0, 10, 10, 20),   // meet in y
+      MakeRect(11, 20, 11, 20),  // disjoint
+  };
+  EXPECT_EQ(ExactRectJoinCount(r, s), 1u);
+  EXPECT_EQ(BruteJoinCount(r, s, 2), 1u);
+}
+
+class RectJoinPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RectJoinPropertyTest, SweepMatchesBruteAndGrid) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto r = RandomRects(&rng, 30 + rng.Uniform(50), 48);
+    const auto s = RandomRects(&rng, 30 + rng.Uniform(50), 48);
+    const uint64_t brute = BruteJoinCount(r, s, 2);
+    EXPECT_EQ(ExactRectJoinCount(r, s), brute);
+    EXPECT_EQ(GridJoinCount(r, s, 2, 4), brute);
+    EXPECT_EQ(GridJoinCount(r, s, 2, 7), brute);
+    EXPECT_EQ(GridJoinCount(r, s, 2, 1), brute);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RectJoinPropertyTest,
+                         ::testing::Values(11, 12, 13, 14, 15));
+
+TEST(RectJoin, LargerScaleSweepVsGrid) {
+  // Cross-validate the two independent exact algorithms at a size where
+  // brute force is already unpleasant.
+  SyntheticBoxOptions opt;
+  opt.dims = 2;
+  opt.log2_domain = 10;
+  opt.count = 4000;
+  opt.seed = 99;
+  const auto r = GenerateSyntheticBoxes(opt);
+  opt.seed = 100;
+  const auto s = GenerateSyntheticBoxes(opt);
+  EXPECT_EQ(ExactRectJoinCount(r, s), GridJoinCount(r, s, 2, 16));
+}
+
+TEST(GridJoin, WorksInOneAndThreeDims) {
+  Rng rng(77);
+  const auto r1 = RandomIntervals(&rng, 60, 64);
+  const auto s1 = RandomIntervals(&rng, 60, 64);
+  EXPECT_EQ(GridJoinCount(r1, s1, 1, 5), BruteJoinCount(r1, s1, 1));
+
+  // 3-d boxes.
+  auto rand3 = [&](size_t n) {
+    std::vector<Box> v;
+    for (size_t i = 0; i < n; ++i) {
+      Box b;
+      for (uint32_t d = 0; d < 3; ++d) {
+        const Coord lo = rng.Uniform(30);
+        b.lo[d] = lo;
+        b.hi[d] = lo + 1 + rng.Uniform(8);
+      }
+      v.push_back(b);
+    }
+    return v;
+  };
+  const auto r3 = rand3(50);
+  const auto s3 = rand3(50);
+  EXPECT_EQ(GridJoinCount(r3, s3, 3, 3), BruteJoinCount(r3, s3, 3));
+}
+
+TEST(EpsJoin, HandChecked) {
+  const std::vector<Box> a = {MakePoint({10, 10, 0, 0})};
+  const std::vector<Box> b = {MakePoint({12, 12, 0, 0}),
+                              MakePoint({10, 13, 0, 0}),
+                              MakePoint({14, 10, 0, 0})};
+  EXPECT_EQ(BruteEpsJoinCount(a, b, 2, 2), 1u);   // only (12,12)
+  EXPECT_EQ(BruteEpsJoinCount(a, b, 2, 3), 2u);   // + (10,13)
+  EXPECT_EQ(BruteEpsJoinCount(a, b, 2, 4), 3u);
+  EXPECT_EQ(ExactEpsJoinCount2D(a, b, 2), 1u);
+  EXPECT_EQ(ExactEpsJoinCount2D(a, b, 3), 2u);
+  EXPECT_EQ(ExactEpsJoinCount2D(a, b, 4), 3u);
+}
+
+class EpsJoinPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EpsJoinPropertyTest, SweepMatchesBrute) {
+  Rng rng(GetParam());
+  for (Coord eps : {0ull, 1ull, 3ull, 9ull}) {
+    const auto a = RandomPoints(&rng, 120, 64, 2);
+    const auto b = RandomPoints(&rng, 120, 64, 2);
+    EXPECT_EQ(ExactEpsJoinCount2D(a, b, eps),
+              BruteEpsJoinCount(a, b, 2, eps));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EpsJoinPropertyTest,
+                         ::testing::Values(21, 22, 23, 24));
+
+TEST(EpsJoin, SquareExpansionEquivalence) {
+  // dist_inf(a, b) <= eps  <=>  a contained in the clamped square of b.
+  Rng rng(31);
+  const auto a = RandomPoints(&rng, 80, 32, 2);
+  const auto b = RandomPoints(&rng, 80, 32, 2);
+  const Coord eps = 4;
+  const auto squares = ExpandEpsSquares(b, 2, eps, 5);
+  uint64_t contained = 0;
+  for (const Box& p : a) {
+    for (const Box& sq : squares) {
+      if (Contains(sq, p, 2)) ++contained;
+    }
+  }
+  EXPECT_EQ(contained, BruteEpsJoinCount(a, b, 2, eps));
+}
+
+TEST(RangeQuery, StrictAndClosedVariants) {
+  const std::vector<Box> r = {MakeInterval(0, 10), MakeInterval(10, 20),
+                              MakeInterval(30, 40)};
+  const Box q = MakeInterval(10, 30);
+  // Strict: [0,10] and [30,40] only touch the query.
+  EXPECT_EQ(ExactRangeCount(r, q, 1), 1u);
+  EXPECT_EQ(ExactRangeCountClosed(r, q, 1), 3u);
+  EXPECT_EQ(BruteRangeCount(r, q, 1), 1u);
+}
+
+TEST(RangeQuery, Lemma9CountingIdentity) {
+  // Under Assumption 1 (no common endpoints), r is selected by [u, v] iff
+  // u(r) in [u, v] or v in r. Verify on random intervals with odd
+  // endpoints vs even query endpoints (no coincidences possible).
+  Rng rng(41);
+  std::vector<Box> r;
+  for (int i = 0; i < 200; ++i) {
+    const Coord a = 1 + 2 * rng.Uniform(30);
+    const Coord b = a + 2 * (1 + rng.Uniform(10));
+    r.push_back(MakeInterval(a, b));
+  }
+  for (int t = 0; t < 50; ++t) {
+    const Coord u = 2 * rng.Uniform(35);
+    const Coord v = u + 2 * (1 + rng.Uniform(12));
+    uint64_t identity = 0;
+    for (const Box& b : r) {
+      const bool upper_in = u <= b.hi[0] && b.hi[0] <= v;
+      const bool v_in = b.lo[0] <= v && v <= b.hi[0];
+      EXPECT_FALSE(upper_in && v_in);  // mutually exclusive
+      identity += upper_in || v_in;
+    }
+    EXPECT_EQ(identity, ExactRangeCount(r, MakeInterval(u, v), 1));
+  }
+}
+
+TEST(ContainmentJoin, HandChecked) {
+  const std::vector<Box> r = {MakeInterval(2, 5), MakeInterval(0, 9),
+                              MakeInterval(5, 5)};
+  const std::vector<Box> s = {MakeInterval(0, 9), MakeInterval(2, 5)};
+  // r0 in s0, r0 in s1, r1 in s0, r2 in s0, r2 in s1.
+  EXPECT_EQ(BruteContainmentCount(r, s, 1), 5u);
+  EXPECT_EQ(ExactContainmentCount1D(r, s), 5u);
+}
+
+class ContainmentPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ContainmentPropertyTest, FenwickMatchesBrute) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto r = RandomIntervals(&rng, 80, 48);
+    const auto s = RandomIntervals(&rng, 80, 48);
+    EXPECT_EQ(ExactContainmentCount1D(r, s), BruteContainmentCount(r, s, 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContainmentPropertyTest,
+                         ::testing::Values(51, 52, 53));
+
+}  // namespace
+}  // namespace spatialsketch

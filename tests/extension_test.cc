@@ -1,0 +1,344 @@
+// Tests for the Section-6 / appendix extensions: eps-joins of point sets,
+// containment joins, the extended-overlap join (Definition 4 /
+// Appendix B.1), and the common-endpoint estimator (Appendix C).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/estimators/combine.h"
+#include "src/estimators/common_endpoint_estimator.h"
+#include "src/estimators/containment_estimator.h"
+#include "src/estimators/eps_join_estimator.h"
+#include "src/estimators/extended_join_estimator.h"
+#include "src/exact/brute.h"
+#include "src/exact/containment_join.h"
+#include "src/exact/eps_join.h"
+#include "src/geom/box.h"
+
+namespace spatialsketch {
+namespace {
+
+std::vector<Box> RandomPoints(Rng* rng, size_t n, Coord domain,
+                              uint32_t dims) {
+  std::vector<Box> out;
+  for (size_t i = 0; i < n; ++i) {
+    std::array<Coord, kMaxDims> c{};
+    for (uint32_t d = 0; d < dims; ++d) c[d] = rng->Uniform(domain);
+    out.push_back(MakePoint(c));
+  }
+  return out;
+}
+
+std::vector<Box> RandomIntervals(Rng* rng, size_t n, Coord domain) {
+  std::vector<Box> out;
+  for (size_t i = 0; i < n; ++i) {
+    const Coord a = rng->Uniform(domain - 1);
+    out.push_back(MakeInterval(a, a + 1 + rng->Uniform(domain - a - 1)));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// eps-join (Section 6.3).
+
+class EpsJoinEstimatorTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EpsJoinEstimatorTest, UnbiasedAgainstExact2D) {
+  Rng rng(GetParam());
+  const auto a = RandomPoints(&rng, 40, 64, 2);
+  const auto b = RandomPoints(&rng, 40, 64, 2);
+  for (const Coord eps : {2ull, 6ull}) {
+    const double exact =
+        static_cast<double>(BruteEpsJoinCount(a, b, 2, eps));
+    EpsJoinPipelineOptions opt;
+    opt.dims = 2;
+    opt.log2_domain = 6;
+    opt.eps = eps;
+    opt.auto_max_level = true;
+    opt.k1 = 25000;
+    opt.k2 = 1;
+    opt.seed = GetParam() * 3 + eps;
+    auto result = SketchEpsJoin(a, b, opt);
+    ASSERT_TRUE(result.ok());
+    // Tolerance from Lemma 7's variance bound is loose; empirically the
+    // mean over 25k instances lands much closer. Use an absolute +
+    // relative blend that still detects biased implementations.
+    EXPECT_NEAR(result->estimate, exact, std::max(10.0, 0.30 * exact))
+        << "eps=" << eps;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EpsJoinEstimatorTest,
+                         ::testing::Values(1, 2, 3));
+
+TEST(EpsJoinEstimator, EpsZeroCountsExactMatches) {
+  // eps = 0 degenerates to equality counting.
+  const std::vector<Box> a = {MakePoint({5, 5, 0, 0}),
+                              MakePoint({9, 2, 0, 0})};
+  const std::vector<Box> b = {MakePoint({5, 5, 0, 0}),
+                              MakePoint({5, 5, 0, 0}),
+                              MakePoint({1, 1, 0, 0})};
+  EpsJoinPipelineOptions opt;
+  opt.dims = 2;
+  opt.log2_domain = 5;
+  opt.eps = 0;
+  opt.k1 = 20000;
+  opt.k2 = 1;
+  opt.seed = 77;
+  auto result = SketchEpsJoin(a, b, opt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->estimate, 2.0, 0.4);
+}
+
+TEST(EpsJoinEstimator, OneDimensionalVariant) {
+  Rng rng(5);
+  const auto a = RandomPoints(&rng, 60, 128, 1);
+  const auto b = RandomPoints(&rng, 60, 128, 1);
+  const Coord eps = 4;
+  const double exact = static_cast<double>(BruteEpsJoinCount(a, b, 1, eps));
+  EpsJoinPipelineOptions opt;
+  opt.dims = 1;
+  opt.log2_domain = 7;
+  opt.eps = eps;
+  opt.auto_max_level = true;
+  opt.k1 = 20000;
+  opt.k2 = 1;
+  opt.seed = 6;
+  auto result = SketchEpsJoin(a, b, opt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->estimate, exact, std::max(8.0, 0.2 * exact));
+}
+
+TEST(EpsJoinEstimator, RejectsMismatchedShapes) {
+  SchemaOptions so;
+  so.dims = 1;
+  so.domains[0].log2_size = 6;
+  so.k1 = 2;
+  so.k2 = 2;
+  auto schema = SketchSchema::Create(so);
+  ASSERT_TRUE(schema.ok());
+  DatasetSketch pts(*schema, Shape::PointShape(1));
+  DatasetSketch wrong(*schema, Shape::PointShape(1));
+  EXPECT_FALSE(EstimateContainmentCardinality(pts, wrong).ok());
+}
+
+// ---------------------------------------------------------------------
+// Containment join (Appendix B.2).
+
+TEST(ContainmentEstimator, LiftPreservesPredicate) {
+  Rng rng(7);
+  for (int t = 0; t < 2000; ++t) {
+    const Coord a = rng.Uniform(60);
+    const Box r = MakeInterval(a, a + rng.Uniform(64 - a));
+    const Coord c = rng.Uniform(60);
+    const Box s = MakeInterval(c, c + rng.Uniform(64 - c));
+    const Box p = LiftInnerToPoint(r, 1);
+    const Box o = LiftOuterToBox(s, 1);
+    EXPECT_EQ(Contains(s, r, 1), Contains(o, p, 2));
+  }
+}
+
+TEST(ContainmentEstimator, LiftPreservesPredicate2D) {
+  Rng rng(8);
+  for (int t = 0; t < 2000; ++t) {
+    Box r, s;
+    for (uint32_t d = 0; d < 2; ++d) {
+      const Coord a = rng.Uniform(30);
+      r.lo[d] = a;
+      r.hi[d] = a + rng.Uniform(32 - a);
+      const Coord c = rng.Uniform(30);
+      s.lo[d] = c;
+      s.hi[d] = c + rng.Uniform(32 - c);
+    }
+    EXPECT_EQ(Contains(s, r, 2),
+              Contains(LiftOuterToBox(s, 2), LiftInnerToPoint(r, 2), 4));
+  }
+}
+
+class ContainmentEstimatorTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ContainmentEstimatorTest, UnbiasedAgainstExact1D) {
+  Rng rng(GetParam() + 20);
+  const auto r = RandomIntervals(&rng, 50, 48);
+  const auto s = RandomIntervals(&rng, 50, 48);
+  const double exact =
+      static_cast<double>(ExactContainmentCount1D(r, s));
+  ContainmentPipelineOptions opt;
+  opt.dims = 1;
+  opt.log2_domain = 6;
+  opt.auto_max_level = true;
+  opt.k1 = 25000;
+  opt.k2 = 1;
+  opt.seed = GetParam() * 5 + 2;
+  auto result = SketchContainmentJoin(r, s, opt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->estimate, exact, std::max(14.0, 0.30 * exact));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContainmentEstimatorTest,
+                         ::testing::Values(1, 2, 3));
+
+TEST(ContainmentEstimator, RejectsUnsupportedDims) {
+  ContainmentPipelineOptions opt;
+  opt.dims = 3;  // would lift to 6 sketch dimensions > kMaxDims
+  EXPECT_FALSE(SketchContainmentJoin({}, {}, opt).ok());
+}
+
+// ---------------------------------------------------------------------
+// Extended-overlap join (Appendix B.1).
+
+class ExtendedJoinTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExtendedJoinTest, UnbiasedWithBoundaryTouches1D) {
+  Rng rng(GetParam() + 40);
+  // Grid-aligned intervals: many exact boundary meetings.
+  std::vector<Box> r, s;
+  for (int i = 0; i < 12; ++i) {
+    const Coord a = 4 * rng.Uniform(8);
+    r.push_back(MakeInterval(a, a + 4 * (1 + rng.Uniform(3))));
+    const Coord c = 4 * rng.Uniform(8);
+    s.push_back(MakeInterval(c, c + 4 * (1 + rng.Uniform(3))));
+  }
+  const double exact =
+      static_cast<double>(BruteExtendedJoinCount(r, s, 1));
+  const double strict = static_cast<double>(BruteJoinCount(r, s, 1));
+  JoinPipelineOptions opt;
+  opt.dims = 1;
+  opt.log2_domain = 6;
+  opt.k1 = 30000;
+  opt.k2 = 1;
+  opt.seed = GetParam() * 11 + 3;
+  auto result = SketchExtendedSpatialJoin(r, s, opt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->estimate, exact, std::max(6.0, 0.2 * exact));
+  // The dataset must actually exercise boundary touching.
+  EXPECT_GT(exact, strict);
+}
+
+TEST_P(ExtendedJoinTest, UnbiasedWithBoundaryTouches2D) {
+  Rng rng(GetParam() + 60);
+  std::vector<Box> r, s;
+  for (int i = 0; i < 8; ++i) {
+    Box rb, sb;
+    for (uint32_t d = 0; d < 2; ++d) {
+      const Coord a = 4 * rng.Uniform(5);
+      rb.lo[d] = a;
+      rb.hi[d] = a + 4 * (1 + rng.Uniform(2));
+      const Coord c = 4 * rng.Uniform(5);
+      sb.lo[d] = c;
+      sb.hi[d] = c + 4 * (1 + rng.Uniform(2));
+    }
+    r.push_back(rb);
+    s.push_back(sb);
+  }
+  const double exact =
+      static_cast<double>(BruteExtendedJoinCount(r, s, 2));
+  JoinPipelineOptions opt;
+  opt.dims = 2;
+  opt.log2_domain = 5;
+  opt.k1 = 25000;
+  opt.k2 = 1;
+  opt.seed = GetParam() * 13 + 5;
+  auto result = SketchExtendedSpatialJoin(r, s, opt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->estimate, exact, std::max(8.0, 0.25 * exact));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtendedJoinTest, ::testing::Values(1, 2));
+
+// ---------------------------------------------------------------------
+// Common-endpoint estimator (Appendix C).
+
+class CommonEndpointTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CommonEndpointTest, UnbiasedOnGridAlignedData) {
+  Rng rng(GetParam() + 80);
+  std::vector<Box> r, s;
+  for (int i = 0; i < 12; ++i) {
+    const Coord a = 4 * rng.Uniform(8);
+    r.push_back(MakeInterval(a, a + 4 * (1 + rng.Uniform(3))));
+    const Coord c = 4 * rng.Uniform(8);
+    s.push_back(MakeInterval(c, c + 4 * (1 + rng.Uniform(3))));
+  }
+  const double exact = static_cast<double>(BruteJoinCount(r, s, 1));
+  CommonEndpointOptions opt;
+  opt.log2_domain = 6;
+  opt.k1 = 30000;
+  opt.k2 = 1;
+  opt.seed = GetParam() * 17 + 7;
+  auto result = SketchJoinCommonEndpoints1D(r, s, opt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->estimate, exact, std::max(8.0, 0.25 * exact));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CommonEndpointTest,
+                         ::testing::Values(1, 2, 3));
+
+TEST(CommonEndpointEstimator, HandlesEverySpatialRelationship) {
+  // One pair per Figure-3 case, all sharing coordinates where the case
+  // demands it; exact strict join = cases 3,4,5,6 = 4 pairs... each case
+  // is its own R interval joined against one S interval.
+  const std::vector<Box> r = {
+      MakeInterval(0, 4),    // (1) disjunct from s0
+      MakeInterval(8, 12),   // (2) meets s1 at 12
+      MakeInterval(20, 28),  // (3) overlaps s2
+      MakeInterval(40, 60),  // (4) contains s3
+      MakeInterval(70, 80),  // (5) contains s4 sharing lower endpoint
+      MakeInterval(90, 95),  // (6) identical to s5
+  };
+  const std::vector<Box> s = {
+      MakeInterval(6, 7),    MakeInterval(12, 16), MakeInterval(24, 33),
+      MakeInterval(45, 50),  MakeInterval(70, 75), MakeInterval(90, 95),
+  };
+  const double exact = static_cast<double>(BruteJoinCount(r, s, 1));
+  CommonEndpointOptions opt;
+  opt.log2_domain = 7;
+  opt.k1 = 40000;
+  opt.k2 = 1;
+  opt.seed = 123;
+  auto result = SketchJoinCommonEndpoints1D(r, s, opt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->estimate, exact, std::max(4.0, 0.2 * exact));
+}
+
+TEST(CommonEndpointEstimator, AgreesWithTransformPipeline) {
+  // Both mechanisms must estimate the same strict join; compare their
+  // combined estimates on one dataset.
+  Rng rng(9);
+  std::vector<Box> r, s;
+  for (int i = 0; i < 20; ++i) {
+    const Coord a = 2 * rng.Uniform(20);
+    r.push_back(MakeInterval(a, a + 2 * (1 + rng.Uniform(6))));
+    const Coord c = 2 * rng.Uniform(20);
+    s.push_back(MakeInterval(c, c + 2 * (1 + rng.Uniform(6))));
+  }
+  const double exact = static_cast<double>(BruteJoinCount(r, s, 1));
+
+  CommonEndpointOptions ce;
+  ce.log2_domain = 6;
+  ce.k1 = 25000;
+  ce.k2 = 1;
+  ce.seed = 10;
+  auto via_appendix_c = SketchJoinCommonEndpoints1D(r, s, ce);
+  ASSERT_TRUE(via_appendix_c.ok());
+
+  JoinPipelineOptions jp;
+  jp.dims = 1;
+  jp.log2_domain = 6;
+  jp.k1 = 25000;
+  jp.k2 = 1;
+  jp.seed = 11;
+  auto via_transform = SketchSpatialJoin(r, s, jp);
+  ASSERT_TRUE(via_transform.ok());
+
+  EXPECT_NEAR(via_appendix_c->estimate, exact,
+              std::max(8.0, 0.2 * exact));
+  EXPECT_NEAR(via_transform->estimate, exact,
+              std::max(8.0, 0.2 * exact));
+}
+
+}  // namespace
+}  // namespace spatialsketch

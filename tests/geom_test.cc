@@ -1,0 +1,117 @@
+// Tests for box predicates: Definition 1 (strict overlap), Definition 4
+// (extended overlap), containment, L-infinity distance, and the spatial
+// relationships of Figure 3.
+
+#include <gtest/gtest.h>
+
+#include "src/geom/box.h"
+
+namespace spatialsketch {
+namespace {
+
+TEST(Box, FactoriesAndValidity) {
+  const Box i = MakeInterval(3, 7);
+  EXPECT_TRUE(IsValid(i, 1));
+  EXPECT_FALSE(IsDegenerate(i, 1));
+  const Box p = MakePoint({1, 2, 3, 4});
+  EXPECT_TRUE(IsValid(p, 4));
+  EXPECT_TRUE(IsDegenerate(p, 1));
+  Box bad = MakeInterval(7, 3);
+  EXPECT_FALSE(IsValid(bad, 1));
+}
+
+TEST(Box, Figure3SpatialRelationships1D) {
+  const Box r = MakeInterval(10, 20);
+  // (1) disjunct
+  EXPECT_FALSE(Overlaps(r, MakeInterval(25, 30), 1));
+  EXPECT_FALSE(Overlaps(r, MakeInterval(0, 5), 1));
+  // (2) meet: only boundary contact does NOT overlap strictly...
+  EXPECT_FALSE(Overlaps(r, MakeInterval(20, 30), 1));
+  EXPECT_FALSE(Overlaps(r, MakeInterval(0, 10), 1));
+  // ... but does overlap in the extended sense.
+  EXPECT_TRUE(OverlapsExtended(r, MakeInterval(20, 30), 1));
+  // (3) overlap
+  EXPECT_TRUE(Overlaps(r, MakeInterval(15, 30), 1));
+  EXPECT_TRUE(Overlaps(r, MakeInterval(5, 15), 1));
+  // (4) contain
+  EXPECT_TRUE(Overlaps(r, MakeInterval(12, 18), 1));
+  EXPECT_TRUE(Overlaps(r, MakeInterval(5, 30), 1));
+  // (5) contain + meet
+  EXPECT_TRUE(Overlaps(r, MakeInterval(10, 15), 1));
+  EXPECT_TRUE(Overlaps(r, MakeInterval(15, 20), 1));
+  // (6) identical
+  EXPECT_TRUE(Overlaps(r, r, 1));
+}
+
+TEST(Box, StrictOverlapMatchesMaxLoMinHiIdentity) {
+  // overlap(r, s) <=> per dim max(lo) < min(hi): exhaustive over a small
+  // 1-d domain including degenerate intervals.
+  const Coord n = 8;
+  for (Coord a = 0; a < n; ++a) {
+    for (Coord b = a; b < n; ++b) {
+      for (Coord c = 0; c < n; ++c) {
+        for (Coord d = c; d < n; ++d) {
+          const Box r = MakeInterval(a, b);
+          const Box s = MakeInterval(c, d);
+          const Coord lo = std::max(a, c);
+          const Coord hi = std::min(b, d);
+          EXPECT_EQ(Overlaps(r, s, 1), lo < hi);
+          EXPECT_EQ(OverlapsExtended(r, s, 1), lo <= hi);
+        }
+      }
+    }
+  }
+}
+
+TEST(Box, Figure4RectangleRelationships) {
+  // (2,3): meet in x, overlap in y -> no strict overlap, extended overlap.
+  const Box r = MakeRect(0, 10, 0, 10);
+  const Box s_meet = MakeRect(10, 20, 5, 15);
+  EXPECT_FALSE(Overlaps(r, s_meet, 2));
+  EXPECT_TRUE(OverlapsExtended(r, s_meet, 2));
+  // (3,3): overlap in both.
+  EXPECT_TRUE(Overlaps(r, MakeRect(5, 15, 5, 15), 2));
+  // (4,5): containment-ish, overlaps.
+  EXPECT_TRUE(Overlaps(r, MakeRect(2, 8, 0, 5), 2));
+  // (2,3)-rotated: disjoint in y.
+  EXPECT_FALSE(Overlaps(r, MakeRect(5, 15, 12, 20), 2));
+}
+
+TEST(Box, OverlapRequiresEveryDimension) {
+  const Box a = MakeRect(0, 10, 0, 10);
+  Box b = MakeRect(5, 15, 20, 30);
+  EXPECT_FALSE(Overlaps(a, b, 2));
+  b = MakeRect(20, 30, 5, 15);
+  EXPECT_FALSE(Overlaps(a, b, 2));
+}
+
+TEST(Box, ContainsClosedSemantics) {
+  const Box outer = MakeInterval(5, 10);
+  EXPECT_TRUE(Contains(outer, MakeInterval(5, 10), 1));
+  EXPECT_TRUE(Contains(outer, MakeInterval(6, 9), 1));
+  EXPECT_TRUE(Contains(outer, MakeInterval(5, 7), 1));
+  EXPECT_FALSE(Contains(outer, MakeInterval(4, 7), 1));
+  EXPECT_FALSE(Contains(outer, MakeInterval(6, 11), 1));
+  // 2-d.
+  const Box o2 = MakeRect(0, 10, 0, 10);
+  EXPECT_TRUE(Contains(o2, MakeRect(2, 8, 0, 10), 2));
+  EXPECT_FALSE(Contains(o2, MakeRect(2, 11, 0, 10), 2));
+}
+
+TEST(Box, LInfDistance) {
+  const Box a = MakePoint({3, 10, 0, 0});
+  const Box b = MakePoint({7, 12, 0, 0});
+  EXPECT_EQ(LInfDistance(a, b, 2), 4u);
+  EXPECT_EQ(LInfDistance(a, b, 1), 4u);
+  EXPECT_EQ(LInfDistance(a, a, 2), 0u);
+  // Symmetry.
+  EXPECT_EQ(LInfDistance(b, a, 2), 4u);
+}
+
+TEST(Box, ToStringRendering) {
+  EXPECT_EQ(ToString(MakeInterval(3, 7), 1), "[3,7]");
+  EXPECT_EQ(ToString(MakeRect(3, 7, 0, 2), 2), "[3,7]x[0,2]");
+}
+
+}  // namespace
+}  // namespace spatialsketch

@@ -1,0 +1,151 @@
+// Tests for GF(2^64) arithmetic: ring axioms on random elements, known
+// small products, a Frobenius-based irreducibility check of the reduction
+// polynomial, and the small test fields.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/rng.h"
+#include "src/gf2/gf2_64.h"
+#include "src/gf2/gf2_small.h"
+
+namespace spatialsketch {
+namespace gf2 {
+namespace {
+
+TEST(Clmul, SmallKnownProducts) {
+  // (x+1)(x+1) = x^2 + 1 carry-less.
+  auto p = Clmul64(0b11, 0b11);
+  EXPECT_EQ(p.lo, 0b101u);
+  EXPECT_EQ(p.hi, 0u);
+  // x^63 * x = x^64.
+  p = Clmul64(uint64_t{1} << 63, 2);
+  EXPECT_EQ(p.lo, 0u);
+  EXPECT_EQ(p.hi, 1u);
+}
+
+TEST(Clmul, MatchesSchoolbookOnRandomInputs) {
+  Rng rng(1);
+  for (int t = 0; t < 200; ++t) {
+    const uint64_t a = rng.Next64();
+    const uint64_t b = rng.Next64();
+    // Schoolbook reference.
+    uint64_t lo = 0, hi = 0;
+    for (int i = 0; i < 64; ++i) {
+      if ((b >> i) & 1) {
+        lo ^= a << i;
+        hi ^= i == 0 ? 0 : a >> (64 - i);
+      }
+    }
+    const auto p = Clmul64(a, b);
+    EXPECT_EQ(p.lo, lo);
+    EXPECT_EQ(p.hi, hi);
+  }
+}
+
+TEST(Gf64, MultiplicationIsCommutative) {
+  Rng rng(2);
+  for (int t = 0; t < 200; ++t) {
+    const uint64_t a = rng.Next64(), b = rng.Next64();
+    EXPECT_EQ(Mul(a, b), Mul(b, a));
+  }
+}
+
+TEST(Gf64, MultiplicationIsAssociative) {
+  Rng rng(3);
+  for (int t = 0; t < 200; ++t) {
+    const uint64_t a = rng.Next64(), b = rng.Next64(), c = rng.Next64();
+    EXPECT_EQ(Mul(Mul(a, b), c), Mul(a, Mul(b, c)));
+  }
+}
+
+TEST(Gf64, MultiplicationDistributesOverXor) {
+  Rng rng(4);
+  for (int t = 0; t < 200; ++t) {
+    const uint64_t a = rng.Next64(), b = rng.Next64(), c = rng.Next64();
+    EXPECT_EQ(Mul(a, b ^ c), Mul(a, b) ^ Mul(a, c));
+  }
+}
+
+TEST(Gf64, OneIsIdentityZeroAnnihilates) {
+  Rng rng(5);
+  for (int t = 0; t < 100; ++t) {
+    const uint64_t a = rng.Next64();
+    EXPECT_EQ(Mul(a, 1), a);
+    EXPECT_EQ(Mul(a, 0), 0u);
+  }
+}
+
+TEST(Gf64, SquareMatchesMul) {
+  Rng rng(6);
+  for (int t = 0; t < 200; ++t) {
+    const uint64_t a = rng.Next64();
+    EXPECT_EQ(Square(a), Mul(a, a));
+    EXPECT_EQ(Cube(a), Mul(Mul(a, a), a));
+  }
+}
+
+TEST(Gf64, FrobeniusLinearity) {
+  // Squaring is GF(2)-linear: (a+b)^2 = a^2 + b^2.
+  Rng rng(7);
+  for (int t = 0; t < 200; ++t) {
+    const uint64_t a = rng.Next64(), b = rng.Next64();
+    EXPECT_EQ(Square(a ^ b), Square(a) ^ Square(b));
+  }
+}
+
+TEST(Gf64, ReductionPolynomialIsIrreducible) {
+  // alpha = x satisfies alpha^(2^64) == alpha for any factor pattern with
+  // degrees dividing 64, and alpha^(2^32) != alpha rules out every proper
+  // divisor: together they certify a degree-64 irreducible factor, i.e.
+  // irreducibility of the degree-64 modulus itself.
+  const uint64_t alpha = 2;  // the class of x
+  EXPECT_EQ(FrobeniusPower(alpha, 64), alpha);
+  EXPECT_NE(FrobeniusPower(alpha, 32), alpha);
+}
+
+TEST(Gf64, FermatForRandomElements) {
+  Rng rng(8);
+  for (int t = 0; t < 50; ++t) {
+    const uint64_t a = rng.Next64();
+    EXPECT_EQ(FrobeniusPower(a, 64), a);
+  }
+}
+
+TEST(SmallField, Gf256MatchesAesFieldFacts) {
+  // In the AES field, {02} * {87} = {15} (known vector: xtime with
+  // reduction).
+  EXPECT_EQ(Gf256::Mul(0x02, 0x87), 0x15u);
+  // {53} * {CA} = {01} (known multiplicative inverse pair).
+  EXPECT_EQ(Gf256::Mul(0x53, 0xCA), 0x01u);
+}
+
+TEST(SmallField, RingAxiomsExhaustiveOnSubsets) {
+  for (uint64_t a = 0; a < 64; ++a) {
+    for (uint64_t b = 0; b < 64; ++b) {
+      EXPECT_EQ(Gf256::Mul(a, b), Gf256::Mul(b, a));
+    }
+  }
+  for (uint64_t a = 1; a < 32; ++a) {
+    for (uint64_t b = 1; b < 32; ++b) {
+      for (uint64_t c = 1; c < 8; ++c) {
+        EXPECT_EQ(Gf256::Mul(Gf256::Mul(a, b), c),
+                  Gf256::Mul(a, Gf256::Mul(b, c)));
+      }
+    }
+  }
+}
+
+TEST(SmallField, CubeInjectivityOnNonzeroGf256) {
+  // gcd(3, 255) = 3, so cubing is 3-to-1 on nonzero elements; verify the
+  // image size. (This documents that BCH four-wise independence does not
+  // rely on cube injectivity.)
+  std::set<uint64_t> image;
+  for (uint64_t a = 1; a < 256; ++a) image.insert(Gf256::Cube(a));
+  EXPECT_EQ(image.size(), 85u);
+}
+
+}  // namespace
+}  // namespace gf2
+}  // namespace spatialsketch

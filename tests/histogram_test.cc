@@ -1,0 +1,159 @@
+// Tests for the Geometric- and Euler-histogram baselines: storage
+// accounting against the paper's formulas, single-cell exactness of the
+// 4-event identity, reasonable accuracy on uniform data, and
+// insert/delete maintainability.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+
+#include "src/exact/rect_join.h"
+#include "src/geom/box.h"
+#include "src/histogram/euler_histogram.h"
+#include "src/histogram/geometric_histogram.h"
+#include "src/histogram/grid.h"
+#include "src/workload/zipf_boxes.h"
+
+namespace spatialsketch {
+namespace {
+
+TEST(Grid2D, CellMathAndClamping) {
+  const Grid2D g(64.0, 64.0, 8, 8);
+  EXPECT_DOUBLE_EQ(g.cell_width(), 8.0);
+  EXPECT_EQ(g.CellX(0.0), 0u);
+  EXPECT_EQ(g.CellX(7.99), 0u);
+  EXPECT_EQ(g.CellX(8.0), 1u);
+  EXPECT_EQ(g.CellX(63.99), 7u);
+  EXPECT_EQ(g.CellX(64.0), 7u);  // clamp
+  EXPECT_EQ(g.CellX(1000.0), 7u);
+  // End-cells: boundary coordinates belong to the lower cell.
+  EXPECT_EQ(g.CellXEnd(8.0), 0u);
+  EXPECT_EQ(g.CellXEnd(8.01), 1u);
+  EXPECT_EQ(g.CellXEnd(64.0), 7u);
+  EXPECT_EQ(g.CellIndex(3, 2), 19u);
+}
+
+TEST(GeometricHistogram, MemoryFormula) {
+  EXPECT_EQ(GeometricHistogram(1024.0, 8).MemoryWords(), 4u * 64);
+  EXPECT_EQ(GeometricHistogram(1024.0, 95).MemoryWords(), 4u * 95 * 95);
+}
+
+TEST(EulerHistogram, MemoryFormulaMatchesPaper) {
+  // Level L grid (g = 2^L): 9*2^{2L} - 6*2^L + 1 words.
+  for (uint32_t level : {1u, 2u, 4u, 6u}) {
+    const uint32_t g = 1u << level;
+    const uint64_t expect =
+        9ull * (1ull << (2 * level)) - 6ull * (1ull << level) + 1;
+    EXPECT_EQ(EulerHistogram(1024.0, g).MemoryWords(), expect);
+  }
+}
+
+TEST(GeometricHistogram, SingleCellUniformModelIsAccurate) {
+  // The GH model's home turf: many small rectangles uniformly placed in
+  // ONE cell. The 4-event identity with uniform-placement probabilities
+  // must land near the exact join size.
+  Rng rng(77);
+  auto gen = [&](uint64_t seed) {
+    Rng local(seed);
+    std::vector<Box> v;
+    for (int i = 0; i < 400; ++i) {
+      const Coord lx = local.Uniform(56);
+      const Coord ly = local.Uniform(56);
+      v.push_back(MakeRect(lx, lx + 1 + local.Uniform(7), ly,
+                           ly + 1 + local.Uniform(7)));
+    }
+    return v;
+  };
+  const auto rv = gen(1);
+  const auto sv = gen(2);
+  GeometricHistogram r(64.0, 1), s(64.0, 1);
+  for (const Box& b : rv) r.Add(b);
+  for (const Box& b : sv) s.Add(b);
+  const double exact = static_cast<double>(ExactRectJoinCount(rv, sv));
+  EXPECT_NEAR(GeometricHistogram::EstimateJoin(r, s), exact, 0.25 * exact);
+}
+
+TEST(GeometricHistogram, DisjointFarApartEstimatesNearZero) {
+  GeometricHistogram r(64.0, 8), s(64.0, 8);
+  r.Add(MakeRect(0, 4, 0, 4));
+  s.Add(MakeRect(50, 60, 50, 60));
+  EXPECT_NEAR(GeometricHistogram::EstimateJoin(r, s), 0.0, 1e-9);
+}
+
+TEST(GeometricHistogram, ReasonableOnUniformData) {
+  SyntheticBoxOptions gen;
+  gen.dims = 2;
+  gen.log2_domain = 10;
+  gen.count = 3000;
+  gen.seed = 1;
+  const auto r = GenerateSyntheticBoxes(gen);
+  gen.seed = 2;
+  const auto s = GenerateSyntheticBoxes(gen);
+  const double exact = static_cast<double>(ExactRectJoinCount(r, s));
+  ASSERT_GT(exact, 0.0);
+
+  GeometricHistogram hr(1024.0, 16), hs(1024.0, 16);
+  for (const Box& b : r) hr.Add(b);
+  for (const Box& b : s) hs.Add(b);
+  const double est = GeometricHistogram::EstimateJoin(hr, hs);
+  // Uniform data is GH's best case; the estimate should land within 30%.
+  EXPECT_NEAR(est, exact, 0.30 * exact);
+}
+
+TEST(EulerHistogram, ReasonableOnUniformData) {
+  SyntheticBoxOptions gen;
+  gen.dims = 2;
+  gen.log2_domain = 10;
+  gen.count = 3000;
+  gen.seed = 3;
+  const auto r = GenerateSyntheticBoxes(gen);
+  gen.seed = 4;
+  const auto s = GenerateSyntheticBoxes(gen);
+  const double exact = static_cast<double>(ExactRectJoinCount(r, s));
+  ASSERT_GT(exact, 0.0);
+
+  EulerHistogram hr(1024.0, 16), hs(1024.0, 16);
+  for (const Box& b : r) hr.Add(b);
+  for (const Box& b : s) hs.Add(b);
+  const double est = EulerHistogram::EstimateJoin(hr, hs);
+  // EH's per-bucket model errors accumulate (the effect the paper's
+  // Figures 5/9-11 highlight); demand only the right order of magnitude.
+  EXPECT_NEAR(est, exact, 0.80 * exact);
+}
+
+TEST(EulerHistogram, VertexCorrectionKicksInForSpanningObjects) {
+  // Two identical large rectangles spanning a 2x2 block of cells: the
+  // Euler-signed sum must count the pair once-ish, not four times.
+  EulerHistogram r(64.0, 2), s(64.0, 2);
+  r.Add(MakeRect(8, 56, 8, 56));
+  s.Add(MakeRect(8, 56, 8, 56));
+  const double est = EulerHistogram::EstimateJoin(r, s);
+  EXPECT_NEAR(est, 1.0, 0.35);
+}
+
+TEST(EulerHistogram, SupportsDeletionByNegativeWeight) {
+  EulerHistogram a(64.0, 4), b(64.0, 4);
+  const Box box = MakeRect(5, 20, 9, 30);
+  a.Add(box);
+  a.Add(MakeRect(30, 50, 30, 50));
+  a.Add(MakeRect(30, 50, 30, 50), -1.0);
+  b.Add(box);
+  EXPECT_NEAR(EulerHistogram::EstimateJoin(a, b),
+              EulerHistogram::EstimateJoin(b, b), 1e-9);
+}
+
+TEST(GeometricHistogram, SupportsDeletionByNegativeWeight) {
+  GeometricHistogram a(64.0, 4), b(64.0, 4);
+  const Box box = MakeRect(5, 20, 9, 30);
+  a.Add(box);
+  a.Add(MakeRect(40, 60, 2, 12));
+  a.Add(MakeRect(40, 60, 2, 12), -1.0);
+  b.Add(box);
+  EXPECT_NEAR(GeometricHistogram::EstimateJoin(a, b),
+              GeometricHistogram::EstimateJoin(b, b), 1e-9);
+}
+
+}  // namespace
+}  // namespace spatialsketch

@@ -1,0 +1,156 @@
+// Tests for the Lemma-9 range-query estimator: unbiasedness against the
+// exact strict range count, multidimensional generalization, streaming
+// maintenance, and selectivity reporting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/estimators/range_query_estimator.h"
+#include "src/exact/range_query.h"
+#include "src/geom/box.h"
+#include "src/workload/zipf_boxes.h"
+
+namespace spatialsketch {
+namespace {
+
+TEST(RangeQueryEstimator, HandCheckedTinyCase) {
+  // Three intervals, query [4, 12]: [0,3] touches nothing (strictly
+  // below), [3,5] overlaps, [12,20] only touches at 12 -> count 1.
+  const std::vector<Box> data = {MakeInterval(0, 3), MakeInterval(3, 5),
+                                 MakeInterval(12, 20)};
+  RangeEstimatorOptions opt;
+  opt.dims = 1;
+  opt.log2_domain = 6;
+  opt.k1 = 30000;
+  opt.k2 = 1;
+  opt.seed = 5;
+  auto est = RangeQueryEstimator::Build(data, opt);
+  ASSERT_TRUE(est.ok());
+  const Box q = MakeInterval(4, 12);
+  EXPECT_EQ(ExactRangeCount(data, q, 1), 1u);
+  EXPECT_NEAR(est->EstimateCount(q), 1.0, 0.35);
+}
+
+class RangeSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RangeSweepTest, UnbiasedOverRandomQueries1D) {
+  SyntheticBoxOptions gen;
+  gen.dims = 1;
+  gen.log2_domain = 8;
+  gen.count = 400;
+  gen.seed = GetParam();
+  const auto data = GenerateSyntheticBoxes(gen);
+
+  RangeEstimatorOptions opt;
+  opt.dims = 1;
+  opt.log2_domain = 8;
+  opt.auto_max_level = true;
+  opt.k1 = 4000;
+  opt.k2 = 5;
+  opt.seed = GetParam() * 7 + 1;
+  auto est = RangeQueryEstimator::Build(data, opt);
+  ASSERT_TRUE(est.ok());
+
+  Rng rng(GetParam() + 33);
+  for (int t = 0; t < 8; ++t) {
+    const Coord u = rng.Uniform(200);
+    const Coord v = u + 8 + rng.Uniform(48);
+    const Box q = MakeInterval(u, v);
+    const double exact = static_cast<double>(ExactRangeCount(data, q, 1));
+    const double got = est->EstimateCount(q);
+    // Generous but meaningful tolerance: range estimates carry a
+    // log(n)-factor variance (Lemma 9).
+    EXPECT_NEAR(got, exact, std::max(15.0, 0.40 * exact))
+        << "query [" << u << ", " << v << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RangeSweepTest, ::testing::Values(1, 2, 3));
+
+TEST(RangeQueryEstimator, TwoDimensionalQueries) {
+  SyntheticBoxOptions gen;
+  gen.dims = 2;
+  gen.log2_domain = 6;
+  gen.count = 300;
+  gen.seed = 9;
+  const auto data = GenerateSyntheticBoxes(gen);
+
+  RangeEstimatorOptions opt;
+  opt.dims = 2;
+  opt.log2_domain = 6;
+  opt.auto_max_level = true;
+  opt.k1 = 6000;
+  opt.k2 = 5;
+  opt.seed = 10;
+  auto est = RangeQueryEstimator::Build(data, opt);
+  ASSERT_TRUE(est.ok());
+
+  Rng rng(11);
+  for (int t = 0; t < 5; ++t) {
+    Box q;
+    for (uint32_t d = 0; d < 2; ++d) {
+      const Coord u = rng.Uniform(40);
+      q.lo[d] = u;
+      q.hi[d] = u + 6 + rng.Uniform(16);
+    }
+    const double exact = static_cast<double>(ExactRangeCount(data, q, 2));
+    EXPECT_NEAR(est->EstimateCount(q), exact, std::max(25.0, 0.45 * exact));
+  }
+}
+
+TEST(RangeQueryEstimator, StreamingInsertDeleteTracksDataset) {
+  RangeEstimatorOptions opt;
+  opt.dims = 1;
+  opt.log2_domain = 6;
+  opt.k1 = 20000;
+  opt.k2 = 1;
+  opt.seed = 12;
+  auto est = RangeQueryEstimator::Build({}, opt);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->num_objects(), 0);
+
+  est->Insert(MakeInterval(10, 20));
+  est->Insert(MakeInterval(30, 40));
+  est->Insert(MakeInterval(15, 35));
+  est->Delete(MakeInterval(30, 40));
+  EXPECT_EQ(est->num_objects(), 2);
+
+  const Box q = MakeInterval(12, 18);
+  // Remaining data: [10,20] and [15,35] both overlap [12,18].
+  EXPECT_NEAR(est->EstimateCount(q), 2.0, 0.5);
+}
+
+TEST(RangeQueryEstimator, SelectivityDividesByCount) {
+  const std::vector<Box> data = {MakeInterval(0, 10), MakeInterval(20, 30),
+                                 MakeInterval(40, 50), MakeInterval(5, 45)};
+  RangeEstimatorOptions opt;
+  opt.dims = 1;
+  opt.log2_domain = 6;
+  opt.k1 = 20000;
+  opt.k2 = 1;
+  opt.seed = 13;
+  auto est = RangeQueryEstimator::Build(data, opt);
+  ASSERT_TRUE(est.ok());
+  const Box q = MakeInterval(1, 8);
+  // [0,10] and [5,45] overlap -> selectivity 0.5.
+  EXPECT_NEAR(est->EstimateSelectivity(q), 0.5, 0.15);
+}
+
+TEST(RangeQueryEstimator, DegenerateDataDropped) {
+  RangeEstimatorOptions opt;
+  opt.dims = 1;
+  opt.log2_domain = 6;
+  opt.k1 = 100;
+  opt.k2 = 1;
+  opt.seed = 14;
+  auto est = RangeQueryEstimator::Build(
+      {MakeInterval(5, 5), MakeInterval(9, 9)}, opt);
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ(est->num_objects(), 0);
+}
+
+}  // namespace
+}  // namespace spatialsketch

@@ -1,0 +1,133 @@
+// Tests for self-join sizes: the exact 1-d array route, the exact
+// d-dimensional hashed route, their mutual agreement, and the sketched
+// estimate E[X_w^2] = SJ(X_w).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/geom/box.h"
+#include "src/sketch/dataset_sketch.h"
+#include "src/sketch/schema.h"
+#include "src/sketch/self_join.h"
+
+namespace spatialsketch {
+namespace {
+
+std::vector<Box> RandomBoxes(Rng* rng, size_t n, Coord domain,
+                             uint32_t dims) {
+  std::vector<Box> out;
+  for (size_t i = 0; i < n; ++i) {
+    Box b;
+    for (uint32_t d = 0; d < dims; ++d) {
+      const Coord lo = rng->Uniform(domain - 1);
+      b.lo[d] = lo;
+      b.hi[d] = lo + 1 + rng->Uniform(domain - lo - 1);
+    }
+    out.push_back(b);
+  }
+  return out;
+}
+
+TEST(SelfJoin, SingleIntervalByHand) {
+  // One interval [2, 5] over h=3: its cover is {[2,3], [4,5]} (2 ids of
+  // frequency 1 -> SJ(X_I) = 2); endpoints 2 and 5 each have point covers
+  // of size 4, sharing only the root (frequency 2) and the level-2
+  // interval [0,3]? No: 2 lies in [0,3], 5 in [4,7] at level 2; they share
+  // only the root. f has 6 ids of frequency 1 and the root at frequency 2:
+  // SJ(X_E) = 6 + 4 = 10.
+  const DyadicDomain dom(3);
+  const std::vector<Box> boxes = {MakeInterval(2, 5)};
+  const auto sj = ExactSelfJoinSizes1D(boxes, dom, Shape::JoinShape(1));
+  ASSERT_EQ(sj.size(), 2u);
+  EXPECT_DOUBLE_EQ(sj[0], 2.0);
+  EXPECT_DOUBLE_EQ(sj[1], 10.0);
+  EXPECT_DOUBLE_EQ(ExactTotalSelfJoin1D(boxes, dom), 12.0);
+}
+
+TEST(SelfJoin, ArrayAndHashedRoutesAgree1D) {
+  Rng rng(1);
+  const DyadicDomain dom(7);
+  const auto boxes = RandomBoxes(&rng, 60, 128, 1);
+  const Shape shape = Shape::JoinShape(1);
+  const auto arr = ExactSelfJoinSizes1D(boxes, dom, shape);
+  const std::vector<DyadicDomain> doms = {dom};
+  for (uint32_t w = 0; w < shape.size(); ++w) {
+    EXPECT_DOUBLE_EQ(arr[w],
+                     ExactSelfJoinSizeND(boxes, doms, shape.word(w), 1));
+  }
+}
+
+TEST(SelfJoin, HashedRouteHandles2D) {
+  Rng rng(2);
+  const std::vector<DyadicDomain> doms = {DyadicDomain(5), DyadicDomain(5)};
+  const auto boxes = RandomBoxes(&rng, 30, 32, 2);
+  const Shape shape = Shape::JoinShape(2);
+  // SJ must be positive and at least |R| (each object contributes at
+  // least one tuple of frequency >= 1... the sum of f^2 >= sum of f^2's
+  // lower bound via Cauchy-Schwarz: >= (total incidences)^2 / #tuples).
+  for (uint32_t w = 0; w < shape.size(); ++w) {
+    const double sj = ExactSelfJoinSizeND(boxes, doms, shape.word(w), 2);
+    EXPECT_GE(sj, static_cast<double>(boxes.size()));
+  }
+}
+
+TEST(SelfJoin, ScalesQuadraticallyForDuplicates) {
+  // m copies of one interval: every frequency scales by m, SJ by m^2.
+  const DyadicDomain dom(6);
+  const Box b = MakeInterval(11, 45);
+  std::vector<Box> one = {b};
+  std::vector<Box> five(5, b);
+  const auto sj1 = ExactSelfJoinSizes1D(one, dom, Shape::JoinShape(1));
+  const auto sj5 = ExactSelfJoinSizes1D(five, dom, Shape::JoinShape(1));
+  EXPECT_DOUBLE_EQ(sj5[0], 25.0 * sj1[0]);
+  EXPECT_DOUBLE_EQ(sj5[1], 25.0 * sj1[1]);
+}
+
+TEST(SelfJoin, CapZeroMatchesStandardSketchSelfJoin) {
+  // With maxLevel = 0 the interval sketch is the standard sketch V_I: f
+  // counts per-coordinate incidences.
+  const DyadicDomain dom(4, 0);
+  const std::vector<Box> boxes = {MakeInterval(0, 3), MakeInterval(2, 5)};
+  const auto sj = ExactSelfJoinSizes1D(boxes, dom, Shape::JoinShape(1));
+  // Coordinates 0,1 freq 1; 2,3 freq 2; 4,5 freq 1 -> SJ = 2+8+2 = 12.
+  EXPECT_DOUBLE_EQ(sj[0], 12.0);
+}
+
+TEST(SelfJoin, SketchedEstimateTracksExact1D) {
+  Rng rng(3);
+  const uint32_t h = 8;
+  const auto boxes = RandomBoxes(&rng, 150, 256, 1);
+
+  SchemaOptions so;
+  so.dims = 1;
+  so.domains[0].log2_size = h;
+  so.k1 = 256;
+  so.k2 = 9;
+  so.seed = 99;
+  auto schema = SketchSchema::Create(so);
+  ASSERT_TRUE(schema.ok());
+  DatasetSketch sketch(*schema, Shape::JoinShape(1));
+  sketch.BulkLoad(boxes);
+
+  const auto exact =
+      ExactSelfJoinSizes1D(boxes, (*schema)->domain(0), Shape::JoinShape(1));
+  for (uint32_t w = 0; w < 2; ++w) {
+    const double est = EstimateSelfJoinSize(sketch, w);
+    EXPECT_NEAR(est, exact[w], 0.35 * exact[w])
+        << "word " << w << " exact " << exact[w] << " est " << est;
+  }
+  const double total = EstimateTotalSelfJoin(sketch);
+  EXPECT_NEAR(total, exact[0] + exact[1], 0.35 * (exact[0] + exact[1]));
+}
+
+TEST(SelfJoin, EmptyDatasetHasZeroSelfJoin) {
+  const DyadicDomain dom(5);
+  const auto sj = ExactSelfJoinSizes1D({}, dom, Shape::JoinShape(1));
+  EXPECT_DOUBLE_EQ(sj[0], 0.0);
+  EXPECT_DOUBLE_EQ(sj[1], 0.0);
+}
+
+}  // namespace
+}  // namespace spatialsketch

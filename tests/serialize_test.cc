@@ -1,0 +1,154 @@
+// Tests for schema/sketch serialization: round trips are bit-exact
+// (schemas regenerate identical seeds; sketch counters survive verbatim),
+// deserialized sketches keep estimating and keep accepting updates, and
+// corrupt blobs are rejected with Status instead of crashing.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/estimators/join_estimator.h"
+#include "src/sketch/dataset_sketch.h"
+#include "src/sketch/serialize.h"
+#include "src/workload/zipf_boxes.h"
+
+namespace spatialsketch {
+namespace {
+
+SchemaPtr MakeSchema(uint32_t dims, uint32_t h, uint32_t k1, uint32_t k2,
+                     uint64_t seed) {
+  SchemaOptions opt;
+  opt.dims = dims;
+  for (uint32_t i = 0; i < dims; ++i) {
+    opt.domains[i].log2_size = h;
+    opt.domains[i].max_level = i + 3;  // exercise per-dim caps
+  }
+  opt.k1 = k1;
+  opt.k2 = k2;
+  opt.seed = seed;
+  auto schema = SketchSchema::Create(opt);
+  EXPECT_TRUE(schema.ok());
+  return *schema;
+}
+
+TEST(SerializeSchema, RoundTripRegeneratesIdenticalSeeds) {
+  auto schema = MakeSchema(2, 8, 6, 3, 777);
+  const std::string blob = SerializeSchema(*schema);
+  auto restored = DeserializeSchema(blob);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ((*restored)->instances(), schema->instances());
+  ASSERT_EQ((*restored)->dims(), schema->dims());
+  for (uint32_t i = 0; i < schema->instances(); ++i) {
+    for (uint32_t d = 0; d < schema->dims(); ++d) {
+      EXPECT_TRUE((*restored)->seed(i, d) == schema->seed(i, d));
+    }
+  }
+  EXPECT_EQ((*restored)->domain(1).max_level(), 4u);
+}
+
+TEST(SerializeSchema, RejectsCorruptBlobs) {
+  auto schema = MakeSchema(1, 6, 2, 2, 1);
+  std::string blob = SerializeSchema(*schema);
+  // Truncation at every prefix length must fail cleanly, never crash.
+  for (size_t len = 0; len < blob.size(); ++len) {
+    EXPECT_FALSE(DeserializeSchema(blob.substr(0, len)).ok());
+  }
+  // Bad magic.
+  std::string bad = blob;
+  bad[0] = 'X';
+  EXPECT_FALSE(DeserializeSchema(bad).ok());
+  // Trailing garbage.
+  EXPECT_FALSE(DeserializeSchema(blob + "zz").ok());
+  // Wrong kind: a sketch blob is not a schema blob.
+  DatasetSketch sk(schema, Shape::JoinShape(1));
+  EXPECT_FALSE(DeserializeSchema(SerializeSketch(sk)).ok());
+}
+
+TEST(SerializeSketch, RoundTripPreservesCountersExactly) {
+  auto schema = MakeSchema(2, 7, 5, 3, 99);
+  DatasetSketch sketch(schema, Shape::JoinShape(2));
+  SyntheticBoxOptions gen;
+  gen.dims = 2;
+  gen.log2_domain = 7;
+  gen.count = 150;
+  gen.seed = 4;
+  sketch.BulkLoad(GenerateSyntheticBoxes(gen));
+
+  auto restored = DeserializeSketch(SerializeSketch(sketch));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->num_objects(), sketch.num_objects());
+  ASSERT_TRUE(restored->shape() == sketch.shape());
+  for (uint32_t inst = 0; inst < schema->instances(); ++inst) {
+    for (uint32_t w = 0; w < sketch.shape().size(); ++w) {
+      ASSERT_EQ(restored->Counter(inst, w), sketch.Counter(inst, w));
+    }
+  }
+}
+
+TEST(SerializeSketch, RestoredSketchKeepsWorking) {
+  // A deserialized sketch must join against a fresh sketch built under
+  // the equivalent (regenerated) schema, and keep accepting updates.
+  SchemaOptions so;
+  so.dims = 1;
+  so.domains[0].log2_size = 8;
+  so.k1 = 2000;
+  so.k2 = 1;
+  so.seed = 5;
+  auto schema = SketchSchema::Create(so);
+  ASSERT_TRUE(schema.ok());
+
+  SyntheticBoxOptions gen;
+  gen.dims = 1;
+  gen.log2_domain = 8;
+  gen.count = 60;
+  gen.seed = 6;
+  const auto boxes = GenerateSyntheticBoxes(gen);
+  DatasetSketch original(*schema, Shape::JoinShape(1));
+  original.BulkLoad(boxes);
+
+  auto restored = DeserializeSketch(SerializeSketch(original));
+  ASSERT_TRUE(restored.ok());
+
+  // Updates on the restored sketch must match updates on the original.
+  const Box extra = MakeInterval(17, 140);
+  original.Insert(extra);
+  restored->Insert(extra);
+  for (uint32_t inst = 0; inst < (*schema)->instances(); ++inst) {
+    ASSERT_EQ(restored->Counter(inst, 0), original.Counter(inst, 0));
+    ASSERT_EQ(restored->Counter(inst, 1), original.Counter(inst, 1));
+  }
+}
+
+TEST(SerializeSketch, RejectsCorruptBlobs) {
+  auto schema = MakeSchema(1, 6, 3, 2, 7);
+  DatasetSketch sketch(schema, Shape::JoinShape(1));
+  sketch.Insert(MakeInterval(3, 9));
+  const std::string blob = SerializeSketch(sketch);
+  for (size_t len = 0; len < blob.size(); len += 7) {
+    EXPECT_FALSE(DeserializeSketch(blob.substr(0, len)).ok());
+  }
+  EXPECT_FALSE(DeserializeSketch(blob + "x").ok());
+  // Letter-code corruption: find the shape bytes right after the schema
+  // payload + word count and poison one.
+  std::string bad = blob;
+  const size_t header = 4 + 1 + 1;
+  const size_t schema_payload = 4 * 3 + 8 + 8;  // dims,k1,k2 + seed + 1 dom
+  const size_t shape_start = header + schema_payload + 4;
+  bad[shape_start] = 100;  // invalid letter code
+  EXPECT_FALSE(DeserializeSketch(bad).ok());
+}
+
+TEST(SerializeSketch, BlobSizeMatchesAccounting) {
+  // The blob is dominated by the counters: instances * words * 8 bytes.
+  auto schema = MakeSchema(1, 6, 100, 3, 8);
+  DatasetSketch sketch(schema, Shape::JoinShape(1));
+  const std::string blob = SerializeSketch(sketch);
+  const size_t counters = 300u * 2 * 8;
+  EXPECT_GE(blob.size(), counters);
+  EXPECT_LE(blob.size(), counters + 128);
+}
+
+}  // namespace
+}  // namespace spatialsketch

@@ -1,0 +1,77 @@
+// Tests for the Lemma-1 sizing calculator and the variance-bound helpers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/estimators/sizing.h"
+
+namespace spatialsketch {
+namespace {
+
+TEST(Sizing, RejectsBadParameters) {
+  EXPECT_FALSE(SizeForGuarantee(0.0, 0.01, 1.0, 1.0).ok());
+  EXPECT_FALSE(SizeForGuarantee(1.0, 0.01, 1.0, 1.0).ok());
+  EXPECT_FALSE(SizeForGuarantee(0.3, 0.0, 1.0, 1.0).ok());
+  EXPECT_FALSE(SizeForGuarantee(0.3, 1.5, 1.0, 1.0).ok());
+  EXPECT_FALSE(SizeForGuarantee(0.3, 0.01, -1.0, 1.0).ok());
+  EXPECT_FALSE(SizeForGuarantee(0.3, 0.01, 1.0, 0.0).ok());
+  EXPECT_TRUE(SizeForGuarantee(0.3, 0.01, 1.0, 1.0).ok());
+}
+
+TEST(Sizing, MatchesLemma1Formula) {
+  // k1 = ceil(8 V / (eps^2 Q^2)); k2 = odd ceil(2 lg(1/phi)).
+  auto s = SizeForGuarantee(0.5, 0.25, 100.0, 10.0);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->k1, static_cast<uint32_t>(
+                       std::ceil(8.0 * 100.0 / (0.25 * 100.0))));  // 32
+  EXPECT_EQ(s->k2, 5u);  // 2*lg(4) = 4 -> odd 5
+  EXPECT_EQ(s->instances, 32u * 5);
+}
+
+TEST(Sizing, PaperParameters) {
+  // eps = 0.3, phi = 0.01 (Figures 7/8): k2 = odd ceil(2 lg 100) = 15.
+  auto s = SizeForGuarantee(0.3, 0.01, 1.0, 1.0);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->k2, 15u);
+  EXPECT_EQ(s->k1, static_cast<uint32_t>(std::ceil(8.0 / 0.09)));  // 89
+}
+
+TEST(Sizing, K1GrowsWithVarianceShrinksWithExpectation) {
+  auto small = SizeForGuarantee(0.3, 0.05, 100.0, 50.0);
+  auto big_var = SizeForGuarantee(0.3, 0.05, 1000.0, 50.0);
+  auto big_e = SizeForGuarantee(0.3, 0.05, 100.0, 500.0);
+  ASSERT_TRUE(small.ok() && big_var.ok() && big_e.ok());
+  EXPECT_GT(big_var->k1, small->k1);
+  EXPECT_LT(big_e->k1, small->k1);
+}
+
+TEST(Sizing, WordsAccounting) {
+  auto s = SizeForGuarantee(0.3, 0.25, 1.0, 1.0);
+  ASSERT_TRUE(s.ok());
+  // JoinShape(1) has 2 words -> 3 words per instance per dataset.
+  EXPECT_EQ(s->WordsPerDataset(2), s->instances * 3);
+}
+
+TEST(VarianceBounds, JoinBoundMatchesPaperConstants) {
+  // d=1 and d=2 both give 1/2 SJ SJ (Sections 4.1.4 and 4.2.1).
+  EXPECT_DOUBLE_EQ(JoinVarianceBound(10.0, 20.0, 1), 0.5 * 10 * 20);
+  EXPECT_DOUBLE_EQ(JoinVarianceBound(10.0, 20.0, 2), 0.5 * 10 * 20);
+  // d=3: (27-1)/64.
+  EXPECT_DOUBLE_EQ(JoinVarianceBound(10.0, 20.0, 3), 26.0 / 64.0 * 200.0);
+}
+
+TEST(VarianceBounds, EpsJoinBound) {
+  // Lemma 7: d=2 constant is 8.
+  EXPECT_DOUBLE_EQ(EpsJoinVarianceBound(3.0, 5.0, 2), 8.0 * 15.0);
+  // Lemma 8 general: 3^d - 1.
+  EXPECT_DOUBLE_EQ(EpsJoinVarianceBound(3.0, 5.0, 3), 26.0 * 15.0);
+}
+
+TEST(VarianceBounds, RangeQueryBound) {
+  // Lemma 9: 2 (3 log2 n + 1) SJ(R).
+  EXPECT_DOUBLE_EQ(RangeQueryVarianceBound(7.0, 16), 2.0 * 49.0 * 7.0);
+}
+
+}  // namespace
+}  // namespace spatialsketch

@@ -1,0 +1,360 @@
+// Tests for shapes, schemas and DatasetSketch: counter correctness against
+// the first-principles sketch definitions (Equations 2/4 and Section 3.2),
+// bit-equality of the streaming and bulk paths, insert/delete linearity,
+// and mergeability.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/geom/box.h"
+#include "src/sketch/dataset_sketch.h"
+#include "src/sketch/schema.h"
+#include "src/sketch/shape.h"
+#include "src/xi/bch_family.h"
+
+namespace spatialsketch {
+namespace {
+
+SchemaPtr MakeSchema(uint32_t dims, uint32_t h, uint32_t k1, uint32_t k2,
+                     uint64_t seed = 42,
+                     uint32_t max_level = DyadicDomain::kNoCap) {
+  SchemaOptions opt;
+  opt.dims = dims;
+  for (uint32_t i = 0; i < dims; ++i) {
+    opt.domains[i].log2_size = h;
+    opt.domains[i].max_level = max_level;
+  }
+  opt.k1 = k1;
+  opt.k2 = k2;
+  opt.seed = seed;
+  auto schema = SketchSchema::Create(opt);
+  EXPECT_TRUE(schema.ok());
+  return *schema;
+}
+
+std::vector<Box> RandomBoxes(Rng* rng, size_t n, Coord domain,
+                             uint32_t dims) {
+  std::vector<Box> out;
+  for (size_t i = 0; i < n; ++i) {
+    Box b;
+    for (uint32_t d = 0; d < dims; ++d) {
+      const Coord lo = rng->Uniform(domain - 1);
+      b.lo[d] = lo;
+      b.hi[d] = lo + 1 + rng->Uniform(domain - lo - 1);
+    }
+    out.push_back(b);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Shape.
+
+TEST(Shape, JoinShapeEnumeratesIEWords) {
+  const Shape s1 = Shape::JoinShape(1);
+  ASSERT_EQ(s1.size(), 2u);
+  EXPECT_EQ(WordToString(s1.word(0), 1), "I");
+  EXPECT_EQ(WordToString(s1.word(1), 1), "E");
+
+  const Shape s2 = Shape::JoinShape(2);
+  ASSERT_EQ(s2.size(), 4u);
+  EXPECT_EQ(WordToString(s2.word(0), 2), "II");
+  EXPECT_EQ(WordToString(s2.word(1), 2), "EI");
+  EXPECT_EQ(WordToString(s2.word(2), 2), "IE");
+  EXPECT_EQ(WordToString(s2.word(3), 2), "EE");
+}
+
+TEST(Shape, ComplementIsInvolutionAndMaskInversion) {
+  for (uint32_t dims : {1u, 2u, 3u}) {
+    const Shape s = Shape::JoinShape(dims);
+    for (uint32_t w = 0; w < s.size(); ++w) {
+      const Word c = ComplementWord(s.word(w), dims);
+      EXPECT_EQ(s.IndexOf(c),
+                static_cast<int>(w ^ (s.size() - 1)));
+      EXPECT_EQ(ComplementWord(c, dims), s.word(w));
+    }
+  }
+}
+
+TEST(Shape, ExtendedShapeAndCwCount) {
+  const Shape s = Shape::ExtendedJoinShape(1);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(WordToString(s.word(0), 1), "I");
+  EXPECT_EQ(WordToString(s.word(1), 1), "E");
+  EXPECT_EQ(WordToString(s.word(2), 1), "l");
+  EXPECT_EQ(WordToString(s.word(3), 1), "u");
+  EXPECT_EQ(CountIntervalEndpointLetters(s.word(0), 1), 1u);
+  EXPECT_EQ(CountIntervalEndpointLetters(s.word(2), 1), 0u);
+  EXPECT_EQ(Shape::ExtendedJoinShape(2).size(), 16u);
+}
+
+TEST(Shape, WordStringRoundTrip) {
+  for (const std::string& w : {"I", "IE", "Iu", "LU", "lIEu"}) {
+    auto parsed = WordFromString(w);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(WordToString(*parsed, static_cast<uint32_t>(w.size())), w);
+  }
+  EXPECT_FALSE(WordFromString("").ok());
+  EXPECT_FALSE(WordFromString("IEXLU").ok());
+  EXPECT_FALSE(WordFromString("Z").ok());
+}
+
+// ---------------------------------------------------------------------
+// Schema.
+
+TEST(Schema, ValidatesOptions) {
+  SchemaOptions opt;
+  opt.dims = 0;
+  EXPECT_FALSE(SketchSchema::Create(opt).ok());
+  opt.dims = kMaxDims + 1;
+  EXPECT_FALSE(SketchSchema::Create(opt).ok());
+  opt.dims = 1;
+  opt.k1 = 0;
+  EXPECT_FALSE(SketchSchema::Create(opt).ok());
+  opt.k1 = 4;
+  opt.domains[0].log2_size = 0;
+  EXPECT_FALSE(SketchSchema::Create(opt).ok());
+  opt.domains[0].log2_size = 16;
+  EXPECT_TRUE(SketchSchema::Create(opt).ok());
+}
+
+TEST(Schema, DeterministicSeeds) {
+  auto a = MakeSchema(2, 8, 4, 3, 123);
+  auto b = MakeSchema(2, 8, 4, 3, 123);
+  for (uint32_t i = 0; i < a->instances(); ++i) {
+    for (uint32_t d = 0; d < 2; ++d) {
+      EXPECT_TRUE(a->seed(i, d) == b->seed(i, d));
+    }
+  }
+}
+
+TEST(Schema, SeedsDifferAcrossInstancesAndDims) {
+  auto s = MakeSchema(2, 8, 8, 2, 7);
+  int collisions = 0;
+  for (uint32_t i = 0; i < s->instances(); ++i) {
+    for (uint32_t j = i + 1; j < s->instances(); ++j) {
+      if (s->seed(i, 0) == s->seed(j, 0)) ++collisions;
+    }
+    if (s->seed(i, 0) == s->seed(i, 1)) ++collisions;
+  }
+  EXPECT_EQ(collisions, 0);
+}
+
+TEST(Schema, WordsAccounting) {
+  auto s = MakeSchema(1, 10, 5, 3);
+  // Per instance: 2 counters (I, E) + 1 seed word; 15 instances.
+  EXPECT_EQ(s->WordsPerDataset(Shape::JoinShape(1)), 15u * 3);
+  EXPECT_EQ(s->WordsPerDataset(Shape::JoinShape(1)),
+            DatasetSketch(s, Shape::JoinShape(1)).MemoryWords());
+}
+
+// ---------------------------------------------------------------------
+// DatasetSketch counters vs first-principles definitions.
+
+TEST(DatasetSketch, MatchesEquation4Definition1D) {
+  auto schema = MakeSchema(1, 6, 3, 2);
+  DatasetSketch sketch(schema, Shape::JoinShape(1));
+  Rng rng(5);
+  const auto boxes = RandomBoxes(&rng, 40, 64, 1);
+  for (const Box& b : boxes) sketch.Insert(b);
+
+  const DyadicDomain& dom = schema->domain(0);
+  for (uint32_t inst = 0; inst < schema->instances(); ++inst) {
+    const BchXiFamily fam(schema->seed(inst, 0));
+    int64_t xi = 0, xe = 0;
+    for (const Box& b : boxes) {
+      dom.ForEachCoverId(b.lo[0], b.hi[0],
+                         [&](uint64_t id) { xi += fam.Sign(id); });
+      dom.ForEachPointCoverId(b.lo[0],
+                              [&](uint64_t id) { xe += fam.Sign(id); });
+      dom.ForEachPointCoverId(b.hi[0],
+                              [&](uint64_t id) { xe += fam.Sign(id); });
+    }
+    EXPECT_EQ(sketch.Counter(inst, 0), xi);
+    EXPECT_EQ(sketch.Counter(inst, 1), xe);
+  }
+}
+
+TEST(DatasetSketch, MatchesSection32Definition2D) {
+  auto schema = MakeSchema(2, 5, 2, 2);
+  DatasetSketch sketch(schema, Shape::JoinShape(2));
+  Rng rng(6);
+  const auto boxes = RandomBoxes(&rng, 25, 32, 2);
+  for (const Box& b : boxes) sketch.Insert(b);
+
+  for (uint32_t inst = 0; inst < schema->instances(); ++inst) {
+    const BchXiFamily f0(schema->seed(inst, 0));
+    const BchXiFamily f1(schema->seed(inst, 1));
+    int64_t x[4] = {0, 0, 0, 0};  // II, EI, IE, EE in shape order
+    for (const Box& b : boxes) {
+      auto cover_sum = [&](const BchXiFamily& f, const DyadicDomain& dom,
+                           Coord lo, Coord hi) {
+        int64_t s = 0;
+        dom.ForEachCoverId(lo, hi, [&](uint64_t id) { s += f.Sign(id); });
+        return s;
+      };
+      auto point_sum = [&](const BchXiFamily& f, const DyadicDomain& dom,
+                           Coord a) {
+        int64_t s = 0;
+        dom.ForEachPointCoverId(a, [&](uint64_t id) { s += f.Sign(id); });
+        return s;
+      };
+      const int64_t i0 = cover_sum(f0, schema->domain(0), b.lo[0], b.hi[0]);
+      const int64_t e0 = point_sum(f0, schema->domain(0), b.lo[0]) +
+                         point_sum(f0, schema->domain(0), b.hi[0]);
+      const int64_t i1 = cover_sum(f1, schema->domain(1), b.lo[1], b.hi[1]);
+      const int64_t e1 = point_sum(f1, schema->domain(1), b.lo[1]) +
+                         point_sum(f1, schema->domain(1), b.hi[1]);
+      x[0] += i0 * i1;
+      x[1] += e0 * i1;
+      x[2] += i0 * e1;
+      x[3] += e0 * e1;
+    }
+    for (int w = 0; w < 4; ++w) EXPECT_EQ(sketch.Counter(inst, w), x[w]);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Streaming vs bulk path, linearity, merge.
+
+class PathEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>> {};
+
+TEST_P(PathEquivalenceTest, BulkEqualsStreamingBitExactly) {
+  const auto [dims, k1] = GetParam();
+  auto schema = MakeSchema(dims, 6, k1, 3);
+  const Shape shape = Shape::JoinShape(dims);
+  Rng rng(7);
+  const auto boxes = RandomBoxes(&rng, 30, 64, dims);
+
+  DatasetSketch streaming(schema, shape);
+  for (const Box& b : boxes) streaming.Insert(b);
+  DatasetSketch bulk(schema, shape);
+  bulk.BulkLoad(boxes);
+
+  ASSERT_EQ(streaming.num_objects(), bulk.num_objects());
+  for (uint32_t inst = 0; inst < schema->instances(); ++inst) {
+    for (uint32_t w = 0; w < shape.size(); ++w) {
+      ASSERT_EQ(streaming.Counter(inst, w), bulk.Counter(inst, w))
+          << "inst=" << inst << " w=" << w;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsAndWidths, PathEquivalenceTest,
+    ::testing::Values(std::make_tuple(1u, 3u), std::make_tuple(1u, 70u),
+                      std::make_tuple(2u, 5u), std::make_tuple(2u, 90u),
+                      std::make_tuple(3u, 4u),
+                      std::make_tuple(1u, 200u)));
+
+TEST(DatasetSketch, BulkEqualsStreamingWithExtendedShape) {
+  auto schema = MakeSchema(2, 6, 40, 2);
+  const Shape shape = Shape::ExtendedJoinShape(2);
+  Rng rng(8);
+  const auto boxes = RandomBoxes(&rng, 20, 64, 2);
+  DatasetSketch streaming(schema, shape);
+  for (const Box& b : boxes) streaming.Insert(b);
+  DatasetSketch bulk(schema, shape);
+  bulk.BulkLoad(boxes);
+  for (uint32_t inst = 0; inst < schema->instances(); ++inst) {
+    for (uint32_t w = 0; w < shape.size(); ++w) {
+      ASSERT_EQ(streaming.Counter(inst, w), bulk.Counter(inst, w));
+    }
+  }
+}
+
+TEST(DatasetSketch, DeleteInvertsInsert) {
+  auto schema = MakeSchema(2, 6, 6, 3);
+  DatasetSketch sketch(schema, Shape::JoinShape(2));
+  Rng rng(9);
+  const auto boxes = RandomBoxes(&rng, 15, 64, 2);
+  for (const Box& b : boxes) sketch.Insert(b);
+  for (const Box& b : boxes) sketch.Delete(b);
+  EXPECT_EQ(sketch.num_objects(), 0);
+  for (uint32_t inst = 0; inst < schema->instances(); ++inst) {
+    for (uint32_t w = 0; w < sketch.shape().size(); ++w) {
+      EXPECT_EQ(sketch.Counter(inst, w), 0);
+    }
+  }
+}
+
+TEST(DatasetSketch, BulkUnloadInvertsBulkLoad) {
+  auto schema = MakeSchema(1, 8, 10, 3);
+  DatasetSketch sketch(schema, Shape::JoinShape(1));
+  Rng rng(10);
+  const auto boxes = RandomBoxes(&rng, 50, 256, 1);
+  sketch.BulkLoad(boxes, +1);
+  sketch.BulkLoad(boxes, -1);
+  for (uint32_t inst = 0; inst < schema->instances(); ++inst) {
+    EXPECT_EQ(sketch.Counter(inst, 0), 0);
+    EXPECT_EQ(sketch.Counter(inst, 1), 0);
+  }
+}
+
+TEST(DatasetSketch, MergeEqualsUnionLoad) {
+  auto schema = MakeSchema(2, 6, 8, 2);
+  Rng rng(11);
+  const auto part1 = RandomBoxes(&rng, 20, 64, 2);
+  const auto part2 = RandomBoxes(&rng, 25, 64, 2);
+
+  DatasetSketch a(schema, Shape::JoinShape(2));
+  a.BulkLoad(part1);
+  DatasetSketch b(schema, Shape::JoinShape(2));
+  b.BulkLoad(part2);
+  a.Merge(b);
+
+  DatasetSketch whole(schema, Shape::JoinShape(2));
+  auto all = part1;
+  all.insert(all.end(), part2.begin(), part2.end());
+  whole.BulkLoad(all);
+
+  EXPECT_EQ(a.num_objects(), whole.num_objects());
+  for (uint32_t inst = 0; inst < schema->instances(); ++inst) {
+    for (uint32_t w = 0; w < 4; ++w) {
+      EXPECT_EQ(a.Counter(inst, w), whole.Counter(inst, w));
+    }
+  }
+}
+
+TEST(DatasetSketch, MaxLevelCapChangesCoverGranularity) {
+  // Capped and uncapped sketches of the same data differ but both follow
+  // their own first-principles definition.
+  auto capped = MakeSchema(1, 6, 4, 2, 42, /*max_level=*/1);
+  DatasetSketch sketch(capped, Shape::JoinShape(1));
+  const Box b = MakeInterval(3, 40);
+  sketch.Insert(b);
+  const DyadicDomain& dom = capped->domain(0);
+  for (uint32_t inst = 0; inst < capped->instances(); ++inst) {
+    const BchXiFamily fam(capped->seed(inst, 0));
+    int64_t xi = 0;
+    dom.ForEachCoverId(3, 40, [&](uint64_t id) {
+      EXPECT_LE(dom.LevelOf(id), 1u);
+      xi += fam.Sign(id);
+    });
+    EXPECT_EQ(sketch.Counter(inst, 0), xi);
+  }
+}
+
+TEST(DatasetSketch, LeafBoxVariantUsesSeparateCoordinates) {
+  auto schema = MakeSchema(1, 6, 5, 2);
+  const Shape shape = Shape::ExtendedJoinShape(1);
+  // main box [10, 20], leaf box [11, 21]: leaf counters must track the
+  // leaf box's endpoints, interval counters the main box.
+  DatasetSketch sketch(schema, shape);
+  sketch.InsertWithLeafBox(MakeInterval(10, 20), MakeInterval(11, 21));
+  const DyadicDomain& dom = schema->domain(0);
+  for (uint32_t inst = 0; inst < schema->instances(); ++inst) {
+    const BchXiFamily fam(schema->seed(inst, 0));
+    EXPECT_EQ(sketch.Counter(inst, 2), fam.Sign(dom.LeafId(11)));  // word l
+    EXPECT_EQ(sketch.Counter(inst, 3), fam.Sign(dom.LeafId(21)));  // word u
+    int64_t xi = 0;
+    dom.ForEachCoverId(10, 20, [&](uint64_t id) { xi += fam.Sign(id); });
+    EXPECT_EQ(sketch.Counter(inst, 0), xi);
+  }
+}
+
+}  // namespace
+}  // namespace spatialsketch

@@ -1,0 +1,209 @@
+// Tests for the workload generators: determinism, domain bounds,
+// non-degeneracy, skew behaviour, the real-world-like layers, and update
+// streams whose net effect equals the final dataset.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "src/geom/box.h"
+#include "src/workload/clustered_boxes.h"
+#include "src/workload/real_world.h"
+#include "src/workload/update_stream.h"
+#include "src/workload/zipf_boxes.h"
+
+namespace spatialsketch {
+namespace {
+
+TEST(SyntheticBoxes, DeterministicAndWithinDomain) {
+  SyntheticBoxOptions opt;
+  opt.dims = 2;
+  opt.log2_domain = 10;
+  opt.count = 5000;
+  opt.seed = 3;
+  const auto a = GenerateSyntheticBoxes(opt);
+  const auto b = GenerateSyntheticBoxes(opt);
+  ASSERT_EQ(a.size(), 5000u);
+  EXPECT_TRUE(a == b);
+  for (const Box& box : a) {
+    for (uint32_t d = 0; d < 2; ++d) {
+      EXPECT_LT(box.lo[d], box.hi[d]);
+      EXPECT_LT(box.hi[d], Coord{1} << 10);
+    }
+  }
+}
+
+TEST(SyntheticBoxes, MeanSideTracksSqrtDomain) {
+  SyntheticBoxOptions opt;
+  opt.dims = 1;
+  opt.log2_domain = 14;
+  opt.count = 20000;
+  opt.seed = 4;
+  const auto boxes = GenerateSyntheticBoxes(opt);
+  double mean = 0.0;
+  for (const Box& b : boxes) mean += static_cast<double>(b.hi[0] - b.lo[0]);
+  mean /= boxes.size();
+  const double target = std::sqrt(16384.0);  // 128
+  // Clamping at the domain edge shortens some boxes; allow 25%.
+  EXPECT_NEAR(mean, target, 0.25 * target);
+}
+
+TEST(SyntheticBoxes, ZipfSkewConcentratesLowerEndpoints) {
+  SyntheticBoxOptions opt;
+  opt.dims = 1;
+  opt.log2_domain = 12;
+  opt.count = 20000;
+  opt.seed = 5;
+  opt.zipf_z = 0.0;
+  const auto uniform = GenerateSyntheticBoxes(opt);
+  opt.zipf_z = 1.0;
+  const auto skewed = GenerateSyntheticBoxes(opt);
+  auto low_fraction = [](const std::vector<Box>& v) {
+    uint64_t low = 0;
+    for (const Box& b : v) low += (b.lo[0] < 256);
+    return static_cast<double>(low) / v.size();
+  };
+  EXPECT_LT(low_fraction(uniform), 0.10);
+  EXPECT_GT(low_fraction(skewed), 0.40);
+}
+
+TEST(SyntheticBoxes, DifferentSeedsProduceDifferentData) {
+  SyntheticBoxOptions opt;
+  opt.count = 100;
+  opt.seed = 1;
+  const auto a = GenerateSyntheticBoxes(opt);
+  opt.seed = 2;
+  const auto b = GenerateSyntheticBoxes(opt);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(ClusteredBoxes, DeterministicBoundedNonDegenerate) {
+  ClusteredBoxOptions opt;
+  opt.count = 4000;
+  opt.layer_seed = 9;
+  const auto a = GenerateClusteredBoxes(opt);
+  const auto b = GenerateClusteredBoxes(opt);
+  EXPECT_TRUE(a == b);
+  ASSERT_EQ(a.size(), 4000u);
+  const Coord max_coord = (Coord{1} << opt.log2_domain) - 1;
+  for (const Box& box : a) {
+    for (uint32_t d = 0; d < 2; ++d) {
+      EXPECT_LT(box.lo[d], box.hi[d]);
+      EXPECT_LE(box.hi[d], max_coord);
+    }
+  }
+}
+
+TEST(ClusteredBoxes, ClusteringProducesSpatialSkew) {
+  ClusteredBoxOptions opt;
+  opt.count = 8000;
+  opt.num_clusters = 8;
+  opt.background_fraction = 0.0;
+  opt.layer_seed = 10;
+  const auto boxes = GenerateClusteredBoxes(opt);
+  // Count occupancy over a coarse 8x8 grid of centers; clustered data
+  // must concentrate: top-8 cells should hold well over half the mass.
+  std::map<uint64_t, uint64_t> cells;
+  const double w = std::ldexp(1.0, opt.log2_domain) / 8.0;
+  for (const Box& b : boxes) {
+    const uint64_t cx = static_cast<uint64_t>(b.lo[0] / w);
+    const uint64_t cy = static_cast<uint64_t>(b.lo[1] / w);
+    ++cells[cy * 8 + cx];
+  }
+  std::vector<uint64_t> counts;
+  for (auto& [k, v] : cells) counts.push_back(v);
+  std::sort(counts.rbegin(), counts.rend());
+  uint64_t top = 0;
+  for (size_t i = 0; i < std::min<size_t>(8, counts.size()); ++i) {
+    top += counts[i];
+  }
+  EXPECT_GT(top, boxes.size() / 2);
+}
+
+TEST(RealWorldLayers, MatchPaperCardinalities) {
+  EXPECT_EQ(GenerateRealWorldLayer(RealWorldLayer::kLando).size(), 33860u);
+  EXPECT_EQ(GenerateRealWorldLayer(RealWorldLayer::kLandc).size(), 14731u);
+  EXPECT_EQ(GenerateRealWorldLayer(RealWorldLayer::kSoil).size(), 29662u);
+}
+
+TEST(RealWorldLayers, NamesAndDeterminism) {
+  EXPECT_EQ(RealWorldLayerName(RealWorldLayer::kLando), "LANDO");
+  EXPECT_EQ(RealWorldLayerName(RealWorldLayer::kSoil), "SOIL");
+  const auto a = GenerateRealWorldLayer(RealWorldLayer::kLandc);
+  const auto b = GenerateRealWorldLayer(RealWorldLayer::kLandc);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(RealWorldLayers, LayersDifferButShareExtent) {
+  const auto lando = GenerateRealWorldLayer(RealWorldLayer::kLando);
+  const auto soil = GenerateRealWorldLayer(RealWorldLayer::kSoil);
+  EXPECT_FALSE(lando == soil);
+  // Average side: ownership parcels smaller than soil polygons.
+  auto mean_side = [](const std::vector<Box>& v) {
+    double m = 0;
+    for (const Box& b : v) {
+      m += static_cast<double>(b.hi[0] - b.lo[0] + b.hi[1] - b.lo[1]) / 2;
+    }
+    return m / v.size();
+  };
+  EXPECT_LT(mean_side(lando), mean_side(soil));
+}
+
+TEST(UpdateStream, NetEffectEqualsFinalDataset) {
+  SyntheticBoxOptions gen;
+  gen.dims = 1;
+  gen.log2_domain = 8;
+  gen.count = 200;
+  gen.seed = 30;
+  const auto final_boxes = GenerateSyntheticBoxes(gen);
+  gen.seed = 31;
+  gen.count = 120;
+  const auto transient = GenerateSyntheticBoxes(gen);
+
+  UpdateStreamOptions opt;
+  opt.seed = 32;
+  const auto stream = MakeUpdateStream(final_boxes, transient, opt);
+  ASSERT_EQ(stream.size(), final_boxes.size() + 2 * transient.size());
+
+  // Replaying must net to exactly the final multiset.
+  std::map<std::pair<Coord, Coord>, int64_t> net;
+  for (const auto& u : stream) {
+    net[{u.box.lo[0], u.box.hi[0]}] +=
+        u.op == Update::Op::kInsert ? 1 : -1;
+  }
+  std::map<std::pair<Coord, Coord>, int64_t> expect;
+  for (const Box& b : final_boxes) ++expect[{b.lo[0], b.hi[0]}];
+  for (auto it = net.begin(); it != net.end();) {
+    if (it->second == 0) {
+      it = net.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  EXPECT_EQ(net, expect);
+}
+
+TEST(UpdateStream, DeletesComeAfterMatchingInserts) {
+  SyntheticBoxOptions gen;
+  gen.dims = 1;
+  gen.log2_domain = 8;
+  gen.count = 50;
+  gen.seed = 33;
+  const auto final_boxes = GenerateSyntheticBoxes(gen);
+  gen.seed = 34;
+  gen.count = 50;
+  const auto transient = GenerateSyntheticBoxes(gen);
+  const auto stream =
+      MakeUpdateStream(final_boxes, transient, UpdateStreamOptions{0.5, 35});
+
+  std::map<std::pair<Coord, Coord>, int64_t> live;
+  for (const auto& u : stream) {
+    auto key = std::make_pair(u.box.lo[0], u.box.hi[0]);
+    live[key] += u.op == Update::Op::kInsert ? 1 : -1;
+    EXPECT_GE(live[key], 0) << "delete before insert";
+  }
+}
+
+}  // namespace
+}  // namespace spatialsketch

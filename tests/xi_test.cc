@@ -1,0 +1,190 @@
+// Tests for the four-wise independent xi-families.
+//
+// The centerpiece verifies the BCH construction EXHAUSTIVELY on a small
+// field: over GF(2^8) the full seed space (2^17 seeds) is enumerated and
+// every sign pattern of up to four distinct indices must occur with
+// exactly uniform frequency — that is the definition of four-wise
+// independence, checked with zero statistical slack.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/common/bits.h"
+#include "src/common/rng.h"
+#include "src/gf2/gf2_small.h"
+#include "src/xi/bch_family.h"
+#include "src/xi/poly_family.h"
+#include "src/xi/sign_table.h"
+
+namespace spatialsketch {
+namespace {
+
+// BCH sign bit over GF(2^8) — the same construction as BchXiFamily with
+// the small field substituted.
+uint32_t SmallBit(uint32_t s0, uint32_t s1, uint32_t b, uint32_t index) {
+  const uint64_t cube = gf2::Gf256::Cube(index);
+  return Parity64((s0 & index) ^ (s1 & cube)) ^ b;
+}
+
+void CheckExactlyKWiseUniform(const std::vector<uint32_t>& indices) {
+  // Count each sign-pattern over the whole seed space.
+  const uint32_t k = static_cast<uint32_t>(indices.size());
+  std::vector<uint64_t> pattern_counts(uint64_t{1} << k, 0);
+  for (uint32_t s0 = 0; s0 < 256; ++s0) {
+    for (uint32_t s1 = 0; s1 < 256; ++s1) {
+      for (uint32_t b = 0; b < 2; ++b) {
+        uint32_t pattern = 0;
+        for (uint32_t j = 0; j < k; ++j) {
+          pattern |= SmallBit(s0, s1, b, indices[j]) << j;
+        }
+        ++pattern_counts[pattern];
+      }
+    }
+  }
+  const uint64_t expected = (uint64_t{256} * 256 * 2) >> k;
+  for (uint64_t c : pattern_counts) EXPECT_EQ(c, expected);
+}
+
+TEST(BchFourWise, ExhaustiveOneWise) {
+  CheckExactlyKWiseUniform({0});
+  CheckExactlyKWiseUniform({1});
+  CheckExactlyKWiseUniform({200});
+}
+
+TEST(BchFourWise, ExhaustiveTwoWise) {
+  CheckExactlyKWiseUniform({0, 1});
+  CheckExactlyKWiseUniform({3, 250});
+  CheckExactlyKWiseUniform({17, 18});
+}
+
+TEST(BchFourWise, ExhaustiveThreeWise) {
+  CheckExactlyKWiseUniform({0, 1, 2});
+  CheckExactlyKWiseUniform({5, 100, 200});
+}
+
+TEST(BchFourWise, ExhaustiveFourWise) {
+  CheckExactlyKWiseUniform({0, 1, 2, 3});
+  CheckExactlyKWiseUniform({7, 21, 98, 250});
+  CheckExactlyKWiseUniform({1, 2, 4, 8});
+  CheckExactlyKWiseUniform({10, 11, 12, 13});
+}
+
+TEST(BchFamily, SignsAreUnit) {
+  Rng rng(1);
+  const BchXiFamily fam(XiSeed::Random(&rng));
+  for (uint64_t i = 0; i < 1000; ++i) {
+    const int s = fam.Sign(i);
+    EXPECT_TRUE(s == 1 || s == -1);
+  }
+}
+
+TEST(BchFamily, DeterministicInSeed) {
+  Rng rng(2);
+  const XiSeed seed = XiSeed::Random(&rng);
+  const BchXiFamily a(seed), b(seed);
+  for (uint64_t i = 0; i < 500; ++i) EXPECT_EQ(a.Sign(i), b.Sign(i));
+}
+
+TEST(BchFamily, SignWithCubeMatchesSign) {
+  Rng rng(3);
+  const BchXiFamily fam(XiSeed::Random(&rng));
+  for (uint64_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(fam.SignWithCube(i, gf2::Cube(i)), fam.Sign(i));
+  }
+}
+
+TEST(BchFamily, EmpiricalPairwiseOrthogonality) {
+  // Statistical sanity on the production 64-bit family: over many seeds,
+  // E[xi_i * xi_j] must be near 0 for i != j and exactly 1 for i == j.
+  Rng rng(4);
+  const int kSeeds = 4000;
+  int64_t cross = 0, self = 0;
+  for (int t = 0; t < kSeeds; ++t) {
+    const BchXiFamily fam(XiSeed::Random(&rng));
+    cross += fam.Sign(12345) * fam.Sign(99999);
+    self += fam.Sign(777) * fam.Sign(777);
+  }
+  EXPECT_EQ(self, kSeeds);
+  EXPECT_NEAR(static_cast<double>(cross) / kSeeds, 0.0,
+              5.0 / std::sqrt(kSeeds));
+}
+
+TEST(BchFamily, EmpiricalFourWiseProductZero) {
+  Rng rng(5);
+  const int kSeeds = 4000;
+  int64_t prod = 0;
+  for (int t = 0; t < kSeeds; ++t) {
+    const BchXiFamily fam(XiSeed::Random(&rng));
+    prod += fam.Sign(1) * fam.Sign(2) * fam.Sign(3) * fam.Sign(4);
+  }
+  EXPECT_NEAR(static_cast<double>(prod) / kSeeds, 0.0,
+              5.0 / std::sqrt(kSeeds));
+}
+
+TEST(PolyFamily, SignsAreUnitAndDeterministic) {
+  Rng rng(6);
+  const PolyXiFamily fam = PolyXiFamily::Random(&rng);
+  for (uint64_t i = 0; i < 500; ++i) {
+    const int s = fam.Sign(i);
+    EXPECT_TRUE(s == 1 || s == -1);
+    EXPECT_EQ(s, fam.Sign(i));
+  }
+}
+
+TEST(PolyFamily, HashIsBelowPrime) {
+  Rng rng(7);
+  const PolyXiFamily fam = PolyXiFamily::Random(&rng);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_LT(fam.Hash(i), PolyXiFamily::kPrime);
+  }
+}
+
+TEST(PolyFamily, EmpiricalPairwiseOrthogonality) {
+  Rng rng(8);
+  const int kSeeds = 4000;
+  int64_t cross = 0;
+  for (int t = 0; t < kSeeds; ++t) {
+    const PolyXiFamily fam = PolyXiFamily::Random(&rng);
+    cross += fam.Sign(31337) * fam.Sign(4242);
+  }
+  EXPECT_NEAR(static_cast<double>(cross) / kSeeds, 0.0,
+              5.0 / std::sqrt(kSeeds));
+}
+
+TEST(SignTable, MatchesFamilyEverywhere) {
+  Rng rng(9);
+  std::vector<XiSeed> seeds;
+  for (int i = 0; i < 130; ++i) seeds.push_back(XiSeed::Random(&rng));
+  const uint64_t kIds = 512;
+  const SignTable table(seeds, kIds);
+  EXPECT_EQ(table.num_blocks(), 3u);
+  EXPECT_EQ(table.num_instances(), 130u);
+  for (uint32_t j = 0; j < seeds.size(); ++j) {
+    const BchXiFamily fam(seeds[j]);
+    for (uint64_t id = 0; id < kIds; ++id) {
+      EXPECT_EQ(table.Sign(j, id), fam.Sign(id));
+    }
+  }
+}
+
+TEST(SignTable, RowBitsMatchScalarAccess) {
+  Rng rng(10);
+  std::vector<XiSeed> seeds;
+  for (int i = 0; i < 64; ++i) seeds.push_back(XiSeed::Random(&rng));
+  const SignTable table(seeds, 64);
+  const uint64_t* row = table.Row(0);
+  for (uint64_t id = 0; id < 64; ++id) {
+    for (uint32_t j = 0; j < 64; ++j) {
+      const int sign = 1 - 2 * static_cast<int>((row[id] >> j) & 1);
+      EXPECT_EQ(sign, table.Sign(j, id));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spatialsketch
