@@ -1,0 +1,158 @@
+// Concurrent serving with SketchStore: one store, several named datasets
+// under shared schemas, readers estimating while writers stream updates.
+//
+//   build/example_concurrent_store [--n=20000] [--readers=4]
+//
+// The walk-through mirrors how a DBMS catalog would host these synopses:
+//   1. register a schema (the shared xi-family configuration),
+//   2. create datasets under it and bulk-load them in parallel shards,
+//   3. serve range and join estimates from reader threads while a writer
+//      keeps streaming inserts/deletes,
+//   4. snapshot a live dataset and restore it into a replica, which stays
+//      joinable because it keeps the shared schema instance.
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/common/rng.h"
+#include "src/exact/range_query.h"
+#include "src/store/sketch_store.h"
+#include "src/workload/zipf_boxes.h"
+
+using namespace spatialsketch;  // NOLINT: example brevity
+
+int main(int argc, char** argv) {
+  auto flags = Flags::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
+    return 2;
+  }
+  const uint64_t n = flags->GetInt("n", 20000);
+  const uint32_t readers =
+      static_cast<uint32_t>(flags->GetInt("readers", 4));
+
+  // 1. Schemas are the unit of compatibility: datasets created under the
+  //    same schema name share one instance and can be joined or merged.
+  SketchStore store;
+  StoreSchemaOptions range_schema;
+  range_schema.dims = 2;
+  range_schema.log2_domain = 12;
+  // Section 6.5: cap the dyadic levels. The synthetic objects are short
+  // relative to the domain, so the uncapped top levels would carry almost
+  // pure self-join noise for range and join estimates alike (see
+  // JoinPipelineOptions::auto_max_level).
+  range_schema.max_level = 6;
+  range_schema.k1 = 1024;
+  range_schema.k2 = 5;
+  range_schema.seed = 42;
+  SKETCH_CHECK(store.RegisterSchema("coverage", range_schema).ok());
+
+  StoreSchemaOptions join_schema = range_schema;
+  join_schema.k1 = 128;  // the join pair gets a smaller space budget
+  SKETCH_CHECK(store.RegisterSchema("city", join_schema).ok());
+
+  SKETCH_CHECK(
+      store.CreateDataset("buildings", "coverage", DatasetKind::kRange).ok());
+  SKETCH_CHECK(
+      store.CreateDataset("parcels", "city", DatasetKind::kJoinR).ok());
+  SKETCH_CHECK(store.CreateDataset("roads", "city", DatasetKind::kJoinS).ok());
+
+  // 2. Parallel sharded bulk load: bit-identical to sequential ingest
+  //    because the synopsis is linear.
+  SyntheticBoxOptions gen;
+  gen.dims = 2;
+  gen.log2_domain = 12;
+  gen.count = n;
+  gen.seed = 1;
+  const std::vector<Box> buildings = GenerateSyntheticBoxes(gen);
+  gen.seed = 2;
+  const std::vector<Box> parcels = GenerateSyntheticBoxes(gen);
+  gen.seed = 3;
+  gen.zipf_z = 0.5;
+  const std::vector<Box> roads = GenerateSyntheticBoxes(gen);
+  SKETCH_CHECK(store.ParallelBulkLoad("buildings", buildings, 4).ok());
+  SKETCH_CHECK(store.ParallelBulkLoad("parcels", parcels, 4).ok());
+  SKETCH_CHECK(store.ParallelBulkLoad("roads", roads, 4).ok());
+
+  // 3. Serve estimates from `readers` threads while a writer keeps
+  //    streaming updates into `buildings`.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> served{0};
+  std::thread writer([&] {
+    gen.seed = 99;
+    gen.count = 4096;
+    gen.zipf_z = 0.0;
+    const std::vector<Box> stream = GenerateSyntheticBoxes(gen);
+    size_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const Box& b = stream[i % stream.size()];
+      SKETCH_CHECK(store.Insert("buildings", b).ok());
+      SKETCH_CHECK(store.Delete("buildings", b).ok());  // net zero
+      ++i;
+    }
+  });
+  std::vector<std::thread> pool;
+  for (uint32_t r = 0; r < readers; ++r) {
+    pool.emplace_back([&, r] {
+      Rng rng(500 + r);
+      for (int q = 0; q < 200; ++q) {
+        const Coord side = 64 + rng.Uniform(1 << 10);
+        const Coord lx = rng.Uniform((1 << 12) - side);
+        const Coord ly = rng.Uniform((1 << 12) - side);
+        auto sel = store.EstimateRangeSelectivity(
+            "buildings", MakeRect(lx, lx + side, ly, ly + side));
+        SKETCH_CHECK(sel.ok());
+        auto join = store.EstimateJoin("parcels", "roads");
+        SKETCH_CHECK(join.ok());
+        served.fetch_add(2, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+
+  // A large window: probabilistic range estimates are sharp when the true
+  // answer is large relative to the variance (abl_range_query.cc); tiny
+  // windows are noise-dominated for any sketch- or sample-based summary.
+  const Box window = MakeRect(256, 3300, 512, 3800);
+  auto count = store.EstimateRangeCount("buildings", window);
+  auto join = store.EstimateJoin("parcels", "roads");
+  SKETCH_CHECK(count.ok() && join.ok());
+  const uint64_t exact = ExactRangeCount(buildings, window, 2);
+
+  // 4. Snapshot -> restore into a replica under the SAME schema; the
+  //    replica serves identical estimates (counters are bit-identical).
+  auto blob = store.Snapshot("buildings");
+  SKETCH_CHECK(blob.ok());
+  SKETCH_CHECK(
+      store.CreateDataset("buildings_replica", "coverage", DatasetKind::kRange)
+          .ok());
+  SKETCH_CHECK(store.Restore("buildings_replica", *blob).ok());
+  auto replica_count = store.EstimateRangeCount("buildings_replica", window);
+  SKETCH_CHECK(replica_count.ok());
+
+  const StoreStats stats = store.stats();
+  std::printf("concurrent store demo (n=%" PRIu64 ", readers=%u)\n", n,
+              readers);
+  std::printf("  estimates served concurrently : %" PRIu64 "\n",
+              served.load());
+  std::printf("  |buildings in window| estimate: %.0f (exact %llu)\n", *count,
+              static_cast<unsigned long long>(exact));
+  std::printf("  replica estimate (restored)   : %.0f (identical: %s)\n",
+              *replica_count, *replica_count == *count ? "yes" : "NO");
+  std::printf("  |parcels >< roads| estimate   : %.0f\n", *join);
+  std::printf("  snapshot blob size            : %zu bytes\n", blob->size());
+  std::printf("  stats: %" PRIu64 " inserts, %" PRIu64 " deletes, %" PRIu64
+              " bulk boxes, %" PRIu64 " range + %" PRIu64
+              " join estimates, %" PRIu64 " snapshots, %" PRIu64
+              " restores\n",
+              stats.inserts, stats.deletes, stats.bulk_boxes,
+              stats.range_estimates, stats.join_estimates, stats.snapshots,
+              stats.restores);
+  return 0;
+}

@@ -5,6 +5,19 @@
 #ifndef SPATIALSKETCH_COMMON_MACROS_H_
 #define SPATIALSKETCH_COMMON_MACROS_H_
 
+// The library relies on C++20 (<bit> intrinsics such as std::popcount and
+// std::bit_ceil in src/common/bits.h). Under older standards those uses
+// fail with a wall of unrelated template errors; fail here with one clear
+// diagnostic instead. MSVC keeps __cplusplus at 199711L unless
+// /Zc:__cplusplus is passed, so its real language level is _MSVC_LANG.
+#if defined(_MSVC_LANG)
+#if _MSVC_LANG < 202002L
+#error "spatialsketch requires C++20: compile with /std:c++20 or newer"
+#endif
+#elif __cplusplus < 202002L
+#error "spatialsketch requires C++20: compile with -std=c++20 or newer"
+#endif
+
 #include <cstdio>
 #include <cstdlib>
 

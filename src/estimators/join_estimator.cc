@@ -59,18 +59,8 @@ Result<SchemaPtr> MakeTransformedJoinSchema(const JoinPipelineOptions& opt) {
 
 Result<SchemaPtr> MakeTransformedJoinSchema(const JoinPipelineOptions& opt,
                                             const uint32_t* max_levels) {
-  SchemaOptions so;
-  so.dims = opt.dims;
-  for (uint32_t i = 0; i < opt.dims; ++i) {
-    so.domains[i].log2_size =
-        EndpointTransform::TransformedLog2(opt.log2_domain);
-    so.domains[i].max_level =
-        max_levels != nullptr ? max_levels[i] : opt.max_level;
-  }
-  so.k1 = opt.k1;
-  so.k2 = opt.k2;
-  so.seed = opt.seed;
-  return SketchSchema::Create(so);
+  return MakeTransformedSchema(opt.dims, opt.log2_domain, opt.max_level,
+                               max_levels, opt.k1, opt.k2, opt.seed);
 }
 
 namespace {

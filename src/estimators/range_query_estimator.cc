@@ -17,21 +17,16 @@ Result<RangeQueryEstimator> RangeQueryEstimator::Build(
     transformed.push_back(EndpointTransform::MapR(b, opt.dims));
   }
 
-  const uint32_t tlog2 = EndpointTransform::TransformedLog2(opt.log2_domain);
-  std::vector<uint32_t> caps(opt.dims, opt.max_level);
+  std::vector<uint32_t> caps;
   if (opt.auto_max_level) {
+    const uint32_t tlog2 =
+        EndpointTransform::TransformedLog2(opt.log2_domain);
     caps = SelectMaxLevelPerDim(transformed, transformed, opt.dims, tlog2);
   }
-  SchemaOptions so;
-  so.dims = opt.dims;
-  for (uint32_t i = 0; i < opt.dims; ++i) {
-    so.domains[i].log2_size = tlog2;
-    so.domains[i].max_level = caps[i];
-  }
-  so.k1 = opt.k1;
-  so.k2 = opt.k2;
-  so.seed = opt.seed;
-  auto schema = SketchSchema::Create(so);
+  auto schema = MakeTransformedSchema(opt.dims, opt.log2_domain,
+                                      opt.max_level,
+                                      caps.empty() ? nullptr : caps.data(),
+                                      opt.k1, opt.k2, opt.seed);
   if (!schema.ok()) return schema.status();
 
   auto sketch = std::make_unique<DatasetSketch>(*schema,
@@ -50,11 +45,14 @@ void RangeQueryEstimator::Delete(const Box& box) {
   sketch_->Delete(EndpointTransform::MapR(box, dims_));
 }
 
-double RangeQueryEstimator::EstimateCount(const Box& query) const {
-  SKETCH_CHECK(!IsDegenerate(query, dims_));
-  const Box q = EndpointTransform::ShrinkS(query, dims_);
-  const uint32_t instances = schema_->instances();
-  const uint32_t num_words = uint32_t{1} << dims_;
+double EstimateRangeCount(const DatasetSketch& sketch, const Box& query) {
+  const SchemaPtr& schema = sketch.schema();
+  const uint32_t dims = schema->dims();
+  SKETCH_CHECK(sketch.shape() == Shape::RangeShape(dims));
+  SKETCH_CHECK(!IsDegenerate(query, dims));
+  const Box q = EndpointTransform::ShrinkS(query, dims);
+  const uint32_t instances = schema->instances();
+  const uint32_t num_words = uint32_t{1} << dims;
 
   // Per-dimension query id lists with precomputed cubes (shared across
   // instances): the interval cover of q's range and the point cover of
@@ -63,9 +61,9 @@ double RangeQueryEstimator::EstimateCount(const Box& query) const {
     std::vector<uint64_t> cover_ids, cover_cubes;
     std::vector<uint64_t> upper_ids, upper_cubes;
   };
-  std::vector<QueryIds> qids(dims_);
-  for (uint32_t d = 0; d < dims_; ++d) {
-    const DyadicDomain& dom = schema_->domain(d);
+  std::vector<QueryIds> qids(dims);
+  for (uint32_t d = 0; d < dims; ++d) {
+    const DyadicDomain& dom = schema->domain(d);
     dom.ForEachCoverId(q.lo[d], q.hi[d], [&](uint64_t id) {
       qids[d].cover_ids.push_back(id);
       qids[d].cover_cubes.push_back(gf2::Cube(id));
@@ -81,8 +79,8 @@ double RangeQueryEstimator::EstimateCount(const Box& query) const {
     // Per-dim factors: q_I (cover sum) pairs with data letter U; q_U
     // (upper point-cover sum) pairs with data letter I.
     double q_factor[kMaxDims][2];  // [dim][0]=q_I, [dim][1]=q_U
-    for (uint32_t d = 0; d < dims_; ++d) {
-      const BchXiFamily fam(schema_->seed(inst, d));
+    for (uint32_t d = 0; d < dims; ++d) {
+      const BchXiFamily fam(schema->seed(inst, d));
       int32_t s_cover = 0;
       for (size_t i = 0; i < qids[d].cover_ids.size(); ++i) {
         s_cover += fam.SignWithCube(qids[d].cover_ids[i],
@@ -102,15 +100,19 @@ double RangeQueryEstimator::EstimateCount(const Box& query) const {
       // d). Complementary pairing per dimension: data letter U pairs with
       // the query's interval-cover factor q_I (index 0), data letter I
       // pairs with the query's upper-point factor q_U (index 1).
-      double prod = static_cast<double>(sketch_->Counter(inst, w));
-      for (uint32_t d = 0; d < dims_; ++d) {
+      double prod = static_cast<double>(sketch.Counter(inst, w));
+      for (uint32_t d = 0; d < dims; ++d) {
         prod *= q_factor[d][((w >> d) & 1) ? 0 : 1];
       }
       acc += prod;
     }
     z[inst] = acc;
   }
-  return MedianOfMeans(z, schema_->k1(), schema_->k2());
+  return MedianOfMeans(z, schema->k1(), schema->k2());
+}
+
+double RangeQueryEstimator::EstimateCount(const Box& query) const {
+  return EstimateRangeCount(*sketch_, query);
 }
 
 double RangeQueryEstimator::EstimateSelectivity(const Box& query) const {

@@ -40,6 +40,14 @@ struct RangeEstimatorOptions {
   uint64_t seed = 1;
 };
 
+/// Range-count estimate against an externally owned RangeShape sketch whose
+/// schema lives over the TRANSFORMED domain (data ingested through
+/// EndpointTransform::MapR). `query` is in ORIGINAL coordinates and must be
+/// non-degenerate in every dimension. This is the serving-layer entry
+/// point: SketchStore runs it against store-resident sketches, and
+/// RangeQueryEstimator::EstimateCount delegates here.
+double EstimateRangeCount(const DatasetSketch& sketch, const Box& query);
+
 /// Maintains a RangeShape sketch of one dataset and answers range-count
 /// estimates for arbitrary query boxes. Supports incremental updates.
 class RangeQueryEstimator {

@@ -15,7 +15,10 @@ namespace {
 // Instances per bulk-load batch: bounds sign-table memory to
 // kBlocksPerBatch * num_ids * 8 bytes per dimension (per worker thread).
 constexpr uint32_t kBlocksPerBatch = 8;
-constexpr uint32_t kInstancesPerBatch = kBlocksPerBatch * 64;
+constexpr uint32_t kInstancesPerBatch = BulkLoader::kInstancesPerBatch;
+static_assert(kInstancesPerBatch == kBlocksPerBatch * 64,
+              "batch width drives both the sign-table blocking and the "
+              "public parallelism threshold");
 
 // Spread the 8 bits of a byte into the 8 byte lanes of a word: bit b of
 // `bits` becomes 0x01 in byte b. (Table-driven: the multiply-shift idioms
@@ -243,9 +246,9 @@ void DatasetSketch::Update(const Box& box, const Box& leaf_box, int sign) {
   num_objects_ += sign;
 }
 
-void DatasetSketch::BulkLoad(const std::vector<Box>& boxes, int sign) {
+void DatasetSketch::BulkLoad(const Box* boxes, size_t count, int sign) {
   BulkLoader loader(schema_);
-  loader.Add(this, &boxes, nullptr, sign);
+  loader.Add(this, boxes, count, nullptr, sign);
   loader.Run();
 }
 
@@ -259,14 +262,21 @@ void DatasetSketch::BulkLoadWithLeafBoxes(const std::vector<Box>& boxes,
 
 void BulkLoader::Add(DatasetSketch* sketch, const std::vector<Box>* boxes,
                      const std::vector<Box>* leaf_boxes, int sign) {
-  SKETCH_CHECK(sketch != nullptr && boxes != nullptr);
-  SKETCH_CHECK(sketch->schema() == schema_);
+  SKETCH_CHECK(boxes != nullptr);
   SKETCH_CHECK(leaf_boxes == nullptr || leaf_boxes->size() == boxes->size());
-  SKETCH_CHECK(sign == 1 || sign == -1);
-  jobs_.push_back({sketch, boxes, leaf_boxes, sign});
+  Add(sketch, boxes->data(), boxes->size(),
+      leaf_boxes != nullptr ? leaf_boxes->data() : nullptr, sign);
 }
 
-void BulkLoader::Run() {
+void BulkLoader::Add(DatasetSketch* sketch, const Box* boxes, size_t count,
+                     const Box* leaf_boxes, int sign) {
+  SKETCH_CHECK(sketch != nullptr && (boxes != nullptr || count == 0));
+  SKETCH_CHECK(sketch->schema() == schema_);
+  SKETCH_CHECK(sign == 1 || sign == -1);
+  jobs_.push_back({sketch, boxes, count, leaf_boxes, sign});
+}
+
+void BulkLoader::Run(uint32_t max_threads) {
   if (jobs_.empty()) return;
   const uint32_t dims = schema_->dims();
   const uint32_t instances = schema_->instances();
@@ -324,10 +334,10 @@ void BulkLoader::Run() {
         const Plan& plan = plans[ji];
         DatasetSketch& sk = *job.sketch;
         const uint32_t num_words = sk.shape_.size();
-        for (size_t bi = 0; bi < job.boxes->size(); ++bi) {
-          const Box& box = (*job.boxes)[bi];
+        for (size_t bi = 0; bi < job.count; ++bi) {
+          const Box& box = job.boxes[bi];
           const Box& leaf_box =
-              job.leaf_boxes != nullptr ? (*job.leaf_boxes)[bi] : box;
+              job.leaf_boxes != nullptr ? job.leaf_boxes[bi] : box;
 
           // Gather cover ids once per (object, dim); shared by blocks.
           size_t group_size[kMaxDims][DatasetSketch::kNumGroups] = {};
@@ -434,6 +444,7 @@ void BulkLoader::Run() {
 
   uint32_t num_threads = std::thread::hardware_concurrency();
   if (num_threads == 0) num_threads = 1;
+  if (max_threads != 0) num_threads = std::min(num_threads, max_threads);
   num_threads = std::min(num_threads, num_batches);
   if (num_threads <= 1) {
     worker();
@@ -446,7 +457,7 @@ void BulkLoader::Run() {
 
   for (const Job& job : jobs_) {
     job.sketch->num_objects_ +=
-        job.sign * static_cast<int64_t>(job.boxes->size());
+        job.sign * static_cast<int64_t>(job.count);
   }
   jobs_.clear();
 }
@@ -458,6 +469,21 @@ void DatasetSketch::Merge(const DatasetSketch& other) {
     counters_[i] += other.counters_[i];
   }
   num_objects_ += other.num_objects_;
+}
+
+Status DatasetSketch::AdoptCountersFrom(const DatasetSketch& other) {
+  if (!(shape_ == other.shape_)) {
+    return Status::FailedPrecondition(
+        "AdoptCountersFrom requires equal shapes");
+  }
+  if (schema_ != other.schema_ &&
+      !(schema_->options() == other.schema_->options())) {
+    return Status::FailedPrecondition(
+        "AdoptCountersFrom requires equal schema configurations");
+  }
+  counters_ = other.counters_;
+  num_objects_ = other.num_objects_;
+  return Status::OK();
 }
 
 }  // namespace spatialsketch

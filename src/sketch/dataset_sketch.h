@@ -56,7 +56,14 @@ class DatasetSketch {
 
   /// Bulk-load `boxes` (sign +1) or bulk-remove (sign -1). Equivalent to
   /// calling Insert per box but typically orders of magnitude faster.
-  void BulkLoad(const std::vector<Box>& boxes, int sign = +1);
+  void BulkLoad(const std::vector<Box>& boxes, int sign = +1) {
+    BulkLoad(boxes.data(), boxes.size(), sign);
+  }
+
+  /// Span variant: load `count` boxes starting at `boxes` without
+  /// requiring them to live in their own vector (sharded loaders pass
+  /// slices of one batch this way instead of copying them out).
+  void BulkLoad(const Box* boxes, size_t count, int sign = +1);
 
   /// Bulk variant with separate leaf boxes (parallel array; must have the
   /// same length as boxes).
@@ -72,6 +79,12 @@ class DatasetSketch {
                      word_index];
   }
 
+  /// Full counter vector, [instance * shape.size() + word]-ordered. The
+  /// synopsis is linear, so two sketches of the same data under the same
+  /// schema are bit-identical here regardless of ingest path or update
+  /// interleaving — the store's correctness tests compare these directly.
+  const std::vector<int64_t>& counters() const { return counters_; }
+
   /// Net number of objects currently summarized (inserts minus deletes).
   int64_t num_objects() const { return num_objects_; }
 
@@ -81,6 +94,14 @@ class DatasetSketch {
   /// Merge another sketch built under the SAME schema and shape (the
   /// synopsis is linear): counters add, object counts add.
   void Merge(const DatasetSketch& other);
+
+  /// Overwrite this sketch's state (counters, object count) with `other`'s,
+  /// keeping this sketch's schema POINTER. Requires equal shapes and equal
+  /// schema configurations (equal options imply bit-identical seeds), but
+  /// not pointer-equal schemas. This is how a snapshot restore adopts a
+  /// deserialized sketch without breaking pointer-based joinability with
+  /// other sketches under the original schema instance.
+  Status AdoptCountersFrom(const DatasetSketch& other);
 
   /// Paper-accounted size in words (counters + amortized seed).
   uint64_t MemoryWords() const { return schema_->WordsPerDataset(shape_); }
@@ -124,6 +145,14 @@ class DatasetSketch {
 /// to sketch both sides of a join together.
 class BulkLoader {
  public:
+  /// Instances per internal work batch: Run() parallelizes across these
+  /// batches, one thread per batch (capped at the hardware), so a single
+  /// load already runs on ceil(instances / kInstancesPerBatch) threads.
+  /// Callers adding their own threading on top must budget against that
+  /// (see store/parallel_ingest.h, which divides its thread budget by the
+  /// batch count) or they oversubscribe the CPU.
+  static constexpr uint32_t kInstancesPerBatch = 512;
+
   explicit BulkLoader(SchemaPtr schema) : schema_(std::move(schema)) {}
 
   /// Register a load job. `boxes` (and `leaf_boxes` if non-null, parallel
@@ -132,14 +161,23 @@ class BulkLoader {
   void Add(DatasetSketch* sketch, const std::vector<Box>* boxes,
            const std::vector<Box>* leaf_boxes = nullptr, int sign = +1);
 
+  /// Span variant of Add; `boxes` (and `leaf_boxes`, parallel when
+  /// non-null) point at `count` boxes that must outlive Run().
+  void Add(DatasetSketch* sketch, const Box* boxes, size_t count,
+           const Box* leaf_boxes = nullptr, int sign = +1);
+
   /// Execute all registered jobs; equivalent to per-sketch BulkLoad.
-  void Run();
+  /// Parallelizes across instance batches on up to min(max_threads,
+  /// hardware) worker threads; max_threads == 0 means the hardware
+  /// concurrency, 1 runs fully on the calling thread.
+  void Run(uint32_t max_threads = 0);
 
  private:
   struct Job {
     DatasetSketch* sketch;
-    const std::vector<Box>* boxes;
-    const std::vector<Box>* leaf_boxes;  // nullptr => boxes
+    const Box* boxes;
+    size_t count;
+    const Box* leaf_boxes;  // nullptr => boxes
     int sign;
   };
   SchemaPtr schema_;

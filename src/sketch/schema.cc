@@ -1,6 +1,7 @@
 #include "src/sketch/schema.h"
 
 #include "src/common/rng.h"
+#include "src/dyadic/endpoint_transform.h"
 
 namespace spatialsketch {
 
@@ -48,6 +49,34 @@ std::vector<XiSeed> SketchSchema::SeedsForDim(uint32_t dim,
     out.push_back(seed(first_instance + j, dim));
   }
   return out;
+}
+
+
+Result<SchemaPtr> MakeTransformedSchema(uint32_t dims, uint32_t log2_domain,
+                                        uint32_t max_level,
+                                        const uint32_t* per_dim_caps,
+                                        uint32_t k1, uint32_t k2,
+                                        uint64_t seed) {
+  // Create() bounds the TRANSFORMED log2_size to [1, 40]; reject the
+  // original here BEFORE the +2 so a huge value cannot wrap uint32_t,
+  // sneak through that check, and later feed undefined shifts in callers
+  // that compute 1 << log2_domain over the original domain.
+  if (log2_domain > 38) {
+    return Status::InvalidArgument(
+        "log2_domain too large: the endpoint-transformed domain would "
+        "exceed 40 bits");
+  }
+  SchemaOptions so;
+  so.dims = dims;
+  for (uint32_t i = 0; i < dims && i < kMaxDims; ++i) {
+    so.domains[i].log2_size = EndpointTransform::TransformedLog2(log2_domain);
+    so.domains[i].max_level =
+        per_dim_caps != nullptr ? per_dim_caps[i] : max_level;
+  }
+  so.k1 = k1;
+  so.k2 = k2;
+  so.seed = seed;
+  return SketchSchema::Create(so);
 }
 
 }  // namespace spatialsketch

@@ -29,6 +29,8 @@ namespace spatialsketch {
 struct DomainSpec {
   uint32_t log2_size = 16;  ///< domain [0, 2^log2_size)
   uint32_t max_level = DyadicDomain::kNoCap;  ///< Section 6.5 level cap
+
+  friend bool operator==(const DomainSpec&, const DomainSpec&) = default;
 };
 
 /// Schema configuration.
@@ -39,6 +41,22 @@ struct SchemaOptions {
   uint32_t k2 = 9;    ///< groups medianed (confidence); odd recommended
   uint64_t seed = 1;  ///< master seed; schemas with equal options are
                       ///< bit-identical (reproducible experiments)
+
+  /// Equal options imply bit-identical schemas (all seeds are derived), so
+  /// this is the portable "same schema" test across schema instances that
+  /// do not share a pointer (e.g. a deserialized snapshot). Only the
+  /// domains[0..dims) actually in use are compared: entries beyond `dims`
+  /// are inert, and serialization does not round-trip them.
+  friend bool operator==(const SchemaOptions& a, const SchemaOptions& b) {
+    if (a.dims != b.dims || a.k1 != b.k1 || a.k2 != b.k2 ||
+        a.seed != b.seed) {
+      return false;
+    }
+    for (uint32_t i = 0; i < a.dims && i < kMaxDims; ++i) {
+      if (!(a.domains[i] == b.domains[i])) return false;
+    }
+    return true;
+  }
 };
 
 /// Immutable, shared via shared_ptr<const SketchSchema>.
@@ -91,6 +109,20 @@ class SketchSchema {
 };
 
 using SchemaPtr = std::shared_ptr<const SketchSchema>;
+
+/// Schema over the ENDPOINT-TRANSFORMED domain implied by an ORIGINAL
+/// h-bit domain (Section 5.2 embeds it into h+2 bits per dimension). This
+/// is THE mapping from user-facing options to the schema both sides of an
+/// estimate must share; the range pipeline, the join pipeline, and the
+/// store all build their schemas through it so their configurations can
+/// never diverge. `per_dim_caps` (length dims) overrides the uniform
+/// `max_level` when non-null; both cap the TRANSFORMED domain's dyadic
+/// levels.
+Result<SchemaPtr> MakeTransformedSchema(uint32_t dims, uint32_t log2_domain,
+                                        uint32_t max_level,
+                                        const uint32_t* per_dim_caps,
+                                        uint32_t k1, uint32_t k2,
+                                        uint64_t seed);
 
 }  // namespace spatialsketch
 

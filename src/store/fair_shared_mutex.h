@@ -1,0 +1,140 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// A starvation-free reader/writer mutex for the serving layer.
+//
+// std::shared_mutex makes no fairness guarantee, and the common
+// pthread_rwlock implementation under it is reader-preferring: a steady
+// stream of estimate threads holding overlapping shared locks can starve
+// a streaming writer INDEFINITELY (observed in practice on this store's
+// own tests). The store's whole claim is "serve estimates while absorbing
+// updates", so its per-dataset lock must guarantee progress for both
+// classes:
+//
+//  * a waiting writer blocks NEW readers (so the reader stream drains and
+//    the writer gets in: no writer starvation);
+//  * a releasing writer first admits the batch of readers that queued
+//    while it held the lock, before the next writer may enter (so a
+//    steady writer stream cannot starve readers either).
+//
+// This alternation (writer -> queued reader batch -> writer -> ...) is a
+// simplified phase-fair lock. All waiting is condition-variable based;
+// the critical sections the store puts under this lock (counter reads and
+// counter additions) are orders of magnitude longer than the lock's own
+// bookkeeping.
+//
+// Meets the Cpp17SharedMutex requirements needed by std::shared_lock /
+// std::unique_lock.
+
+#ifndef SPATIALSKETCH_STORE_FAIR_SHARED_MUTEX_H_
+#define SPATIALSKETCH_STORE_FAIR_SHARED_MUTEX_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "src/common/macros.h"
+
+namespace spatialsketch {
+
+class FairSharedMutex {
+ public:
+  FairSharedMutex() = default;
+
+  // ---- Exclusive (writer) -------------------------------------------------
+
+  void lock() {
+    std::unique_lock<std::mutex> l(mu_);
+    ++writers_waiting_;
+    writer_cv_.wait(l, [&] { return CanWrite(); });
+    --writers_waiting_;
+    writer_active_ = true;
+  }
+
+  bool try_lock() {
+    std::lock_guard<std::mutex> l(mu_);
+    if (!CanWrite()) return false;
+    writer_active_ = true;
+    return true;
+  }
+
+  void unlock() {
+    std::lock_guard<std::mutex> l(mu_);
+    SKETCH_DCHECK(writer_active_);
+    writer_active_ = false;
+    // Admit every reader that queued while we held the lock before the
+    // next writer may enter; with no queued readers, hand straight off.
+    // Admission is by phase, not by count: each queued reader recorded
+    // the phase it arrived in, so a newcomer that arrives after this
+    // release (and therefore carries the NEW phase) cannot consume an
+    // admitted reader's slot — the batch members themselves are the only
+    // threads whose recorded phase is now stale, which is what makes the
+    // no-starvation guarantee hold per reader, not just per batch.
+    ++phase_;
+    reader_debt_ = readers_waiting_;
+    if (reader_debt_ > 0) {
+      reader_cv_.notify_all();
+    } else {
+      writer_cv_.notify_one();
+    }
+  }
+
+  // ---- Shared (reader) ----------------------------------------------------
+
+  void lock_shared() {
+    std::unique_lock<std::mutex> l(mu_);
+    if (!CanRead()) {
+      const uint64_t my_phase = phase_;
+      ++readers_waiting_;
+      reader_cv_.wait(l, [&] {
+        return !writer_active_ && (writers_waiting_ == 0 || phase_ != my_phase);
+      });
+      --readers_waiting_;
+      // Drain-in accounting for the admitting writer's batch; newcomers
+      // admitted on the writers_waiting_ == 0 clause carry the current
+      // phase and leave the debt alone.
+      if (phase_ != my_phase && reader_debt_ > 0) --reader_debt_;
+    }
+    ++readers_active_;
+  }
+
+  bool try_lock_shared() {
+    std::lock_guard<std::mutex> l(mu_);
+    if (!CanRead()) return false;
+    ++readers_active_;
+    return true;
+  }
+
+  void unlock_shared() {
+    std::lock_guard<std::mutex> l(mu_);
+    SKETCH_DCHECK(readers_active_ > 0);
+    if (--readers_active_ == 0 && reader_debt_ == 0) {
+      writer_cv_.notify_one();
+    }
+  }
+
+ private:
+  // A writer may enter when nobody holds the lock and the reader batch
+  // admitted by the previous writer has fully drained in.
+  bool CanWrite() const {
+    return !writer_active_ && readers_active_ == 0 && reader_debt_ == 0;
+  }
+  // A reader may enter immediately only when no writer holds or awaits
+  // the lock; otherwise it queues and is admitted as part of a batch.
+  bool CanRead() const { return !writer_active_ && writers_waiting_ == 0; }
+
+  std::mutex mu_;
+  std::condition_variable reader_cv_;
+  std::condition_variable writer_cv_;
+  uint64_t readers_active_ = 0;
+  uint64_t readers_waiting_ = 0;
+  uint64_t writers_waiting_ = 0;
+  uint64_t reader_debt_ = 0;  ///< queued readers owed entry before next writer
+  uint64_t phase_ = 0;        ///< bumped per writer release (batch identity)
+  bool writer_active_ = false;
+
+  SKETCH_DISALLOW_COPY_AND_ASSIGN(FairSharedMutex);
+};
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_STORE_FAIR_SHARED_MUTEX_H_

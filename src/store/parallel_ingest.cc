@@ -1,0 +1,66 @@
+#include "src/store/parallel_ingest.h"
+
+#include <algorithm>
+#include <limits>
+#include <thread>
+
+namespace spatialsketch {
+
+void ShardedBulkLoad(DatasetSketch* target, const std::vector<Box>& boxes,
+                     int sign, const ShardedLoadOptions& opt) {
+  if (boxes.empty()) return;
+
+  const uint64_t threads = opt.num_threads != 0
+                         ? opt.num_threads
+                         : std::max(1u, std::thread::hardware_concurrency());
+
+  // BulkLoader::Run already parallelizes across instance batches — one
+  // thread per kInstancesPerBatch instances — so each shard's internal
+  // load runs on ~num_batches threads. Box-shard only for the parallelism
+  // the internal batching cannot provide (shards * num_batches ~= the
+  // requested thread budget), instead of stacking a full shard fan-out on
+  // top of it and oversubscribing the CPU; when the schema is wide enough
+  // that batches alone satisfy the budget, a single plain BulkLoad wins
+  // (and skips the per-shard sketch memory entirely).
+  const uint64_t instances = target->schema()->instances();
+  const uint64_t num_batches =
+      (instances + BulkLoader::kInstancesPerBatch - 1) /
+      BulkLoader::kInstancesPerBatch;
+  const uint64_t min_per_shard = std::max<uint64_t>(1, opt.min_boxes_per_shard);
+  const uint64_t max_useful = (boxes.size() + min_per_shard - 1) / min_per_shard;
+  const uint64_t shards = std::max<uint64_t>(
+      1, std::min(threads / num_batches, max_useful));
+
+  if (shards == 1) {
+    // Pure delegation — but still honor the caller's thread budget: the
+    // loader's internal batch fan-out is capped at `threads`.
+    BulkLoader loader(target->schema());
+    loader.Add(target, boxes.data(), boxes.size(), nullptr, sign);
+    loader.Run(static_cast<uint32_t>(
+        std::min<uint64_t>(threads, std::numeric_limits<uint32_t>::max())));
+    return;
+  }
+
+  // Contiguous slices; the last shard absorbs the remainder.
+  const uint64_t per_shard = boxes.size() / shards;
+  std::vector<DatasetSketch> parts;
+  parts.reserve(shards);
+  for (uint64_t i = 0; i < shards; ++i) {
+    parts.emplace_back(target->schema(), target->shape());
+  }
+
+  std::vector<std::thread> workers;
+  workers.reserve(shards);
+  for (uint64_t i = 0; i < shards; ++i) {
+    const uint64_t begin = i * per_shard;
+    const uint64_t end = (i + 1 == shards) ? boxes.size() : begin + per_shard;
+    workers.emplace_back([&, i, begin, end] {
+      parts[i].BulkLoad(boxes.data() + begin, end - begin, sign);
+    });
+  }
+  for (std::thread& t : workers) t.join();
+
+  for (const DatasetSketch& part : parts) target->Merge(part);
+}
+
+}  // namespace spatialsketch

@@ -1,0 +1,47 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Shard-and-merge parallel ingestion. The synopsis is a linear projection
+// of the data (dataset_sketch.h), so a bulk load can be split into
+// contiguous shards, each bulk-loaded into a private sketch on its own
+// thread, and the shard sketches Merge()d afterwards: integer counter
+// addition is exact and commutative, so the result is bit-identical to a
+// single sequential BulkLoad regardless of shard count or scheduling.
+// SketchStore uses this to absorb large batches without holding a
+// dataset's writer lock for the duration of the load.
+
+#ifndef SPATIALSKETCH_STORE_PARALLEL_INGEST_H_
+#define SPATIALSKETCH_STORE_PARALLEL_INGEST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/geom/box.h"
+#include "src/sketch/dataset_sketch.h"
+
+namespace spatialsketch {
+
+struct ShardedLoadOptions {
+  /// Worker threads to use; 0 means std::thread::hardware_concurrency().
+  uint32_t num_threads = 0;
+  /// Batches smaller than this per shard are not worth a thread: the
+  /// shard count is reduced until every shard has at least this many
+  /// boxes (a single shard degenerates to a plain BulkLoad on the calling
+  /// thread, with no thread spawned).
+  uint64_t min_boxes_per_shard = 1024;
+};
+
+/// Bulk-load `boxes` (already in the target's coordinate space) into
+/// `target` with sign +1/-1, in parallel, bit-identical to
+/// `target->BulkLoad(boxes, sign)`. BulkLoader::Run itself parallelizes
+/// across instance batches (one thread per kInstancesPerBatch instances),
+/// so box shards are added only up to num_threads / num_batches — shard
+/// threads times per-shard loader threads stays within the requested
+/// budget rather than multiplying against it. Wide schemas whose batch
+/// count alone meets the budget degenerate to a single plain BulkLoad
+/// with no shard sketches at all.
+void ShardedBulkLoad(DatasetSketch* target, const std::vector<Box>& boxes,
+                     int sign, const ShardedLoadOptions& opt = {});
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_STORE_PARALLEL_INGEST_H_

@@ -1,0 +1,383 @@
+#include "src/store/sketch_store.h"
+
+#include <functional>
+#include <mutex>
+#include <utility>
+
+#include "src/dyadic/endpoint_transform.h"
+#include "src/estimators/join_estimator.h"
+#include "src/estimators/range_query_estimator.h"
+#include "src/sketch/serialize.h"
+#include "src/store/parallel_ingest.h"
+
+namespace spatialsketch {
+
+namespace {
+
+Shape ShapeForKind(DatasetKind kind, uint32_t dims) {
+  switch (kind) {
+    case DatasetKind::kRange:
+      return Shape::RangeShape(dims);
+    case DatasetKind::kJoinR:
+    case DatasetKind::kJoinS:
+      return Shape::JoinShape(dims);
+  }
+  SKETCH_CHECK(false);
+  return Shape();
+}
+
+/// Validate an ORIGINAL-coordinate box against the dataset's original
+/// domain and map it into the transformed domain per the dataset's kind.
+/// Returns OK with *dropped=true (and no *out) for degenerate boxes.
+Status MapForIngest(DatasetKind kind, const StoreSchemaOptions& opt,
+                    const Box& box, Box* out, bool* dropped) {
+  *dropped = false;
+  if (!IsValid(box, opt.dims)) {
+    return Status::InvalidArgument("box has lo > hi in some dimension");
+  }
+  const Coord bound = Coord{1} << opt.log2_domain;
+  for (uint32_t d = 0; d < opt.dims; ++d) {
+    if (box.hi[d] >= bound) {
+      return Status::OutOfRange("box exceeds the schema's original domain");
+    }
+  }
+  if (IsDegenerate(box, opt.dims)) {
+    *dropped = true;
+    return Status::OK();
+  }
+  *out = kind == DatasetKind::kJoinS
+             ? EndpointTransform::ShrinkS(box, opt.dims)
+             : EndpointTransform::MapR(box, opt.dims);
+  return Status::OK();
+}
+
+// Store snapshots wrap the serialize.h sketch blob with a tagged header:
+// kJoinR and kJoinS datasets share shape AND schema configuration but
+// ingest through different coordinate mappings, so without the kind tag a
+// kJoinS snapshot would restore into a kJoinR dataset (and vice versa)
+// and silently serve wrong joins.
+constexpr char kSnapshotMagic[4] = {'S', 'S', 'T', '1'};
+constexpr size_t kSnapshotHeader = sizeof(kSnapshotMagic) + 1;
+
+}  // namespace
+
+Status SketchStore::RegisterSchema(const std::string& name,
+                                   const StoreSchemaOptions& opt) {
+  auto schema =
+      MakeTransformedSchema(opt.dims, opt.log2_domain, opt.max_level,
+                            /*per_dim_caps=*/nullptr, opt.k1, opt.k2, opt.seed);
+  if (!schema.ok()) return schema.status();
+
+  std::unique_lock<FairSharedMutex> lock(registry_mu_);
+  if (!schemas_.emplace(name, SchemaEntry{opt, *schema}).second) {
+    return Status::InvalidArgument("schema '" + name + "' already exists");
+  }
+  return Status::OK();
+}
+
+Status SketchStore::CreateDataset(const std::string& name,
+                                  const std::string& schema_name,
+                                  DatasetKind kind) {
+  SchemaEntry entry;
+  {
+    std::shared_lock<FairSharedMutex> lock(registry_mu_);
+    auto it = schemas_.find(schema_name);
+    if (it == schemas_.end()) {
+      return Status::InvalidArgument("unknown schema '" + schema_name + "'");
+    }
+    entry = it->second;
+  }
+
+  // Allocate and zero the counter array OFF the registry lock — for wide
+  // schemas it is the expensive part, and every store operation's name
+  // lookup would stall behind it. (Schemas are never removed, so the
+  // copied entry cannot go stale.)
+  DatasetSketch sketch(entry.schema, ShapeForKind(kind, entry.opt.dims));
+  auto dataset =
+      std::make_shared<Dataset>(kind, entry.opt, std::move(sketch));
+
+  std::unique_lock<FairSharedMutex> lock(registry_mu_);
+  if (!datasets_.emplace(name, std::move(dataset)).second) {
+    return Status::InvalidArgument("dataset '" + name + "' already exists");
+  }
+  return Status::OK();
+}
+
+Status SketchStore::DropDataset(const std::string& name) {
+  std::unique_lock<FairSharedMutex> lock(registry_mu_);
+  if (datasets_.erase(name) == 0) {
+    return Status::InvalidArgument("unknown dataset '" + name + "'");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> SketchStore::ListDatasets() const {
+  std::shared_lock<FairSharedMutex> lock(registry_mu_);
+  std::vector<std::string> names;
+  names.reserve(datasets_.size());
+  for (const auto& [name, unused] : datasets_) names.push_back(name);
+  return names;
+}
+
+Result<SchemaPtr> SketchStore::GetSchema(const std::string& name) const {
+  std::shared_lock<FairSharedMutex> lock(registry_mu_);
+  auto it = schemas_.find(name);
+  if (it == schemas_.end()) {
+    return Status::InvalidArgument("unknown schema '" + name + "'");
+  }
+  return it->second.schema;
+}
+
+Result<SketchStore::DatasetPtr> SketchStore::Find(
+    const std::string& name) const {
+  std::shared_lock<FairSharedMutex> lock(registry_mu_);
+  auto it = datasets_.find(name);
+  if (it == datasets_.end()) {
+    return Status::InvalidArgument("unknown dataset '" + name + "'");
+  }
+  return it->second;
+}
+
+Status SketchStore::ApplyStreaming(const std::string& dataset, const Box& box,
+                                   int sign) {
+  auto found = Find(dataset);
+  if (!found.ok()) return found.status();
+  Dataset& ds = **found;
+
+  Box mapped;
+  bool dropped = false;
+  SKETCH_RETURN_NOT_OK(MapForIngest(ds.kind, ds.opt, box, &mapped, &dropped));
+  if (dropped) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  std::unique_lock<FairSharedMutex> lock(ds.mu);
+  if (sign > 0) {
+    ds.sketch.Insert(mapped);
+  } else {
+    ds.sketch.Delete(mapped);
+  }
+  lock.unlock();
+  (sign > 0 ? inserts_ : deletes_).fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status SketchStore::Insert(const std::string& dataset, const Box& box) {
+  return ApplyStreaming(dataset, box, +1);
+}
+
+Status SketchStore::Delete(const std::string& dataset, const Box& box) {
+  return ApplyStreaming(dataset, box, -1);
+}
+
+Status SketchStore::MergeDelta(const std::string& name,
+                               const std::vector<Box>& boxes,
+                               uint32_t num_threads, int sign) {
+  auto found = Find(name);
+  if (!found.ok()) return found.status();
+  Dataset& ds = **found;
+
+  // Validate and map the whole batch up front so a bad box rejects the
+  // batch without partially applying it.
+  std::vector<Box> mapped;
+  mapped.reserve(boxes.size());
+  uint64_t dropped_count = 0;
+  for (const Box& box : boxes) {
+    Box out;
+    bool dropped = false;
+    SKETCH_RETURN_NOT_OK(MapForIngest(ds.kind, ds.opt, box, &out, &dropped));
+    if (dropped) {
+      ++dropped_count;
+    } else {
+      mapped.push_back(out);
+    }
+  }
+
+  // Build the delta OFF the dataset lock; readers keep being served from
+  // the live sketch until the (cheap, counter-addition) Merge below.
+  DatasetSketch delta(ds.sketch.schema(), ds.sketch.shape());
+  ShardedLoadOptions opt;
+  opt.num_threads = num_threads;  // 0 keeps the auto-detect documented there
+  ShardedBulkLoad(&delta, mapped, sign, opt);
+
+  {
+    std::unique_lock<FairSharedMutex> lock(ds.mu);
+    ds.sketch.Merge(delta);
+  }
+  dropped_.fetch_add(dropped_count, std::memory_order_relaxed);
+  bulk_boxes_.fetch_add(mapped.size(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status SketchStore::BulkLoad(const std::string& dataset,
+                             const std::vector<Box>& boxes, int sign) {
+  return MergeDelta(dataset, boxes, /*num_threads=*/1, sign);
+}
+
+Status SketchStore::ParallelBulkLoad(const std::string& dataset,
+                                     const std::vector<Box>& boxes,
+                                     uint32_t num_threads, int sign) {
+  return MergeDelta(dataset, boxes, num_threads, sign);
+}
+
+namespace {
+
+/// Shared precondition check of both range-estimate entry points: the
+/// dataset must be kRange and the query valid, non-degenerate, and within
+/// the schema's original domain.
+Status ValidateRangeQuery(DatasetKind kind, const StoreSchemaOptions& opt,
+                          const Box& query) {
+  if (kind != DatasetKind::kRange) {
+    return Status::FailedPrecondition(
+        "range estimates require a kRange dataset");
+  }
+  if (!IsValid(query, opt.dims) || IsDegenerate(query, opt.dims)) {
+    return Status::InvalidArgument(
+        "query box must be valid and non-degenerate in every dimension");
+  }
+  const Coord bound = Coord{1} << opt.log2_domain;
+  for (uint32_t d = 0; d < opt.dims; ++d) {
+    if (query.hi[d] >= bound) {
+      return Status::OutOfRange("query exceeds the schema's original domain");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> SketchStore::EstimateRangeCount(const std::string& dataset,
+                                               const Box& query) const {
+  auto found = Find(dataset);
+  if (!found.ok()) return found.status();
+  const Dataset& ds = **found;
+  SKETCH_RETURN_NOT_OK(ValidateRangeQuery(ds.kind, ds.opt, query));
+  std::shared_lock<FairSharedMutex> lock(ds.mu);
+  const double est = spatialsketch::EstimateRangeCount(ds.sketch, query);
+  lock.unlock();
+  range_estimates_.fetch_add(1, std::memory_order_relaxed);
+  return est;
+}
+
+Result<double> SketchStore::EstimateRangeSelectivity(
+    const std::string& dataset, const Box& query) const {
+  auto found = Find(dataset);
+  if (!found.ok()) return found.status();
+  const Dataset& ds = **found;
+  SKETCH_RETURN_NOT_OK(ValidateRangeQuery(ds.kind, ds.opt, query));
+  // Count and object total under ONE shared lock so the ratio is a
+  // consistent cut even while writers stream in.
+  std::shared_lock<FairSharedMutex> lock(ds.mu);
+  const int64_t n = ds.sketch.num_objects();
+  const double est =
+      n <= 0 ? 0.0 : spatialsketch::EstimateRangeCount(ds.sketch, query) /
+                         static_cast<double>(n);
+  lock.unlock();
+  range_estimates_.fetch_add(1, std::memory_order_relaxed);
+  return est;
+}
+
+Result<double> SketchStore::EstimateJoin(const std::string& r_dataset,
+                                         const std::string& s_dataset) const {
+  auto r_found = Find(r_dataset);
+  if (!r_found.ok()) return r_found.status();
+  auto s_found = Find(s_dataset);
+  if (!s_found.ok()) return s_found.status();
+  const Dataset& r = **r_found;
+  const Dataset& s = **s_found;
+  if (r.kind != DatasetKind::kJoinR || s.kind != DatasetKind::kJoinS) {
+    return Status::FailedPrecondition(
+        "join requires a kJoinR dataset joined against a kJoinS dataset");
+  }
+
+  // Address-ordered acquisition: two concurrent joins over the same pair
+  // in opposite roles cannot cycle through a queued writer. std::less is
+  // the guaranteed total order over unrelated objects' pointers; raw '<'
+  // is unspecified there.
+  const Dataset* first = &r;
+  const Dataset* second = &s;
+  if (std::less<const Dataset*>()(second, first)) std::swap(first, second);
+  std::shared_lock<FairSharedMutex> lock_first(first->mu);
+  std::shared_lock<FairSharedMutex> lock_second(second->mu);
+  auto est = EstimateJoinCardinality(r.sketch, s.sketch);
+  lock_second.unlock();
+  lock_first.unlock();
+  if (est.ok()) join_estimates_.fetch_add(1, std::memory_order_relaxed);
+  return est;
+}
+
+Result<int64_t> SketchStore::NumObjects(const std::string& dataset) const {
+  auto found = Find(dataset);
+  if (!found.ok()) return found.status();
+  const Dataset& ds = **found;
+  std::shared_lock<FairSharedMutex> lock(ds.mu);
+  return ds.sketch.num_objects();
+}
+
+Result<std::vector<int64_t>> SketchStore::CounterSnapshot(
+    const std::string& dataset) const {
+  auto found = Find(dataset);
+  if (!found.ok()) return found.status();
+  const Dataset& ds = **found;
+  std::shared_lock<FairSharedMutex> lock(ds.mu);
+  return ds.sketch.counters();
+}
+
+Result<std::string> SketchStore::Snapshot(const std::string& dataset) const {
+  auto found = Find(dataset);
+  if (!found.ok()) return found.status();
+  const Dataset& ds = **found;
+  std::string blob(kSnapshotMagic, sizeof(kSnapshotMagic));
+  blob.push_back(static_cast<char>(ds.kind));
+  std::shared_lock<FairSharedMutex> lock(ds.mu);
+  blob += SerializeSketch(ds.sketch);
+  lock.unlock();
+  snapshots_.fetch_add(1, std::memory_order_relaxed);
+  return blob;
+}
+
+Status SketchStore::Restore(const std::string& dataset,
+                            const std::string& blob) {
+  auto found = Find(dataset);
+  if (!found.ok()) return found.status();
+  Dataset& ds = **found;
+
+  if (blob.size() < kSnapshotHeader ||
+      blob.compare(0, sizeof(kSnapshotMagic), kSnapshotMagic,
+                   sizeof(kSnapshotMagic)) != 0) {
+    return Status::InvalidArgument("not a SketchStore snapshot blob");
+  }
+  if (static_cast<DatasetKind>(blob[sizeof(kSnapshotMagic)]) != ds.kind) {
+    return Status::FailedPrecondition(
+        "snapshot was taken from a dataset of a different kind");
+  }
+
+  // Deserialize off-lock (the expensive part), adopt under the writer
+  // lock. AdoptCountersFrom validates shape and schema-configuration
+  // equality and keeps the dataset's shared schema instance, so restored
+  // datasets remain joinable with their schema-mates.
+  auto restored = DeserializeSketch(blob.substr(kSnapshotHeader));
+  if (!restored.ok()) return restored.status();
+
+  std::unique_lock<FairSharedMutex> lock(ds.mu);
+  SKETCH_RETURN_NOT_OK(ds.sketch.AdoptCountersFrom(*restored));
+  lock.unlock();
+  restores_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+StoreStats SketchStore::stats() const {
+  StoreStats s;
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.deletes = deletes_.load(std::memory_order_relaxed);
+  s.dropped = dropped_.load(std::memory_order_relaxed);
+  s.bulk_boxes = bulk_boxes_.load(std::memory_order_relaxed);
+  s.range_estimates = range_estimates_.load(std::memory_order_relaxed);
+  s.join_estimates = join_estimates_.load(std::memory_order_relaxed);
+  s.snapshots = snapshots_.load(std::memory_order_relaxed);
+  s.restores = restores_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace spatialsketch

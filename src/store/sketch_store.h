@@ -1,0 +1,200 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// SketchStore: a concurrent serving layer over DatasetSketch synopses.
+//
+// The store is a named registry at two levels: schemas (the shared
+// xi-family configuration two datasets must have in common to be joined,
+// schema.h) and datasets (one DatasetSketch each, created under a
+// registered schema with a DatasetKind that fixes its shape and ingest
+// mapping). Callers speak ORIGINAL coordinates throughout; the store
+// applies the Section-5.2 endpoint transformation internally, exactly as
+// the estimator pipelines do, so a store-served estimate is bit-identical
+// to the equivalent single-threaded pipeline result.
+//
+// Concurrency model: the registry and every dataset carry their own
+// FairSharedMutex (fair_shared_mutex.h — std::shared_mutex makes no
+// fairness guarantee and its common reader-preferring implementation lets
+// an estimate stream starve writers). Estimates and snapshots take a
+// dataset's shared lock
+// and can run from any number of threads; Insert/Delete/Restore and the
+// final Merge of a bulk load take the exclusive lock. Bulk loads build a
+// private delta sketch OFF-lock (sharded across threads, parallel_ingest.h)
+// and only hold the writer lock for the Merge, so heavy ingest does not
+// starve readers. Because the synopsis is linear, any interleaving of
+// these critical sections yields counters identical to some sequential
+// execution of the same operations — concurrency changes timing, never
+// values. Joins take the two datasets' shared locks in address order so a
+// pending writer between the two acquisitions cannot induce a cycle.
+
+#ifndef SPATIALSKETCH_STORE_SKETCH_STORE_H_
+#define SPATIALSKETCH_STORE_SKETCH_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/macros.h"
+#include "src/common/status.h"
+#include "src/dyadic/dyadic_domain.h"
+#include "src/geom/box.h"
+#include "src/sketch/dataset_sketch.h"
+#include "src/sketch/schema.h"
+#include "src/store/fair_shared_mutex.h"
+
+namespace spatialsketch {
+
+/// What a dataset serves; fixes its Shape and its ingest-time mapping into
+/// the transformed domain (mirroring the estimator pipelines).
+enum class DatasetKind : uint8_t {
+  kRange = 0,  ///< RangeShape, MapR ingest; serves range-count estimates
+  kJoinR = 1,  ///< JoinShape, MapR ingest; the R side of spatial joins
+  kJoinS = 2,  ///< JoinShape, ShrinkS ingest; the S side of spatial joins
+};
+
+/// Schema registration over an ORIGINAL h-bit domain; the store derives
+/// the transformed schema (h+2 bits per dimension) internally.
+struct StoreSchemaOptions {
+  uint32_t dims = 1;
+  uint32_t log2_domain = 16;  ///< original domain bits per dimension
+  uint32_t max_level = DyadicDomain::kNoCap;
+  uint32_t k1 = 64;
+  uint32_t k2 = 9;
+  uint64_t seed = 1;
+};
+
+/// Monotonic operation counters (relaxed atomics; approximate under
+/// concurrency, exact once the store is quiescent).
+struct StoreStats {
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;
+  uint64_t dropped = 0;  ///< degenerate boxes ignored by ingest
+  uint64_t bulk_boxes = 0;
+  uint64_t range_estimates = 0;
+  uint64_t join_estimates = 0;
+  uint64_t snapshots = 0;
+  uint64_t restores = 0;
+};
+
+class SketchStore {
+ public:
+  SketchStore() = default;
+
+  // ---- Registry -----------------------------------------------------------
+
+  /// Register a named schema. Fails on duplicate names or invalid options.
+  Status RegisterSchema(const std::string& name,
+                        const StoreSchemaOptions& opt);
+
+  /// Create an empty dataset under a registered schema. Datasets created
+  /// under the same schema NAME share the same schema instance and are
+  /// therefore joinable / mergeable.
+  Status CreateDataset(const std::string& name,
+                       const std::string& schema_name, DatasetKind kind);
+
+  Status DropDataset(const std::string& name);
+
+  /// Sorted dataset names (snapshot; concurrent creates may race).
+  std::vector<std::string> ListDatasets() const;
+
+  /// The shared (transformed-domain) schema instance behind a registered
+  /// schema name.
+  Result<SchemaPtr> GetSchema(const std::string& name) const;
+
+  // ---- Streaming and batched ingest (ORIGINAL coordinates) ----------------
+
+  /// Degenerate boxes are ignored (they cannot contribute to a strict
+  /// overlap; the pipelines drop them too) and counted in stats().dropped.
+  Status Insert(const std::string& dataset, const Box& box);
+  Status Delete(const std::string& dataset, const Box& box);
+
+  /// Batched ingest (sign +1 adds, -1 removes). Builds a delta sketch
+  /// off-lock — sequentially here, sharded across `num_threads` workers in
+  /// ParallelBulkLoad — then merges it under the writer lock. Both paths
+  /// produce counters bit-identical to streaming the boxes one by one.
+  Status BulkLoad(const std::string& dataset, const std::vector<Box>& boxes,
+                  int sign = +1);
+  Status ParallelBulkLoad(const std::string& dataset,
+                          const std::vector<Box>& boxes,
+                          uint32_t num_threads, int sign = +1);
+
+  // ---- Serving (safe to call concurrently with all ingest paths) ----------
+
+  /// Range-count / selectivity estimate on a kRange dataset; the query is
+  /// in ORIGINAL coordinates and must be non-degenerate per dimension.
+  Result<double> EstimateRangeCount(const std::string& dataset,
+                                    const Box& query) const;
+  Result<double> EstimateRangeSelectivity(const std::string& dataset,
+                                          const Box& query) const;
+
+  /// Spatial-join cardinality estimate between a kJoinR and a kJoinS
+  /// dataset created under the same schema name.
+  Result<double> EstimateJoin(const std::string& r_dataset,
+                              const std::string& s_dataset) const;
+
+  Result<int64_t> NumObjects(const std::string& dataset) const;
+
+  /// Consistent copy of the dataset's raw counters (for verification: the
+  /// synopsis is linear, so these are bit-comparable across ingest paths).
+  Result<std::vector<int64_t>> CounterSnapshot(const std::string& dataset) const;
+
+  // ---- Persistence --------------------------------------------------------
+
+  /// Serialized self-contained snapshot — a small kind-tagged header over
+  /// the serialize.h sketch wire format — taken under the dataset's
+  /// shared lock: a consistent cut of the counters.
+  Result<std::string> Snapshot(const std::string& dataset) const;
+
+  /// Replace the dataset's counters with a snapshot blob. The blob's
+  /// DatasetKind, schema configuration, and shape must all match the
+  /// dataset's (kJoinR/kJoinS share shape and schema but ingest through
+  /// different coordinate mappings, so the kind tag is load-bearing); the
+  /// dataset keeps its shared schema instance, so restored datasets stay
+  /// joinable with their schema-mates.
+  Status Restore(const std::string& dataset, const std::string& blob);
+
+  StoreStats stats() const;
+
+ private:
+  struct Dataset {
+    Dataset(DatasetKind k, StoreSchemaOptions o, DatasetSketch s)
+        : kind(k), opt(o), sketch(std::move(s)) {}
+    const DatasetKind kind;
+    const StoreSchemaOptions opt;  ///< original-domain configuration
+    DatasetSketch sketch;          ///< guarded by mu
+    mutable FairSharedMutex mu;
+  };
+  using DatasetPtr = std::shared_ptr<Dataset>;
+
+  struct SchemaEntry {
+    StoreSchemaOptions opt;
+    SchemaPtr schema;
+  };
+
+  Result<DatasetPtr> Find(const std::string& name) const;
+  Status ApplyStreaming(const std::string& dataset, const Box& box, int sign);
+  Status MergeDelta(const std::string& name, const std::vector<Box>& boxes,
+                    uint32_t num_threads, int sign);
+
+  mutable FairSharedMutex registry_mu_;
+  std::map<std::string, SchemaEntry> schemas_;
+  std::map<std::string, DatasetPtr> datasets_;
+
+  mutable std::atomic<uint64_t> inserts_{0};
+  mutable std::atomic<uint64_t> deletes_{0};
+  mutable std::atomic<uint64_t> dropped_{0};
+  mutable std::atomic<uint64_t> bulk_boxes_{0};
+  mutable std::atomic<uint64_t> range_estimates_{0};
+  mutable std::atomic<uint64_t> join_estimates_{0};
+  mutable std::atomic<uint64_t> snapshots_{0};
+  mutable std::atomic<uint64_t> restores_{0};
+
+  SKETCH_DISALLOW_COPY_AND_ASSIGN(SketchStore);
+};
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_STORE_SKETCH_STORE_H_

@@ -91,7 +91,7 @@ TEST(Shape, ExtendedShapeAndCwCount) {
 }
 
 TEST(Shape, WordStringRoundTrip) {
-  for (const std::string& w : {"I", "IE", "Iu", "LU", "lIEu"}) {
+  for (const std::string w : {"I", "IE", "Iu", "LU", "lIEu"}) {
     auto parsed = WordFromString(w);
     ASSERT_TRUE(parsed.ok());
     EXPECT_EQ(WordToString(*parsed, static_cast<uint32_t>(w.size())), w);

@@ -1,0 +1,486 @@
+// SketchStore tests: registry lifecycle, agreement with the
+// single-threaded estimator pipelines, multi-threaded correctness
+// (concurrent estimates during streaming ingest leave counters
+// bit-identical to a sequential reference — the synopsis is linear, so
+// this is checkable exactly), sharded parallel loads, and
+// Snapshot()/Restore() round trips over the serialize corpus of kinds,
+// dimensionalities, and update histories.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/estimators/join_estimator.h"
+#include "src/estimators/range_query_estimator.h"
+#include "src/store/parallel_ingest.h"
+#include "src/store/sketch_store.h"
+#include "src/workload/zipf_boxes.h"
+
+namespace spatialsketch {
+namespace {
+
+StoreSchemaOptions SmallSchema(uint32_t dims, uint32_t log2_domain = 8,
+                               uint32_t k1 = 6, uint32_t k2 = 3,
+                               uint64_t seed = 42) {
+  StoreSchemaOptions opt;
+  opt.dims = dims;
+  opt.log2_domain = log2_domain;
+  opt.k1 = k1;
+  opt.k2 = k2;
+  opt.seed = seed;
+  return opt;
+}
+
+std::vector<Box> MakeBoxes(uint32_t dims, uint32_t log2_domain, uint64_t count,
+                           uint64_t seed, double zipf = 0.0) {
+  SyntheticBoxOptions gen;
+  gen.dims = dims;
+  gen.log2_domain = log2_domain;
+  gen.count = count;
+  gen.seed = seed;
+  gen.zipf_z = zipf;
+  return gen.count == 0 ? std::vector<Box>{} : GenerateSyntheticBoxes(gen);
+}
+
+TEST(SketchStoreRegistry, SchemaAndDatasetLifecycle) {
+  SketchStore store;
+  EXPECT_TRUE(store.RegisterSchema("s", SmallSchema(1)).ok());
+  EXPECT_FALSE(store.RegisterSchema("s", SmallSchema(1)).ok());  // duplicate
+
+  StoreSchemaOptions bad = SmallSchema(1);
+  bad.k1 = 0;  // invalid boosting grid
+  EXPECT_FALSE(store.RegisterSchema("bad", bad).ok());
+
+  // Oversized domains are rejected before the +2 transform can wrap (a
+  // wrapped value would pass validation and feed UB shifts later).
+  StoreSchemaOptions huge = SmallSchema(1);
+  huge.log2_domain = 39;
+  EXPECT_FALSE(store.RegisterSchema("huge", huge).ok());
+  huge.log2_domain = 0xFFFFFFFFu;
+  EXPECT_FALSE(store.RegisterSchema("huge", huge).ok());
+
+  EXPECT_TRUE(store.CreateDataset("a", "s", DatasetKind::kRange).ok());
+  EXPECT_FALSE(store.CreateDataset("a", "s", DatasetKind::kRange).ok());
+  EXPECT_FALSE(store.CreateDataset("b", "missing", DatasetKind::kRange).ok());
+  EXPECT_TRUE(store.CreateDataset("b", "s", DatasetKind::kJoinR).ok());
+
+  const auto names = store.ListDatasets();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+
+  EXPECT_TRUE(store.DropDataset("b").ok());
+  EXPECT_FALSE(store.DropDataset("b").ok());
+  EXPECT_FALSE(store.Insert("b", MakeInterval(1, 5)).ok());
+  EXPECT_FALSE(store.EstimateRangeCount("missing", MakeInterval(1, 5)).ok());
+  EXPECT_TRUE(store.GetSchema("s").ok());
+  EXPECT_FALSE(store.GetSchema("missing").ok());
+}
+
+TEST(SketchStoreRegistry, ValidatesBoxesAndKinds) {
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterSchema("s", SmallSchema(1, 8)).ok());
+  ASSERT_TRUE(store.CreateDataset("d", "s", DatasetKind::kRange).ok());
+  ASSERT_TRUE(store.CreateDataset("r", "s", DatasetKind::kJoinR).ok());
+  ASSERT_TRUE(store.CreateDataset("q", "s", DatasetKind::kJoinS).ok());
+
+  // Out of domain / inverted boxes are rejected; degenerate ones are
+  // silently dropped (they cannot contribute to a strict overlap).
+  EXPECT_FALSE(store.Insert("d", MakeInterval(0, 256)).ok());
+  EXPECT_FALSE(store.Insert("d", MakeInterval(9, 3)).ok());
+  EXPECT_TRUE(store.Insert("d", MakeInterval(7, 7)).ok());
+  EXPECT_EQ(*store.NumObjects("d"), 0);
+  EXPECT_EQ(store.stats().dropped, 1u);
+
+  // Kind mismatches.
+  EXPECT_FALSE(store.EstimateRangeCount("r", MakeInterval(1, 5)).ok());
+  EXPECT_FALSE(store.EstimateJoin("d", "q").ok());  // d is not kJoinR
+  EXPECT_FALSE(store.EstimateJoin("q", "r").ok());  // roles swapped
+  // Degenerate queries.
+  EXPECT_FALSE(store.EstimateRangeCount("d", MakeInterval(5, 5)).ok());
+}
+
+TEST(SketchStoreServing, MatchesRangeEstimatorPipeline) {
+  // Same options => same schema seeds => the store-served estimate is
+  // bit-identical to the standalone estimator's.
+  const uint32_t dims = 2, h = 8;
+  const auto boxes = MakeBoxes(dims, h, 400, 5);
+
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterSchema("s", SmallSchema(dims, h, 8, 3, 9)).ok());
+  ASSERT_TRUE(store.CreateDataset("d", "s", DatasetKind::kRange).ok());
+  ASSERT_TRUE(store.BulkLoad("d", boxes).ok());
+
+  RangeEstimatorOptions opt;
+  opt.dims = dims;
+  opt.log2_domain = h;
+  opt.k1 = 8;
+  opt.k2 = 3;
+  opt.seed = 9;
+  auto reference = RangeQueryEstimator::Build(boxes, opt);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_EQ(*store.NumObjects("d"), reference->num_objects());
+
+  Rng rng(77);
+  for (int q = 0; q < 25; ++q) {
+    const Coord side = 1 + rng.Uniform(200);
+    Box query;
+    for (uint32_t d = 0; d < dims; ++d) {
+      const Coord lo = rng.Uniform(256 - side);
+      query.lo[d] = lo;
+      query.hi[d] = lo + side;
+    }
+    auto got = store.EstimateRangeCount("d", query);
+    ASSERT_TRUE(got.ok());
+    EXPECT_DOUBLE_EQ(*got, reference->EstimateCount(query));
+    auto sel = store.EstimateRangeSelectivity("d", query);
+    ASSERT_TRUE(sel.ok());
+    EXPECT_DOUBLE_EQ(*sel, reference->EstimateSelectivity(query));
+  }
+}
+
+TEST(SketchStoreServing, MatchesJoinPipeline) {
+  const uint32_t dims = 2, h = 7;
+  const auto r_boxes = MakeBoxes(dims, h, 300, 21);
+  const auto s_boxes = MakeBoxes(dims, h, 250, 22, 0.5);
+
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterSchema("s", SmallSchema(dims, h, 10, 3, 4)).ok());
+  ASSERT_TRUE(store.CreateDataset("r", "s", DatasetKind::kJoinR).ok());
+  ASSERT_TRUE(store.CreateDataset("q", "s", DatasetKind::kJoinS).ok());
+  ASSERT_TRUE(store.ParallelBulkLoad("r", r_boxes, 3).ok());
+  ASSERT_TRUE(store.BulkLoad("q", s_boxes).ok());
+
+  JoinPipelineOptions opt;
+  opt.dims = dims;
+  opt.log2_domain = h;
+  opt.k1 = 10;
+  opt.k2 = 3;
+  opt.seed = 4;
+  auto reference = SketchSpatialJoin(r_boxes, s_boxes, opt);
+  ASSERT_TRUE(reference.ok());
+
+  auto got = store.EstimateJoin("r", "q");
+  ASSERT_TRUE(got.ok());
+  EXPECT_DOUBLE_EQ(*got, reference->estimate);
+}
+
+TEST(SketchStoreConcurrency, EstimatesDuringIngestAreBitIdenticalToSequential) {
+  // Writers stream disjoint slices concurrently while readers estimate;
+  // when the dust settles the counters must equal a sequential BulkLoad
+  // of the same boxes — exactly, not approximately.
+  const uint32_t dims = 2, h = 8;
+  const uint32_t kWriters = 4, kReaders = 4;
+  const auto boxes = MakeBoxes(dims, h, 2000, 31);
+
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterSchema("s", SmallSchema(dims, h, 4, 3)).ok());
+  ASSERT_TRUE(store.CreateDataset("live", "s", DatasetKind::kRange).ok());
+  ASSERT_TRUE(store.CreateDataset("reference", "s", DatasetKind::kRange).ok());
+
+  std::atomic<bool> writers_done{false};
+  std::vector<std::thread> threads;
+  for (uint32_t w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (size_t i = w; i < boxes.size(); i += kWriters) {
+        ASSERT_TRUE(store.Insert("live", boxes[i]).ok());
+      }
+    });
+  }
+  std::vector<uint64_t> served(kReaders, 0);
+  for (uint32_t r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      Rng rng(600 + r);
+      // The iteration cap is a safety valve: with the fair per-dataset
+      // lock the writers always finish; if lock fairness ever regresses
+      // this fails instead of hanging the suite.
+      while (!writers_done.load(std::memory_order_acquire) &&
+             served[r] < 50000) {
+        Box q;
+        for (uint32_t d = 0; d < dims; ++d) {
+          const Coord side = 1 + rng.Uniform(128);
+          const Coord lo = rng.Uniform(256 - side);
+          q.lo[d] = lo;
+          q.hi[d] = lo + side;
+        }
+        auto est = store.EstimateRangeCount("live", q);
+        ASSERT_TRUE(est.ok());
+        ASSERT_TRUE(std::isfinite(*est));
+        ++served[r];
+      }
+    });
+  }
+  for (uint32_t w = 0; w < kWriters; ++w) threads[w].join();
+  writers_done.store(true, std::memory_order_release);
+  for (uint32_t r = 0; r < kReaders; ++r) threads[kWriters + r].join();
+
+  ASSERT_TRUE(store.BulkLoad("reference", boxes).ok());
+  EXPECT_EQ(*store.NumObjects("live"), *store.NumObjects("reference"));
+  EXPECT_EQ(*store.CounterSnapshot("live"), *store.CounterSnapshot("reference"));
+  for (uint32_t r = 0; r < kReaders; ++r) {
+    EXPECT_GT(served[r], 0u) << "reader " << r << " never got a turn";
+  }
+}
+
+TEST(SketchStoreConcurrency, MixedInsertDeleteConvergesToSurvivorSet) {
+  // Each writer inserts its slice and deletes all but every 5th box; the
+  // final counters must equal a sequential load of just the survivors.
+  const uint32_t dims = 1, h = 9;
+  const uint32_t kWriters = 4;
+  const auto boxes = MakeBoxes(dims, h, 1500, 57);
+
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterSchema("s", SmallSchema(dims, h)).ok());
+  ASSERT_TRUE(store.CreateDataset("live", "s", DatasetKind::kRange).ok());
+  ASSERT_TRUE(store.CreateDataset("reference", "s", DatasetKind::kRange).ok());
+
+  std::vector<std::thread> writers;
+  for (uint32_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (size_t i = w; i < boxes.size(); i += kWriters) {
+        ASSERT_TRUE(store.Insert("live", boxes[i]).ok());
+        if (i % 5 != 0) {
+          ASSERT_TRUE(store.Delete("live", boxes[i]).ok());
+        }
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+
+  std::vector<Box> survivors;
+  for (size_t i = 0; i < boxes.size(); i += 5) survivors.push_back(boxes[i]);
+  ASSERT_TRUE(store.BulkLoad("reference", survivors).ok());
+  EXPECT_EQ(*store.NumObjects("live"),
+            static_cast<int64_t>(survivors.size()));
+  EXPECT_EQ(*store.CounterSnapshot("live"), *store.CounterSnapshot("reference"));
+}
+
+TEST(SketchStoreConcurrency, JoinEstimatesDuringDualSidedIngest) {
+  const uint32_t dims = 2, h = 7;
+  const auto r_boxes = MakeBoxes(dims, h, 800, 61);
+  const auto s_boxes = MakeBoxes(dims, h, 800, 62, 0.5);
+
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterSchema("s", SmallSchema(dims, h, 4, 3)).ok());
+  ASSERT_TRUE(store.CreateDataset("r", "s", DatasetKind::kJoinR).ok());
+  ASSERT_TRUE(store.CreateDataset("q", "s", DatasetKind::kJoinS).ok());
+  ASSERT_TRUE(store.CreateDataset("r_ref", "s", DatasetKind::kJoinR).ok());
+  ASSERT_TRUE(store.CreateDataset("q_ref", "s", DatasetKind::kJoinS).ok());
+
+  std::atomic<bool> done{false};
+  std::thread r_writer([&] {
+    for (const Box& b : r_boxes) ASSERT_TRUE(store.Insert("r", b).ok());
+  });
+  std::thread s_writer([&] {
+    for (const Box& b : s_boxes) ASSERT_TRUE(store.Insert("q", b).ok());
+  });
+  std::thread reader([&] {
+    uint64_t served = 0;
+    while (!done.load(std::memory_order_acquire) && served < 50000) {
+      auto est = store.EstimateJoin("r", "q");
+      ASSERT_TRUE(est.ok());
+      ASSERT_TRUE(std::isfinite(*est));
+      ++served;
+    }
+  });
+  r_writer.join();
+  s_writer.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  ASSERT_TRUE(store.ParallelBulkLoad("r_ref", r_boxes, 4).ok());
+  ASSERT_TRUE(store.ParallelBulkLoad("q_ref", s_boxes, 4).ok());
+  EXPECT_EQ(*store.CounterSnapshot("r"), *store.CounterSnapshot("r_ref"));
+  EXPECT_EQ(*store.CounterSnapshot("q"), *store.CounterSnapshot("q_ref"));
+  auto live = store.EstimateJoin("r", "q");
+  auto ref = store.EstimateJoin("r_ref", "q_ref");
+  ASSERT_TRUE(live.ok() && ref.ok());
+  EXPECT_DOUBLE_EQ(*live, *ref);
+}
+
+TEST(ShardedBulkLoad, BitIdenticalToSequentialAcrossShardCounts) {
+  SchemaOptions so;
+  so.dims = 2;
+  so.domains[0].log2_size = 8;
+  so.domains[1].log2_size = 8;
+  so.k1 = 5;
+  so.k2 = 3;
+  so.seed = 13;
+  auto schema = SketchSchema::Create(so);
+  ASSERT_TRUE(schema.ok());
+  const auto boxes = MakeBoxes(2, 8, 777, 71);
+
+  DatasetSketch sequential(*schema, Shape::JoinShape(2));
+  sequential.BulkLoad(boxes);
+
+  for (uint32_t threads : {1u, 2u, 3u, 8u}) {
+    DatasetSketch sharded(*schema, Shape::JoinShape(2));
+    ShardedLoadOptions opt;
+    opt.num_threads = threads;
+    opt.min_boxes_per_shard = 64;
+    ShardedBulkLoad(&sharded, boxes, +1, opt);
+    EXPECT_EQ(sharded.counters(), sequential.counters()) << threads;
+    EXPECT_EQ(sharded.num_objects(), sequential.num_objects());
+  }
+
+  // Sharded removal cancels a sharded load exactly.
+  DatasetSketch cancel(*schema, Shape::JoinShape(2));
+  ShardedBulkLoad(&cancel, boxes, +1, {});
+  ShardedBulkLoad(&cancel, boxes, -1, {});
+  for (int64_t c : cancel.counters()) EXPECT_EQ(c, 0);
+  EXPECT_EQ(cancel.num_objects(), 0);
+
+  // Wide schemas: the loader parallelizes internally across instance
+  // batches, so the shard count is the thread budget divided by the
+  // batch count. 768 instances = 2 batches; num_threads=2 degenerates to
+  // a single plain BulkLoad (pure delegation), num_threads=4 box-shards
+  // 2x on top. Both must stay bit-identical.
+  SchemaOptions wide = so;
+  wide.k1 = BulkLoader::kInstancesPerBatch / 2;
+  wide.k2 = 3;  // 1.5 batches worth of instances
+  auto wide_schema = SketchSchema::Create(wide);
+  ASSERT_TRUE(wide_schema.ok());
+  DatasetSketch wide_seq(*wide_schema, Shape::JoinShape(2));
+  wide_seq.BulkLoad(boxes);
+  for (uint32_t threads : {2u, 4u}) {
+    DatasetSketch wide_sharded(*wide_schema, Shape::JoinShape(2));
+    ShardedLoadOptions wopt;
+    wopt.num_threads = threads;
+    wopt.min_boxes_per_shard = 64;
+    ShardedBulkLoad(&wide_sharded, boxes, +1, wopt);
+    EXPECT_EQ(wide_sharded.counters(), wide_seq.counters()) << threads;
+    EXPECT_EQ(wide_sharded.num_objects(), wide_seq.num_objects());
+  }
+}
+
+TEST(SketchStoreSnapshot, RoundTripsEveryKindDimsAndUpdateHistory) {
+  // Snapshot -> Restore must reproduce bit-identical counters and
+  // estimates for every dataset kind and dimensionality, including after
+  // deletes (the corpus mirrors serialize_test's round-trip discipline).
+  for (const DatasetKind kind :
+       {DatasetKind::kRange, DatasetKind::kJoinR, DatasetKind::kJoinS}) {
+    for (uint32_t dims = 1; dims <= 3; ++dims) {
+      SCOPED_TRACE(static_cast<int>(kind) * 10 + static_cast<int>(dims));
+      const uint32_t h = 6;
+      SketchStore store;
+      ASSERT_TRUE(
+          store.RegisterSchema("s", SmallSchema(dims, h, 4, 3)).ok());
+      ASSERT_TRUE(store.CreateDataset("d", "s", kind).ok());
+      ASSERT_TRUE(store.CreateDataset("copy", "s", kind).ok());
+
+      const auto boxes = MakeBoxes(dims, h, 120, 80 + dims);
+      ASSERT_TRUE(store.BulkLoad("d", boxes).ok());
+      for (size_t i = 0; i < boxes.size(); i += 3) {
+        ASSERT_TRUE(store.Delete("d", boxes[i]).ok());
+      }
+
+      auto blob = store.Snapshot("d");
+      ASSERT_TRUE(blob.ok());
+      ASSERT_TRUE(store.Restore("copy", *blob).ok());
+      EXPECT_EQ(*store.CounterSnapshot("copy"), *store.CounterSnapshot("d"));
+      EXPECT_EQ(*store.NumObjects("copy"), *store.NumObjects("d"));
+
+      if (kind == DatasetKind::kRange) {
+        Box q;
+        for (uint32_t d = 0; d < dims; ++d) {
+          q.lo[d] = 3;
+          q.hi[d] = 41;
+        }
+        auto a = store.EstimateRangeCount("d", q);
+        auto b = store.EstimateRangeCount("copy", q);
+        ASSERT_TRUE(a.ok() && b.ok());
+        EXPECT_DOUBLE_EQ(*a, *b);
+      }
+
+      // A restored dataset keeps accepting updates in lockstep with the
+      // original (the schema instance is shared, not deserialized).
+      const Box extra = boxes.back();
+      ASSERT_TRUE(store.Insert("d", extra).ok());
+      ASSERT_TRUE(store.Insert("copy", extra).ok());
+      EXPECT_EQ(*store.CounterSnapshot("copy"), *store.CounterSnapshot("d"));
+    }
+  }
+}
+
+TEST(SketchStoreSnapshot, RestoredJoinSideStaysJoinable) {
+  const uint32_t dims = 2, h = 6;
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterSchema("s", SmallSchema(dims, h, 4, 3)).ok());
+  ASSERT_TRUE(store.CreateDataset("r", "s", DatasetKind::kJoinR).ok());
+  ASSERT_TRUE(store.CreateDataset("q", "s", DatasetKind::kJoinS).ok());
+  ASSERT_TRUE(store.CreateDataset("r2", "s", DatasetKind::kJoinR).ok());
+  ASSERT_TRUE(store.BulkLoad("r", MakeBoxes(dims, h, 200, 91)).ok());
+  ASSERT_TRUE(store.BulkLoad("q", MakeBoxes(dims, h, 200, 92)).ok());
+
+  auto blob = store.Snapshot("r");
+  ASSERT_TRUE(blob.ok());
+  ASSERT_TRUE(store.Restore("r2", *blob).ok());
+  auto original = store.EstimateJoin("r", "q");
+  auto restored = store.EstimateJoin("r2", "q");
+  ASSERT_TRUE(original.ok() && restored.ok());
+  EXPECT_DOUBLE_EQ(*restored, *original);
+}
+
+TEST(SketchStoreSnapshot, RejectsIncompatibleAndCorruptBlobs) {
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterSchema("a", SmallSchema(1, 6, 4, 3, 1)).ok());
+  ASSERT_TRUE(store.RegisterSchema("b", SmallSchema(2, 6, 4, 3, 1)).ok());
+  ASSERT_TRUE(store.RegisterSchema("c", SmallSchema(1, 6, 4, 3, 2)).ok());
+  ASSERT_TRUE(store.CreateDataset("da", "a", DatasetKind::kRange).ok());
+  ASSERT_TRUE(store.CreateDataset("db", "b", DatasetKind::kRange).ok());
+  ASSERT_TRUE(store.CreateDataset("dc", "c", DatasetKind::kRange).ok());
+  ASSERT_TRUE(store.CreateDataset("dj", "a", DatasetKind::kJoinR).ok());
+  ASSERT_TRUE(store.Insert("da", MakeInterval(3, 9)).ok());
+
+  auto blob = store.Snapshot("da");
+  ASSERT_TRUE(blob.ok());
+  // Wrong dims, wrong master seed, wrong shape: all rejected; the target
+  // keeps its previous contents.
+  EXPECT_FALSE(store.Restore("db", *blob).ok());
+  EXPECT_FALSE(store.Restore("dc", *blob).ok());
+  EXPECT_FALSE(store.Restore("dj", *blob).ok());
+  // Corrupt bytes are rejected by the deserializer, not by a crash.
+  EXPECT_FALSE(store.Restore("da", blob->substr(0, blob->size() / 2)).ok());
+  EXPECT_FALSE(store.Restore("da", "garbage").ok());
+  EXPECT_EQ(*store.NumObjects("da"), 1);
+
+  // Kind confusion between the join sides: kJoinR and kJoinS share shape
+  // and schema configuration but ingest through DIFFERENT coordinate
+  // mappings, so restoring one side's snapshot into the other must fail
+  // (it would silently serve wrong joins otherwise).
+  ASSERT_TRUE(store.CreateDataset("ds", "a", DatasetKind::kJoinS).ok());
+  ASSERT_TRUE(store.Insert("ds", MakeInterval(3, 9)).ok());
+  auto s_blob = store.Snapshot("ds");
+  ASSERT_TRUE(s_blob.ok());
+  EXPECT_FALSE(store.Restore("dj", *s_blob).ok());
+  EXPECT_TRUE(store.Restore("ds", *s_blob).ok());
+}
+
+TEST(SketchStoreStats, CountsOperations) {
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterSchema("s", SmallSchema(1, 8)).ok());
+  ASSERT_TRUE(store.CreateDataset("d", "s", DatasetKind::kRange).ok());
+  ASSERT_TRUE(store.Insert("d", MakeInterval(1, 9)).ok());
+  ASSERT_TRUE(store.Delete("d", MakeInterval(1, 9)).ok());
+  ASSERT_TRUE(store.BulkLoad("d", MakeBoxes(1, 8, 50, 3)).ok());
+  ASSERT_TRUE(store.EstimateRangeCount("d", MakeInterval(2, 60)).ok());
+  auto blob = store.Snapshot("d");
+  ASSERT_TRUE(blob.ok());
+  ASSERT_TRUE(store.Restore("d", *blob).ok());
+
+  const StoreStats stats = store.stats();
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.deletes, 1u);
+  EXPECT_EQ(stats.bulk_boxes, 50u);
+  EXPECT_EQ(stats.range_estimates, 1u);
+  EXPECT_EQ(stats.snapshots, 1u);
+  EXPECT_EQ(stats.restores, 1u);
+}
+
+}  // namespace
+}  // namespace spatialsketch
