@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 namespace spatialsketch {
 namespace bench {
@@ -51,6 +53,106 @@ Flags ParseFlagsOrDie(int argc, char** argv) {
     std::exit(2);
   }
   return *flags;
+}
+
+namespace {
+
+// The keys and values the benches emit are plain identifiers/numbers, but
+// escape the JSON specials anyway so a stray path in a param cannot break
+// the document.
+void AppendJsonString(std::ostringstream* out, const std::string& s) {
+  *out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out << "\\\"";
+        break;
+      case '\\':
+        *out << "\\\\";
+        break;
+      case '\n':
+        *out << "\\n";
+        break;
+      case '\t':
+        *out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out << buf;
+        } else {
+          *out << c;
+        }
+    }
+  }
+  *out << '"';
+}
+
+void AppendJsonNumber(std::ostringstream* out, double v) {
+  if (!std::isfinite(v)) {
+    *out << "null";  // JSON has no Inf/NaN
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  *out << buf;
+}
+
+}  // namespace
+
+std::string BenchResultsToJson(const std::vector<BenchResult>& results) {
+  std::ostringstream out;
+  out << "{\"results\": [";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    if (i > 0) out << ", ";
+    out << "{\"name\": ";
+    AppendJsonString(&out, r.name);
+    out << ", \"params\": {";
+    for (size_t p = 0; p < r.params.size(); ++p) {
+      if (p > 0) out << ", ";
+      AppendJsonString(&out, r.params[p].first);
+      out << ": ";
+      AppendJsonString(&out, r.params[p].second);
+    }
+    out << "}, \"metrics\": {";
+    for (size_t m = 0; m < r.metrics.size(); ++m) {
+      if (m > 0) out << ", ";
+      AppendJsonString(&out, r.metrics[m].first);
+      out << ": ";
+      AppendJsonNumber(&out, r.metrics[m].second);
+    }
+    out << "}}";
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+Status WriteBenchJson(const std::string& path,
+                      const std::vector<BenchResult>& results) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) {
+    return Status::InvalidArgument("cannot open json_out path: " + path);
+  }
+  f << BenchResultsToJson(results);
+  f.close();
+  if (!f) {
+    return Status::Internal("short write to json_out path: " + path);
+  }
+  return Status::OK();
+}
+
+Status MaybeWriteBenchJson(const Flags& flags,
+                           const std::vector<BenchResult>& results) {
+  if (!flags.Has("json_out")) return Status::OK();
+  const std::string path = flags.GetString("json_out");
+  if (path.empty()) {
+    return Status::InvalidArgument("--json_out needs a path value");
+  }
+  SKETCH_RETURN_NOT_OK(WriteBenchJson(path, results));
+  std::printf("json results written to %s\n", path.c_str());
+  return Status::OK();
 }
 
 }  // namespace bench

@@ -11,9 +11,11 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/flags.h"
+#include "src/common/status.h"
 #include "src/geom/box.h"
 
 namespace spatialsketch {
@@ -46,6 +48,39 @@ double Mean(const std::vector<double>& v);
 
 /// Parse flags or die with a message.
 Flags ParseFlagsOrDie(int argc, char** argv);
+
+/// One machine-readable benchmark record: a bench name, the parameters it
+/// ran with (stringified), and its measured metrics (e.g. updates_per_sec,
+/// queries_per_sec, wall_seconds). The throughput benches emit these so CI
+/// can archive performance trajectories instead of scraping stdout.
+struct BenchResult {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> params;
+  std::vector<std::pair<std::string, double>> metrics;
+
+  void Param(const std::string& key, const std::string& value) {
+    params.emplace_back(key, value);
+  }
+  void Param(const std::string& key, int64_t value) {
+    params.emplace_back(key, std::to_string(value));
+  }
+  void Metric(const std::string& key, double value) {
+    metrics.emplace_back(key, value);
+  }
+};
+
+/// Render results as a stable JSON document:
+///   {"results": [{"name": ..., "params": {...}, "metrics": {...}}, ...]}
+std::string BenchResultsToJson(const std::vector<BenchResult>& results);
+
+/// Write the JSON document to `path` (overwrites).
+Status WriteBenchJson(const std::string& path,
+                      const std::vector<BenchResult>& results);
+
+/// Honors the shared --json_out=<path> flag: writes the results there if
+/// the flag is set (reporting the path on stdout), no-op otherwise.
+Status MaybeWriteBenchJson(const Flags& flags,
+                           const std::vector<BenchResult>& results);
 
 }  // namespace bench
 }  // namespace spatialsketch

@@ -1,0 +1,186 @@
+// Query-side throughput of the batched estimation engine: single-query
+// SketchStore::EstimateRangeCount (one lock acquisition per query) vs
+// EstimateRangeBatch (one lock per batch, fanned across the store's query
+// pool), plus single EstimateJoin vs EstimateJoinBatch of one R dataset
+// against a panel of S datasets. Batch results are checked exactly equal
+// to their sequential counterparts before any number is reported.
+//
+//   build/micro_query_throughput [--seconds=2] [--n=20000] [--dims=2]
+//       [--log2_domain=12] [--k1=16] [--k2=5] [--batch=256]
+//       [--s_datasets=8] [--json_out=<path>]
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/common/rng.h"
+#include "src/common/stopwatch.h"
+#include "src/store/sketch_store.h"
+#include "src/workload/zipf_boxes.h"
+
+using namespace spatialsketch;  // NOLINT: benchmark brevity
+
+namespace {
+
+std::vector<Box> MakeQueries(uint32_t dims, uint32_t log2_domain, size_t count,
+                             uint64_t seed) {
+  Rng rng(seed);
+  const Coord domain = Coord{1} << log2_domain;
+  std::vector<Box> queries(count);
+  for (Box& q : queries) {
+    for (uint32_t d = 0; d < dims; ++d) {
+      const Coord side = 1 + rng.Uniform(domain / 2);
+      const Coord lo = rng.Uniform(domain - side);
+      q.lo[d] = lo;
+      q.hi[d] = lo + side;
+    }
+  }
+  return queries;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = bench::ParseFlagsOrDie(argc, argv);
+  const double seconds = flags.GetDouble("seconds", 2.0);
+  const uint64_t n = flags.GetInt("n", 20000);
+  const uint32_t dims = static_cast<uint32_t>(flags.GetInt("dims", 2));
+  const uint32_t log2_domain =
+      static_cast<uint32_t>(flags.GetInt("log2_domain", 12));
+  const size_t batch = static_cast<size_t>(flags.GetInt("batch", 256));
+  const uint32_t s_count =
+      static_cast<uint32_t>(flags.GetInt("s_datasets", 8));
+
+  StoreSchemaOptions schema;
+  schema.dims = dims;
+  schema.log2_domain = log2_domain;
+  schema.k1 = static_cast<uint32_t>(flags.GetInt("k1", 16));
+  schema.k2 = static_cast<uint32_t>(flags.GetInt("k2", 5));
+  schema.seed = 7;
+
+  SketchStore store;
+  SKETCH_CHECK(store.RegisterSchema("bench", schema).ok());
+  SKETCH_CHECK(store.CreateDataset("range", "bench", DatasetKind::kRange).ok());
+  SKETCH_CHECK(store.CreateDataset("r", "bench", DatasetKind::kJoinR).ok());
+  std::vector<std::string> s_names;
+  for (uint32_t s = 0; s < s_count; ++s) {
+    s_names.push_back("s" + std::to_string(s));
+    SKETCH_CHECK(
+        store.CreateDataset(s_names.back(), "bench", DatasetKind::kJoinS).ok());
+  }
+
+  SyntheticBoxOptions gen;
+  gen.dims = dims;
+  gen.log2_domain = log2_domain;
+  gen.count = n;
+  gen.seed = 11;
+  SKETCH_CHECK(store.ParallelBulkLoad("range", GenerateSyntheticBoxes(gen), 4).ok());
+  gen.seed = 12;
+  SKETCH_CHECK(store.ParallelBulkLoad("r", GenerateSyntheticBoxes(gen), 4).ok());
+  for (uint32_t s = 0; s < s_count; ++s) {
+    gen.seed = 100 + s;
+    gen.count = n / 4;
+    SKETCH_CHECK(
+        store.ParallelBulkLoad(s_names[s], GenerateSyntheticBoxes(gen), 4).ok());
+  }
+
+  const std::vector<Box> queries = MakeQueries(dims, log2_domain, batch, 900);
+
+  // Equivalence gate: one batch must match the per-query path exactly.
+  {
+    auto batched = store.EstimateRangeBatch("range", queries);
+    SKETCH_CHECK(batched.ok());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      auto single = store.EstimateRangeCount("range", queries[i]);
+      SKETCH_CHECK(single.ok() && *single == (*batched)[i]);
+    }
+    auto jbatch = store.EstimateJoinBatch("r", s_names);
+    SKETCH_CHECK(jbatch.ok());
+    for (uint32_t s = 0; s < s_count; ++s) {
+      auto single = store.EstimateJoin("r", s_names[s]);
+      SKETCH_CHECK(single.ok() && *single == (*jbatch)[s]);
+    }
+  }
+
+  // Single-query loop.
+  Stopwatch timer;
+  uint64_t single_queries = 0;
+  while (timer.Seconds() < seconds) {
+    for (const Box& q : queries) {
+      auto est = store.EstimateRangeCount("range", q);
+      SKETCH_CHECK(est.ok());
+      ++single_queries;
+    }
+  }
+  const double single_secs = timer.Seconds();
+
+  // Batched loop (same query set, one lock + pool fan-out per batch).
+  timer.Restart();
+  uint64_t batch_queries = 0;
+  while (timer.Seconds() < seconds) {
+    auto est = store.EstimateRangeBatch("range", queries);
+    SKETCH_CHECK(est.ok());
+    batch_queries += queries.size();
+  }
+  const double batch_secs = timer.Seconds();
+
+  // Joins: single pairs vs one batch across the S panel.
+  timer.Restart();
+  uint64_t single_joins = 0;
+  while (timer.Seconds() < seconds / 2) {
+    for (const std::string& s : s_names) {
+      SKETCH_CHECK(store.EstimateJoin("r", s).ok());
+      ++single_joins;
+    }
+  }
+  const double single_join_secs = timer.Seconds();
+
+  timer.Restart();
+  uint64_t batch_joins = 0;
+  while (timer.Seconds() < seconds / 2) {
+    SKETCH_CHECK(store.EstimateJoinBatch("r", s_names).ok());
+    batch_joins += s_count;
+  }
+  const double batch_join_secs = timer.Seconds();
+
+  const double single_rate = single_queries / single_secs;
+  const double batch_rate = batch_queries / batch_secs;
+  const double single_join_rate = single_joins / single_join_secs;
+  const double batch_join_rate = batch_joins / batch_join_secs;
+
+  std::printf("query throughput: dims=%u domain=2^%u n=%" PRIu64
+              " k1=%u k2=%u batch=%zu\n",
+              dims, log2_domain, n, schema.k1, schema.k2, batch);
+  std::printf("  range single         : %.0f queries/sec\n", single_rate);
+  std::printf("  range batched        : %.0f queries/sec (%.2fx)\n",
+              batch_rate, batch_rate / single_rate);
+  std::printf("  join single          : %.0f joins/sec\n", single_join_rate);
+  std::printf("  join batched         : %.0f joins/sec (%.2fx)\n",
+              batch_join_rate, batch_join_rate / single_join_rate);
+  std::printf("  batch vs sequential  : exactly equal\n");
+
+  bench::BenchResult result;
+  result.name = "query_throughput";
+  result.Param("dims", static_cast<int64_t>(dims));
+  result.Param("log2_domain", static_cast<int64_t>(log2_domain));
+  result.Param("n", static_cast<int64_t>(n));
+  result.Param("k1", static_cast<int64_t>(schema.k1));
+  result.Param("k2", static_cast<int64_t>(schema.k2));
+  result.Param("batch", static_cast<int64_t>(batch));
+  result.Param("s_datasets", static_cast<int64_t>(s_count));
+  result.Metric("queries_per_sec_single", single_rate);
+  result.Metric("queries_per_sec_batched", batch_rate);
+  result.Metric("batch_speedup", batch_rate / single_rate);
+  result.Metric("joins_per_sec_single", single_join_rate);
+  result.Metric("joins_per_sec_batched", batch_join_rate);
+  result.Metric("wall_seconds",
+                single_secs + batch_secs + single_join_secs + batch_join_secs);
+  const Status st = bench::MaybeWriteBenchJson(flags, {result});
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
+  return 0;
+}

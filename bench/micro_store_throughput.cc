@@ -6,6 +6,7 @@
 //
 //   build/micro_store_throughput [--readers=4] [--writers=1] [--seconds=2]
 //       [--n=20000] [--dims=2] [--log2_domain=12] [--k1=16] [--k2=5]
+//       [--json_out=<path>]
 //
 // After the measured window the driver replays the surviving update set
 // into a fresh dataset sequentially and checks the live counters are
@@ -18,6 +19,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "src/common/flags.h"
 #include "src/common/rng.h"
 #include "src/common/stopwatch.h"
@@ -157,5 +159,23 @@ int main(int argc, char** argv) {
   std::printf("  updates applied      : %" PRIu64 "\n", total_updates);
   std::printf("  updates/sec          : %.0f\n", total_updates / elapsed);
   std::printf("  counters vs replay   : bit-identical\n");
+
+  bench::BenchResult result;
+  result.name = "store_throughput";
+  result.Param("dims", static_cast<int64_t>(dims));
+  result.Param("log2_domain", static_cast<int64_t>(log2_domain));
+  result.Param("n", static_cast<int64_t>(n));
+  result.Param("k1", static_cast<int64_t>(schema.k1));
+  result.Param("k2", static_cast<int64_t>(schema.k2));
+  result.Param("readers", static_cast<int64_t>(readers));
+  result.Param("writers", static_cast<int64_t>(writers));
+  result.Metric("queries_per_sec", total_queries / elapsed);
+  result.Metric("updates_per_sec", total_updates / elapsed);
+  result.Metric("wall_seconds", elapsed);
+  const Status st = bench::MaybeWriteBenchJson(*flags, {result});
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
   return 0;
 }

@@ -1,20 +1,33 @@
-// Micro-benchmarks (google-benchmark) for the cost model of Section 4.1.5:
-// streaming insert cost (O(instances * log^2 n)), bulk-load throughput,
-// estimate combination cost, and histogram maintenance, across domain
-// sizes and synopsis widths.
+// Streaming-update throughput: the bit-sliced Insert/Delete fast path
+// (packed sign columns from the schema cache, 64 instances expanded per
+// word) measured against the retained per-instance scalar reference
+// (DatasetSketch::UpdateReference, one GF(2^64) xi evaluation per
+// boosting instance per dyadic id). Also reports bulk-load throughput
+// for context. The two streaming paths are re-checked bit-identical on a
+// prefix of the stream before any number is reported.
+//
+//   build/micro_update_throughput [--dims=2] [--log2_domain=14] [--k1=64]
+//       [--k2=9] [--n=100000] [--ref_n=4000] [--bulk_n=100000]
+//       [--shape=range|join] [--check_n=256] [--json_out=<path>]
+//
+// --n boxes stream through the fast path, --ref_n (fewer; the reference
+// is slow) through UpdateReference; throughput is updates/sec each, and
+// `speedup` is their ratio. Streams alternate inserts with a trailing
+// delete window so mixed signs are exercised, matching serving reality.
 
-#include <benchmark/benchmark.h>
-
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
-#include "src/common/rng.h"
-#include "src/estimators/join_estimator.h"
-#include "src/histogram/euler_histogram.h"
-#include "src/histogram/geometric_histogram.h"
+#include "bench/bench_common.h"
+#include "src/common/stopwatch.h"
 #include "src/sketch/dataset_sketch.h"
 #include "src/workload/zipf_boxes.h"
 
-namespace spatialsketch {
+using namespace spatialsketch;  // NOLINT: benchmark brevity
+
 namespace {
 
 SchemaPtr MakeSchema(uint32_t dims, uint32_t h, uint32_t k1, uint32_t k2) {
@@ -29,91 +42,126 @@ SchemaPtr MakeSchema(uint32_t dims, uint32_t h, uint32_t k1, uint32_t k2) {
   return *schema;
 }
 
-std::vector<Box> MakeBoxes(uint32_t dims, uint32_t h, uint64_t n) {
+// Sliding-window stream: insert box i, delete box i - window. Returns
+// applied update count.
+template <typename ApplyFn>
+uint64_t RunStream(const std::vector<Box>& boxes, uint64_t n, ApplyFn&& apply) {
+  const size_t window = 1024;
+  uint64_t updates = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    apply(boxes[i % boxes.size()], +1);
+    ++updates;
+    if (i >= window) {
+      apply(boxes[(i - window) % boxes.size()], -1);
+      ++updates;
+    }
+  }
+  return updates;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = bench::ParseFlagsOrDie(argc, argv);
+  const uint32_t dims = static_cast<uint32_t>(flags.GetInt("dims", 2));
+  const uint32_t h = static_cast<uint32_t>(flags.GetInt("log2_domain", 14));
+  const uint32_t k1 = static_cast<uint32_t>(flags.GetInt("k1", 64));
+  const uint32_t k2 = static_cast<uint32_t>(flags.GetInt("k2", 9));
+  const uint64_t n = flags.GetInt("n", 100000);
+  const uint64_t ref_n = flags.GetInt("ref_n", 4000);
+  const uint64_t bulk_n = flags.GetInt("bulk_n", 100000);
+  const uint64_t check_n = flags.GetInt("check_n", 256);
+  const std::string shape_name = flags.GetString("shape", "range");
+  const Shape shape = shape_name == "join" ? Shape::JoinShape(dims)
+                                           : Shape::RangeShape(dims);
+
+  auto schema = MakeSchema(dims, h, k1, k2);
   SyntheticBoxOptions gen;
   gen.dims = dims;
   gen.log2_domain = h;
-  gen.count = n;
+  gen.count = 1u << 14;
   gen.seed = 5;
-  return GenerateSyntheticBoxes(gen);
-}
+  const std::vector<Box> boxes = GenerateSyntheticBoxes(gen);
 
-// Streaming insert: args = {log2_domain, instances}.
-void BM_StreamingInsert2D(benchmark::State& state) {
-  const uint32_t h = static_cast<uint32_t>(state.range(0));
-  const uint32_t instances = static_cast<uint32_t>(state.range(1));
-  auto schema = MakeSchema(2, h, instances, 1);
-  DatasetSketch sketch(schema, Shape::JoinShape(2));
-  const auto boxes = MakeBoxes(2, h, 512);
-  size_t i = 0;
-  for (auto _ : state) {
-    sketch.Insert(boxes[i++ & 511]);
+  // Correctness gate: fast path vs reference, bit-identical counters over
+  // a mixed-sign prefix. A throughput number for a wrong answer is noise.
+  {
+    DatasetSketch fast(schema, shape);
+    DatasetSketch ref(schema, shape);
+    RunStream(boxes, check_n, [&](const Box& b, int sign) {
+      if (sign > 0) fast.Insert(b); else fast.Delete(b);
+    });
+    RunStream(boxes, check_n, [&](const Box& b, int sign) {
+      ref.UpdateReference(b, sign);
+    });
+    SKETCH_CHECK(fast.counters() == ref.counters());
   }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_StreamingInsert2D)
-    ->Args({10, 64})
-    ->Args({10, 512})
-    ->Args({16, 64})
-    ->Args({16, 512})
-    ->Args({20, 64});
 
-// Bulk load: args = {instances}; fixed 2^14 domain, 4096 boxes per batch.
-void BM_BulkLoad2D(benchmark::State& state) {
-  const uint32_t instances = static_cast<uint32_t>(state.range(0));
-  auto schema = MakeSchema(2, 14, instances, 1);
-  const auto boxes = MakeBoxes(2, 14, 4096);
-  for (auto _ : state) {
-    DatasetSketch sketch(schema, Shape::JoinShape(2));
-    sketch.BulkLoad(boxes);
-    benchmark::DoNotOptimize(sketch.Counter(0, 0));
+  // Warm the schema's packed sign columns so the fast-path number is the
+  // steady-state serving cost, not first-touch construction.
+  DatasetSketch fast(schema, shape);
+  RunStream(boxes, std::min<uint64_t>(n, 2048), [&](const Box& b, int sign) {
+    if (sign > 0) fast.Insert(b); else fast.Delete(b);
+  });
+
+  Stopwatch timer;
+  const uint64_t fast_updates = RunStream(boxes, n, [&](const Box& b, int sign) {
+    if (sign > 0) fast.Insert(b); else fast.Delete(b);
+  });
+  const double fast_secs = timer.Seconds();
+
+  DatasetSketch ref(schema, shape);
+  timer.Restart();
+  const uint64_t ref_updates =
+      RunStream(boxes, ref_n, [&](const Box& b, int sign) {
+        ref.UpdateReference(b, sign);
+      });
+  const double ref_secs = timer.Seconds();
+
+  DatasetSketch bulk(schema, shape);
+  std::vector<Box> bulk_boxes;
+  bulk_boxes.reserve(bulk_n);
+  for (uint64_t i = 0; i < bulk_n; ++i) {
+    bulk_boxes.push_back(boxes[i % boxes.size()]);
   }
-  state.SetItemsProcessed(state.iterations() * boxes.size());
-}
-BENCHMARK(BM_BulkLoad2D)->Arg(512)->Arg(2048)->Arg(7290);
+  timer.Restart();
+  SKETCH_CHECK(bulk.BulkLoad(bulk_boxes).ok());
+  const double bulk_secs = timer.Seconds();
 
-// Join-estimate combination cost over the synopsis.
-void BM_EstimateJoin2D(benchmark::State& state) {
-  const uint32_t instances = static_cast<uint32_t>(state.range(0));
-  auto schema = MakeSchema(2, 14, instances / 9, 9);
-  DatasetSketch r(schema, Shape::JoinShape(2));
-  DatasetSketch s(schema, Shape::JoinShape(2));
-  const auto boxes = MakeBoxes(2, 14, 256);
-  r.BulkLoad(boxes);
-  s.BulkLoad(boxes);
-  for (auto _ : state) {
-    auto est = EstimateJoinCardinality(r, s);
-    benchmark::DoNotOptimize(est);
+  const double fast_rate = fast_updates / fast_secs;
+  const double ref_rate = ref_updates / ref_secs;
+  const double bulk_rate = bulk_n / bulk_secs;
+  const double speedup = fast_rate / ref_rate;
+
+  std::printf("update throughput: dims=%u domain=2^%u k1=%u k2=%u shape=%s\n",
+              dims, h, k1, k2, shape_name.c_str());
+  std::printf("  bit-sliced stream    : %" PRIu64 " updates in %.3fs -> %.0f/s\n",
+              fast_updates, fast_secs, fast_rate);
+  std::printf("  reference stream     : %" PRIu64 " updates in %.3fs -> %.0f/s\n",
+              ref_updates, ref_secs, ref_rate);
+  std::printf("  speedup (bit-sliced) : %.2fx\n", speedup);
+  std::printf("  bulk load            : %" PRIu64 " boxes in %.3fs -> %.0f/s\n",
+              bulk_n, bulk_secs, bulk_rate);
+  std::printf("  counters vs reference: bit-identical\n");
+
+  bench::BenchResult result;
+  result.name = "streaming_update_throughput";
+  result.Param("dims", static_cast<int64_t>(dims));
+  result.Param("log2_domain", static_cast<int64_t>(h));
+  result.Param("k1", static_cast<int64_t>(k1));
+  result.Param("k2", static_cast<int64_t>(k2));
+  result.Param("shape", shape_name);
+  result.Param("n", static_cast<int64_t>(n));
+  result.Param("ref_n", static_cast<int64_t>(ref_n));
+  result.Metric("updates_per_sec_bitsliced", fast_rate);
+  result.Metric("updates_per_sec_reference", ref_rate);
+  result.Metric("speedup", speedup);
+  result.Metric("bulk_boxes_per_sec", bulk_rate);
+  result.Metric("wall_seconds", fast_secs + ref_secs + bulk_secs);
+  const Status st = bench::MaybeWriteBenchJson(flags, {result});
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
   }
+  return 0;
 }
-BENCHMARK(BM_EstimateJoin2D)->Arg(720)->Arg(7290);
-
-// Histogram maintenance for comparison.
-void BM_EulerHistogramAdd(benchmark::State& state) {
-  const uint32_t grid = static_cast<uint32_t>(state.range(0));
-  EulerHistogram hist(16384.0, grid);
-  const auto boxes = MakeBoxes(2, 14, 512);
-  size_t i = 0;
-  for (auto _ : state) {
-    hist.Add(boxes[i++ & 511]);
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_EulerHistogramAdd)->Arg(16)->Arg(64);
-
-void BM_GeometricHistogramAdd(benchmark::State& state) {
-  const uint32_t grid = static_cast<uint32_t>(state.range(0));
-  GeometricHistogram hist(16384.0, grid);
-  const auto boxes = MakeBoxes(2, 14, 512);
-  size_t i = 0;
-  for (auto _ : state) {
-    hist.Add(boxes[i++ & 511]);
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_GeometricHistogramAdd)->Arg(16)->Arg(95);
-
-}  // namespace
-}  // namespace spatialsketch
-
-BENCHMARK_MAIN();

@@ -68,7 +68,7 @@ Result<CommonEndpointResult> SketchJoinCommonEndpoints1D(
       }
       kept.push_back(b);
     }
-    sk.BulkLoad(kept);
+    SKETCH_CHECK(sk.BulkLoad(kept).ok());
     return sk;
   };
   DatasetSketch rx = load(r, &out.dropped_r);

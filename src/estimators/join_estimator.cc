@@ -53,6 +53,48 @@ Result<double> EstimateJoinCardinality(const DatasetSketch& r,
   return MedianOfMeans(*z, r.schema()->k1(), r.schema()->k2());
 }
 
+Result<std::vector<double>> EstimateJoinCardinalityBatch(
+    const DatasetSketch& r, const std::vector<const DatasetSketch*>& s_list) {
+  if (s_list.empty()) {
+    return Status::InvalidArgument("join batch must be non-empty");
+  }
+  for (const DatasetSketch* s : s_list) {
+    if (s == nullptr) {
+      return Status::InvalidArgument("join batch contains a null sketch");
+    }
+    SKETCH_RETURN_NOT_OK(CheckJoinable(r, *s));
+  }
+  const uint32_t dims = r.schema()->dims();
+  const uint32_t instances = r.schema()->instances();
+  const uint32_t num_words = uint32_t{1} << dims;
+  const double scale = 1.0 / static_cast<double>(uint64_t{1} << dims);
+  const uint32_t cmask = num_words - 1;
+
+  std::vector<std::vector<double>> z(s_list.size(),
+                                     std::vector<double>(instances));
+  double r_row[1u << kMaxDims];
+  for (uint32_t inst = 0; inst < instances; ++inst) {
+    for (uint32_t w = 0; w < num_words; ++w) {
+      r_row[w] = static_cast<double>(r.Counter(inst, w));
+    }
+    for (size_t si = 0; si < s_list.size(); ++si) {
+      const DatasetSketch& s = *s_list[si];
+      // Same per-pair word order as JoinEstimatesPerInstance, so each
+      // batch entry is bit-identical to its sequential counterpart.
+      double acc = 0.0;
+      for (uint32_t w = 0; w < num_words; ++w) {
+        acc += r_row[w] * static_cast<double>(s.Counter(inst, w ^ cmask));
+      }
+      z[si][inst] = acc * scale;
+    }
+  }
+  std::vector<double> out(s_list.size());
+  for (size_t si = 0; si < s_list.size(); ++si) {
+    out[si] = MedianOfMeans(z[si], r.schema()->k1(), r.schema()->k2());
+  }
+  return out;
+}
+
 Result<SchemaPtr> MakeTransformedJoinSchema(const JoinPipelineOptions& opt) {
   return MakeTransformedJoinSchema(opt, nullptr);
 }
@@ -80,7 +122,7 @@ DatasetSketch SketchSide(const SchemaPtr& schema, const std::vector<Box>& v,
     transformed.push_back(shrink ? EndpointTransform::ShrinkS(b, dims)
                                  : EndpointTransform::MapR(b, dims));
   }
-  sketch.BulkLoad(transformed);
+  SKETCH_CHECK(sketch.BulkLoad(transformed).ok());
   if (dropped != nullptr) *dropped = skipped;
   return sketch;
 }

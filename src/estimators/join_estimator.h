@@ -33,6 +33,15 @@ Result<double> EstimateJoinCardinality(const DatasetSketch& r,
 Result<std::vector<double>> JoinEstimatesPerInstance(const DatasetSketch& r,
                                                      const DatasetSketch& s);
 
+/// Batched join estimates of one R sketch against many S sketches. The R
+/// counter row of each boosting instance is loaded once and paired with
+/// every S in turn, so the R side of the synopsis walk is amortized
+/// across the batch. Returns exactly the values of per-pair
+/// EstimateJoinCardinality calls, in s_list order. Errors on an empty
+/// batch, a null entry, or any incompatible pair.
+Result<std::vector<double>> EstimateJoinCardinalityBatch(
+    const DatasetSketch& r, const std::vector<const DatasetSketch*>& s_list);
+
 /// End-to-end pipeline configuration. Coordinates of the input boxes must
 /// lie in [0, 2^log2_domain) per dimension; the pipeline applies the
 /// endpoint transformation internally (domain grows by 2 bits).

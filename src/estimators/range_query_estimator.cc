@@ -1,10 +1,11 @@
 #include "src/estimators/range_query_estimator.h"
 
+#include <algorithm>
+
 #include "src/dyadic/endpoint_transform.h"
 #include "src/estimators/adaptive.h"
 #include "src/estimators/combine.h"
-#include "src/gf2/gf2_64.h"
-#include "src/xi/bch_family.h"
+#include "src/xi/bitslice.h"
 
 namespace spatialsketch {
 
@@ -31,7 +32,7 @@ Result<RangeQueryEstimator> RangeQueryEstimator::Build(
 
   auto sketch = std::make_unique<DatasetSketch>(*schema,
                                                 Shape::RangeShape(opt.dims));
-  sketch->BulkLoad(transformed);
+  SKETCH_RETURN_NOT_OK(sketch->BulkLoad(transformed));
   return RangeQueryEstimator(*schema, std::move(sketch), opt.dims);
 }
 
@@ -45,54 +46,91 @@ void RangeQueryEstimator::Delete(const Box& box) {
   sketch_->Delete(EndpointTransform::MapR(box, dims_));
 }
 
-double EstimateRangeCount(const DatasetSketch& sketch, const Box& query) {
+RangeQueryBatch::RangeQueryBatch(const DatasetSketch* sketch,
+                                 const Box* queries, size_t count)
+    : sketch_(sketch) {
+  SKETCH_CHECK(sketch != nullptr && (queries != nullptr || count == 0));
+  const SchemaPtr& schema = sketch->schema();
+  const uint32_t dims = schema->dims();
+  SKETCH_CHECK(sketch->shape() == Shape::RangeShape(dims));
+  const PackedSignCache& cache = schema->sign_cache();
+
+  queries_.resize(count);
+  for (size_t qi = 0; qi < count; ++qi) {
+    SKETCH_CHECK(!IsDegenerate(queries[qi], dims));
+    const Box q = EndpointTransform::ShrinkS(queries[qi], dims);
+    QueryIds& ids = queries_[qi];
+    for (uint32_t d = 0; d < dims; ++d) {
+      const DyadicDomain& dom = schema->domain(d);
+      dom.ForEachCoverId(q.lo[d], q.hi[d], [&](uint64_t id) {
+        ids.cover_cols[d].push_back(cache.Column(d, id));
+      });
+      dom.ForEachPointCoverId(q.hi[d], [&](uint64_t id) {
+        ids.upper_cols[d].push_back(cache.Column(d, id));
+      });
+    }
+  }
+}
+
+double RangeQueryBatch::EstimateOne(size_t i) const {
+  SKETCH_CHECK(i < queries_.size());
+  const DatasetSketch& sketch = *sketch_;
   const SchemaPtr& schema = sketch.schema();
   const uint32_t dims = schema->dims();
-  SKETCH_CHECK(sketch.shape() == Shape::RangeShape(dims));
-  SKETCH_CHECK(!IsDegenerate(query, dims));
-  const Box q = EndpointTransform::ShrinkS(query, dims);
   const uint32_t instances = schema->instances();
+  const uint32_t blocks = schema->sign_cache().num_blocks();
   const uint32_t num_words = uint32_t{1} << dims;
+  const QueryIds& ids = queries_[i];
 
-  // Per-dimension query id lists with precomputed cubes (shared across
-  // instances): the interval cover of q's range and the point cover of
-  // q's upper endpoint.
-  struct QueryIds {
-    std::vector<uint64_t> cover_ids, cover_cubes;
-    std::vector<uint64_t> upper_ids, upper_cubes;
+  // Stage 1 — bit-sliced per-instance query factors: for each dim the
+  // xi-sum over the cover (index 0, pairs with data letter U) and over
+  // the upper endpoint's point cover (index 1, pairs with data letter I),
+  // 64 instance lanes per column word.
+  int32_t sums[kMaxDims][2][64];  // [dim][cover/upper][lane], one block
+  std::vector<int32_t> factors(static_cast<size_t>(dims) * 2 * instances);
+  auto factor = [&](uint32_t d, uint32_t which) {
+    return factors.data() + (static_cast<size_t>(d) * 2 + which) * instances;
   };
-  std::vector<QueryIds> qids(dims);
-  for (uint32_t d = 0; d < dims; ++d) {
-    const DyadicDomain& dom = schema->domain(d);
-    dom.ForEachCoverId(q.lo[d], q.hi[d], [&](uint64_t id) {
-      qids[d].cover_ids.push_back(id);
-      qids[d].cover_cubes.push_back(gf2::Cube(id));
-    });
-    dom.ForEachPointCoverId(q.hi[d], [&](uint64_t id) {
-      qids[d].upper_ids.push_back(id);
-      qids[d].upper_cubes.push_back(gf2::Cube(id));
-    });
+  for (uint32_t blk = 0; blk < blocks; ++blk) {
+    const uint32_t lanes = std::min(64u, instances - blk * 64);
+    for (uint32_t d = 0; d < dims; ++d) {
+      for (uint32_t which = 0; which < 2; ++which) {
+        const auto& cols = which == 0 ? ids.cover_cols[d] : ids.upper_cols[d];
+        const size_t m = cols.size();
+        int32_t* lane_sums = sums[d][which];
+        if (m == 0) {
+          std::fill(lane_sums, lane_sums + 64, 0);
+        } else if (m > 255) {
+          bitslice::CountOnesWide([&](size_t k) { return cols[k][blk]; }, m,
+                                  lane_sums);
+          for (uint32_t j = 0; j < 64; ++j) {
+            lane_sums[j] = static_cast<int32_t>(m) - 2 * lane_sums[j];
+          }
+        } else {
+          uint64_t packed[8];
+          bitslice::CountOnesPacked([&](size_t k) { return cols[k][blk]; },
+                                    m, packed);
+          for (uint32_t j = 0; j < 64; ++j) {
+            lane_sums[j] = static_cast<int32_t>(m) -
+                           2 * bitslice::PackedLane(packed, j);
+          }
+        }
+        int32_t* out = factor(d, which) + blk * 64;
+        std::copy(lane_sums, lane_sums + lanes, out);
+      }
+    }
   }
 
+  // Stage 2 — walk the counters in contiguous instance-major order. The
+  // arithmetic (value types, loop order) mirrors the original scalar
+  // estimator exactly, so batch results are bit-identical to per-query
+  // EstimateRangeCount calls.
   std::vector<double> z(instances);
   for (uint32_t inst = 0; inst < instances; ++inst) {
-    // Per-dim factors: q_I (cover sum) pairs with data letter U; q_U
-    // (upper point-cover sum) pairs with data letter I.
     double q_factor[kMaxDims][2];  // [dim][0]=q_I, [dim][1]=q_U
     for (uint32_t d = 0; d < dims; ++d) {
-      const BchXiFamily fam(schema->seed(inst, d));
-      int32_t s_cover = 0;
-      for (size_t i = 0; i < qids[d].cover_ids.size(); ++i) {
-        s_cover += fam.SignWithCube(qids[d].cover_ids[i],
-                                    qids[d].cover_cubes[i]);
-      }
-      int32_t s_upper = 0;
-      for (size_t i = 0; i < qids[d].upper_ids.size(); ++i) {
-        s_upper += fam.SignWithCube(qids[d].upper_ids[i],
-                                    qids[d].upper_cubes[i]);
-      }
-      q_factor[d][0] = s_cover;
-      q_factor[d][1] = s_upper;
+      q_factor[d][0] = factor(d, 0)[inst];
+      q_factor[d][1] = factor(d, 1)[inst];
     }
     double acc = 0.0;
     for (uint32_t w = 0; w < num_words; ++w) {
@@ -109,6 +147,22 @@ double EstimateRangeCount(const DatasetSketch& sketch, const Box& query) {
     z[inst] = acc;
   }
   return MedianOfMeans(z, schema->k1(), schema->k2());
+}
+
+std::vector<double> RangeQueryBatch::EstimateAll() const {
+  std::vector<double> out(queries_.size());
+  for (size_t i = 0; i < queries_.size(); ++i) out[i] = EstimateOne(i);
+  return out;
+}
+
+std::vector<double> EstimateRangeCountBatch(const DatasetSketch& sketch,
+                                            const std::vector<Box>& queries) {
+  return RangeQueryBatch(&sketch, queries.data(), queries.size())
+      .EstimateAll();
+}
+
+double EstimateRangeCount(const DatasetSketch& sketch, const Box& query) {
+  return RangeQueryBatch(&sketch, &query, 1).EstimateOne(0);
 }
 
 double RangeQueryEstimator::EstimateCount(const Box& query) const {

@@ -48,6 +48,42 @@ struct RangeEstimatorOptions {
 /// RangeQueryEstimator::EstimateCount delegates here.
 double EstimateRangeCount(const DatasetSketch& sketch, const Box& query);
 
+/// A batch of range queries precomputed against one sketch: the endpoint
+/// transforms, dyadic decompositions, and packed sign columns of every
+/// query are resolved once at construction, and EstimateOne() only walks
+/// counters (in contiguous instance-major order) — so it is safe to call
+/// concurrently from any number of threads while the caller holds the
+/// sketch's counters stable (SketchStore fans a batch across its query
+/// pool under ONE shared lock this way). EstimateOne(i) returns exactly
+/// the value EstimateRangeCount(sketch, queries[i]) would.
+class RangeQueryBatch {
+ public:
+  /// Queries in ORIGINAL coordinates, non-degenerate per dimension; the
+  /// sketch must carry RangeShape. Both are checked. `sketch` and
+  /// `queries` must outlive the batch.
+  RangeQueryBatch(const DatasetSketch* sketch, const Box* queries,
+                  size_t count);
+
+  size_t size() const { return queries_.size(); }
+  double EstimateOne(size_t i) const;
+  std::vector<double> EstimateAll() const;
+
+ private:
+  struct QueryIds {
+    // Packed sign columns (schema cache) of the interval cover of the
+    // shrunk query's range and the point cover of its upper endpoint.
+    std::vector<const uint64_t*> cover_cols[kMaxDims];
+    std::vector<const uint64_t*> upper_cols[kMaxDims];
+  };
+  const DatasetSketch* sketch_;
+  std::vector<QueryIds> queries_;
+};
+
+/// Convenience wrapper: batched range-count estimates, exactly equal to
+/// calling EstimateRangeCount once per query.
+std::vector<double> EstimateRangeCountBatch(const DatasetSketch& sketch,
+                                            const std::vector<Box>& queries);
+
 /// Maintains a RangeShape sketch of one dataset and answers range-count
 /// estimates for arbitrary query boxes. Supports incremental updates.
 class RangeQueryEstimator {

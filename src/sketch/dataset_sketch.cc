@@ -6,6 +6,8 @@
 
 #include "src/gf2/gf2_64.h"
 #include "src/xi/bch_family.h"
+#include "src/xi/bitslice.h"
+#include "src/xi/sign_cache.h"
 #include "src/xi/sign_table.h"
 
 namespace spatialsketch {
@@ -20,74 +22,9 @@ static_assert(kInstancesPerBatch == kBlocksPerBatch * 64,
               "batch width drives both the sign-table blocking and the "
               "public parallelism threshold");
 
-// Spread the 8 bits of a byte into the 8 byte lanes of a word: bit b of
-// `bits` becomes 0x01 in byte b. (Table-driven: the multiply-shift idioms
-// either reverse the bit order or need per-byte normalization; lane order
-// must be preserved exactly, since instance lanes pair sketch counters
-// with per-instance seeds elsewhere.)
-struct SpreadTable {
-  uint64_t v[256];
-  constexpr SpreadTable() : v() {
-    for (int b = 0; b < 256; ++b) {
-      uint64_t out = 0;
-      for (int m = 0; m < 8; ++m) {
-        if ((b >> m) & 1) out |= uint64_t{1} << (8 * m);
-      }
-      v[b] = out;
-    }
-  }
-};
-constexpr SpreadTable kSpreadTable;
-
-inline uint64_t SpreadBitsToBytes(uint64_t bits) {
-  return kSpreadTable.v[bits & 0xFF];
-}
-
-// Per-lane minus-counts of m <= 255 signs, bit-sliced then packed into 64
-// byte lanes: byte j of out8[j/8] counts the ids whose xi is -1 for lane
-// j. Bit `lane` of row[id] set means xi = -1.
-void CountMinusPacked(const uint64_t* row, const uint64_t* ids, size_t m,
-                      uint64_t out8[8]) {
-  for (int g = 0; g < 8; ++g) out8[g] = 0;
-  size_t done = 0;
-  while (done < m) {
-    const size_t chunk = std::min<size_t>(63, m - done);
-    uint64_t planes[6] = {0, 0, 0, 0, 0, 0};
-    for (size_t i = 0; i < chunk; ++i) {
-      uint64_t carry = row[ids[done + i]];
-      for (uint32_t k = 0; carry != 0 && k < 6; ++k) {
-        const uint64_t t = planes[k] & carry;
-        planes[k] ^= carry;
-        carry = t;
-      }
-    }
-    for (uint32_t k = 0; k < 6; ++k) {
-      if (planes[k] == 0) continue;
-      const uint64_t plane = planes[k];
-      for (int g = 0; g < 8; ++g) {
-        out8[g] += SpreadBitsToBytes((plane >> (8 * g)) & 0xFF) << k;
-      }
-    }
-    done += chunk;
-  }
-}
-
-// Per-lane minus-counts for arbitrary m into 32-bit counters.
-void CountMinusWide(const uint64_t* row, const uint64_t* ids, size_t m,
-                    int32_t out[64]) {
-  std::fill(out, out + 64, 0);
-  uint64_t packed[8];
-  size_t done = 0;
-  while (done < m) {
-    const size_t part = std::min<size_t>(252, m - done);
-    CountMinusPacked(row, ids + done, part, packed);
-    for (uint32_t j = 0; j < 64; ++j) {
-      out[j] += static_cast<int32_t>((packed[j >> 3] >> ((j & 7) * 8)) &
-                                     0xFF);
-    }
-    done += part;
-  }
-}
+using bitslice::CountOnesPacked;
+using bitslice::CountOnesWide;
+using bitslice::PackedLane;
 
 }  // namespace
 
@@ -102,9 +39,15 @@ DatasetSketch::DatasetSketch(SchemaPtr schema, Shape shape)
 
 void DatasetSketch::ComputeNeeds() {
   needs_.assign(schema_->dims(), DimNeeds{});
-  for (const Word& w : shape_.words()) {
-    for (uint32_t d = 0; d < schema_->dims(); ++d) {
-      switch (w.letters[d]) {
+  const uint32_t dims = schema_->dims();
+  word_letters_.assign(static_cast<size_t>(shape_.size()) * dims, 0);
+  for (uint32_t w = 0; w < shape_.size(); ++w) {
+    for (uint32_t d = 0; d < dims; ++d) {
+      const Letter l = shape_.word(w).letters[d];
+      word_letters_[static_cast<size_t>(w) * dims + d] =
+          static_cast<uint8_t>(l);
+      letter_used_[d][static_cast<uint32_t>(l)] = true;
+      switch (l) {
         case Letter::kI:
           needs_[d].group[kGroupI] = true;
           break;
@@ -126,6 +69,27 @@ void DatasetSketch::ComputeNeeds() {
           break;
       }
     }
+  }
+  // Tensor detection: RangeShape/JoinShape list the 2^dims words in
+  // bitmask order with the letter of dimension d depending only on bit d.
+  tensor_bitmask_ = false;
+  if (shape_.size() == (1u << dims)) {
+    for (uint32_t d = 0; d < dims; ++d) {
+      tensor_letters_[d][0] = word_letters_[d];
+      tensor_letters_[d][1] =
+          word_letters_[(static_cast<size_t>(1) << d) * dims + d];
+    }
+    bool ok = true;
+    for (uint32_t w = 0; w < shape_.size() && ok; ++w) {
+      for (uint32_t d = 0; d < dims; ++d) {
+        if (word_letters_[static_cast<size_t>(w) * dims + d] !=
+            tensor_letters_[d][(w >> d) & 1]) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    tensor_bitmask_ = ok;
   }
 }
 
@@ -171,7 +135,325 @@ int64_t DatasetSketch::LetterValue(Letter l, const int32_t* sums,
   return 0;
 }
 
+namespace {
+
+// Per-lane minus counts of m <= 255 cached sign columns across EVERY
+// instance block in one pass: ids run in the outer loop so each column's
+// few cache lines are read sequentially exactly once, and the carry-save
+// planes of all blocks advance together. packed[blk * 8 + q] receives the
+// byte-packed counts (total <= m <= 255, so bytes cannot wrap); planes is
+// blocks * 6 words of caller scratch.
+void CountColumnsPackedAllBlocks(const uint64_t* const* cols, size_t m,
+                                 uint32_t blocks, uint64_t* packed,
+                                 uint64_t* planes) {
+  std::fill(packed, packed + static_cast<size_t>(blocks) * 8, 0);
+  size_t done = 0;
+  while (done < m) {
+    const size_t chunk = std::min<size_t>(63, m - done);
+    std::fill(planes, planes + static_cast<size_t>(blocks) * 6, 0);
+    for (size_t i = 0; i < chunk; ++i) {
+      const uint64_t* col = cols[done + i];
+      for (uint32_t blk = 0; blk < blocks; ++blk) {
+        uint64_t carry = col[blk];
+        uint64_t* p = planes + static_cast<size_t>(blk) * 6;
+        for (uint32_t k = 0; carry != 0 && k < 6; ++k) {
+          const uint64_t t = p[k] & carry;
+          p[k] ^= carry;
+          carry = t;
+        }
+      }
+    }
+    for (uint32_t blk = 0; blk < blocks; ++blk) {
+      uint64_t* out8 = packed + static_cast<size_t>(blk) * 8;
+      const uint64_t* p = planes + static_cast<size_t>(blk) * 6;
+      for (uint32_t k = 0; k < 6; ++k) {
+        if (p[k] == 0) continue;
+        for (int g = 0; g < 8; ++g) {
+          out8[g] += bitslice::SpreadBitsToBytes((p[k] >> (8 * g)) & 0xFF)
+                     << k;
+        }
+      }
+    }
+    done += chunk;
+  }
+}
+
+// 32-bit fallback for covers longer than 255 ids (deeply capped domains):
+// chunks of <= 252 through the packed counter, widened per block.
+void CountColumnsWideAllBlocks(const uint64_t* const* cols, size_t m,
+                               uint32_t blocks, int32_t* wide,
+                               uint64_t* packed, uint64_t* planes) {
+  std::fill(wide, wide + static_cast<size_t>(blocks) * 64, 0);
+  size_t done = 0;
+  while (done < m) {
+    const size_t part = std::min<size_t>(252, m - done);
+    CountColumnsPackedAllBlocks(cols + done, part, blocks, packed, planes);
+    for (uint32_t blk = 0; blk < blocks; ++blk) {
+      const uint64_t* out8 = packed + static_cast<size_t>(blk) * 8;
+      int32_t* w = wide + static_cast<size_t>(blk) * 64;
+      for (uint32_t j = 0; j < 64; ++j) w[j] += PackedLane(out8, j);
+    }
+    done += part;
+  }
+}
+
+}  // namespace
+
+// Bit-sliced streaming update. Per (dim, group) the gathered cover ids
+// resolve to cached packed sign columns (schema-shared; built on first
+// touch), and the per-instance xi-sums fall out of a carry-save per-lane
+// count: sum = m - 2 * minus_count. The 64 instance lanes of each column
+// word are then expanded into counter deltas exactly like the bulk
+// loader's inner loop, so the result is bit-identical to UpdateReference.
+// Templated on the dimensionality so the per-lane letter and product
+// loops fully unroll.
+template <uint32_t kDims>
+void DatasetSketch::UpdateBitSliced(const Box& box, const Box& leaf_box,
+                                    int sign) {
+  const uint32_t instances = schema_->instances();
+  const uint32_t num_words = shape_.size();
+  const PackedSignCache& cache = schema_->sign_cache();
+  const uint32_t blocks = cache.num_blocks();
+  scratch_packed_.resize(static_cast<size_t>(kDims) * kNumGroups * blocks *
+                         8);
+  scratch_planes_.resize(static_cast<size_t>(blocks) * 6);
+  auto packed_of = [&](uint32_t d, uint32_t g) {
+    return scratch_packed_.data() +
+           (static_cast<size_t>(d) * kNumGroups + g) * blocks * 8;
+  };
+
+  // Gather cover ids and resolve their packed columns once per (dim,
+  // group), then count every block's lanes in one id-ordered pass.
+  int32_t group_size[kDims][kNumGroups] = {};
+  bool group_used[kDims][kNumGroups] = {};
+  bool any_wide = false;
+  bool use_wide[kDims][kNumGroups] = {};
+  const uint64_t* leaf_l_col[kDims] = {};
+  const uint64_t* leaf_u_col[kDims] = {};
+  for (uint32_t d = 0; d < kDims; ++d) {
+    GatherIds(box, d);
+    for (uint32_t g = 0; g < kNumGroups; ++g) {
+      auto& cols = scratch_cols_[d][g];
+      cols.clear();
+      cols.reserve(scratch_ids_[g].size());
+      for (uint64_t id : scratch_ids_[g]) {
+        cols.push_back(cache.Column(d, id));
+      }
+      const size_t m = cols.size();
+      group_size[d][g] = static_cast<int32_t>(m);
+      group_used[d][g] = m > 0;
+      if (m == 0) continue;
+      if (m > 255) {
+        use_wide[d][g] = true;
+        any_wide = true;
+        scratch_wide_.resize(static_cast<size_t>(kDims) * kNumGroups *
+                             blocks * 64);
+      } else {
+        CountColumnsPackedAllBlocks(cols.data(), m, blocks, packed_of(d, g),
+                                    scratch_planes_.data());
+      }
+    }
+    const DyadicDomain& dom = schema_->domain(d);
+    if (needs_[d].leaf_lower) {
+      leaf_l_col[d] = cache.Column(d, dom.LeafId(leaf_box.lo[d]));
+    }
+    if (needs_[d].leaf_upper) {
+      leaf_u_col[d] = cache.Column(d, dom.LeafId(leaf_box.hi[d]));
+    }
+  }
+  auto wide_of = [&](uint32_t d, uint32_t g) {
+    return scratch_wide_.data() +
+           (static_cast<size_t>(d) * kNumGroups + g) * blocks * 64;
+  };
+  if (any_wide) {
+    for (uint32_t d = 0; d < kDims; ++d) {
+      for (uint32_t g = 0; g < kNumGroups; ++g) {
+        if (!use_wide[d][g]) continue;
+        const auto& cols = scratch_cols_[d][g];
+        CountColumnsWideAllBlocks(cols.data(), cols.size(), blocks,
+                                  wide_of(d, g), packed_of(d, g),
+                                  scratch_planes_.data());
+      }
+    }
+  }
+
+  const uint8_t* wl = word_letters_.data();
+  const int64_t sign64 = sign;
+  for (uint32_t blk = 0; blk < blocks; ++blk) {
+    const uint32_t lanes = std::min(64u, instances - blk * 64);
+    // Per-(dim, group) byte counts and leaf masks of THIS block, hoisted
+    // out of the lane loop.
+    const uint64_t* pk[kDims][kNumGroups];
+    const int32_t* wd[kDims][kNumGroups];
+    uint64_t leaf_l_mask[kDims] = {};
+    uint64_t leaf_u_mask[kDims] = {};
+    for (uint32_t d = 0; d < kDims; ++d) {
+      for (uint32_t g = 0; g < kNumGroups; ++g) {
+        pk[d][g] = packed_of(d, g) + static_cast<size_t>(blk) * 8;
+        wd[d][g] = any_wide && use_wide[d][g]
+                       ? wide_of(d, g) + static_cast<size_t>(blk) * 64
+                       : nullptr;
+      }
+      if (leaf_l_col[d] != nullptr) leaf_l_mask[d] = leaf_l_col[d][blk];
+      if (leaf_u_col[d] != nullptr) leaf_u_mask[d] = leaf_u_col[d][blk];
+    }
+    int64_t* row = counters_.data() + static_cast<size_t>(blk) * 64 *
+                                          num_words;
+
+    if (tensor_bitmask_) {
+      // Stage A — materialize the per-dimension letter-value lane arrays
+      // once per block: every branch (group used? wide? which letter?)
+      // resolves here, leaving stage B branch-free.
+      int32_t gs_arr[kDims][kNumGroups][64];
+      for (uint32_t d = 0; d < kDims; ++d) {
+        for (uint32_t g = 0; g < kNumGroups; ++g) {
+          if (!group_used[d][g]) {
+            // A group the shape references can still gather zero ids
+            // (degenerate input reaching a release build); the reference
+            // path computes an empty sum = 0 there, so match it rather
+            // than multiply uninitialized stack values into counters.
+            if (needs_[d].group[g]) {
+              std::fill(gs_arr[d][g], gs_arr[d][g] + 64, 0);
+            }
+            continue;
+          }
+          int32_t* out = gs_arr[d][g];
+          const int32_t m = group_size[d][g];
+          if (wd[d][g] != nullptr) {
+            const int32_t* w32 = wd[d][g];
+            for (uint32_t j = 0; j < 64; ++j) out[j] = m - 2 * w32[j];
+          } else {
+            const uint64_t* p8 = pk[d][g];
+            for (uint32_t j = 0; j < 64; ++j) {
+              out[j] = m - 2 * PackedLane(p8, j);
+            }
+          }
+        }
+      }
+      int32_t extra[kDims][2][64];
+      const int32_t* lv[kDims][2];
+      for (uint32_t d = 0; d < kDims; ++d) {
+        for (uint32_t side = 0; side < 2; ++side) {
+          switch (static_cast<Letter>(tensor_letters_[d][side])) {
+            case Letter::kI:
+              lv[d][side] = gs_arr[d][kGroupI];
+              break;
+            case Letter::kE: {
+              int32_t* out = extra[d][side];
+              const int32_t* gl = gs_arr[d][kGroupL];
+              const int32_t* gu = gs_arr[d][kGroupU];
+              for (uint32_t j = 0; j < 64; ++j) out[j] = gl[j] + gu[j];
+              lv[d][side] = out;
+              break;
+            }
+            case Letter::kL:
+              lv[d][side] = gs_arr[d][kGroupL];
+              break;
+            case Letter::kU:
+              lv[d][side] = gs_arr[d][kGroupU];
+              break;
+            case Letter::kLeafL:
+            case Letter::kLeafU: {
+              int32_t* out = extra[d][side];
+              const uint64_t mask =
+                  tensor_letters_[d][side] ==
+                          static_cast<uint8_t>(Letter::kLeafL)
+                      ? leaf_l_mask[d]
+                      : leaf_u_mask[d];
+              for (uint32_t j = 0; j < 64; ++j) {
+                out[j] = 1 - 2 * static_cast<int32_t>((mask >> j) & 1);
+              }
+              lv[d][side] = out;
+              break;
+            }
+          }
+        }
+      }
+
+      // Stage B — iterated partial products, fully unrolled (kDims is a
+      // template constant): part[w] multiplies the same letter values in
+      // the same ascending-dimension order as the reference path, so the
+      // int64 arithmetic is bit-identical.
+      for (uint32_t j = 0; j < lanes; ++j, row += num_words) {
+        int64_t part[size_t{1} << kDims];
+        part[0] = sign64;
+        uint32_t width = 1;
+        for (uint32_t d = 0; d < kDims; ++d) {
+          const int64_t a = lv[d][0][j];
+          const int64_t b = lv[d][1][j];
+          for (uint32_t t = width; t-- > 0;) {
+            part[width + t] = part[t] * b;
+            part[t] = part[t] * a;
+          }
+          width <<= 1;
+        }
+        for (uint32_t w = 0; w < (1u << kDims); ++w) row[w] += part[w];
+      }
+      continue;
+    }
+
+    // Generic shapes (extended join, point, box-cover, custom): per-lane
+    // letter table plus per-word letter indirection.
+    int64_t letter_vals[kDims][6];
+    for (uint32_t j = 0; j < lanes; ++j, row += num_words) {
+      for (uint32_t d = 0; d < kDims; ++d) {
+        int32_t gs[kNumGroups];
+        for (uint32_t g = 0; g < kNumGroups; ++g) {
+          if (!group_used[d][g]) {
+            gs[g] = 0;
+            continue;
+          }
+          const int32_t minus =
+              wd[d][g] != nullptr ? wd[d][g][j] : PackedLane(pk[d][g], j);
+          gs[g] = group_size[d][g] - 2 * minus;
+        }
+        const auto& used = letter_used_[d];
+        if (used[0]) letter_vals[d][0] = gs[kGroupI];
+        if (used[1]) letter_vals[d][1] = gs[kGroupL] + gs[kGroupU];
+        if (used[2]) letter_vals[d][2] = gs[kGroupL];
+        if (used[3]) letter_vals[d][3] = gs[kGroupU];
+        if (used[4]) {
+          letter_vals[d][4] =
+              1 - 2 * static_cast<int64_t>((leaf_l_mask[d] >> j) & 1);
+        }
+        if (used[5]) {
+          letter_vals[d][5] =
+              1 - 2 * static_cast<int64_t>((leaf_u_mask[d] >> j) & 1);
+        }
+      }
+      for (uint32_t w = 0; w < num_words; ++w) {
+        int64_t prod = sign64;
+        for (uint32_t d = 0; d < kDims; ++d) {
+          prod *= letter_vals[d][wl[w * kDims + d]];
+        }
+        row[w] += prod;
+      }
+    }
+  }
+  num_objects_ += sign;
+}
+
 void DatasetSketch::Update(const Box& box, const Box& leaf_box, int sign) {
+  switch (schema_->dims()) {
+    case 1:
+      UpdateBitSliced<1>(box, leaf_box, sign);
+      break;
+    case 2:
+      UpdateBitSliced<2>(box, leaf_box, sign);
+      break;
+    case 3:
+      UpdateBitSliced<3>(box, leaf_box, sign);
+      break;
+    case 4:
+      UpdateBitSliced<4>(box, leaf_box, sign);
+      break;
+    default:
+      SKETCH_CHECK(false);
+  }
+}
+
+void DatasetSketch::UpdateReference(const Box& box, const Box& leaf_box,
+                                    int sign) {
   const uint32_t dims = schema_->dims();
   const uint32_t instances = schema_->instances();
   const uint32_t num_words = shape_.size();
@@ -246,18 +528,30 @@ void DatasetSketch::Update(const Box& box, const Box& leaf_box, int sign) {
   num_objects_ += sign;
 }
 
-void DatasetSketch::BulkLoad(const Box* boxes, size_t count, int sign) {
+Status DatasetSketch::BulkLoad(const Box* boxes, size_t count, int sign) {
+  if (sign != 1 && sign != -1) {
+    return Status::InvalidArgument("BulkLoad sign must be +1 or -1");
+  }
   BulkLoader loader(schema_);
   loader.Add(this, boxes, count, nullptr, sign);
   loader.Run();
+  return Status::OK();
 }
 
-void DatasetSketch::BulkLoadWithLeafBoxes(const std::vector<Box>& boxes,
-                                          const std::vector<Box>& leaf_boxes,
-                                          int sign) {
+Status DatasetSketch::BulkLoadWithLeafBoxes(const std::vector<Box>& boxes,
+                                            const std::vector<Box>& leaf_boxes,
+                                            int sign) {
+  if (sign != 1 && sign != -1) {
+    return Status::InvalidArgument("BulkLoad sign must be +1 or -1");
+  }
+  if (leaf_boxes.size() != boxes.size()) {
+    return Status::InvalidArgument(
+        "leaf_boxes must parallel boxes (same length)");
+  }
   BulkLoader loader(schema_);
   loader.Add(this, &boxes, &leaf_boxes, sign);
   loader.Run();
+  return Status::OK();
 }
 
 void BulkLoader::Add(DatasetSketch* sketch, const std::vector<Box>* boxes,
@@ -282,27 +576,6 @@ void BulkLoader::Run(uint32_t max_threads) {
   const uint32_t instances = schema_->instances();
   const uint32_t num_batches =
       (instances + kInstancesPerBatch - 1) / kInstancesPerBatch;
-
-  // Per-job update plan: which letters each dimension needs and the flat
-  // letter codes of every word (shared, read-only).
-  struct Plan {
-    bool letter_used[kMaxDims][6] = {};
-    std::vector<uint8_t> word_letters;  // [word * dims + d]
-  };
-  std::vector<Plan> plans(jobs_.size());
-  for (size_t ji = 0; ji < jobs_.size(); ++ji) {
-    const Shape& shape = jobs_[ji].sketch->shape_;
-    Plan& plan = plans[ji];
-    plan.word_letters.resize(static_cast<size_t>(shape.size()) * dims);
-    for (uint32_t w = 0; w < shape.size(); ++w) {
-      for (uint32_t d = 0; d < dims; ++d) {
-        const uint8_t code =
-            static_cast<uint8_t>(shape.word(w).letters[d]);
-        plan.word_letters[static_cast<size_t>(w) * dims + d] = code;
-        plan.letter_used[d][code] = true;
-      }
-    }
-  }
 
   // Batches write disjoint counter ranges, so they parallelize cleanly.
   std::atomic<uint32_t> next_batch{0};
@@ -331,7 +604,6 @@ void BulkLoader::Run(uint32_t max_threads) {
 
       for (size_t ji = 0; ji < jobs_.size(); ++ji) {
         const Job& job = jobs_[ji];
-        const Plan& plan = plans[ji];
         DatasetSketch& sk = *job.sketch;
         const uint32_t num_words = sk.shape_.size();
         for (size_t bi = 0; bi < job.count; ++bi) {
@@ -382,10 +654,11 @@ void BulkLoader::Run(uint32_t max_threads) {
                 if (gi.empty()) {
                   for (int q = 0; q < 8; ++q) packed[d][g][q] = 0;
                 } else if (use_wide[d][g]) {
-                  CountMinusWide(row, gi.data(), gi.size(), wide[d][g]);
+                  CountOnesWide([&](size_t i) { return row[gi[i]]; },
+                                gi.size(), wide[d][g]);
                 } else {
-                  CountMinusPacked(row, gi.data(), gi.size(),
-                                   packed[d][g]);
+                  CountOnesPacked([&](size_t i) { return row[gi[i]]; },
+                                  gi.size(), packed[d][g]);
                 }
               }
               if (needs.leaf_lower) leaf_l_mask[d] = row[leaf_l_id[d]];
@@ -398,15 +671,12 @@ void BulkLoader::Run(uint32_t max_threads) {
               for (uint32_t d = 0; d < dims; ++d) {
                 int32_t gs[DatasetSketch::kNumGroups];
                 for (uint32_t g = 0; g < DatasetSketch::kNumGroups; ++g) {
-                  const int32_t v =
-                      use_wide[d][g]
-                          ? wide[d][g][j]
-                          : static_cast<int32_t>(
-                                (packed[d][g][j >> 3] >> ((j & 7) * 8)) &
-                                0xFF);
+                  const int32_t v = use_wide[d][g]
+                                        ? wide[d][g][j]
+                                        : PackedLane(packed[d][g], j);
                   gs[g] = static_cast<int32_t>(group_size[d][g]) - 2 * v;
                 }
-                const auto& used = plan.letter_used[d];
+                const auto& used = sk.letter_used_[d];
                 if (used[0]) letter_vals[d][0] = gs[DatasetSketch::kGroupI];
                 if (used[1]) {
                   letter_vals[d][1] = gs[DatasetSketch::kGroupL] +
@@ -427,7 +697,7 @@ void BulkLoader::Run(uint32_t max_threads) {
               }
               int64_t* row_out = sk.counters_.data() +
                                  static_cast<size_t>(inst) * num_words;
-              const uint8_t* wl = plan.word_letters.data();
+              const uint8_t* wl = sk.word_letters_.data();
               for (uint32_t w = 0; w < num_words; ++w) {
                 int64_t prod = job.sign;
                 for (uint32_t d = 0; d < dims; ++d) {

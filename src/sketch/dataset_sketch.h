@@ -10,11 +10,17 @@
 // what makes it maintainable under arbitrary insert/delete streams and
 // mergeable across partitions.
 //
-// Two update paths produce bit-identical counters:
-//  * Insert/Delete: per-object streaming updates, O(instances * log^2 n);
+// Three update paths produce bit-identical counters:
+//  * Insert/Delete: per-object streaming updates. Bit-sliced: the covers'
+//    packed sign columns come from the schema's PackedSignCache (built
+//    lazily, once per dyadic id, shared across all instances AND all
+//    datasets under the schema), so 64 instances are expanded per word
+//    into +-1 counter deltas with branch-free sign expansion.
 //  * BulkLoad: batches instances, precomputes packed sign tables over the
 //    (small) dyadic-id universe, and uses bit-sliced counting so the cost
 //    per (object, instance) drops to a handful of word operations.
+//  * UpdateReference: the retained one-GF(2^64)-evaluation-per-(instance,
+//    id) scalar path; test-only ground truth for the two above.
 
 #ifndef SPATIALSKETCH_SKETCH_DATASET_SKETCH_H_
 #define SPATIALSKETCH_SKETCH_DATASET_SKETCH_H_
@@ -54,22 +60,34 @@ class DatasetSketch {
     Update(box, leaf_box, -1);
   }
 
+  /// Test-only reference for the bit-sliced streaming path: the original
+  /// per-instance scalar update (one GF(2^64) xi evaluation per boosting
+  /// instance per dyadic id). Produces counters bit-identical to
+  /// Insert/Delete; kept so the differential tests and the update
+  /// micro-benchmark can pin the fast path against it.
+  void UpdateReference(const Box& box, int sign) {
+    UpdateReference(box, box, sign);
+  }
+  void UpdateReference(const Box& box, const Box& leaf_box, int sign);
+
   /// Bulk-load `boxes` (sign +1) or bulk-remove (sign -1). Equivalent to
   /// calling Insert per box but typically orders of magnitude faster.
-  void BulkLoad(const std::vector<Box>& boxes, int sign = +1) {
-    BulkLoad(boxes.data(), boxes.size(), sign);
+  /// Rejects signs outside {+1, -1} with InvalidArgument (the sketch is a
+  /// linear projection; any other weight silently corrupts the synopsis).
+  Status BulkLoad(const std::vector<Box>& boxes, int sign = +1) {
+    return BulkLoad(boxes.data(), boxes.size(), sign);
   }
 
   /// Span variant: load `count` boxes starting at `boxes` without
   /// requiring them to live in their own vector (sharded loaders pass
   /// slices of one batch this way instead of copying them out).
-  void BulkLoad(const Box* boxes, size_t count, int sign = +1);
+  Status BulkLoad(const Box* boxes, size_t count, int sign = +1);
 
   /// Bulk variant with separate leaf boxes (parallel array; must have the
   /// same length as boxes).
-  void BulkLoadWithLeafBoxes(const std::vector<Box>& boxes,
-                             const std::vector<Box>& leaf_boxes,
-                             int sign = +1);
+  Status BulkLoadWithLeafBoxes(const std::vector<Box>& boxes,
+                               const std::vector<Box>& leaf_boxes,
+                               int sign = +1);
 
   /// Counter X_w of one boosting instance.
   int64_t Counter(uint32_t instance, uint32_t word_index) const {
@@ -120,6 +138,8 @@ class DatasetSketch {
   };
 
   void Update(const Box& box, const Box& leaf_box, int sign);
+  template <uint32_t kDims>
+  void UpdateBitSliced(const Box& box, const Box& leaf_box, int sign);
   void ComputeNeeds();
   void GatherIds(const Box& box, uint32_t dim);
 
@@ -133,10 +153,30 @@ class DatasetSketch {
   int64_t num_objects_ = 0;
   std::vector<DimNeeds> needs_;  // per dim
 
+  // Precomputed update plan (fixed per shape): flat letter codes of every
+  // word and which letters each dimension actually uses.
+  std::vector<uint8_t> word_letters_;  // [word * dims + d]
+  bool letter_used_[kMaxDims][6] = {};
+  // Set when the shape is a bitmask-ordered 2-letter tensor product (bit
+  // d of the word index selects tensor_letters_[d][1] in dimension d) —
+  // true for RangeShape and JoinShape. The streaming fast path then
+  // expands counter deltas via iterated partial products instead of the
+  // generic per-word letter indirection.
+  bool tensor_bitmask_ = false;
+  uint8_t tensor_letters_[kMaxDims][2] = {};
+
   // Scratch: gathered dyadic ids per group for the current object/dim.
   std::vector<uint64_t> scratch_ids_[kNumGroups];
   // Scratch for the slow path: GF(2^64) cubes parallel to scratch_ids_.
   std::vector<uint64_t> scratch_cubes_[kNumGroups];
+  // Scratch for the bit-sliced streaming path: cached packed sign columns
+  // per (dim, group) parallel to the gathered ids, byte-packed per-lane
+  // minus counts for every block ([slot * blocks * 8]), carry-save planes
+  // ([blocks * 6]), and the 32-bit fallback for covers > 255 ids.
+  std::vector<const uint64_t*> scratch_cols_[kMaxDims][kNumGroups];
+  std::vector<uint64_t> scratch_packed_;
+  std::vector<uint64_t> scratch_planes_;
+  std::vector<int32_t> scratch_wide_;
 };
 
 /// Loads several sketches that share one schema in a single pass, so the

@@ -5,6 +5,27 @@
 
 namespace spatialsketch {
 
+SketchSchema::SketchSchema(const SchemaOptions& options,
+                           std::vector<DyadicDomain> domains,
+                           std::vector<XiSeed> seeds)
+    : options_(options),
+      domains_(std::move(domains)),
+      seeds_(std::move(seeds)) {
+  // The cache's per-dim seed copies cost instances * dims * 24 bytes —
+  // trivial next to one dataset's counters; the per-id slot arrays are
+  // allocated lazily inside the cache on first streaming/query use.
+  std::vector<std::vector<XiSeed>> per_dim;
+  std::vector<uint64_t> num_ids;
+  per_dim.reserve(dims());
+  num_ids.reserve(dims());
+  for (uint32_t d = 0; d < dims(); ++d) {
+    per_dim.push_back(SeedsForDim(d, 0, instances()));
+    num_ids.push_back(domains_[d].num_ids());
+  }
+  sign_cache_ = std::make_unique<PackedSignCache>(std::move(per_dim),
+                                                  std::move(num_ids));
+}
+
 Result<SchemaPtr> SketchSchema::Create(const SchemaOptions& options) {
   if (options.dims < 1 || options.dims > kMaxDims) {
     return Status::InvalidArgument("dims must be in [1, kMaxDims]");

@@ -22,6 +22,7 @@
 #include "src/geom/box.h"
 #include "src/sketch/shape.h"
 #include "src/xi/seed.h"
+#include "src/xi/sign_cache.h"
 
 namespace spatialsketch {
 
@@ -88,6 +89,13 @@ class SketchSchema {
   std::vector<XiSeed> SeedsForDim(uint32_t dim, uint32_t first_instance,
                                   uint32_t count) const;
 
+  /// Schema-wide cache of packed sign columns over the dyadic-id universe
+  /// (one column = all instances' signs of one id, 64 per word). The
+  /// streaming update fast path and the batched estimators share it; the
+  /// columns are built lazily, once per id, across every dataset and
+  /// query under this schema. Thread-safe.
+  const PackedSignCache& sign_cache() const { return *sign_cache_; }
+
   /// Paper-conformant storage accounting: per instance a dataset stores
   /// one counter word per shape word plus one (amortized) seed word; the
   /// 1-d join instance of Section 4.1.5 ("a seed ... and four counters")
@@ -98,14 +106,12 @@ class SketchSchema {
 
  private:
   SketchSchema(const SchemaOptions& options, std::vector<DyadicDomain> domains,
-               std::vector<XiSeed> seeds)
-      : options_(options),
-        domains_(std::move(domains)),
-        seeds_(std::move(seeds)) {}
+               std::vector<XiSeed> seeds);
 
   SchemaOptions options_;
   std::vector<DyadicDomain> domains_;
   std::vector<XiSeed> seeds_;  // [instance * dims + dim]
+  std::unique_ptr<PackedSignCache> sign_cache_;
 };
 
 using SchemaPtr = std::shared_ptr<const SketchSchema>;

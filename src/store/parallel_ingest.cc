@@ -55,7 +55,9 @@ void ShardedBulkLoad(DatasetSketch* target, const std::vector<Box>& boxes,
     const uint64_t begin = i * per_shard;
     const uint64_t end = (i + 1 == shards) ? boxes.size() : begin + per_shard;
     workers.emplace_back([&, i, begin, end] {
-      parts[i].BulkLoad(boxes.data() + begin, end - begin, sign);
+      // Sign was validated by the caller; a failure here is a bug.
+      SKETCH_CHECK(
+          parts[i].BulkLoad(boxes.data() + begin, end - begin, sign).ok());
     });
   }
   for (std::thread& t : workers) t.join();

@@ -1,0 +1,91 @@
+#include "src/store/query_pool.h"
+
+#include <algorithm>
+
+namespace spatialsketch {
+
+QueryPool::QueryPool(uint32_t num_threads) {
+  if (num_threads == 0) {
+    const uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+    num_threads = std::min(3u, hw - 1);
+  }
+  workers_.reserve(num_threads);
+  for (uint32_t t = 0; t < num_threads; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryPool::~QueryPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+bool QueryPool::RunOne(Job& job) {
+  const size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+  if (i >= job.n) return false;
+  (*job.fn)(i);
+  if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.n) {
+    // Acquire the waiter's mutex before notifying so the completion
+    // cannot slip between the waiter's predicate check and its wait.
+    std::lock_guard<std::mutex> lock(job.done_mu);
+    job.done_cv.notify_all();
+  }
+  return true;
+}
+
+void QueryPool::WorkerLoop() {
+  for (;;) {
+    JobPtr job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // stop_ set and nothing left to help with
+      job = jobs_.front();
+    }
+    while (RunOne(*job)) {
+    }
+    // Fully claimed: retire it from the queue if it is still there.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!jobs_.empty() && jobs_.front() == job) jobs_.pop_front();
+  }
+}
+
+void QueryPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->n = n;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.push_back(job);
+  }
+  work_cv_.notify_all();
+
+  // The submitter works its own job too, so progress never depends on the
+  // workers being free (or existing at all).
+  while (RunOne(*job)) {
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+      if (*it == job) {
+        jobs_.erase(it);
+        break;
+      }
+    }
+  }
+  std::unique_lock<std::mutex> lock(job->done_mu);
+  job->done_cv.wait(lock, [&] {
+    return job->done.load(std::memory_order_acquire) == job->n;
+  });
+}
+
+}  // namespace spatialsketch

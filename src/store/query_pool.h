@@ -1,0 +1,80 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// QueryPool: a small shared worker pool for fanning batched estimates.
+//
+// The store's batch entry points hold a dataset's shared lock for the
+// whole batch (one acquisition instead of N) and spread the per-query
+// work across these workers; the workers read the locked counters without
+// taking the lock themselves, which is safe because the submitting thread
+// keeps its shared lock until ParallelFor returns. The pool is deliberately
+// small (serving threads are the primary concurrency axis; the pool only
+// shortens individual batch latency) and is shared by all concurrent
+// batch calls: jobs queue FIFO and every participant — pool workers and
+// each submitting thread — claims indices one at a time, so a large batch
+// cannot wedge a later small one behind it.
+
+#ifndef SPATIALSKETCH_STORE_QUERY_POOL_H_
+#define SPATIALSKETCH_STORE_QUERY_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/macros.h"
+
+namespace spatialsketch {
+
+class QueryPool {
+ public:
+  /// num_threads == 0 sizes the pool to min(3, hardware - 1) workers: the
+  /// submitting thread always participates, so effective batch
+  /// parallelism is workers + 1, and a single-core host gets a zero-worker
+  /// pool whose ParallelFor degenerates to a plain inline loop (no queue,
+  /// no atomics). The pool always makes progress even with zero workers:
+  /// submitters work their own jobs.
+  explicit QueryPool(uint32_t num_threads = 0);
+  ~QueryPool();
+
+  uint32_t num_threads() const {
+    return static_cast<uint32_t>(workers_.size());
+  }
+
+  /// Runs fn(i) for every i in [0, n), distributed over the pool plus the
+  /// calling thread; returns once all n calls completed. Safe to call
+  /// from any number of threads concurrently. fn must not call back into
+  /// ParallelFor on the same pool.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  struct Job {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t n = 0;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+  };
+  using JobPtr = std::shared_ptr<Job>;
+
+  void WorkerLoop();
+  // Runs one claimed index of `job`; false if the job is fully claimed.
+  static bool RunOne(Job& job);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<JobPtr> jobs_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+
+  SKETCH_DISALLOW_COPY_AND_ASSIGN(QueryPool);
+};
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_STORE_QUERY_POOL_H_

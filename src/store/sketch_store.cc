@@ -1,5 +1,6 @@
 #include "src/store/sketch_store.h"
 
+#include <algorithm>
 #include <functional>
 #include <mutex>
 #include <utility>
@@ -174,6 +175,9 @@ Status SketchStore::Delete(const std::string& dataset, const Box& box) {
 Status SketchStore::MergeDelta(const std::string& name,
                                const std::vector<Box>& boxes,
                                uint32_t num_threads, int sign) {
+  if (sign != 1 && sign != -1) {
+    return Status::InvalidArgument("bulk-load sign must be +1 or -1");
+  }
   auto found = Find(name);
   if (!found.ok()) return found.status();
   Dataset& ds = **found;
@@ -213,6 +217,11 @@ Status SketchStore::MergeDelta(const std::string& name,
 Status SketchStore::BulkLoad(const std::string& dataset,
                              const std::vector<Box>& boxes, int sign) {
   return MergeDelta(dataset, boxes, /*num_threads=*/1, sign);
+}
+
+QueryPool& SketchStore::Pool() const {
+  std::call_once(pool_once_, [this] { pool_ = std::make_unique<QueryPool>(); });
+  return *pool_;
 }
 
 Status SketchStore::ParallelBulkLoad(const std::string& dataset,
@@ -276,6 +285,107 @@ Result<double> SketchStore::EstimateRangeSelectivity(
   lock.unlock();
   range_estimates_.fetch_add(1, std::memory_order_relaxed);
   return est;
+}
+
+Result<std::vector<double>> SketchStore::EstimateRangeBatch(
+    const std::string& dataset, const std::vector<Box>& queries) const {
+  if (queries.empty()) {
+    return Status::InvalidArgument("range batch must be non-empty");
+  }
+  auto found = Find(dataset);
+  if (!found.ok()) return found.status();
+  const Dataset& ds = **found;
+  // Validate the whole batch before any work so a bad query rejects the
+  // batch without partially serving it.
+  for (const Box& query : queries) {
+    SKETCH_RETURN_NOT_OK(ValidateRangeQuery(ds.kind, ds.opt, query));
+  }
+  QueryPool& pool = Pool();
+
+  // Decompositions and sign columns depend only on the schema, so the
+  // plan builds OFF the dataset lock; only the counter walk below needs
+  // the counters pinned. One shared acquisition covers the whole batch —
+  // the pool workers read the counters under the submitter's lock.
+  RangeQueryBatch batch(&ds.sketch, queries.data(), queries.size());
+  std::vector<double> out(queries.size());
+  std::shared_lock<FairSharedMutex> lock(ds.mu);
+  pool.ParallelFor(queries.size(),
+                   [&](size_t i) { out[i] = batch.EstimateOne(i); });
+  lock.unlock();
+  range_estimates_.fetch_add(queries.size(), std::memory_order_relaxed);
+  return out;
+}
+
+Result<std::vector<double>> SketchStore::EstimateJoinBatch(
+    const std::string& r_dataset,
+    const std::vector<std::string>& s_datasets) const {
+  if (s_datasets.empty()) {
+    return Status::InvalidArgument("join batch must be non-empty");
+  }
+  auto r_found = Find(r_dataset);
+  if (!r_found.ok()) return r_found.status();
+  const Dataset& r = **r_found;
+  if (r.kind != DatasetKind::kJoinR) {
+    return Status::FailedPrecondition(
+        "join requires a kJoinR dataset joined against kJoinS datasets");
+  }
+  std::vector<DatasetPtr> s_list;
+  s_list.reserve(s_datasets.size());
+  for (const std::string& name : s_datasets) {
+    auto s_found = Find(name);
+    if (!s_found.ok()) return s_found.status();
+    if ((*s_found)->kind != DatasetKind::kJoinS) {
+      return Status::FailedPrecondition(
+          "join requires a kJoinR dataset joined against kJoinS datasets");
+    }
+    s_list.push_back(*s_found);
+  }
+  QueryPool& pool = Pool();
+
+  // Each distinct dataset's shared lock is taken exactly once, in address
+  // order (same total order as EstimateJoin, so batches cannot cycle with
+  // single joins through a queued writer).
+  std::vector<const Dataset*> distinct;
+  distinct.reserve(s_list.size() + 1);
+  distinct.push_back(&r);
+  for (const DatasetPtr& s : s_list) distinct.push_back(s.get());
+  std::sort(distinct.begin(), distinct.end(), std::less<const Dataset*>());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  std::vector<std::shared_lock<FairSharedMutex>> locks;
+  locks.reserve(distinct.size());
+  for (const Dataset* ds : distinct) locks.emplace_back(ds->mu);
+
+  // One amortized R-row walk per chunk (EstimateJoinCardinalityBatch),
+  // chunks fanned across the pool; per-pair values are bit-identical to
+  // single EstimateJoin calls either way.
+  std::vector<const DatasetSketch*> s_sketches;
+  s_sketches.reserve(s_list.size());
+  for (const DatasetPtr& s : s_list) s_sketches.push_back(&s->sketch);
+  const size_t parts =
+      std::min(s_list.size(), static_cast<size_t>(pool.num_threads()) + 1);
+  const size_t per_part = (s_list.size() + parts - 1) / parts;
+  std::vector<double> out(s_list.size());
+  Status first_error;
+  std::mutex error_mu;
+  pool.ParallelFor(parts, [&](size_t p) {
+    const size_t begin = p * per_part;
+    const size_t end = std::min(begin + per_part, s_list.size());
+    if (begin >= end) return;
+    const std::vector<const DatasetSketch*> sub(
+        s_sketches.begin() + begin, s_sketches.begin() + end);
+    auto est = EstimateJoinCardinalityBatch(r.sketch, sub);
+    if (est.ok()) {
+      std::copy(est->begin(), est->end(), out.begin() + begin);
+    } else {
+      std::lock_guard<std::mutex> g(error_mu);
+      if (first_error.ok()) first_error = est.status();
+    }
+  });
+  locks.clear();
+  if (!first_error.ok()) return first_error;
+  join_estimates_.fetch_add(s_list.size(), std::memory_order_relaxed);
+  return out;
 }
 
 Result<double> SketchStore::EstimateJoin(const std::string& r_dataset,

@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -44,6 +45,7 @@
 #include "src/sketch/dataset_sketch.h"
 #include "src/sketch/schema.h"
 #include "src/store/fair_shared_mutex.h"
+#include "src/store/query_pool.h"
 
 namespace spatialsketch {
 
@@ -135,6 +137,26 @@ class SketchStore {
   Result<double> EstimateJoin(const std::string& r_dataset,
                               const std::string& s_dataset) const;
 
+  // ---- Batched serving ----------------------------------------------------
+  //
+  // A batch acquires each involved dataset's FairSharedMutex exactly ONCE
+  // (vs once per query) and fans the per-query work across a small
+  // internal thread pool, so all answers of one batch are computed against
+  // a single consistent counter state. Values are exactly what the
+  // equivalent sequence of single-query calls against that state returns.
+
+  /// Batched range-count estimates on a kRange dataset. Rejects empty
+  /// batches and invalid queries (whole batch, before any work).
+  Result<std::vector<double>> EstimateRangeBatch(
+      const std::string& dataset, const std::vector<Box>& queries) const;
+
+  /// Batched join estimates of one kJoinR dataset against many kJoinS
+  /// datasets (same schema name); locks every distinct dataset once, in
+  /// address order. Rejects empty batches.
+  Result<std::vector<double>> EstimateJoinBatch(
+      const std::string& r_dataset,
+      const std::vector<std::string>& s_datasets) const;
+
   Result<int64_t> NumObjects(const std::string& dataset) const;
 
   /// Consistent copy of the dataset's raw counters (for verification: the
@@ -178,8 +200,13 @@ class SketchStore {
   Status ApplyStreaming(const std::string& dataset, const Box& box, int sign);
   Status MergeDelta(const std::string& name, const std::vector<Box>& boxes,
                     uint32_t num_threads, int sign);
+  /// The lazily created batch-serving pool (first batch call pays the
+  /// thread spawn; single-query serving never does).
+  QueryPool& Pool() const;
 
   mutable FairSharedMutex registry_mu_;
+  mutable std::once_flag pool_once_;
+  mutable std::unique_ptr<QueryPool> pool_;
   std::map<std::string, SchemaEntry> schemas_;
   std::map<std::string, DatasetPtr> datasets_;
 

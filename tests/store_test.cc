@@ -198,8 +198,12 @@ TEST(SketchStoreConcurrency, EstimatesDuringIngestAreBitIdenticalToSequential) {
       Rng rng(600 + r);
       // The iteration cap is a safety valve: with the fair per-dataset
       // lock the writers always finish; if lock fairness ever regresses
-      // this fails instead of hanging the suite.
-      while (!writers_done.load(std::memory_order_acquire) &&
+      // this fails instead of hanging the suite. The served[r] == 0 arm
+      // guarantees every reader estimates at least once even when the
+      // bit-sliced writers drain the whole stream before this thread is
+      // first scheduled.
+      while ((!writers_done.load(std::memory_order_acquire) ||
+              served[r] == 0) &&
              served[r] < 50000) {
         Box q;
         for (uint32_t d = 0; d < dims; ++d) {
