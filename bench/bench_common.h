@@ -52,7 +52,10 @@ Flags ParseFlagsOrDie(int argc, char** argv);
 /// One machine-readable benchmark record: a bench name, the parameters it
 /// ran with (stringified), and its measured metrics (e.g. updates_per_sec,
 /// queries_per_sec, wall_seconds). The throughput benches emit these so CI
-/// can archive performance trajectories instead of scraping stdout.
+/// can archive performance trajectories instead of scraping stdout. The
+/// emitted document shape, field semantics, units, and how CI artifacts
+/// relate to the committed BENCH_*.json baselines are documented in
+/// docs/BENCH.md — keep that file in sync when changing the emitter.
 struct BenchResult {
   std::string name;
   std::vector<std::pair<std::string, std::string>> params;

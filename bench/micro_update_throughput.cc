@@ -1,10 +1,10 @@
 // Streaming-update throughput: the bit-sliced Insert/Delete fast path
-// (packed sign columns from the schema cache, 64 instances expanded per
-// word) measured against the retained per-instance scalar reference
-// (DatasetSketch::UpdateReference, one GF(2^64) xi evaluation per
-// boosting instance per dyadic id). Also reports bulk-load throughput
-// for context. The two streaming paths are re-checked bit-identical on a
-// prefix of the stream before any number is reported.
+// (packed sign columns + point-cover sums from the schema caches, 64
+// instances expanded per word) measured against the retained per-instance
+// scalar reference (DatasetSketch::UpdateReference, one GF(2^64) xi
+// evaluation per boosting instance per dyadic id). Also reports bulk-load
+// throughput for context. The two streaming paths are re-checked
+// bit-identical on a prefix of the stream before any number is reported.
 //
 //   build/micro_update_throughput [--dims=2] [--log2_domain=14] [--k1=64]
 //       [--k2=9] [--n=100000] [--ref_n=4000] [--bulk_n=100000]
@@ -14,16 +14,38 @@
 // is slow) through UpdateReference; throughput is updates/sec each, and
 // `speedup` is their ratio. Streams alternate inserts with a trailing
 // delete window so mixed signs are exercised, matching serving reality.
+//
+// Two additional modes (each exclusive, sharing --json_out):
+//
+//   --writers=W [--epoch=256]: multi-writer SERVING ingest — W threads
+//   stream disjoint mixed-sign slices into one SketchStore dataset with W
+//   sharded writers (writer_shards.h) and epoch folding, against the
+//   plain single-writer exclusive-lock store path measured on the same
+//   host for comparison. Before anything is timed, a single-threaded
+//   prefix streams through both paths and their counters are checked
+//   bit-identical (the CONCURRENT differential proof lives in
+//   tests/sharded_writer_test.cc, not here). Aggregate updates/s scales
+//   with cores; a single-core host serializes the shards and reports
+//   ~the plain rate (the degenerate case the store guarantees).
+//
+//   --crossover_scan=1: small-bulk-load crossover — for a ladder of batch
+//   sizes, measures BulkLoad's two strategies (streaming through the sign
+//   cache vs building row-major SignTables) and reports the model pick
+//   (DatasetSketch::SmallBulkCrossover) next to the measured rates, so
+//   the constant in the pick stays honest. See docs/BENCH.md.
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "src/common/stopwatch.h"
 #include "src/sketch/dataset_sketch.h"
+#include "src/store/sketch_store.h"
 #include "src/workload/zipf_boxes.h"
 
 using namespace spatialsketch;  // NOLINT: benchmark brevity
@@ -59,10 +81,232 @@ uint64_t RunStream(const std::vector<Box>& boxes, uint64_t n, ApplyFn&& apply) {
   return updates;
 }
 
+// --writers mode: sharded multi-writer ingest through the SketchStore,
+// with the plain exclusive-lock store path as the same-host baseline.
+int RunShardedWriterMode(const Flags& flags) {
+  const uint32_t dims = static_cast<uint32_t>(flags.GetInt("dims", 2));
+  const uint32_t h = static_cast<uint32_t>(flags.GetInt("log2_domain", 14));
+  const uint32_t k1 = static_cast<uint32_t>(flags.GetInt("k1", 64));
+  const uint32_t k2 = static_cast<uint32_t>(flags.GetInt("k2", 9));
+  const uint64_t n = flags.GetInt("n", 100000);
+  const uint64_t check_n = flags.GetInt("check_n", 2048);
+  const uint32_t writers =
+      static_cast<uint32_t>(flags.GetInt("writers", 1));
+  const uint64_t epoch = flags.GetInt("epoch", 256);
+
+  SketchStore store;
+  StoreSchemaOptions sopt;
+  sopt.dims = dims;
+  sopt.log2_domain = h;
+  sopt.k1 = k1;
+  sopt.k2 = k2;
+  sopt.seed = 7;
+  SKETCH_CHECK(store.RegisterSchema("bench", sopt).ok());
+  SKETCH_CHECK(store.CreateDataset("sharded", "bench",
+                                   DatasetKind::kRange).ok());
+  SKETCH_CHECK(store.CreateDataset("plain", "bench",
+                                   DatasetKind::kRange).ok());
+  SKETCH_CHECK(store.CreateDataset("check", "bench",
+                                   DatasetKind::kRange).ok());
+  ShardedWriterOptions wopt;
+  wopt.writers = writers;
+  wopt.epoch_updates = epoch;
+  SKETCH_CHECK(store.ConfigureShardedWriters("sharded", wopt).ok());
+
+  SyntheticBoxOptions gen;
+  gen.dims = dims;
+  gen.log2_domain = h;
+  gen.count = 1u << 14;
+  gen.seed = 5;
+  const std::vector<Box> boxes = GenerateSyntheticBoxes(gen);
+
+  // Per-writer mixed-sign slice: insert every box of the slice, delete
+  // every third again. Applied identically by the timed sharded run, the
+  // plain baseline, and the correctness gate below.
+  auto run_slice = [&](const char* dataset, uint32_t w, uint32_t stride,
+                       uint64_t ops) {
+    uint64_t applied = 0;
+    for (uint64_t i = w; applied < ops; i += stride) {
+      const Box& b = boxes[i % boxes.size()];
+      SKETCH_CHECK(store.Insert(dataset, b).ok());
+      ++applied;
+      if (i % 3 == 0 && applied < ops) {
+        SKETCH_CHECK(store.Delete(dataset, b).ok());
+        ++applied;
+      }
+    }
+    return applied;
+  };
+
+  // Correctness gate + cache warmup: the sharded path's counters must be
+  // bit-identical to the plain path's on a prefix before anything is
+  // timed (a throughput number for a wrong answer is noise).
+  run_slice("sharded", 0, 1, check_n);
+  run_slice("check", 0, 1, check_n);
+  SKETCH_CHECK(*store.CounterSnapshot("sharded") ==
+               *store.CounterSnapshot("check"));
+
+  // Plain single-writer baseline on this host (exclusive lock per
+  // update; the PR 2 path the degenerate single-core case falls back to).
+  Stopwatch timer;
+  const uint64_t plain_updates = run_slice("plain", 0, 1, n);
+  const double plain_secs = timer.Seconds();
+
+  // Timed sharded run: W threads over disjoint slices.
+  std::vector<std::thread> threads;
+  threads.reserve(writers);
+  std::vector<uint64_t> applied(writers, 0);
+  const uint64_t per_writer = n / writers;
+  timer.Restart();
+  for (uint32_t w = 0; w < writers; ++w) {
+    threads.emplace_back([&, w] {
+      applied[w] = run_slice("sharded", w, writers, per_writer);
+    });
+  }
+  for (auto& t : threads) t.join();
+  SKETCH_CHECK(store.Fence("sharded").ok());
+  const double sharded_secs = timer.Seconds();
+  uint64_t sharded_updates = 0;
+  for (uint64_t a : applied) sharded_updates += a;
+
+  const double plain_rate = plain_updates / plain_secs;
+  const double sharded_rate = sharded_updates / sharded_secs;
+  const StoreStats stats = store.stats();
+
+  std::printf(
+      "sharded update throughput: writers=%u epoch=%" PRIu64
+      " dims=%u domain=2^%u k1=%u k2=%u\n",
+      writers, epoch, dims, h, k1, k2);
+  std::printf("  plain store stream   : %" PRIu64
+              " updates in %.3fs -> %.0f/s\n",
+              plain_updates, plain_secs, plain_rate);
+  std::printf("  sharded store stream : %" PRIu64
+              " updates in %.3fs -> %.0f/s (aggregate)\n",
+              sharded_updates, sharded_secs, sharded_rate);
+  std::printf("  scaling vs plain     : %.2fx  (epoch folds: %" PRIu64
+              ")\n",
+              sharded_rate / plain_rate, stats.epoch_folds);
+  std::printf(
+      "  counters vs plain    : bit-identical (gated on a %" PRIu64
+      "-update prefix before timing)\n",
+      check_n);
+
+  bench::BenchResult result;
+  result.name = "sharded_update_throughput";
+  result.Param("writers", static_cast<int64_t>(writers));
+  result.Param("epoch_updates", static_cast<int64_t>(epoch));
+  result.Param("dims", static_cast<int64_t>(dims));
+  result.Param("log2_domain", static_cast<int64_t>(h));
+  result.Param("k1", static_cast<int64_t>(k1));
+  result.Param("k2", static_cast<int64_t>(k2));
+  result.Param("n", static_cast<int64_t>(n));
+  result.Metric("updates_per_sec_sharded", sharded_rate);
+  result.Metric("updates_per_sec_plain_store", plain_rate);
+  result.Metric("scaling_vs_plain", sharded_rate / plain_rate);
+  result.Metric("epoch_folds", static_cast<double>(stats.epoch_folds));
+  result.Metric("wall_seconds", plain_secs + sharded_secs);
+  const Status st = bench::MaybeWriteBenchJson(flags, {result});
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
+  return 0;
+}
+
+// --crossover_scan mode: measured small-bulk crossover between the
+// streaming (sign-cache) and table (SignTable) BulkLoad strategies.
+int RunCrossoverScan(const Flags& flags) {
+  const uint32_t dims = static_cast<uint32_t>(flags.GetInt("dims", 2));
+  const uint32_t h = static_cast<uint32_t>(flags.GetInt("log2_domain", 14));
+  const uint32_t k1 = static_cast<uint32_t>(flags.GetInt("k1", 64));
+  const uint32_t k2 = static_cast<uint32_t>(flags.GetInt("k2", 9));
+  auto schema = MakeSchema(dims, h, k1, k2);
+  const Shape shape = Shape::RangeShape(dims);
+
+  SyntheticBoxOptions gen;
+  gen.dims = dims;
+  gen.log2_domain = h;
+  gen.count = 1u << 14;
+  gen.seed = 5;
+  const std::vector<Box> boxes = GenerateSyntheticBoxes(gen);
+
+  // Warm the schema caches so the streaming numbers are steady-state.
+  {
+    DatasetSketch warm(schema, shape);
+    for (uint64_t i = 0; i < 4096; ++i) warm.Insert(boxes[i % boxes.size()]);
+  }
+  DatasetSketch probe(schema, shape);
+  const uint64_t model_pick = probe.SmallBulkCrossover();
+
+  std::printf("bulk-load crossover scan: dims=%u domain=2^%u k1=%u k2=%u "
+              "(model pick: %" PRIu64 " boxes)\n",
+              dims, h, k1, k2, model_pick);
+  bench::BenchResult result;
+  result.name = "bulk_crossover_scan";
+  result.Param("dims", static_cast<int64_t>(dims));
+  result.Param("log2_domain", static_cast<int64_t>(h));
+  result.Param("k1", static_cast<int64_t>(k1));
+  result.Param("k2", static_cast<int64_t>(k2));
+  result.Metric("model_crossover_boxes", static_cast<double>(model_pick));
+
+  for (const uint64_t count : {16u, 64u, 256u, 1024u, 4096u}) {
+    std::vector<Box> batch;
+    batch.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      batch.push_back(boxes[i % boxes.size()]);
+    }
+    // Repeat tiny batches so each measurement spans enough work to time.
+    const uint32_t reps = static_cast<uint32_t>(
+        std::max<uint64_t>(1, 8192 / count));
+
+    Stopwatch timer;
+    for (uint32_t r = 0; r < reps; ++r) {
+      DatasetSketch stream(schema, shape);
+      for (const Box& b : batch) stream.Insert(b);
+    }
+    const double stream_secs = timer.Seconds();
+
+    timer.Restart();
+    for (uint32_t r = 0; r < reps; ++r) {
+      DatasetSketch tables(schema, shape);
+      BulkLoader loader(schema);
+      loader.Add(&tables, batch.data(), batch.size());
+      loader.Run();
+    }
+    const double table_secs = timer.Seconds();
+
+    const double stream_rate = count * reps / stream_secs;
+    const double table_rate = count * reps / table_secs;
+    std::printf("  batch=%5" PRIu64 " : streaming %9.0f boxes/s | tables "
+                "%9.0f boxes/s | winner: %s\n",
+                count, stream_rate, table_rate,
+                stream_rate >= table_rate ? "streaming" : "tables");
+    result.Metric("stream_boxes_per_sec_" + std::to_string(count),
+                  stream_rate);
+    result.Metric("table_boxes_per_sec_" + std::to_string(count),
+                  table_rate);
+  }
+  const Status st = bench::MaybeWriteBenchJson(flags, {result});
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto flags = bench::ParseFlagsOrDie(argc, argv);
+  // Optional override of the endpoint-sum cache budget (bytes per
+  // dimension; 0 disables the cache) — the A/B knob behind the default in
+  // DatasetSketch::PointSumBudgetBytes. Applies to every mode.
+  const int64_t psb = flags.GetInt("point_sum_budget", -1);
+  if (psb >= 0) {
+    DatasetSketch::SetPointSumBudgetBytes(static_cast<uint64_t>(psb));
+  }
+  if (flags.GetInt("writers", 0) > 0) return RunShardedWriterMode(flags);
+  if (flags.GetInt("crossover_scan", 0) != 0) return RunCrossoverScan(flags);
   const uint32_t dims = static_cast<uint32_t>(flags.GetInt("dims", 2));
   const uint32_t h = static_cast<uint32_t>(flags.GetInt("log2_domain", 14));
   const uint32_t k1 = static_cast<uint32_t>(flags.GetInt("k1", 64));

@@ -25,11 +25,17 @@ namespace spatialsketch {
 /// Combined (median-of-means) join-size estimate from two sketches built
 /// under the same schema with JoinShape(dims). Errors if the sketches are
 /// incompatible.
+///
+/// Thread-safety: takes no locks; a pure read of both counter arrays.
+/// Safe from any number of threads provided the caller keeps BOTH
+/// sketches' counters unchanged for the duration (SketchStore holds the
+/// two datasets' shared FairSharedMutexes, acquired in address order).
 Result<double> EstimateJoinCardinality(const DatasetSketch& r,
                                        const DatasetSketch& s);
 
 /// Per-instance raw estimates Z_i (for analysis / tests / custom
-/// combining): Z_i = 2^{-d} sum_w X_w(i) Y_wbar(i).
+/// combining): Z_i = 2^{-d} sum_w X_w(i) Y_wbar(i). Read-only; same
+/// locking contract as EstimateJoinCardinality.
 Result<std::vector<double>> JoinEstimatesPerInstance(const DatasetSketch& r,
                                                      const DatasetSketch& s);
 
@@ -38,7 +44,9 @@ Result<std::vector<double>> JoinEstimatesPerInstance(const DatasetSketch& r,
 /// every S in turn, so the R side of the synopsis walk is amortized
 /// across the batch. Returns exactly the values of per-pair
 /// EstimateJoinCardinality calls, in s_list order. Errors on an empty
-/// batch, a null entry, or any incompatible pair.
+/// batch, a null entry, or any incompatible pair. Read-only over every
+/// involved sketch; the caller pins all their counters (the store locks
+/// each distinct dataset once, in address order, for the whole batch).
 Result<std::vector<double>> EstimateJoinCardinalityBatch(
     const DatasetSketch& r, const std::vector<const DatasetSketch*>& s_list);
 
@@ -46,7 +54,7 @@ Result<std::vector<double>> EstimateJoinCardinalityBatch(
 /// lie in [0, 2^log2_domain) per dimension; the pipeline applies the
 /// endpoint transformation internally (domain grows by 2 bits).
 struct JoinPipelineOptions {
-  uint32_t dims = 2;
+  uint32_t dims = 2;          ///< dimensionality (1..kMaxDims)
   uint32_t log2_domain = 14;  ///< original (untransformed) domain bits
   uint32_t max_level = DyadicDomain::kNoCap;  ///< cap on TRANSFORMED domain
   /// Section 6.5 adaptive sketches: choose per-dimension level caps that
@@ -55,13 +63,14 @@ struct JoinPipelineOptions {
   /// workloads, whose dyadic endpoint sketches otherwise concentrate
   /// O(N^2) self-join mass in the top levels.
   bool auto_max_level = false;
-  uint32_t k1 = 64;
-  uint32_t k2 = 9;
-  uint64_t seed = 1;
+  uint32_t k1 = 64;   ///< estimators averaged per group (accuracy)
+  uint32_t k2 = 9;    ///< groups medianed (confidence)
+  uint64_t seed = 1;  ///< master seed (equal options => identical schema)
 };
 
+/// Output of the one-call SketchSpatialJoin pipeline.
 struct JoinPipelineResult {
-  double estimate = 0.0;
+  double estimate = 0.0;           ///< median-of-means join-size estimate
   uint64_t words_per_dataset = 0;  ///< paper-accounted space
   uint64_t dropped_r = 0;  ///< degenerate objects removed from R
   uint64_t dropped_s = 0;  ///< degenerate objects removed from S
@@ -72,7 +81,9 @@ struct JoinPipelineResult {
 };
 
 /// Schema over the TRANSFORMED domain implied by the options. Both join
-/// sides must be sketched under this single schema.
+/// sides must be sketched under this single schema. The returned schema
+/// is immutable and fully thread-safe (its sign/point-sum caches
+/// synchronize internally).
 Result<SchemaPtr> MakeTransformedJoinSchema(const JoinPipelineOptions& opt);
 
 /// Variant with explicit per-dimension level caps (overriding
@@ -81,15 +92,21 @@ Result<SchemaPtr> MakeTransformedJoinSchema(const JoinPipelineOptions& opt,
                                             const uint32_t* max_levels);
 
 /// Sketch the R side (endpoints mapped with x -> 3x+1); drops degenerate
-/// boxes and reports how many were dropped.
+/// boxes and reports how many were dropped. Builds a fresh sketch (bulk
+/// load parallelizes internally across instance batches); the shared
+/// schema's caches are thread-safe, so two sides may be sketched from
+/// different threads concurrently.
 DatasetSketch SketchJoinSideR(const SchemaPtr& schema,
                               const std::vector<Box>& r, uint64_t* dropped);
 
-/// Sketch the S side (shrunk: [l, u] -> [3l+2, 3u]).
+/// Sketch the S side (shrunk: [l, u] -> [3l+2, 3u]); same threading
+/// contract as SketchJoinSideR.
 DatasetSketch SketchJoinSideS(const SchemaPtr& schema,
                               const std::vector<Box>& s, uint64_t* dropped);
 
 /// One-call spatial-join estimate: transform, sketch both sides, combine.
+/// Self-contained (builds its own schema and sketches); safe to run
+/// concurrently with anything, as it shares no mutable state.
 Result<JoinPipelineResult> SketchSpatialJoin(const std::vector<Box>& r,
                                              const std::vector<Box>& s,
                                              const JoinPipelineOptions& opt);

@@ -27,17 +27,18 @@
 
 namespace spatialsketch {
 
+/// Configuration of a standalone range-query estimator pipeline.
 struct RangeEstimatorOptions {
-  uint32_t dims = 1;
+  uint32_t dims = 1;          ///< dimensionality (1..kMaxDims)
   uint32_t log2_domain = 16;  ///< original domain bits
-  uint32_t max_level = DyadicDomain::kNoCap;
+  uint32_t max_level = DyadicDomain::kNoCap;  ///< Section 6.5 level cap
   /// Section 6.5: choose per-dimension caps minimizing the data's
   /// marginal self-join sizes (queries are unknown at build time, so the
   /// statistic is data-only).
   bool auto_max_level = false;
-  uint32_t k1 = 64;
-  uint32_t k2 = 9;
-  uint64_t seed = 1;
+  uint32_t k1 = 64;   ///< estimators averaged per group (accuracy)
+  uint32_t k2 = 9;    ///< groups medianed (confidence)
+  uint64_t seed = 1;  ///< master seed (equal options => identical schema)
 };
 
 /// Range-count estimate against an externally owned RangeShape sketch whose
@@ -46,6 +47,12 @@ struct RangeEstimatorOptions {
 /// non-degenerate in every dimension. This is the serving-layer entry
 /// point: SketchStore runs it against store-resident sketches, and
 /// RangeQueryEstimator::EstimateCount delegates here.
+///
+/// Thread-safety: takes no locks; a pure read of the sketch's counters
+/// plus lock-free schema-cache lookups. Safe from any number of threads
+/// PROVIDED the caller keeps the counters unchanged for the duration
+/// (SketchStore holds the dataset's shared FairSharedMutex around it;
+/// unsynchronized concurrent writes to the same sketch are a data race).
 double EstimateRangeCount(const DatasetSketch& sketch, const Box& query);
 
 /// A batch of range queries precomputed against one sketch: the endpoint
@@ -64,8 +71,13 @@ class RangeQueryBatch {
   RangeQueryBatch(const DatasetSketch* sketch, const Box* queries,
                   size_t count);
 
+  /// Number of queries in the batch. Thread-safe (const, no locks).
   size_t size() const { return queries_.size(); }
+  /// Estimate of queries[i]; only walks counters, so any number of
+  /// threads may call it concurrently while the caller keeps the
+  /// sketch's counters stable (see the class comment).
   double EstimateOne(size_t i) const;
+  /// All estimates in query order; same locking contract as EstimateOne.
   std::vector<double> EstimateAll() const;
 
  private:
@@ -80,12 +92,18 @@ class RangeQueryBatch {
 };
 
 /// Convenience wrapper: batched range-count estimates, exactly equal to
-/// calling EstimateRangeCount once per query.
+/// calling EstimateRangeCount once per query. Same thread-safety
+/// contract as EstimateRangeCount (caller pins the counters).
 std::vector<double> EstimateRangeCountBatch(const DatasetSketch& sketch,
                                             const std::vector<Box>& queries);
 
 /// Maintains a RangeShape sketch of one dataset and answers range-count
 /// estimates for arbitrary query boxes. Supports incremental updates.
+///
+/// Thread-safety: NONE is provided here — this is the single-threaded
+/// pipeline object (external synchronization required to mix updates
+/// and estimates). For concurrent serving use SketchStore, which wraps
+/// the same sketch machinery in per-dataset fair reader/writer locks.
 class RangeQueryEstimator {
  public:
   /// Builds the estimator and bulk-loads `boxes` (degenerate boxes are
@@ -93,19 +111,26 @@ class RangeQueryEstimator {
   static Result<RangeQueryEstimator> Build(const std::vector<Box>& boxes,
                                            const RangeEstimatorOptions& opt);
 
-  /// Streaming maintenance (boxes in ORIGINAL coordinates).
+  /// Streaming maintenance (boxes in ORIGINAL coordinates). Mutates the
+  /// sketch; not thread-safe (see class comment).
   void Insert(const Box& box);
+  /// Streaming removal; same contract as Insert.
   void Delete(const Box& box);
 
   /// Estimated |Q(query, R)| for a query box in ORIGINAL coordinates; the
-  /// query must be non-degenerate in every dimension.
+  /// query must be non-degenerate in every dimension. Read-only; safe
+  /// concurrently with other reads but not with Insert/Delete.
   double EstimateCount(const Box& query) const;
 
   /// Estimated selectivity (count / |R|); 0 for an empty dataset.
+  /// Read-only, same contract as EstimateCount.
   double EstimateSelectivity(const Box& query) const;
 
+  /// Net objects summarized (inserts minus deletes). Read-only.
   int64_t num_objects() const { return sketch_->num_objects(); }
+  /// Paper-accounted size in words. Read-only.
   uint64_t MemoryWords() const { return sketch_->MemoryWords(); }
+  /// The transformed-domain schema (shareable with other sketches).
   const SchemaPtr& schema() const { return schema_; }
 
  private:

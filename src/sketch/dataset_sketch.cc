@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstring>
 #include <thread>
 
 #include "src/gf2/gf2_64.h"
 #include "src/xi/bch_family.h"
 #include "src/xi/bitslice.h"
+#include "src/xi/point_sum_cache.h"
 #include "src/xi/sign_cache.h"
 #include "src/xi/sign_table.h"
 
@@ -26,7 +28,26 @@ using bitslice::CountOnesPacked;
 using bitslice::CountOnesWide;
 using bitslice::PackedLane;
 
+// Default budget for serving endpoint sums from the PointSumCache.
+// Measured (micro_update_throughput --point_sum_budget A/B, Release, see
+// docs/BENCH.md), cached sums win at every domain size tried — +15-19%
+// updates/s from 2^10 through 2^18 coordinates — because entries replace
+// both the column reads and the CSA reduction and only TOUCHED
+// coordinates ever allocate. The budget caps the WORST-CASE pool
+// (every coordinate touched) so an adversarial huge-domain stream cannot
+// grow memory without bound: dimensions past the cap fall back to the
+// on-the-fly reduction, which keeps the pre-cache throughput.
+std::atomic<uint64_t> g_point_sum_budget_bytes{uint64_t{512} << 20};
+
 }  // namespace
+
+void DatasetSketch::SetPointSumBudgetBytes(uint64_t bytes) {
+  g_point_sum_budget_bytes.store(bytes, std::memory_order_relaxed);
+}
+
+uint64_t DatasetSketch::PointSumBudgetBytes() {
+  return g_point_sum_budget_bytes.load(std::memory_order_relaxed);
+}
 
 DatasetSketch::DatasetSketch(SchemaPtr schema, Shape shape)
     : schema_(std::move(schema)), shape_(std::move(shape)) {
@@ -91,6 +112,16 @@ void DatasetSketch::ComputeNeeds() {
     }
     tensor_bitmask_ = ok;
   }
+  // Freeze the endpoint-sum pick per dimension: cached sums when the
+  // worst-case pool (every coordinate touched) fits the budget, on-the-
+  // fly CSA otherwise. One entry costs num_blocks() * 64 bytes.
+  const uint64_t budget = PointSumBudgetBytes();
+  const uint64_t entry_bytes =
+      static_cast<uint64_t>(schema_->sign_cache().num_blocks()) * 64;
+  for (uint32_t d = 0; d < dims; ++d) {
+    const uint64_t coords = uint64_t{1} << schema_->domain(d).log2_size();
+    point_sums_cached_[d] = coords * entry_bytes <= budget;
+  }
 }
 
 void DatasetSketch::GatherIds(const Box& box, uint32_t dim) {
@@ -135,14 +166,15 @@ int64_t DatasetSketch::LetterValue(Letter l, const int32_t* sums,
   return 0;
 }
 
+
 namespace {
 
 // Per-lane minus counts of m <= 255 cached sign columns across EVERY
-// instance block in one pass: ids run in the outer loop so each column's
-// few cache lines are read sequentially exactly once, and the carry-save
-// planes of all blocks advance together. packed[blk * 8 + q] receives the
-// byte-packed counts (total <= m <= 255, so bytes cannot wrap); planes is
-// blocks * 6 words of caller scratch.
+// instance block in one pass — an internal-linkage copy of
+// bitslice::CountColumnsPackedAllBlocks (see bitslice.h for the shared
+// version the cold paths use): keeping the hot streaming path's reduction
+// internal to this TU lets the optimizer specialize it into
+// UpdateBitSliced, which measures ~2x on the update benchmark.
 void CountColumnsPackedAllBlocks(const uint64_t* const* cols, size_t m,
                                  uint32_t blocks, uint64_t* packed,
                                  uint64_t* planes) {
@@ -202,17 +234,22 @@ void CountColumnsWideAllBlocks(const uint64_t* const* cols, size_t m,
 // Bit-sliced streaming update. Per (dim, group) the gathered cover ids
 // resolve to cached packed sign columns (schema-shared; built on first
 // touch), and the per-instance xi-sums fall out of a carry-save per-lane
-// count: sum = m - 2 * minus_count. The 64 instance lanes of each column
-// word are then expanded into counter deltas exactly like the bulk
-// loader's inner loop, so the result is bit-identical to UpdateReference.
-// Templated on the dimensionality so the per-lane letter and product
-// loops fully unroll.
+// count: sum = m - 2 * minus_count. Endpoint point covers skip the
+// reduction entirely when the dimension's PointSumCache pool fits the
+// budget (point_sums_cached_): their finished byte-packed counts are
+// copied from the schema cache into the same scratch slot the reduction
+// would have filled, so everything downstream is untouched. The 64
+// instance lanes of each column word are then expanded into counter
+// deltas exactly like the bulk loader's inner loop, so the result is
+// bit-identical to UpdateReference. Templated on the dimensionality so
+// the per-lane letter and product loops fully unroll.
 template <uint32_t kDims>
 void DatasetSketch::UpdateBitSliced(const Box& box, const Box& leaf_box,
                                     int sign) {
   const uint32_t instances = schema_->instances();
   const uint32_t num_words = shape_.size();
   const PackedSignCache& cache = schema_->sign_cache();
+  const PointSumCache& sums = schema_->point_sum_cache();
   const uint32_t blocks = cache.num_blocks();
   scratch_packed_.resize(static_cast<size_t>(kDims) * kNumGroups * blocks *
                          8);
@@ -233,16 +270,25 @@ void DatasetSketch::UpdateBitSliced(const Box& box, const Box& leaf_box,
   for (uint32_t d = 0; d < kDims; ++d) {
     GatherIds(box, d);
     for (uint32_t g = 0; g < kNumGroups; ++g) {
-      auto& cols = scratch_cols_[d][g];
-      cols.clear();
-      cols.reserve(scratch_ids_[g].size());
-      for (uint64_t id : scratch_ids_[g]) {
-        cols.push_back(cache.Column(d, id));
-      }
-      const size_t m = cols.size();
+      const size_t m = scratch_ids_[g].size();
       group_size[d][g] = static_cast<int32_t>(m);
       group_used[d][g] = m > 0;
       if (m == 0) continue;
+      if (g != kGroupI && point_sums_cached_[d]) {
+        // Endpoint sums from the schema's per-coordinate cache: the CSA
+        // reduction over these h + 1 columns already ran, once, the first
+        // time ANY update under this schema touched the coordinate.
+        const Coord coord = g == kGroupL ? box.lo[d] : box.hi[d];
+        std::memcpy(packed_of(d, g), sums.Counts(d, coord),
+                    static_cast<size_t>(blocks) * 8 * sizeof(uint64_t));
+        continue;
+      }
+      auto& cols = scratch_cols_[d][g];
+      cols.clear();
+      cols.reserve(m);
+      for (uint64_t id : scratch_ids_[g]) {
+        cols.push_back(cache.Column(d, id));
+      }
       if (m > 255) {
         use_wide[d][g] = true;
         any_wide = true;
@@ -528,9 +574,38 @@ void DatasetSketch::UpdateReference(const Box& box, const Box& leaf_box,
   num_objects_ += sign;
 }
 
+uint64_t DatasetSketch::SmallBulkCrossover() const {
+  // Cost model, in packed words touched. The table path builds one
+  // row-major SignTable per (dimension, instance batch) before any box is
+  // processed: ~ sum_d num_ids words of construction independent of the
+  // batch size. The streaming path instead resolves ~2h cached interval
+  // columns per (box, dimension) — endpoint sums are one cache hit each —
+  // at kStreamCostFactor word-ops apiece (column walk + CSA + the less
+  // sequential access pattern; measured on the build host via
+  // micro_update_throughput --crossover_scan, see docs/BENCH.md). Below
+  // the ratio the table build dominates and streaming wins.
+  constexpr uint64_t kStreamCostFactor = 4;
+  uint64_t table_words = 0;
+  uint64_t per_box_ids = 0;
+  for (uint32_t d = 0; d < schema_->dims(); ++d) {
+    const DyadicDomain& dom = schema_->domain(d);
+    table_words += dom.num_ids();
+    // Lemma 2: interval covers have at most 2h usable ids (2 per level).
+    per_box_ids += 2 * (dom.EffectiveMaxLevel() + 1);
+  }
+  return table_words / std::max<uint64_t>(1, per_box_ids * kStreamCostFactor);
+}
+
 Status DatasetSketch::BulkLoad(const Box* boxes, size_t count, int sign) {
   if (sign != 1 && sign != -1) {
     return Status::InvalidArgument("BulkLoad sign must be +1 or -1");
+  }
+  if (count <= SmallBulkCrossover()) {
+    // Small batch: the table build would dominate, so stream the boxes
+    // through the bit-sliced update path (schema-shared sign cache).
+    // Bit-identical to the table path — only the cost differs.
+    for (size_t i = 0; i < count; ++i) Update(boxes[i], boxes[i], sign);
+    return Status::OK();
   }
   BulkLoader loader(schema_);
   loader.Add(this, boxes, count, nullptr, sign);
@@ -547,6 +622,12 @@ Status DatasetSketch::BulkLoadWithLeafBoxes(const std::vector<Box>& boxes,
   if (leaf_boxes.size() != boxes.size()) {
     return Status::InvalidArgument(
         "leaf_boxes must parallel boxes (same length)");
+  }
+  if (boxes.size() <= SmallBulkCrossover()) {
+    for (size_t i = 0; i < boxes.size(); ++i) {
+      Update(boxes[i], leaf_boxes[i], sign);
+    }
+    return Status::OK();
   }
   BulkLoader loader(schema_);
   loader.Add(this, &boxes, &leaf_boxes, sign);
@@ -730,6 +811,11 @@ void BulkLoader::Run(uint32_t max_threads) {
         job.sign * static_cast<int64_t>(job.count);
   }
   jobs_.clear();
+}
+
+void DatasetSketch::Reset() {
+  std::fill(counters_.begin(), counters_.end(), 0);
+  num_objects_ = 0;
 }
 
 void DatasetSketch::Merge(const DatasetSketch& other) {

@@ -21,6 +21,16 @@
 //    per (object, instance) drops to a handful of word operations.
 //  * UpdateReference: the retained one-GF(2^64)-evaluation-per-(instance,
 //    id) scalar path; test-only ground truth for the two above.
+//
+// Thread-safety: a DatasetSketch is NOT internally synchronized — one
+// writer at a time, and reads must not race a write (updates reuse
+// per-sketch scratch buffers, so even `const` concurrent use during a
+// write is a race). The schema and its caches ARE thread-safe and
+// shared: many sketches on many threads may ingest under one schema
+// concurrently. Concurrent serving layers wrap sketches in locks
+// (SketchStore: per-dataset FairSharedMutex) or give each thread a
+// private delta sketch and Merge (parallel_ingest.h, writer_shards.h) —
+// exact, because the synopsis is linear.
 
 #ifndef SPATIALSKETCH_SKETCH_DATASET_SKETCH_H_
 #define SPATIALSKETCH_SKETCH_DATASET_SKETCH_H_
@@ -40,6 +50,10 @@ class DatasetSketch;
 /// Defined in serialize.h; declared here for the friend grant.
 Result<DatasetSketch> DeserializeSketch(const std::string& blob);
 
+/// The synopsis of one spatial dataset: the linear counter array of a
+/// Shape under a SketchSchema, maintainable under arbitrary insert/
+/// delete streams and exactly mergeable (see the file comment for the
+/// ingest paths and the thread-safety contract).
 class DatasetSketch {
  public:
   /// Sketch under `schema` maintaining the counters of `shape`.
@@ -47,7 +61,11 @@ class DatasetSketch {
 
   /// Streaming updates. The box must be valid within the schema domains;
   /// leaf letters (if any in the shape) use the box's own endpoints.
+  /// Mutates counters and scratch — requires exclusive access to THIS
+  /// sketch (schema caches are shared and lock-free underneath).
   void Insert(const Box& box) { Update(box, box, +1); }
+  /// Streaming removal: subtracts the box's contribution (same contract
+  /// as Insert; the synopsis is linear).
   void Delete(const Box& box) { Update(box, box, -1); }
 
   /// Variant for the Appendix-B.1 extended join: interval/endpoint letters
@@ -56,6 +74,7 @@ class DatasetSketch {
   void InsertWithLeafBox(const Box& box, const Box& leaf_box) {
     Update(box, leaf_box, +1);
   }
+  /// Removal counterpart of InsertWithLeafBox.
   void DeleteWithLeafBox(const Box& box, const Box& leaf_box) {
     Update(box, leaf_box, -1);
   }
@@ -68,6 +87,7 @@ class DatasetSketch {
   void UpdateReference(const Box& box, int sign) {
     UpdateReference(box, box, sign);
   }
+  /// Leaf-box variant of the scalar reference path (extended join).
   void UpdateReference(const Box& box, const Box& leaf_box, int sign);
 
   /// Bulk-load `boxes` (sign +1) or bulk-remove (sign -1). Equivalent to
@@ -106,12 +126,45 @@ class DatasetSketch {
   /// Net number of objects currently summarized (inserts minus deletes).
   int64_t num_objects() const { return num_objects_; }
 
+  /// The shape whose counters this sketch maintains.
   const Shape& shape() const { return shape_; }
+  /// The shared schema (xi configuration + caches) this sketch is under.
   const SchemaPtr& schema() const { return schema_; }
 
   /// Merge another sketch built under the SAME schema and shape (the
-  /// synopsis is linear): counters add, object counts add.
+  /// synopsis is linear): counters add, object counts add. Requires
+  /// exclusive access to this sketch and stable counters on `other`.
   void Merge(const DatasetSketch& other);
+
+  /// Reset to the empty sketch (all counters zero, zero objects), keeping
+  /// the schema, shape, and warm scratch. O(counters). The store's writer
+  /// shards recycle their epoch delta sketches through this instead of
+  /// reallocating one per fold.
+  void Reset();
+
+  /// Batch size below which BulkLoad streams the boxes through the
+  /// bit-sliced update path (schema sign cache, no SignTable build)
+  /// instead of the table-based BulkLoader. Derived from the schema: the
+  /// table path pays O(sum_d num_ids) construction per load regardless of
+  /// batch size, the streaming path pays O(cover columns) per box, so the
+  /// crossover is their ratio (measured constant; see docs/BENCH.md and
+  /// the micro_update_throughput --crossover_scan mode). Both paths
+  /// produce bit-identical counters, so the pick is purely a cost choice.
+  uint64_t SmallBulkCrossover() const;
+
+  /// Per-dimension byte budget for serving endpoint sums from the
+  /// schema's PointSumCache. A dimension whose WORST-CASE entry pool
+  /// (2^log2_size coordinates x one packed count block set each) exceeds
+  /// the budget computes its endpoint sums on the fly instead — a memory
+  /// bound, not a speed pick: cached sums measure faster at every domain
+  /// size tried and entries only allocate for touched coordinates, but
+  /// past the cap an adversarial stream could grow the pool without
+  /// limit (see docs/BENCH.md). Both paths are bit-identical. The budget
+  /// is read at sketch construction; set it before creating sketches
+  /// (0 disables the cache — also the A/B knob the update benchmark
+  /// exposes as --point_sum_budget).
+  static void SetPointSumBudgetBytes(uint64_t bytes);
+  static uint64_t PointSumBudgetBytes();
 
   /// Overwrite this sketch's state (counters, object count) with `other`'s,
   /// keeping this sketch's schema POINTER. Requires equal shapes and equal
@@ -164,6 +217,10 @@ class DatasetSketch {
   // generic per-word letter indirection.
   bool tensor_bitmask_ = false;
   uint8_t tensor_letters_[kMaxDims][2] = {};
+  // Per-dimension pick, frozen at construction: serve endpoint sums from
+  // the schema's PointSumCache (pool fits PointSumBudgetBytes) or reduce
+  // them on the fly from sign columns.
+  bool point_sums_cached_[kMaxDims] = {};
 
   // Scratch: gathered dyadic ids per group for the current object/dim.
   std::vector<uint64_t> scratch_ids_[kNumGroups];
@@ -171,8 +228,10 @@ class DatasetSketch {
   std::vector<uint64_t> scratch_cubes_[kNumGroups];
   // Scratch for the bit-sliced streaming path: cached packed sign columns
   // per (dim, group) parallel to the gathered ids, byte-packed per-lane
-  // minus counts for every block ([slot * blocks * 8]), carry-save planes
-  // ([blocks * 6]), and the 32-bit fallback for covers > 255 ids.
+  // minus counts for every block ([slot * blocks * 8]; endpoint groups
+  // may be memcpy'd from the schema's PointSumCache instead of reduced),
+  // carry-save planes ([blocks * 6]), and the 32-bit fallback for covers
+  // > 255 ids.
   std::vector<const uint64_t*> scratch_cols_[kMaxDims][kNumGroups];
   std::vector<uint64_t> scratch_packed_;
   std::vector<uint64_t> scratch_planes_;
@@ -193,6 +252,7 @@ class BulkLoader {
   /// batch count) or they oversubscribe the CPU.
   static constexpr uint32_t kInstancesPerBatch = 512;
 
+  /// A loader for sketches under `schema`; Add() jobs, then Run() once.
   explicit BulkLoader(SchemaPtr schema) : schema_(std::move(schema)) {}
 
   /// Register a load job. `boxes` (and `leaf_boxes` if non-null, parallel

@@ -24,6 +24,17 @@ SketchSchema::SketchSchema(const SchemaOptions& options,
   }
   sign_cache_ = std::make_unique<PackedSignCache>(std::move(per_dim),
                                                   std::move(num_ids));
+  // The point-cover sum cache reduces those columns per coordinate; its
+  // slot arrays are likewise lazy, so schemas that never stream pay
+  // nothing beyond this per-dim spec vector.
+  std::vector<PointSumCache::DimSpec> specs;
+  specs.reserve(dims());
+  for (uint32_t d = 0; d < dims(); ++d) {
+    specs.push_back({domains_[d].log2_size(),
+                     domains_[d].EffectiveMaxLevel() + 1});
+  }
+  point_sum_cache_ =
+      std::make_unique<PointSumCache>(sign_cache_.get(), std::move(specs));
 }
 
 Result<SchemaPtr> SketchSchema::Create(const SchemaOptions& options) {

@@ -21,6 +21,7 @@
 #include "src/dyadic/dyadic_domain.h"
 #include "src/geom/box.h"
 #include "src/sketch/shape.h"
+#include "src/xi/point_sum_cache.h"
 #include "src/xi/seed.h"
 #include "src/xi/sign_cache.h"
 
@@ -96,6 +97,14 @@ class SketchSchema {
   /// query under this schema. Thread-safe.
   const PackedSignCache& sign_cache() const { return *sign_cache_; }
 
+  /// Schema-wide cache of byte-packed point-cover minus counts, one entry
+  /// per (dimension, coordinate), derived from sign_cache() columns. The
+  /// streaming update path reads endpoint sums from here instead of
+  /// re-reducing h + 1 columns per update; entries are built lazily, once
+  /// per touched coordinate, and shared across every dataset under this
+  /// schema. Thread-safe (lock-free on the hit path).
+  const PointSumCache& point_sum_cache() const { return *point_sum_cache_; }
+
   /// Paper-conformant storage accounting: per instance a dataset stores
   /// one counter word per shape word plus one (amortized) seed word; the
   /// 1-d join instance of Section 4.1.5 ("a seed ... and four counters")
@@ -112,6 +121,7 @@ class SketchSchema {
   std::vector<DyadicDomain> domains_;
   std::vector<XiSeed> seeds_;  // [instance * dims + dim]
   std::unique_ptr<PackedSignCache> sign_cache_;
+  std::unique_ptr<PointSumCache> point_sum_cache_;
 };
 
 using SchemaPtr = std::shared_ptr<const SketchSchema>;

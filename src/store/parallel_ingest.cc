@@ -32,6 +32,13 @@ void ShardedBulkLoad(DatasetSketch* target, const std::vector<Box>& boxes,
       1, std::min(threads / num_batches, max_useful));
 
   if (shards == 1) {
+    if (boxes.size() <= target->SmallBulkCrossover()) {
+      // Below the table-build crossover BulkLoad streams the boxes
+      // through the sign cache on the calling thread; delegate so the
+      // small-batch pick applies to store loads too.
+      SKETCH_CHECK(target->BulkLoad(boxes.data(), boxes.size(), sign).ok());
+      return;
+    }
     // Pure delegation — but still honor the caller's thread budget: the
     // loader's internal batch fan-out is capped at `threads`.
     BulkLoader loader(target->schema());

@@ -153,14 +153,63 @@ Status SketchStore::ApplyStreaming(const std::string& dataset, const Box& box,
     return Status::OK();
   }
 
-  std::unique_lock<FairSharedMutex> lock(ds.mu);
-  if (sign > 0) {
-    ds.sketch.Insert(mapped);
+  // Sharded fast path: one acquire load; the pointer is published once
+  // and never cleared, so a non-null read is safe without the dataset
+  // lock. The update lands in the calling thread's shard delta and folds
+  // into the master only at epoch boundaries.
+  if (WriterShardSet* ws = ds.shards_live.load(std::memory_order_acquire)) {
+    const uint32_t folds = ws->Apply(mapped, sign, &ds.sketch, &ds.mu);
+    if (folds > 0) {
+      epoch_folds_.fetch_add(folds, std::memory_order_relaxed);
+    }
   } else {
-    ds.sketch.Delete(mapped);
+    std::unique_lock<FairSharedMutex> lock(ds.mu);
+    if (sign > 0) {
+      ds.sketch.Insert(mapped);
+    } else {
+      ds.sketch.Delete(mapped);
+    }
   }
-  lock.unlock();
   (sign > 0 ? inserts_ : deletes_).fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status SketchStore::ConfigureShardedWriters(const std::string& dataset,
+                                            const ShardedWriterOptions& opt) {
+  if (opt.writers < 1) {
+    return Status::InvalidArgument("sharded writers require writers >= 1");
+  }
+  if (opt.epoch_updates < 1) {
+    return Status::InvalidArgument("epoch_updates must be >= 1");
+  }
+  auto found = Find(dataset);
+  if (!found.ok()) return found.status();
+  Dataset& ds = **found;
+  std::unique_lock<FairSharedMutex> lock(ds.mu);
+  if (ds.shards != nullptr) {
+    return Status::FailedPrecondition(
+        "dataset '" + dataset + "' already has sharded writers configured");
+  }
+  ds.shards = std::make_unique<WriterShardSet>(ds.sketch.schema(),
+                                               ds.sketch.shape(), opt);
+  ds.shards_live.store(ds.shards.get(), std::memory_order_release);
+  return Status::OK();
+}
+
+void SketchStore::FenceDataset(Dataset& ds) const {
+  WriterShardSet* ws = ds.shards_live.load(std::memory_order_acquire);
+  if (ws == nullptr) return;
+  const uint32_t folded = ws->Fence(&ds.sketch, &ds.mu);
+  if (folded > 0) {
+    epoch_folds_.fetch_add(folded, std::memory_order_relaxed);
+  }
+  fences_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Status SketchStore::Fence(const std::string& dataset) {
+  auto found = Find(dataset);
+  if (!found.ok()) return found.status();
+  FenceDataset(**found);
   return Status::OK();
 }
 
@@ -420,7 +469,8 @@ Result<double> SketchStore::EstimateJoin(const std::string& r_dataset,
 Result<int64_t> SketchStore::NumObjects(const std::string& dataset) const {
   auto found = Find(dataset);
   if (!found.ok()) return found.status();
-  const Dataset& ds = **found;
+  Dataset& ds = **found;
+  FenceDataset(ds);
   std::shared_lock<FairSharedMutex> lock(ds.mu);
   return ds.sketch.num_objects();
 }
@@ -429,7 +479,8 @@ Result<std::vector<int64_t>> SketchStore::CounterSnapshot(
     const std::string& dataset) const {
   auto found = Find(dataset);
   if (!found.ok()) return found.status();
-  const Dataset& ds = **found;
+  Dataset& ds = **found;
+  FenceDataset(ds);
   std::shared_lock<FairSharedMutex> lock(ds.mu);
   return ds.sketch.counters();
 }
@@ -437,7 +488,8 @@ Result<std::vector<int64_t>> SketchStore::CounterSnapshot(
 Result<std::string> SketchStore::Snapshot(const std::string& dataset) const {
   auto found = Find(dataset);
   if (!found.ok()) return found.status();
-  const Dataset& ds = **found;
+  Dataset& ds = **found;
+  FenceDataset(ds);
   std::string blob(kSnapshotMagic, sizeof(kSnapshotMagic));
   blob.push_back(static_cast<char>(ds.kind));
   std::shared_lock<FairSharedMutex> lock(ds.mu);
@@ -463,6 +515,12 @@ Status SketchStore::Restore(const std::string& dataset,
         "snapshot was taken from a dataset of a different kind");
   }
 
+  // Pre-restore shard deltas must fold BEFORE the counters are replaced:
+  // folded later they would silently add pre-restore updates to the
+  // restored state. Updates racing past this fence land after the
+  // restore, as some sequential order must place them.
+  FenceDataset(ds);
+
   // Deserialize off-lock (the expensive part), adopt under the writer
   // lock. AdoptCountersFrom validates shape and schema-configuration
   // equality and keeps the dataset's shared schema instance, so restored
@@ -487,6 +545,8 @@ StoreStats SketchStore::stats() const {
   s.join_estimates = join_estimates_.load(std::memory_order_relaxed);
   s.snapshots = snapshots_.load(std::memory_order_relaxed);
   s.restores = restores_.load(std::memory_order_relaxed);
+  s.epoch_folds = epoch_folds_.load(std::memory_order_relaxed);
+  s.fences = fences_.load(std::memory_order_relaxed);
   return s;
 }
 

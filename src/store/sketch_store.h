@@ -25,6 +25,20 @@
 // execution of the same operations — concurrency changes timing, never
 // values. Joins take the two datasets' shared locks in address order so a
 // pending writer between the two acquisitions cannot induce a cycle.
+//
+// Sharded streaming writes: ConfigureShardedWriters(dataset, {W, epoch})
+// re-routes that dataset's Insert/Delete through W writer shards
+// (writer_shards.h), each a private delta sketch behind its own mutex fed
+// by the lock-free sign/point-sum caches; the dataset's exclusive lock is
+// then taken only when a shard's epoch fills and it folds (Merge + Reset)
+// into the master counters. W writer threads stream concurrently instead
+// of serializing behind one exclusive lock; linearity makes the fold
+// exact. Estimates keep reading the master (staleness bounded by
+// W * epoch_updates un-folded updates); Fence(dataset) is the epoch fence
+// that folds everything pending — one atomic load when nothing is — and
+// NumObjects/CounterSnapshot/Snapshot/Restore fence internally, so
+// persistence and verification surfaces always see the full stream.
+// See docs/ARCHITECTURE.md for the full concurrency model.
 
 #ifndef SPATIALSKETCH_STORE_SKETCH_STORE_H_
 #define SPATIALSKETCH_STORE_SKETCH_STORE_H_
@@ -46,7 +60,9 @@
 #include "src/sketch/schema.h"
 #include "src/store/fair_shared_mutex.h"
 #include "src/store/query_pool.h"
+#include "src/store/writer_shards.h"
 
+/// Core namespace of the spatialsketch library.
 namespace spatialsketch {
 
 /// What a dataset serves; fixes its Shape and its ingest-time mapping into
@@ -60,29 +76,36 @@ enum class DatasetKind : uint8_t {
 /// Schema registration over an ORIGINAL h-bit domain; the store derives
 /// the transformed schema (h+2 bits per dimension) internally.
 struct StoreSchemaOptions {
-  uint32_t dims = 1;
+  uint32_t dims = 1;          ///< dimensionality (1..kMaxDims)
   uint32_t log2_domain = 16;  ///< original domain bits per dimension
-  uint32_t max_level = DyadicDomain::kNoCap;
-  uint32_t k1 = 64;
-  uint32_t k2 = 9;
-  uint64_t seed = 1;
+  uint32_t max_level = DyadicDomain::kNoCap;  ///< Section 6.5 level cap
+  uint32_t k1 = 64;   ///< estimators averaged per group (accuracy)
+  uint32_t k2 = 9;    ///< groups medianed (confidence)
+  uint64_t seed = 1;  ///< master seed (equal options => identical schema)
 };
 
 /// Monotonic operation counters (relaxed atomics; approximate under
 /// concurrency, exact once the store is quiescent).
 struct StoreStats {
-  uint64_t inserts = 0;
-  uint64_t deletes = 0;
+  uint64_t inserts = 0;  ///< streaming Insert calls applied
+  uint64_t deletes = 0;  ///< streaming Delete calls applied
   uint64_t dropped = 0;  ///< degenerate boxes ignored by ingest
-  uint64_t bulk_boxes = 0;
-  uint64_t range_estimates = 0;
-  uint64_t join_estimates = 0;
-  uint64_t snapshots = 0;
-  uint64_t restores = 0;
+  uint64_t bulk_boxes = 0;       ///< boxes absorbed through bulk loads
+  uint64_t range_estimates = 0;  ///< range estimates served (incl. batch)
+  uint64_t join_estimates = 0;   ///< join estimates served (incl. batch)
+  uint64_t snapshots = 0;        ///< Snapshot blobs produced
+  uint64_t restores = 0;         ///< successful Restore calls
+  uint64_t epoch_folds = 0;  ///< shard deltas folded into master counters
+  uint64_t fences = 0;       ///< explicit + internal epoch fences taken
 };
+
+/// A concurrent, named registry of dataset sketches served under shared
+/// schemas — the serving layer (see the file comment for the concurrency
+/// model and docs/ARCHITECTURE.md for the system picture).
 
 class SketchStore {
  public:
+  /// An empty store: no schemas, no datasets, lazy query pool.
   SketchStore() = default;
 
   // ---- Registry -----------------------------------------------------------
@@ -97,9 +120,15 @@ class SketchStore {
   Status CreateDataset(const std::string& name,
                        const std::string& schema_name, DatasetKind kind);
 
+  /// Remove a dataset from the registry. In-flight operations holding
+  /// the dataset's shared_ptr finish safely; new lookups fail.
   Status DropDataset(const std::string& name);
 
-  /// Sorted dataset names (snapshot; concurrent creates may race).
+  /// Sorted dataset names. A consistent snapshot: the list is copied out
+  /// under the registry's shared lock, so it reflects exactly the set of
+  /// datasets registered at some single instant — concurrent creates and
+  /// drops land entirely before or entirely after it, never partially.
+  /// Thread-safe.
   std::vector<std::string> ListDatasets() const;
 
   /// The shared (transformed-domain) schema instance behind a registered
@@ -108,10 +137,36 @@ class SketchStore {
 
   // ---- Streaming and batched ingest (ORIGINAL coordinates) ----------------
 
-  /// Degenerate boxes are ignored (they cannot contribute to a strict
-  /// overlap; the pipelines drop them too) and counted in stats().dropped.
+  /// Streaming single-object updates. Degenerate boxes are ignored (they
+  /// cannot contribute to a strict overlap; the pipelines drop them too)
+  /// and counted in stats().dropped. Thread-safe. Locking: the dataset's
+  /// exclusive lock for the update — unless the dataset has sharded
+  /// writers configured, in which case only the calling thread's shard
+  /// mutex is taken and the exclusive lock is deferred to epoch folds.
   Status Insert(const std::string& dataset, const Box& box);
+  /// Streaming removal; the linear-synopsis mirror of Insert (same
+  /// validation, locking, and sharded-writer routing).
   Status Delete(const std::string& dataset, const Box& box);
+
+  /// Re-route `dataset`'s Insert/Delete through `opt.writers` writer
+  /// shards with epoch folding (see the file comment and writer_shards.h).
+  /// One-shot per dataset: the shard set is created once and lives for the
+  /// dataset's lifetime (a second call fails with FailedPrecondition),
+  /// which is what keeps the un-locked fast-path read of the shard pointer
+  /// safe. Call it before directing writer traffic at the dataset; calling
+  /// it while writers stream through the un-sharded path is safe but those
+  /// in-flight updates simply stay on the old path. Takes the dataset's
+  /// exclusive lock.
+  Status ConfigureShardedWriters(const std::string& dataset,
+                                 const ShardedWriterOptions& opt);
+
+  /// Epoch fence: fold every pending writer-shard delta of `dataset` into
+  /// its master counters, so subsequent estimates reflect every Insert/
+  /// Delete that returned before this call. One relaxed atomic load (no
+  /// locks) when nothing is pending or the dataset is not sharded; under
+  /// pending deltas it takes each shard mutex and the dataset's exclusive
+  /// lock per fold. Thread-safe.
+  Status Fence(const std::string& dataset);
 
   /// Batched ingest (sign +1 adds, -1 removes). Builds a delta sketch
   /// off-lock — sequentially here, sharded across `num_threads` workers in
@@ -125,15 +180,20 @@ class SketchStore {
 
   // ---- Serving (safe to call concurrently with all ingest paths) ----------
 
-  /// Range-count / selectivity estimate on a kRange dataset; the query is
-  /// in ORIGINAL coordinates and must be non-degenerate per dimension.
+  /// Range-count estimate on a kRange dataset; the query is in ORIGINAL
+  /// coordinates and must be non-degenerate per dimension. Takes the
+  /// dataset's shared lock; thread-safe.
   Result<double> EstimateRangeCount(const std::string& dataset,
                                     const Box& query) const;
+  /// Selectivity (count / object total) variant; count and total are
+  /// read under ONE shared-lock acquisition, so the ratio is a
+  /// consistent cut even while writers stream. Thread-safe.
   Result<double> EstimateRangeSelectivity(const std::string& dataset,
                                           const Box& query) const;
 
   /// Spatial-join cardinality estimate between a kJoinR and a kJoinS
-  /// dataset created under the same schema name.
+  /// dataset created under the same schema name. Takes both datasets'
+  /// shared locks in address order; thread-safe.
   Result<double> EstimateJoin(const std::string& r_dataset,
                               const std::string& s_dataset) const;
 
@@ -157,17 +217,25 @@ class SketchStore {
       const std::string& r_dataset,
       const std::vector<std::string>& s_datasets) const;
 
+  /// Net object count (inserts minus deletes). Fences pending writer-shard
+  /// deltas first, then reads under the dataset's shared lock, so the
+  /// count reflects every update that returned before the call.
+  /// Thread-safe.
   Result<int64_t> NumObjects(const std::string& dataset) const;
 
   /// Consistent copy of the dataset's raw counters (for verification: the
   /// synopsis is linear, so these are bit-comparable across ingest paths).
+  /// Fences pending writer-shard deltas, then copies under the dataset's
+  /// shared lock. Thread-safe.
   Result<std::vector<int64_t>> CounterSnapshot(const std::string& dataset) const;
 
   // ---- Persistence --------------------------------------------------------
 
   /// Serialized self-contained snapshot — a small kind-tagged header over
   /// the serialize.h sketch wire format — taken under the dataset's
-  /// shared lock: a consistent cut of the counters.
+  /// shared lock: a consistent cut of the counters. Fences pending
+  /// writer-shard deltas first, so the blob contains every update that
+  /// returned before the call. Thread-safe.
   Result<std::string> Snapshot(const std::string& dataset) const;
 
   /// Replace the dataset's counters with a snapshot blob. The blob's
@@ -175,9 +243,14 @@ class SketchStore {
   /// dataset's (kJoinR/kJoinS share shape and schema but ingest through
   /// different coordinate mappings, so the kind tag is load-bearing); the
   /// dataset keeps its shared schema instance, so restored datasets stay
-  /// joinable with their schema-mates.
+  /// joinable with their schema-mates. Fences pending writer-shard deltas
+  /// BEFORE adopting (pre-restore updates must not fold into post-restore
+  /// counters later), deserializes off-lock, and adopts under the
+  /// dataset's exclusive lock; updates racing the restore land after it,
+  /// as some sequential order must place them. Thread-safe.
   Status Restore(const std::string& dataset, const std::string& blob);
 
+  /// Monotonic operation counters (relaxed reads; see StoreStats).
   StoreStats stats() const;
 
  private:
@@ -186,8 +259,14 @@ class SketchStore {
         : kind(k), opt(o), sketch(std::move(s)) {}
     const DatasetKind kind;
     const StoreSchemaOptions opt;  ///< original-domain configuration
-    DatasetSketch sketch;          ///< guarded by mu
+    DatasetSketch sketch;          ///< the master counters; guarded by mu
     mutable FairSharedMutex mu;
+    // Sharded-writer state. `shards` owns the set; `shards_live` is the
+    // lock-free view the streaming hot path reads (published once, under
+    // the exclusive lock, never cleared — which is why configuration is
+    // one-shot and no teardown race exists).
+    std::unique_ptr<WriterShardSet> shards;
+    std::atomic<WriterShardSet*> shards_live{nullptr};
   };
   using DatasetPtr = std::shared_ptr<Dataset>;
 
@@ -198,6 +277,10 @@ class SketchStore {
 
   Result<DatasetPtr> Find(const std::string& name) const;
   Status ApplyStreaming(const std::string& dataset, const Box& box, int sign);
+  /// Folds any pending writer-shard deltas of `ds` (no-op when unsharded
+  /// or idle) and accounts the folds; shared by Fence and every surface
+  /// that must observe the full stream.
+  void FenceDataset(Dataset& ds) const;
   Status MergeDelta(const std::string& name, const std::vector<Box>& boxes,
                     uint32_t num_threads, int sign);
   /// The lazily created batch-serving pool (first batch call pays the
@@ -218,6 +301,8 @@ class SketchStore {
   mutable std::atomic<uint64_t> join_estimates_{0};
   mutable std::atomic<uint64_t> snapshots_{0};
   mutable std::atomic<uint64_t> restores_{0};
+  mutable std::atomic<uint64_t> epoch_folds_{0};
+  mutable std::atomic<uint64_t> fences_{0};
 
   SKETCH_DISALLOW_COPY_AND_ASSIGN(SketchStore);
 };

@@ -1,0 +1,72 @@
+#include "src/store/writer_shards.h"
+
+namespace spatialsketch {
+
+namespace {
+
+// Thread-affine shard tokens: each writer thread draws one token for its
+// lifetime, so it keeps returning to the same (likely uncontended) shard
+// mutex and its delta's warm scratch. Tokens are global across shard sets
+// — only the modulus is per-set — which keeps distinct datasets' shard
+// choices decorrelated without per-set thread registries.
+uint32_t ThreadToken() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t token = next.fetch_add(1);
+  return token;
+}
+
+}  // namespace
+
+WriterShardSet::WriterShardSet(SchemaPtr schema, const Shape& shape,
+                               const ShardedWriterOptions& opt)
+    : epoch_updates_(opt.epoch_updates > 0 ? opt.epoch_updates : 1) {
+  SKETCH_CHECK(opt.writers >= 1);
+  shards_.reserve(opt.writers);
+  for (uint32_t i = 0; i < opt.writers; ++i) {
+    shards_.push_back(std::make_unique<Shard>(schema, shape));
+  }
+}
+
+bool WriterShardSet::FoldLocked(Shard* shard, DatasetSketch* master,
+                                FairSharedMutex* master_mu) {
+  if (shard->pending == 0) return false;
+  {
+    std::unique_lock<FairSharedMutex> lock(*master_mu);
+    master->Merge(shard->delta);
+  }
+  shard->delta.Reset();
+  total_pending_.fetch_sub(shard->pending, std::memory_order_relaxed);
+  shard->pending = 0;
+  return true;
+}
+
+uint32_t WriterShardSet::Apply(const Box& box, int sign,
+                               DatasetSketch* master,
+                               FairSharedMutex* master_mu) {
+  Shard& shard = *shards_[ThreadToken() % shards_.size()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (sign > 0) {
+    shard.delta.Insert(box);
+  } else {
+    shard.delta.Delete(box);
+  }
+  ++shard.pending;
+  total_pending_.fetch_add(1, std::memory_order_relaxed);
+  if (shard.pending < epoch_updates_) return 0;
+  return FoldLocked(&shard, master, master_mu) ? 1 : 0;
+}
+
+uint32_t WriterShardSet::Fence(DatasetSketch* master,
+                               FairSharedMutex* master_mu) {
+  // Fast path: nothing pending anywhere — the common steady state between
+  // epochs, and the reason per-read fencing is affordable.
+  if (total_pending_.load(std::memory_order_relaxed) == 0) return 0;
+  uint32_t folded = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    if (FoldLocked(shard.get(), master, master_mu)) ++folded;
+  }
+  return folded;
+}
+
+}  // namespace spatialsketch

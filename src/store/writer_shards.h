@@ -1,0 +1,116 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// WriterShardSet: the sharded streaming-write path of one dataset.
+//
+// The synopsis is linear (dataset_sketch.h), so per-object streaming
+// updates applied to INDEPENDENT delta sketches and folded together by
+// counter addition are exact — the same invariant ShardedBulkLoad exploits
+// for batches, applied here to the streaming Insert/Delete path that PR 2
+// left serialized behind the dataset's exclusive FairSharedMutex. Each of
+// W shards owns a private delta sketch behind a plain mutex; writer
+// threads hash to a shard (thread-affine token, so a steady writer keeps
+// hitting the same uncontended mutex) and apply the bit-sliced update to
+// the shard's delta. The master counters — what readers estimate against —
+// are only touched at EPOCH boundaries: when a shard has absorbed
+// epoch_updates updates it folds (Merge + Reset, O(counters)) into the
+// master under the master's exclusive lock. The master writer lock is thus
+// taken once per epoch instead of once per update, and W writers stream
+// concurrently through the schema's lock-free sign/point-sum caches.
+//
+// Freshness: estimates served from the master may lag the stream by at
+// most W * epoch_updates updates. Fence() is the epoch fence readers use
+// to demand the up-to-date view: it folds every shard with pending
+// updates, and costs one relaxed atomic load — no locks — when nothing is
+// pending. After any quiescent Fence() the master counters are
+// bit-identical to a sequential application of the same update stream,
+// which is what the differential tests assert.
+//
+// Lock order: shard mutex, THEN master FairSharedMutex (exclusive). Both
+// Apply's epoch fold and Fence follow it; nothing in the store acquires a
+// shard mutex while holding a dataset lock, so the order is acyclic.
+
+#ifndef SPATIALSKETCH_STORE_WRITER_SHARDS_H_
+#define SPATIALSKETCH_STORE_WRITER_SHARDS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/common/macros.h"
+#include "src/geom/box.h"
+#include "src/sketch/dataset_sketch.h"
+#include "src/store/fair_shared_mutex.h"
+
+namespace spatialsketch {
+
+/// Per-dataset sharded-writer configuration (SketchStore::
+/// ConfigureShardedWriters).
+struct ShardedWriterOptions {
+  /// Writer shards. Must be >= 1; 1 still exercises the full epoch
+  /// machinery (useful for tests), it just cannot overlap writers.
+  uint32_t writers = 2;
+  /// Updates a shard absorbs before folding into the master counters.
+  /// Bounds staleness (a reader that does not fence can miss at most
+  /// writers * epoch_updates updates) and amortizes the master lock.
+  uint64_t epoch_updates = 256;
+};
+
+class WriterShardSet {
+ public:
+  /// Shards hold delta sketches of `shape` under `schema` (the dataset's
+  /// own schema instance, so folds are pointer-compatible Merges).
+  WriterShardSet(SchemaPtr schema, const Shape& shape,
+                 const ShardedWriterOptions& opt);
+
+  uint32_t writers() const { return static_cast<uint32_t>(shards_.size()); }
+  uint64_t epoch_updates() const { return epoch_updates_; }
+
+  /// Approximate count of updates applied to shards but not yet folded
+  /// into the master (relaxed read; exact once writers are quiescent).
+  uint64_t pending() const {
+    return total_pending_.load(std::memory_order_relaxed);
+  }
+
+  /// Apply one streaming update (`box` already mapped into the schema
+  /// domain) to the calling thread's shard. Takes that shard's mutex —
+  /// NOT the master lock — unless this update fills the shard's epoch, in
+  /// which case the shard folds into `master` under `master_mu` held
+  /// exclusively. Returns the number of epoch folds performed (0 or 1),
+  /// for stats. Thread-safe.
+  uint32_t Apply(const Box& box, int sign, DatasetSketch* master,
+                 FairSharedMutex* master_mu);
+
+  /// Epoch fence: fold every shard with pending updates into `master`, so
+  /// the master counters reflect every Apply() that returned before this
+  /// call. Costs one atomic load (no locks) when nothing is pending.
+  /// Returns the number of shards folded. Thread-safe; may run
+  /// concurrently with Apply (updates racing past the fence simply land
+  /// in the next epoch).
+  uint32_t Fence(DatasetSketch* master, FairSharedMutex* master_mu);
+
+ private:
+  struct Shard {
+    explicit Shard(SchemaPtr schema, const Shape& shape)
+        : delta(std::move(schema), shape) {}
+    std::mutex mu;
+    DatasetSketch delta;   ///< guarded by mu
+    uint64_t pending = 0;  ///< guarded by mu
+  };
+
+  // Folds `shard` (whose mutex the caller holds) into the master under
+  // the master's exclusive lock; true if anything was pending.
+  bool FoldLocked(Shard* shard, DatasetSketch* master,
+                  FairSharedMutex* master_mu);
+
+  const uint64_t epoch_updates_;
+  std::atomic<uint64_t> total_pending_{0};
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  SKETCH_DISALLOW_COPY_AND_ASSIGN(WriterShardSet);
+};
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_STORE_WRITER_SHARDS_H_

@@ -95,6 +95,52 @@ inline int32_t PackedLane(const uint64_t packed[8], uint32_t j) {
   return static_cast<int32_t>((packed[j >> 3] >> ((j & 7) * 8)) & 0xFF);
 }
 
+/// Per-lane minus counts of m <= 255 cached sign columns across EVERY
+/// instance block in one pass: ids run in the outer loop so each column's
+/// few cache lines are read sequentially exactly once, and the carry-save
+/// planes of all blocks advance together. packed[blk * 8 + q] receives the
+/// byte-packed counts (total <= m <= 255, so bytes cannot wrap); planes is
+/// blocks * 6 words of caller scratch. Shared by the streaming update path
+/// and the point-cover sum cache, which must produce bit-identical counts.
+inline void CountColumnsPackedAllBlocks(const uint64_t* const* cols, size_t m,
+                                        uint32_t blocks, uint64_t* packed,
+                                        uint64_t* planes) {
+  std::fill(packed, packed + static_cast<size_t>(blocks) * 8, 0);
+  size_t done = 0;
+  while (done < m) {
+    const size_t chunk = std::min<size_t>(63, m - done);
+    std::fill(planes, planes + static_cast<size_t>(blocks) * 6, 0);
+    for (size_t i = 0; i < chunk; ++i) {
+      const uint64_t* col = cols[done + i];
+      for (uint32_t blk = 0; blk < blocks; ++blk) {
+        uint64_t carry = col[blk];
+        uint64_t* p = planes + static_cast<size_t>(blk) * 6;
+        for (uint32_t k = 0; carry != 0 && k < 6; ++k) {
+          const uint64_t t = p[k] & carry;
+          p[k] ^= carry;
+          carry = t;
+        }
+      }
+    }
+    for (uint32_t blk = 0; blk < blocks; ++blk) {
+      uint64_t* out8 = packed + static_cast<size_t>(blk) * 8;
+      const uint64_t* p = planes + static_cast<size_t>(blk) * 6;
+      for (uint32_t k = 0; k < 6; ++k) {
+        if (p[k] == 0) continue;
+        for (int g = 0; g < 8; ++g) {
+          out8[g] += SpreadBitsToBytes((p[k] >> (8 * g)) & 0xFF) << k;
+        }
+      }
+    }
+    done += chunk;
+  }
+}
+
+// (The >255-id wide fallback lives only in dataset_sketch.cc: point
+// covers — the cold-path consumers of this header — never exceed h + 1
+// ids, so only the streaming TU needs it, and it keeps an internal-
+// linkage copy of the packed counter above for codegen anyway.)
+
 }  // namespace bitslice
 }  // namespace spatialsketch
 

@@ -1,0 +1,110 @@
+#include "src/xi/point_sum_cache.h"
+
+#include "src/common/macros.h"
+#include "src/xi/bitslice.h"
+
+namespace spatialsketch {
+
+PointSumCache::PointSumCache(const PackedSignCache* signs,
+                             std::vector<DimSpec> dims)
+    : signs_(signs) {
+  SKETCH_CHECK(signs_ != nullptr);
+  SKETCH_CHECK(!dims.empty());
+  dims_.reserve(dims.size());
+  for (const DimSpec& spec : dims) {
+    SKETCH_CHECK(spec.cover_levels >= 1);
+    // h + 1 members at most; the byte-packed counts must never wrap.
+    SKETCH_CHECK(spec.cover_levels <= 255);
+    auto dc = std::make_unique<DimCache>();
+    dc->spec = spec;
+    dims_.push_back(std::move(dc));
+  }
+}
+
+PointSumCache::~PointSumCache() {
+  for (auto& dc : dims_) {
+    std::atomic<uint64_t*>* slots = dc->slots.load(std::memory_order_acquire);
+    if (slots != nullptr) {
+      const uint64_t coords = uint64_t{1} << dc->spec.log2_size;
+      for (uint64_t c = 0; c < coords; ++c) {
+        delete[] slots[c].load(std::memory_order_relaxed);
+      }
+      delete[] slots;
+    }
+    for (uint32_t s = 0; s < kMapShards; ++s) {
+      for (auto& [coord, entry] : dc->shard_map[s]) delete[] entry;
+    }
+  }
+}
+
+std::atomic<uint64_t*>* PointSumCache::Slots(DimCache& dc) const {
+  std::atomic<uint64_t*>* slots = dc.slots.load(std::memory_order_acquire);
+  if (slots != nullptr) return slots;
+  std::lock_guard<std::mutex> lock(dc.init_mu);
+  slots = dc.slots.load(std::memory_order_relaxed);
+  if (slots == nullptr) {
+    // Value-initialized: every slot starts null.
+    slots = new std::atomic<uint64_t*>[uint64_t{1} << dc.spec.log2_size]();
+    dc.slots.store(slots, std::memory_order_release);
+  }
+  return slots;
+}
+
+uint64_t* PointSumCache::BuildEntry(const DimCache& dc, uint32_t dim,
+                                    uint64_t coord) const {
+  // The point cover of `coord`: the leaf id and its cover_levels - 1
+  // ancestors (heap ids halve per level). Resolving the columns here warms
+  // the sign cache too, so queries over the same coordinates stay hot.
+  const uint32_t m = dc.spec.cover_levels;
+  const uint64_t* cols[256];
+  uint64_t id = (uint64_t{1} << dc.spec.log2_size) + coord;
+  for (uint32_t level = 0; level < m; ++level) {
+    cols[level] = signs_->Column(dim, id);
+    id >>= 1;
+  }
+  const uint32_t blocks = signs_->num_blocks();
+  uint64_t* packed = new uint64_t[static_cast<size_t>(blocks) * 8];
+  std::vector<uint64_t> planes(static_cast<size_t>(blocks) * 6);
+  bitslice::CountColumnsPackedAllBlocks(cols, m, blocks, packed,
+                                        planes.data());
+  return packed;
+}
+
+const uint64_t* PointSumCache::CountsSparse(DimCache& dc, uint32_t dim,
+                                            uint64_t coord) const {
+  const uint32_t shard = static_cast<uint32_t>(coord) & (kMapShards - 1);
+  {
+    std::lock_guard<std::mutex> lock(dc.shard_mu[shard]);
+    auto it = dc.shard_map[shard].find(coord);
+    if (it != dc.shard_map[shard].end()) return it->second;
+  }
+  uint64_t* entry = BuildEntry(dc, dim, coord);  // off-lock; racers may dup
+  std::lock_guard<std::mutex> lock(dc.shard_mu[shard]);
+  auto [it, inserted] = dc.shard_map[shard].emplace(coord, entry);
+  if (!inserted) delete[] entry;  // another thread published first
+  return it->second;
+}
+
+const uint64_t* PointSumCache::Counts(uint32_t dim, uint64_t coord) const {
+  SKETCH_DCHECK(dim < dims_.size());
+  DimCache& dc = *dims_[dim];
+  SKETCH_DCHECK(coord < (uint64_t{1} << dc.spec.log2_size));
+  if ((uint64_t{1} << dc.spec.log2_size) > kDenseSlotLimit) {
+    return CountsSparse(dc, dim, coord);
+  }
+  std::atomic<uint64_t*>* slots = Slots(dc);
+  std::atomic<uint64_t*>& slot = slots[coord];
+  uint64_t* entry = slot.load(std::memory_order_acquire);
+  if (entry != nullptr) return entry;
+  entry = BuildEntry(dc, dim, coord);
+  uint64_t* expected = nullptr;
+  if (!slot.compare_exchange_strong(expected, entry,
+                                    std::memory_order_release,
+                                    std::memory_order_acquire)) {
+    delete[] entry;  // another thread published first; adopt its entry
+    return expected;
+  }
+  return entry;
+}
+
+}  // namespace spatialsketch

@@ -1,0 +1,103 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// PointSumCache: lazily materialized per-coordinate POINT-COVER sum
+// blocks, one per (dimension, coordinate), shared by every sketch under
+// one schema.
+//
+// The dyadic point cover of a coordinate is fixed — exactly one interval
+// per usable level (Lemma 3), ids leaf >> 0 .. leaf >> top — so the
+// per-lane minus counts the streaming update path derives from it via the
+// carry-save network depend only on (dimension, coordinate) and the
+// schema's seeds. The bit-sliced Insert/Delete previously recomputed that
+// CSA reduction for every endpoint of every update; this cache computes
+// it once per touched coordinate and hands back the finished byte-packed
+// counts. For RangeShape streams (groups I and U per dimension) that
+// halves the per-update CSA work; JoinShape streams (group E = L + U)
+// drop both endpoint reductions and keep only the range-dependent
+// interval-cover one.
+//
+// The cached value is the exact output of
+// bitslice::CountColumnsPackedAllBlocks over the cover's sign-cache
+// columns — the update path consumes it through the same PackedLane
+// reads, so counters stay bit-identical to the uncached computation (and
+// therefore to UpdateReference). Point covers have at most h + 1 <= 41
+// members, so the byte-packed representation always suffices (no wide
+// fallback, unlike interval covers under deep level caps).
+//
+// Concurrency: Counts() mirrors PackedSignCache — lock-free on the hit
+// path (one acquire load) with compare-exchange publication on miss for
+// dense coordinate universes, sharded hash maps beyond kDenseSlotLimit.
+// Entries are kept for the schema's lifetime; the working set is bounded
+// by the touched coordinate universe, exactly like the sign columns the
+// entries are derived from.
+
+#ifndef SPATIALSKETCH_XI_POINT_SUM_CACHE_H_
+#define SPATIALSKETCH_XI_POINT_SUM_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/xi/sign_cache.h"
+
+namespace spatialsketch {
+
+class PointSumCache {
+ public:
+  /// Per-dimension geometry of the point covers to cache.
+  struct DimSpec {
+    uint32_t log2_size = 0;     ///< coordinates live in [0, 2^log2_size)
+    uint32_t cover_levels = 0;  ///< point-cover size (EffectiveMaxLevel + 1)
+  };
+
+  /// `signs` supplies the packed sign columns the sums are reduced from
+  /// and must outlive the cache (both are schema-owned). One DimSpec per
+  /// sign-cache dimension.
+  PointSumCache(const PackedSignCache* signs, std::vector<DimSpec> dims);
+  ~PointSumCache();
+
+  /// Point-cover size of `dim` (constant across coordinates).
+  uint32_t cover_size(uint32_t dim) const {
+    return dims_[dim]->spec.cover_levels;
+  }
+
+  /// Byte-packed per-lane minus counts of the point cover of `coord` in
+  /// `dim`: signs->num_blocks() * 8 words laid out exactly like the
+  /// streaming scratch (words [blk * 8, blk * 8 + 8) hold block blk; read
+  /// lanes with bitslice::PackedLane). Built on first touch, then served
+  /// lock-free; the pointer stays valid for the cache's lifetime.
+  const uint64_t* Counts(uint32_t dim, uint64_t coord) const;
+
+  /// Largest coordinate universe served by the dense slot array; larger
+  /// domains use the sharded maps (same policy as PackedSignCache).
+  static constexpr uint64_t kDenseSlotLimit = PackedSignCache::kDenseSlotLimit;
+
+ private:
+  static constexpr uint32_t kMapShards = 16;
+
+  struct DimCache {
+    DimSpec spec;
+    // Dense representation (2^log2_size <= kDenseSlotLimit).
+    std::atomic<std::atomic<uint64_t*>*> slots{nullptr};
+    std::mutex init_mu;
+    // Sparse representation, sharded by low coordinate bits.
+    std::mutex shard_mu[kMapShards];
+    std::unordered_map<uint64_t, uint64_t*> shard_map[kMapShards];
+  };
+
+  std::atomic<uint64_t*>* Slots(DimCache& dc) const;
+  const uint64_t* CountsSparse(DimCache& dc, uint32_t dim,
+                               uint64_t coord) const;
+  uint64_t* BuildEntry(const DimCache& dc, uint32_t dim,
+                       uint64_t coord) const;
+
+  const PackedSignCache* signs_;
+  mutable std::vector<std::unique_ptr<DimCache>> dims_;
+};
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_XI_POINT_SUM_CACHE_H_

@@ -153,6 +153,48 @@ TEST(BulkLoader, RunIsIdempotentAfterClear) {
   EXPECT_EQ(sketch.num_objects(), 2);
 }
 
+TEST(BulkLoader, SmallBatchCrossoverPickIsBitIdenticalToTablePath) {
+  // DatasetSketch::BulkLoad streams batches at or below
+  // SmallBulkCrossover() through the sign cache instead of building
+  // row-major SignTables; both picks must be bit-identical, and the
+  // crossover must scale with the schema's id universe (the table build
+  // it amortizes) — the pick is a cost choice, never a semantic one.
+  auto schema = MakeSchema(1, 12, 12, 3);
+  DatasetSketch probe(schema, Shape::RangeShape(1));
+  const uint64_t crossover = probe.SmallBulkCrossover();
+  ASSERT_GE(crossover, 4u) << "2^13-id universe must prefer streaming for "
+                              "small batches";
+
+  SyntheticBoxOptions gen;
+  gen.dims = 1;
+  gen.log2_domain = 12;
+  gen.seed = 9;
+  for (const uint64_t count : {crossover / 2, crossover, crossover + 1}) {
+    if (count == 0) continue;
+    SCOPED_TRACE(count);
+    gen.count = count;
+    const auto boxes = GenerateSyntheticBoxes(gen);
+
+    DatasetSketch picked(schema, Shape::RangeShape(1));
+    ASSERT_TRUE(picked.BulkLoad(boxes).ok());
+
+    // Force the table path regardless of batch size by driving the
+    // BulkLoader directly.
+    DatasetSketch tables(schema, Shape::RangeShape(1));
+    BulkLoader loader(schema);
+    loader.Add(&tables, &boxes);
+    loader.Run();
+
+    ExpectEqualCounters(picked, tables);
+  }
+
+  // A wider id universe must not lower the crossover: more table build to
+  // amortize means streaming stays preferable for longer.
+  auto wider = MakeSchema(1, 14, 12, 3);
+  DatasetSketch wide_probe(wider, Shape::RangeShape(1));
+  EXPECT_GE(wide_probe.SmallBulkCrossover(), crossover);
+}
+
 TEST(BulkLoader, EmptyBoxListIsHarmless) {
   auto schema = MakeSchema(2, 6, 4, 2);
   const std::vector<Box> empty;

@@ -1,0 +1,333 @@
+// Differential tests for the sharded streaming-writer path: W writer
+// shards feeding private delta sketches with epoch folds into the master
+// counters must, after any fence, be BIT-IDENTICAL to a sequential
+// application of the same update stream through the per-instance scalar
+// reference (UpdateReference) — the synopsis is linear, so sharding and
+// epoch scheduling may change timing, never values. Also covers the epoch
+// fence semantics (stale reads before, exact reads after), fold/fence
+// stats, and Snapshot/Restore interleaved with pending shard deltas
+// (restore must fence them out, not absorb them later).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/dyadic/endpoint_transform.h"
+#include "src/sketch/dataset_sketch.h"
+#include "src/store/sketch_store.h"
+#include "src/workload/zipf_boxes.h"
+
+namespace spatialsketch {
+namespace {
+
+StoreSchemaOptions SmallSchema(uint32_t dims, uint32_t log2_domain = 8,
+                               uint32_t k1 = 5, uint32_t k2 = 3,
+                               uint64_t seed = 77) {
+  StoreSchemaOptions opt;
+  opt.dims = dims;
+  opt.log2_domain = log2_domain;
+  opt.k1 = k1;
+  opt.k2 = k2;
+  opt.seed = seed;
+  return opt;
+}
+
+std::vector<Box> MakeBoxes(uint32_t dims, uint32_t log2_domain, uint64_t count,
+                           uint64_t seed) {
+  SyntheticBoxOptions gen;
+  gen.dims = dims;
+  gen.log2_domain = log2_domain;
+  gen.count = count;
+  gen.seed = seed;
+  return GenerateSyntheticBoxes(gen);
+}
+
+// Sequential scalar ground truth of a kRange ingest stream: the store maps
+// boxes with EndpointTransform::MapR before sketching, so the reference
+// does the same and then applies the retained per-instance scalar path.
+DatasetSketch ScalarReference(const SchemaPtr& schema, uint32_t dims,
+                              const std::vector<Box>& boxes,
+                              uint32_t delete_stride) {
+  DatasetSketch ref(schema, Shape::RangeShape(dims));
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    const Box mapped = EndpointTransform::MapR(boxes[i], dims);
+    ref.UpdateReference(mapped, +1);
+    if (delete_stride != 0 && i % delete_stride == 0) {
+      ref.UpdateReference(mapped, -1);
+    }
+  }
+  return ref;
+}
+
+TEST(ShardedWriters, MixedSignStreamsBitIdenticalToScalarReference) {
+  // The acceptance differential: W in {1, 2, 4} sharded writers over a
+  // randomized mixed-sign stream must land exactly on the sequential
+  // scalar reference once fenced (CounterSnapshot fences internally).
+  const uint32_t dims = 2, h = 8;
+  const uint32_t kDeleteStride = 3;
+  const auto boxes = MakeBoxes(dims, h, 1200, 19);
+
+  for (const uint32_t writers : {1u, 2u, 4u}) {
+    SCOPED_TRACE(writers);
+    SketchStore store;
+    ASSERT_TRUE(store.RegisterSchema("s", SmallSchema(dims, h)).ok());
+    ASSERT_TRUE(store.CreateDataset("live", "s", DatasetKind::kRange).ok());
+    ShardedWriterOptions opt;
+    opt.writers = writers;
+    opt.epoch_updates = 32;  // small epochs: exercise many folds
+    ASSERT_TRUE(store.ConfigureShardedWriters("live", opt).ok());
+    // One-shot configuration: a second attempt must be rejected.
+    EXPECT_FALSE(store.ConfigureShardedWriters("live", opt).ok());
+
+    std::vector<std::thread> threads;
+    for (uint32_t w = 0; w < writers; ++w) {
+      threads.emplace_back([&, w] {
+        for (size_t i = w; i < boxes.size(); i += writers) {
+          ASSERT_TRUE(store.Insert("live", boxes[i]).ok());
+          if (i % kDeleteStride == 0) {
+            ASSERT_TRUE(store.Delete("live", boxes[i]).ok());
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+
+    auto schema = store.GetSchema("s");
+    ASSERT_TRUE(schema.ok());
+    const DatasetSketch ref =
+        ScalarReference(*schema, dims, boxes, kDeleteStride);
+    EXPECT_EQ(*store.CounterSnapshot("live"), ref.counters());
+    EXPECT_EQ(*store.NumObjects("live"), ref.num_objects());
+    // Enough updates streamed that epochs must have folded along the way,
+    // not only at the final fence.
+    EXPECT_GT(store.stats().epoch_folds, 0u);
+    EXPECT_GT(store.stats().fences, 0u);
+  }
+}
+
+TEST(ShardedWriters, FenceMakesPendingUpdatesVisible) {
+  const uint32_t dims = 1, h = 8;
+  const auto boxes = MakeBoxes(dims, h, 10, 5);
+
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterSchema("s", SmallSchema(dims, h)).ok());
+  ASSERT_TRUE(store.CreateDataset("d", "s", DatasetKind::kRange).ok());
+  ASSERT_TRUE(store.CreateDataset("plain", "s", DatasetKind::kRange).ok());
+  ShardedWriterOptions opt;
+  opt.writers = 2;
+  opt.epoch_updates = 100000;  // never folds on its own
+  ASSERT_TRUE(store.ConfigureShardedWriters("d", opt).ok());
+
+  for (const Box& b : boxes) {
+    ASSERT_TRUE(store.Insert("d", b).ok());
+    ASSERT_TRUE(store.Insert("plain", b).ok());
+  }
+
+  // All ten updates are still parked in shard deltas: estimates serve the
+  // (empty) master and no fold has happened.
+  const Box query = MakeInterval(0, 200);
+  auto stale = store.EstimateRangeCount("d", query);
+  ASSERT_TRUE(stale.ok());
+  EXPECT_EQ(*stale, 0.0);
+  EXPECT_EQ(store.stats().epoch_folds, 0u);
+
+  // The explicit epoch fence folds them; estimates then match the plain
+  // exclusive-lock path bit-for-bit.
+  ASSERT_TRUE(store.Fence("d").ok());
+  auto fresh = store.EstimateRangeCount("d", query);
+  auto expected = store.EstimateRangeCount("plain", query);
+  ASSERT_TRUE(fresh.ok() && expected.ok());
+  EXPECT_DOUBLE_EQ(*fresh, *expected);
+  EXPECT_GT(store.stats().epoch_folds, 0u);
+
+  // NumObjects/CounterSnapshot fence implicitly: park one more update and
+  // read through them without an explicit fence.
+  ASSERT_TRUE(store.Delete("d", boxes[0]).ok());
+  EXPECT_EQ(*store.NumObjects("d"),
+            static_cast<int64_t>(boxes.size()) - 1);
+
+  // Fencing an idle or un-sharded dataset is a cheap no-op, not an error.
+  ASSERT_TRUE(store.Fence("d").ok());
+  ASSERT_TRUE(store.Fence("plain").ok());
+  EXPECT_FALSE(store.Fence("missing").ok());
+}
+
+TEST(ShardedWriters, ConfigureValidatesArguments) {
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterSchema("s", SmallSchema(1)).ok());
+  ASSERT_TRUE(store.CreateDataset("d", "s", DatasetKind::kRange).ok());
+  ShardedWriterOptions opt;
+  opt.writers = 0;
+  EXPECT_FALSE(store.ConfigureShardedWriters("d", opt).ok());
+  opt.writers = 2;
+  opt.epoch_updates = 0;
+  EXPECT_FALSE(store.ConfigureShardedWriters("d", opt).ok());
+  opt.epoch_updates = 16;
+  EXPECT_FALSE(store.ConfigureShardedWriters("missing", opt).ok());
+  EXPECT_TRUE(store.ConfigureShardedWriters("d", opt).ok());
+}
+
+TEST(ShardedWriters, RestoreFencesPendingShardDeltas) {
+  // The satellite regression: a Restore must fold pending shard deltas
+  // BEFORE adopting the blob. If it did not, the parked updates would
+  // fold into the restored counters later and silently corrupt them —
+  // the phases below would read A+B or A+B+C instead of A and A+C.
+  const uint32_t dims = 1, h = 8;
+  const auto a = MakeBoxes(dims, h, 40, 1);
+  const auto b = MakeBoxes(dims, h, 30, 2);
+  const auto c = MakeBoxes(dims, h, 20, 3);
+
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterSchema("s", SmallSchema(dims, h)).ok());
+  ASSERT_TRUE(store.CreateDataset("d", "s", DatasetKind::kRange).ok());
+  ShardedWriterOptions opt;
+  opt.writers = 2;
+  opt.epoch_updates = 100000;  // folds only through fences
+  ASSERT_TRUE(store.ConfigureShardedWriters("d", opt).ok());
+
+  // Phase A, then snapshot: Snapshot fences internally, so the blob holds
+  // exactly A even though nothing folded on its own.
+  for (const Box& box : a) ASSERT_TRUE(store.Insert("d", box).ok());
+  auto blob = store.Snapshot("d");
+  ASSERT_TRUE(blob.ok());
+
+  // Phase B parks in the shards; restoring A must fence B away first.
+  for (const Box& box : b) ASSERT_TRUE(store.Insert("d", box).ok());
+  ASSERT_TRUE(store.Restore("d", *blob).ok());
+
+  auto schema = store.GetSchema("s");
+  ASSERT_TRUE(schema.ok());
+  const DatasetSketch ref_a = ScalarReference(*schema, dims, a, 0);
+  EXPECT_EQ(*store.CounterSnapshot("d"), ref_a.counters());
+  EXPECT_EQ(*store.NumObjects("d"), static_cast<int64_t>(a.size()));
+
+  // Post-restore updates accumulate on top of the restored state only.
+  for (const Box& box : c) ASSERT_TRUE(store.Insert("d", box).ok());
+  std::vector<Box> ac = a;
+  ac.insert(ac.end(), c.begin(), c.end());
+  const DatasetSketch ref_ac = ScalarReference(*schema, dims, ac, 0);
+  EXPECT_EQ(*store.CounterSnapshot("d"), ref_ac.counters());
+}
+
+TEST(ShardedWriters, SnapshotsInterleavedWithShardedWritersStayConsistent) {
+  // Writers stream through shards while a snapshot thread repeatedly
+  // Snapshot()s the live dataset and Restore()s into a replica: every
+  // blob must be a valid consistent cut, and once the dust settles the
+  // live counters must equal the sequential scalar reference and the
+  // final replica must equal the live dataset exactly.
+  const uint32_t dims = 2, h = 7;
+  const uint32_t kWriters = 4;
+  const auto boxes = MakeBoxes(dims, h, 800, 41);
+
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterSchema("s", SmallSchema(dims, h, 4, 3)).ok());
+  ASSERT_TRUE(store.CreateDataset("live", "s", DatasetKind::kRange).ok());
+  ASSERT_TRUE(store.CreateDataset("replica", "s", DatasetKind::kRange).ok());
+  ShardedWriterOptions opt;
+  opt.writers = kWriters;
+  opt.epoch_updates = 16;
+  ASSERT_TRUE(store.ConfigureShardedWriters("live", opt).ok());
+
+  std::atomic<bool> writers_done{false};
+  std::vector<std::thread> threads;
+  for (uint32_t w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (size_t i = w; i < boxes.size(); i += kWriters) {
+        ASSERT_TRUE(store.Insert("live", boxes[i]).ok());
+      }
+    });
+  }
+  std::thread snapshotter([&] {
+    uint64_t taken = 0;
+    while ((!writers_done.load(std::memory_order_acquire) || taken == 0) &&
+           taken < 50000) {
+      auto blob = store.Snapshot("live");
+      ASSERT_TRUE(blob.ok());
+      ASSERT_TRUE(store.Restore("replica", *blob).ok());
+      ++taken;
+    }
+  });
+  for (std::thread& t : threads) t.join();
+  writers_done.store(true, std::memory_order_release);
+  snapshotter.join();
+
+  auto schema = store.GetSchema("s");
+  ASSERT_TRUE(schema.ok());
+  const DatasetSketch ref = ScalarReference(*schema, dims, boxes, 0);
+  EXPECT_EQ(*store.CounterSnapshot("live"), ref.counters());
+  EXPECT_EQ(*store.NumObjects("live"), ref.num_objects());
+
+  auto final_blob = store.Snapshot("live");
+  ASSERT_TRUE(final_blob.ok());
+  ASSERT_TRUE(store.Restore("replica", *final_blob).ok());
+  EXPECT_EQ(*store.CounterSnapshot("replica"), *store.CounterSnapshot("live"));
+}
+
+TEST(ShardedWriters, EstimatesDuringShardedIngestStayFiniteAndConverge) {
+  // Readers estimating against the master while shards fold around them:
+  // every estimate must be finite (no torn counters), and after quiesce
+  // estimates equal a plain dataset's loaded with the same boxes.
+  const uint32_t dims = 2, h = 7;
+  const uint32_t kWriters = 2, kReaders = 2;
+  const auto boxes = MakeBoxes(dims, h, 600, 53);
+
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterSchema("s", SmallSchema(dims, h, 4, 3)).ok());
+  ASSERT_TRUE(store.CreateDataset("live", "s", DatasetKind::kRange).ok());
+  ASSERT_TRUE(store.CreateDataset("plain", "s", DatasetKind::kRange).ok());
+  ShardedWriterOptions opt;
+  opt.writers = kWriters;
+  opt.epoch_updates = 8;
+  ASSERT_TRUE(store.ConfigureShardedWriters("live", opt).ok());
+
+  std::atomic<bool> writers_done{false};
+  std::vector<std::thread> threads;
+  for (uint32_t w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (size_t i = w; i < boxes.size(); i += kWriters) {
+        ASSERT_TRUE(store.Insert("live", boxes[i]).ok());
+      }
+    });
+  }
+  std::vector<uint64_t> served(kReaders, 0);
+  for (uint32_t r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      Box q;
+      for (uint32_t d = 0; d < dims; ++d) {
+        q.lo[d] = 2;
+        q.hi[d] = 100;
+      }
+      while ((!writers_done.load(std::memory_order_acquire) ||
+              served[r] == 0) &&
+             served[r] < 50000) {
+        auto est = store.EstimateRangeCount("live", q);
+        ASSERT_TRUE(est.ok());
+        ASSERT_TRUE(std::isfinite(*est));
+        ++served[r];
+      }
+    });
+  }
+  for (uint32_t w = 0; w < kWriters; ++w) threads[w].join();
+  writers_done.store(true, std::memory_order_release);
+  for (uint32_t r = 0; r < kReaders; ++r) threads[kWriters + r].join();
+
+  ASSERT_TRUE(store.BulkLoad("plain", boxes).ok());
+  ASSERT_TRUE(store.Fence("live").ok());
+  EXPECT_EQ(*store.CounterSnapshot("live"), *store.CounterSnapshot("plain"));
+  Box q;
+  for (uint32_t d = 0; d < dims; ++d) {
+    q.lo[d] = 1;
+    q.hi[d] = 90;
+  }
+  auto live = store.EstimateRangeCount("live", q);
+  auto plain = store.EstimateRangeCount("plain", q);
+  ASSERT_TRUE(live.ok() && plain.ok());
+  EXPECT_DOUBLE_EQ(*live, *plain);
+}
+
+}  // namespace
+}  // namespace spatialsketch

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <string>
@@ -80,6 +81,64 @@ TEST(SketchStoreRegistry, SchemaAndDatasetLifecycle) {
   EXPECT_FALSE(store.EstimateRangeCount("missing", MakeInterval(1, 5)).ok());
   EXPECT_TRUE(store.GetSchema("s").ok());
   EXPECT_FALSE(store.GetSchema("missing").ok());
+}
+
+TEST(SketchStoreRegistry, ListDatasetsIsAConsistentSortedSnapshotUnderChurn) {
+  // Regression for the old header comment's "concurrent creates may
+  // race" caveat: the listing is copied out under the registry's shared
+  // lock and must therefore be a consistent snapshot — sorted, duplicate
+  // free, always containing the stable datasets, and never containing a
+  // name that was not registered at some point — while creator and
+  // dropper threads churn the registry.
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterSchema("s", SmallSchema(1)).ok());
+  const std::vector<std::string> stable = {"stable_a", "stable_b",
+                                           "stable_c"};
+  for (const auto& name : stable) {
+    ASSERT_TRUE(store.CreateDataset(name, "s", DatasetKind::kRange).ok());
+  }
+
+  constexpr uint32_t kChurners = 2;
+  constexpr uint32_t kRounds = 120;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  for (uint32_t t = 0; t < kChurners; ++t) {
+    threads.emplace_back([&, t] {
+      for (uint32_t i = 0; i < kRounds; ++i) {
+        const std::string name =
+            "churn_" + std::to_string(t) + "_" + std::to_string(i);
+        ASSERT_TRUE(store.CreateDataset(name, "s", DatasetKind::kRange).ok());
+        if (i % 2 == 0) {
+          ASSERT_TRUE(store.DropDataset(name).ok());
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    uint64_t listings = 0;
+    while ((!done.load(std::memory_order_acquire) || listings == 0) &&
+           listings < 50000) {
+      const auto names = store.ListDatasets();
+      ASSERT_TRUE(std::is_sorted(names.begin(), names.end()));
+      ASSERT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
+      for (const auto& name : stable) {
+        ASSERT_TRUE(std::binary_search(names.begin(), names.end(), name));
+      }
+      for (const auto& name : names) {
+        ASSERT_TRUE(name.rfind("stable_", 0) == 0 ||
+                    name.rfind("churn_", 0) == 0)
+            << "listed a name that was never registered: " << name;
+      }
+      ++listings;
+    }
+  });
+  for (uint32_t t = 0; t < kChurners; ++t) threads[t].join();
+  done.store(true, std::memory_order_release);
+  threads.back().join();
+
+  // Quiesced: exactly the stable datasets plus the odd-round churn names.
+  const auto names = store.ListDatasets();
+  EXPECT_EQ(names.size(), stable.size() + kChurners * kRounds / 2);
 }
 
 TEST(SketchStoreRegistry, ValidatesBoxesAndKinds) {
