@@ -1,13 +1,18 @@
-// Query-side throughput of the batched estimation engine: single-query
-// SketchStore::EstimateRangeCount (one lock acquisition per query) vs
-// EstimateRangeBatch (one lock per batch, fanned across the store's query
-// pool), plus single EstimateJoin vs EstimateJoinBatch of one R dataset
-// against a panel of S datasets. Batch results are checked exactly equal
-// to their sequential counterparts before any number is reported.
+// Query-side throughput of the serving layer, across its three surfaces:
+//  * string-keyed single queries (SketchStore::EstimateRangeCount — one
+//    registry lookup + one lock acquisition per query; since the typed-
+//    surface redesign this is a shim over Run),
+//  * handle single queries (DatasetHandle::EstimateRangeCount — the
+//    registry lookup is paid ONCE at OpenDataset; --handles mode),
+//  * batched serving: the legacy homogeneous batches (EstimateRangeBatch
+//    / EstimateJoinBatch) and the typed MIXED batch (SketchStore::Run
+//    over every QueryKind in one QueryBatch; --mixed mode).
+// Every mode's results are checked exactly equal to the per-query path
+// before any number is reported.
 //
 //   build/micro_query_throughput [--seconds=2] [--n=20000] [--dims=2]
 //       [--log2_domain=12] [--k1=16] [--k2=5] [--batch=256]
-//       [--s_datasets=8] [--json_out=<path>]
+//       [--s_datasets=8] [--handles=1] [--mixed=1] [--json_out=<path>]
 
 #include <cinttypes>
 #include <cstdio>
@@ -40,6 +45,21 @@ std::vector<Box> MakeQueries(uint32_t dims, uint32_t log2_domain, size_t count,
   return queries;
 }
 
+std::vector<Box> MakeBenchPoints(uint32_t dims, uint32_t log2_domain,
+                                 size_t count, uint64_t seed) {
+  Rng rng(seed);
+  const Coord domain = Coord{1} << log2_domain;
+  std::vector<Box> points(count);
+  for (Box& p : points) {
+    for (uint32_t d = 0; d < dims; ++d) {
+      const Coord c = rng.Uniform(domain);
+      p.lo[d] = c;
+      p.hi[d] = c;
+    }
+  }
+  return points;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -52,6 +72,12 @@ int main(int argc, char** argv) {
   const size_t batch = static_cast<size_t>(flags.GetInt("batch", 256));
   const uint32_t s_count =
       static_cast<uint32_t>(flags.GetInt("s_datasets", 8));
+  const bool run_handles = flags.GetInt("handles", 1) != 0;
+  const bool run_mixed = flags.GetInt("mixed", 1) != 0;
+  const Coord eps = static_cast<Coord>(flags.GetInt(
+      "eps", static_cast<int64_t>(1 + ((Coord{1} << log2_domain) >> 7))));
+  // The containment kinds lift to 2*dims sketch dimensions.
+  const bool have_containment = 2 * dims <= kMaxDims;
 
   StoreSchemaOptions schema;
   schema.dims = dims;
@@ -70,6 +96,21 @@ int main(int argc, char** argv) {
     SKETCH_CHECK(
         store.CreateDataset(s_names.back(), "bench", DatasetKind::kJoinS).ok());
   }
+  SKETCH_CHECK(
+      store.CreateDataset("pts", "bench", DatasetKind::kEpsPoints).ok());
+  DatasetOptions eps_opt;
+  eps_opt.eps = eps;
+  SKETCH_CHECK(
+      store.CreateDataset("eps", "bench", DatasetKind::kEpsBoxes, eps_opt)
+          .ok());
+  if (have_containment) {
+    SKETCH_CHECK(
+        store.CreateDataset("inner", "bench", DatasetKind::kContainInner)
+            .ok());
+    SKETCH_CHECK(
+        store.CreateDataset("outer", "bench", DatasetKind::kContainOuter)
+            .ok());
+  }
 
   SyntheticBoxOptions gen;
   gen.dims = dims;
@@ -85,16 +126,53 @@ int main(int argc, char** argv) {
     SKETCH_CHECK(
         store.ParallelBulkLoad(s_names[s], GenerateSyntheticBoxes(gen), 4).ok());
   }
+  SKETCH_CHECK(
+      store
+          .BulkLoad("pts", MakeBenchPoints(dims, log2_domain, n / 4, 31))
+          .ok());
+  SKETCH_CHECK(
+      store
+          .BulkLoad("eps", MakeBenchPoints(dims, log2_domain, n / 4, 32))
+          .ok());
+  if (have_containment) {
+    gen.seed = 33;
+    gen.count = n / 4;
+    SKETCH_CHECK(store.BulkLoad("inner", GenerateSyntheticBoxes(gen)).ok());
+    gen.seed = 34;
+    SKETCH_CHECK(store.BulkLoad("outer", GenerateSyntheticBoxes(gen)).ok());
+  }
 
   const std::vector<Box> queries = MakeQueries(dims, log2_domain, batch, 900);
 
-  // Equivalence gate: one batch must match the per-query path exactly.
+  // The typed mixed batch: range counts and selectivities over the query
+  // set, the join panel, and one spec of each whole-synopsis family.
+  auto handle = store.OpenDataset("range");
+  SKETCH_CHECK(handle.ok());
+  QueryBatch mixed;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    mixed.Add(i % 4 == 3
+                  ? QuerySpec::RangeSelectivity("range", queries[i])
+                  : QuerySpec::RangeCount("range", queries[i]));
+  }
+  for (const std::string& s : s_names) {
+    mixed.Add(QuerySpec::JoinCardinality("r", s));
+  }
+  mixed.Add(QuerySpec::SelfJoinSize("r"));
+  mixed.Add(QuerySpec::EpsJoin("pts", "eps", eps));
+  if (have_containment) {
+    mixed.Add(QuerySpec::ContainmentJoin("inner", "outer"));
+  }
+
+  // Equivalence gate: every serving surface must match the per-query
+  // path exactly.
   {
     auto batched = store.EstimateRangeBatch("range", queries);
     SKETCH_CHECK(batched.ok());
     for (size_t i = 0; i < queries.size(); ++i) {
       auto single = store.EstimateRangeCount("range", queries[i]);
       SKETCH_CHECK(single.ok() && *single == (*batched)[i]);
+      auto via_handle = handle->EstimateRangeCount(queries[i]);
+      SKETCH_CHECK(via_handle.ok() && *via_handle == (*batched)[i]);
     }
     auto jbatch = store.EstimateJoinBatch("r", s_names);
     SKETCH_CHECK(jbatch.ok());
@@ -102,9 +180,25 @@ int main(int argc, char** argv) {
       auto single = store.EstimateJoin("r", s_names[s]);
       SKETCH_CHECK(single.ok() && *single == (*jbatch)[s]);
     }
+    auto run = store.Run(mixed);
+    SKETCH_CHECK(run.ok());
+    for (size_t i = 0; i < mixed.size(); ++i) {
+      SKETCH_CHECK((*run)[i].ok());
+    }
+    for (size_t i = 0; i < queries.size(); ++i) {
+      if (mixed.specs[i].kind == QueryKind::kRangeCount) {
+        SKETCH_CHECK((*run)[i].value == (*batched)[i]);
+      } else {
+        auto sel = store.EstimateRangeSelectivity("range", queries[i]);
+        SKETCH_CHECK(sel.ok() && *sel == (*run)[i].value);
+      }
+    }
+    for (uint32_t s = 0; s < s_count; ++s) {
+      SKETCH_CHECK((*run)[queries.size() + s].value == (*jbatch)[s]);
+    }
   }
 
-  // Single-query loop.
+  // Single-query loop, string-keyed (registry lookup per call).
   Stopwatch timer;
   uint64_t single_queries = 0;
   while (timer.Seconds() < seconds) {
@@ -116,6 +210,22 @@ int main(int argc, char** argv) {
   }
   const double single_secs = timer.Seconds();
 
+  // Single-query loop through the resolved handle (--handles mode): the
+  // same estimates with the registry lookup + lock hoisted out.
+  double handle_secs = 0.0;
+  uint64_t handle_queries = 0;
+  if (run_handles) {
+    timer.Restart();
+    while (timer.Seconds() < seconds) {
+      for (const Box& q : queries) {
+        auto est = handle->EstimateRangeCount(q);
+        SKETCH_CHECK(est.ok());
+        ++handle_queries;
+      }
+    }
+    handle_secs = timer.Seconds();
+  }
+
   // Batched loop (same query set, one lock + pool fan-out per batch).
   timer.Restart();
   uint64_t batch_queries = 0;
@@ -125,6 +235,19 @@ int main(int argc, char** argv) {
     batch_queries += queries.size();
   }
   const double batch_secs = timer.Seconds();
+
+  // Typed mixed batch (--mixed mode): every QueryKind through one Run.
+  double mixed_secs = 0.0;
+  uint64_t mixed_queries = 0;
+  if (run_mixed) {
+    timer.Restart();
+    while (timer.Seconds() < seconds / 2) {
+      auto run = store.Run(mixed);
+      SKETCH_CHECK(run.ok());
+      mixed_queries += mixed.size();
+    }
+    mixed_secs = timer.Seconds();
+  }
 
   // Joins: single pairs vs one batch across the S panel.
   timer.Restart();
@@ -146,20 +269,31 @@ int main(int argc, char** argv) {
   const double batch_join_secs = timer.Seconds();
 
   const double single_rate = single_queries / single_secs;
+  const double handle_rate =
+      run_handles ? handle_queries / handle_secs : 0.0;
   const double batch_rate = batch_queries / batch_secs;
+  const double mixed_rate = run_mixed ? mixed_queries / mixed_secs : 0.0;
   const double single_join_rate = single_joins / single_join_secs;
   const double batch_join_rate = batch_joins / batch_join_secs;
 
   std::printf("query throughput: dims=%u domain=2^%u n=%" PRIu64
-              " k1=%u k2=%u batch=%zu\n",
-              dims, log2_domain, n, schema.k1, schema.k2, batch);
-  std::printf("  range single         : %.0f queries/sec\n", single_rate);
+              " k1=%u k2=%u batch=%zu mixed_batch=%zu\n",
+              dims, log2_domain, n, schema.k1, schema.k2, batch,
+              mixed.size());
+  std::printf("  range single (string): %.0f queries/sec\n", single_rate);
+  if (run_handles) {
+    std::printf("  range single (handle): %.0f queries/sec (%.2fx)\n",
+                handle_rate, handle_rate / single_rate);
+  }
   std::printf("  range batched        : %.0f queries/sec (%.2fx)\n",
               batch_rate, batch_rate / single_rate);
+  if (run_mixed) {
+    std::printf("  mixed Run batch      : %.0f queries/sec\n", mixed_rate);
+  }
   std::printf("  join single          : %.0f joins/sec\n", single_join_rate);
   std::printf("  join batched         : %.0f joins/sec (%.2fx)\n",
               batch_join_rate, batch_join_rate / single_join_rate);
-  std::printf("  batch vs sequential  : exactly equal\n");
+  std::printf("  all surfaces vs sequential: exactly equal\n");
 
   bench::BenchResult result;
   result.name = "query_throughput";
@@ -170,13 +304,23 @@ int main(int argc, char** argv) {
   result.Param("k2", static_cast<int64_t>(schema.k2));
   result.Param("batch", static_cast<int64_t>(batch));
   result.Param("s_datasets", static_cast<int64_t>(s_count));
+  result.Param("mixed_batch", static_cast<int64_t>(mixed.size()));
+  result.Param("eps", static_cast<int64_t>(eps));
   result.Metric("queries_per_sec_single", single_rate);
+  if (run_handles) {
+    result.Metric("queries_per_sec_handle", handle_rate);
+    result.Metric("handle_speedup", handle_rate / single_rate);
+  }
   result.Metric("queries_per_sec_batched", batch_rate);
   result.Metric("batch_speedup", batch_rate / single_rate);
+  if (run_mixed) {
+    result.Metric("mixed_queries_per_sec", mixed_rate);
+  }
   result.Metric("joins_per_sec_single", single_join_rate);
   result.Metric("joins_per_sec_batched", batch_join_rate);
-  result.Metric("wall_seconds",
-                single_secs + batch_secs + single_join_secs + batch_join_secs);
+  result.Metric("wall_seconds", single_secs + handle_secs + batch_secs +
+                                    mixed_secs + single_join_secs +
+                                    batch_join_secs);
   const Status st = bench::MaybeWriteBenchJson(flags, {result});
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());

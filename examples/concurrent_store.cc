@@ -1,14 +1,22 @@
-// Concurrent serving with SketchStore: one store, several named datasets
-// under shared schemas, readers estimating while writers stream updates.
+// Concurrent serving with SketchStore's typed query surface: dataset
+// handles for the write hot path, one polymorphic Run(QueryBatch) for
+// every estimator family the paper ships.
 //
 //   build/example_concurrent_store [--n=20000] [--readers=4]
 //
 // The walk-through mirrors how a DBMS catalog would host these synopses:
-//   1. register a schema (the shared xi-family configuration),
-//   2. create datasets under it and bulk-load them in parallel shards,
-//   3. serve range and join estimates from reader threads while a writer
-//      keeps streaming inserts/deletes,
-//   4. snapshot a live dataset and restore it into a replica, which stays
+//   1. register a schema (the shared xi-family configuration) and create
+//      datasets of every kind under it — range, spatial-join pair,
+//      eps-join pair, containment pair,
+//   2. bulk-load them in parallel shards,
+//   3. OpenDataset once per hot dataset; a writer streams inserts and
+//      deletes through its handle (no registry lookup per update) while
+//      reader threads serve heterogeneous QueryBatches — range count +
+//      selectivity, spatial join, self-join size, eps join, containment
+//      join — each batch answered against one consistent counter state,
+//   4. demonstrate per-query failure isolation (one bad spec in a batch
+//      fails alone; its batch-mates are served),
+//   5. snapshot a live dataset and restore it into a replica, which stays
 //      joinable because it keeps the shared schema instance.
 
 #include <atomic>
@@ -25,6 +33,25 @@
 
 using namespace spatialsketch;  // NOLINT: example brevity
 
+namespace {
+
+std::vector<Box> MakeDemoPoints(uint32_t log2_domain, size_t count,
+                                uint64_t seed) {
+  Rng rng(seed);
+  const Coord domain = Coord{1} << log2_domain;
+  std::vector<Box> points(count);
+  for (Box& p : points) {
+    for (uint32_t d = 0; d < 2; ++d) {
+      const Coord c = rng.Uniform(domain);
+      p.lo[d] = c;
+      p.hi[d] = c;
+    }
+  }
+  return points;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   auto flags = Flags::Parse(argc, argv);
   if (!flags.ok()) {
@@ -34,9 +61,12 @@ int main(int argc, char** argv) {
   const uint64_t n = flags->GetInt("n", 20000);
   const uint32_t readers =
       static_cast<uint32_t>(flags->GetInt("readers", 4));
+  const Coord eps = 48;
 
   // 1. Schemas are the unit of compatibility: datasets created under the
-  //    same schema name share one instance and can be joined or merged.
+  //    same schema name (and the same variant — see DatasetKind) share
+  //    one instance and can be joined or merged. One registration serves
+  //    every estimator family.
   SketchStore store;
   StoreSchemaOptions range_schema;
   range_schema.dims = 2;
@@ -52,7 +82,7 @@ int main(int argc, char** argv) {
   SKETCH_CHECK(store.RegisterSchema("coverage", range_schema).ok());
 
   StoreSchemaOptions join_schema = range_schema;
-  join_schema.k1 = 128;  // the join pair gets a smaller space budget
+  join_schema.k1 = 128;  // the join pairs get a smaller space budget
   SKETCH_CHECK(store.RegisterSchema("city", join_schema).ok());
 
   SKETCH_CHECK(
@@ -60,6 +90,17 @@ int main(int argc, char** argv) {
   SKETCH_CHECK(
       store.CreateDataset("parcels", "city", DatasetKind::kJoinR).ok());
   SKETCH_CHECK(store.CreateDataset("roads", "city", DatasetKind::kJoinS).ok());
+  SKETCH_CHECK(
+      store.CreateDataset("sensors", "city", DatasetKind::kEpsPoints).ok());
+  DatasetOptions eps_opt;
+  eps_opt.eps = eps;  // baked into ingest: B-points become eps-squares
+  SKETCH_CHECK(
+      store.CreateDataset("chargers", "city", DatasetKind::kEpsBoxes, eps_opt)
+          .ok());
+  SKETCH_CHECK(
+      store.CreateDataset("rooms", "city", DatasetKind::kContainInner).ok());
+  SKETCH_CHECK(
+      store.CreateDataset("floors", "city", DatasetKind::kContainOuter).ok());
 
   // 2. Parallel sharded bulk load: bit-identical to sequential ingest
   //    because the synopsis is linear.
@@ -77,21 +118,35 @@ int main(int argc, char** argv) {
   SKETCH_CHECK(store.ParallelBulkLoad("buildings", buildings, 4).ok());
   SKETCH_CHECK(store.ParallelBulkLoad("parcels", parcels, 4).ok());
   SKETCH_CHECK(store.ParallelBulkLoad("roads", roads, 4).ok());
+  SKETCH_CHECK(
+      store.BulkLoad("sensors", MakeDemoPoints(12, n / 4, 4)).ok());
+  SKETCH_CHECK(
+      store.BulkLoad("chargers", MakeDemoPoints(12, n / 4, 5)).ok());
+  gen.zipf_z = 0.0;
+  gen.count = n / 4;
+  gen.seed = 6;
+  SKETCH_CHECK(store.BulkLoad("rooms", GenerateSyntheticBoxes(gen)).ok());
+  gen.seed = 7;
+  SKETCH_CHECK(store.BulkLoad("floors", GenerateSyntheticBoxes(gen)).ok());
 
-  // 3. Serve estimates from `readers` threads while a writer keeps
-  //    streaming updates into `buildings`.
+  // 3. Resolve the hot dataset ONCE; stream updates through the handle
+  //    (no per-update registry lookup) while readers serve heterogeneous
+  //    batches through Run — every estimator family in one round trip,
+  //    all answers of a batch cut from one consistent counter state.
+  auto buildings_handle = store.OpenDataset("buildings");
+  SKETCH_CHECK(buildings_handle.ok());
+
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> served{0};
   std::thread writer([&] {
     gen.seed = 99;
     gen.count = 4096;
-    gen.zipf_z = 0.0;
     const std::vector<Box> stream = GenerateSyntheticBoxes(gen);
     size_t i = 0;
     while (!stop.load(std::memory_order_relaxed)) {
       const Box& b = stream[i % stream.size()];
-      SKETCH_CHECK(store.Insert("buildings", b).ok());
-      SKETCH_CHECK(store.Delete("buildings", b).ok());  // net zero
+      SKETCH_CHECK(buildings_handle->Insert(b).ok());
+      SKETCH_CHECK(buildings_handle->Delete(b).ok());  // net zero
       ++i;
     }
   });
@@ -99,16 +154,22 @@ int main(int argc, char** argv) {
   for (uint32_t r = 0; r < readers; ++r) {
     pool.emplace_back([&, r] {
       Rng rng(500 + r);
-      for (int q = 0; q < 200; ++q) {
+      for (int q = 0; q < 100; ++q) {
         const Coord side = 64 + rng.Uniform(1 << 10);
         const Coord lx = rng.Uniform((1 << 12) - side);
         const Coord ly = rng.Uniform((1 << 12) - side);
-        auto sel = store.EstimateRangeSelectivity(
-            "buildings", MakeRect(lx, lx + side, ly, ly + side));
-        SKETCH_CHECK(sel.ok());
-        auto join = store.EstimateJoin("parcels", "roads");
-        SKETCH_CHECK(join.ok());
-        served.fetch_add(2, std::memory_order_relaxed);
+        const Box window = MakeRect(lx, lx + side, ly, ly + side);
+        QueryBatch batch;
+        batch.Add(QuerySpec::RangeCount(*buildings_handle, window));
+        batch.Add(QuerySpec::RangeSelectivity(*buildings_handle, window));
+        batch.Add(QuerySpec::JoinCardinality("parcels", "roads"));
+        batch.Add(QuerySpec::SelfJoinSize("parcels"));
+        batch.Add(QuerySpec::EpsJoin("sensors", "chargers", eps));
+        batch.Add(QuerySpec::ContainmentJoin("rooms", "floors"));
+        auto results = store.Run(batch);
+        SKETCH_CHECK(results.ok());
+        for (const QueryResult& res : *results) SKETCH_CHECK(res.ok());
+        served.fetch_add(results->size(), std::memory_order_relaxed);
       }
     });
   }
@@ -116,16 +177,24 @@ int main(int argc, char** argv) {
   stop.store(true, std::memory_order_relaxed);
   writer.join();
 
+  // 4. Per-query failure isolation: the eps mismatch fails alone — its
+  //    batch-mates are served normally.
+  QueryBatch mixed;
   // A large window: probabilistic range estimates are sharp when the true
   // answer is large relative to the variance (abl_range_query.cc); tiny
   // windows are noise-dominated for any sketch- or sample-based summary.
   const Box window = MakeRect(256, 3300, 512, 3800);
-  auto count = store.EstimateRangeCount("buildings", window);
-  auto join = store.EstimateJoin("parcels", "roads");
-  SKETCH_CHECK(count.ok() && join.ok());
+  mixed.Add(QuerySpec::RangeCount(*buildings_handle, window));
+  mixed.Add(QuerySpec::EpsJoin("sensors", "chargers", eps + 1));  // wrong eps
+  mixed.Add(QuerySpec::JoinCardinality("parcels", "roads"));
+  mixed.Add(QuerySpec::EpsJoin("sensors", "chargers", eps));
+  auto results = store.Run(mixed);
+  SKETCH_CHECK(results.ok());
+  SKETCH_CHECK((*results)[0].ok() && (*results)[2].ok() && (*results)[3].ok());
+  SKETCH_CHECK(!(*results)[1].ok());  // isolated failure
   const uint64_t exact = ExactRangeCount(buildings, window, 2);
 
-  // 4. Snapshot -> restore into a replica under the SAME schema; the
+  // 5. Snapshot -> restore into a replica under the SAME schema; the
   //    replica serves identical estimates (counters are bit-identical).
   auto blob = store.Snapshot("buildings");
   SKETCH_CHECK(blob.ok());
@@ -137,22 +206,31 @@ int main(int argc, char** argv) {
   SKETCH_CHECK(replica_count.ok());
 
   const StoreStats stats = store.stats();
-  std::printf("concurrent store demo (n=%" PRIu64 ", readers=%u)\n", n,
+  std::printf("typed-surface store demo (n=%" PRIu64 ", readers=%u)\n", n,
               readers);
   std::printf("  estimates served concurrently : %" PRIu64 "\n",
               served.load());
-  std::printf("  |buildings in window| estimate: %.0f (exact %llu)\n", *count,
-              static_cast<unsigned long long>(exact));
+  std::printf("  |buildings in window| estimate: %.0f (exact %llu)\n",
+              (*results)[0].value, static_cast<unsigned long long>(exact));
   std::printf("  replica estimate (restored)   : %.0f (identical: %s)\n",
-              *replica_count, *replica_count == *count ? "yes" : "NO");
-  std::printf("  |parcels >< roads| estimate   : %.0f\n", *join);
+              *replica_count,
+              *replica_count == (*results)[0].value ? "yes" : "NO");
+  std::printf("  |parcels >< roads| estimate   : %.0f\n",
+              (*results)[2].value);
+  std::printf("  |sensors ~eps~ chargers| est  : %.0f (eps=%llu)\n",
+              (*results)[3].value, static_cast<unsigned long long>(eps));
+  std::printf("  eps-mismatch spec             : %s\n",
+              (*results)[1].status.ToString().c_str());
   std::printf("  snapshot blob size            : %zu bytes\n", blob->size());
   std::printf("  stats: %" PRIu64 " inserts, %" PRIu64 " deletes, %" PRIu64
-              " bulk boxes, %" PRIu64 " range + %" PRIu64
-              " join estimates, %" PRIu64 " snapshots, %" PRIu64
-              " restores\n",
+              " bulk boxes, %" PRIu64 " range + %" PRIu64 " join + %" PRIu64
+              " self-join + %" PRIu64 " eps + %" PRIu64
+              " containment estimates, %" PRIu64 " batches, %" PRIu64
+              " handles, %" PRIu64 " snapshots, %" PRIu64 " restores\n",
               stats.inserts, stats.deletes, stats.bulk_boxes,
-              stats.range_estimates, stats.join_estimates, stats.snapshots,
-              stats.restores);
+              stats.range_estimates, stats.join_estimates,
+              stats.self_join_estimates, stats.eps_join_estimates,
+              stats.containment_estimates, stats.query_batches,
+              stats.handles_opened, stats.snapshots, stats.restores);
   return 0;
 }

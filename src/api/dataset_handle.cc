@@ -1,0 +1,77 @@
+#include "src/api/dataset_handle.h"
+
+#include "src/store/dataset_state.h"
+#include "src/store/sketch_store.h"
+
+namespace spatialsketch {
+
+namespace {
+
+Status InvalidHandle() {
+  return Status::FailedPrecondition(
+      "operation on a default-constructed (unbound) DatasetHandle");
+}
+
+}  // namespace
+
+bool DatasetHandle::live() const {
+  return valid() && !state_->dropped.load(std::memory_order_acquire);
+}
+
+const std::string& DatasetHandle::name() const {
+  SKETCH_CHECK(valid());
+  return state_->name;
+}
+
+DatasetKind DatasetHandle::kind() const {
+  SKETCH_CHECK(valid());
+  return state_->kind;
+}
+
+uint64_t DatasetHandle::generation() const {
+  SKETCH_CHECK(valid());
+  return state_->generation;
+}
+
+Status DatasetHandle::Insert(const Box& box) const {
+  if (!valid()) return InvalidHandle();
+  SKETCH_RETURN_NOT_OK(SketchStore::CheckLive(*state_));
+  return store_->ApplyStreamingTo(*state_, box, +1);
+}
+
+Status DatasetHandle::Delete(const Box& box) const {
+  if (!valid()) return InvalidHandle();
+  SKETCH_RETURN_NOT_OK(SketchStore::CheckLive(*state_));
+  return store_->ApplyStreamingTo(*state_, box, -1);
+}
+
+Result<double> DatasetHandle::EstimateRangeCount(const Box& query) const {
+  if (!valid()) return InvalidHandle();
+  Status live = SketchStore::CheckLive(*state_);
+  if (!live.ok()) return live;
+  return store_->RangeCountOn(*state_, query, /*selectivity=*/false);
+}
+
+Result<double> DatasetHandle::EstimateRangeSelectivity(
+    const Box& query) const {
+  if (!valid()) return InvalidHandle();
+  Status live = SketchStore::CheckLive(*state_);
+  if (!live.ok()) return live;
+  return store_->RangeCountOn(*state_, query, /*selectivity=*/true);
+}
+
+Result<int64_t> DatasetHandle::NumObjects() const {
+  if (!valid()) return InvalidHandle();
+  Status live = SketchStore::CheckLive(*state_);
+  if (!live.ok()) return live;
+  return store_->NumObjectsOn(*state_);
+}
+
+Status DatasetHandle::Fence() const {
+  if (!valid()) return InvalidHandle();
+  SKETCH_RETURN_NOT_OK(SketchStore::CheckLive(*state_));
+  store_->FenceDataset(*state_);
+  return Status::OK();
+}
+
+}  // namespace spatialsketch

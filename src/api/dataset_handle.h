@@ -1,0 +1,123 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// DatasetHandle: a resolved, drop-invalidated, generation-tagged
+// reference to one store dataset — the hot-path half of the typed
+// serving API (src/api/).
+//
+// SketchStore::OpenDataset(name) pays the registry map lookup + registry
+// lock ONCE and returns a handle that pins the dataset's state directly;
+// every subsequent Insert/Delete/estimate through the handle goes
+// straight to the dataset's own FairSharedMutex with no registry
+// involvement. Handles are cheap to copy (two pointers) and safe to use
+// from any number of threads concurrently — each operation carries its
+// own locking, exactly like the string-keyed store entry points.
+//
+// Invalidation: DropDataset (and the store's destructor) marks the
+// underlying state dropped, and every handle operation checks that flag
+// first — so stale handles fail fast with FailedPrecondition instead of
+// touching freed state (the handle's shared_ptr keeps the memory alive).
+// Re-creating a dataset under the same name yields a NEW state with a
+// new generation number — stale handles keep failing, and generation()
+// is the tag that tells the re-creation apart from the dataset the
+// handle was opened against. Open a fresh handle to serve the re-created
+// dataset.
+
+#ifndef SPATIALSKETCH_API_DATASET_HANDLE_H_
+#define SPATIALSKETCH_API_DATASET_HANDLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/geom/box.h"
+#include "src/store/store_types.h"
+
+namespace spatialsketch {
+
+class SketchStore;
+/// Serving-layer internals (src/store/dataset_state.h); never user-facing.
+namespace internal {
+/// The resolved per-dataset state a handle pins (defined in
+/// src/store/dataset_state.h).
+struct DatasetState;
+}  // namespace internal
+
+/// A resolved reference to one store dataset (see the file comment for
+/// the lookup-skipping and invalidation semantics). All operations are
+/// thread-safe with the same locking discipline as the equivalent
+/// string-keyed SketchStore entry point; a default-constructed handle
+/// fails every operation with FailedPrecondition.
+class DatasetHandle {
+ public:
+  /// An empty handle bound to nothing; every operation fails until the
+  /// handle is assigned from SketchStore::OpenDataset.
+  DatasetHandle() = default;
+
+  /// True iff the handle was obtained from OpenDataset (it references a
+  /// dataset state, though that dataset may since have been dropped).
+  bool valid() const { return state_ != nullptr; }
+
+  /// True iff the handle is valid AND its dataset has not been dropped.
+  /// One relaxed-cost atomic load; a true result can race a concurrent
+  /// DropDataset, so operations re-check internally. Thread-safe.
+  bool live() const;
+
+  /// The dataset's registry name at creation time. Requires valid().
+  const std::string& name() const;
+
+  /// The dataset's kind (shape + ingest mapping). Requires valid().
+  DatasetKind kind() const;
+
+  /// The store-wide creation sequence number of the referenced dataset;
+  /// distinguishes a re-created same-name dataset from the one this
+  /// handle was opened against. Requires valid().
+  uint64_t generation() const;
+
+  /// Streaming single-object insert in ORIGINAL coordinates — the handle
+  /// twin of SketchStore::Insert (same validation, kind-specific ingest
+  /// mapping, sharded-writer routing, and stats accounting), minus the
+  /// registry lookup. Locking: the dataset's exclusive lock, or only the
+  /// calling thread's shard mutex when sharded writers are configured.
+  /// Thread-safe.
+  Status Insert(const Box& box) const;
+  /// Streaming removal; the linear-synopsis mirror of Insert (same
+  /// contract). Thread-safe.
+  Status Delete(const Box& box) const;
+
+  /// Range-count estimate on a kRange dataset (query in ORIGINAL
+  /// coordinates, non-degenerate per dimension) — the handle twin of
+  /// SketchStore::EstimateRangeCount, bit-identical values. Takes the
+  /// dataset's shared lock; thread-safe.
+  Result<double> EstimateRangeCount(const Box& query) const;
+  /// Selectivity (count / object total) under ONE shared-lock
+  /// acquisition, so the ratio is a consistent cut even while writers
+  /// stream — the handle twin of SketchStore::EstimateRangeSelectivity.
+  /// Thread-safe.
+  Result<double> EstimateRangeSelectivity(const Box& query) const;
+
+  /// Net object count (inserts minus deletes). Fences pending
+  /// writer-shard deltas first, then reads under the dataset's shared
+  /// lock. Thread-safe.
+  Result<int64_t> NumObjects() const;
+
+  /// Epoch fence: fold every pending writer-shard delta so subsequent
+  /// estimates reflect every update that returned before this call (one
+  /// relaxed atomic load when nothing is pending). Thread-safe.
+  Status Fence() const;
+
+ private:
+  /// Only the store mints handles (OpenDataset) and reads their state
+  /// (Run's spec resolution).
+  friend class SketchStore;
+  DatasetHandle(SketchStore* store,
+                std::shared_ptr<internal::DatasetState> state)
+      : store_(store), state_(std::move(state)) {}
+
+  SketchStore* store_ = nullptr;
+  std::shared_ptr<internal::DatasetState> state_;
+};
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_API_DATASET_HANDLE_H_

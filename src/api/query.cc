@@ -1,0 +1,129 @@
+#include "src/api/query.h"
+
+namespace spatialsketch {
+
+const char* QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kRangeCount:
+      return "RangeCount";
+    case QueryKind::kRangeSelectivity:
+      return "RangeSelectivity";
+    case QueryKind::kSelfJoinSize:
+      return "SelfJoinSize";
+    case QueryKind::kJoinCardinality:
+      return "JoinCardinality";
+    case QueryKind::kEpsJoin:
+      return "EpsJoin";
+    case QueryKind::kContainmentJoin:
+      return "ContainmentJoin";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+QuerySpec OneDataset(QueryKind kind, std::string dataset) {
+  QuerySpec spec;
+  spec.kind = kind;
+  spec.dataset = std::move(dataset);
+  return spec;
+}
+
+QuerySpec OneDataset(QueryKind kind, DatasetHandle handle) {
+  QuerySpec spec;
+  spec.kind = kind;
+  spec.handle = std::move(handle);
+  return spec;
+}
+
+QuerySpec TwoDatasets(QueryKind kind, std::string a, std::string b) {
+  QuerySpec spec;
+  spec.kind = kind;
+  spec.dataset = std::move(a);
+  spec.dataset2 = std::move(b);
+  return spec;
+}
+
+QuerySpec TwoDatasets(QueryKind kind, DatasetHandle a, DatasetHandle b) {
+  QuerySpec spec;
+  spec.kind = kind;
+  spec.handle = std::move(a);
+  spec.handle2 = std::move(b);
+  return spec;
+}
+
+}  // namespace
+
+QuerySpec QuerySpec::RangeCount(std::string dataset, const Box& query) {
+  QuerySpec spec = OneDataset(QueryKind::kRangeCount, std::move(dataset));
+  spec.query = query;
+  return spec;
+}
+
+QuerySpec QuerySpec::RangeCount(DatasetHandle handle, const Box& query) {
+  QuerySpec spec = OneDataset(QueryKind::kRangeCount, std::move(handle));
+  spec.query = query;
+  return spec;
+}
+
+QuerySpec QuerySpec::RangeSelectivity(std::string dataset, const Box& query) {
+  QuerySpec spec = OneDataset(QueryKind::kRangeSelectivity, std::move(dataset));
+  spec.query = query;
+  return spec;
+}
+
+QuerySpec QuerySpec::RangeSelectivity(DatasetHandle handle, const Box& query) {
+  QuerySpec spec = OneDataset(QueryKind::kRangeSelectivity, std::move(handle));
+  spec.query = query;
+  return spec;
+}
+
+QuerySpec QuerySpec::SelfJoinSize(std::string dataset) {
+  return OneDataset(QueryKind::kSelfJoinSize, std::move(dataset));
+}
+
+QuerySpec QuerySpec::SelfJoinSize(DatasetHandle handle) {
+  return OneDataset(QueryKind::kSelfJoinSize, std::move(handle));
+}
+
+QuerySpec QuerySpec::JoinCardinality(std::string r_dataset,
+                                     std::string s_dataset) {
+  return TwoDatasets(QueryKind::kJoinCardinality, std::move(r_dataset),
+                     std::move(s_dataset));
+}
+
+QuerySpec QuerySpec::JoinCardinality(DatasetHandle r_handle,
+                                     DatasetHandle s_handle) {
+  return TwoDatasets(QueryKind::kJoinCardinality, std::move(r_handle),
+                     std::move(s_handle));
+}
+
+QuerySpec QuerySpec::EpsJoin(std::string points_dataset,
+                             std::string boxes_dataset, Coord eps) {
+  QuerySpec spec = TwoDatasets(QueryKind::kEpsJoin, std::move(points_dataset),
+                               std::move(boxes_dataset));
+  spec.eps = eps;
+  return spec;
+}
+
+QuerySpec QuerySpec::EpsJoin(DatasetHandle points_handle,
+                             DatasetHandle boxes_handle, Coord eps) {
+  QuerySpec spec = TwoDatasets(QueryKind::kEpsJoin, std::move(points_handle),
+                               std::move(boxes_handle));
+  spec.eps = eps;
+  return spec;
+}
+
+QuerySpec QuerySpec::ContainmentJoin(std::string inner_dataset,
+                                     std::string outer_dataset) {
+  return TwoDatasets(QueryKind::kContainmentJoin, std::move(inner_dataset),
+                     std::move(outer_dataset));
+}
+
+QuerySpec QuerySpec::ContainmentJoin(DatasetHandle inner_handle,
+                                     DatasetHandle outer_handle) {
+  return TwoDatasets(QueryKind::kContainmentJoin, std::move(inner_handle),
+                     std::move(outer_handle));
+}
+
+}  // namespace spatialsketch

@@ -1,0 +1,172 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// The typed polymorphic query surface of the serving layer (src/api/).
+//
+// One QuerySpec describes one estimate of any supported family — range
+// count/selectivity, self-join size, spatial join, eps-distance join,
+// containment join — against datasets named by string or by resolved
+// DatasetHandle. A QueryBatch of heterogeneous specs executes through
+// SketchStore::Run, which resolves every name once, takes each involved
+// dataset's FairSharedMutex exactly once (in address order) so all
+// answers come from one consistent counter state, fans the work across
+// the store's query pool, and isolates failures PER QUERY: a bad spec
+// yields an error QueryResult in its slot while every other spec is
+// served normally.
+//
+// The legacy string-keyed estimate entry points on SketchStore are thin
+// shims over this surface and return bit-identical values.
+
+#ifndef SPATIALSKETCH_API_QUERY_H_
+#define SPATIALSKETCH_API_QUERY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/api/dataset_handle.h"
+#include "src/common/status.h"
+#include "src/geom/box.h"
+
+namespace spatialsketch {
+
+/// The estimator family a QuerySpec invokes. Each kind names which
+/// DatasetKind(s) it is served from; mismatches fail that query alone.
+enum class QueryKind : uint8_t {
+  /// Estimated |{r in R : r strictly overlaps query}| on a kRange
+  /// dataset (Section 6.4 / Lemma 9). Uses QuerySpec::query.
+  kRangeCount = 0,
+  /// kRangeCount divided by the dataset's net object count (0 for an
+  /// empty dataset); count and total are read under the same lock
+  /// acquisition, so the ratio is a consistent cut.
+  kRangeSelectivity = 1,
+  /// Estimated self-join size SJ(R) of the dataset's own synopsis
+  /// (Section 3 / Section 4.1.4), from the sketch's counters alone.
+  /// Served from ANY dataset kind.
+  kSelfJoinSize = 2,
+  /// Estimated |R join S| of a kJoinR dataset against a kJoinS dataset
+  /// created under the same schema name (Section 4 / Theorems 1-3).
+  kJoinCardinality = 3,
+  /// Estimated eps-distance join |{(a, b) : dist_inf(a, b) <= eps}| of a
+  /// kEpsPoints dataset against a kEpsBoxes dataset (Section 6.3).
+  /// QuerySpec::eps must equal the kEpsBoxes dataset's ingest-time eps
+  /// (the radius is baked into its counters).
+  kEpsJoin = 4,
+  /// Estimated containment join |{(r, s) : r contained in s}| of a
+  /// kContainInner dataset against a kContainOuter dataset
+  /// (Appendix B.2).
+  kContainmentJoin = 5,
+};
+
+/// Human-readable kind name, e.g. "RangeCount".
+const char* QueryKindName(QueryKind kind);
+
+/// One typed query against the store. Build specs with the static
+/// factories below (they fill exactly the fields the kind reads); the
+/// raw fields stay public so callers can template over kinds.
+///
+/// Datasets are addressed by `dataset`/`dataset2` name, or — skipping
+/// Run's per-name registry resolution — by `handle`/`handle2` from
+/// SketchStore::OpenDataset. A valid handle takes precedence over the
+/// name field beside it.
+struct QuerySpec {
+  /// The estimator family to invoke.
+  QueryKind kind = QueryKind::kRangeCount;
+  /// Primary dataset name (the only dataset for the single-dataset
+  /// kinds; the R / points / inner side for the join kinds). Ignored
+  /// when `handle` is valid.
+  std::string dataset;
+  /// Partner dataset name for the join kinds (S / eps-boxes / outer
+  /// side). Ignored when `handle2` is valid.
+  std::string dataset2;
+  /// Optional pre-resolved primary dataset (takes precedence over
+  /// `dataset`).
+  DatasetHandle handle;
+  /// Optional pre-resolved partner dataset (takes precedence over
+  /// `dataset2`).
+  DatasetHandle handle2;
+  /// Query box in ORIGINAL coordinates (kRangeCount/kRangeSelectivity).
+  Box query;
+  /// kEpsJoin: the L-infinity radius; must equal the kEpsBoxes
+  /// dataset's ingest-time eps.
+  Coord eps = 0;
+
+  /// Range-count spec over a named kRange dataset.
+  static QuerySpec RangeCount(std::string dataset, const Box& query);
+  /// Range-count spec over a resolved handle.
+  static QuerySpec RangeCount(DatasetHandle handle, const Box& query);
+  /// Range-selectivity spec over a named kRange dataset.
+  static QuerySpec RangeSelectivity(std::string dataset, const Box& query);
+  /// Range-selectivity spec over a resolved handle.
+  static QuerySpec RangeSelectivity(DatasetHandle handle, const Box& query);
+  /// Self-join-size spec over a named dataset of any kind.
+  static QuerySpec SelfJoinSize(std::string dataset);
+  /// Self-join-size spec over a resolved handle.
+  static QuerySpec SelfJoinSize(DatasetHandle handle);
+  /// Spatial-join spec: named kJoinR dataset against named kJoinS
+  /// dataset.
+  static QuerySpec JoinCardinality(std::string r_dataset,
+                                   std::string s_dataset);
+  /// Spatial-join spec over resolved handles.
+  static QuerySpec JoinCardinality(DatasetHandle r_handle,
+                                   DatasetHandle s_handle);
+  /// Eps-join spec: named kEpsPoints dataset against named kEpsBoxes
+  /// dataset, with the query radius (must match the dataset's eps).
+  static QuerySpec EpsJoin(std::string points_dataset,
+                           std::string boxes_dataset, Coord eps);
+  /// Eps-join spec over resolved handles.
+  static QuerySpec EpsJoin(DatasetHandle points_handle,
+                           DatasetHandle boxes_handle, Coord eps);
+  /// Containment-join spec: named kContainInner dataset against named
+  /// kContainOuter dataset.
+  static QuerySpec ContainmentJoin(std::string inner_dataset,
+                                   std::string outer_dataset);
+  /// Containment-join spec over resolved handles.
+  static QuerySpec ContainmentJoin(DatasetHandle inner_handle,
+                                   DatasetHandle outer_handle);
+};
+
+/// An ordered batch of heterogeneous QuerySpecs for SketchStore::Run.
+/// Results come back in spec order, one QueryResult per spec.
+struct QueryBatch {
+  /// The specs, in answer order.
+  std::vector<QuerySpec> specs;
+
+  /// An empty batch (rejected by Run; add specs first).
+  QueryBatch() = default;
+  /// Batch from a braced list of specs.
+  QueryBatch(std::initializer_list<QuerySpec> list) : specs(list) {}
+
+  /// Append one spec (chainable via repeated calls).
+  void Add(QuerySpec spec) { specs.push_back(std::move(spec)); }
+  /// Number of specs in the batch.
+  size_t size() const { return specs.size(); }
+  /// True iff no specs have been added.
+  bool empty() const { return specs.empty(); }
+};
+
+/// Estimator configuration metadata echoed with every successful result:
+/// which boosting grid produced the value (Section 2.3).
+struct EstimatorInfo {
+  uint32_t k1 = 0;         ///< estimators averaged per group
+  uint32_t k2 = 0;         ///< groups medianed
+  uint32_t instances = 0;  ///< k1 * k2 boosting instances
+};
+
+/// The per-query outcome of a Run batch: a Status (per-query failure
+/// isolation — one bad spec never rejects its batch-mates), the estimate
+/// when ok, and the estimator metadata it was produced under.
+struct QueryResult {
+  Status status;            ///< OK, or why THIS query was not served
+  double value = 0.0;       ///< the estimate (meaningful iff status ok)
+  EstimatorInfo estimator;  ///< boosting grid behind the value
+
+  /// True iff this query was served.
+  bool ok() const { return status.ok(); }
+};
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_API_QUERY_H_

@@ -1,0 +1,78 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// internal::DatasetState: the resolved, registry-independent state of one
+// store dataset. SketchStore's registry maps names to shared_ptrs of
+// these; DatasetHandle (src/api/dataset_handle.h) holds the same
+// shared_ptr directly, which is exactly how a handle skips the per-call
+// registry map lookup + lock on the hot paths. Everything here is an
+// implementation detail of the serving layer — user code never touches a
+// DatasetState, only the store and handles do.
+//
+// Lifetime and invalidation: the registry's shared_ptr plus any open
+// handles keep the state alive; DropDataset erases the registry entry and
+// sets `dropped` (release order), after which every handle operation and
+// every Run() spec resolving through a stale handle fails fast with
+// FailedPrecondition. In-flight operations that passed the check finish
+// safely on the still-alive state, as some sequential order must place
+// them before the drop. `generation` is the store-wide creation counter
+// value, so a handle can tell a re-created same-name dataset (a NEW
+// state, different generation) from the one it was opened against.
+
+#ifndef SPATIALSKETCH_STORE_DATASET_STATE_H_
+#define SPATIALSKETCH_STORE_DATASET_STATE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "src/geom/box.h"
+#include "src/sketch/dataset_sketch.h"
+#include "src/store/fair_shared_mutex.h"
+#include "src/store/store_types.h"
+#include "src/store/writer_shards.h"
+
+namespace spatialsketch {
+namespace internal {
+
+/// One dataset's resolved serving state (see the file comment). The
+/// immutable identity fields are const; `sketch` is guarded by `mu`
+/// exactly as in the store's concurrency model (shared for estimates,
+/// exclusive for updates and merges).
+struct DatasetState {
+  /// Assembles the immutable identity and takes ownership of the (empty)
+  /// master sketch.
+  DatasetState(std::string name_in, DatasetKind kind_in,
+               StoreSchemaOptions opt_in, Coord eps_in, uint64_t generation_in,
+               DatasetSketch sketch_in)
+      : name(std::move(name_in)),
+        kind(kind_in),
+        opt(opt_in),
+        eps(eps_in),
+        generation(generation_in),
+        sketch(std::move(sketch_in)) {}
+
+  const std::string name;        ///< registry name at creation time
+  const DatasetKind kind;        ///< shape + ingest mapping + schema variant
+  const StoreSchemaOptions opt;  ///< original-domain configuration
+  const Coord eps;               ///< kEpsBoxes ingest radius (else 0)
+  const uint64_t generation;     ///< store-wide creation sequence number
+  DatasetSketch sketch;          ///< the master counters; guarded by mu
+  mutable FairSharedMutex mu;    ///< shared = estimate, exclusive = mutate
+  /// Sharded-writer state. `shards` owns the set; `shards_live` is the
+  /// lock-free view the streaming hot path reads (published once, under
+  /// the exclusive lock, never cleared — which is why configuration is
+  /// one-shot and no teardown race exists).
+  std::unique_ptr<WriterShardSet> shards;
+  /// Lock-free published pointer to `shards` (null until configured).
+  std::atomic<WriterShardSet*> shards_live{nullptr};
+  /// Set (release) by DropDataset after the registry erase; checked
+  /// (acquire) by every handle operation and Run() resolution.
+  std::atomic<bool> dropped{false};
+};
+
+}  // namespace internal
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_STORE_DATASET_STATE_H_

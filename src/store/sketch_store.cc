@@ -6,8 +6,11 @@
 #include <utility>
 
 #include "src/dyadic/endpoint_transform.h"
+#include "src/estimators/containment_estimator.h"
+#include "src/estimators/eps_join_estimator.h"
 #include "src/estimators/join_estimator.h"
 #include "src/estimators/range_query_estimator.h"
+#include "src/sketch/self_join.h"
 #include "src/sketch/serialize.h"
 #include "src/store/parallel_ingest.h"
 
@@ -15,24 +18,16 @@ namespace spatialsketch {
 
 namespace {
 
-Shape ShapeForKind(DatasetKind kind, uint32_t dims) {
-  switch (kind) {
-    case DatasetKind::kRange:
-      return Shape::RangeShape(dims);
-    case DatasetKind::kJoinR:
-    case DatasetKind::kJoinS:
-      return Shape::JoinShape(dims);
-  }
-  SKETCH_CHECK(false);
-  return Shape();
-}
-
 /// Validate an ORIGINAL-coordinate box against the dataset's original
-/// domain and map it into the transformed domain per the dataset's kind.
-/// Returns OK with *dropped=true (and no *out) for degenerate boxes.
-Status MapForIngest(DatasetKind kind, const StoreSchemaOptions& opt,
-                    const Box& box, Box* out, bool* dropped) {
+/// domain and map it into sketch coordinates per the dataset's kind
+/// (endpoint transform, eps-square expansion, or containment lift —
+/// mirroring the estimator pipelines box for box). Returns OK with
+/// *dropped=true (and no *out) for degenerate boxes on the range/join
+/// kinds; the point kinds instead REQUIRE degenerate (lo == hi) boxes.
+Status MapForIngest(const internal::DatasetState& ds, const Box& box,
+                    Box* out, bool* dropped) {
   *dropped = false;
+  const StoreSchemaOptions& opt = ds.opt;
   if (!IsValid(box, opt.dims)) {
     return Status::InvalidArgument("box has lo > hi in some dimension");
   }
@@ -42,43 +37,157 @@ Status MapForIngest(DatasetKind kind, const StoreSchemaOptions& opt,
       return Status::OutOfRange("box exceeds the schema's original domain");
     }
   }
-  if (IsDegenerate(box, opt.dims)) {
-    *dropped = true;
-    return Status::OK();
+  switch (ds.kind) {
+    case DatasetKind::kRange:
+    case DatasetKind::kJoinR:
+    case DatasetKind::kJoinS:
+      if (IsDegenerate(box, opt.dims)) {
+        *dropped = true;
+        return Status::OK();
+      }
+      *out = ds.kind == DatasetKind::kJoinS
+                 ? EndpointTransform::ShrinkS(box, opt.dims)
+                 : EndpointTransform::MapR(box, opt.dims);
+      return Status::OK();
+    case DatasetKind::kEpsPoints:
+    case DatasetKind::kEpsBoxes: {
+      for (uint32_t d = 0; d < opt.dims; ++d) {
+        if (box.lo[d] != box.hi[d]) {
+          return Status::InvalidArgument(
+              "point datasets ingest points (lo == hi in every dimension)");
+        }
+      }
+      if (ds.kind == DatasetKind::kEpsPoints) {
+        *out = box;
+        return Status::OK();
+      }
+      // The closed L-infinity eps-square around the point, clamped to the
+      // domain — the same expansion (and clamp arithmetic) as the eps-join
+      // pipeline's ExpandEpsSquares, so counters match it bit for bit.
+      const Coord max_coord = bound - 1;
+      Box square;
+      for (uint32_t d = 0; d < opt.dims; ++d) {
+        const Coord p = box.lo[d];
+        square.lo[d] = p >= ds.eps ? p - ds.eps : 0;
+        square.hi[d] = ds.eps > max_coord - p ? max_coord : p + ds.eps;
+      }
+      *out = square;
+      return Status::OK();
+    }
+    case DatasetKind::kContainInner:
+      *out = LiftInnerToPoint(box, opt.dims);
+      return Status::OK();
+    case DatasetKind::kContainOuter:
+      *out = LiftOuterToBox(box, opt.dims);
+      return Status::OK();
   }
-  *out = kind == DatasetKind::kJoinS
-             ? EndpointTransform::ShrinkS(box, opt.dims)
-             : EndpointTransform::MapR(box, opt.dims);
-  return Status::OK();
+  SKETCH_CHECK(false);
+  return Status::Internal("unreachable");
 }
 
 // Store snapshots wrap the serialize.h sketch blob with a tagged header:
 // kJoinR and kJoinS datasets share shape AND schema configuration but
 // ingest through different coordinate mappings, so without the kind tag a
 // kJoinS snapshot would restore into a kJoinR dataset (and vice versa)
-// and silently serve wrong joins.
-constexpr char kSnapshotMagic[4] = {'S', 'S', 'T', '1'};
-constexpr size_t kSnapshotHeader = sizeof(kSnapshotMagic) + 1;
+// and silently serve wrong joins. The same goes for the ingest eps of
+// kEpsBoxes datasets (the radius is baked into the counters), hence the
+// eps field — its addition bumped the version byte from SST1 to SST2.
+// SST1 blobs (pre-eps kinds only, so implicitly eps == 0) still restore.
+constexpr char kSnapshotMagic[4] = {'S', 'S', 'T', '2'};
+constexpr char kSnapshotMagicV1[4] = {'S', 'S', 'T', '1'};
+constexpr size_t kSnapshotHeader =
+    sizeof(kSnapshotMagic) + 1 + sizeof(uint64_t);
+constexpr size_t kSnapshotHeaderV1 = sizeof(kSnapshotMagicV1) + 1;
 
 }  // namespace
 
+SketchStore::~SketchStore() {
+  // Open handles keep DatasetStates alive past this destructor but reach
+  // the store only AFTER their liveness check; marking every state
+  // dropped here turns any later handle operation into a clean
+  // FailedPrecondition instead of a use-after-free of the store.
+  std::unique_lock<FairSharedMutex> lock(registry_mu_);
+  for (auto& [name, dataset] : datasets_) {
+    dataset->dropped.store(true, std::memory_order_release);
+  }
+}
+
 Status SketchStore::RegisterSchema(const std::string& name,
                                    const StoreSchemaOptions& opt) {
-  auto schema =
+  auto transformed =
       MakeTransformedSchema(opt.dims, opt.log2_domain, opt.max_level,
                             /*per_dim_caps=*/nullptr, opt.k1, opt.k2, opt.seed);
-  if (!schema.ok()) return schema.status();
+  if (!transformed.ok()) return transformed.status();
 
   std::unique_lock<FairSharedMutex> lock(registry_mu_);
-  if (!schemas_.emplace(name, SchemaEntry{opt, *schema}).second) {
+  if (!schemas_
+           .emplace(name, SchemaEntry{opt, *transformed, /*plain=*/nullptr,
+                                      /*lifted=*/nullptr})
+           .second) {
     return Status::InvalidArgument("schema '" + name + "' already exists");
   }
   return Status::OK();
 }
 
+Result<SchemaPtr> SketchStore::EnsureSchemaVariant(
+    const std::string& schema_name, bool lifted) {
+  StoreSchemaOptions opt;
+  {
+    std::shared_lock<FairSharedMutex> lock(registry_mu_);
+    auto it = schemas_.find(schema_name);
+    if (it == schemas_.end()) {
+      return Status::InvalidArgument("unknown schema '" + schema_name + "'");
+    }
+    const SchemaPtr& existing = lifted ? it->second.lifted : it->second.plain;
+    if (existing != nullptr) return existing;
+    opt = it->second.opt;
+  }
+
+  // Build the variant OFF the registry lock — exactly as the eps-join /
+  // containment pipelines build their schemas (same per-dimension
+  // options, k1/k2, and seed), so store-served estimates are
+  // bit-identical to the pipelines' under equal configuration. The
+  // containment kinds lift to 2*dims sketch dimensions.
+  SchemaOptions so;
+  so.dims = lifted ? 2 * opt.dims : opt.dims;
+  for (uint32_t d = 0; d < so.dims; ++d) {
+    so.domains[d].log2_size = opt.log2_domain;
+    so.domains[d].max_level = opt.max_level;
+  }
+  so.k1 = opt.k1;
+  so.k2 = opt.k2;
+  so.seed = opt.seed;
+  auto created = SketchSchema::Create(so);
+  if (!created.ok()) return created.status();
+
+  // Publish under the exclusive lock; if another thread won the race the
+  // map's instance wins (datasets under one schema name must SHARE the
+  // variant instance to stay joinable — pointer equality is the
+  // estimators' compatibility test).
+  std::unique_lock<FairSharedMutex> lock(registry_mu_);
+  auto it = schemas_.find(schema_name);
+  if (it == schemas_.end()) {
+    return Status::InvalidArgument("unknown schema '" + schema_name + "'");
+  }
+  SchemaPtr& slot = lifted ? it->second.lifted : it->second.plain;
+  if (slot == nullptr) slot = std::move(*created);
+  return slot;
+}
+
 Status SketchStore::CreateDataset(const std::string& name,
                                   const std::string& schema_name,
                                   DatasetKind kind) {
+  return CreateDataset(name, schema_name, kind, DatasetOptions{});
+}
+
+Status SketchStore::CreateDataset(const std::string& name,
+                                  const std::string& schema_name,
+                                  DatasetKind kind,
+                                  const DatasetOptions& dopt) {
+  if (dopt.eps != 0 && kind != DatasetKind::kEpsBoxes) {
+    return Status::InvalidArgument(
+        "DatasetOptions::eps is only read by kEpsBoxes datasets");
+  }
   SchemaEntry entry;
   {
     std::shared_lock<FairSharedMutex> lock(registry_mu_);
@@ -89,13 +198,55 @@ Status SketchStore::CreateDataset(const std::string& name,
     entry = it->second;
   }
 
+  SchemaPtr schema;
+  Shape shape;
+  switch (kind) {
+    case DatasetKind::kRange:
+      schema = entry.transformed;
+      shape = Shape::RangeShape(entry.opt.dims);
+      break;
+    case DatasetKind::kJoinR:
+    case DatasetKind::kJoinS:
+      schema = entry.transformed;
+      shape = Shape::JoinShape(entry.opt.dims);
+      break;
+    case DatasetKind::kEpsPoints:
+    case DatasetKind::kEpsBoxes: {
+      auto plain = EnsureSchemaVariant(schema_name, /*lifted=*/false);
+      if (!plain.ok()) return plain.status();
+      schema = std::move(*plain);
+      shape = kind == DatasetKind::kEpsPoints
+                  ? Shape::PointShape(entry.opt.dims)
+                  : Shape::BoxCoverShape(entry.opt.dims);
+      break;
+    }
+    case DatasetKind::kContainInner:
+    case DatasetKind::kContainOuter: {
+      if (2 * entry.opt.dims > kMaxDims) {
+        return Status::InvalidArgument(
+            "containment kinds lift to 2 * dims sketch dimensions and need "
+            "2 * dims <= kMaxDims (1 or 2 original dimensions)");
+      }
+      auto lifted = EnsureSchemaVariant(schema_name, /*lifted=*/true);
+      if (!lifted.ok()) return lifted.status();
+      schema = std::move(*lifted);
+      shape = kind == DatasetKind::kContainInner
+                  ? Shape::PointShape(2 * entry.opt.dims)
+                  : Shape::BoxCoverShape(2 * entry.opt.dims);
+      break;
+    }
+  }
+  SKETCH_CHECK(schema != nullptr);
+
   // Allocate and zero the counter array OFF the registry lock — for wide
   // schemas it is the expensive part, and every store operation's name
   // lookup would stall behind it. (Schemas are never removed, so the
   // copied entry cannot go stale.)
-  DatasetSketch sketch(entry.schema, ShapeForKind(kind, entry.opt.dims));
-  auto dataset =
-      std::make_shared<Dataset>(kind, entry.opt, std::move(sketch));
+  DatasetSketch sketch(schema, std::move(shape));
+  auto dataset = std::make_shared<internal::DatasetState>(
+      name, kind, entry.opt, dopt.eps,
+      next_generation_.fetch_add(1, std::memory_order_relaxed) + 1,
+      std::move(sketch));
 
   std::unique_lock<FairSharedMutex> lock(registry_mu_);
   if (!datasets_.emplace(name, std::move(dataset)).second) {
@@ -104,11 +255,29 @@ Status SketchStore::CreateDataset(const std::string& name,
   return Status::OK();
 }
 
+Result<DatasetHandle> SketchStore::OpenDataset(const std::string& name) {
+  auto found = Find(name);
+  if (!found.ok()) return found.status();
+  handles_opened_.fetch_add(1, std::memory_order_relaxed);
+  return DatasetHandle(this, *found);
+}
+
 Status SketchStore::DropDataset(const std::string& name) {
-  std::unique_lock<FairSharedMutex> lock(registry_mu_);
-  if (datasets_.erase(name) == 0) {
-    return Status::InvalidArgument("unknown dataset '" + name + "'");
+  DatasetPtr victim;
+  {
+    std::unique_lock<FairSharedMutex> lock(registry_mu_);
+    auto it = datasets_.find(name);
+    if (it == datasets_.end()) {
+      return Status::InvalidArgument("unknown dataset '" + name + "'");
+    }
+    victim = std::move(it->second);
+    datasets_.erase(it);
   }
+  // Invalidate open handles AFTER the registry erase: a handle that
+  // passes its liveness check concurrently with the drop behaves like an
+  // operation sequenced just before it, on state the shared_ptr keeps
+  // alive.
+  victim->dropped.store(true, std::memory_order_release);
   return Status::OK();
 }
 
@@ -126,7 +295,7 @@ Result<SchemaPtr> SketchStore::GetSchema(const std::string& name) const {
   if (it == schemas_.end()) {
     return Status::InvalidArgument("unknown schema '" + name + "'");
   }
-  return it->second.schema;
+  return it->second.transformed;
 }
 
 Result<SketchStore::DatasetPtr> SketchStore::Find(
@@ -139,15 +308,26 @@ Result<SketchStore::DatasetPtr> SketchStore::Find(
   return it->second;
 }
 
+Status SketchStore::CheckLive(const internal::DatasetState& ds) {
+  if (ds.dropped.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("dataset '" + ds.name +
+                                      "' has been dropped");
+  }
+  return Status::OK();
+}
+
 Status SketchStore::ApplyStreaming(const std::string& dataset, const Box& box,
                                    int sign) {
   auto found = Find(dataset);
   if (!found.ok()) return found.status();
-  Dataset& ds = **found;
+  return ApplyStreamingTo(**found, box, sign);
+}
 
+Status SketchStore::ApplyStreamingTo(internal::DatasetState& ds,
+                                     const Box& box, int sign) {
   Box mapped;
   bool dropped = false;
-  SKETCH_RETURN_NOT_OK(MapForIngest(ds.kind, ds.opt, box, &mapped, &dropped));
+  SKETCH_RETURN_NOT_OK(MapForIngest(ds, box, &mapped, &dropped));
   if (dropped) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return Status::OK();
@@ -184,7 +364,7 @@ Status SketchStore::ConfigureShardedWriters(const std::string& dataset,
   }
   auto found = Find(dataset);
   if (!found.ok()) return found.status();
-  Dataset& ds = **found;
+  internal::DatasetState& ds = **found;
   std::unique_lock<FairSharedMutex> lock(ds.mu);
   if (ds.shards != nullptr) {
     return Status::FailedPrecondition(
@@ -196,7 +376,7 @@ Status SketchStore::ConfigureShardedWriters(const std::string& dataset,
   return Status::OK();
 }
 
-void SketchStore::FenceDataset(Dataset& ds) const {
+void SketchStore::FenceDataset(internal::DatasetState& ds) const {
   WriterShardSet* ws = ds.shards_live.load(std::memory_order_acquire);
   if (ws == nullptr) return;
   const uint32_t folded = ws->Fence(&ds.sketch, &ds.mu);
@@ -229,7 +409,7 @@ Status SketchStore::MergeDelta(const std::string& name,
   }
   auto found = Find(name);
   if (!found.ok()) return found.status();
-  Dataset& ds = **found;
+  internal::DatasetState& ds = **found;
 
   // Validate and map the whole batch up front so a bad box rejects the
   // batch without partially applying it.
@@ -239,7 +419,7 @@ Status SketchStore::MergeDelta(const std::string& name,
   for (const Box& box : boxes) {
     Box out;
     bool dropped = false;
-    SKETCH_RETURN_NOT_OK(MapForIngest(ds.kind, ds.opt, box, &out, &dropped));
+    SKETCH_RETURN_NOT_OK(MapForIngest(ds, box, &out, &dropped));
     if (dropped) {
       ++dropped_count;
     } else {
@@ -281,7 +461,7 @@ Status SketchStore::ParallelBulkLoad(const std::string& dataset,
 
 namespace {
 
-/// Shared precondition check of both range-estimate entry points: the
+/// Shared precondition check of every range-estimate entry point: the
 /// dataset must be kRange and the query valid, non-degenerate, and within
 /// the schema's original domain.
 Status ValidateRangeQuery(DatasetKind kind, const StoreSchemaOptions& opt,
@@ -303,37 +483,444 @@ Status ValidateRangeQuery(DatasetKind kind, const StoreSchemaOptions& opt,
   return Status::OK();
 }
 
+/// THE serving-layer selectivity convention, shared by every surface
+/// (Run's fast path, the grouped range jobs, the handle twins): an empty
+/// or net-negative dataset has selectivity 0. Count and total must have
+/// been read under one lock acquisition by the caller.
+double SelectivityRatio(double count, int64_t total) {
+  return total <= 0 ? 0.0 : count / static_cast<double>(total);
+}
+
+/// Kind-compatibility and argument validation of one QuerySpec against
+/// its resolved datasets (b is null for the single-dataset kinds). Every
+/// failure here is a PER-QUERY failure — it never rejects batch-mates.
+Status ValidateSpec(const QuerySpec& spec, const internal::DatasetState& a,
+                    const internal::DatasetState* b) {
+  switch (spec.kind) {
+    case QueryKind::kRangeCount:
+    case QueryKind::kRangeSelectivity:
+      return ValidateRangeQuery(a.kind, a.opt, spec.query);
+    case QueryKind::kSelfJoinSize:
+      // SJ(X) is defined for every shape the store builds (Section 3);
+      // any dataset kind answers it from its own counters.
+      return Status::OK();
+    case QueryKind::kJoinCardinality:
+      if (a.kind != DatasetKind::kJoinR || b->kind != DatasetKind::kJoinS) {
+        return Status::FailedPrecondition(
+            "join requires a kJoinR dataset joined against a kJoinS dataset");
+      }
+      if (a.sketch.schema() != b->sketch.schema()) {
+        return Status::FailedPrecondition(
+            "join requires both datasets to share one schema");
+      }
+      return Status::OK();
+    case QueryKind::kEpsJoin:
+      if (a.kind != DatasetKind::kEpsPoints ||
+          b->kind != DatasetKind::kEpsBoxes) {
+        return Status::FailedPrecondition(
+            "eps-join requires a kEpsPoints dataset joined against a "
+            "kEpsBoxes dataset");
+      }
+      if (spec.eps != b->eps) {
+        return Status::InvalidArgument(
+            "query eps " + std::to_string(spec.eps) +
+            " does not match the dataset's ingest-time eps " +
+            std::to_string(b->eps));
+      }
+      if (a.sketch.schema() != b->sketch.schema()) {
+        return Status::FailedPrecondition(
+            "eps-join requires both datasets to share one schema");
+      }
+      return Status::OK();
+    case QueryKind::kContainmentJoin:
+      if (a.kind != DatasetKind::kContainInner ||
+          b->kind != DatasetKind::kContainOuter) {
+        return Status::FailedPrecondition(
+            "containment join requires a kContainInner dataset joined "
+            "against a kContainOuter dataset");
+      }
+      if (a.sketch.schema() != b->sketch.schema()) {
+        return Status::FailedPrecondition(
+            "containment join requires both datasets to share one schema");
+      }
+      return Status::OK();
+  }
+  return Status::Internal("unknown QueryKind");
+}
+
 }  // namespace
+
+Result<std::vector<QueryResult>> SketchStore::Run(
+    const QueryBatch& batch) const {
+  const std::vector<QuerySpec>& specs = batch.specs;
+  if (specs.empty()) {
+    return Status::InvalidArgument("query batch must be non-empty");
+  }
+  const size_t n = specs.size();
+  std::vector<QueryResult> results(n);
+
+  // ---- Resolution: one registry acquisition per distinct NAME (the memo
+  // also pins every resolved state for the whole call); handle-bearing
+  // specs skip the registry entirely, paying one liveness load instead.
+  std::vector<std::pair<const std::string*, Result<DatasetPtr>>> memo;
+  auto resolve = [&](const std::string& name) -> const Result<DatasetPtr>& {
+    for (const auto& entry : memo) {
+      if (*entry.first == name) return entry.second;
+    }
+    memo.emplace_back(&name, Find(name));
+    return memo.back().second;
+  };
+  auto resolve_side = [&](const DatasetHandle& handle, const std::string& name,
+                          internal::DatasetState** out) -> Status {
+    if (handle.valid()) {
+      if (handle.store_ != this) {
+        return Status::InvalidArgument(
+            "spec carries a handle opened on a different SketchStore");
+      }
+      SKETCH_RETURN_NOT_OK(CheckLive(*handle.state_));
+      *out = handle.state_.get();
+      return Status::OK();
+    }
+    const Result<DatasetPtr>& found = resolve(name);
+    if (!found.ok()) return found.status();
+    *out = found->get();
+    return Status::OK();
+  };
+  const auto two_sided = [](QueryKind kind) {
+    return kind == QueryKind::kJoinCardinality ||
+           kind == QueryKind::kEpsJoin ||
+           kind == QueryKind::kContainmentJoin;
+  };
+
+  struct Plan {
+    internal::DatasetState* a = nullptr;
+    internal::DatasetState* b = nullptr;
+    bool runnable = false;
+  };
+  std::vector<Plan> plans(n);
+  for (size_t i = 0; i < n; ++i) {
+    const QuerySpec& spec = specs[i];
+    Plan& plan = plans[i];
+    Status st = resolve_side(spec.handle, spec.dataset, &plan.a);
+    if (st.ok() && two_sided(spec.kind)) {
+      st = resolve_side(spec.handle2, spec.dataset2, &plan.b);
+    }
+    if (st.ok()) st = ValidateSpec(spec, *plan.a, plan.b);
+    if (!st.ok()) {
+      results[i].status = std::move(st);
+      continue;
+    }
+    const SchemaPtr& schema = plan.a->sketch.schema();
+    results[i].estimator =
+        EstimatorInfo{schema->k1(), schema->k2(), schema->instances()};
+    plan.runnable = true;
+  }
+
+  // ---- Single-spec fast path: the legacy single-query shims funnel
+  // here, so a lone spec skips the grouping/job machinery and runs its
+  // estimate directly under the dataset lock(s) — the single-query and
+  // grouped paths are exactly equal by the batch-estimator contracts
+  // (RangeQueryBatch::EstimateOne == EstimateRangeCount;
+  // EstimateJoinCardinalityBatch == per-pair EstimateJoinCardinality).
+  if (n == 1 && plans[0].runnable) {
+    const QuerySpec& spec = specs[0];
+    const Plan& plan = plans[0];
+    QueryResult& res = results[0];
+    switch (spec.kind) {
+      case QueryKind::kRangeCount:
+      case QueryKind::kRangeSelectivity: {
+        std::shared_lock<FairSharedMutex> lock(plan.a->mu);
+        const double count =
+            spatialsketch::EstimateRangeCount(plan.a->sketch, spec.query);
+        res.value = spec.kind == QueryKind::kRangeSelectivity
+                        ? SelectivityRatio(count,
+                                           plan.a->sketch.num_objects())
+                        : count;
+        lock.unlock();
+        range_estimates_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      case QueryKind::kSelfJoinSize: {
+        std::shared_lock<FairSharedMutex> lock(plan.a->mu);
+        res.value = EstimateTotalSelfJoin(plan.a->sketch);
+        lock.unlock();
+        self_join_estimates_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      case QueryKind::kJoinCardinality:
+      case QueryKind::kEpsJoin:
+      case QueryKind::kContainmentJoin: {
+        const internal::DatasetState* first = plan.a;
+        const internal::DatasetState* second = plan.b;
+        if (std::less<const internal::DatasetState*>()(second, first)) {
+          std::swap(first, second);
+        }
+        std::shared_lock<FairSharedMutex> lock_first(first->mu);
+        std::shared_lock<FairSharedMutex> lock_second(second->mu);
+        auto est = spec.kind == QueryKind::kJoinCardinality
+                       ? EstimateJoinCardinality(plan.a->sketch,
+                                                 plan.b->sketch)
+                       : EstimateContainmentCardinality(plan.a->sketch,
+                                                        plan.b->sketch);
+        lock_second.unlock();
+        lock_first.unlock();
+        if (est.ok()) {
+          res.value = *est;
+          auto& counter = spec.kind == QueryKind::kJoinCardinality
+                              ? join_estimates_
+                              : spec.kind == QueryKind::kEpsJoin
+                                    ? eps_join_estimates_
+                                    : containment_estimates_;
+          counter.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          res.status = est.status();
+        }
+        break;
+      }
+    }
+    query_batches_.fetch_add(1, std::memory_order_relaxed);
+    return results;
+  }
+
+  // ---- Grouping (per dataset / dataset pair, the lock-once unit). Range
+  // specs share one RangeQueryBatch per dataset so the plan (endpoint
+  // transforms, decompositions, sign columns) builds once, OFF the locks;
+  // join specs share one amortized R-row walk per R dataset. Both
+  // groupings return exactly the single-query values.
+  struct RangeGroup {
+    const internal::DatasetState* ds = nullptr;
+    std::vector<Box> queries;
+    std::vector<size_t> spec_index;
+    std::unique_ptr<RangeQueryBatch> plan;
+  };
+  std::vector<RangeGroup> range_groups;
+  struct JoinGroup {
+    const internal::DatasetState* r = nullptr;
+    std::vector<const DatasetSketch*> s_sketches;
+    std::vector<size_t> spec_index;
+  };
+  std::vector<JoinGroup> join_groups;
+  std::vector<size_t> singles;  // specs executed one per job
+
+  for (size_t i = 0; i < n; ++i) {
+    if (!plans[i].runnable) continue;
+    const QuerySpec& spec = specs[i];
+    if (spec.kind == QueryKind::kRangeCount ||
+        spec.kind == QueryKind::kRangeSelectivity) {
+      RangeGroup* group = nullptr;
+      for (RangeGroup& g : range_groups) {
+        if (g.ds == plans[i].a) {
+          group = &g;
+          break;
+        }
+      }
+      if (group == nullptr) {
+        range_groups.emplace_back();
+        range_groups.back().ds = plans[i].a;
+        group = &range_groups.back();
+      }
+      group->queries.push_back(spec.query);
+      group->spec_index.push_back(i);
+    } else if (spec.kind == QueryKind::kJoinCardinality) {
+      JoinGroup* group = nullptr;
+      for (JoinGroup& g : join_groups) {
+        if (g.r == plans[i].a) {
+          group = &g;
+          break;
+        }
+      }
+      if (group == nullptr) {
+        join_groups.emplace_back();
+        join_groups.back().r = plans[i].a;
+        group = &join_groups.back();
+      }
+      group->s_sketches.push_back(&plans[i].b->sketch);
+      group->spec_index.push_back(i);
+    } else {
+      singles.push_back(i);
+    }
+  }
+  for (RangeGroup& group : range_groups) {
+    group.plan = std::make_unique<RangeQueryBatch>(
+        &group.ds->sketch, group.queries.data(), group.queries.size());
+  }
+
+  // ---- Job list. Every job writes only its own spec slots, so the fan-
+  // out needs no further synchronization beyond the pool's completion.
+  std::vector<std::function<void()>> jobs;
+  jobs.reserve(n);
+  for (RangeGroup& group : range_groups) {
+    for (size_t j = 0; j < group.queries.size(); ++j) {
+      jobs.push_back([&specs, &results, &group, j] {
+        const size_t idx = group.spec_index[j];
+        const double count = group.plan->EstimateOne(j);
+        results[idx].value =
+            specs[idx].kind == QueryKind::kRangeSelectivity
+                ? SelectivityRatio(count, group.ds->sketch.num_objects())
+                : count;
+      });
+    }
+  }
+  for (JoinGroup& group : join_groups) {
+    // Chunk to the pool's effective parallelism (workers + submitter):
+    // more chunks would re-pay the amortized R-row walk with nothing to
+    // run them on (a 1-core host gets ONE chunk), fewer would idle
+    // workers. Per-pair values are chunking-independent either way.
+    const size_t count = group.s_sketches.size();
+    const size_t parts =
+        count == 1
+            ? 1
+            : std::min(count, static_cast<size_t>(Pool().num_threads()) + 1);
+    const size_t per_part = (count + parts - 1) / parts;
+    for (size_t p = 0; p < parts; ++p) {
+      jobs.push_back([&results, &group, p, per_part, count] {
+        const size_t begin = p * per_part;
+        const size_t end = std::min(begin + per_part, count);
+        if (begin >= end) return;
+        const std::vector<const DatasetSketch*> sub(
+            group.s_sketches.begin() + begin, group.s_sketches.begin() + end);
+        auto est = EstimateJoinCardinalityBatch(group.r->sketch, sub);
+        for (size_t k = begin; k < end; ++k) {
+          QueryResult& res = results[group.spec_index[k]];
+          if (est.ok()) {
+            res.value = (*est)[k - begin];
+          } else {
+            res.status = est.status();
+          }
+        }
+      });
+    }
+  }
+  for (const size_t idx : singles) {
+    jobs.push_back([&specs, &results, &plans, idx] {
+      const Plan& plan = plans[idx];
+      QueryResult& res = results[idx];
+      switch (specs[idx].kind) {
+        case QueryKind::kSelfJoinSize:
+          res.value = EstimateTotalSelfJoin(plan.a->sketch);
+          break;
+        case QueryKind::kEpsJoin:
+        case QueryKind::kContainmentJoin: {
+          auto est =
+              EstimateContainmentCardinality(plan.a->sketch, plan.b->sketch);
+          if (est.ok()) {
+            res.value = *est;
+          } else {
+            res.status = est.status();
+          }
+          break;
+        }
+        default:
+          res.status = Status::Internal("unexpected QueryKind in job list");
+          break;
+      }
+    });
+  }
+
+  // ---- Execute: every distinct involved dataset's shared lock taken
+  // exactly once, in address order (the same total order as every other
+  // multi-dataset path, so batches cannot cycle with single queries
+  // through a queued writer), then the jobs fan across the pool. A
+  // single-job batch runs inline — single-query serving (including the
+  // legacy shims) never pays the pool's thread spawn.
+  if (!jobs.empty()) {
+    std::vector<const internal::DatasetState*> distinct;
+    distinct.reserve(2 * n);
+    for (const Plan& plan : plans) {
+      if (!plan.runnable) continue;
+      distinct.push_back(plan.a);
+      if (plan.b != nullptr) distinct.push_back(plan.b);
+    }
+    std::sort(distinct.begin(), distinct.end(),
+              std::less<const internal::DatasetState*>());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                   distinct.end());
+    std::vector<std::shared_lock<FairSharedMutex>> locks;
+    locks.reserve(distinct.size());
+    for (const internal::DatasetState* ds : distinct) {
+      locks.emplace_back(ds->mu);
+    }
+    if (jobs.size() == 1) {
+      jobs[0]();
+    } else {
+      Pool().ParallelFor(jobs.size(), [&jobs](size_t i) { jobs[i](); });
+    }
+  }
+
+  // ---- Stats: count every query actually served, by family.
+  uint64_t range = 0, join = 0, self = 0, eps = 0, contain = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!plans[i].runnable || !results[i].status.ok()) continue;
+    switch (specs[i].kind) {
+      case QueryKind::kRangeCount:
+      case QueryKind::kRangeSelectivity:
+        ++range;
+        break;
+      case QueryKind::kSelfJoinSize:
+        ++self;
+        break;
+      case QueryKind::kJoinCardinality:
+        ++join;
+        break;
+      case QueryKind::kEpsJoin:
+        ++eps;
+        break;
+      case QueryKind::kContainmentJoin:
+        ++contain;
+        break;
+    }
+  }
+  if (range > 0) range_estimates_.fetch_add(range, std::memory_order_relaxed);
+  if (join > 0) join_estimates_.fetch_add(join, std::memory_order_relaxed);
+  if (self > 0) {
+    self_join_estimates_.fetch_add(self, std::memory_order_relaxed);
+  }
+  if (eps > 0) {
+    eps_join_estimates_.fetch_add(eps, std::memory_order_relaxed);
+  }
+  if (contain > 0) {
+    containment_estimates_.fetch_add(contain, std::memory_order_relaxed);
+  }
+  query_batches_.fetch_add(1, std::memory_order_relaxed);
+  return results;
+}
+
+// ---- Legacy string-keyed entry points: thin shims over Run. Run's
+// execution paths are the exact batch machinery these entry points used
+// before the redesign (RangeQueryBatch::EstimateOne, per-pair values of
+// EstimateJoinCardinalityBatch), so the values are bit-identical.
 
 Result<double> SketchStore::EstimateRangeCount(const std::string& dataset,
                                                const Box& query) const {
-  auto found = Find(dataset);
-  if (!found.ok()) return found.status();
-  const Dataset& ds = **found;
-  SKETCH_RETURN_NOT_OK(ValidateRangeQuery(ds.kind, ds.opt, query));
-  std::shared_lock<FairSharedMutex> lock(ds.mu);
-  const double est = spatialsketch::EstimateRangeCount(ds.sketch, query);
-  lock.unlock();
-  range_estimates_.fetch_add(1, std::memory_order_relaxed);
-  return est;
+  QueryBatch batch;
+  batch.Add(QuerySpec::RangeCount(dataset, query));
+  auto run = Run(batch);
+  if (!run.ok()) return run.status();
+  QueryResult& res = (*run)[0];
+  if (!res.status.ok()) return res.status;
+  return res.value;
 }
 
 Result<double> SketchStore::EstimateRangeSelectivity(
     const std::string& dataset, const Box& query) const {
-  auto found = Find(dataset);
-  if (!found.ok()) return found.status();
-  const Dataset& ds = **found;
-  SKETCH_RETURN_NOT_OK(ValidateRangeQuery(ds.kind, ds.opt, query));
-  // Count and object total under ONE shared lock so the ratio is a
-  // consistent cut even while writers stream in.
-  std::shared_lock<FairSharedMutex> lock(ds.mu);
-  const int64_t n = ds.sketch.num_objects();
-  const double est =
-      n <= 0 ? 0.0 : spatialsketch::EstimateRangeCount(ds.sketch, query) /
-                         static_cast<double>(n);
-  lock.unlock();
-  range_estimates_.fetch_add(1, std::memory_order_relaxed);
-  return est;
+  QueryBatch batch;
+  batch.Add(QuerySpec::RangeSelectivity(dataset, query));
+  auto run = Run(batch);
+  if (!run.ok()) return run.status();
+  QueryResult& res = (*run)[0];
+  if (!res.status.ok()) return res.status;
+  return res.value;
+}
+
+Result<double> SketchStore::EstimateJoin(const std::string& r_dataset,
+                                         const std::string& s_dataset) const {
+  QueryBatch batch;
+  batch.Add(QuerySpec::JoinCardinality(r_dataset, s_dataset));
+  auto run = Run(batch);
+  if (!run.ok()) return run.status();
+  QueryResult& res = (*run)[0];
+  if (!res.status.ok()) return res.status;
+  return res.value;
 }
 
 Result<std::vector<double>> SketchStore::EstimateRangeBatch(
@@ -341,27 +928,32 @@ Result<std::vector<double>> SketchStore::EstimateRangeBatch(
   if (queries.empty()) {
     return Status::InvalidArgument("range batch must be non-empty");
   }
+  // Pre-Run contract preserved: any bad query rejects the whole batch
+  // BEFORE any estimation work (and before any stats are counted), so
+  // the error path never holds the dataset lock or computes estimates
+  // the caller will not receive.
   auto found = Find(dataset);
   if (!found.ok()) return found.status();
-  const Dataset& ds = **found;
-  // Validate the whole batch before any work so a bad query rejects the
-  // batch without partially serving it.
   for (const Box& query : queries) {
-    SKETCH_RETURN_NOT_OK(ValidateRangeQuery(ds.kind, ds.opt, query));
+    SKETCH_RETURN_NOT_OK(
+        ValidateRangeQuery((*found)->kind, (*found)->opt, query));
   }
-  QueryPool& pool = Pool();
-
-  // Decompositions and sign columns depend only on the schema, so the
-  // plan builds OFF the dataset lock; only the counter walk below needs
-  // the counters pinned. One shared acquisition covers the whole batch —
-  // the pool workers read the counters under the submitter's lock.
-  RangeQueryBatch batch(&ds.sketch, queries.data(), queries.size());
-  std::vector<double> out(queries.size());
-  std::shared_lock<FairSharedMutex> lock(ds.mu);
-  pool.ParallelFor(queries.size(),
-                   [&](size_t i) { out[i] = batch.EstimateOne(i); });
-  lock.unlock();
-  range_estimates_.fetch_add(queries.size(), std::memory_order_relaxed);
+  // Specs carry the already-resolved handle, so Run never re-resolves
+  // the name (nor copies it once per query).
+  const DatasetHandle handle(const_cast<SketchStore*>(this), *found);
+  QueryBatch batch;
+  batch.specs.reserve(queries.size());
+  for (const Box& query : queries) {
+    batch.Add(QuerySpec::RangeCount(handle, query));
+  }
+  auto run = Run(batch);
+  if (!run.ok()) return run.status();
+  std::vector<double> out;
+  out.reserve(queries.size());
+  for (QueryResult& res : *run) {
+    if (!res.status.ok()) return res.status;
+    out.push_back(res.value);
+  }
   return out;
 }
 
@@ -371,115 +963,79 @@ Result<std::vector<double>> SketchStore::EstimateJoinBatch(
   if (s_datasets.empty()) {
     return Status::InvalidArgument("join batch must be non-empty");
   }
+  // Same whole-batch pre-validation as EstimateRangeBatch: reject before
+  // any estimation work or stats accounting.
   auto r_found = Find(r_dataset);
   if (!r_found.ok()) return r_found.status();
-  const Dataset& r = **r_found;
-  if (r.kind != DatasetKind::kJoinR) {
-    return Status::FailedPrecondition(
-        "join requires a kJoinR dataset joined against kJoinS datasets");
-  }
-  std::vector<DatasetPtr> s_list;
-  s_list.reserve(s_datasets.size());
-  for (const std::string& name : s_datasets) {
-    auto s_found = Find(name);
-    if (!s_found.ok()) return s_found.status();
-    if ((*s_found)->kind != DatasetKind::kJoinS) {
-      return Status::FailedPrecondition(
-          "join requires a kJoinR dataset joined against kJoinS datasets");
-    }
-    s_list.push_back(*s_found);
-  }
-  QueryPool& pool = Pool();
-
-  // Each distinct dataset's shared lock is taken exactly once, in address
-  // order (same total order as EstimateJoin, so batches cannot cycle with
-  // single joins through a queued writer).
-  std::vector<const Dataset*> distinct;
-  distinct.reserve(s_list.size() + 1);
-  distinct.push_back(&r);
-  for (const DatasetPtr& s : s_list) distinct.push_back(s.get());
-  std::sort(distinct.begin(), distinct.end(), std::less<const Dataset*>());
-  distinct.erase(std::unique(distinct.begin(), distinct.end()),
-                 distinct.end());
-  std::vector<std::shared_lock<FairSharedMutex>> locks;
-  locks.reserve(distinct.size());
-  for (const Dataset* ds : distinct) locks.emplace_back(ds->mu);
-
-  // One amortized R-row walk per chunk (EstimateJoinCardinalityBatch),
-  // chunks fanned across the pool; per-pair values are bit-identical to
-  // single EstimateJoin calls either way.
-  std::vector<const DatasetSketch*> s_sketches;
-  s_sketches.reserve(s_list.size());
-  for (const DatasetPtr& s : s_list) s_sketches.push_back(&s->sketch);
-  const size_t parts =
-      std::min(s_list.size(), static_cast<size_t>(pool.num_threads()) + 1);
-  const size_t per_part = (s_list.size() + parts - 1) / parts;
-  std::vector<double> out(s_list.size());
-  Status first_error;
-  std::mutex error_mu;
-  pool.ParallelFor(parts, [&](size_t p) {
-    const size_t begin = p * per_part;
-    const size_t end = std::min(begin + per_part, s_list.size());
-    if (begin >= end) return;
-    const std::vector<const DatasetSketch*> sub(
-        s_sketches.begin() + begin, s_sketches.begin() + end);
-    auto est = EstimateJoinCardinalityBatch(r.sketch, sub);
-    if (est.ok()) {
-      std::copy(est->begin(), est->end(), out.begin() + begin);
-    } else {
-      std::lock_guard<std::mutex> g(error_mu);
-      if (first_error.ok()) first_error = est.status();
-    }
-  });
-  locks.clear();
-  if (!first_error.ok()) return first_error;
-  join_estimates_.fetch_add(s_list.size(), std::memory_order_relaxed);
-  return out;
-}
-
-Result<double> SketchStore::EstimateJoin(const std::string& r_dataset,
-                                         const std::string& s_dataset) const {
-  auto r_found = Find(r_dataset);
-  if (!r_found.ok()) return r_found.status();
-  auto s_found = Find(s_dataset);
-  if (!s_found.ok()) return s_found.status();
-  const Dataset& r = **r_found;
-  const Dataset& s = **s_found;
-  if (r.kind != DatasetKind::kJoinR || s.kind != DatasetKind::kJoinS) {
+  if ((*r_found)->kind != DatasetKind::kJoinR) {
     return Status::FailedPrecondition(
         "join requires a kJoinR dataset joined against a kJoinS dataset");
   }
+  SketchStore* self = const_cast<SketchStore*>(this);
+  const DatasetHandle r_handle(self, *r_found);
+  std::vector<DatasetHandle> s_handles;
+  s_handles.reserve(s_datasets.size());
+  for (const std::string& s : s_datasets) {
+    auto s_found = Find(s);
+    if (!s_found.ok()) return s_found.status();
+    if ((*s_found)->kind != DatasetKind::kJoinS) {
+      return Status::FailedPrecondition(
+          "join requires a kJoinR dataset joined against a kJoinS dataset");
+    }
+    if ((*s_found)->sketch.schema() != (*r_found)->sketch.schema()) {
+      return Status::FailedPrecondition(
+          "join requires both datasets to share one schema");
+    }
+    s_handles.emplace_back(DatasetHandle(self, std::move(*s_found)));
+  }
+  QueryBatch batch;
+  batch.specs.reserve(s_datasets.size());
+  for (DatasetHandle& s : s_handles) {
+    batch.Add(QuerySpec::JoinCardinality(r_handle, std::move(s)));
+  }
+  auto run = Run(batch);
+  if (!run.ok()) return run.status();
+  std::vector<double> out;
+  out.reserve(s_datasets.size());
+  for (QueryResult& res : *run) {
+    if (!res.status.ok()) return res.status;
+    out.push_back(res.value);
+  }
+  return out;
+}
 
-  // Address-ordered acquisition: two concurrent joins over the same pair
-  // in opposite roles cannot cycle through a queued writer. std::less is
-  // the guaranteed total order over unrelated objects' pointers; raw '<'
-  // is unspecified there.
-  const Dataset* first = &r;
-  const Dataset* second = &s;
-  if (std::less<const Dataset*>()(second, first)) std::swap(first, second);
-  std::shared_lock<FairSharedMutex> lock_first(first->mu);
-  std::shared_lock<FairSharedMutex> lock_second(second->mu);
-  auto est = EstimateJoinCardinality(r.sketch, s.sketch);
-  lock_second.unlock();
-  lock_first.unlock();
-  if (est.ok()) join_estimates_.fetch_add(1, std::memory_order_relaxed);
+Result<double> SketchStore::RangeCountOn(const internal::DatasetState& ds,
+                                         const Box& query,
+                                         bool selectivity) const {
+  SKETCH_RETURN_NOT_OK(ValidateRangeQuery(ds.kind, ds.opt, query));
+  // Count and object total under ONE shared lock so the selectivity
+  // ratio is a consistent cut even while writers stream in.
+  std::shared_lock<FairSharedMutex> lock(ds.mu);
+  const double count = spatialsketch::EstimateRangeCount(ds.sketch, query);
+  const double est =
+      selectivity ? SelectivityRatio(count, ds.sketch.num_objects()) : count;
+  lock.unlock();
+  range_estimates_.fetch_add(1, std::memory_order_relaxed);
   return est;
+}
+
+Result<int64_t> SketchStore::NumObjectsOn(internal::DatasetState& ds) const {
+  FenceDataset(ds);
+  std::shared_lock<FairSharedMutex> lock(ds.mu);
+  return ds.sketch.num_objects();
 }
 
 Result<int64_t> SketchStore::NumObjects(const std::string& dataset) const {
   auto found = Find(dataset);
   if (!found.ok()) return found.status();
-  Dataset& ds = **found;
-  FenceDataset(ds);
-  std::shared_lock<FairSharedMutex> lock(ds.mu);
-  return ds.sketch.num_objects();
+  return NumObjectsOn(**found);
 }
 
 Result<std::vector<int64_t>> SketchStore::CounterSnapshot(
     const std::string& dataset) const {
   auto found = Find(dataset);
   if (!found.ok()) return found.status();
-  Dataset& ds = **found;
+  internal::DatasetState& ds = **found;
   FenceDataset(ds);
   std::shared_lock<FairSharedMutex> lock(ds.mu);
   return ds.sketch.counters();
@@ -488,10 +1044,14 @@ Result<std::vector<int64_t>> SketchStore::CounterSnapshot(
 Result<std::string> SketchStore::Snapshot(const std::string& dataset) const {
   auto found = Find(dataset);
   if (!found.ok()) return found.status();
-  Dataset& ds = **found;
+  internal::DatasetState& ds = **found;
   FenceDataset(ds);
   std::string blob(kSnapshotMagic, sizeof(kSnapshotMagic));
   blob.push_back(static_cast<char>(ds.kind));
+  const uint64_t eps = ds.eps;
+  for (int b = 0; b < 8; ++b) {
+    blob.push_back(static_cast<char>((eps >> (8 * b)) & 0xff));
+  }
   std::shared_lock<FairSharedMutex> lock(ds.mu);
   blob += SerializeSketch(ds.sketch);
   lock.unlock();
@@ -503,16 +1063,34 @@ Status SketchStore::Restore(const std::string& dataset,
                             const std::string& blob) {
   auto found = Find(dataset);
   if (!found.ok()) return found.status();
-  Dataset& ds = **found;
+  internal::DatasetState& ds = **found;
 
-  if (blob.size() < kSnapshotHeader ||
-      blob.compare(0, sizeof(kSnapshotMagic), kSnapshotMagic,
-                   sizeof(kSnapshotMagic)) != 0) {
+  // Current (SST2) header, or the pre-eps SST1 header — SST1 predates
+  // the eps kinds, so those blobs carry an implicit eps of 0.
+  const bool v2 = blob.size() >= kSnapshotHeader &&
+                  blob.compare(0, sizeof(kSnapshotMagic), kSnapshotMagic,
+                               sizeof(kSnapshotMagic)) == 0;
+  const bool v1 = !v2 && blob.size() >= kSnapshotHeaderV1 &&
+                  blob.compare(0, sizeof(kSnapshotMagicV1), kSnapshotMagicV1,
+                               sizeof(kSnapshotMagicV1)) == 0;
+  if (!v2 && !v1) {
     return Status::InvalidArgument("not a SketchStore snapshot blob");
   }
   if (static_cast<DatasetKind>(blob[sizeof(kSnapshotMagic)]) != ds.kind) {
     return Status::FailedPrecondition(
         "snapshot was taken from a dataset of a different kind");
+  }
+  uint64_t blob_eps = 0;
+  if (v2) {
+    for (int b = 0; b < 8; ++b) {
+      blob_eps |= static_cast<uint64_t>(static_cast<uint8_t>(
+                      blob[sizeof(kSnapshotMagic) + 1 + b]))
+                  << (8 * b);
+    }
+  }
+  if (blob_eps != ds.eps) {
+    return Status::FailedPrecondition(
+        "snapshot was taken from a dataset with a different ingest eps");
   }
 
   // Pre-restore shard deltas must fold BEFORE the counters are replaced:
@@ -525,7 +1103,8 @@ Status SketchStore::Restore(const std::string& dataset,
   // lock. AdoptCountersFrom validates shape and schema-configuration
   // equality and keeps the dataset's shared schema instance, so restored
   // datasets remain joinable with their schema-mates.
-  auto restored = DeserializeSketch(blob.substr(kSnapshotHeader));
+  auto restored =
+      DeserializeSketch(blob.substr(v2 ? kSnapshotHeader : kSnapshotHeaderV1));
   if (!restored.ok()) return restored.status();
 
   std::unique_lock<FairSharedMutex> lock(ds.mu);
@@ -543,6 +1122,13 @@ StoreStats SketchStore::stats() const {
   s.bulk_boxes = bulk_boxes_.load(std::memory_order_relaxed);
   s.range_estimates = range_estimates_.load(std::memory_order_relaxed);
   s.join_estimates = join_estimates_.load(std::memory_order_relaxed);
+  s.self_join_estimates =
+      self_join_estimates_.load(std::memory_order_relaxed);
+  s.eps_join_estimates = eps_join_estimates_.load(std::memory_order_relaxed);
+  s.containment_estimates =
+      containment_estimates_.load(std::memory_order_relaxed);
+  s.query_batches = query_batches_.load(std::memory_order_relaxed);
+  s.handles_opened = handles_opened_.load(std::memory_order_relaxed);
   s.snapshots = snapshots_.load(std::memory_order_relaxed);
   s.restores = restores_.load(std::memory_order_relaxed);
   s.epoch_folds = epoch_folds_.load(std::memory_order_relaxed);

@@ -7,9 +7,18 @@
 // schema.h) and datasets (one DatasetSketch each, created under a
 // registered schema with a DatasetKind that fixes its shape and ingest
 // mapping). Callers speak ORIGINAL coordinates throughout; the store
-// applies the Section-5.2 endpoint transformation internally, exactly as
-// the estimator pipelines do, so a store-served estimate is bit-identical
-// to the equivalent single-threaded pipeline result.
+// applies each kind's ingest mapping internally (Section-5.2 endpoint
+// transformation for range/join, eps-square expansion for kEpsBoxes, the
+// Appendix-B.2 lift for the containment kinds), exactly as the estimator
+// pipelines do, so a store-served estimate is bit-identical to the
+// equivalent single-threaded pipeline result.
+//
+// Serving surface: the typed query API in src/api/ is the primary one —
+// OpenDataset returns a DatasetHandle that skips the registry lookup on
+// every hot-path operation, and Run executes a heterogeneous QueryBatch
+// (all six QueryKinds) with per-query failure isolation. The string-keyed
+// single/batch estimate entry points below are retained as thin shims
+// over Run and return bit-identical values.
 //
 // Concurrency model: the registry and every dataset carry their own
 // FairSharedMutex (fair_shared_mutex.h — std::shared_mutex makes no
@@ -23,8 +32,9 @@
 // starve readers. Because the synopsis is linear, any interleaving of
 // these critical sections yields counters identical to some sequential
 // execution of the same operations — concurrency changes timing, never
-// values. Joins take the two datasets' shared locks in address order so a
-// pending writer between the two acquisitions cannot induce a cycle.
+// values. Multi-dataset queries take the involved datasets' shared locks
+// in address order so a pending writer between the acquisitions cannot
+// induce a cycle.
 //
 // Sharded streaming writes: ConfigureShardedWriters(dataset, {W, epoch})
 // re-routes that dataset's Insert/Delete through W writer shards
@@ -38,7 +48,8 @@
 // that folds everything pending — one atomic load when nothing is — and
 // NumObjects/CounterSnapshot/Snapshot/Restore fence internally, so
 // persistence and verification surfaces always see the full stream.
-// See docs/ARCHITECTURE.md for the full concurrency model.
+// See docs/ARCHITECTURE.md for the full concurrency model and
+// docs/API.md for a cookbook of the typed query surface.
 
 #ifndef SPATIALSKETCH_STORE_SKETCH_STORE_H_
 #define SPATIALSKETCH_STORE_SKETCH_STORE_H_
@@ -52,37 +63,22 @@
 #include <string>
 #include <vector>
 
+#include "src/api/dataset_handle.h"
+#include "src/api/query.h"
 #include "src/common/macros.h"
 #include "src/common/status.h"
 #include "src/dyadic/dyadic_domain.h"
 #include "src/geom/box.h"
 #include "src/sketch/dataset_sketch.h"
 #include "src/sketch/schema.h"
+#include "src/store/dataset_state.h"
 #include "src/store/fair_shared_mutex.h"
 #include "src/store/query_pool.h"
+#include "src/store/store_types.h"
 #include "src/store/writer_shards.h"
 
 /// Core namespace of the spatialsketch library.
 namespace spatialsketch {
-
-/// What a dataset serves; fixes its Shape and its ingest-time mapping into
-/// the transformed domain (mirroring the estimator pipelines).
-enum class DatasetKind : uint8_t {
-  kRange = 0,  ///< RangeShape, MapR ingest; serves range-count estimates
-  kJoinR = 1,  ///< JoinShape, MapR ingest; the R side of spatial joins
-  kJoinS = 2,  ///< JoinShape, ShrinkS ingest; the S side of spatial joins
-};
-
-/// Schema registration over an ORIGINAL h-bit domain; the store derives
-/// the transformed schema (h+2 bits per dimension) internally.
-struct StoreSchemaOptions {
-  uint32_t dims = 1;          ///< dimensionality (1..kMaxDims)
-  uint32_t log2_domain = 16;  ///< original domain bits per dimension
-  uint32_t max_level = DyadicDomain::kNoCap;  ///< Section 6.5 level cap
-  uint32_t k1 = 64;   ///< estimators averaged per group (accuracy)
-  uint32_t k2 = 9;    ///< groups medianed (confidence)
-  uint64_t seed = 1;  ///< master seed (equal options => identical schema)
-};
 
 /// Monotonic operation counters (relaxed atomics; approximate under
 /// concurrency, exact once the store is quiescent).
@@ -91,10 +87,15 @@ struct StoreStats {
   uint64_t deletes = 0;  ///< streaming Delete calls applied
   uint64_t dropped = 0;  ///< degenerate boxes ignored by ingest
   uint64_t bulk_boxes = 0;       ///< boxes absorbed through bulk loads
-  uint64_t range_estimates = 0;  ///< range estimates served (incl. batch)
-  uint64_t join_estimates = 0;   ///< join estimates served (incl. batch)
-  uint64_t snapshots = 0;        ///< Snapshot blobs produced
-  uint64_t restores = 0;         ///< successful Restore calls
+  uint64_t range_estimates = 0;  ///< range count/selectivity estimates served
+  uint64_t join_estimates = 0;   ///< spatial-join estimates served
+  uint64_t self_join_estimates = 0;    ///< self-join-size estimates served
+  uint64_t eps_join_estimates = 0;     ///< eps-join estimates served
+  uint64_t containment_estimates = 0;  ///< containment-join estimates served
+  uint64_t query_batches = 0;   ///< Run() batches executed (incl. via shims)
+  uint64_t handles_opened = 0;  ///< DatasetHandles handed out by OpenDataset
+  uint64_t snapshots = 0;       ///< Snapshot blobs produced
+  uint64_t restores = 0;        ///< successful Restore calls
   uint64_t epoch_folds = 0;  ///< shard deltas folded into master counters
   uint64_t fences = 0;       ///< explicit + internal epoch fences taken
 };
@@ -108,20 +109,51 @@ class SketchStore {
   /// An empty store: no schemas, no datasets, lazy query pool.
   SketchStore() = default;
 
+  /// Marks every dataset dropped, so a DatasetHandle that outlives the
+  /// store fails fast (FailedPrecondition) instead of dereferencing the
+  /// destroyed store — handles share ownership of the dataset STATES,
+  /// not of the store. Destroying the store while an operation is still
+  /// in flight remains a race, as for any C++ object.
+  ~SketchStore();
+
   // ---- Registry -----------------------------------------------------------
 
-  /// Register a named schema. Fails on duplicate names or invalid options.
+  /// Register a named schema. Fails on duplicate names or invalid
+  /// options. Builds the endpoint-transformed variant (the range/join
+  /// kinds) up front; the plain original-domain variant (eps kinds) and
+  /// the lifted 2*dims variant (containment kinds, requiring
+  /// 2 * dims <= kMaxDims) are derived lazily on the first CreateDataset
+  /// that needs them — see StoreSchemaOptions.
   Status RegisterSchema(const std::string& name,
                         const StoreSchemaOptions& opt);
 
   /// Create an empty dataset under a registered schema. Datasets created
-  /// under the same schema NAME share the same schema instance and are
-  /// therefore joinable / mergeable.
+  /// under the same schema NAME and the same schema variant (see
+  /// DatasetKind) share the same schema instance and are therefore
+  /// joinable / mergeable.
   Status CreateDataset(const std::string& name,
                        const std::string& schema_name, DatasetKind kind);
 
-  /// Remove a dataset from the registry. In-flight operations holding
-  /// the dataset's shared_ptr finish safely; new lookups fail.
+  /// CreateDataset with per-dataset options (currently the kEpsBoxes
+  /// ingest radius; see DatasetOptions). Fails if an option is set that
+  /// the kind does not read.
+  Status CreateDataset(const std::string& name,
+                       const std::string& schema_name, DatasetKind kind,
+                       const DatasetOptions& dopt);
+
+  /// Resolve a dataset name ONCE and return a handle whose Insert/
+  /// Delete/estimate operations skip the registry map lookup + registry
+  /// lock entirely (src/api/dataset_handle.h). The handle pins the
+  /// dataset's state; after DropDataset every operation through it
+  /// fails with FailedPrecondition, and a re-created same-name dataset
+  /// is distinguishable by its new generation() tag. Takes the
+  /// registry's shared lock once; thread-safe.
+  Result<DatasetHandle> OpenDataset(const std::string& name);
+
+  /// Remove a dataset from the registry and invalidate every open
+  /// DatasetHandle to it (their next operation fails fast). In-flight
+  /// operations holding the dataset's state finish safely; new lookups
+  /// fail. Takes the registry's exclusive lock.
   Status DropDataset(const std::string& name);
 
   /// Sorted dataset names. A consistent snapshot: the list is copied out
@@ -131,18 +163,21 @@ class SketchStore {
   /// Thread-safe.
   std::vector<std::string> ListDatasets() const;
 
-  /// The shared (transformed-domain) schema instance behind a registered
-  /// schema name.
+  /// The shared endpoint-transformed schema instance behind a registered
+  /// schema name (the variant serving the range/join kinds).
   Result<SchemaPtr> GetSchema(const std::string& name) const;
 
   // ---- Streaming and batched ingest (ORIGINAL coordinates) ----------------
 
-  /// Streaming single-object updates. Degenerate boxes are ignored (they
-  /// cannot contribute to a strict overlap; the pipelines drop them too)
-  /// and counted in stats().dropped. Thread-safe. Locking: the dataset's
-  /// exclusive lock for the update — unless the dataset has sharded
-  /// writers configured, in which case only the calling thread's shard
-  /// mutex is taken and the exclusive lock is deferred to epoch folds.
+  /// Streaming single-object updates. For the range/join kinds,
+  /// degenerate boxes are ignored (they cannot contribute to a strict
+  /// overlap; the pipelines drop them too) and counted in
+  /// stats().dropped; the point kinds (kEpsPoints/kEpsBoxes) require
+  /// lo == hi per dimension instead, and the containment kinds accept
+  /// any valid box. Thread-safe. Locking: the dataset's exclusive lock
+  /// for the update — unless the dataset has sharded writers configured,
+  /// in which case only the calling thread's shard mutex is taken and
+  /// the exclusive lock is deferred to epoch folds.
   Status Insert(const std::string& dataset, const Box& box);
   /// Streaming removal; the linear-synopsis mirror of Insert (same
   /// validation, locking, and sharded-writer routing).
@@ -178,41 +213,65 @@ class SketchStore {
                           const std::vector<Box>& boxes,
                           uint32_t num_threads, int sign = +1);
 
-  // ---- Serving (safe to call concurrently with all ingest paths) ----------
+  // ---- Typed serving (safe to call concurrently with all ingest paths) ----
+
+  /// Execute a heterogeneous QueryBatch (src/api/query.h): every
+  /// QueryKind — range count/selectivity, self-join size, spatial join,
+  /// eps join, containment join — in one call. Resolution pays the
+  /// registry lock once per distinct NAME in the batch (handle-bearing
+  /// specs skip it entirely); each involved dataset's FairSharedMutex is
+  /// then taken exactly ONCE, in address order, so all answers of the
+  /// batch are computed against a single consistent counter state; the
+  /// per-query work fans out across the internal query pool (range specs
+  /// grouped per dataset through RangeQueryBatch, join specs grouped per
+  /// R dataset through EstimateJoinCardinalityBatch — values are exactly
+  /// what the equivalent single-query calls against that state return).
+  ///
+  /// Failure isolation is PER QUERY: an unknown dataset, a dropped
+  /// handle, a kind mismatch, an invalid box, or an eps mismatch fails
+  /// only that spec's QueryResult; every other spec is served. The call
+  /// itself errors only on an empty batch. Thread-safe.
+  Result<std::vector<QueryResult>> Run(const QueryBatch& batch) const;
 
   /// Range-count estimate on a kRange dataset; the query is in ORIGINAL
   /// coordinates and must be non-degenerate per dimension. Takes the
   /// dataset's shared lock; thread-safe.
+  /// \deprecated Thin shim over Run() (bit-identical values); prefer
+  /// Run(QueryBatch) or DatasetHandle::EstimateRangeCount, which also
+  /// skip the per-call registry lookup.
   Result<double> EstimateRangeCount(const std::string& dataset,
                                     const Box& query) const;
   /// Selectivity (count / object total) variant; count and total are
   /// read under ONE shared-lock acquisition, so the ratio is a
   /// consistent cut even while writers stream. Thread-safe.
+  /// \deprecated Thin shim over Run() (bit-identical values); prefer
+  /// Run(QueryBatch) or DatasetHandle::EstimateRangeSelectivity.
   Result<double> EstimateRangeSelectivity(const std::string& dataset,
                                           const Box& query) const;
 
   /// Spatial-join cardinality estimate between a kJoinR and a kJoinS
   /// dataset created under the same schema name. Takes both datasets'
   /// shared locks in address order; thread-safe.
+  /// \deprecated Thin shim over Run() (bit-identical values); prefer
+  /// Run(QueryBatch) with QuerySpec::JoinCardinality.
   Result<double> EstimateJoin(const std::string& r_dataset,
                               const std::string& s_dataset) const;
 
-  // ---- Batched serving ----------------------------------------------------
-  //
-  // A batch acquires each involved dataset's FairSharedMutex exactly ONCE
-  // (vs once per query) and fans the per-query work across a small
-  // internal thread pool, so all answers of one batch are computed against
-  // a single consistent counter state. Values are exactly what the
-  // equivalent sequence of single-query calls against that state returns.
+  // ---- Batched serving (legacy shims over Run) ----------------------------
 
   /// Batched range-count estimates on a kRange dataset. Rejects empty
-  /// batches and invalid queries (whole batch, before any work).
+  /// batches and invalid queries (whole batch, preserving the pre-Run
+  /// contract — use Run() directly for per-query failure isolation).
+  /// \deprecated Thin shim over Run() (bit-identical values).
   Result<std::vector<double>> EstimateRangeBatch(
       const std::string& dataset, const std::vector<Box>& queries) const;
 
   /// Batched join estimates of one kJoinR dataset against many kJoinS
   /// datasets (same schema name); locks every distinct dataset once, in
-  /// address order. Rejects empty batches.
+  /// address order. Rejects empty batches and any bad pair (whole batch,
+  /// preserving the pre-Run contract — use Run() directly for per-query
+  /// failure isolation).
+  /// \deprecated Thin shim over Run() (bit-identical values).
   Result<std::vector<double>> EstimateJoinBatch(
       const std::string& r_dataset,
       const std::vector<std::string>& s_datasets) const;
@@ -231,56 +290,76 @@ class SketchStore {
 
   // ---- Persistence --------------------------------------------------------
 
-  /// Serialized self-contained snapshot — a small kind-tagged header over
-  /// the serialize.h sketch wire format — taken under the dataset's
-  /// shared lock: a consistent cut of the counters. Fences pending
-  /// writer-shard deltas first, so the blob contains every update that
-  /// returned before the call. Thread-safe.
+  /// Serialized self-contained snapshot — a small kind-and-eps-tagged
+  /// header over the serialize.h sketch wire format — taken under the
+  /// dataset's shared lock: a consistent cut of the counters. Fences
+  /// pending writer-shard deltas first, so the blob contains every
+  /// update that returned before the call. Thread-safe.
   Result<std::string> Snapshot(const std::string& dataset) const;
 
   /// Replace the dataset's counters with a snapshot blob. The blob's
-  /// DatasetKind, schema configuration, and shape must all match the
-  /// dataset's (kJoinR/kJoinS share shape and schema but ingest through
-  /// different coordinate mappings, so the kind tag is load-bearing); the
-  /// dataset keeps its shared schema instance, so restored datasets stay
-  /// joinable with their schema-mates. Fences pending writer-shard deltas
-  /// BEFORE adopting (pre-restore updates must not fold into post-restore
-  /// counters later), deserializes off-lock, and adopts under the
-  /// dataset's exclusive lock; updates racing the restore land after it,
-  /// as some sequential order must place them. Thread-safe.
+  /// DatasetKind, ingest eps, schema configuration, and shape must all
+  /// match the dataset's (kJoinR/kJoinS share shape and schema but
+  /// ingest through different coordinate mappings, and two kEpsBoxes
+  /// datasets differing only in eps hold incomparable counters, so the
+  /// kind and eps tags are load-bearing); the dataset keeps its shared
+  /// schema instance, so restored datasets stay joinable with their
+  /// schema-mates. Fences pending writer-shard deltas BEFORE adopting
+  /// (pre-restore updates must not fold into post-restore counters
+  /// later), deserializes off-lock, and adopts under the dataset's
+  /// exclusive lock; updates racing the restore land after it, as some
+  /// sequential order must place them. Thread-safe.
   Status Restore(const std::string& dataset, const std::string& blob);
 
   /// Monotonic operation counters (relaxed reads; see StoreStats).
   StoreStats stats() const;
 
  private:
-  struct Dataset {
-    Dataset(DatasetKind k, StoreSchemaOptions o, DatasetSketch s)
-        : kind(k), opt(o), sketch(std::move(s)) {}
-    const DatasetKind kind;
-    const StoreSchemaOptions opt;  ///< original-domain configuration
-    DatasetSketch sketch;          ///< the master counters; guarded by mu
-    mutable FairSharedMutex mu;
-    // Sharded-writer state. `shards` owns the set; `shards_live` is the
-    // lock-free view the streaming hot path reads (published once, under
-    // the exclusive lock, never cleared — which is why configuration is
-    // one-shot and no teardown race exists).
-    std::unique_ptr<WriterShardSet> shards;
-    std::atomic<WriterShardSet*> shards_live{nullptr};
-  };
-  using DatasetPtr = std::shared_ptr<Dataset>;
+  /// Handle operations forward to the private `*To`/`*On` helpers after
+  /// their liveness check, sharing one implementation with the
+  /// string-keyed paths.
+  friend class DatasetHandle;
 
+  using DatasetPtr = std::shared_ptr<internal::DatasetState>;
+
+  /// The schema variants behind one registered name (see
+  /// StoreSchemaOptions): `transformed` (built at RegisterSchema) serves
+  /// kRange/kJoinR/kJoinS; `plain` and `lifted` serve the eps and
+  /// containment kinds and are created lazily by EnsureSchemaVariant on
+  /// the first CreateDataset that needs them, so range/join-only users
+  /// never pay for them.
   struct SchemaEntry {
     StoreSchemaOptions opt;
-    SchemaPtr schema;
+    SchemaPtr transformed;
+    SchemaPtr plain;
+    SchemaPtr lifted;
   };
 
   Result<DatasetPtr> Find(const std::string& name) const;
+  /// The lazily created `plain` (lifted=false) or `lifted` (lifted=true)
+  /// schema variant of `schema_name`, building and publishing it under
+  /// the registry's exclusive lock on first use. Concurrent callers
+  /// always receive the SAME instance (pointer equality is the
+  /// estimators' schema-compatibility test).
+  Result<SchemaPtr> EnsureSchemaVariant(const std::string& schema_name,
+                                        bool lifted);
+  /// FailedPrecondition once DropDataset has invalidated `ds`.
+  static Status CheckLive(const internal::DatasetState& ds);
   Status ApplyStreaming(const std::string& dataset, const Box& box, int sign);
+  /// The post-resolution body of Insert/Delete, shared with the handle
+  /// fast path: kind-specific ingest mapping, sharded-writer routing,
+  /// stats.
+  Status ApplyStreamingTo(internal::DatasetState& ds, const Box& box,
+                          int sign);
+  /// Handle twins of the string-keyed serving entry points (DatasetHandle
+  /// forwards here after its liveness check).
+  Result<double> RangeCountOn(const internal::DatasetState& ds,
+                              const Box& query, bool selectivity) const;
+  Result<int64_t> NumObjectsOn(internal::DatasetState& ds) const;
   /// Folds any pending writer-shard deltas of `ds` (no-op when unsharded
   /// or idle) and accounts the folds; shared by Fence and every surface
   /// that must observe the full stream.
-  void FenceDataset(Dataset& ds) const;
+  void FenceDataset(internal::DatasetState& ds) const;
   Status MergeDelta(const std::string& name, const std::vector<Box>& boxes,
                     uint32_t num_threads, int sign);
   /// The lazily created batch-serving pool (first batch call pays the
@@ -292,6 +371,7 @@ class SketchStore {
   mutable std::unique_ptr<QueryPool> pool_;
   std::map<std::string, SchemaEntry> schemas_;
   std::map<std::string, DatasetPtr> datasets_;
+  std::atomic<uint64_t> next_generation_{0};
 
   mutable std::atomic<uint64_t> inserts_{0};
   mutable std::atomic<uint64_t> deletes_{0};
@@ -299,6 +379,11 @@ class SketchStore {
   mutable std::atomic<uint64_t> bulk_boxes_{0};
   mutable std::atomic<uint64_t> range_estimates_{0};
   mutable std::atomic<uint64_t> join_estimates_{0};
+  mutable std::atomic<uint64_t> self_join_estimates_{0};
+  mutable std::atomic<uint64_t> eps_join_estimates_{0};
+  mutable std::atomic<uint64_t> containment_estimates_{0};
+  mutable std::atomic<uint64_t> query_batches_{0};
+  mutable std::atomic<uint64_t> handles_opened_{0};
   mutable std::atomic<uint64_t> snapshots_{0};
   mutable std::atomic<uint64_t> restores_{0};
   mutable std::atomic<uint64_t> epoch_folds_{0};

@@ -1,0 +1,81 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Store-facing configuration types shared by the serving layer
+// (src/store/sketch_store.h) and the typed query surface (src/api/).
+// They live below both so a handle or a QuerySpec can name a dataset's
+// kind without pulling in the whole store.
+
+#ifndef SPATIALSKETCH_STORE_STORE_TYPES_H_
+#define SPATIALSKETCH_STORE_STORE_TYPES_H_
+
+#include <cstdint>
+
+#include "src/dyadic/dyadic_domain.h"
+#include "src/geom/box.h"
+
+namespace spatialsketch {
+
+/// What a dataset serves; fixes its Shape, the schema variant it is
+/// sketched under, and its ingest-time mapping into sketch coordinates
+/// (mirroring the estimator pipelines — a store-served estimate is
+/// bit-identical to the equivalent single-threaded pipeline result).
+///
+/// The first three kinds live over the ENDPOINT-TRANSFORMED domain
+/// (Section 5.2); the eps/containment kinds count CLOSED predicates,
+/// which are exact under coordinate collisions, so they live over the
+/// original (eps) or lifted (containment) domain with no transformation.
+enum class DatasetKind : uint8_t {
+  kRange = 0,  ///< RangeShape, MapR ingest; serves range-count estimates
+  kJoinR = 1,  ///< JoinShape, MapR ingest; the R side of spatial joins
+  kJoinS = 2,  ///< JoinShape, ShrinkS ingest; the S side of spatial joins
+  /// PointShape over the original domain; ingests POINTS (boxes with
+  /// lo == hi per dimension). The A side of eps-distance joins
+  /// (Section 6.3): QueryKind::kEpsJoin pairs it with a kEpsBoxes set.
+  kEpsPoints = 3,
+  /// BoxCoverShape over the original domain; ingests POINTS and expands
+  /// each into the closed L-infinity square of radius `DatasetOptions::
+  /// eps` (clamped to the domain) at ingest, exactly as the eps-join
+  /// pipeline's ExpandEpsSquares does. The B side of eps-distance joins;
+  /// the radius is baked into the counters, so a kEpsJoin query must
+  /// carry the same eps.
+  kEpsBoxes = 4,
+  /// PointShape over the 2*dims-dimensional lifted domain (Appendix B.2);
+  /// ingests boxes and lifts each to the point (lo_1, hi_1, ...). The
+  /// "inner" (contained) side of containment joins. Requires
+  /// 2 * dims <= kMaxDims, i.e. 1 or 2 original dimensions.
+  kContainInner = 5,
+  /// BoxCoverShape over the lifted domain; ingests boxes and lifts each
+  /// to the 2*dims-dimensional box ([lo_i, hi_i] twice per dimension).
+  /// The "outer" (containing) side of containment joins.
+  kContainOuter = 6,
+};
+
+/// Schema registration over an ORIGINAL h-bit domain. The store derives
+/// the schema variants internally: the endpoint-transformed schema
+/// (h+2 bits per dimension) serving the range/join kinds, the plain
+/// original-domain schema serving the eps kinds, and — when
+/// 2 * dims <= kMaxDims — the lifted 2*dims schema serving the
+/// containment kinds (the latter two created lazily on first use).
+/// Datasets created under the same schema NAME and the same variant
+/// share one schema instance and are joinable.
+struct StoreSchemaOptions {
+  uint32_t dims = 1;          ///< dimensionality (1..kMaxDims)
+  uint32_t log2_domain = 16;  ///< original domain bits per dimension
+  uint32_t max_level = DyadicDomain::kNoCap;  ///< Section 6.5 level cap
+  uint32_t k1 = 64;   ///< estimators averaged per group (accuracy)
+  uint32_t k2 = 9;    ///< groups medianed (confidence)
+  uint64_t seed = 1;  ///< master seed (equal options => identical schema)
+};
+
+/// Per-dataset creation options (CreateDataset's 4-argument overload).
+struct DatasetOptions {
+  /// kEpsBoxes only: the L-infinity radius baked into ingest-time square
+  /// expansion. Any other kind rejects a non-zero eps. eps = 0 is legal
+  /// (squares degenerate to the points themselves: an exact-coincidence
+  /// join).
+  Coord eps = 0;
+};
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_STORE_STORE_TYPES_H_

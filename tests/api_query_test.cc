@@ -1,0 +1,566 @@
+// The typed query surface (src/api/): SketchStore::Run must serve every
+// QuerySpec kind with values EXACTLY equal to the direct paths (legacy
+// store entry points, handle twins, and the standalone estimator
+// pipelines under equal options/seed), isolate failures per query, and
+// DatasetHandles must skip the registry while staying bit-identical —
+// and fail fast once their dataset is dropped.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/dyadic/endpoint_transform.h"
+#include "src/estimators/containment_estimator.h"
+#include "src/estimators/eps_join_estimator.h"
+#include "src/sketch/self_join.h"
+#include "src/store/sketch_store.h"
+
+namespace spatialsketch {
+namespace {
+
+std::vector<Box> MakeBoxes(uint32_t dims, uint32_t h, size_t count,
+                           uint64_t seed) {
+  Rng rng(seed);
+  const Coord domain = Coord{1} << h;
+  std::vector<Box> boxes(count);
+  for (Box& b : boxes) {
+    for (uint32_t d = 0; d < dims; ++d) {
+      const Coord side = 1 + rng.Uniform(domain / 2);
+      const Coord lo = rng.Uniform(domain - side);
+      b.lo[d] = lo;
+      b.hi[d] = lo + side;
+    }
+  }
+  return boxes;
+}
+
+std::vector<Box> MakePoints(uint32_t dims, uint32_t h, size_t count,
+                            uint64_t seed) {
+  Rng rng(seed);
+  const Coord domain = Coord{1} << h;
+  std::vector<Box> points(count);
+  for (Box& p : points) {
+    for (uint32_t d = 0; d < dims; ++d) {
+      const Coord c = rng.Uniform(domain);
+      p.lo[d] = c;
+      p.hi[d] = c;
+    }
+  }
+  return points;
+}
+
+StoreSchemaOptions SmallSchema(uint32_t dims, uint32_t h) {
+  StoreSchemaOptions opt;
+  opt.dims = dims;
+  opt.log2_domain = h;
+  opt.k1 = 8;
+  opt.k2 = 3;
+  opt.seed = 5;
+  return opt;
+}
+
+// A store hosting one dataset of every kind: range/join (dims=2 schema
+// "s2"), eps pair (dims=2, eps=12), containment pair (dims=1 schema "s1",
+// lifted to 2 sketch dimensions).
+class ApiQueryTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kH = 9;
+  static constexpr Coord kEps = 12;
+
+  void SetUp() override {
+    ASSERT_TRUE(store_.RegisterSchema("s2", SmallSchema(2, kH)).ok());
+    ASSERT_TRUE(store_.RegisterSchema("s1", SmallSchema(1, kH)).ok());
+    ASSERT_TRUE(store_.CreateDataset("range", "s2", DatasetKind::kRange).ok());
+    ASSERT_TRUE(store_.CreateDataset("r", "s2", DatasetKind::kJoinR).ok());
+    ASSERT_TRUE(store_.CreateDataset("sA", "s2", DatasetKind::kJoinS).ok());
+    ASSERT_TRUE(store_.CreateDataset("sB", "s2", DatasetKind::kJoinS).ok());
+    ASSERT_TRUE(
+        store_.CreateDataset("pts", "s2", DatasetKind::kEpsPoints).ok());
+    DatasetOptions eps_opt;
+    eps_opt.eps = kEps;
+    ASSERT_TRUE(
+        store_.CreateDataset("eps", "s2", DatasetKind::kEpsBoxes, eps_opt)
+            .ok());
+    ASSERT_TRUE(
+        store_.CreateDataset("inner", "s1", DatasetKind::kContainInner).ok());
+    ASSERT_TRUE(
+        store_.CreateDataset("outer", "s1", DatasetKind::kContainOuter).ok());
+
+    range_boxes_ = MakeBoxes(2, kH, 400, 11);
+    r_boxes_ = MakeBoxes(2, kH, 300, 12);
+    sa_boxes_ = MakeBoxes(2, kH, 200, 13);
+    sb_boxes_ = MakeBoxes(2, kH, 200, 14);
+    a_points_ = MakePoints(2, kH, 250, 15);
+    b_points_ = MakePoints(2, kH, 250, 16);
+    inner_boxes_ = MakeBoxes(1, kH, 300, 17);
+    outer_boxes_ = MakeBoxes(1, kH, 300, 18);
+
+    ASSERT_TRUE(store_.BulkLoad("range", range_boxes_).ok());
+    ASSERT_TRUE(store_.BulkLoad("r", r_boxes_).ok());
+    ASSERT_TRUE(store_.BulkLoad("sA", sa_boxes_).ok());
+    ASSERT_TRUE(store_.BulkLoad("sB", sb_boxes_).ok());
+    ASSERT_TRUE(store_.BulkLoad("pts", a_points_).ok());
+    ASSERT_TRUE(store_.BulkLoad("eps", b_points_).ok());
+    ASSERT_TRUE(store_.BulkLoad("inner", inner_boxes_).ok());
+    ASSERT_TRUE(store_.BulkLoad("outer", outer_boxes_).ok());
+  }
+
+  SketchStore store_;
+  std::vector<Box> range_boxes_, r_boxes_, sa_boxes_, sb_boxes_;
+  std::vector<Box> a_points_, b_points_, inner_boxes_, outer_boxes_;
+};
+
+TEST_F(ApiQueryTest, MixedBatchMatchesEveryDirectPathExactly) {
+  const Box window = MakeRect(30, 400, 64, 333);
+
+  QueryBatch batch;
+  batch.Add(QuerySpec::RangeCount("range", window));
+  batch.Add(QuerySpec::RangeSelectivity("range", window));
+  batch.Add(QuerySpec::SelfJoinSize("r"));
+  batch.Add(QuerySpec::JoinCardinality("r", "sA"));
+  batch.Add(QuerySpec::JoinCardinality("r", "sB"));
+  batch.Add(QuerySpec::EpsJoin("pts", "eps", kEps));
+  batch.Add(QuerySpec::ContainmentJoin("inner", "outer"));
+  auto run = store_.Run(batch);
+  ASSERT_TRUE(run.ok());
+  ASSERT_EQ(run->size(), batch.size());
+  for (size_t i = 0; i < run->size(); ++i) {
+    ASSERT_TRUE((*run)[i].ok()) << "spec " << i << ": "
+                                << (*run)[i].status.ToString();
+    EXPECT_EQ((*run)[i].estimator.k1, 8u);
+    EXPECT_EQ((*run)[i].estimator.k2, 3u);
+    EXPECT_EQ((*run)[i].estimator.instances, 24u);
+  }
+
+  // Range kinds: the legacy string path (itself a shim over Run, but
+  // exercised as the caller-facing contract).
+  auto count = store_.EstimateRangeCount("range", window);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ((*run)[0].value, *count);
+  auto sel = store_.EstimateRangeSelectivity("range", window);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ((*run)[1].value, *sel);
+
+  // Self-join size: a standalone sketch under the SAME schema instance,
+  // ingested through the same MapR transform, must agree exactly.
+  auto schema = store_.GetSchema("s2");
+  ASSERT_TRUE(schema.ok());
+  DatasetSketch standalone(*schema, Shape::JoinShape(2));
+  for (const Box& b : r_boxes_) {
+    standalone.Insert(EndpointTransform::MapR(b, 2));
+  }
+  EXPECT_EQ((*run)[2].value, EstimateTotalSelfJoin(standalone));
+
+  // Spatial joins: the legacy pairwise path.
+  auto join_a = store_.EstimateJoin("r", "sA");
+  ASSERT_TRUE(join_a.ok());
+  EXPECT_EQ((*run)[3].value, *join_a);
+  auto join_b = store_.EstimateJoin("r", "sB");
+  ASSERT_TRUE(join_b.ok());
+  EXPECT_EQ((*run)[4].value, *join_b);
+
+  // Eps join: the standalone pipeline under equal options and seed
+  // builds a bit-identical schema and sketches, so the estimate is
+  // EXACTLY equal.
+  EpsJoinPipelineOptions eps_opt;
+  eps_opt.dims = 2;
+  eps_opt.log2_domain = kH;
+  eps_opt.eps = kEps;
+  eps_opt.k1 = 8;
+  eps_opt.k2 = 3;
+  eps_opt.seed = 5;
+  auto eps_pipeline = SketchEpsJoin(a_points_, b_points_, eps_opt);
+  ASSERT_TRUE(eps_pipeline.ok());
+  EXPECT_EQ((*run)[5].value, eps_pipeline->estimate);
+
+  // Containment join: same exact-equality argument vs its pipeline.
+  ContainmentPipelineOptions con_opt;
+  con_opt.dims = 1;
+  con_opt.log2_domain = kH;
+  con_opt.k1 = 8;
+  con_opt.k2 = 3;
+  con_opt.seed = 5;
+  auto con_pipeline =
+      SketchContainmentJoin(inner_boxes_, outer_boxes_, con_opt);
+  ASSERT_TRUE(con_pipeline.ok());
+  EXPECT_EQ((*run)[6].value, con_pipeline->estimate);
+
+  const StoreStats stats = store_.stats();
+  EXPECT_GE(stats.range_estimates, 2u);
+  EXPECT_GE(stats.join_estimates, 2u);
+  EXPECT_EQ(stats.self_join_estimates, 1u);
+  EXPECT_EQ(stats.eps_join_estimates, 1u);
+  EXPECT_EQ(stats.containment_estimates, 1u);
+  EXPECT_GE(stats.query_batches, 1u);
+}
+
+TEST_F(ApiQueryTest, HandleSpecsAndHandleTwinsMatchStringPaths) {
+  auto range = store_.OpenDataset("range");
+  ASSERT_TRUE(range.ok());
+  auto r = store_.OpenDataset("r");
+  ASSERT_TRUE(r.ok());
+  auto sa = store_.OpenDataset("sA");
+  ASSERT_TRUE(sa.ok());
+  EXPECT_TRUE(range->live());
+  EXPECT_EQ(range->name(), "range");
+  EXPECT_EQ(range->kind(), DatasetKind::kRange);
+
+  const Box window = MakeRect(10, 200, 5, 480);
+
+  // Handle twins of the single-query paths are bit-identical.
+  auto by_name = store_.EstimateRangeCount("range", window);
+  auto by_handle = range->EstimateRangeCount(window);
+  ASSERT_TRUE(by_name.ok());
+  ASSERT_TRUE(by_handle.ok());
+  EXPECT_EQ(*by_name, *by_handle);
+  auto sel_name = store_.EstimateRangeSelectivity("range", window);
+  auto sel_handle = range->EstimateRangeSelectivity(window);
+  ASSERT_TRUE(sel_name.ok() && sel_handle.ok());
+  EXPECT_EQ(*sel_name, *sel_handle);
+  auto n_name = store_.NumObjects("range");
+  auto n_handle = range->NumObjects();
+  ASSERT_TRUE(n_name.ok() && n_handle.ok());
+  EXPECT_EQ(*n_name, *n_handle);
+
+  // Handle-bearing specs resolve without the registry and match
+  // name-bearing specs exactly.
+  QueryBatch batch;
+  batch.Add(QuerySpec::RangeCount(*range, window));
+  batch.Add(QuerySpec::JoinCardinality(*r, *sa));
+  batch.Add(QuerySpec::SelfJoinSize(*r));
+  auto run = store_.Run(batch);
+  ASSERT_TRUE(run.ok());
+  QueryBatch by_names;
+  by_names.Add(QuerySpec::RangeCount("range", window));
+  by_names.Add(QuerySpec::JoinCardinality("r", "sA"));
+  by_names.Add(QuerySpec::SelfJoinSize("r"));
+  auto run_names = store_.Run(by_names);
+  ASSERT_TRUE(run_names.ok());
+  for (size_t i = 0; i < run->size(); ++i) {
+    ASSERT_TRUE((*run)[i].ok());
+    ASSERT_TRUE((*run_names)[i].ok());
+    EXPECT_EQ((*run)[i].value, (*run_names)[i].value) << "spec " << i;
+  }
+
+  // Writes through the handle land in the same counters the string path
+  // serves (and vice versa).
+  const Box extra = MakeRect(1, 6, 2, 9);
+  ASSERT_TRUE(range->Insert(extra).ok());
+  auto after_insert = store_.EstimateRangeCount("range", window);
+  ASSERT_TRUE(after_insert.ok());
+  ASSERT_TRUE(range->Delete(extra).ok());
+  auto after_delete = range->EstimateRangeCount(window);
+  ASSERT_TRUE(after_delete.ok());
+  EXPECT_EQ(*after_delete, *by_handle);  // net-zero round trip
+
+  EXPECT_EQ(store_.stats().handles_opened, 3u);
+}
+
+TEST_F(ApiQueryTest, PerQueryFailureIsolation) {
+  const Box window = MakeRect(30, 400, 64, 333);
+  const Box degenerate = MakeRect(7, 7, 3, 9);
+
+  QueryBatch batch;
+  batch.Add(QuerySpec::RangeCount("range", window));          // 0: ok
+  batch.Add(QuerySpec::RangeCount("no_such", window));        // 1: unknown
+  batch.Add(QuerySpec::RangeCount("r", window));              // 2: kind
+  batch.Add(QuerySpec::RangeCount("range", degenerate));      // 3: bad box
+  batch.Add(QuerySpec::EpsJoin("pts", "eps", kEps + 1));      // 4: eps
+  batch.Add(QuerySpec::JoinCardinality("r", "sA"));           // 5: ok
+  batch.Add(QuerySpec::ContainmentJoin("outer", "inner"));    // 6: swapped
+  batch.Add(QuerySpec::EpsJoin("pts", "eps", kEps));          // 7: ok
+  auto run = store_.Run(batch);
+  ASSERT_TRUE(run.ok());
+  ASSERT_EQ(run->size(), 8u);
+
+  EXPECT_TRUE((*run)[0].ok());
+  EXPECT_EQ((*run)[1].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ((*run)[2].status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ((*run)[3].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ((*run)[4].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE((*run)[5].ok());
+  EXPECT_EQ((*run)[6].status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE((*run)[7].ok());
+
+  // The served slots carry exactly the values an all-good batch returns.
+  auto count = store_.EstimateRangeCount("range", window);
+  auto join = store_.EstimateJoin("r", "sA");
+  ASSERT_TRUE(count.ok() && join.ok());
+  EXPECT_EQ((*run)[0].value, *count);
+  EXPECT_EQ((*run)[5].value, *join);
+
+  // A batch of ONLY failing specs still succeeds as a call.
+  QueryBatch all_bad;
+  all_bad.Add(QuerySpec::SelfJoinSize("nope"));
+  all_bad.Add(QuerySpec::JoinCardinality("sA", "r"));  // roles swapped
+  auto bad_run = store_.Run(all_bad);
+  ASSERT_TRUE(bad_run.ok());
+  EXPECT_FALSE((*bad_run)[0].ok());
+  EXPECT_FALSE((*bad_run)[1].ok());
+
+  // Only the empty batch rejects the whole call.
+  EXPECT_FALSE(store_.Run(QueryBatch{}).ok());
+}
+
+TEST_F(ApiQueryTest, DropInvalidatesHandlesAndRecreationIsANewGeneration) {
+  auto handle = store_.OpenDataset("range");
+  ASSERT_TRUE(handle.ok());
+  const uint64_t old_generation = handle->generation();
+  ASSERT_TRUE(handle->EstimateRangeCount(MakeRect(1, 50, 1, 50)).ok());
+
+  ASSERT_TRUE(store_.DropDataset("range").ok());
+  EXPECT_TRUE(handle->valid());
+  EXPECT_FALSE(handle->live());
+  EXPECT_EQ(handle->Insert(MakeRect(1, 5, 1, 5)).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(handle->EstimateRangeCount(MakeRect(1, 50, 1, 50)).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(handle->NumObjects().status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(handle->Fence().code(), StatusCode::kFailedPrecondition);
+
+  // A stale handle inside a batch fails ONLY its own spec.
+  QueryBatch batch;
+  batch.Add(QuerySpec::RangeCount(*handle, MakeRect(1, 50, 1, 50)));
+  batch.Add(QuerySpec::JoinCardinality("r", "sA"));
+  auto run = store_.Run(batch);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ((*run)[0].status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE((*run)[1].ok());
+
+  // Re-creating the name yields a NEW generation; the stale handle keeps
+  // failing while a fresh handle serves the new dataset.
+  ASSERT_TRUE(store_.CreateDataset("range", "s2", DatasetKind::kRange).ok());
+  EXPECT_FALSE(handle->live());
+  EXPECT_FALSE(handle->EstimateRangeCount(MakeRect(1, 50, 1, 50)).ok());
+  auto fresh = store_.OpenDataset("range");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_GT(fresh->generation(), old_generation);
+  auto empty = fresh->EstimateRangeCount(MakeRect(1, 50, 1, 50));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(*empty, 0.0);  // the new dataset starts empty
+
+  // Default-constructed handles fail every operation.
+  DatasetHandle unbound;
+  EXPECT_FALSE(unbound.valid());
+  EXPECT_EQ(unbound.Insert(MakeRect(1, 5, 1, 5)).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(unbound.NumObjects().ok());
+}
+
+TEST_F(ApiQueryTest, RunMatchesDirectPathsUnderLiveShardedWriters) {
+  ShardedWriterOptions shard_opt;
+  shard_opt.writers = 2;
+  shard_opt.epoch_updates = 64;
+  ASSERT_TRUE(store_.ConfigureShardedWriters("range", shard_opt).ok());
+  auto handle = store_.OpenDataset("range");
+  ASSERT_TRUE(handle.ok());
+
+  const std::vector<Box> uniq = MakeBoxes(2, kH, 8, 21);
+  QueryBatch doubled;
+  for (const Box& q : uniq) {
+    doubled.Add(QuerySpec::RangeCount("range", q));
+    doubled.Add(QuerySpec::RangeCount(*handle, q));
+  }
+  doubled.Add(QuerySpec::EpsJoin("pts", "eps", kEps));
+  doubled.Add(QuerySpec::ContainmentJoin("inner", "outer"));
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 2; ++w) {
+    writers.emplace_back([&, w] {
+      const auto stream = MakeBoxes(2, kH, 128, 100 + w);
+      size_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        ASSERT_TRUE(handle->Insert(stream[i % stream.size()]).ok());
+        ASSERT_TRUE(handle->Delete(stream[i % stream.size()]).ok());
+        ++i;
+      }
+    });
+  }
+  // While writers stream: a batch reads one consistent counter state, so
+  // the name-spec and handle-spec duplicates of each query MUST agree
+  // exactly within a batch.
+  for (int round = 0; round < 30; ++round) {
+    auto run = store_.Run(doubled);
+    ASSERT_TRUE(run.ok());
+    for (size_t i = 0; i < uniq.size(); ++i) {
+      ASSERT_TRUE((*run)[2 * i].ok());
+      ASSERT_TRUE((*run)[2 * i + 1].ok());
+      ASSERT_EQ((*run)[2 * i].value, (*run)[2 * i + 1].value)
+          << "round " << round << " query " << i
+          << ": duplicates diverged within one batch";
+    }
+    ASSERT_TRUE((*run)[2 * uniq.size()].ok());
+    ASSERT_TRUE((*run)[2 * uniq.size() + 1].ok());
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : writers) t.join();
+
+  // After the stream drains (net zero, fenced), Run == the legacy
+  // per-call paths exactly, for every kind in the batch.
+  ASSERT_TRUE(store_.Fence("range").ok());
+  auto run = store_.Run(doubled);
+  ASSERT_TRUE(run.ok());
+  for (size_t i = 0; i < uniq.size(); ++i) {
+    auto single = store_.EstimateRangeCount("range", uniq[i]);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ((*run)[2 * i].value, *single);
+    EXPECT_EQ((*run)[2 * i + 1].value, *single);
+  }
+  EpsJoinPipelineOptions eps_opt;
+  eps_opt.dims = 2;
+  eps_opt.log2_domain = kH;
+  eps_opt.eps = kEps;
+  eps_opt.k1 = 8;
+  eps_opt.k2 = 3;
+  eps_opt.seed = 5;
+  auto eps_pipeline = SketchEpsJoin(a_points_, b_points_, eps_opt);
+  ASSERT_TRUE(eps_pipeline.ok());
+  EXPECT_EQ((*run)[2 * uniq.size()].value, eps_pipeline->estimate);
+}
+
+TEST_F(ApiQueryTest, IngestValidationPerKind) {
+  // Point kinds require lo == hi; boxes are rejected, not silently
+  // dropped.
+  EXPECT_EQ(store_.Insert("pts", MakeRect(1, 2, 3, 4)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(store_.Insert("eps", MakeRect(1, 2, 3, 4)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(store_.Insert("pts", MakePoint({9, 9})).ok());
+  EXPECT_TRUE(store_.Delete("pts", MakePoint({9, 9})).ok());
+
+  // Range/join kinds drop degenerate boxes (pre-redesign contract).
+  const uint64_t dropped_before = store_.stats().dropped;
+  EXPECT_TRUE(store_.Insert("range", MakeRect(7, 7, 3, 9)).ok());
+  EXPECT_EQ(store_.stats().dropped, dropped_before + 1);
+
+  // Containment kinds accept any valid box, including degenerate ones
+  // ([a, a] is contained in [c, d] whenever c <= a <= d).
+  EXPECT_TRUE(store_.Insert("inner", MakeInterval(5, 5)).ok());
+  EXPECT_TRUE(store_.Delete("inner", MakeInterval(5, 5)).ok());
+
+  // eps on a non-kEpsBoxes dataset is rejected at creation.
+  DatasetOptions eps_opt;
+  eps_opt.eps = 3;
+  EXPECT_EQ(
+      store_.CreateDataset("bad", "s2", DatasetKind::kRange, eps_opt).code(),
+      StatusCode::kInvalidArgument);
+
+  // Containment kinds need 2 * dims <= kMaxDims.
+  ASSERT_TRUE(store_.RegisterSchema("s3", SmallSchema(3, kH)).ok());
+  EXPECT_EQ(
+      store_.CreateDataset("c3", "s3", DatasetKind::kContainInner).code(),
+      StatusCode::kInvalidArgument);
+  // ... but 2 original dimensions (lifting to 4) are fine.
+  EXPECT_TRUE(
+      store_.CreateDataset("c2", "s2", DatasetKind::kContainInner).ok());
+}
+
+TEST_F(ApiQueryTest, LegacyBatchShimsValidateBeforeAnyWork) {
+  // Pre-Run contract: one bad query rejects the whole legacy batch
+  // BEFORE any estimation work — so the served-estimate stats must not
+  // move on the error path.
+  std::vector<Box> queries = MakeBoxes(2, kH, 8, 41);
+  queries.push_back(MakeRect(7, 7, 3, 9));  // degenerate
+  const uint64_t range_before = store_.stats().range_estimates;
+  auto bad = store_.EstimateRangeBatch("range", queries);
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(store_.stats().range_estimates, range_before);
+
+  const uint64_t join_before = store_.stats().join_estimates;
+  auto bad_join = store_.EstimateJoinBatch("r", {"sA", "range"});
+  EXPECT_EQ(bad_join.status().code(), StatusCode::kFailedPrecondition);
+  auto unknown_join = store_.EstimateJoinBatch("r", {"sA", "no_such"});
+  EXPECT_EQ(unknown_join.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(store_.stats().join_estimates, join_before);
+
+  // The all-good batches still serve (and count) normally.
+  queries.pop_back();
+  auto good = store_.EstimateRangeBatch("range", queries);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(store_.stats().range_estimates, range_before + queries.size());
+}
+
+TEST(DatasetHandleLifetime, HandleOutlivingItsStoreFailsFast) {
+  DatasetHandle handle;
+  {
+    SketchStore store;
+    ASSERT_TRUE(store.RegisterSchema("s", SmallSchema(2, 9)).ok());
+    ASSERT_TRUE(store.CreateDataset("d", "s", DatasetKind::kRange).ok());
+    auto opened = store.OpenDataset("d");
+    ASSERT_TRUE(opened.ok());
+    handle = *opened;
+    ASSERT_TRUE(handle.Insert(MakeRect(1, 5, 2, 6)).ok());
+  }
+  // The store is gone; the handle still pins the dataset STATE, and the
+  // destructor marked it dropped, so every operation fails cleanly
+  // instead of dereferencing the destroyed store.
+  EXPECT_TRUE(handle.valid());
+  EXPECT_FALSE(handle.live());
+  EXPECT_EQ(handle.Insert(MakeRect(1, 5, 2, 6)).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(handle.EstimateRangeCount(MakeRect(1, 5, 2, 6)).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(handle.Fence().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ApiQueryTest, SnapshotCarriesKindAndEpsTags) {
+  auto blob = store_.Snapshot("eps");
+  ASSERT_TRUE(blob.ok());
+
+  // Same kind, same eps: restores and serves identical estimates.
+  DatasetOptions same;
+  same.eps = kEps;
+  ASSERT_TRUE(
+      store_.CreateDataset("eps_replica", "s2", DatasetKind::kEpsBoxes, same)
+          .ok());
+  ASSERT_TRUE(store_.Restore("eps_replica", *blob).ok());
+  auto original = store_.Run({QuerySpec::EpsJoin("pts", "eps", kEps)});
+  auto replica = store_.Run({QuerySpec::EpsJoin("pts", "eps_replica", kEps)});
+  ASSERT_TRUE(original.ok() && replica.ok());
+  ASSERT_TRUE((*original)[0].ok());
+  ASSERT_TRUE((*replica)[0].ok());
+  EXPECT_EQ((*original)[0].value, (*replica)[0].value);
+
+  // Different eps: the counters would be incomparable; the tag refuses.
+  DatasetOptions other;
+  other.eps = kEps + 1;
+  ASSERT_TRUE(
+      store_.CreateDataset("eps_other", "s2", DatasetKind::kEpsBoxes, other)
+          .ok());
+  EXPECT_EQ(store_.Restore("eps_other", *blob).code(),
+            StatusCode::kFailedPrecondition);
+
+  // Different kind: refused (kEpsPoints shares the schema variant but
+  // not the shape/kind).
+  EXPECT_EQ(store_.Restore("pts", *blob).code(),
+            StatusCode::kFailedPrecondition);
+
+  // Pre-eps SST1 blobs (magic "SST1", no eps field — implicitly eps 0)
+  // still restore: rewrite a fresh kRange snapshot into the old format.
+  auto range_blob = store_.Snapshot("range");
+  ASSERT_TRUE(range_blob.ok());
+  std::string v1_blob = "SST1";
+  v1_blob.push_back((*range_blob)[4]);           // the kind byte
+  v1_blob += range_blob->substr(4 + 1 + 8);      // payload minus eps field
+  ASSERT_TRUE(
+      store_.CreateDataset("range_v1", "s2", DatasetKind::kRange).ok());
+  ASSERT_TRUE(store_.Restore("range_v1", v1_blob).ok());
+  const Box window = MakeRect(30, 400, 64, 333);
+  auto from_v1 = store_.EstimateRangeCount("range_v1", window);
+  auto from_live = store_.EstimateRangeCount("range", window);
+  ASSERT_TRUE(from_v1.ok() && from_live.ok());
+  EXPECT_EQ(*from_v1, *from_live);
+
+  // Garbage is still rejected as not-a-blob.
+  EXPECT_EQ(store_.Restore("range_v1", "XYZW garbage").code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace spatialsketch
