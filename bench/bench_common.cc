@@ -1,10 +1,13 @@
 #include "bench/bench_common.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+
+#include "src/xi/kernels.h"
 
 namespace spatialsketch {
 namespace bench {
@@ -44,6 +47,29 @@ double Mean(const std::vector<double>& v) {
   double sum = 0.0;
   for (double x : v) sum += x;
   return sum / static_cast<double>(v.size());
+}
+
+double Median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  const size_t mid = (v.size() - 1) / 2;
+  std::nth_element(v.begin(), v.begin() + mid, v.end());
+  return v[mid];
+}
+
+void ApplyKernelsFlagOrDie(const Flags& flags) {
+  if (!flags.Has("kernels")) return;
+  const std::string name = flags.GetString("kernels");
+  const Status st = kernels::ForceKernels(name);
+  if (!st.ok()) {
+    std::fprintf(stderr, "--kernels=%s: %s\n", name.c_str(),
+                 st.ToString().c_str());
+    std::exit(2);
+  }
+}
+
+uint32_t Reps(const Flags& flags) {
+  const int64_t reps = flags.GetInt("reps", 1);
+  return reps < 1 ? 1u : static_cast<uint32_t>(reps);
 }
 
 Flags ParseFlagsOrDie(int argc, char** argv) {
@@ -99,6 +125,34 @@ void AppendJsonNumber(std::ostringstream* out, double v) {
   *out << buf;
 }
 
+// First "model name" line of /proc/cpuinfo, trimmed; "unknown" when the
+// file is absent (non-Linux) or holds no model line.
+std::string HostModelString() {
+  std::ifstream f("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.rfind("model name", 0) != 0) continue;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) break;
+    size_t start = colon + 1;
+    while (start < line.size() && line[start] == ' ') ++start;
+    size_t end = line.size();
+    while (end > start && (line[end - 1] == ' ' || line[end - 1] == '\t')) {
+      --end;
+    }
+    if (end > start) return line.substr(start, end - start);
+  }
+  return "unknown";
+}
+
+// Execution context stamped into every emitted result so bench JSONs are
+// comparable across hosts, kernels, and PRs (docs/BENCH.md).
+void AppendHostParams(BenchResult* r) {
+  r->Param("kernel", kernels::SelectedName());
+  r->Param("cpu_features", kernels::CpuFeatureString());
+  r->Param("host_model", HostModelString());
+}
+
 }  // namespace
 
 std::string BenchResultsToJson(const std::vector<BenchResult>& results) {
@@ -135,7 +189,9 @@ Status WriteBenchJson(const std::string& path,
   if (!f) {
     return Status::InvalidArgument("cannot open json_out path: " + path);
   }
-  f << BenchResultsToJson(results);
+  std::vector<BenchResult> stamped = results;
+  for (BenchResult& r : stamped) AppendHostParams(&r);
+  f << BenchResultsToJson(stamped);
   f.close();
   if (!f) {
     return Status::Internal("short write to json_out path: " + path);

@@ -46,8 +46,34 @@ uint32_t GeometricGridForBudget(uint64_t budget_words);
 /// Mean of a vector (0 for empty).
 double Mean(const std::vector<double>& v);
 
+/// Median of a vector (0 for empty; lower-middle element for even sizes,
+/// so the result is always an actually-measured value).
+double Median(std::vector<double> v);
+
 /// Parse flags or die with a message.
 Flags ParseFlagsOrDie(int argc, char** argv);
+
+/// Shared --kernels=scalar|avx2|avx512 flag: forces that kernel variant
+/// for the whole run (A/B against SPATIALSKETCH_KERNELS-less autoselect);
+/// dies with a message when the name is unknown or the variant is
+/// unavailable on this host. No-op when the flag is unset.
+void ApplyKernelsFlagOrDie(const Flags& flags);
+
+/// Shared --reps=N flag (default 1, minimum 1): how many times each
+/// timed measurement repeats; benches report the MEDIAN rate, which
+/// suppresses the +-15% run-to-run noise the 1-core build host shows.
+uint32_t Reps(const Flags& flags);
+
+/// Runs `measure` (a callable returning a rate) `reps` times and returns
+/// the median — the standard wrapper the throughput benches put around
+/// each timed section.
+template <typename MeasureFn>
+double MedianOfReps(uint32_t reps, MeasureFn&& measure) {
+  std::vector<double> rates;
+  rates.reserve(reps);
+  for (uint32_t r = 0; r < reps; ++r) rates.push_back(measure());
+  return Median(std::move(rates));
+}
 
 /// One machine-readable benchmark record: a bench name, the parameters it
 /// ran with (stringified), and its measured metrics (e.g. updates_per_sec,
@@ -76,7 +102,11 @@ struct BenchResult {
 ///   {"results": [{"name": ..., "params": {...}, "metrics": {...}}, ...]}
 std::string BenchResultsToJson(const std::vector<BenchResult>& results);
 
-/// Write the JSON document to `path` (overwrites).
+/// Write the JSON document to `path` (overwrites). Every result's params
+/// block is stamped with the execution context needed to compare runs
+/// across hosts and PRs: the selected kernel variant ("kernel"), the
+/// dispatch-relevant CPU features ("cpu_features"), and the CPU model
+/// string ("host_model"). See docs/BENCH.md.
 Status WriteBenchJson(const std::string& path,
                       const std::vector<BenchResult>& results);
 

@@ -12,7 +12,15 @@
 //
 //   build/micro_query_throughput [--seconds=2] [--n=20000] [--dims=2]
 //       [--log2_domain=12] [--k1=16] [--k2=5] [--batch=256]
-//       [--s_datasets=8] [--handles=1] [--mixed=1] [--json_out=<path>]
+//       [--s_datasets=8] [--handles=1] [--mixed=1] [--reps=1]
+//       [--kernels=scalar|avx2|avx512] [--json_out=<path>]
+//
+// Kernel A/B: --kernels forces a dispatch variant; when the active
+// variant is NOT scalar the bench also times the handle single-query
+// loop and the batched join loop under the scalar variant in the same
+// run (reporting `kernel speedup vs scalar`), after gating the batched
+// range and join estimates EXACTLY equal across the two variants.
+// --reps=N repeats each timed loop N times and reports the median.
 
 #include <cinttypes>
 #include <cstdio>
@@ -24,6 +32,7 @@
 #include "src/common/stopwatch.h"
 #include "src/store/sketch_store.h"
 #include "src/workload/zipf_boxes.h"
+#include "src/xi/kernels.h"
 
 using namespace spatialsketch;  // NOLINT: benchmark brevity
 
@@ -64,6 +73,9 @@ std::vector<Box> MakeBenchPoints(uint32_t dims, uint32_t log2_domain,
 
 int main(int argc, char** argv) {
   const auto flags = bench::ParseFlagsOrDie(argc, argv);
+  bench::ApplyKernelsFlagOrDie(flags);
+  const kernels::Kind active_kernel = kernels::Selected();
+  const uint32_t reps = bench::Reps(flags);
   const double seconds = flags.GetDouble("seconds", 2.0);
   const uint64_t n = flags.GetInt("n", 20000);
   const uint32_t dims = static_cast<uint32_t>(flags.GetInt("dims", 2));
@@ -196,94 +208,116 @@ int main(int argc, char** argv) {
     for (uint32_t s = 0; s < s_count; ++s) {
       SKETCH_CHECK((*run)[queries.size() + s].value == (*jbatch)[s]);
     }
+    // Cross-kernel gate: estimates under the active SIMD variant must be
+    // EXACTLY equal to the scalar variant's (the per-instance FP order is
+    // part of the kernel contract) before any A/B number is reported.
+    if (active_kernel != kernels::Kind::kScalar) {
+      SKETCH_CHECK(kernels::ForceKernels(kernels::Kind::kScalar).ok());
+      auto scalar_batch = store.EstimateRangeBatch("range", queries);
+      auto scalar_joins = store.EstimateJoinBatch("r", s_names);
+      SKETCH_CHECK(kernels::ForceKernels(active_kernel).ok());
+      SKETCH_CHECK(scalar_batch.ok() && *scalar_batch == *batched);
+      SKETCH_CHECK(scalar_joins.ok() && *scalar_joins == *jbatch);
+    }
   }
 
+  Stopwatch wall;
+
+  // One timed loop: runs `body` (which returns a query count) until the
+  // budget elapses, repeated --reps times; the median rate is reported.
+  auto timed_rate = [&](double budget, auto&& body) {
+    return bench::MedianOfReps(reps, [&]() {
+      Stopwatch t;
+      uint64_t count = 0;
+      while (t.Seconds() < budget) count += body();
+      return count / t.Seconds();
+    });
+  };
+
   // Single-query loop, string-keyed (registry lookup per call).
-  Stopwatch timer;
-  uint64_t single_queries = 0;
-  while (timer.Seconds() < seconds) {
+  const double single_rate = timed_rate(seconds, [&]() {
     for (const Box& q : queries) {
       auto est = store.EstimateRangeCount("range", q);
       SKETCH_CHECK(est.ok());
-      ++single_queries;
     }
-  }
-  const double single_secs = timer.Seconds();
+    return queries.size();
+  });
 
   // Single-query loop through the resolved handle (--handles mode): the
-  // same estimates with the registry lookup + lock hoisted out.
-  double handle_secs = 0.0;
-  uint64_t handle_queries = 0;
-  if (run_handles) {
-    timer.Restart();
-    while (timer.Seconds() < seconds) {
-      for (const Box& q : queries) {
-        auto est = handle->EstimateRangeCount(q);
-        SKETCH_CHECK(est.ok());
-        ++handle_queries;
-      }
+  // same estimates with the registry lookup + lock hoisted out. When a
+  // SIMD variant is active, also timed under the scalar variant in the
+  // same run — the cleanest estimator-kernel A/B this bench has.
+  double handle_rate = 0.0;
+  double handle_scalar_rate = 0.0;
+  auto handle_loop = [&]() {
+    for (const Box& q : queries) {
+      auto est = handle->EstimateRangeCount(q);
+      SKETCH_CHECK(est.ok());
     }
-    handle_secs = timer.Seconds();
+    return queries.size();
+  };
+  if (run_handles) {
+    handle_rate = timed_rate(seconds, handle_loop);
+    if (active_kernel != kernels::Kind::kScalar) {
+      SKETCH_CHECK(kernels::ForceKernels(kernels::Kind::kScalar).ok());
+      handle_scalar_rate = timed_rate(seconds, handle_loop);
+      SKETCH_CHECK(kernels::ForceKernels(active_kernel).ok());
+    }
   }
 
   // Batched loop (same query set, one lock + pool fan-out per batch).
-  timer.Restart();
-  uint64_t batch_queries = 0;
-  while (timer.Seconds() < seconds) {
+  const double batch_rate = timed_rate(seconds, [&]() {
     auto est = store.EstimateRangeBatch("range", queries);
     SKETCH_CHECK(est.ok());
-    batch_queries += queries.size();
-  }
-  const double batch_secs = timer.Seconds();
+    return queries.size();
+  });
 
   // Typed mixed batch (--mixed mode): every QueryKind through one Run.
-  double mixed_secs = 0.0;
-  uint64_t mixed_queries = 0;
+  double mixed_rate = 0.0;
   if (run_mixed) {
-    timer.Restart();
-    while (timer.Seconds() < seconds / 2) {
+    mixed_rate = timed_rate(seconds / 2, [&]() {
       auto run = store.Run(mixed);
       SKETCH_CHECK(run.ok());
-      mixed_queries += mixed.size();
-    }
-    mixed_secs = timer.Seconds();
+      return mixed.size();
+    });
   }
 
-  // Joins: single pairs vs one batch across the S panel.
-  timer.Restart();
-  uint64_t single_joins = 0;
-  while (timer.Seconds() < seconds / 2) {
+  // Joins: single pairs vs one batch across the S panel (the batch under
+  // the scalar variant too when a SIMD variant is active).
+  const double single_join_rate = timed_rate(seconds / 2, [&]() {
     for (const std::string& s : s_names) {
       SKETCH_CHECK(store.EstimateJoin("r", s).ok());
-      ++single_joins;
     }
-  }
-  const double single_join_secs = timer.Seconds();
+    return s_names.size();
+  });
 
-  timer.Restart();
-  uint64_t batch_joins = 0;
-  while (timer.Seconds() < seconds / 2) {
+  auto join_batch_loop = [&]() {
     SKETCH_CHECK(store.EstimateJoinBatch("r", s_names).ok());
-    batch_joins += s_count;
+    return static_cast<size_t>(s_count);
+  };
+  const double batch_join_rate = timed_rate(seconds / 2, join_batch_loop);
+  double batch_join_scalar_rate = 0.0;
+  if (active_kernel != kernels::Kind::kScalar) {
+    SKETCH_CHECK(kernels::ForceKernels(kernels::Kind::kScalar).ok());
+    batch_join_scalar_rate = timed_rate(seconds / 2, join_batch_loop);
+    SKETCH_CHECK(kernels::ForceKernels(active_kernel).ok());
   }
-  const double batch_join_secs = timer.Seconds();
 
-  const double single_rate = single_queries / single_secs;
-  const double handle_rate =
-      run_handles ? handle_queries / handle_secs : 0.0;
-  const double batch_rate = batch_queries / batch_secs;
-  const double mixed_rate = run_mixed ? mixed_queries / mixed_secs : 0.0;
-  const double single_join_rate = single_joins / single_join_secs;
-  const double batch_join_rate = batch_joins / batch_join_secs;
+  const double wall_seconds = wall.Seconds();
 
   std::printf("query throughput: dims=%u domain=2^%u n=%" PRIu64
-              " k1=%u k2=%u batch=%zu mixed_batch=%zu\n",
+              " k1=%u k2=%u batch=%zu mixed_batch=%zu kernel=%s reps=%u\n",
               dims, log2_domain, n, schema.k1, schema.k2, batch,
-              mixed.size());
+              mixed.size(), kernels::SelectedName(), reps);
   std::printf("  range single (string): %.0f queries/sec\n", single_rate);
   if (run_handles) {
     std::printf("  range single (handle): %.0f queries/sec (%.2fx)\n",
                 handle_rate, handle_rate / single_rate);
+    if (handle_scalar_rate > 0.0) {
+      std::printf("  handle, scalar kernel: %.0f queries/sec -> kernel "
+                  "speedup vs scalar %.2fx (same run)\n",
+                  handle_scalar_rate, handle_rate / handle_scalar_rate);
+    }
   }
   std::printf("  range batched        : %.0f queries/sec (%.2fx)\n",
               batch_rate, batch_rate / single_rate);
@@ -293,7 +327,16 @@ int main(int argc, char** argv) {
   std::printf("  join single          : %.0f joins/sec\n", single_join_rate);
   std::printf("  join batched         : %.0f joins/sec (%.2fx)\n",
               batch_join_rate, batch_join_rate / single_join_rate);
+  if (batch_join_scalar_rate > 0.0) {
+    std::printf("  join batched, scalar kernel: %.0f joins/sec -> kernel "
+                "speedup vs scalar %.2fx (same run)\n",
+                batch_join_scalar_rate,
+                batch_join_rate / batch_join_scalar_rate);
+  }
   std::printf("  all surfaces vs sequential: exactly equal\n");
+  if (active_kernel != kernels::Kind::kScalar) {
+    std::printf("  estimates vs scalar kernel: exactly equal (gated)\n");
+  }
 
   bench::BenchResult result;
   result.name = "query_throughput";
@@ -306,10 +349,17 @@ int main(int argc, char** argv) {
   result.Param("s_datasets", static_cast<int64_t>(s_count));
   result.Param("mixed_batch", static_cast<int64_t>(mixed.size()));
   result.Param("eps", static_cast<int64_t>(eps));
+  result.Param("reps", static_cast<int64_t>(reps));
   result.Metric("queries_per_sec_single", single_rate);
   if (run_handles) {
     result.Metric("queries_per_sec_handle", handle_rate);
     result.Metric("handle_speedup", handle_rate / single_rate);
+    if (handle_scalar_rate > 0.0) {
+      result.Metric("queries_per_sec_handle_scalar_kernel",
+                    handle_scalar_rate);
+      result.Metric("kernel_speedup_vs_scalar",
+                    handle_rate / handle_scalar_rate);
+    }
   }
   result.Metric("queries_per_sec_batched", batch_rate);
   result.Metric("batch_speedup", batch_rate / single_rate);
@@ -318,9 +368,13 @@ int main(int argc, char** argv) {
   }
   result.Metric("joins_per_sec_single", single_join_rate);
   result.Metric("joins_per_sec_batched", batch_join_rate);
-  result.Metric("wall_seconds", single_secs + handle_secs + batch_secs +
-                                    mixed_secs + single_join_secs +
-                                    batch_join_secs);
+  if (batch_join_scalar_rate > 0.0) {
+    result.Metric("joins_per_sec_batched_scalar_kernel",
+                  batch_join_scalar_rate);
+    result.Metric("join_kernel_speedup_vs_scalar",
+                  batch_join_rate / batch_join_scalar_rate);
+  }
+  result.Metric("wall_seconds", wall_seconds);
   const Status st = bench::MaybeWriteBenchJson(flags, {result});
   if (!st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());

@@ -8,12 +8,21 @@
 //
 //   build/micro_update_throughput [--dims=2] [--log2_domain=14] [--k1=64]
 //       [--k2=9] [--n=100000] [--ref_n=4000] [--bulk_n=100000]
-//       [--shape=range|join] [--check_n=256] [--json_out=<path>]
+//       [--shape=range|join] [--check_n=256] [--reps=1]
+//       [--kernels=scalar|avx2|avx512] [--json_out=<path>]
 //
 // --n boxes stream through the fast path, --ref_n (fewer; the reference
 // is slow) through UpdateReference; throughput is updates/sec each, and
 // `speedup` is their ratio. Streams alternate inserts with a trailing
 // delete window so mixed signs are exercised, matching serving reality.
+//
+// Kernel A/B: --kernels forces a dispatch variant for the whole run;
+// whenever the active variant is NOT scalar, the default mode ALSO
+// times the scalar variant in the same run (same stream, same warm
+// caches) and reports `kernel speedup vs scalar`, gating the two
+// variants' counters bit-identical on the check prefix first. --reps=N
+// repeats each hot measurement N times and reports the median (the
+// 1-core build host shows +-15% run-to-run noise).
 //
 // Two additional modes (each exclusive, sharing --json_out):
 //
@@ -47,6 +56,7 @@
 #include "src/sketch/dataset_sketch.h"
 #include "src/store/sketch_store.h"
 #include "src/workload/zipf_boxes.h"
+#include "src/xi/kernels.h"
 
 using namespace spatialsketch;  // NOLINT: benchmark brevity
 
@@ -298,6 +308,8 @@ int RunCrossoverScan(const Flags& flags) {
 
 int main(int argc, char** argv) {
   const auto flags = bench::ParseFlagsOrDie(argc, argv);
+  // Kernel-variant override (applies to every mode; unset = cpuid pick).
+  bench::ApplyKernelsFlagOrDie(flags);
   // Optional override of the endpoint-sum cache budget (bytes per
   // dimension; 0 disables the cache) — the A/B knob behind the default in
   // DatasetSketch::PointSumBudgetBytes. Applies to every mode.
@@ -315,9 +327,11 @@ int main(int argc, char** argv) {
   const uint64_t ref_n = flags.GetInt("ref_n", 4000);
   const uint64_t bulk_n = flags.GetInt("bulk_n", 100000);
   const uint64_t check_n = flags.GetInt("check_n", 256);
+  const uint32_t reps = bench::Reps(flags);
   const std::string shape_name = flags.GetString("shape", "range");
   const Shape shape = shape_name == "join" ? Shape::JoinShape(dims)
                                            : Shape::RangeShape(dims);
+  const kernels::Kind active_kernel = kernels::Selected();
 
   auto schema = MakeSchema(dims, h, k1, k2);
   SyntheticBoxOptions gen;
@@ -339,6 +353,18 @@ int main(int argc, char** argv) {
       ref.UpdateReference(b, sign);
     });
     SKETCH_CHECK(fast.counters() == ref.counters());
+    // Cross-kernel gate: the active SIMD variant's counters must also be
+    // bit-identical to the scalar variant's over the same prefix before
+    // any A/B number is reported.
+    if (active_kernel != kernels::Kind::kScalar) {
+      DatasetSketch scalar_fast(schema, shape);
+      SKETCH_CHECK(kernels::ForceKernels(kernels::Kind::kScalar).ok());
+      RunStream(boxes, check_n, [&](const Box& b, int sign) {
+        if (sign > 0) scalar_fast.Insert(b); else scalar_fast.Delete(b);
+      });
+      SKETCH_CHECK(kernels::ForceKernels(active_kernel).ok());
+      SKETCH_CHECK(scalar_fast.counters() == fast.counters());
+    }
   }
 
   // Warm the schema's packed sign columns so the fast-path number is the
@@ -348,12 +374,37 @@ int main(int argc, char** argv) {
     if (sign > 0) fast.Insert(b); else fast.Delete(b);
   });
 
-  Stopwatch timer;
-  const uint64_t fast_updates = RunStream(boxes, n, [&](const Box& b, int sign) {
-    if (sign > 0) fast.Insert(b); else fast.Delete(b);
+  uint64_t fast_updates = 0;
+  double fast_secs = 0.0;
+  const double fast_rate = bench::MedianOfReps(reps, [&]() {
+    Stopwatch t;
+    fast_updates = RunStream(boxes, n, [&](const Box& b, int sign) {
+      if (sign > 0) fast.Insert(b); else fast.Delete(b);
+    });
+    const double secs = t.Seconds();
+    fast_secs += secs;
+    return fast_updates / secs;
   });
-  const double fast_secs = timer.Seconds();
 
+  // Same-run scalar-kernel baseline: identical stream and warm caches, so
+  // the printed kernel speedup isolates the dispatch variant alone.
+  double scalar_rate = fast_rate;
+  if (active_kernel != kernels::Kind::kScalar) {
+    SKETCH_CHECK(kernels::ForceKernels(kernels::Kind::kScalar).ok());
+    scalar_rate = bench::MedianOfReps(reps, [&]() {
+      Stopwatch t;
+      const uint64_t updates =
+          RunStream(boxes, n, [&](const Box& b, int sign) {
+            if (sign > 0) fast.Insert(b); else fast.Delete(b);
+          });
+      const double secs = t.Seconds();
+      fast_secs += secs;
+      return updates / secs;
+    });
+    SKETCH_CHECK(kernels::ForceKernels(active_kernel).ok());
+  }
+
+  Stopwatch timer;
   DatasetSketch ref(schema, shape);
   timer.Restart();
   const uint64_t ref_updates =
@@ -372,21 +423,33 @@ int main(int argc, char** argv) {
   SKETCH_CHECK(bulk.BulkLoad(bulk_boxes).ok());
   const double bulk_secs = timer.Seconds();
 
-  const double fast_rate = fast_updates / fast_secs;
   const double ref_rate = ref_updates / ref_secs;
   const double bulk_rate = bulk_n / bulk_secs;
   const double speedup = fast_rate / ref_rate;
 
-  std::printf("update throughput: dims=%u domain=2^%u k1=%u k2=%u shape=%s\n",
-              dims, h, k1, k2, shape_name.c_str());
-  std::printf("  bit-sliced stream    : %" PRIu64 " updates in %.3fs -> %.0f/s\n",
-              fast_updates, fast_secs, fast_rate);
+  std::printf("update throughput: dims=%u domain=2^%u k1=%u k2=%u shape=%s "
+              "kernel=%s reps=%u\n",
+              dims, h, k1, k2, shape_name.c_str(), kernels::SelectedName(),
+              reps);
+  std::printf("  bit-sliced stream    : %" PRIu64
+              " updates/rep -> %.0f/s (median of %u)\n",
+              fast_updates, fast_rate, reps);
+  if (active_kernel != kernels::Kind::kScalar) {
+    std::printf("  scalar kernel stream : %.0f/s (same run)\n", scalar_rate);
+    std::printf("  kernel speedup vs scalar: %.2fx\n",
+                fast_rate / scalar_rate);
+  }
   std::printf("  reference stream     : %" PRIu64 " updates in %.3fs -> %.0f/s\n",
               ref_updates, ref_secs, ref_rate);
   std::printf("  speedup (bit-sliced) : %.2fx\n", speedup);
   std::printf("  bulk load            : %" PRIu64 " boxes in %.3fs -> %.0f/s\n",
               bulk_n, bulk_secs, bulk_rate);
   std::printf("  counters vs reference: bit-identical\n");
+  if (active_kernel != kernels::Kind::kScalar) {
+    std::printf("  counters vs scalar kernel: bit-identical (gated on the "
+                "%" PRIu64 "-update prefix)\n",
+                check_n);
+  }
 
   bench::BenchResult result;
   result.name = "streaming_update_throughput";
@@ -397,9 +460,14 @@ int main(int argc, char** argv) {
   result.Param("shape", shape_name);
   result.Param("n", static_cast<int64_t>(n));
   result.Param("ref_n", static_cast<int64_t>(ref_n));
+  result.Param("reps", static_cast<int64_t>(reps));
   result.Metric("updates_per_sec_bitsliced", fast_rate);
   result.Metric("updates_per_sec_reference", ref_rate);
   result.Metric("speedup", speedup);
+  if (active_kernel != kernels::Kind::kScalar) {
+    result.Metric("updates_per_sec_scalar_kernel", scalar_rate);
+    result.Metric("kernel_speedup_vs_scalar", fast_rate / scalar_rate);
+  }
   result.Metric("bulk_boxes_per_sec", bulk_rate);
   result.Metric("wall_seconds", fast_secs + ref_secs + bulk_secs);
   const Status st = bench::MaybeWriteBenchJson(flags, {result});

@@ -3,6 +3,7 @@
 #include "src/dyadic/endpoint_transform.h"
 #include "src/estimators/adaptive.h"
 #include "src/estimators/combine.h"
+#include "src/xi/kernels.h"
 
 namespace spatialsketch {
 
@@ -28,21 +29,14 @@ Result<std::vector<double>> JoinEstimatesPerInstance(const DatasetSketch& r,
   SKETCH_RETURN_NOT_OK(CheckJoinable(r, s));
   const uint32_t dims = r.schema()->dims();
   const uint32_t instances = r.schema()->instances();
-  const uint32_t num_words = uint32_t{1} << dims;
-  const double scale = 1.0 / static_cast<double>(uint64_t{1} << dims);
-  const uint32_t cmask = num_words - 1;
 
+  // JoinShape is bitmask-ordered (bit i set => E in dim i), so the
+  // complement word wbar is simply the inverted mask; the kernel walks
+  // the counter rows with the per-instance FP accumulation in scalar
+  // order, so every variant returns bit-identical estimates.
   std::vector<double> z(instances);
-  for (uint32_t inst = 0; inst < instances; ++inst) {
-    double acc = 0.0;
-    for (uint32_t w = 0; w < num_words; ++w) {
-      // JoinShape is bitmask-ordered (bit i set => E in dim i), so the
-      // complement word wbar is simply the inverted mask.
-      acc += static_cast<double>(r.Counter(inst, w)) *
-             static_cast<double>(s.Counter(inst, w ^ cmask));
-    }
-    z[inst] = acc * scale;
-  }
+  kernels::Ops().join_z(r.counters().data(), s.counters().data(), instances,
+                        dims, z.data());
   return z;
 }
 
@@ -66,27 +60,17 @@ Result<std::vector<double>> EstimateJoinCardinalityBatch(
   }
   const uint32_t dims = r.schema()->dims();
   const uint32_t instances = r.schema()->instances();
-  const uint32_t num_words = uint32_t{1} << dims;
-  const double scale = 1.0 / static_cast<double>(uint64_t{1} << dims);
-  const uint32_t cmask = num_words - 1;
 
+  // One kernel walk per (r, s) pair — the exact code path the sequential
+  // estimate takes, so each batch entry is trivially bit-identical to its
+  // sequential counterpart. The r rows stay cache-hot across the panel
+  // (a serving-size dataset is a few tens of KB of counters).
+  const kernels::KernelOps& kops = kernels::Ops();
   std::vector<std::vector<double>> z(s_list.size(),
                                      std::vector<double>(instances));
-  double r_row[1u << kMaxDims];
-  for (uint32_t inst = 0; inst < instances; ++inst) {
-    for (uint32_t w = 0; w < num_words; ++w) {
-      r_row[w] = static_cast<double>(r.Counter(inst, w));
-    }
-    for (size_t si = 0; si < s_list.size(); ++si) {
-      const DatasetSketch& s = *s_list[si];
-      // Same per-pair word order as JoinEstimatesPerInstance, so each
-      // batch entry is bit-identical to its sequential counterpart.
-      double acc = 0.0;
-      for (uint32_t w = 0; w < num_words; ++w) {
-        acc += r_row[w] * static_cast<double>(s.Counter(inst, w ^ cmask));
-      }
-      z[si][inst] = acc * scale;
-    }
+  for (size_t si = 0; si < s_list.size(); ++si) {
+    kops.join_z(r.counters().data(), s_list[si]->counters().data(),
+                instances, dims, z[si].data());
   }
   std::vector<double> out(s_list.size());
   for (size_t si = 0; si < s_list.size(); ++si) {

@@ -5,7 +5,7 @@
 #include "src/dyadic/endpoint_transform.h"
 #include "src/estimators/adaptive.h"
 #include "src/estimators/combine.h"
-#include "src/xi/bitslice.h"
+#include "src/xi/kernels.h"
 
 namespace spatialsketch {
 
@@ -79,73 +79,75 @@ double RangeQueryBatch::EstimateOne(size_t i) const {
   const uint32_t dims = schema->dims();
   const uint32_t instances = schema->instances();
   const uint32_t blocks = schema->sign_cache().num_blocks();
-  const uint32_t num_words = uint32_t{1} << dims;
   const QueryIds& ids = queries_[i];
 
-  // Stage 1 — bit-sliced per-instance query factors: for each dim the
-  // xi-sum over the cover (index 0, pairs with data letter U) and over
-  // the upper endpoint's point cover (index 1, pairs with data letter I),
-  // 64 instance lanes per column word.
-  int32_t sums[kMaxDims][2][64];  // [dim][cover/upper][lane], one block
-  std::vector<int32_t> factors(static_cast<size_t>(dims) * 2 * instances);
+  // Stage 1 — bit-sliced per-instance query factors through the kernel
+  // dispatch: for each dim the xi-sum over the cover (index 0, pairs with
+  // data letter U) and over the upper endpoint's point cover (index 1,
+  // pairs with data letter I). The CSA reduction runs over ALL instance
+  // blocks in one id-ordered pass so each column's cache lines are read
+  // sequentially exactly once; counts are exact, so every kernel variant
+  // produces the same factors.
+  const kernels::KernelOps& kops = kernels::Ops();
+  // Per-thread scratch reused across queries: the store's query pool
+  // calls EstimateOne concurrently on ONE shared batch, so the scratch
+  // cannot live on the batch object; thread-locals make the per-query
+  // resizes no-ops after each thread's first query of a given schema
+  // size instead of allocator round-trips on the hottest query path.
+  thread_local std::vector<int32_t> factors;
+  thread_local std::vector<uint64_t> packed;
+  thread_local std::vector<uint64_t> planes;
+  thread_local std::vector<int32_t> wide;  // sized only for >255-id covers
+  factors.resize(static_cast<size_t>(dims) * 2 * instances);
+  packed.resize(static_cast<size_t>(blocks) * 8);
+  planes.resize(static_cast<size_t>(blocks) * 6);
   auto factor = [&](uint32_t d, uint32_t which) {
     return factors.data() + (static_cast<size_t>(d) * 2 + which) * instances;
   };
-  for (uint32_t blk = 0; blk < blocks; ++blk) {
-    const uint32_t lanes = std::min(64u, instances - blk * 64);
-    for (uint32_t d = 0; d < dims; ++d) {
-      for (uint32_t which = 0; which < 2; ++which) {
-        const auto& cols = which == 0 ? ids.cover_cols[d] : ids.upper_cols[d];
-        const size_t m = cols.size();
-        int32_t* lane_sums = sums[d][which];
-        if (m == 0) {
-          std::fill(lane_sums, lane_sums + 64, 0);
-        } else if (m > 255) {
-          bitslice::CountOnesWide([&](size_t k) { return cols[k][blk]; }, m,
-                                  lane_sums);
-          for (uint32_t j = 0; j < 64; ++j) {
-            lane_sums[j] = static_cast<int32_t>(m) - 2 * lane_sums[j];
-          }
+  int32_t lane_buf[64];
+  for (uint32_t d = 0; d < dims; ++d) {
+    for (uint32_t which = 0; which < 2; ++which) {
+      const auto& cols = which == 0 ? ids.cover_cols[d] : ids.upper_cols[d];
+      const size_t m = cols.size();
+      int32_t* out = factor(d, which);
+      if (m == 0) {
+        std::fill(out, out + instances, 0);
+        continue;
+      }
+      if (m > 255) {
+        wide.resize(static_cast<size_t>(blocks) * 64);
+        kops.count_columns_wide(cols.data(), m, blocks, wide.data(),
+                                packed.data(), planes.data());
+      } else {
+        kops.count_columns_packed(cols.data(), m, blocks, packed.data(),
+                                  planes.data());
+      }
+      for (uint32_t blk = 0; blk < blocks; ++blk) {
+        const uint32_t lanes = std::min(64u, instances - blk * 64);
+        if (m > 255) {
+          kops.lanes_from_wide(wide.data() + static_cast<size_t>(blk) * 64,
+                               static_cast<int32_t>(m), lane_buf);
         } else {
-          uint64_t packed[8];
-          bitslice::CountOnesPacked([&](size_t k) { return cols[k][blk]; },
-                                    m, packed);
-          for (uint32_t j = 0; j < 64; ++j) {
-            lane_sums[j] = static_cast<int32_t>(m) -
-                           2 * bitslice::PackedLane(packed, j);
-          }
+          kops.lanes_from_packed(packed.data() + static_cast<size_t>(blk) * 8,
+                                 static_cast<int32_t>(m), lane_buf);
         }
-        int32_t* out = factor(d, which) + blk * 64;
-        std::copy(lane_sums, lane_sums + lanes, out);
+        std::copy(lane_buf, lane_buf + lanes, out + blk * 64);
       }
     }
   }
 
-  // Stage 2 — walk the counters in contiguous instance-major order. The
-  // arithmetic (value types, loop order) mirrors the original scalar
-  // estimator exactly, so batch results are bit-identical to per-query
-  // EstimateRangeCount calls.
-  std::vector<double> z(instances);
-  for (uint32_t inst = 0; inst < instances; ++inst) {
-    double q_factor[kMaxDims][2];  // [dim][0]=q_I, [dim][1]=q_U
-    for (uint32_t d = 0; d < dims; ++d) {
-      q_factor[d][0] = factor(d, 0)[inst];
-      q_factor[d][1] = factor(d, 1)[inst];
-    }
-    double acc = 0.0;
-    for (uint32_t w = 0; w < num_words; ++w) {
-      // RangeShape is bitmask-ordered (bit d set => data letter U in dim
-      // d). Complementary pairing per dimension: data letter U pairs with
-      // the query's interval-cover factor q_I (index 0), data letter I
-      // pairs with the query's upper-point factor q_U (index 1).
-      double prod = static_cast<double>(sketch.Counter(inst, w));
-      for (uint32_t d = 0; d < dims; ++d) {
-        prod *= q_factor[d][((w >> d) & 1) ? 0 : 1];
-      }
-      acc += prod;
-    }
-    z[inst] = acc;
-  }
+  // Stage 2 — the kernel z-walk over the counters in contiguous
+  // instance-major order. RangeShape is bitmask-ordered (bit d set =>
+  // data letter U in dim d) with complementary pairing per dimension:
+  // data letter U pairs with the query's interval-cover factor q_I
+  // (index 0), data letter I pairs with the query's upper-point factor
+  // q_U (index 1). Every kernel variant performs the per-instance FP
+  // accumulation in the scalar order, so batch results stay bit-identical
+  // to per-query EstimateRangeCount calls under any variant.
+  thread_local std::vector<double> z;
+  z.resize(instances);
+  kops.range_z(sketch.counters().data(), instances, dims, factors.data(),
+               z.data());
   return MedianOfMeans(z, schema->k1(), schema->k2());
 }
 

@@ -8,6 +8,7 @@
 #include "src/gf2/gf2_64.h"
 #include "src/xi/bch_family.h"
 #include "src/xi/bitslice.h"
+#include "src/xi/kernels.h"
 #include "src/xi/point_sum_cache.h"
 #include "src/xi/sign_cache.h"
 #include "src/xi/sign_table.h"
@@ -24,8 +25,6 @@ static_assert(kInstancesPerBatch == kBlocksPerBatch * 64,
               "batch width drives both the sign-table blocking and the "
               "public parallelism threshold");
 
-using bitslice::CountOnesPacked;
-using bitslice::CountOnesWide;
 using bitslice::PackedLane;
 
 // Default budget for serving endpoint sums from the PointSumCache.
@@ -167,70 +166,6 @@ int64_t DatasetSketch::LetterValue(Letter l, const int32_t* sums,
 }
 
 
-namespace {
-
-// Per-lane minus counts of m <= 255 cached sign columns across EVERY
-// instance block in one pass — an internal-linkage copy of
-// bitslice::CountColumnsPackedAllBlocks (see bitslice.h for the shared
-// version the cold paths use): keeping the hot streaming path's reduction
-// internal to this TU lets the optimizer specialize it into
-// UpdateBitSliced, which measures ~2x on the update benchmark.
-void CountColumnsPackedAllBlocks(const uint64_t* const* cols, size_t m,
-                                 uint32_t blocks, uint64_t* packed,
-                                 uint64_t* planes) {
-  std::fill(packed, packed + static_cast<size_t>(blocks) * 8, 0);
-  size_t done = 0;
-  while (done < m) {
-    const size_t chunk = std::min<size_t>(63, m - done);
-    std::fill(planes, planes + static_cast<size_t>(blocks) * 6, 0);
-    for (size_t i = 0; i < chunk; ++i) {
-      const uint64_t* col = cols[done + i];
-      for (uint32_t blk = 0; blk < blocks; ++blk) {
-        uint64_t carry = col[blk];
-        uint64_t* p = planes + static_cast<size_t>(blk) * 6;
-        for (uint32_t k = 0; carry != 0 && k < 6; ++k) {
-          const uint64_t t = p[k] & carry;
-          p[k] ^= carry;
-          carry = t;
-        }
-      }
-    }
-    for (uint32_t blk = 0; blk < blocks; ++blk) {
-      uint64_t* out8 = packed + static_cast<size_t>(blk) * 8;
-      const uint64_t* p = planes + static_cast<size_t>(blk) * 6;
-      for (uint32_t k = 0; k < 6; ++k) {
-        if (p[k] == 0) continue;
-        for (int g = 0; g < 8; ++g) {
-          out8[g] += bitslice::SpreadBitsToBytes((p[k] >> (8 * g)) & 0xFF)
-                     << k;
-        }
-      }
-    }
-    done += chunk;
-  }
-}
-
-// 32-bit fallback for covers longer than 255 ids (deeply capped domains):
-// chunks of <= 252 through the packed counter, widened per block.
-void CountColumnsWideAllBlocks(const uint64_t* const* cols, size_t m,
-                               uint32_t blocks, int32_t* wide,
-                               uint64_t* packed, uint64_t* planes) {
-  std::fill(wide, wide + static_cast<size_t>(blocks) * 64, 0);
-  size_t done = 0;
-  while (done < m) {
-    const size_t part = std::min<size_t>(252, m - done);
-    CountColumnsPackedAllBlocks(cols + done, part, blocks, packed, planes);
-    for (uint32_t blk = 0; blk < blocks; ++blk) {
-      const uint64_t* out8 = packed + static_cast<size_t>(blk) * 8;
-      int32_t* w = wide + static_cast<size_t>(blk) * 64;
-      for (uint32_t j = 0; j < 64; ++j) w[j] += PackedLane(out8, j);
-    }
-    done += part;
-  }
-}
-
-}  // namespace
-
 // Bit-sliced streaming update. Per (dim, group) the gathered cover ids
 // resolve to cached packed sign columns (schema-shared; built on first
 // touch), and the per-instance xi-sums fall out of a carry-save per-lane
@@ -242,10 +177,14 @@ void CountColumnsWideAllBlocks(const uint64_t* const* cols, size_t m,
 // instance lanes of each column word are then expanded into counter
 // deltas exactly like the bulk loader's inner loop, so the result is
 // bit-identical to UpdateReference. Templated on the dimensionality so
-// the per-lane letter and product loops fully unroll.
+// the per-lane letter and product loops fully unroll. All counting and
+// apply loops run through the kernels:: dispatch table (scalar / AVX2 /
+// AVX-512, selected once at startup) — every variant is gated
+// bit-identical to scalar, so the choice never changes counters.
 template <uint32_t kDims>
 void DatasetSketch::UpdateBitSliced(const Box& box, const Box& leaf_box,
                                     int sign) {
+  const kernels::KernelOps& kops = kernels::Ops();
   const uint32_t instances = schema_->instances();
   const uint32_t num_words = shape_.size();
   const PackedSignCache& cache = schema_->sign_cache();
@@ -295,8 +234,8 @@ void DatasetSketch::UpdateBitSliced(const Box& box, const Box& leaf_box,
         scratch_wide_.resize(static_cast<size_t>(kDims) * kNumGroups *
                              blocks * 64);
       } else {
-        CountColumnsPackedAllBlocks(cols.data(), m, blocks, packed_of(d, g),
-                                    scratch_planes_.data());
+        kops.count_columns_packed(cols.data(), m, blocks, packed_of(d, g),
+                                  scratch_planes_.data());
       }
     }
     const DyadicDomain& dom = schema_->domain(d);
@@ -316,9 +255,9 @@ void DatasetSketch::UpdateBitSliced(const Box& box, const Box& leaf_box,
       for (uint32_t g = 0; g < kNumGroups; ++g) {
         if (!use_wide[d][g]) continue;
         const auto& cols = scratch_cols_[d][g];
-        CountColumnsWideAllBlocks(cols.data(), cols.size(), blocks,
-                                  wide_of(d, g), packed_of(d, g),
-                                  scratch_planes_.data());
+        kops.count_columns_wide(cols.data(), cols.size(), blocks,
+                                wide_of(d, g), packed_of(d, g),
+                                scratch_planes_.data());
       }
     }
   }
@@ -366,13 +305,9 @@ void DatasetSketch::UpdateBitSliced(const Box& box, const Box& leaf_box,
           int32_t* out = gs_arr[d][g];
           const int32_t m = group_size[d][g];
           if (wd[d][g] != nullptr) {
-            const int32_t* w32 = wd[d][g];
-            for (uint32_t j = 0; j < 64; ++j) out[j] = m - 2 * w32[j];
+            kops.lanes_from_wide(wd[d][g], m, out);
           } else {
-            const uint64_t* p8 = pk[d][g];
-            for (uint32_t j = 0; j < 64; ++j) {
-              out[j] = m - 2 * PackedLane(p8, j);
-            }
+            kops.lanes_from_packed(pk[d][g], m, out);
           }
         }
       }
@@ -386,9 +321,7 @@ void DatasetSketch::UpdateBitSliced(const Box& box, const Box& leaf_box,
               break;
             case Letter::kE: {
               int32_t* out = extra[d][side];
-              const int32_t* gl = gs_arr[d][kGroupL];
-              const int32_t* gu = gs_arr[d][kGroupU];
-              for (uint32_t j = 0; j < 64; ++j) out[j] = gl[j] + gu[j];
+              kops.add_lanes(gs_arr[d][kGroupL], gs_arr[d][kGroupU], out);
               lv[d][side] = out;
               break;
             }
@@ -406,9 +339,7 @@ void DatasetSketch::UpdateBitSliced(const Box& box, const Box& leaf_box,
                           static_cast<uint8_t>(Letter::kLeafL)
                       ? leaf_l_mask[d]
                       : leaf_u_mask[d];
-              for (uint32_t j = 0; j < 64; ++j) {
-                out[j] = 1 - 2 * static_cast<int32_t>((mask >> j) & 1);
-              }
+              kops.signs_from_mask(mask, out);
               lv[d][side] = out;
               break;
             }
@@ -416,25 +347,11 @@ void DatasetSketch::UpdateBitSliced(const Box& box, const Box& leaf_box,
         }
       }
 
-      // Stage B — iterated partial products, fully unrolled (kDims is a
-      // template constant): part[w] multiplies the same letter values in
-      // the same ascending-dimension order as the reference path, so the
-      // int64 arithmetic is bit-identical.
-      for (uint32_t j = 0; j < lanes; ++j, row += num_words) {
-        int64_t part[size_t{1} << kDims];
-        part[0] = sign64;
-        uint32_t width = 1;
-        for (uint32_t d = 0; d < kDims; ++d) {
-          const int64_t a = lv[d][0][j];
-          const int64_t b = lv[d][1][j];
-          for (uint32_t t = width; t-- > 0;) {
-            part[width + t] = part[t] * b;
-            part[t] = part[t] * a;
-          }
-          width <<= 1;
-        }
-        for (uint32_t w = 0; w < (1u << kDims); ++w) row[w] += part[w];
-      }
+      // Stage B — the kernel's iterated partial products: part[w]
+      // multiplies the same letter values as the reference path, and the
+      // int64 arithmetic is exact, so every kernel variant lands
+      // bit-identical counters.
+      kops.tensor_apply(lv, kDims, lanes, sign64, row);
       continue;
     }
 
@@ -660,6 +577,7 @@ void BulkLoader::Run(uint32_t max_threads) {
 
   // Batches write disjoint counter ranges, so they parallelize cleanly.
   std::atomic<uint32_t> next_batch{0};
+  const kernels::KernelOps& kops = kernels::Ops();
   auto worker = [&]() {
     // Thread-local scratch: gathered cover ids per (dim, group), packed
     // minus-counts per (dim, group) for one block, and wide fallbacks for
@@ -735,11 +653,11 @@ void BulkLoader::Run(uint32_t max_threads) {
                 if (gi.empty()) {
                   for (int q = 0; q < 8; ++q) packed[d][g][q] = 0;
                 } else if (use_wide[d][g]) {
-                  CountOnesWide([&](size_t i) { return row[gi[i]]; },
-                                gi.size(), wide[d][g]);
+                  kops.count_gather_wide(row, gi.data(), gi.size(),
+                                         wide[d][g]);
                 } else {
-                  CountOnesPacked([&](size_t i) { return row[gi[i]]; },
-                                  gi.size(), packed[d][g]);
+                  kops.count_gather_packed(row, gi.data(), gi.size(),
+                                           packed[d][g]);
                 }
               }
               if (needs.leaf_lower) leaf_l_mask[d] = row[leaf_l_id[d]];

@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "src/estimators/combine.h"
+#include "src/xi/kernels.h"
 
 namespace spatialsketch {
 
@@ -114,10 +115,10 @@ double EstimateSelfJoinSize(const DatasetSketch& sketch,
                             uint32_t word_index) {
   const auto& schema = *sketch.schema();
   std::vector<double> z(schema.instances());
-  for (uint32_t inst = 0; inst < schema.instances(); ++inst) {
-    const double x = static_cast<double>(sketch.Counter(inst, word_index));
-    z[inst] = x * x;
-  }
+  // Squares are computed per instance in scalar order by every kernel
+  // variant, so estimates are bit-identical across the dispatch.
+  kernels::Ops().self_join_z(sketch.counters().data(), schema.instances(),
+                             sketch.shape().size(), word_index, z.data());
   return MedianOfMeans(z, schema.k1(), schema.k2());
 }
 

@@ -7,9 +7,17 @@
 // per-lane popcount over m words: a carry-save adder network reduces 63
 // words to 6 bit planes with 5 word ops per input word, and the planes
 // are expanded into 8-bit per-lane counts with a byte-spread table. Both
-// the bulk loader and the streaming/bathed hot paths count this way; the
+// the bulk loader and the streaming/batched hot paths count this way; the
 // word source differs (row-major sign tables vs. per-id cached columns),
-// so the counters are templated over a word accessor.
+// so the counters here are templated over a word accessor.
+//
+// These inline definitions are the portable reference implementation.
+// The HOT paths no longer call them directly: they go through the
+// src/xi/kernels.h dispatch table, whose scalar variant wraps these
+// functions in its own TU (where the optimizer specializes them) and
+// whose AVX2/AVX-512 variants replace the spread-table expansion with
+// in-register byte spreads — all gated bit-identical to this code by
+// tests/kernel_dispatch_test.cc.
 
 #ifndef SPATIALSKETCH_XI_BITSLICE_H_
 #define SPATIALSKETCH_XI_BITSLICE_H_
@@ -136,10 +144,12 @@ inline void CountColumnsPackedAllBlocks(const uint64_t* const* cols, size_t m,
   }
 }
 
-// (The >255-id wide fallback lives only in dataset_sketch.cc: point
-// covers — the cold-path consumers of this header — never exceed h + 1
-// ids, so only the streaming TU needs it, and it keeps an internal-
-// linkage copy of the packed counter above for codegen anyway.)
+// (The >255-id wide fallback — chunks of <= 252 through the packed
+// counter, widened per block — lives in the kernel layer as
+// count_columns_wide: point covers, the cold-path consumers of this
+// header, never exceed h + 1 ids. The old internal-linkage copy of the
+// packed counter in dataset_sketch.cc is gone: the kernel TUs make that
+// specialization deliberate instead of an accident of linkage.)
 
 }  // namespace bitslice
 }  // namespace spatialsketch

@@ -1,0 +1,374 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Scalar kernel variants and the runtime dispatch. The scalar kernels are
+// the canonical bit-identity reference: they are plain portable code,
+// deliberately compiled in this TU (baseline ISA, default flags) so their
+// codegen is what every host gets when the vector units are absent or
+// overridden off. The AVX2 / AVX-512 tables live in kernels_avx2.cc /
+// kernels_avx512.cc, compiled with per-file vector flags.
+
+#include "src/xi/kernels.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/xi/bitslice.h"
+
+namespace spatialsketch {
+namespace kernels {
+
+// Defined in their own per-file-flagged TUs; return nullptr when that TU
+// was compiled without vector support (non-x86 host or old compiler).
+const KernelOps* GetAvx2KernelOps();
+const KernelOps* GetAvx512KernelOps();
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar kernels. The counting primitives delegate to the inline
+// bitslice.h definitions — inside this TU the optimizer inlines and
+// specializes them into the kernel bodies, which is the codegen the old
+// internal-linkage copy in dataset_sketch.cc existed to force.
+// ---------------------------------------------------------------------------
+
+void CountColumnsPackedScalar(const uint64_t* const* cols, size_t m,
+                              uint32_t blocks, uint64_t* packed,
+                              uint64_t* planes) {
+  bitslice::CountColumnsPackedAllBlocks(cols, m, blocks, packed, planes);
+}
+
+void CountColumnsWideScalar(const uint64_t* const* cols, size_t m,
+                            uint32_t blocks, int32_t* wide, uint64_t* packed,
+                            uint64_t* planes) {
+  std::fill(wide, wide + static_cast<size_t>(blocks) * 64, 0);
+  size_t done = 0;
+  while (done < m) {
+    // <= 252 per pass keeps the byte-packed intermediate wrap-free.
+    const size_t part = std::min<size_t>(252, m - done);
+    bitslice::CountColumnsPackedAllBlocks(cols + done, part, blocks, packed,
+                                          planes);
+    for (uint32_t blk = 0; blk < blocks; ++blk) {
+      const uint64_t* out8 = packed + static_cast<size_t>(blk) * 8;
+      int32_t* w = wide + static_cast<size_t>(blk) * 64;
+      for (uint32_t j = 0; j < 64; ++j) w[j] += bitslice::PackedLane(out8, j);
+    }
+    done += part;
+  }
+}
+
+void CountGatherPackedScalar(const uint64_t* row, const uint64_t* ids,
+                             size_t m, uint64_t out8[8]) {
+  bitslice::CountOnesPacked([&](size_t i) { return row[ids[i]]; }, m, out8);
+}
+
+void CountGatherWideScalar(const uint64_t* row, const uint64_t* ids, size_t m,
+                           int32_t out[64]) {
+  bitslice::CountOnesWide([&](size_t i) { return row[ids[i]]; }, m, out);
+}
+
+void LanesFromPackedScalar(const uint64_t packed8[8], int32_t m,
+                           int32_t out[64]) {
+  for (uint32_t j = 0; j < 64; ++j) {
+    out[j] = m - 2 * bitslice::PackedLane(packed8, j);
+  }
+}
+
+void LanesFromWideScalar(const int32_t wide[64], int32_t m, int32_t out[64]) {
+  for (uint32_t j = 0; j < 64; ++j) out[j] = m - 2 * wide[j];
+}
+
+void AddLanesScalar(const int32_t a[64], const int32_t b[64],
+                    int32_t out[64]) {
+  for (uint32_t j = 0; j < 64; ++j) out[j] = a[j] + b[j];
+}
+
+void SignsFromMaskScalar(uint64_t mask, int32_t out[64]) {
+  for (uint32_t j = 0; j < 64; ++j) {
+    out[j] = 1 - 2 * static_cast<int32_t>((mask >> j) & 1);
+  }
+}
+
+// Iterated partial products, unrolled per dimensionality so the scalar
+// path keeps the specialization the hot TU used to force by hand.
+template <uint32_t kDims>
+void TensorApplyScalarT(const int32_t* const (*lv)[2], uint32_t lanes,
+                        int64_t sign, int64_t* rows) {
+  constexpr uint32_t kWords = 1u << kDims;
+  int64_t* row = rows;
+  for (uint32_t j = 0; j < lanes; ++j, row += kWords) {
+    int64_t part[kWords];
+    part[0] = sign;
+    uint32_t width = 1;
+    for (uint32_t d = 0; d < kDims; ++d) {
+      const int64_t a = lv[d][0][j];
+      const int64_t b = lv[d][1][j];
+      for (uint32_t t = width; t-- > 0;) {
+        part[width + t] = part[t] * b;
+        part[t] = part[t] * a;
+      }
+      width <<= 1;
+    }
+    for (uint32_t w = 0; w < kWords; ++w) row[w] += part[w];
+  }
+}
+
+void RangeZScalar(const int64_t* counters, uint32_t instances, uint32_t dims,
+                  const int32_t* factors, double* z) {
+  const uint32_t num_words = uint32_t{1} << dims;
+  for (uint32_t inst = 0; inst < instances; ++inst) {
+    double q_factor[8][2];
+    for (uint32_t d = 0; d < dims; ++d) {
+      q_factor[d][0] = factors[(static_cast<size_t>(d) * 2 + 0) * instances +
+                               inst];
+      q_factor[d][1] = factors[(static_cast<size_t>(d) * 2 + 1) * instances +
+                               inst];
+    }
+    double acc = 0.0;
+    const int64_t* row = counters + static_cast<size_t>(inst) * num_words;
+    for (uint32_t w = 0; w < num_words; ++w) {
+      double prod = static_cast<double>(row[w]);
+      for (uint32_t d = 0; d < dims; ++d) {
+        prod *= q_factor[d][((w >> d) & 1) ? 0 : 1];
+      }
+      acc += prod;
+    }
+    z[inst] = acc;
+  }
+}
+
+void JoinZScalar(const int64_t* r, const int64_t* s, uint32_t instances,
+                 uint32_t dims, double* z) {
+  const uint32_t num_words = uint32_t{1} << dims;
+  const uint32_t cmask = num_words - 1;
+  const double scale = 1.0 / static_cast<double>(uint64_t{1} << dims);
+  for (uint32_t inst = 0; inst < instances; ++inst) {
+    const int64_t* rr = r + static_cast<size_t>(inst) * num_words;
+    const int64_t* sr = s + static_cast<size_t>(inst) * num_words;
+    double acc = 0.0;
+    for (uint32_t w = 0; w < num_words; ++w) {
+      acc += static_cast<double>(rr[w]) * static_cast<double>(sr[w ^ cmask]);
+    }
+    z[inst] = acc * scale;
+  }
+}
+
+void SelfJoinZScalar(const int64_t* counters, uint32_t instances,
+                     uint32_t num_words, uint32_t word, double* z) {
+  for (uint32_t inst = 0; inst < instances; ++inst) {
+    const double x = static_cast<double>(
+        counters[static_cast<size_t>(inst) * num_words + word]);
+    z[inst] = x * x;
+  }
+}
+
+constexpr KernelOps kScalarOps = {
+    "scalar",
+    &CountColumnsPackedScalar,
+    &CountColumnsWideScalar,
+    &CountGatherPackedScalar,
+    &CountGatherWideScalar,
+    &LanesFromPackedScalar,
+    &LanesFromWideScalar,
+    &AddLanesScalar,
+    &SignsFromMaskScalar,
+    &TensorApplyPortable,
+    &RangeZScalar,
+    &JoinZScalar,
+    &SelfJoinZScalar,
+};
+
+// ---------------------------------------------------------------------------
+// Dispatch: cpuid feature tests + one-time selection.
+// ---------------------------------------------------------------------------
+
+bool CpuHasAvx2() {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool CpuHasAvx512() {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  // The 512-bit kernels use BW byte ops, DQ 64-bit multiplies /
+  // int64->double converts, and VL 256-bit forms; every AVX-512 server
+  // part since Skylake-X ships all four together.
+  return __builtin_cpu_supports("avx512f") != 0 &&
+         __builtin_cpu_supports("avx512bw") != 0 &&
+         __builtin_cpu_supports("avx512dq") != 0 &&
+         __builtin_cpu_supports("avx512vl") != 0;
+#else
+  return false;
+#endif
+}
+
+std::atomic<const KernelOps*> g_active{nullptr};
+
+const char* KindName(Kind k) {
+  switch (k) {
+    case Kind::kScalar:
+      return "scalar";
+    case Kind::kAvx2:
+      return "avx2";
+    case Kind::kAvx512:
+      return "avx512";
+  }
+  return "scalar";
+}
+
+Kind ApplyOverrideInner(const char* value);
+
+const KernelOps* ResolveAuto() {
+  if (const KernelOps* ops = OpsFor(Kind::kAvx512)) return ops;
+  if (const KernelOps* ops = OpsFor(Kind::kAvx2)) return ops;
+  return &kScalarOps;
+}
+
+const KernelOps* ResolveStartup() {
+  const char* env = std::getenv("SPATIALSKETCH_KERNELS");
+  if (env != nullptr && env[0] != '\0') {
+    Kind picked = ApplyOverrideInner(env);
+    return OpsFor(picked);
+  }
+  return ResolveAuto();
+}
+
+Kind KindOf(const KernelOps* ops) {
+  if (ops != nullptr && ops == GetAvx512KernelOps()) return Kind::kAvx512;
+  if (ops != nullptr && ops == GetAvx2KernelOps()) return Kind::kAvx2;
+  return Kind::kScalar;
+}
+
+}  // namespace
+
+void TensorApplyPortable(const int32_t* const (*lv)[2], uint32_t dims,
+                         uint32_t lanes, int64_t sign, int64_t* rows) {
+  switch (dims) {
+    case 1:
+      TensorApplyScalarT<1>(lv, lanes, sign, rows);
+      return;
+    case 2:
+      TensorApplyScalarT<2>(lv, lanes, sign, rows);
+      return;
+    case 3:
+      TensorApplyScalarT<3>(lv, lanes, sign, rows);
+      return;
+    default:
+      TensorApplyScalarT<4>(lv, lanes, sign, rows);
+      return;
+  }
+}
+
+const KernelOps* OpsFor(Kind k) {
+  switch (k) {
+    case Kind::kScalar:
+      return &kScalarOps;
+    case Kind::kAvx2:
+      return CpuHasAvx2() ? GetAvx2KernelOps() : nullptr;
+    case Kind::kAvx512:
+      return CpuHasAvx512() ? GetAvx512KernelOps() : nullptr;
+  }
+  return nullptr;
+}
+
+bool Available(Kind k) { return OpsFor(k) != nullptr; }
+
+Kind Best() { return KindOf(ResolveAuto()); }
+
+const KernelOps& Ops() {
+  const KernelOps* active = g_active.load(std::memory_order_acquire);
+  if (active == nullptr) {
+    const KernelOps* resolved = ResolveStartup();
+    // Racers resolve identically (env + cpuid are stable); first store
+    // wins and the rest agree.
+    g_active.store(resolved, std::memory_order_release);
+    active = resolved;
+  }
+  return *active;
+}
+
+Kind Selected() { return KindOf(&Ops()); }
+
+const char* SelectedName() { return Ops().name; }
+
+Status ForceKernels(Kind k) {
+  const KernelOps* ops = OpsFor(k);
+  if (ops == nullptr) {
+    return Status::FailedPrecondition(
+        std::string("kernel variant unavailable on this host: ") +
+        KindName(k));
+  }
+  g_active.store(ops, std::memory_order_release);
+  return Status::OK();
+}
+
+Status ForceKernels(const std::string& name) {
+  if (name == "scalar") return ForceKernels(Kind::kScalar);
+  if (name == "avx2") return ForceKernels(Kind::kAvx2);
+  if (name == "avx512") return ForceKernels(Kind::kAvx512);
+  return Status::InvalidArgument(
+      "unknown kernel variant '" + name +
+      "' (expected scalar, avx2, or avx512)");
+}
+
+namespace {
+
+Kind ApplyOverrideInner(const char* value) {
+  Kind want;
+  if (std::strcmp(value, "scalar") == 0) {
+    want = Kind::kScalar;
+  } else if (std::strcmp(value, "avx2") == 0) {
+    want = Kind::kAvx2;
+  } else if (std::strcmp(value, "avx512") == 0) {
+    want = Kind::kAvx512;
+  } else {
+    std::fprintf(stderr,
+                 "spatialsketch: ignoring unknown SPATIALSKETCH_KERNELS "
+                 "value '%s' (expected scalar|avx2|avx512)\n",
+                 value);
+    return KindOf(ResolveAuto());
+  }
+  const KernelOps* ops = OpsFor(want);
+  if (ops == nullptr) {
+    const KernelOps* fallback = ResolveAuto();
+    std::fprintf(stderr,
+                 "spatialsketch: SPATIALSKETCH_KERNELS=%s unavailable on "
+                 "this host; using %s\n",
+                 value, fallback->name);
+    return KindOf(fallback);
+  }
+  return want;
+}
+
+}  // namespace
+
+Kind ApplyOverride(const char* value) {
+  const Kind picked = (value == nullptr || value[0] == '\0')
+                          ? KindOf(ResolveAuto())
+                          : ApplyOverrideInner(value);
+  g_active.store(OpsFor(picked), std::memory_order_release);
+  return picked;
+}
+
+std::string CpuFeatureString() {
+  std::string out;
+  auto add = [&](const char* name, bool have) {
+    if (!have) return;
+    if (!out.empty()) out += ',';
+    out += name;
+  };
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  add("avx2", __builtin_cpu_supports("avx2") != 0);
+  add("avx512f", __builtin_cpu_supports("avx512f") != 0);
+  add("avx512bw", __builtin_cpu_supports("avx512bw") != 0);
+  add("avx512dq", __builtin_cpu_supports("avx512dq") != 0);
+  add("avx512vl", __builtin_cpu_supports("avx512vl") != 0);
+#endif
+  return out;
+}
+
+}  // namespace kernels
+}  // namespace spatialsketch

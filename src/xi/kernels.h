@@ -1,0 +1,183 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Runtime-dispatched SIMD kernels for the bit-sliced hot paths.
+//
+// Every per-core scan loop the serving paths live in — the carry-save
+// bit-slice reduction over packed sign columns, the byte-lane widening
+// into per-instance letter values, the streaming counter apply, and the
+// per-instance estimator sum/dot walks — is reached through ONE dispatch
+// table of explicit, non-inline kernels. Three variants exist:
+//
+//   scalar  portable uint64_t code (always available; the bit-identity
+//           reference every other variant is differentially tested
+//           against in tests/kernel_dispatch_test.cc)
+//   avx2    256-bit integer/FP variants (4 blocks / 4 lanes per op)
+//   avx512  512-bit variants (8 blocks / 8 lanes per op; requires the
+//           F+BW+DQ+VL subset every AVX-512 server core since Skylake-X
+//           ships together)
+//
+// The vector variants live in dedicated translation units compiled with
+// per-file -mavx2 / -mavx512* flags (see CMakeLists.txt), so vector
+// codegen is deliberate: the rest of the library keeps the baseline ISA
+// and links fine on machines without the extensions. Selection happens
+// once, on first use, from cpuid — overridable for A/B runs and tests
+// with the SPATIALSKETCH_KERNELS=scalar|avx2|avx512 environment variable
+// or ForceKernels().
+//
+// Bit-identity invariant: every kernel either computes exact integer
+// results (counts, counter deltas — freely reassociable) or performs its
+// floating-point operations in exactly the scalar variant's per-element
+// order (estimator z-loops vectorize ACROSS instances, never across the
+// in-instance accumulation, and the vector TUs compile with
+// -ffp-contract=off so no FMA contraction can change rounding). Every
+// variant therefore produces counters and estimates bit-identical to
+// scalar; tests/kernel_dispatch_test.cc enforces this differentially.
+
+#ifndef SPATIALSKETCH_XI_KERNELS_H_
+#define SPATIALSKETCH_XI_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace spatialsketch {
+namespace kernels {
+
+/// Kernel variants in ascending capability order.
+enum class Kind : int { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// The dispatch table. All pointers are always non-null in a published
+/// table. Layout conventions shared by every entry:
+///  * a packed count array holds 8 uint64_t per instance block — byte j%8
+///    of word j/8 is the (<= 255) count of lane j of that block;
+///  * `blocks` 64-lane instance blocks cover the schema's instances;
+///  * counter rows are instance-major: instance i's `num_words` int64
+///    words start at counters[i * num_words].
+struct KernelOps {
+  const char* name;
+
+  /// Per-lane minus-counts of m <= 255 cached sign columns across every
+  /// instance block in one id-ordered pass. cols[i] points at column i
+  /// (blocks words each); packed receives blocks * 8 words; planes is
+  /// blocks * 6 words of caller scratch (scalar CSA state — vector
+  /// variants may ignore it).
+  void (*count_columns_packed)(const uint64_t* const* cols, size_t m,
+                               uint32_t blocks, uint64_t* packed,
+                               uint64_t* planes);
+
+  /// 32-bit fallback for covers longer than 255 ids: wide[blk * 64 + j]
+  /// receives the full count; packed/planes are scratch as above.
+  void (*count_columns_wide)(const uint64_t* const* cols, size_t m,
+                             uint32_t blocks, int32_t* wide, uint64_t* packed,
+                             uint64_t* planes);
+
+  /// Row-major variant for the bulk loader: words come from one SignTable
+  /// row, gathered through `ids` (word i = row[ids[i]]). m <= 255.
+  void (*count_gather_packed)(const uint64_t* row, const uint64_t* ids,
+                              size_t m, uint64_t out8[8]);
+
+  /// Arbitrary-m row-major variant widening into 32-bit counts.
+  void (*count_gather_wide)(const uint64_t* row, const uint64_t* ids,
+                            size_t m, int32_t out[64]);
+
+  /// Letter values of one block from byte-packed minus counts:
+  /// out[j] = m - 2 * count_j.
+  void (*lanes_from_packed)(const uint64_t packed8[8], int32_t m,
+                            int32_t out[64]);
+
+  /// Letter values of one block from 32-bit minus counts.
+  void (*lanes_from_wide)(const int32_t wide[64], int32_t m, int32_t out[64]);
+
+  /// out[j] = a[j] + b[j] over one block (letter E = L + U).
+  void (*add_lanes)(const int32_t a[64], const int32_t b[64], int32_t out[64]);
+
+  /// Leaf-letter values of one block from a packed sign word:
+  /// out[j] = 1 - 2 * ((mask >> j) & 1).
+  void (*signs_from_mask)(uint64_t mask, int32_t out[64]);
+
+  /// Streaming counter apply for one instance block of a bitmask-tensor
+  /// shape: for lane j < lanes and word w < 2^dims,
+  ///   rows[j * 2^dims + w] += sign * prod_d lv[d][(w >> d) & 1][j].
+  /// lv[d][side] are 64-lane letter-value arrays; sign is +1 or -1.
+  /// Exact int64 arithmetic (wrap-free in practice, identical under any
+  /// evaluation order), so variants are trivially bit-identical.
+  void (*tensor_apply)(const int32_t* const (*lv)[2], uint32_t dims,
+                       uint32_t lanes, int64_t sign, int64_t* rows);
+
+  /// Range-estimator per-instance sums: factors holds dims * 2 arrays of
+  /// `instances` int32 each (layout [(d * 2 + which) * instances + i],
+  /// which 0 = interval cover, 1 = upper point cover);
+  ///   z[i] = sum_w counters[i * 2^dims + w] *
+  ///          prod_d factors[d][(w >> d) & 1 ? 0 : 1][i]
+  /// with the products and the w-ascending accumulation performed in
+  /// double exactly like the scalar estimator.
+  void (*range_z)(const int64_t* counters, uint32_t instances, uint32_t dims,
+                  const int32_t* factors, double* z);
+
+  /// Join-estimator per-instance dot products over complementary words:
+  ///   z[i] = (1 / 2^dims) * sum_w r[i][w] * s[i][w ^ (2^dims - 1)].
+  void (*join_z)(const int64_t* r, const int64_t* s, uint32_t instances,
+                 uint32_t dims, double* z);
+
+  /// Self-join per-instance squares of one word column:
+  ///   z[i] = ((double)counters[i * num_words + word])^2.
+  void (*self_join_z)(const int64_t* counters, uint32_t instances,
+                      uint32_t num_words, uint32_t word, double* z);
+};
+
+/// The active table. First call resolves the variant: the
+/// SPATIALSKETCH_KERNELS env override if set and usable, else the best
+/// CPU-supported compiled-in variant. Hot paths should hoist the returned
+/// reference out of their loops (one atomic load + indirect call per
+/// kernel invocation otherwise).
+const KernelOps& Ops();
+
+/// Currently active variant / its name ("scalar", "avx2", "avx512").
+Kind Selected();
+const char* SelectedName();
+
+/// Best variant this binary AND this CPU support (what auto-selection
+/// picks absent an override).
+Kind Best();
+
+/// True if `k` is compiled in and supported by this CPU.
+bool Available(Kind k);
+
+/// Table for a specific variant, or nullptr when unavailable. Intended
+/// for differential tests that pin variants against each other.
+const KernelOps* OpsFor(Kind k);
+
+/// Force the active variant (benches / tests; call before hot work, not
+/// concurrently with it). Fails with FailedPrecondition when `k` is not
+/// compiled in or the CPU lacks it.
+Status ForceKernels(Kind k);
+
+/// Name-keyed override: "scalar", "avx2", "avx512" (the accepted values
+/// of SPATIALSKETCH_KERNELS). Unknown names fail with InvalidArgument.
+Status ForceKernels(const std::string& name);
+
+/// Applies an override string exactly like the environment variable at
+/// startup would: empty/unknown values and unavailable variants degrade
+/// to auto-selection with a stderr warning instead of failing. Returns
+/// the variant that ended up active. Exposed for the dispatch tests.
+Kind ApplyOverride(const char* value);
+
+/// Comma-separated CPU feature summary relevant to dispatch, e.g.
+/// "avx2,avx512f,avx512bw,avx512dq,avx512vl" (empty when none).
+std::string CpuFeatureString();
+
+/// The portable iterated-partial-product ladder behind tensor_apply —
+/// exact int64 math, defined once in kernels.cc with baseline codegen.
+/// The scalar table points here, and the vector tables delegate the
+/// dimensionalities they do not specialize, so the bit-identity-critical
+/// ladder has exactly ONE definition (and the vector TUs emit no
+/// vector-encoded copy of it).
+void TensorApplyPortable(const int32_t* const (*lv)[2], uint32_t dims,
+                         uint32_t lanes, int64_t sign, int64_t* rows);
+
+}  // namespace kernels
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_XI_KERNELS_H_

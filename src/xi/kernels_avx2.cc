@@ -1,0 +1,536 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// AVX2 kernel variants: 256-bit integer ops process 4 instance blocks per
+// carry-save step, vpshufb-based in-register byte spreads replace the
+// scalar spread-table expansion, and the estimator z-loops vectorize 4
+// instances wide (per-instance FP op order preserved — see kernels.h for
+// the bit-identity contract). This TU is compiled with -mavx2 and
+// -ffp-contract=off via set_source_files_properties; nothing outside it
+// may assume AVX2 codegen.
+
+#include "src/xi/kernels.h"
+
+#if defined(SPATIALSKETCH_COMPILE_AVX2)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstring>
+
+// NOTE: no shared project headers beyond kernels.h here — see the
+// comdat rule at the set_source_files_properties block in CMakeLists.txt.
+
+namespace spatialsketch {
+namespace kernels {
+namespace {
+
+// Bytes 0..31 of the result are 0xFF where the corresponding bit of
+// `bits` is set: broadcast the 32-bit word, vpshufb each byte into its
+// 8-lane group, isolate the lane's bit, compare-equal back to the mask.
+inline __m256i SpreadMask32(uint32_t bits) {
+  const __m256i v = _mm256_set1_epi32(static_cast<int>(bits));
+  const __m256i group = _mm256_setr_epi8(0, 0, 0, 0, 0, 0, 0, 0,  //
+                                         1, 1, 1, 1, 1, 1, 1, 1,  //
+                                         2, 2, 2, 2, 2, 2, 2, 2,  //
+                                         3, 3, 3, 3, 3, 3, 3, 3);
+  const __m256i bitsel =
+      _mm256_set1_epi64x(static_cast<int64_t>(0x8040201008040201ULL));
+  const __m256i spread = _mm256_shuffle_epi8(v, group);
+  return _mm256_cmpeq_epi8(_mm256_and_si256(spread, bitsel), bitsel);
+}
+
+// out8 (64 byte lanes as 2 x 256) += plane bits << k.
+inline void AccumulatePlane(uint64_t plane, uint32_t k, __m256i* lo,
+                            __m256i* hi) {
+  const __m256i inc = _mm256_set1_epi8(static_cast<char>(1u << k));
+  *lo = _mm256_add_epi8(
+      *lo, _mm256_and_si256(SpreadMask32(static_cast<uint32_t>(plane)), inc));
+  *hi = _mm256_add_epi8(
+      *hi,
+      _mm256_and_si256(SpreadMask32(static_cast<uint32_t>(plane >> 32)), inc));
+}
+
+// Expand 6 CSA planes of one block into its byte-packed counts.
+inline void ExpandPlanesInto(const uint64_t plane[6], uint64_t* out8) {
+  __m256i lo = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(out8));
+  __m256i hi = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(out8 + 4));
+  for (uint32_t k = 0; k < 6; ++k) {
+    if (plane[k] == 0) continue;
+    AccumulatePlane(plane[k], k, &lo, &hi);
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out8), lo);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out8 + 4), hi);
+}
+
+void CountColumnsPackedAvx2(const uint64_t* const* cols, size_t m,
+                            uint32_t blocks, uint64_t* packed,
+                            uint64_t* planes) {
+  (void)planes;  // vector CSA state lives in registers
+  std::fill(packed, packed + static_cast<size_t>(blocks) * 8, 0);
+  const uint32_t blk4 = blocks & ~3u;
+  size_t done = 0;
+  while (done < m) {
+    const size_t chunk = std::min<size_t>(63, m - done);
+    for (uint32_t g = 0; g < blk4; g += 4) {
+      __m256i p0 = _mm256_setzero_si256(), p1 = p0, p2 = p0, p3 = p0,
+              p4 = p0, p5 = p0;
+      for (size_t i = 0; i < chunk; ++i) {
+        __m256i carry = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(cols[done + i] + g));
+        __m256i t;
+        t = _mm256_and_si256(p0, carry);
+        p0 = _mm256_xor_si256(p0, carry);
+        carry = t;
+        t = _mm256_and_si256(p1, carry);
+        p1 = _mm256_xor_si256(p1, carry);
+        carry = t;
+        t = _mm256_and_si256(p2, carry);
+        p2 = _mm256_xor_si256(p2, carry);
+        carry = t;
+        t = _mm256_and_si256(p3, carry);
+        p3 = _mm256_xor_si256(p3, carry);
+        carry = t;
+        t = _mm256_and_si256(p4, carry);
+        p4 = _mm256_xor_si256(p4, carry);
+        carry = t;
+        p5 = _mm256_xor_si256(p5, carry);
+      }
+      alignas(32) uint64_t pl[6][4];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(pl[0]), p0);
+      _mm256_store_si256(reinterpret_cast<__m256i*>(pl[1]), p1);
+      _mm256_store_si256(reinterpret_cast<__m256i*>(pl[2]), p2);
+      _mm256_store_si256(reinterpret_cast<__m256i*>(pl[3]), p3);
+      _mm256_store_si256(reinterpret_cast<__m256i*>(pl[4]), p4);
+      _mm256_store_si256(reinterpret_cast<__m256i*>(pl[5]), p5);
+      for (uint32_t b = 0; b < 4; ++b) {
+        const uint64_t plane[6] = {pl[0][b], pl[1][b], pl[2][b],
+                                   pl[3][b], pl[4][b], pl[5][b]};
+        ExpandPlanesInto(plane, packed + static_cast<size_t>(g + b) * 8);
+      }
+    }
+    // Tail blocks: scalar CSA per block, vector expansion.
+    for (uint32_t b = blk4; b < blocks; ++b) {
+      uint64_t plane[6] = {0, 0, 0, 0, 0, 0};
+      for (size_t i = 0; i < chunk; ++i) {
+        uint64_t carry = cols[done + i][b];
+        for (uint32_t k = 0; carry != 0 && k < 6; ++k) {
+          const uint64_t t = plane[k] & carry;
+          plane[k] ^= carry;
+          carry = t;
+        }
+      }
+      ExpandPlanesInto(plane, packed + static_cast<size_t>(b) * 8);
+    }
+    done += chunk;
+  }
+}
+
+// wide[j] += byte j of the packed counts, one block (64 lanes).
+inline void WidenAddBytes(const uint64_t* out8, int32_t* wide) {
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(out8);
+  for (uint32_t g = 0; g < 8; ++g) {
+    const __m256i b = _mm256_cvtepu8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(bytes + 8 * g)));
+    __m256i acc =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(wide + 8 * g));
+    acc = _mm256_add_epi32(acc, b);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(wide + 8 * g), acc);
+  }
+}
+
+void CountColumnsWideAvx2(const uint64_t* const* cols, size_t m,
+                          uint32_t blocks, int32_t* wide, uint64_t* packed,
+                          uint64_t* planes) {
+  std::fill(wide, wide + static_cast<size_t>(blocks) * 64, 0);
+  size_t done = 0;
+  while (done < m) {
+    const size_t part = std::min<size_t>(252, m - done);
+    CountColumnsPackedAvx2(cols + done, part, blocks, packed, planes);
+    for (uint32_t blk = 0; blk < blocks; ++blk) {
+      WidenAddBytes(packed + static_cast<size_t>(blk) * 8,
+                    wide + static_cast<size_t>(blk) * 64);
+    }
+    done += part;
+  }
+}
+
+// Row-major gather counting: 4 interleaved CSA streams (vector lanes),
+// exact counts merge in the byte expansion. A trailing group of < 4 words
+// folds in through a scalar CSA into the same byte accumulators.
+void CountGatherPackedAvx2(const uint64_t* row, const uint64_t* ids, size_t m,
+                           uint64_t out8[8]) {
+  __m256i lo = _mm256_setzero_si256();
+  __m256i hi = _mm256_setzero_si256();
+  size_t done = 0;
+  while (done < m) {
+    // 4 lanes x <= 63 rounds per pass keeps every lane's planes < 64.
+    const size_t left = m - done;
+    const size_t rounds = std::min<size_t>(63, left / 4);
+    if (rounds == 0) break;
+    __m256i p0 = _mm256_setzero_si256(), p1 = p0, p2 = p0, p3 = p0, p4 = p0,
+            p5 = p0;
+    for (size_t i = 0; i < rounds; ++i) {
+      const size_t base = done + i * 4;
+      __m256i carry =
+          _mm256_setr_epi64x(static_cast<int64_t>(row[ids[base]]),
+                             static_cast<int64_t>(row[ids[base + 1]]),
+                             static_cast<int64_t>(row[ids[base + 2]]),
+                             static_cast<int64_t>(row[ids[base + 3]]));
+      __m256i t;
+      t = _mm256_and_si256(p0, carry);
+      p0 = _mm256_xor_si256(p0, carry);
+      carry = t;
+      t = _mm256_and_si256(p1, carry);
+      p1 = _mm256_xor_si256(p1, carry);
+      carry = t;
+      t = _mm256_and_si256(p2, carry);
+      p2 = _mm256_xor_si256(p2, carry);
+      carry = t;
+      t = _mm256_and_si256(p3, carry);
+      p3 = _mm256_xor_si256(p3, carry);
+      carry = t;
+      t = _mm256_and_si256(p4, carry);
+      p4 = _mm256_xor_si256(p4, carry);
+      carry = t;
+      p5 = _mm256_xor_si256(p5, carry);
+    }
+    alignas(32) uint64_t pl[6][4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(pl[0]), p0);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(pl[1]), p1);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(pl[2]), p2);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(pl[3]), p3);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(pl[4]), p4);
+    _mm256_store_si256(reinterpret_cast<__m256i*>(pl[5]), p5);
+    for (uint32_t lane = 0; lane < 4; ++lane) {
+      for (uint32_t k = 0; k < 6; ++k) {
+        if (pl[k][lane] == 0) continue;
+        AccumulatePlane(pl[k][lane], k, &lo, &hi);
+      }
+    }
+    done += rounds * 4;
+  }
+  // Remainder (< 4 words, or the sub-63-round leftovers).
+  while (done < m) {
+    const size_t chunk = std::min<size_t>(63, m - done);
+    uint64_t plane[6] = {0, 0, 0, 0, 0, 0};
+    for (size_t i = 0; i < chunk; ++i) {
+      uint64_t carry = row[ids[done + i]];
+      for (uint32_t k = 0; carry != 0 && k < 6; ++k) {
+        const uint64_t t = plane[k] & carry;
+        plane[k] ^= carry;
+        carry = t;
+      }
+    }
+    for (uint32_t k = 0; k < 6; ++k) {
+      if (plane[k] == 0) continue;
+      AccumulatePlane(plane[k], k, &lo, &hi);
+    }
+    done += chunk;
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out8), lo);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out8 + 4), hi);
+}
+
+void CountGatherWideAvx2(const uint64_t* row, const uint64_t* ids, size_t m,
+                         int32_t out[64]) {
+  std::memset(out, 0, 64 * sizeof(int32_t));
+  uint64_t packed[8];
+  size_t done = 0;
+  while (done < m) {
+    const size_t part = std::min<size_t>(252, m - done);
+    CountGatherPackedAvx2(row, ids + done, part, packed);
+    WidenAddBytes(packed, out);
+    done += part;
+  }
+}
+
+void LanesFromPackedAvx2(const uint64_t packed8[8], int32_t m,
+                         int32_t out[64]) {
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(packed8);
+  const __m256i vm = _mm256_set1_epi32(m);
+  for (uint32_t g = 0; g < 8; ++g) {
+    __m256i x = _mm256_cvtepu8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(bytes + 8 * g)));
+    x = _mm256_sub_epi32(vm, _mm256_add_epi32(x, x));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 8 * g), x);
+  }
+}
+
+void LanesFromWideAvx2(const int32_t wide[64], int32_t m, int32_t out[64]) {
+  const __m256i vm = _mm256_set1_epi32(m);
+  for (uint32_t g = 0; g < 8; ++g) {
+    __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(wide + 8 * g));
+    x = _mm256_sub_epi32(vm, _mm256_add_epi32(x, x));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 8 * g), x);
+  }
+}
+
+void AddLanesAvx2(const int32_t a[64], const int32_t b[64], int32_t out[64]) {
+  for (uint32_t g = 0; g < 8; ++g) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + 8 * g));
+    const __m256i y =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + 8 * g));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 8 * g),
+                        _mm256_add_epi32(x, y));
+  }
+}
+
+void SignsFromMaskAvx2(uint64_t mask, int32_t out[64]) {
+  // out[j] = 1 - 2 * bit_j, in-register: isolate each lane's bit with a
+  // per-lane selector, compare-equal to -1 where set, then 1 + 2 * hit.
+  const __m256i ones = _mm256_set1_epi32(1);
+  const __m256i bitsel = _mm256_setr_epi32(1, 2, 4, 8, 16, 32, 64, 128);
+  for (uint32_t g = 0; g < 8; ++g) {
+    const __m256i v =
+        _mm256_set1_epi32(static_cast<int>((mask >> (8 * g)) & 0xFF));
+    const __m256i hit =
+        _mm256_cmpeq_epi32(_mm256_and_si256(v, bitsel), bitsel);
+    const __m256i x = _mm256_add_epi32(ones, _mm256_slli_epi32(hit, 1));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 8 * g), x);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming counter apply (tensor shapes). Letter values are int32; the
+// 2^dims per-lane partial products are exact int64, so evaluation order
+// is free and vpmuldq (32x32 -> 64 signed) covers the 2-d product.
+// ---------------------------------------------------------------------------
+
+void TensorApply1Avx2(const int32_t* const (*lv)[2], uint32_t lanes,
+                      int64_t sign, int64_t* rows) {
+  const int32_t* a0 = lv[0][0];
+  const int32_t* a1 = lv[0][1];
+  const bool neg = sign < 0;
+  uint32_t j = 0;
+  for (; j + 4 <= lanes; j += 4) {
+    const __m128i v0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a0 + j));
+    const __m128i v1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a1 + j));
+    // Interleave into word order: [a0[j], a1[j], a0[j+1], a1[j+1], ...].
+    const __m256i p0 = _mm256_cvtepi32_epi64(_mm_unpacklo_epi32(v0, v1));
+    const __m256i p1 = _mm256_cvtepi32_epi64(_mm_unpackhi_epi32(v0, v1));
+    int64_t* r = rows + static_cast<size_t>(j) * 2;
+    __m256i r0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(r));
+    __m256i r1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(r + 4));
+    r0 = neg ? _mm256_sub_epi64(r0, p0) : _mm256_add_epi64(r0, p0);
+    r1 = neg ? _mm256_sub_epi64(r1, p1) : _mm256_add_epi64(r1, p1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(r), r0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(r + 4), r1);
+  }
+  for (; j < lanes; ++j) {
+    int64_t* r = rows + static_cast<size_t>(j) * 2;
+    r[0] += sign * a0[j];
+    r[1] += sign * a1[j];
+  }
+}
+
+void TensorApply2Avx2(const int32_t* const (*lv)[2], uint32_t lanes,
+                      int64_t sign, int64_t* rows) {
+  const int32_t* a0 = lv[0][0];
+  const int32_t* a1 = lv[0][1];
+  const int32_t* b0 = lv[1][0];
+  const int32_t* b1 = lv[1][1];
+  const bool neg = sign < 0;
+  // Word w of lane j multiplies lv[0][w & 1] by lv[1][(w >> 1) & 1].
+  // vpmuldq only reads the LOW dword of each i64 slot, so a vpermd per
+  // operand positions the letter values (high dwords are don't-care);
+  // sources hold 4 lanes of each side: za = [a0[j..j+3] | a1[j..j+3]].
+  __m256i x_idx[4], y_idx[4];
+  for (int t = 0; t < 4; ++t) {
+    x_idx[t] = _mm256_setr_epi32(t, t, 4 + t, 4 + t, t, t, 4 + t, 4 + t);
+    y_idx[t] = _mm256_setr_epi32(t, t, t, t, 4 + t, 4 + t, 4 + t, 4 + t);
+  }
+  uint32_t j = 0;
+  for (; j + 4 <= lanes; j += 4) {
+    const __m256i za = _mm256_setr_m128i(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a0 + j)),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a1 + j)));
+    const __m256i zb = _mm256_setr_m128i(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b0 + j)),
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b1 + j)));
+    for (uint32_t t = 0; t < 4; ++t) {
+      const __m256i x = _mm256_permutevar8x32_epi32(za, x_idx[t]);
+      const __m256i y = _mm256_permutevar8x32_epi32(zb, y_idx[t]);
+      const __m256i p = _mm256_mul_epi32(x, y);
+      int64_t* r = rows + (static_cast<size_t>(j) + t) * 4;
+      __m256i acc = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(r));
+      acc = neg ? _mm256_sub_epi64(acc, p) : _mm256_add_epi64(acc, p);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(r), acc);
+    }
+  }
+  for (; j < lanes; ++j) {
+    const int64_t a[2] = {a0[j], a1[j]};
+    const int64_t b[2] = {b0[j], b1[j]};
+    int64_t* r = rows + static_cast<size_t>(j) * 4;
+    for (uint32_t w = 0; w < 4; ++w) {
+      r[w] += sign * a[w & 1] * b[(w >> 1) & 1];
+    }
+  }
+}
+
+void TensorApplyAvx2(const int32_t* const (*lv)[2], uint32_t dims,
+                     uint32_t lanes, int64_t sign, int64_t* rows) {
+  switch (dims) {
+    case 1:
+      TensorApply1Avx2(lv, lanes, sign, rows);
+      return;
+    case 2:
+      TensorApply2Avx2(lv, lanes, sign, rows);
+      return;
+    default:
+      // 3-d/4-d tensor shapes are rare in serving: delegate to the ONE
+      // portable ladder in kernels.cc (baseline codegen, bit-identical
+      // by construction — no duplicated bit-identity-critical code).
+      TensorApplyPortable(lv, dims, lanes, sign, rows);
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Estimator z-loops: 4 instances per vector, w-loop kept serial so each
+// instance's FP accumulation order matches scalar exactly.
+// ---------------------------------------------------------------------------
+
+void RangeZAvx2(const int64_t* counters, uint32_t instances, uint32_t dims,
+                const int32_t* factors, double* z) {
+  const uint32_t num_words = uint32_t{1} << dims;
+  uint32_t inst = 0;
+  for (; inst + 4 <= instances; inst += 4) {
+    __m256d q[4][2];
+    for (uint32_t d = 0; d < dims; ++d) {
+      for (uint32_t which = 0; which < 2; ++which) {
+        q[d][which] = _mm256_cvtepi32_pd(_mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(
+                factors + (static_cast<size_t>(d) * 2 + which) * instances +
+                inst)));
+      }
+    }
+    const int64_t* base = counters + static_cast<size_t>(inst) * num_words;
+    __m256d acc = _mm256_setzero_pd();
+    for (uint32_t w = 0; w < num_words; ++w) {
+      __m256d prod = _mm256_setr_pd(
+          static_cast<double>(base[w]),
+          static_cast<double>(base[w + num_words]),
+          static_cast<double>(base[w + 2 * static_cast<size_t>(num_words)]),
+          static_cast<double>(base[w + 3 * static_cast<size_t>(num_words)]));
+      for (uint32_t d = 0; d < dims; ++d) {
+        prod = _mm256_mul_pd(prod, q[d][((w >> d) & 1) ? 0 : 1]);
+      }
+      acc = _mm256_add_pd(acc, prod);
+    }
+    _mm256_storeu_pd(z + inst, acc);
+  }
+  for (; inst < instances; ++inst) {
+    double q_factor[4][2];
+    for (uint32_t d = 0; d < dims; ++d) {
+      q_factor[d][0] =
+          factors[(static_cast<size_t>(d) * 2 + 0) * instances + inst];
+      q_factor[d][1] =
+          factors[(static_cast<size_t>(d) * 2 + 1) * instances + inst];
+    }
+    const int64_t* row = counters + static_cast<size_t>(inst) * num_words;
+    double acc = 0.0;
+    for (uint32_t w = 0; w < num_words; ++w) {
+      double prod = static_cast<double>(row[w]);
+      for (uint32_t d = 0; d < dims; ++d) {
+        prod *= q_factor[d][((w >> d) & 1) ? 0 : 1];
+      }
+      acc += prod;
+    }
+    z[inst] = acc;
+  }
+}
+
+void JoinZAvx2(const int64_t* r, const int64_t* s, uint32_t instances,
+               uint32_t dims, double* z) {
+  const uint32_t num_words = uint32_t{1} << dims;
+  const uint32_t cmask = num_words - 1;
+  const double scale = 1.0 / static_cast<double>(uint64_t{1} << dims);
+  const __m256d vscale = _mm256_set1_pd(scale);
+  uint32_t inst = 0;
+  for (; inst + 4 <= instances; inst += 4) {
+    const int64_t* rb = r + static_cast<size_t>(inst) * num_words;
+    const int64_t* sb = s + static_cast<size_t>(inst) * num_words;
+    __m256d acc = _mm256_setzero_pd();
+    for (uint32_t w = 0; w < num_words; ++w) {
+      const uint32_t wc = w ^ cmask;
+      const __m256d rv = _mm256_setr_pd(
+          static_cast<double>(rb[w]), static_cast<double>(rb[w + num_words]),
+          static_cast<double>(rb[w + 2 * static_cast<size_t>(num_words)]),
+          static_cast<double>(rb[w + 3 * static_cast<size_t>(num_words)]));
+      const __m256d sv = _mm256_setr_pd(
+          static_cast<double>(sb[wc]),
+          static_cast<double>(sb[wc + num_words]),
+          static_cast<double>(sb[wc + 2 * static_cast<size_t>(num_words)]),
+          static_cast<double>(sb[wc + 3 * static_cast<size_t>(num_words)]));
+      acc = _mm256_add_pd(acc, _mm256_mul_pd(rv, sv));
+    }
+    _mm256_storeu_pd(z + inst, _mm256_mul_pd(acc, vscale));
+  }
+  for (; inst < instances; ++inst) {
+    const int64_t* rr = r + static_cast<size_t>(inst) * num_words;
+    const int64_t* sr = s + static_cast<size_t>(inst) * num_words;
+    double acc = 0.0;
+    for (uint32_t w = 0; w < num_words; ++w) {
+      acc += static_cast<double>(rr[w]) * static_cast<double>(sr[w ^ cmask]);
+    }
+    z[inst] = acc * scale;
+  }
+}
+
+void SelfJoinZAvx2(const int64_t* counters, uint32_t instances,
+                   uint32_t num_words, uint32_t word, double* z) {
+  uint32_t inst = 0;
+  for (; inst + 4 <= instances; inst += 4) {
+    const int64_t* base =
+        counters + static_cast<size_t>(inst) * num_words + word;
+    const __m256d x = _mm256_setr_pd(
+        static_cast<double>(base[0]), static_cast<double>(base[num_words]),
+        static_cast<double>(base[2 * static_cast<size_t>(num_words)]),
+        static_cast<double>(base[3 * static_cast<size_t>(num_words)]));
+    _mm256_storeu_pd(z + inst, _mm256_mul_pd(x, x));
+  }
+  for (; inst < instances; ++inst) {
+    const double x = static_cast<double>(
+        counters[static_cast<size_t>(inst) * num_words + word]);
+    z[inst] = x * x;
+  }
+}
+
+constexpr KernelOps kAvx2Ops = {
+    "avx2",
+    &CountColumnsPackedAvx2,
+    &CountColumnsWideAvx2,
+    &CountGatherPackedAvx2,
+    &CountGatherWideAvx2,
+    &LanesFromPackedAvx2,
+    &LanesFromWideAvx2,
+    &AddLanesAvx2,
+    &SignsFromMaskAvx2,
+    &TensorApplyAvx2,
+    &RangeZAvx2,
+    &JoinZAvx2,
+    &SelfJoinZAvx2,
+};
+
+}  // namespace
+
+const KernelOps* GetAvx2KernelOps() { return &kAvx2Ops; }
+
+}  // namespace kernels
+}  // namespace spatialsketch
+
+#else  // !SPATIALSKETCH_COMPILE_AVX2
+
+namespace spatialsketch {
+namespace kernels {
+
+const KernelOps* GetAvx2KernelOps() { return nullptr; }
+
+}  // namespace kernels
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_COMPILE_AVX2

@@ -1,0 +1,597 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// AVX-512 kernel variants: 512-bit ops process 8 instance blocks per
+// carry-save step, the plane-to-byte expansion is a single masked byte
+// add per plane (the 64-bit plane word IS the __mmask64), and the
+// estimator z-loops vectorize 8 instances wide with vcvtqq2pd doing the
+// int64 -> double converts (per-instance FP op order preserved — see
+// kernels.h). Compiled with -mavx512f -mavx512bw -mavx512dq -mavx512vl
+// -ffp-contract=off via set_source_files_properties; dispatch only picks
+// this table when cpuid reports all four subsets.
+
+#include "src/xi/kernels.h"
+
+#if defined(SPATIALSKETCH_COMPILE_AVX512)
+
+// GCC's AVX-512 headers implement the "undefined pass-through" operand as
+// `__m512i __Y = __Y;`, which GCC 12 itself flags at every inlined
+// intrinsic (GCC PR 105593). The values are dead by construction; silence
+// the false positive for this TU only.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#endif
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstring>
+
+// NOTE: no shared project headers beyond kernels.h here — see the
+// comdat rule at the set_source_files_properties block in CMakeLists.txt.
+
+namespace spatialsketch {
+namespace kernels {
+namespace {
+
+// Full-width gather through the masked form: the unmasked intrinsic's
+// pass-through operand is intentionally undefined in GCC's headers, which
+// trips -Wmaybe-uninitialized; an explicit zero source is free.
+inline __m512i GatherI64(__m512i idx, const void* base) {
+  return _mm512_mask_i64gather_epi64(_mm512_setzero_si512(),
+                                     static_cast<__mmask8>(0xFF), idx, base,
+                                     8);
+}
+
+// out8 (one block's 64 byte lanes, one zmm) += plane bits << k.
+inline __m512i AccumulatePlane512(__m512i acc, uint64_t plane, uint32_t k) {
+  const __m512i inc = _mm512_set1_epi8(static_cast<char>(1u << k));
+  return _mm512_mask_add_epi8(acc, static_cast<__mmask64>(plane), acc, inc);
+}
+
+inline void ExpandPlanesInto512(const uint64_t plane[6], uint64_t* out8) {
+  __m512i acc = _mm512_loadu_si512(out8);
+  for (uint32_t k = 0; k < 6; ++k) {
+    if (plane[k] == 0) continue;
+    acc = AccumulatePlane512(acc, plane[k], k);
+  }
+  _mm512_storeu_si512(out8, acc);
+}
+
+void CountColumnsPackedAvx512(const uint64_t* const* cols, size_t m,
+                              uint32_t blocks, uint64_t* packed,
+                              uint64_t* planes) {
+  (void)planes;
+  std::fill(packed, packed + static_cast<size_t>(blocks) * 8, 0);
+  const uint32_t blk8 = blocks & ~7u;
+  size_t done = 0;
+  while (done < m) {
+    const size_t chunk = std::min<size_t>(63, m - done);
+    for (uint32_t g = 0; g < blk8; g += 8) {
+      __m512i p0 = _mm512_setzero_si512(), p1 = p0, p2 = p0, p3 = p0,
+              p4 = p0, p5 = p0;
+      for (size_t i = 0; i < chunk; ++i) {
+        __m512i carry = _mm512_loadu_si512(cols[done + i] + g);
+        __m512i t;
+        t = _mm512_and_si512(p0, carry);
+        p0 = _mm512_xor_si512(p0, carry);
+        carry = t;
+        t = _mm512_and_si512(p1, carry);
+        p1 = _mm512_xor_si512(p1, carry);
+        carry = t;
+        t = _mm512_and_si512(p2, carry);
+        p2 = _mm512_xor_si512(p2, carry);
+        carry = t;
+        t = _mm512_and_si512(p3, carry);
+        p3 = _mm512_xor_si512(p3, carry);
+        carry = t;
+        t = _mm512_and_si512(p4, carry);
+        p4 = _mm512_xor_si512(p4, carry);
+        carry = t;
+        p5 = _mm512_xor_si512(p5, carry);
+      }
+      alignas(64) uint64_t pl[6][8];
+      _mm512_store_si512(pl[0], p0);
+      _mm512_store_si512(pl[1], p1);
+      _mm512_store_si512(pl[2], p2);
+      _mm512_store_si512(pl[3], p3);
+      _mm512_store_si512(pl[4], p4);
+      _mm512_store_si512(pl[5], p5);
+      for (uint32_t b = 0; b < 8; ++b) {
+        const uint64_t plane[6] = {pl[0][b], pl[1][b], pl[2][b],
+                                   pl[3][b], pl[4][b], pl[5][b]};
+        ExpandPlanesInto512(plane, packed + static_cast<size_t>(g + b) * 8);
+      }
+    }
+    for (uint32_t b = blk8; b < blocks; ++b) {
+      uint64_t plane[6] = {0, 0, 0, 0, 0, 0};
+      for (size_t i = 0; i < chunk; ++i) {
+        uint64_t carry = cols[done + i][b];
+        for (uint32_t k = 0; carry != 0 && k < 6; ++k) {
+          const uint64_t t = plane[k] & carry;
+          plane[k] ^= carry;
+          carry = t;
+        }
+      }
+      ExpandPlanesInto512(plane, packed + static_cast<size_t>(b) * 8);
+    }
+    done += chunk;
+  }
+}
+
+// wide[j] += byte j of the packed counts, one block.
+inline void WidenAddBytes512(const uint64_t* out8, int32_t* wide) {
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(out8);
+  for (uint32_t g = 0; g < 4; ++g) {
+    const __m512i b = _mm512_cvtepu8_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(bytes + 16 * g)));
+    __m512i acc = _mm512_loadu_si512(wide + 16 * g);
+    _mm512_storeu_si512(wide + 16 * g, _mm512_add_epi32(acc, b));
+  }
+}
+
+void CountColumnsWideAvx512(const uint64_t* const* cols, size_t m,
+                            uint32_t blocks, int32_t* wide, uint64_t* packed,
+                            uint64_t* planes) {
+  std::fill(wide, wide + static_cast<size_t>(blocks) * 64, 0);
+  size_t done = 0;
+  while (done < m) {
+    const size_t part = std::min<size_t>(252, m - done);
+    CountColumnsPackedAvx512(cols + done, part, blocks, packed, planes);
+    for (uint32_t blk = 0; blk < blocks; ++blk) {
+      WidenAddBytes512(packed + static_cast<size_t>(blk) * 8,
+                       wide + static_cast<size_t>(blk) * 64);
+    }
+    done += part;
+  }
+}
+
+// Row-major gather counting: 8 interleaved CSA streams; see the AVX2
+// variant for the stream-merge argument (counts are exact, so per-stream
+// expansion sums to the same bytes as one serial CSA).
+void CountGatherPackedAvx512(const uint64_t* row, const uint64_t* ids,
+                             size_t m, uint64_t out8[8]) {
+  __m512i acc = _mm512_setzero_si512();
+  size_t done = 0;
+  while (done < m) {
+    const size_t left = m - done;
+    const size_t rounds = std::min<size_t>(63, left / 8);
+    if (rounds == 0) break;
+    __m512i p0 = _mm512_setzero_si512(), p1 = p0, p2 = p0, p3 = p0, p4 = p0,
+            p5 = p0;
+    for (size_t i = 0; i < rounds; ++i) {
+      const __m512i vidx = _mm512_loadu_si512(ids + done + i * 8);
+      __m512i carry = GatherI64(vidx, row);
+      __m512i t;
+      t = _mm512_and_si512(p0, carry);
+      p0 = _mm512_xor_si512(p0, carry);
+      carry = t;
+      t = _mm512_and_si512(p1, carry);
+      p1 = _mm512_xor_si512(p1, carry);
+      carry = t;
+      t = _mm512_and_si512(p2, carry);
+      p2 = _mm512_xor_si512(p2, carry);
+      carry = t;
+      t = _mm512_and_si512(p3, carry);
+      p3 = _mm512_xor_si512(p3, carry);
+      carry = t;
+      t = _mm512_and_si512(p4, carry);
+      p4 = _mm512_xor_si512(p4, carry);
+      carry = t;
+      p5 = _mm512_xor_si512(p5, carry);
+    }
+    alignas(64) uint64_t pl[6][8];
+    _mm512_store_si512(pl[0], p0);
+    _mm512_store_si512(pl[1], p1);
+    _mm512_store_si512(pl[2], p2);
+    _mm512_store_si512(pl[3], p3);
+    _mm512_store_si512(pl[4], p4);
+    _mm512_store_si512(pl[5], p5);
+    for (uint32_t lane = 0; lane < 8; ++lane) {
+      for (uint32_t k = 0; k < 6; ++k) {
+        if (pl[k][lane] == 0) continue;
+        acc = AccumulatePlane512(acc, pl[k][lane], k);
+      }
+    }
+    done += rounds * 8;
+  }
+  while (done < m) {
+    const size_t chunk = std::min<size_t>(63, m - done);
+    uint64_t plane[6] = {0, 0, 0, 0, 0, 0};
+    for (size_t i = 0; i < chunk; ++i) {
+      uint64_t carry = row[ids[done + i]];
+      for (uint32_t k = 0; carry != 0 && k < 6; ++k) {
+        const uint64_t t = plane[k] & carry;
+        plane[k] ^= carry;
+        carry = t;
+      }
+    }
+    for (uint32_t k = 0; k < 6; ++k) {
+      if (plane[k] == 0) continue;
+      acc = AccumulatePlane512(acc, plane[k], k);
+    }
+    done += chunk;
+  }
+  _mm512_storeu_si512(out8, acc);
+}
+
+void CountGatherWideAvx512(const uint64_t* row, const uint64_t* ids, size_t m,
+                           int32_t out[64]) {
+  std::memset(out, 0, 64 * sizeof(int32_t));
+  uint64_t packed[8];
+  size_t done = 0;
+  while (done < m) {
+    const size_t part = std::min<size_t>(252, m - done);
+    CountGatherPackedAvx512(row, ids + done, part, packed);
+    WidenAddBytes512(packed, out);
+    done += part;
+  }
+}
+
+void LanesFromPackedAvx512(const uint64_t packed8[8], int32_t m,
+                           int32_t out[64]) {
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(packed8);
+  const __m512i vm = _mm512_set1_epi32(m);
+  for (uint32_t g = 0; g < 4; ++g) {
+    __m512i x = _mm512_cvtepu8_epi32(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(bytes + 16 * g)));
+    x = _mm512_sub_epi32(vm, _mm512_add_epi32(x, x));
+    _mm512_storeu_si512(out + 16 * g, x);
+  }
+}
+
+void LanesFromWideAvx512(const int32_t wide[64], int32_t m, int32_t out[64]) {
+  const __m512i vm = _mm512_set1_epi32(m);
+  for (uint32_t g = 0; g < 4; ++g) {
+    __m512i x = _mm512_loadu_si512(wide + 16 * g);
+    x = _mm512_sub_epi32(vm, _mm512_add_epi32(x, x));
+    _mm512_storeu_si512(out + 16 * g, x);
+  }
+}
+
+void AddLanesAvx512(const int32_t a[64], const int32_t b[64],
+                    int32_t out[64]) {
+  for (uint32_t g = 0; g < 4; ++g) {
+    const __m512i x = _mm512_loadu_si512(a + 16 * g);
+    const __m512i y = _mm512_loadu_si512(b + 16 * g);
+    _mm512_storeu_si512(out + 16 * g, _mm512_add_epi32(x, y));
+  }
+}
+
+void SignsFromMaskAvx512(uint64_t mask, int32_t out[64]) {
+  const __m512i ones = _mm512_set1_epi32(1);
+  const __m512i minus = _mm512_set1_epi32(-1);
+  for (uint32_t g = 0; g < 4; ++g) {
+    const __mmask16 mk = static_cast<__mmask16>(mask >> (16 * g));
+    _mm512_storeu_si512(out + 16 * g,
+                        _mm512_mask_mov_epi32(ones, mk, minus));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming counter apply (tensor shapes).
+// ---------------------------------------------------------------------------
+
+void TensorApply1Avx512(const int32_t* const (*lv)[2], uint32_t lanes,
+                        int64_t sign, int64_t* rows) {
+  const int32_t* a0 = lv[0][0];
+  const int32_t* a1 = lv[0][1];
+  const bool neg = sign < 0;
+  uint32_t j = 0;
+  for (; j + 8 <= lanes; j += 8) {
+    const __m256i v0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a0 + j));
+    const __m256i v1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a1 + j));
+    // Word order per lane: [a0[j], a1[j], a0[j+1], a1[j+1], ...]. The
+    // 256-bit unpacks interleave per 128-bit half, so split the halves
+    // explicitly to keep lane order global.
+    const __m256i lo = _mm256_unpacklo_epi32(v0, v1);
+    const __m256i hi = _mm256_unpackhi_epi32(v0, v1);
+    const __m256i w0 = _mm256_permute2x128_si256(lo, hi, 0x20);
+    const __m256i w1 = _mm256_permute2x128_si256(lo, hi, 0x31);
+    const __m512i p0 = _mm512_cvtepi32_epi64(w0);
+    const __m512i p1 = _mm512_cvtepi32_epi64(w1);
+    int64_t* r = rows + static_cast<size_t>(j) * 2;
+    __m512i r0 = _mm512_loadu_si512(r);
+    __m512i r1 = _mm512_loadu_si512(r + 8);
+    r0 = neg ? _mm512_sub_epi64(r0, p0) : _mm512_add_epi64(r0, p0);
+    r1 = neg ? _mm512_sub_epi64(r1, p1) : _mm512_add_epi64(r1, p1);
+    _mm512_storeu_si512(r, r0);
+    _mm512_storeu_si512(r + 8, r1);
+  }
+  for (; j < lanes; ++j) {
+    int64_t* r = rows + static_cast<size_t>(j) * 2;
+    r[0] += sign * a0[j];
+    r[1] += sign * a1[j];
+  }
+}
+
+void TensorApply2Avx512(const int32_t* const (*lv)[2], uint32_t lanes,
+                        int64_t sign, int64_t* rows) {
+  const int32_t* a0 = lv[0][0];
+  const int32_t* a1 = lv[0][1];
+  const int32_t* b0 = lv[1][0];
+  const int32_t* b1 = lv[1][1];
+  const bool neg = sign < 0;
+  // Two lanes per zmm: word w of lane L sits in i64 slot 4 * (L & 1) + w
+  // and multiplies lv[0][w & 1] by lv[1][(w >> 1) & 1]. vpmuldq only
+  // reads the LOW dword of each i64 slot, so one vpermd per operand
+  // places the right 32-bit letter values (high dwords are don't-care;
+  // the index vectors just repeat the low pick). Sources: za = a0[j..j+7]
+  // in dwords 0-7, a1[j..j+7] in dwords 8-15 (zb likewise for b).
+  __m512i x_idx[4], y_idx[4];
+  for (int t = 0; t < 4; ++t) {
+    const int e = 2 * t, o = 8 + 2 * t;  // even lane picks a0/b0 bank slots
+    x_idx[t] = _mm512_setr_epi32(e, e, o, o, e, e, o, o,  //
+                                 e + 1, e + 1, o + 1, o + 1,  //
+                                 e + 1, e + 1, o + 1, o + 1);
+    y_idx[t] = _mm512_setr_epi32(e, e, e, e, o, o, o, o,  //
+                                 e + 1, e + 1, e + 1, e + 1,  //
+                                 o + 1, o + 1, o + 1, o + 1);
+  }
+  uint32_t j = 0;
+  for (; j + 8 <= lanes; j += 8) {
+    const __m512i za = _mm512_inserti64x4(
+        _mm512_castsi256_si512(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a0 + j))),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a1 + j)), 1);
+    const __m512i zb = _mm512_inserti64x4(
+        _mm512_castsi256_si512(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b0 + j))),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b1 + j)), 1);
+    for (uint32_t t = 0; t < 4; ++t) {
+      const __m512i x = _mm512_permutexvar_epi32(x_idx[t], za);
+      const __m512i y = _mm512_permutexvar_epi32(y_idx[t], zb);
+      const __m512i p = _mm512_mul_epi32(x, y);
+      int64_t* r = rows + (static_cast<size_t>(j) + 2 * t) * 4;
+      __m512i acc = _mm512_loadu_si512(r);
+      acc = neg ? _mm512_sub_epi64(acc, p) : _mm512_add_epi64(acc, p);
+      _mm512_storeu_si512(r, acc);
+    }
+  }
+  for (; j < lanes; ++j) {
+    const int64_t a[2] = {a0[j], a1[j]};
+    const int64_t b[2] = {b0[j], b1[j]};
+    int64_t* r = rows + static_cast<size_t>(j) * 4;
+    for (uint32_t w = 0; w < 4; ++w) {
+      r[w] += sign * a[w & 1] * b[(w >> 1) & 1];
+    }
+  }
+}
+
+void TensorApply3Avx512(const int32_t* const (*lv)[2], uint32_t lanes,
+                        int64_t sign, int64_t* rows) {
+  const int32_t* a0 = lv[0][0];
+  const int32_t* a1 = lv[0][1];
+  const int32_t* b0 = lv[1][0];
+  const int32_t* b1 = lv[1][1];
+  const int32_t* c0 = lv[2][0];
+  const int32_t* c1 = lv[2][1];
+  const bool neg = sign < 0;
+  for (uint32_t j = 0; j < lanes; ++j) {
+    // One lane's 8 words per zmm: ab via vpmuldq, then the third factor
+    // via vpmullq (exact int64 products).
+    const __m256i x32 = _mm256_setr_epi32(a0[j], a1[j], a0[j], a1[j],  //
+                                          a0[j], a1[j], a0[j], a1[j]);
+    const __m256i y32 = _mm256_setr_epi32(b0[j], b0[j], b1[j], b1[j],  //
+                                          b0[j], b0[j], b1[j], b1[j]);
+    const __m256i z32 = _mm256_setr_epi32(c0[j], c0[j], c0[j], c0[j],  //
+                                          c1[j], c1[j], c1[j], c1[j]);
+    const __m512i ab = _mm512_mul_epi32(_mm512_cvtepi32_epi64(x32),
+                                        _mm512_cvtepi32_epi64(y32));
+    const __m512i p = _mm512_mullo_epi64(ab, _mm512_cvtepi32_epi64(z32));
+    int64_t* r = rows + static_cast<size_t>(j) * 8;
+    __m512i acc = _mm512_loadu_si512(r);
+    acc = neg ? _mm512_sub_epi64(acc, p) : _mm512_add_epi64(acc, p);
+    _mm512_storeu_si512(r, acc);
+  }
+}
+
+void TensorApplyAvx512(const int32_t* const (*lv)[2], uint32_t dims,
+                       uint32_t lanes, int64_t sign, int64_t* rows) {
+  switch (dims) {
+    case 1:
+      TensorApply1Avx512(lv, lanes, sign, rows);
+      return;
+    case 2:
+      TensorApply2Avx512(lv, lanes, sign, rows);
+      return;
+    case 3:
+      TensorApply3Avx512(lv, lanes, sign, rows);
+      return;
+    default:
+      // 4-d tensor shapes are rare in serving: delegate to the ONE
+      // portable ladder in kernels.cc (baseline codegen, bit-identical
+      // by construction — no duplicated bit-identity-critical code).
+      TensorApplyPortable(lv, dims, lanes, sign, rows);
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Estimator z-loops: 8 instances per vector; the strided counter columns
+// come in through 64-bit gathers and vcvtqq2pd, the w-loop stays serial
+// so each instance's FP accumulation order matches scalar exactly.
+// ---------------------------------------------------------------------------
+
+inline __m512i StrideIndex(uint32_t num_words) {
+  const int64_t n = num_words;
+  return _mm512_setr_epi64(0, n, 2 * n, 3 * n, 4 * n, 5 * n, 6 * n, 7 * n);
+}
+
+// 8 contiguous 4-word counter rows -> 4 word-major double vectors
+// (out[w] = [row0[w], ..., row7[w]]). Contiguous loads + two
+// permutex2var + one 128-block shuffle per word beat four 8-lane
+// gathers on every AVX-512 part so far.
+inline void TransposeRows4(const int64_t* base, __m512d out[4]) {
+  const __m512d d0 = _mm512_cvtepi64_pd(_mm512_loadu_si512(base));
+  const __m512d d1 = _mm512_cvtepi64_pd(_mm512_loadu_si512(base + 8));
+  const __m512d d2 = _mm512_cvtepi64_pd(_mm512_loadu_si512(base + 16));
+  const __m512d d3 = _mm512_cvtepi64_pd(_mm512_loadu_si512(base + 24));
+  for (uint32_t w = 0; w < 4; ++w) {
+    // Lanes 0-3: [a[w], a[w+4], b[w], b[w+4]] — rows 2k, 2k+1 of each
+    // register pair; upper lanes repeat (discarded by the block shuffle).
+    const __m512i idx = _mm512_setr_epi64(w, w + 4, w + 8, w + 12,  //
+                                          w, w + 4, w + 8, w + 12);
+    const __m512d t01 = _mm512_permutex2var_pd(d0, idx, d1);
+    const __m512d t23 = _mm512_permutex2var_pd(d2, idx, d3);
+    out[w] = _mm512_shuffle_f64x2(t01, t23, 0x44);
+  }
+}
+
+void RangeZAvx512(const int64_t* counters, uint32_t instances, uint32_t dims,
+                  const int32_t* factors, double* z) {
+  const uint32_t num_words = uint32_t{1} << dims;
+  const __m512i stride = StrideIndex(num_words);
+  uint32_t inst = 0;
+  for (; inst + 8 <= instances; inst += 8) {
+    __m512d q[4][2];
+    for (uint32_t d = 0; d < dims; ++d) {
+      for (uint32_t which = 0; which < 2; ++which) {
+        q[d][which] = _mm512_cvtepi32_pd(_mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(
+                factors + (static_cast<size_t>(d) * 2 + which) * instances +
+                inst)));
+      }
+    }
+    const int64_t* base = counters + static_cast<size_t>(inst) * num_words;
+    __m512d acc = _mm512_setzero_pd();
+    if (dims == 2) {
+      // Serving's common shape: transpose the 8 rows once instead of
+      // gathering per word.
+      __m512d c[4];
+      TransposeRows4(base, c);
+      for (uint32_t w = 0; w < 4; ++w) {
+        __m512d prod = _mm512_mul_pd(c[w], q[0][(w & 1) ? 0 : 1]);
+        prod = _mm512_mul_pd(prod, q[1][((w >> 1) & 1) ? 0 : 1]);
+        acc = _mm512_add_pd(acc, prod);
+      }
+    } else {
+      for (uint32_t w = 0; w < num_words; ++w) {
+        const __m512i c = GatherI64(stride, base + w);
+        __m512d prod = _mm512_cvtepi64_pd(c);
+        for (uint32_t d = 0; d < dims; ++d) {
+          prod = _mm512_mul_pd(prod, q[d][((w >> d) & 1) ? 0 : 1]);
+        }
+        acc = _mm512_add_pd(acc, prod);
+      }
+    }
+    _mm512_storeu_pd(z + inst, acc);
+  }
+  for (; inst < instances; ++inst) {
+    double q_factor[4][2];
+    for (uint32_t d = 0; d < dims; ++d) {
+      q_factor[d][0] =
+          factors[(static_cast<size_t>(d) * 2 + 0) * instances + inst];
+      q_factor[d][1] =
+          factors[(static_cast<size_t>(d) * 2 + 1) * instances + inst];
+    }
+    const int64_t* row = counters + static_cast<size_t>(inst) * num_words;
+    double acc = 0.0;
+    for (uint32_t w = 0; w < num_words; ++w) {
+      double prod = static_cast<double>(row[w]);
+      for (uint32_t d = 0; d < dims; ++d) {
+        prod *= q_factor[d][((w >> d) & 1) ? 0 : 1];
+      }
+      acc += prod;
+    }
+    z[inst] = acc;
+  }
+}
+
+void JoinZAvx512(const int64_t* r, const int64_t* s, uint32_t instances,
+                 uint32_t dims, double* z) {
+  const uint32_t num_words = uint32_t{1} << dims;
+  const uint32_t cmask = num_words - 1;
+  const double scale = 1.0 / static_cast<double>(uint64_t{1} << dims);
+  const __m512d vscale = _mm512_set1_pd(scale);
+  const __m512i stride = StrideIndex(num_words);
+  uint32_t inst = 0;
+  for (; inst + 8 <= instances; inst += 8) {
+    const int64_t* rb = r + static_cast<size_t>(inst) * num_words;
+    const int64_t* sb = s + static_cast<size_t>(inst) * num_words;
+    __m512d acc = _mm512_setzero_pd();
+    if (dims == 2) {
+      // Transposed rows once per side; w ^ 3 just reverses the word
+      // vectors, and the w-ascending adds keep the scalar FP order.
+      __m512d rv[4], sv[4];
+      TransposeRows4(rb, rv);
+      TransposeRows4(sb, sv);
+      for (uint32_t w = 0; w < 4; ++w) {
+        acc = _mm512_add_pd(acc, _mm512_mul_pd(rv[w], sv[w ^ 3]));
+      }
+    } else {
+      for (uint32_t w = 0; w < num_words; ++w) {
+        const __m512d rv =
+            _mm512_cvtepi64_pd(GatherI64(stride, rb + w));
+        const __m512d sv = _mm512_cvtepi64_pd(
+            GatherI64(stride, sb + (w ^ cmask)));
+        acc = _mm512_add_pd(acc, _mm512_mul_pd(rv, sv));
+      }
+    }
+    _mm512_storeu_pd(z + inst, _mm512_mul_pd(acc, vscale));
+  }
+  for (; inst < instances; ++inst) {
+    const int64_t* rr = r + static_cast<size_t>(inst) * num_words;
+    const int64_t* sr = s + static_cast<size_t>(inst) * num_words;
+    double acc = 0.0;
+    for (uint32_t w = 0; w < num_words; ++w) {
+      acc += static_cast<double>(rr[w]) * static_cast<double>(sr[w ^ cmask]);
+    }
+    z[inst] = acc * scale;
+  }
+}
+
+void SelfJoinZAvx512(const int64_t* counters, uint32_t instances,
+                     uint32_t num_words, uint32_t word, double* z) {
+  const __m512i stride = StrideIndex(num_words);
+  uint32_t inst = 0;
+  for (; inst + 8 <= instances; inst += 8) {
+    const int64_t* base =
+        counters + static_cast<size_t>(inst) * num_words + word;
+    const __m512d x =
+        _mm512_cvtepi64_pd(GatherI64(stride, base));
+    _mm512_storeu_pd(z + inst, _mm512_mul_pd(x, x));
+  }
+  for (; inst < instances; ++inst) {
+    const double x = static_cast<double>(
+        counters[static_cast<size_t>(inst) * num_words + word]);
+    z[inst] = x * x;
+  }
+}
+
+constexpr KernelOps kAvx512Ops = {
+    "avx512",
+    &CountColumnsPackedAvx512,
+    &CountColumnsWideAvx512,
+    &CountGatherPackedAvx512,
+    &CountGatherWideAvx512,
+    &LanesFromPackedAvx512,
+    &LanesFromWideAvx512,
+    &AddLanesAvx512,
+    &SignsFromMaskAvx512,
+    &TensorApplyAvx512,
+    &RangeZAvx512,
+    &JoinZAvx512,
+    &SelfJoinZAvx512,
+};
+
+}  // namespace
+
+const KernelOps* GetAvx512KernelOps() { return &kAvx512Ops; }
+
+}  // namespace kernels
+}  // namespace spatialsketch
+
+#else  // !SPATIALSKETCH_COMPILE_AVX512
+
+namespace spatialsketch {
+namespace kernels {
+
+const KernelOps* GetAvx512KernelOps() { return nullptr; }
+
+}  // namespace kernels
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_COMPILE_AVX512

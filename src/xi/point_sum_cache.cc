@@ -1,7 +1,7 @@
 #include "src/xi/point_sum_cache.h"
 
 #include "src/common/macros.h"
-#include "src/xi/bitslice.h"
+#include "src/xi/kernels.h"
 
 namespace spatialsketch {
 
@@ -65,8 +65,10 @@ uint64_t* PointSumCache::BuildEntry(const DimCache& dc, uint32_t dim,
   const uint32_t blocks = signs_->num_blocks();
   uint64_t* packed = new uint64_t[static_cast<size_t>(blocks) * 8];
   std::vector<uint64_t> planes(static_cast<size_t>(blocks) * 6);
-  bitslice::CountColumnsPackedAllBlocks(cols, m, blocks, packed,
-                                        planes.data());
+  // Counts are exact popcounts, so any kernel variant builds the same
+  // entry the streaming path would have reduced on the fly.
+  kernels::Ops().count_columns_packed(cols, m, blocks, packed,
+                                      planes.data());
   return packed;
 }
 

@@ -16,9 +16,10 @@
 // drop both endpoint reductions and keep only the range-dependent
 // interval-cover one.
 //
-// The cached value is the exact output of
-// bitslice::CountColumnsPackedAllBlocks over the cover's sign-cache
-// columns — the update path consumes it through the same PackedLane
+// The cached value is the exact output of the kernel layer's
+// count_columns_packed over the cover's sign-cache columns (every kernel
+// variant produces the same exact counts) — the update path consumes it
+// through the same PackedLane
 // reads, so counters stay bit-identical to the uncached computation (and
 // therefore to UpdateReference). Point covers have at most h + 1 <= 41
 // members, so the byte-packed representation always suffices (no wide

@@ -1,0 +1,498 @@
+// Dispatch and differential tests for the SIMD kernel layer
+// (src/xi/kernels.h). Two obligations:
+//
+//  1. Selection: the SPATIALSKETCH_KERNELS-style override and the cpuid
+//     fallback must land on the expected variant, unknown/unavailable
+//     requests must degrade to auto-selection, and ForceKernels must
+//     reject variants this host cannot run.
+//
+//  2. Bit-identity: EVERY available variant must produce results
+//     bit-identical to scalar — exact packed/wide counts and counter
+//     deltas (integer kernels) and exactly-equal doubles (estimator
+//     kernels, whose per-instance FP order is part of the contract) —
+//     across randomized inputs covering off-64 instance counts, > 255-id
+//     covers, mixed-sign streams, and all tensor shapes.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/estimators/join_estimator.h"
+#include "src/estimators/range_query_estimator.h"
+#include "src/sketch/dataset_sketch.h"
+#include "src/sketch/schema.h"
+#include "src/sketch/self_join.h"
+#include "src/xi/kernels.h"
+
+namespace spatialsketch {
+namespace {
+
+using kernels::Kind;
+using kernels::KernelOps;
+
+const Kind kAllKinds[] = {Kind::kScalar, Kind::kAvx2, Kind::kAvx512};
+
+std::vector<Kind> AvailableKinds() {
+  std::vector<Kind> out;
+  for (Kind k : kAllKinds) {
+    if (kernels::Available(k)) out.push_back(k);
+  }
+  return out;
+}
+
+// Restores auto-selection when a test that forces variants exits.
+struct KernelGuard {
+  ~KernelGuard() { EXPECT_TRUE(kernels::ForceKernels(kernels::Best()).ok()); }
+};
+
+SchemaPtr MakeSchema(uint32_t dims, uint32_t h, uint32_t k1, uint32_t k2,
+                     uint32_t max_level = DyadicDomain::kNoCap,
+                     uint64_t seed = 42) {
+  SchemaOptions opt;
+  opt.dims = dims;
+  for (uint32_t i = 0; i < dims; ++i) {
+    opt.domains[i].log2_size = h;
+    opt.domains[i].max_level = max_level;
+  }
+  opt.k1 = k1;
+  opt.k2 = k2;
+  opt.seed = seed;
+  auto schema = SketchSchema::Create(opt);
+  EXPECT_TRUE(schema.ok());
+  return *schema;
+}
+
+Box RandomBox(Rng* rng, uint32_t dims, uint32_t h) {
+  const Coord domain = Coord{1} << h;
+  Box b;
+  for (uint32_t d = 0; d < dims; ++d) {
+    const Coord a = rng->Uniform(domain);
+    const Coord c = rng->Uniform(domain);
+    b.lo[d] = std::min(a, c);
+    b.hi[d] = std::max(a, c);
+  }
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// Selection.
+// ---------------------------------------------------------------------------
+
+TEST(KernelDispatch, ScalarIsAlwaysAvailable) {
+  EXPECT_TRUE(kernels::Available(Kind::kScalar));
+  const KernelOps* ops = kernels::OpsFor(Kind::kScalar);
+  ASSERT_NE(ops, nullptr);
+  EXPECT_STREQ(ops->name, "scalar");
+}
+
+TEST(KernelDispatch, BestIsTheHighestAvailableVariant) {
+  Kind expected = Kind::kScalar;
+  for (Kind k : kAllKinds) {
+    if (kernels::Available(k)) expected = k;
+  }
+  EXPECT_EQ(kernels::Best(), expected);
+}
+
+TEST(KernelDispatch, ForceSelectsEachAvailableVariant) {
+  KernelGuard guard;
+  for (Kind k : AvailableKinds()) {
+    ASSERT_TRUE(kernels::ForceKernels(k).ok());
+    EXPECT_EQ(kernels::Selected(), k);
+    EXPECT_STREQ(kernels::SelectedName(), kernels::OpsFor(k)->name);
+  }
+}
+
+TEST(KernelDispatch, ForceRejectsUnavailableVariantsAndUnknownNames) {
+  KernelGuard guard;
+  for (Kind k : kAllKinds) {
+    if (kernels::Available(k)) continue;
+    const Status st = kernels::ForceKernels(k);
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  }
+  const Status st = kernels::ForceKernels(std::string("sse9"));
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(KernelDispatch, OverrideBehavesLikeTheEnvironmentVariable) {
+  KernelGuard guard;
+  // Valid + available name: selected verbatim.
+  EXPECT_EQ(kernels::ApplyOverride("scalar"), Kind::kScalar);
+  EXPECT_EQ(kernels::Selected(), Kind::kScalar);
+  // Unknown value degrades to auto-selection (with a stderr warning).
+  EXPECT_EQ(kernels::ApplyOverride("bogus"), kernels::Best());
+  // Unset/empty behaves like no override.
+  EXPECT_EQ(kernels::ApplyOverride(nullptr), kernels::Best());
+  EXPECT_EQ(kernels::ApplyOverride(""), kernels::Best());
+  // Valid names resolve to the variant when available, auto otherwise.
+  for (const char* name : {"avx2", "avx512"}) {
+    const Kind want = std::string(name) == "avx2" ? Kind::kAvx2
+                                                  : Kind::kAvx512;
+    const Kind got = kernels::ApplyOverride(name);
+    if (kernels::Available(want)) {
+      EXPECT_EQ(got, want) << name;
+    } else {
+      EXPECT_EQ(got, kernels::Best()) << name;
+    }
+    EXPECT_EQ(kernels::Selected(), got);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel-level differential fuzz: each primitive, every variant vs
+// scalar, randomized shapes and values.
+// ---------------------------------------------------------------------------
+
+TEST(KernelDifferential, CountColumnsPackedMatchesScalar) {
+  const KernelOps& scalar = *kernels::OpsFor(Kind::kScalar);
+  Rng rng(101);
+  for (uint32_t blocks : {1u, 2u, 3u, 7u, 8u, 9u, 16u, 21u}) {
+    for (size_t m : {size_t{1}, size_t{5}, size_t{63}, size_t{64},
+                     size_t{127}, size_t{255}}) {
+      std::vector<std::vector<uint64_t>> cols(m,
+                                              std::vector<uint64_t>(blocks));
+      std::vector<const uint64_t*> col_ptrs(m);
+      for (size_t i = 0; i < m; ++i) {
+        for (uint32_t b = 0; b < blocks; ++b) cols[i][b] = rng.Next64();
+        col_ptrs[i] = cols[i].data();
+      }
+      std::vector<uint64_t> planes(static_cast<size_t>(blocks) * 6);
+      std::vector<uint64_t> want(static_cast<size_t>(blocks) * 8);
+      scalar.count_columns_packed(col_ptrs.data(), m, blocks, want.data(),
+                                  planes.data());
+      for (Kind k : AvailableKinds()) {
+        std::vector<uint64_t> got(static_cast<size_t>(blocks) * 8, ~0ull);
+        kernels::OpsFor(k)->count_columns_packed(col_ptrs.data(), m, blocks,
+                                                 got.data(), planes.data());
+        ASSERT_EQ(got, want) << "kind=" << static_cast<int>(k)
+                             << " blocks=" << blocks << " m=" << m;
+      }
+    }
+  }
+}
+
+TEST(KernelDifferential, CountColumnsWideMatchesScalar) {
+  const KernelOps& scalar = *kernels::OpsFor(Kind::kScalar);
+  Rng rng(102);
+  for (uint32_t blocks : {1u, 4u, 9u}) {
+    for (size_t m : {size_t{256}, size_t{300}, size_t{505}, size_t{1000}}) {
+      std::vector<std::vector<uint64_t>> cols(m,
+                                              std::vector<uint64_t>(blocks));
+      std::vector<const uint64_t*> col_ptrs(m);
+      for (size_t i = 0; i < m; ++i) {
+        for (uint32_t b = 0; b < blocks; ++b) cols[i][b] = rng.Next64();
+        col_ptrs[i] = cols[i].data();
+      }
+      std::vector<uint64_t> planes(static_cast<size_t>(blocks) * 6);
+      std::vector<uint64_t> packed(static_cast<size_t>(blocks) * 8);
+      std::vector<int32_t> want(static_cast<size_t>(blocks) * 64);
+      scalar.count_columns_wide(col_ptrs.data(), m, blocks, want.data(),
+                                packed.data(), planes.data());
+      for (Kind k : AvailableKinds()) {
+        std::vector<int32_t> got(static_cast<size_t>(blocks) * 64, -1);
+        kernels::OpsFor(k)->count_columns_wide(col_ptrs.data(), m, blocks,
+                                               got.data(), packed.data(),
+                                               planes.data());
+        ASSERT_EQ(got, want) << "kind=" << static_cast<int>(k)
+                             << " blocks=" << blocks << " m=" << m;
+      }
+    }
+  }
+}
+
+TEST(KernelDifferential, CountGatherMatchesScalar) {
+  const KernelOps& scalar = *kernels::OpsFor(Kind::kScalar);
+  Rng rng(103);
+  const size_t num_ids = 512;
+  std::vector<uint64_t> row(num_ids);
+  for (auto& w : row) w = rng.Next64();
+  for (size_t m : {size_t{1}, size_t{3}, size_t{8}, size_t{63}, size_t{64},
+                   size_t{100}, size_t{255}}) {
+    std::vector<uint64_t> ids(m);
+    for (auto& id : ids) id = rng.Uniform(num_ids);
+    uint64_t want[8];
+    scalar.count_gather_packed(row.data(), ids.data(), m, want);
+    for (Kind k : AvailableKinds()) {
+      uint64_t got[8] = {~0ull, 0, 0, 0, 0, 0, 0, 0};
+      kernels::OpsFor(k)->count_gather_packed(row.data(), ids.data(), m, got);
+      ASSERT_EQ(std::memcmp(got, want, sizeof(want)), 0)
+          << "kind=" << static_cast<int>(k) << " m=" << m;
+    }
+  }
+  for (size_t m : {size_t{256}, size_t{400}, size_t{1023}}) {
+    std::vector<uint64_t> ids(m);
+    for (auto& id : ids) id = rng.Uniform(num_ids);
+    int32_t want[64];
+    scalar.count_gather_wide(row.data(), ids.data(), m, want);
+    for (Kind k : AvailableKinds()) {
+      int32_t got[64];
+      kernels::OpsFor(k)->count_gather_wide(row.data(), ids.data(), m, got);
+      ASSERT_EQ(std::memcmp(got, want, sizeof(want)), 0)
+          << "kind=" << static_cast<int>(k) << " m=" << m;
+    }
+  }
+}
+
+TEST(KernelDifferential, LaneHelpersMatchScalar) {
+  const KernelOps& scalar = *kernels::OpsFor(Kind::kScalar);
+  Rng rng(104);
+  uint64_t packed[8];
+  int32_t wide[64], a[64], b[64];
+  for (int round = 0; round < 32; ++round) {
+    for (auto& w : packed) w = rng.Next64();
+    for (auto& v : wide) v = static_cast<int32_t>(rng.Uniform(1 << 20));
+    for (auto& v : a) v = static_cast<int32_t>(rng.Uniform(1 << 16)) - 32768;
+    for (auto& v : b) v = static_cast<int32_t>(rng.Uniform(1 << 16)) - 32768;
+    const int32_t m = static_cast<int32_t>(rng.Uniform(256));
+    const uint64_t mask = rng.Next64();
+    int32_t want_lp[64], want_lw[64], want_add[64], want_sg[64];
+    scalar.lanes_from_packed(packed, m, want_lp);
+    scalar.lanes_from_wide(wide, m, want_lw);
+    scalar.add_lanes(a, b, want_add);
+    scalar.signs_from_mask(mask, want_sg);
+    for (Kind k : AvailableKinds()) {
+      const KernelOps& ops = *kernels::OpsFor(k);
+      int32_t got[64];
+      ops.lanes_from_packed(packed, m, got);
+      ASSERT_EQ(std::memcmp(got, want_lp, sizeof(got)), 0);
+      ops.lanes_from_wide(wide, m, got);
+      ASSERT_EQ(std::memcmp(got, want_lw, sizeof(got)), 0);
+      ops.add_lanes(a, b, got);
+      ASSERT_EQ(std::memcmp(got, want_add, sizeof(got)), 0);
+      ops.signs_from_mask(mask, got);
+      ASSERT_EQ(std::memcmp(got, want_sg, sizeof(got)), 0);
+    }
+  }
+}
+
+TEST(KernelDifferential, TensorApplyMatchesScalar) {
+  const KernelOps& scalar = *kernels::OpsFor(Kind::kScalar);
+  Rng rng(105);
+  for (uint32_t dims = 1; dims <= 4; ++dims) {
+    const uint32_t num_words = 1u << dims;
+    for (uint32_t lanes : {1u, 2u, 7u, 15u, 64u}) {
+      int32_t lv_store[4][2][64];
+      const int32_t* lv[4][2];
+      for (uint32_t d = 0; d < dims; ++d) {
+        for (uint32_t s = 0; s < 2; ++s) {
+          for (uint32_t j = 0; j < 64; ++j) {
+            lv_store[d][s][j] =
+                static_cast<int32_t>(rng.Uniform(2048)) - 1024;
+          }
+          lv[d][s] = lv_store[d][s];
+        }
+      }
+      for (int64_t sign : {int64_t{1}, int64_t{-1}}) {
+        std::vector<int64_t> base(static_cast<size_t>(lanes) * num_words);
+        for (auto& c : base) {
+          c = static_cast<int64_t>(rng.Next64() >> 20) - (1ll << 43);
+        }
+        std::vector<int64_t> want = base;
+        scalar.tensor_apply(lv, dims, lanes, sign, want.data());
+        for (Kind k : AvailableKinds()) {
+          std::vector<int64_t> got = base;
+          kernels::OpsFor(k)->tensor_apply(lv, dims, lanes, sign,
+                                           got.data());
+          ASSERT_EQ(got, want) << "kind=" << static_cast<int>(k)
+                               << " dims=" << dims << " lanes=" << lanes
+                               << " sign=" << sign;
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelDifferential, EstimatorKernelsMatchScalarExactly) {
+  const KernelOps& scalar = *kernels::OpsFor(Kind::kScalar);
+  Rng rng(106);
+  for (uint32_t dims = 1; dims <= 3; ++dims) {
+    const uint32_t num_words = 1u << dims;
+    for (uint32_t instances : {1u, 7u, 8u, 9u, 60u, 64u, 65u, 80u}) {
+      std::vector<int64_t> r(static_cast<size_t>(instances) * num_words);
+      std::vector<int64_t> s(r.size());
+      for (auto& c : r) {
+        c = static_cast<int64_t>(rng.Next64() >> 18) - (1ll << 45);
+      }
+      for (auto& c : s) {
+        c = static_cast<int64_t>(rng.Next64() >> 18) - (1ll << 45);
+      }
+      std::vector<int32_t> factors(static_cast<size_t>(dims) * 2 *
+                                   instances);
+      for (auto& f : factors) {
+        f = static_cast<int32_t>(rng.Uniform(512)) - 256;
+      }
+      std::vector<double> want_r(instances), want_j(instances),
+          want_s(instances);
+      scalar.range_z(r.data(), instances, dims, factors.data(),
+                     want_r.data());
+      scalar.join_z(r.data(), s.data(), instances, dims, want_j.data());
+      scalar.self_join_z(r.data(), instances, num_words,
+                         num_words / 2, want_s.data());
+      for (Kind k : AvailableKinds()) {
+        const KernelOps& ops = *kernels::OpsFor(k);
+        std::vector<double> got(instances);
+        ops.range_z(r.data(), instances, dims, factors.data(), got.data());
+        ASSERT_EQ(std::memcmp(got.data(), want_r.data(),
+                              instances * sizeof(double)),
+                  0)
+            << "range_z kind=" << static_cast<int>(k) << " dims=" << dims
+            << " instances=" << instances;
+        ops.join_z(r.data(), s.data(), instances, dims, got.data());
+        ASSERT_EQ(std::memcmp(got.data(), want_j.data(),
+                              instances * sizeof(double)),
+                  0)
+            << "join_z kind=" << static_cast<int>(k) << " dims=" << dims
+            << " instances=" << instances;
+        ops.self_join_z(r.data(), instances, num_words, num_words / 2,
+                        got.data());
+        ASSERT_EQ(std::memcmp(got.data(), want_s.data(),
+                              instances * sizeof(double)),
+                  0)
+            << "self_join_z kind=" << static_cast<int>(k)
+            << " dims=" << dims << " instances=" << instances;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end differential: full sketches and estimates under every
+// variant vs the scalar variant (and the per-instance reference).
+// ---------------------------------------------------------------------------
+
+// Streams a mixed-sign workload under the given kernel kind; returns the
+// final counters.
+std::vector<int64_t> StreamCounters(Kind k, const SchemaPtr& schema,
+                                    const Shape& shape, uint32_t num_ops,
+                                    uint64_t stream_seed) {
+  EXPECT_TRUE(kernels::ForceKernels(k).ok());
+  DatasetSketch sketch(schema, shape);
+  Rng rng(stream_seed);
+  std::vector<Box> inserted;
+  const uint32_t dims = schema->dims();
+  const uint32_t h = schema->domain(0).log2_size();
+  for (uint32_t i = 0; i < num_ops; ++i) {
+    if (!inserted.empty() && rng.Uniform(3) == 0) {
+      const size_t pick = rng.Uniform(inserted.size());
+      const Box b = inserted[pick];
+      inserted.erase(inserted.begin() + pick);
+      sketch.Delete(b);
+    } else {
+      const Box b = RandomBox(&rng, dims, h);
+      inserted.push_back(b);
+      sketch.Insert(b);
+    }
+  }
+  return sketch.counters();
+}
+
+TEST(KernelEndToEnd, StreamingCountersIdenticalAcrossVariants) {
+  KernelGuard guard;
+  struct Case {
+    uint32_t dims, h, k1, k2, max_level;
+    Shape shape;
+  };
+  const std::vector<Case> cases = {
+      // Off-64 instance counts, both tensor shapes, 1-3 dims.
+      {1, 8, 16, 3, DyadicDomain::kNoCap, Shape::RangeShape(1)},
+      {2, 8, 13, 5, DyadicDomain::kNoCap, Shape::RangeShape(2)},
+      {2, 7, 12, 5, DyadicDomain::kNoCap, Shape::JoinShape(2)},
+      {3, 6, 21, 3, DyadicDomain::kNoCap, Shape::JoinShape(3)},
+      // Generic (non-tensor) expansion path.
+      {2, 7, 10, 3, DyadicDomain::kNoCap, Shape::PointShape(2)},
+      // max_level = 0 degenerates interval covers into per-leaf
+      // enumerations: > 255-id covers exercise the wide fallback.
+      {1, 10, 10, 3, 0, Shape::RangeShape(1)},
+  };
+  for (size_t ci = 0; ci < cases.size(); ++ci) {
+    const Case& c = cases[ci];
+    // A fresh schema per kind: sign/point-sum caches are built under THAT
+    // kind, so cache construction is differentially covered too.
+    std::vector<int64_t> want;
+    for (Kind k : AvailableKinds()) {
+      auto schema = MakeSchema(c.dims, c.h, c.k1, c.k2, c.max_level);
+      auto got = StreamCounters(k, schema, c.shape, 200, 1000 + ci);
+      if (k == Kind::kScalar) {
+        want = got;
+      } else {
+        ASSERT_EQ(got, want) << "case " << ci << " kind "
+                             << static_cast<int>(k);
+      }
+    }
+  }
+}
+
+TEST(KernelEndToEnd, EstimatesExactlyEqualAcrossVariants) {
+  KernelGuard guard;
+  const uint32_t dims = 2, h = 8;
+  const Coord domain = Coord{1} << h;
+  Rng rng(77);
+  std::vector<Box> r_boxes, s_boxes, queries;
+  for (int i = 0; i < 120; ++i) {
+    r_boxes.push_back(RandomBox(&rng, dims, h));
+    s_boxes.push_back(RandomBox(&rng, dims, h));
+  }
+  for (int i = 0; i < 24; ++i) {
+    // Strictly non-degenerate range queries (hi > lo in every dim).
+    Box q;
+    for (uint32_t d = 0; d < dims; ++d) {
+      const Coord side = 1 + rng.Uniform(domain / 2);
+      const Coord lo = rng.Uniform(domain - side);
+      q.lo[d] = lo;
+      q.hi[d] = lo + side;
+    }
+    queries.push_back(q);
+  }
+
+  std::vector<double> want_range, want_joins;
+  double want_self = 0.0;
+  for (Kind k : AvailableKinds()) {
+    ASSERT_TRUE(kernels::ForceKernels(k).ok());
+    // The range estimator owns the endpoint transform; built fresh per
+    // kind so its schema caches are constructed under THAT kind too.
+    RangeEstimatorOptions opt;
+    opt.dims = dims;
+    opt.log2_domain = h;
+    opt.k1 = 16;
+    opt.k2 = 5;
+    opt.seed = 9;
+    auto est = RangeQueryEstimator::Build({}, opt);
+    ASSERT_TRUE(est.ok());
+    for (const Box& b : r_boxes) est->Insert(b);
+
+    auto schema = MakeSchema(dims, h, 16, 5);
+    DatasetSketch rj(schema, Shape::JoinShape(dims));
+    DatasetSketch sj(schema, Shape::JoinShape(dims));
+    for (const Box& b : r_boxes) rj.Insert(b);
+    for (const Box& b : s_boxes) sj.Insert(b);
+
+    std::vector<double> got_range;
+    for (const Box& q : queries) {
+      got_range.push_back(est->EstimateCount(q));
+    }
+    auto joins = JoinEstimatesPerInstance(rj, sj);
+    ASSERT_TRUE(joins.ok());
+    const double self = EstimateTotalSelfJoin(rj);
+
+    if (k == Kind::kScalar) {
+      want_range = got_range;
+      want_joins = *joins;
+      want_self = self;
+    } else {
+      ASSERT_EQ(got_range.size(), want_range.size());
+      for (size_t i = 0; i < want_range.size(); ++i) {
+        ASSERT_EQ(got_range[i], want_range[i])
+            << "range estimate " << i << " kind " << static_cast<int>(k);
+      }
+      ASSERT_EQ(*joins, want_joins) << "kind " << static_cast<int>(k);
+      ASSERT_EQ(self, want_self) << "kind " << static_cast<int>(k);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spatialsketch
