@@ -1,0 +1,211 @@
+// Multi-tenant DENSITY: how many cold-tenant synopses fit in a GB, and
+// how fast the store churns and streams into them, per counter-store
+// configuration (counter_store.h).
+//
+//   build/micro_density [--tenants=10000] [--dims=1] [--log2_domain=12]
+//       [--k1=6] [--k2=3] [--updates_per_tenant=8] [--churn_rounds=2]
+//       [--kernels=scalar|avx2|avx512] [--json_out=<path>]
+//
+// One run measures EVERY (layout x width) configuration over the same
+// tenant workload — a SketchStore churn of --tenants datasets per round:
+// create, stream --updates_per_tenant mixed-sign updates, then drop and
+// re-create for --churn_rounds rounds. Reported per configuration:
+//
+//   * bytes_per_dataset  — honest allocated counter bytes of one tenant
+//     (DatasetSketch::MemoryBytes(): layout padding and width included,
+//     scratch excluded here since tenants at rest hold none), and the
+//     derived datasets_per_gb;
+//   * updates_per_sec    — aggregate streaming rate across the churn;
+//   * datasets_per_sec   — create+drop registry churn rate.
+//
+// Before any number is reported, one tenant per configuration is gated
+// bit-identical to the flat/int64 reference over the update stream (the
+// full differential matrix lives in tests/counter_store_test.cc).
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/common/stopwatch.h"
+#include "src/sketch/counter_store.h"
+#include "src/sketch/dataset_sketch.h"
+#include "src/store/sketch_store.h"
+#include "src/workload/zipf_boxes.h"
+#include "src/xi/kernels.h"
+
+using namespace spatialsketch;  // NOLINT: benchmark brevity
+
+namespace {
+
+struct Config {
+  CounterLayout layout;
+  CounterWidth width;
+};
+
+std::string TenantName(uint64_t t) {
+  std::string name("t");
+  name += std::to_string(t);
+  return name;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto flags = bench::ParseFlagsOrDie(argc, argv);
+  bench::ApplyKernelsFlagOrDie(flags);
+  const uint64_t tenants = flags.GetInt("tenants", 10000);
+  const uint32_t dims = static_cast<uint32_t>(flags.GetInt("dims", 1));
+  const uint32_t h = static_cast<uint32_t>(flags.GetInt("log2_domain", 12));
+  const uint32_t k1 = static_cast<uint32_t>(flags.GetInt("k1", 6));
+  const uint32_t k2 = static_cast<uint32_t>(flags.GetInt("k2", 3));
+  const uint64_t updates_per_tenant = flags.GetInt("updates_per_tenant", 8);
+  const uint64_t churn_rounds = flags.GetInt("churn_rounds", 2);
+
+  SyntheticBoxOptions gen;
+  gen.dims = dims;
+  gen.log2_domain = h;
+  gen.count = 1u << 12;
+  gen.seed = 5;
+  const std::vector<Box> boxes = GenerateSyntheticBoxes(gen);
+
+  StoreSchemaOptions sopt;
+  sopt.dims = dims;
+  sopt.log2_domain = h;
+  sopt.k1 = k1;
+  sopt.k2 = k2;
+  sopt.seed = 7;
+
+  const Config configs[] = {
+      {CounterLayout::kFlat, CounterWidth::kI64},
+      {CounterLayout::kFlat, CounterWidth::kI32},
+      {CounterLayout::kBlocked, CounterWidth::kI64},
+      {CounterLayout::kBlocked, CounterWidth::kI32},
+  };
+
+  std::printf("tenant density: tenants=%" PRIu64 " dims=%u domain=2^%u "
+              "k1=%u k2=%u updates/tenant=%" PRIu64 " rounds=%" PRIu64
+              " kernel=%s\n",
+              tenants, dims, h, k1, k2, updates_per_tenant, churn_rounds,
+              kernels::SelectedName());
+
+  std::vector<bench::BenchResult> results;
+  for (const Config& cfg : configs) {
+    const char* layout_name = CounterLayoutName(cfg.layout);
+    const char* width_name = CounterWidthName(cfg.width);
+
+    SketchStore store;
+    SKETCH_CHECK(store.RegisterSchema("s", sopt).ok());
+    DatasetOptions dopt;
+    dopt.layout = cfg.layout;
+    dopt.counter_width = cfg.width;
+
+    // Correctness gate: one tenant of this configuration vs the
+    // flat/int64 reference over the exact update stream used below.
+    {
+      SKETCH_CHECK(
+          store.CreateDataset("gate", "s", DatasetKind::kRange, dopt).ok());
+      SKETCH_CHECK(store.CreateDataset("ref", "s", DatasetKind::kRange).ok());
+      for (uint64_t u = 0; u < updates_per_tenant; ++u) {
+        const Box& b = boxes[u % boxes.size()];
+        if (u % 3 == 2) {
+          SKETCH_CHECK(store.Delete("gate", boxes[(u - 1) % boxes.size()]).ok());
+          SKETCH_CHECK(store.Delete("ref", boxes[(u - 1) % boxes.size()]).ok());
+        } else {
+          SKETCH_CHECK(store.Insert("gate", b).ok());
+          SKETCH_CHECK(store.Insert("ref", b).ok());
+        }
+      }
+      SKETCH_CHECK(*store.CounterSnapshot("gate") ==
+                   *store.CounterSnapshot("ref"));
+      SKETCH_CHECK(store.DropDataset("gate").ok());
+      SKETCH_CHECK(store.DropDataset("ref").ok());
+    }
+
+    // Honest per-tenant counter bytes of this configuration (padding and
+    // width included): measured on a standalone sketch under the same
+    // schema instance the store serves.
+    auto schema = store.GetSchema("s");
+    SKETCH_CHECK(schema.ok());
+    CounterStoreOptions copt;
+    copt.layout = cfg.layout;
+    copt.width = cfg.width;
+    const DatasetSketch probe(*schema, Shape::RangeShape(dims), copt);
+    const uint64_t counter_bytes = probe.counter_store().MemoryBytes();
+    const double datasets_per_gb = 1e9 / static_cast<double>(counter_bytes);
+
+    // Churn: create all tenants, stream into each, drop all, repeat.
+    uint64_t total_updates = 0;
+    uint64_t total_datasets = 0;
+    double update_secs = 0;
+    double churn_secs = 0;
+    Stopwatch timer;
+    for (uint64_t round = 0; round < churn_rounds; ++round) {
+      timer.Restart();
+      for (uint64_t t = 0; t < tenants; ++t) {
+        SKETCH_CHECK(store
+                         .CreateDataset(TenantName(t), "s",
+                                        DatasetKind::kRange, dopt)
+                         .ok());
+      }
+      churn_secs += timer.Seconds();
+      total_datasets += tenants;
+
+      timer.Restart();
+      for (uint64_t t = 0; t < tenants; ++t) {
+        const std::string name = TenantName(t);
+        for (uint64_t u = 0; u < updates_per_tenant; ++u) {
+          const Box& b = boxes[(t + u) % boxes.size()];
+          if (u % 3 == 2) {
+            SKETCH_CHECK(
+                store.Delete(name, boxes[(t + u - 1) % boxes.size()]).ok());
+          } else {
+            SKETCH_CHECK(store.Insert(name, b).ok());
+          }
+          ++total_updates;
+        }
+      }
+      update_secs += timer.Seconds();
+
+      timer.Restart();
+      for (uint64_t t = 0; t < tenants; ++t) {
+        SKETCH_CHECK(store.DropDataset(TenantName(t)).ok());
+      }
+      churn_secs += timer.Seconds();
+    }
+
+    const double updates_per_sec = total_updates / update_secs;
+    const double datasets_per_sec = total_datasets / churn_secs;
+    std::printf("  %7s/%3s : %6" PRIu64 " B/dataset -> %8.0f datasets/GB | "
+                "%8.0f updates/s | %8.0f create+drop/s\n",
+                layout_name, width_name, counter_bytes, datasets_per_gb,
+                updates_per_sec, datasets_per_sec);
+
+    bench::BenchResult result;
+    result.name = "tenant_density";
+    result.Param("layout", layout_name);
+    result.Param("counter_width", width_name);
+    result.Param("tenants", static_cast<int64_t>(tenants));
+    result.Param("dims", static_cast<int64_t>(dims));
+    result.Param("log2_domain", static_cast<int64_t>(h));
+    result.Param("k1", static_cast<int64_t>(k1));
+    result.Param("k2", static_cast<int64_t>(k2));
+    result.Param("updates_per_tenant",
+                 static_cast<int64_t>(updates_per_tenant));
+    result.Param("churn_rounds", static_cast<int64_t>(churn_rounds));
+    result.Metric("bytes_per_dataset", static_cast<double>(counter_bytes));
+    result.Metric("datasets_per_gb", datasets_per_gb);
+    result.Metric("updates_per_sec", updates_per_sec);
+    result.Metric("datasets_per_sec", datasets_per_sec);
+    result.Metric("wall_seconds", update_secs + churn_secs);
+    results.push_back(result);
+  }
+
+  const Status st = bench::MaybeWriteBenchJson(flags, results);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
+  return 0;
+}

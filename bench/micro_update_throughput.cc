@@ -9,7 +9,14 @@
 //   build/micro_update_throughput [--dims=2] [--log2_domain=14] [--k1=64]
 //       [--k2=9] [--n=100000] [--ref_n=4000] [--bulk_n=100000]
 //       [--shape=range|join] [--check_n=256] [--reps=1]
-//       [--kernels=scalar|avx2|avx512] [--json_out=<path>]
+//       [--kernels=scalar|avx2|avx512] [--layout=flat|blocked]
+//       [--counter_width=i64|i32] [--json_out=<path>]
+//
+// Counter-store A/B: --layout and --counter_width route the timed sketch
+// through that storage configuration (counter_store.h); the flat/int64
+// reference configuration is ALWAYS gated bit-identical on the check
+// prefix in the same run, so a layout number can never hide a wrong
+// counter. Both names are stamped into the JSON params.
 //
 // --n boxes stream through the fast path, --ref_n (fewer; the reference
 // is slow) through UpdateReference; throughput is updates/sec each, and
@@ -112,10 +119,24 @@ int RunShardedWriterMode(const Flags& flags) {
   sopt.k2 = k2;
   sopt.seed = 7;
   SKETCH_CHECK(store.RegisterSchema("bench", sopt).ok());
+  // The master counters of all three datasets use the --layout /
+  // --counter_width configuration (shard deltas stay flat int64; the
+  // fold's MergeFrom bridges the representations).
+  const std::string layout_name = flags.GetString("layout", "flat");
+  const std::string width_name = flags.GetString("counter_width", "i64");
+  DatasetOptions dopt;
+  {
+    auto layout = ParseCounterLayout(layout_name);
+    auto width = ParseCounterWidth(width_name);
+    SKETCH_CHECK(layout.ok() && width.ok());
+    dopt.layout = *layout;
+    dopt.counter_width = *width;
+  }
   SKETCH_CHECK(store.CreateDataset("sharded", "bench",
-                                   DatasetKind::kRange).ok());
+                                   DatasetKind::kRange, dopt).ok());
   SKETCH_CHECK(store.CreateDataset("plain", "bench",
-                                   DatasetKind::kRange).ok());
+                                   DatasetKind::kRange, dopt).ok());
+  // The correctness gate's reference dataset stays flat/int64.
   SKETCH_CHECK(store.CreateDataset("check", "bench",
                                    DatasetKind::kRange).ok());
   ShardedWriterOptions wopt;
@@ -209,6 +230,8 @@ int RunShardedWriterMode(const Flags& flags) {
   result.Param("log2_domain", static_cast<int64_t>(h));
   result.Param("k1", static_cast<int64_t>(k1));
   result.Param("k2", static_cast<int64_t>(k2));
+  result.Param("layout", layout_name);
+  result.Param("counter_width", width_name);
   result.Param("n", static_cast<int64_t>(n));
   result.Metric("updates_per_sec_sharded", sharded_rate);
   result.Metric("updates_per_sec_plain_store", plain_rate);
@@ -333,6 +356,24 @@ int main(int argc, char** argv) {
                                            : Shape::RangeShape(dims);
   const kernels::Kind active_kernel = kernels::Selected();
 
+  // Counter-store A/B configuration of the timed sketch (the reference
+  // stays flat/int64 and gates it below).
+  const std::string layout_name = flags.GetString("layout", "flat");
+  const std::string width_name = flags.GetString("counter_width", "i64");
+  CounterStoreOptions copt;
+  {
+    auto layout = ParseCounterLayout(layout_name);
+    auto width = ParseCounterWidth(width_name);
+    if (!layout.ok() || !width.ok()) {
+      std::fprintf(stderr,
+                   "bad --layout/--counter_width (want flat|blocked, "
+                   "i64|i32)\n");
+      return 2;
+    }
+    copt.layout = *layout;
+    copt.width = *width;
+  }
+
   auto schema = MakeSchema(dims, h, k1, k2);
   SyntheticBoxOptions gen;
   gen.dims = dims;
@@ -344,7 +385,7 @@ int main(int argc, char** argv) {
   // Correctness gate: fast path vs reference, bit-identical counters over
   // a mixed-sign prefix. A throughput number for a wrong answer is noise.
   {
-    DatasetSketch fast(schema, shape);
+    DatasetSketch fast(schema, shape, copt);
     DatasetSketch ref(schema, shape);
     RunStream(boxes, check_n, [&](const Box& b, int sign) {
       if (sign > 0) fast.Insert(b); else fast.Delete(b);
@@ -357,7 +398,7 @@ int main(int argc, char** argv) {
     // bit-identical to the scalar variant's over the same prefix before
     // any A/B number is reported.
     if (active_kernel != kernels::Kind::kScalar) {
-      DatasetSketch scalar_fast(schema, shape);
+      DatasetSketch scalar_fast(schema, shape, copt);
       SKETCH_CHECK(kernels::ForceKernels(kernels::Kind::kScalar).ok());
       RunStream(boxes, check_n, [&](const Box& b, int sign) {
         if (sign > 0) scalar_fast.Insert(b); else scalar_fast.Delete(b);
@@ -369,7 +410,7 @@ int main(int argc, char** argv) {
 
   // Warm the schema's packed sign columns so the fast-path number is the
   // steady-state serving cost, not first-touch construction.
-  DatasetSketch fast(schema, shape);
+  DatasetSketch fast(schema, shape, copt);
   RunStream(boxes, std::min<uint64_t>(n, 2048), [&](const Box& b, int sign) {
     if (sign > 0) fast.Insert(b); else fast.Delete(b);
   });
@@ -413,7 +454,7 @@ int main(int argc, char** argv) {
       });
   const double ref_secs = timer.Seconds();
 
-  DatasetSketch bulk(schema, shape);
+  DatasetSketch bulk(schema, shape, copt);
   std::vector<Box> bulk_boxes;
   bulk_boxes.reserve(bulk_n);
   for (uint64_t i = 0; i < bulk_n; ++i) {
@@ -428,9 +469,9 @@ int main(int argc, char** argv) {
   const double speedup = fast_rate / ref_rate;
 
   std::printf("update throughput: dims=%u domain=2^%u k1=%u k2=%u shape=%s "
-              "kernel=%s reps=%u\n",
+              "kernel=%s layout=%s width=%s reps=%u\n",
               dims, h, k1, k2, shape_name.c_str(), kernels::SelectedName(),
-              reps);
+              layout_name.c_str(), width_name.c_str(), reps);
   std::printf("  bit-sliced stream    : %" PRIu64
               " updates/rep -> %.0f/s (median of %u)\n",
               fast_updates, fast_rate, reps);
@@ -458,6 +499,8 @@ int main(int argc, char** argv) {
   result.Param("k1", static_cast<int64_t>(k1));
   result.Param("k2", static_cast<int64_t>(k2));
   result.Param("shape", shape_name);
+  result.Param("layout", layout_name);
+  result.Param("counter_width", width_name);
   result.Param("n", static_cast<int64_t>(n));
   result.Param("ref_n", static_cast<int64_t>(ref_n));
   result.Param("reps", static_cast<int64_t>(reps));

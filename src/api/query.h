@@ -29,6 +29,7 @@
 #include "src/api/dataset_handle.h"
 #include "src/common/status.h"
 #include "src/geom/box.h"
+#include "src/sketch/counter_store.h"
 
 namespace spatialsketch {
 
@@ -148,11 +149,15 @@ struct QueryBatch {
 };
 
 /// Estimator configuration metadata echoed with every successful result:
-/// which boosting grid produced the value (Section 2.3).
+/// which boosting grid produced the value (Section 2.3) and how the
+/// primary dataset's counters are physically stored (counter_store.h —
+/// layout/width never change the value, only the footprint).
 struct EstimatorInfo {
   uint32_t k1 = 0;         ///< estimators averaged per group
   uint32_t k2 = 0;         ///< groups medianed
   uint32_t instances = 0;  ///< k1 * k2 boosting instances
+  CounterLayout layout = CounterLayout::kFlat;       ///< counter order
+  CounterWidth counter_width = CounterWidth::kI64;   ///< counter width
 };
 
 /// The per-query outcome of a Run batch: a Status (per-query failure

@@ -33,10 +33,10 @@ Result<std::vector<double>> JoinEstimatesPerInstance(const DatasetSketch& r,
   // JoinShape is bitmask-ordered (bit i set => E in dim i), so the
   // complement word wbar is simply the inverted mask; the kernel walks
   // the counter rows with the per-instance FP accumulation in scalar
-  // order, so every variant returns bit-identical estimates.
+  // order, so every variant returns bit-identical estimates (the counter
+  // store routes non-flat layouts through an order-identical walk).
   std::vector<double> z(instances);
-  kernels::Ops().join_z(r.counters().data(), s.counters().data(), instances,
-                        dims, z.data());
+  CounterStore::JoinZ(r.counter_store(), s.counter_store(), dims, z.data());
   return z;
 }
 
@@ -65,12 +65,11 @@ Result<std::vector<double>> EstimateJoinCardinalityBatch(
   // estimate takes, so each batch entry is trivially bit-identical to its
   // sequential counterpart. The r rows stay cache-hot across the panel
   // (a serving-size dataset is a few tens of KB of counters).
-  const kernels::KernelOps& kops = kernels::Ops();
   std::vector<std::vector<double>> z(s_list.size(),
                                      std::vector<double>(instances));
   for (size_t si = 0; si < s_list.size(); ++si) {
-    kops.join_z(r.counters().data(), s_list[si]->counters().data(),
-                instances, dims, z[si].data());
+    CounterStore::JoinZ(r.counter_store(), s_list[si]->counter_store(),
+                        dims, z[si].data());
   }
   std::vector<double> out(s_list.size());
   for (size_t si = 0; si < s_list.size(); ++si) {

@@ -54,6 +54,10 @@ RangeQueryBatch::RangeQueryBatch(const DatasetSketch* sketch,
   const uint32_t dims = schema->dims();
   SKETCH_CHECK(sketch->shape() == Shape::RangeShape(dims));
   const PackedSignCache& cache = schema->sign_cache();
+  // The raw column pointers stored below are read by EstimateOne for the
+  // batch's whole lifetime; pin the cache so budget eviction retires
+  // instead of freeing them (no-op without a global budget).
+  sign_pin_ = PackedSignCache::Pin(&cache);
 
   queries_.resize(count);
   for (size_t qi = 0; qi < count; ++qi) {
@@ -136,8 +140,9 @@ double RangeQueryBatch::EstimateOne(size_t i) const {
     }
   }
 
-  // Stage 2 — the kernel z-walk over the counters in contiguous
-  // instance-major order. RangeShape is bitmask-ordered (bit d set =>
+  // Stage 2 — the z-walk over the counters through the counter store's
+  // layout descriptor (kernel dispatch for flat int64, an order-identical
+  // generic walk otherwise). RangeShape is bitmask-ordered (bit d set =>
   // data letter U in dim d) with complementary pairing per dimension:
   // data letter U pairs with the query's interval-cover factor q_I
   // (index 0), data letter I pairs with the query's upper-point factor
@@ -146,8 +151,7 @@ double RangeQueryBatch::EstimateOne(size_t i) const {
   // to per-query EstimateRangeCount calls under any variant.
   thread_local std::vector<double> z;
   z.resize(instances);
-  kops.range_z(sketch.counters().data(), instances, dims, factors.data(),
-               z.data());
+  sketch.counter_store().RangeZ(dims, factors.data(), z.data());
   return MedianOfMeans(z, schema->k1(), schema->k2());
 }
 

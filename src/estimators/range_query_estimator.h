@@ -87,6 +87,10 @@ class RangeQueryBatch {
     std::vector<const uint64_t*> cover_cols[kMaxDims];
     std::vector<const uint64_t*> upper_cols[kMaxDims];
   };
+  // Declared first so it outlives the column pointers in queries_: the
+  // pin keeps the schema sign cache from freeing them under a global
+  // budget for the batch's whole lifetime (see PackedSignCache::Pin).
+  PackedSignCache::Pin sign_pin_;
   const DatasetSketch* sketch_;
   std::vector<QueryIds> queries_;
 };

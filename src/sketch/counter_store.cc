@@ -1,0 +1,442 @@
+#include "src/sketch/counter_store.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#ifdef __linux__
+#include <sys/mman.h>
+#endif
+
+#include "src/xi/kernels.h"
+
+namespace spatialsketch {
+
+namespace {
+
+// Threshold past which the huge-page backing aligns to a 2 MiB boundary
+// (smaller blocks align to a cache line — a 2 MiB alignment would waste
+// more than it maps).
+constexpr size_t kHugePageBytes = size_t{2} << 20;
+
+size_t WidthBytes(CounterWidth width) {
+  return width == CounterWidth::kI64 ? 8 : 4;
+}
+
+void* AllocCounters(size_t bytes, CounterBacking backing) {
+  if (bytes == 0) return nullptr;
+  if (backing == CounterBacking::kHugePage) {
+    const size_t alignment = bytes >= kHugePageBytes ? kHugePageBytes : 64;
+    const size_t rounded = (bytes + alignment - 1) / alignment * alignment;
+    void* p = nullptr;
+    if (posix_memalign(&p, alignment, rounded) == 0) {
+      std::memset(p, 0, rounded);
+#ifdef __linux__
+      if (rounded >= kHugePageBytes) {
+        madvise(p, rounded, MADV_HUGEPAGE);  // advisory; failure is fine
+      }
+#endif
+      return p;
+    }
+    // Fall through to the plain allocation on an alignment failure.
+  }
+  void* p = std::calloc(bytes, 1);
+  SKETCH_CHECK(p != nullptr);
+  return p;
+}
+
+}  // namespace
+
+const char* CounterLayoutName(CounterLayout layout) {
+  return layout == CounterLayout::kFlat ? "flat" : "blocked";
+}
+
+const char* CounterWidthName(CounterWidth width) {
+  return width == CounterWidth::kI64 ? "i64" : "i32";
+}
+
+const char* CounterBackingName(CounterBacking backing) {
+  return backing == CounterBacking::kDefault ? "default" : "hugepage";
+}
+
+Result<CounterLayout> ParseCounterLayout(const std::string& name) {
+  if (name == "flat") return CounterLayout::kFlat;
+  if (name == "blocked") return CounterLayout::kBlocked;
+  return Status::InvalidArgument("unknown counter layout '" + name +
+                                 "' (expected flat|blocked)");
+}
+
+Result<CounterWidth> ParseCounterWidth(const std::string& name) {
+  if (name == "i64") return CounterWidth::kI64;
+  if (name == "i32") return CounterWidth::kI32;
+  return Status::InvalidArgument("unknown counter width '" + name +
+                                 "' (expected i64|i32)");
+}
+
+CounterStore::CounterStore(uint32_t instances, uint32_t num_words,
+                           CounterStoreOptions opt)
+    : instances_(instances), num_words_(num_words), opt_(opt) {
+  SKETCH_CHECK(instances_ > 0 && num_words_ > 0);
+  Allocate();
+}
+
+CounterStore::~CounterStore() { Free(); }
+
+CounterStore::CounterStore(const CounterStore& other)
+    : instances_(other.instances_),
+      num_words_(other.num_words_),
+      opt_(other.opt_) {
+  Allocate();
+  if (elems_ > 0) {
+    std::memcpy(opt_.width == CounterWidth::kI64
+                    ? static_cast<void*>(data64_)
+                    : static_cast<void*>(data32_),
+                opt_.width == CounterWidth::kI64
+                    ? static_cast<const void*>(other.data64_)
+                    : static_cast<const void*>(other.data32_),
+                elems_ * WidthBytes(opt_.width));
+  }
+}
+
+CounterStore& CounterStore::operator=(const CounterStore& other) {
+  if (this == &other) return *this;
+  Free();
+  instances_ = other.instances_;
+  num_words_ = other.num_words_;
+  opt_ = other.opt_;
+  Allocate();
+  if (elems_ > 0) {
+    std::memcpy(opt_.width == CounterWidth::kI64
+                    ? static_cast<void*>(data64_)
+                    : static_cast<void*>(data32_),
+                opt_.width == CounterWidth::kI64
+                    ? static_cast<const void*>(other.data64_)
+                    : static_cast<const void*>(other.data32_),
+                elems_ * WidthBytes(opt_.width));
+  }
+  return *this;
+}
+
+CounterStore::CounterStore(CounterStore&& other) noexcept
+    : instances_(other.instances_),
+      num_words_(other.num_words_),
+      opt_(other.opt_),
+      elems_(other.elems_),
+      data64_(other.data64_),
+      data32_(other.data32_),
+      apply_scratch_(std::move(other.apply_scratch_)) {
+  other.instances_ = 0;
+  other.num_words_ = 0;
+  other.elems_ = 0;
+  other.data64_ = nullptr;
+  other.data32_ = nullptr;
+}
+
+CounterStore& CounterStore::operator=(CounterStore&& other) noexcept {
+  if (this == &other) return *this;
+  Free();
+  instances_ = other.instances_;
+  num_words_ = other.num_words_;
+  opt_ = other.opt_;
+  elems_ = other.elems_;
+  data64_ = other.data64_;
+  data32_ = other.data32_;
+  apply_scratch_ = std::move(other.apply_scratch_);
+  other.instances_ = 0;
+  other.num_words_ = 0;
+  other.elems_ = 0;
+  other.data64_ = nullptr;
+  other.data32_ = nullptr;
+  return *this;
+}
+
+void CounterStore::Allocate() {
+  if (instances_ == 0 || num_words_ == 0) {
+    elems_ = 0;
+    data64_ = nullptr;
+    data32_ = nullptr;
+    return;
+  }
+  // Blocked stores pad the last block to 64 lanes so every word's lane
+  // run is full-width; the padding lanes stay zero forever.
+  elems_ = opt_.layout == CounterLayout::kFlat
+               ? static_cast<size_t>(instances_) * num_words_
+               : static_cast<size_t>((instances_ + 63) / 64) * 64 * num_words_;
+  void* p = AllocCounters(elems_ * WidthBytes(opt_.width), opt_.backing);
+  data64_ = opt_.width == CounterWidth::kI64 ? static_cast<int64_t*>(p)
+                                             : nullptr;
+  data32_ = opt_.width == CounterWidth::kI32 ? static_cast<int32_t*>(p)
+                                             : nullptr;
+}
+
+void CounterStore::Free() {
+  std::free(data64_ != nullptr ? static_cast<void*>(data64_)
+                               : static_cast<void*>(data32_));
+  data64_ = nullptr;
+  data32_ = nullptr;
+  elems_ = 0;
+}
+
+void CounterStore::SetUnchecked(uint32_t instance, uint32_t word,
+                                int64_t value) {
+  const size_t idx = Index(instance, word);
+  if (opt_.width == CounterWidth::kI64) {
+    data64_[idx] = value;
+  } else {
+    SKETCH_DCHECK(value >= std::numeric_limits<int32_t>::min() &&
+                  value <= std::numeric_limits<int32_t>::max());
+    data32_[idx] = static_cast<int32_t>(value);
+  }
+}
+
+void CounterStore::AddNarrow(uint32_t instance, uint32_t word,
+                             int64_t delta) {
+  const size_t idx = Index(instance, word);
+  const int64_t v = static_cast<int64_t>(data32_[idx]) + delta;
+  if (v < std::numeric_limits<int32_t>::min() ||
+      v > std::numeric_limits<int32_t>::max()) {
+    // Saturation-checked widening: the value leaves int32, so the whole
+    // store widens in place (values preserved exactly) and the add lands
+    // wide. No counter is ever clipped.
+    EnsureWide();
+    data64_[idx] = v;
+    return;
+  }
+  data32_[idx] = static_cast<int32_t>(v);
+}
+
+void CounterStore::TensorApply(const kernels::KernelOps& kops, uint32_t block,
+                               uint32_t lanes, const int32_t* const (*lv)[2],
+                               uint32_t dims, int64_t sign) {
+  SKETCH_DCHECK(num_words_ == (uint32_t{1} << dims));
+  if (opt_.layout == CounterLayout::kFlat &&
+      opt_.width == CounterWidth::kI64) {
+    kops.tensor_apply(lv, dims, lanes, sign,
+                      data64_ + static_cast<size_t>(block) * 64 * num_words_);
+    return;
+  }
+  // Stage the block's deltas through zeroed flat scratch rows, then
+  // scatter-add into the real layout/width. Integer adds are exact and
+  // order-free, so the detour never changes the resulting counters.
+  apply_scratch_.assign(static_cast<size_t>(64) * num_words_, 0);
+  kops.tensor_apply(lv, dims, lanes, sign, apply_scratch_.data());
+  if (opt_.layout == CounterLayout::kBlocked &&
+      opt_.width == CounterWidth::kI64) {
+    // Wide blocked: transpose-add without per-element range checks.
+    int64_t* base = data64_ + static_cast<size_t>(block) * 64 * num_words_;
+    for (uint32_t j = 0; j < lanes; ++j) {
+      const int64_t* src = apply_scratch_.data() + static_cast<size_t>(j) *
+                                                       num_words_;
+      for (uint32_t w = 0; w < num_words_; ++w) {
+        base[static_cast<size_t>(w) * 64 + j] += src[w];
+      }
+    }
+    return;
+  }
+  for (uint32_t j = 0; j < lanes; ++j) {
+    const uint32_t inst = block * 64 + j;
+    const int64_t* src =
+        apply_scratch_.data() + static_cast<size_t>(j) * num_words_;
+    for (uint32_t w = 0; w < num_words_; ++w) Add(inst, w, src[w]);
+  }
+}
+
+void CounterStore::MergeFrom(const CounterStore& other) {
+  SKETCH_CHECK(instances_ == other.instances_ &&
+               num_words_ == other.num_words_);
+  if (opt_.layout == other.opt_.layout &&
+      opt_.width == CounterWidth::kI64 &&
+      other.opt_.width == CounterWidth::kI64) {
+    for (size_t i = 0; i < elems_; ++i) data64_[i] += other.data64_[i];
+    return;
+  }
+  for (uint32_t inst = 0; inst < instances_; ++inst) {
+    for (uint32_t w = 0; w < num_words_; ++w) {
+      Add(inst, w, other.Get(inst, w));
+    }
+  }
+}
+
+void CounterStore::Reset() {
+  if (elems_ == 0) return;
+  std::memset(opt_.width == CounterWidth::kI64
+                  ? static_cast<void*>(data64_)
+                  : static_cast<void*>(data32_),
+              0, elems_ * WidthBytes(opt_.width));
+}
+
+void CounterStore::CopyValuesFrom(const CounterStore& other) {
+  SKETCH_CHECK(instances_ == other.instances_ &&
+               num_words_ == other.num_words_);
+  if (opt_.width == CounterWidth::kI32 && !other.FitsNarrow()) EnsureWide();
+  if (opt_.layout == other.opt_.layout && opt_.width == other.opt_.width &&
+      elems_ == other.elems_) {
+    std::memcpy(opt_.width == CounterWidth::kI64
+                    ? static_cast<void*>(data64_)
+                    : static_cast<void*>(data32_),
+                other.opt_.width == CounterWidth::kI64
+                    ? static_cast<const void*>(other.data64_)
+                    : static_cast<const void*>(other.data32_),
+                elems_ * WidthBytes(opt_.width));
+    return;
+  }
+  Reset();
+  for (uint32_t inst = 0; inst < instances_; ++inst) {
+    for (uint32_t w = 0; w < num_words_; ++w) {
+      SetUnchecked(inst, w, other.Get(inst, w));
+    }
+  }
+}
+
+bool CounterStore::FitsNarrow() const {
+  if (opt_.width == CounterWidth::kI32) return true;
+  for (size_t i = 0; i < elems_; ++i) {
+    if (data64_[i] < std::numeric_limits<int32_t>::min() ||
+        data64_[i] > std::numeric_limits<int32_t>::max()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status CounterStore::SetWidth(CounterWidth width) {
+  if (width == opt_.width) return Status::OK();
+  if (width == CounterWidth::kI32 && !FitsNarrow()) {
+    return Status::FailedPrecondition(
+        "cannot narrow counters to int32: a value is out of range");
+  }
+  CounterStoreOptions new_opt = opt_;
+  new_opt.width = width;
+  void* p = AllocCounters(elems_ * WidthBytes(width), opt_.backing);
+  if (width == CounterWidth::kI64) {
+    int64_t* dst = static_cast<int64_t*>(p);
+    for (size_t i = 0; i < elems_; ++i) {
+      dst[i] = static_cast<int64_t>(data32_[i]);
+    }
+  } else {
+    int32_t* dst = static_cast<int32_t*>(p);
+    for (size_t i = 0; i < elems_; ++i) {
+      dst[i] = static_cast<int32_t>(data64_[i]);
+    }
+  }
+  const size_t elems = elems_;
+  Free();
+  opt_ = new_opt;
+  elems_ = elems;  // element count depends on the layout, not the width
+  data64_ =
+      width == CounterWidth::kI64 ? static_cast<int64_t*>(p) : nullptr;
+  data32_ =
+      width == CounterWidth::kI32 ? static_cast<int32_t*>(p) : nullptr;
+  return Status::OK();
+}
+
+std::vector<int64_t> CounterStore::ToFlat() const {
+  std::vector<int64_t> out(static_cast<size_t>(instances_) * num_words_);
+  if (opt_.layout == CounterLayout::kFlat &&
+      opt_.width == CounterWidth::kI64) {
+    std::memcpy(out.data(), data64_, out.size() * sizeof(int64_t));
+    return out;
+  }
+  for (uint32_t inst = 0; inst < instances_; ++inst) {
+    for (uint32_t w = 0; w < num_words_; ++w) {
+      out[static_cast<size_t>(inst) * num_words_ + w] = Get(inst, w);
+    }
+  }
+  return out;
+}
+
+void CounterStore::FromFlat(const std::vector<int64_t>& flat) {
+  SKETCH_CHECK(flat.size() == static_cast<size_t>(instances_) * num_words_);
+  if (opt_.width == CounterWidth::kI32) {
+    for (int64_t v : flat) {
+      if (v < std::numeric_limits<int32_t>::min() ||
+          v > std::numeric_limits<int32_t>::max()) {
+        EnsureWide();
+        break;
+      }
+    }
+  }
+  Reset();
+  for (uint32_t inst = 0; inst < instances_; ++inst) {
+    for (uint32_t w = 0; w < num_words_; ++w) {
+      SetUnchecked(inst, w,
+                   flat[static_cast<size_t>(inst) * num_words_ + w]);
+    }
+  }
+}
+
+// ---- Estimator z-walks ------------------------------------------------
+// The generic walks below replicate the scalar kernels' per-instance FP
+// order EXACTLY (kernels.cc RangeZScalar / JoinZScalar / SelfJoinZScalar):
+// products and the w-ascending accumulation in double, per instance. The
+// kernel dispatch's own bit-identity invariant (every variant matches
+// scalar) then closes the loop: estimates are bit-identical across
+// (layout x width x kernel variant).
+
+void CounterStore::RangeZ(uint32_t dims, const int32_t* factors,
+                          double* z) const {
+  SKETCH_DCHECK(num_words_ == (uint32_t{1} << dims));
+  if (opt_.layout == CounterLayout::kFlat &&
+      opt_.width == CounterWidth::kI64) {
+    kernels::Ops().range_z(data64_, instances_, dims, factors, z);
+    return;
+  }
+  const uint32_t num_words = num_words_;
+  for (uint32_t inst = 0; inst < instances_; ++inst) {
+    double q_factor[8][2];
+    for (uint32_t d = 0; d < dims; ++d) {
+      q_factor[d][0] =
+          factors[(static_cast<size_t>(d) * 2 + 0) * instances_ + inst];
+      q_factor[d][1] =
+          factors[(static_cast<size_t>(d) * 2 + 1) * instances_ + inst];
+    }
+    double acc = 0.0;
+    for (uint32_t w = 0; w < num_words; ++w) {
+      double prod = static_cast<double>(Get(inst, w));
+      for (uint32_t d = 0; d < dims; ++d) {
+        prod *= q_factor[d][((w >> d) & 1) ? 0 : 1];
+      }
+      acc += prod;
+    }
+    z[inst] = acc;
+  }
+}
+
+void CounterStore::JoinZ(const CounterStore& r, const CounterStore& s,
+                         uint32_t dims, double* z) {
+  SKETCH_CHECK(r.instances_ == s.instances_ &&
+               r.num_words_ == s.num_words_);
+  SKETCH_DCHECK(r.num_words_ == (uint32_t{1} << dims));
+  if (r.opt_.layout == CounterLayout::kFlat &&
+      r.opt_.width == CounterWidth::kI64 &&
+      s.opt_.layout == CounterLayout::kFlat &&
+      s.opt_.width == CounterWidth::kI64) {
+    kernels::Ops().join_z(r.data64_, s.data64_, r.instances_, dims, z);
+    return;
+  }
+  const uint32_t num_words = r.num_words_;
+  const uint32_t cmask = num_words - 1;
+  const double scale = 1.0 / static_cast<double>(uint64_t{1} << dims);
+  for (uint32_t inst = 0; inst < r.instances_; ++inst) {
+    double acc = 0.0;
+    for (uint32_t w = 0; w < num_words; ++w) {
+      acc += static_cast<double>(r.Get(inst, w)) *
+             static_cast<double>(s.Get(inst, w ^ cmask));
+    }
+    z[inst] = acc * scale;
+  }
+}
+
+void CounterStore::SelfJoinZ(uint32_t word, double* z) const {
+  if (opt_.layout == CounterLayout::kFlat &&
+      opt_.width == CounterWidth::kI64) {
+    kernels::Ops().self_join_z(data64_, instances_, num_words_, word, z);
+    return;
+  }
+  for (uint32_t inst = 0; inst < instances_; ++inst) {
+    const double x = static_cast<double>(Get(inst, word));
+    z[inst] = x * x;
+  }
+}
+
+}  // namespace spatialsketch

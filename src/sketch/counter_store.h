@@ -1,0 +1,247 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// CounterStore: the layout-owning counter-block module of a synopsis.
+//
+// A DatasetSketch is a linear counter array — one int64 X_w per (boosting
+// instance, shape word) — but HOW those counters are laid out in memory,
+// how wide they are stored, and what backing pages hold them used to be
+// an implementation accident of std::vector<int64_t> that every layer
+// above (kernels, estimators, writer shards, serialize) hard-coded. This
+// module makes the layout a first-class, per-dataset choice:
+//
+//  * Layouts: kFlat is the classic instance-major order (instance i's
+//    num_words counters are contiguous — the order the SIMD z-walk
+//    kernels stream). kBlocked groups 64 instances per block and stores
+//    each word's 64 lanes contiguously (word-major within the block),
+//    matching the 64-lane granularity of the bit-sliced streaming apply.
+//  * Widths: kI64 stores raw int64 counters; kI32 stores them narrow
+//    (half the bytes — the cold-tenant density mode) with
+//    saturation-CHECKED widening: any update that would leave the int32
+//    range widens the whole store to int64 in place first, so no value is
+//    ever clipped. Width is switchable in place at any quiescent point.
+//  * Backing: kHugePage requests an aligned allocation advised onto
+//    transparent huge pages (Linux; elsewhere it degrades to an aligned
+//    allocation) for hot tenants whose counter blocks should not thrash
+//    the TLB.
+//
+// The linearity invariant is layout-independent: counters are exact
+// integers and integer addition is freely reassociable, so every
+// (layout x width) combination holds bit-identical VALUES to the flat
+// int64 reference after any update interleaving. The estimator z-walks
+// (RangeZ/JoinZ/SelfJoinZ) are floating point; this module therefore
+// performs them either through the kernel dispatch table (flat + int64,
+// the fast path) or through generic walks that replicate the scalar
+// kernel's per-instance, word-ascending FP order exactly — so estimates,
+// too, are bit-identical across layouts, widths, and kernel variants
+// (tests/counter_store_test.cc pins every combination differentially).
+//
+// Thread-safety: none (mirrors DatasetSketch — one writer at a time, and
+// width widening reallocates, so even reads must not race a write).
+// Serving layers provide the locks.
+
+#ifndef SPATIALSKETCH_SKETCH_COUNTER_STORE_H_
+#define SPATIALSKETCH_SKETCH_COUNTER_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/macros.h"
+#include "src/common/status.h"
+
+namespace spatialsketch {
+
+namespace kernels {
+struct KernelOps;
+}  // namespace kernels
+
+/// Physical order of the counter words (see the file comment).
+enum class CounterLayout : uint8_t {
+  kFlat = 0,     ///< instance-major: [instance * num_words + word]
+  kBlocked = 1,  ///< 64-instance blocks, word-major inside each block
+};
+
+/// Storage width of one counter (values are int64 either way; kI32 widens
+/// in place before any value would leave the int32 range).
+enum class CounterWidth : uint8_t {
+  kI64 = 0,  ///< 8 bytes per counter (the reference width)
+  kI32 = 1,  ///< 4 bytes per counter (compact cold-tenant mode)
+};
+
+/// Allocation backing of the counter block.
+enum class CounterBacking : uint8_t {
+  kDefault = 0,   ///< plain heap allocation
+  kHugePage = 1,  ///< aligned + THP-advised (Linux; aligned elsewhere)
+};
+
+/// Stable names for bench params / logs ("flat", "i32", "hugepage", ...).
+const char* CounterLayoutName(CounterLayout layout);
+const char* CounterWidthName(CounterWidth width);
+const char* CounterBackingName(CounterBacking backing);
+
+/// Parse the names above (case-sensitive). Unknown names fail with
+/// InvalidArgument — the bench flag and DatasetOptions plumbing share
+/// these.
+Result<CounterLayout> ParseCounterLayout(const std::string& name);
+Result<CounterWidth> ParseCounterWidth(const std::string& name);
+
+/// Per-dataset counter storage configuration.
+struct CounterStoreOptions {
+  CounterLayout layout = CounterLayout::kFlat;
+  CounterWidth width = CounterWidth::kI64;
+  CounterBacking backing = CounterBacking::kDefault;
+
+  friend bool operator==(const CounterStoreOptions&,
+                         const CounterStoreOptions&) = default;
+};
+
+/// The counter block of one synopsis: instances() x num_words() int64
+/// values behind a pluggable (layout, width, backing) — the ONLY module
+/// that indexes raw counter memory (see the file comment).
+class CounterStore {
+ public:
+  /// An empty store (0 x 0); assign a real one before use.
+  CounterStore() = default;
+
+  /// A zeroed instances x num_words store under `opt`.
+  CounterStore(uint32_t instances, uint32_t num_words,
+               CounterStoreOptions opt = {});
+
+  ~CounterStore();
+  CounterStore(const CounterStore& other);
+  CounterStore& operator=(const CounterStore& other);
+  CounterStore(CounterStore&& other) noexcept;
+  CounterStore& operator=(CounterStore&& other) noexcept;
+
+  uint32_t instances() const { return instances_; }
+  uint32_t num_words() const { return num_words_; }
+  CounterLayout layout() const { return opt_.layout; }
+  /// Current width — may be wider than requested at construction if a
+  /// value forced a saturation-checked widening.
+  CounterWidth width() const { return opt_.width; }
+  CounterBacking backing() const { return opt_.backing; }
+  const CounterStoreOptions& options() const { return opt_; }
+
+  /// Counter X_w of (instance, word), whatever the layout/width.
+  int64_t Get(uint32_t instance, uint32_t word) const {
+    const size_t idx = Index(instance, word);
+    return opt_.width == CounterWidth::kI64
+               ? data64_[idx]
+               : static_cast<int64_t>(data32_[idx]);
+  }
+
+  /// counters[instance][word] += delta, widening in place first if the
+  /// result would leave the current narrow width's range.
+  void Add(uint32_t instance, uint32_t word, int64_t delta) {
+    if (opt_.width == CounterWidth::kI64) {
+      data64_[Index(instance, word)] += delta;
+      return;
+    }
+    AddNarrow(instance, word, delta);
+  }
+
+  /// Streaming counter apply of one 64-instance block of a bitmask-tensor
+  /// shape (the kernels.h tensor_apply contract): lanes of block `block`
+  /// receive the iterated-partial-product deltas. Flat int64 stores hand
+  /// the kernel their rows directly; every other configuration stages the
+  /// deltas through a zeroed scratch block and scatter-adds them — exact
+  /// integer math either way, so counters stay bit-identical.
+  void TensorApply(const kernels::KernelOps& kops, uint32_t block,
+                   uint32_t lanes, const int32_t* const (*lv)[2],
+                   uint32_t dims, int64_t sign);
+
+  /// Element-wise add of another store of the SAME logical dimensions
+  /// (layout/width may differ — writer-shard deltas stay flat int64 while
+  /// the master may be blocked or narrow). Widens in place if needed.
+  void MergeFrom(const CounterStore& other);
+
+  /// Zero every counter, keeping layout, width, and allocation.
+  void Reset();
+
+  /// Overwrite this store's VALUES with `other`'s (same logical
+  /// dimensions required), keeping THIS store's layout and backing.
+  /// Widens in place when `other` holds values outside int32 range and
+  /// this store is narrow.
+  void CopyValuesFrom(const CounterStore& other);
+
+  /// Switch the storage width in place. Widening always succeeds;
+  /// narrowing fails with FailedPrecondition when any current value does
+  /// not fit int32 (and leaves the store unchanged).
+  Status SetWidth(CounterWidth width);
+
+  /// Widen to int64 in place (no-op when already wide). Parallel writers
+  /// over disjoint instances call this ONCE up front so no concurrent
+  /// saturation-widening can race (BulkLoader does).
+  void EnsureWide() {
+    if (opt_.width != CounterWidth::kI64) SKETCH_CHECK(SetWidth(CounterWidth::kI64).ok());
+  }
+
+  /// True iff every value fits int32 (i.e. SetWidth(kI32) would succeed).
+  bool FitsNarrow() const;
+
+  /// The values in flat instance-major int64 order — the reference
+  /// representation every layout/width is bit-compared against, and the
+  /// serialization order.
+  std::vector<int64_t> ToFlat() const;
+
+  /// Overwrite from flat instance-major values (size must be
+  /// instances * num_words). Widens in place when needed.
+  void FromFlat(const std::vector<int64_t>& flat);
+
+  /// Actual allocated counter bytes (layout padding and width included) —
+  /// the honest-accounting complement of the paper-accounted
+  /// MemoryWords().
+  uint64_t MemoryBytes() const {
+    return static_cast<uint64_t>(elems_) *
+           (opt_.width == CounterWidth::kI64 ? 8 : 4);
+  }
+
+  // ---- Estimator z-walks (the layout descriptor the estimators use) ----
+  // Flat int64 stores run through the kernel dispatch table; all other
+  // configurations run generic walks replicating the scalar kernel's
+  // per-instance FP order, so results are bit-identical either way.
+
+  /// Range-estimator per-instance sums (kernels.h range_z contract;
+  /// num_words() must be 2^dims).
+  void RangeZ(uint32_t dims, const int32_t* factors, double* z) const;
+
+  /// Join-estimator per-instance dot products over complementary words
+  /// (kernels.h join_z contract; both stores must share dimensions).
+  static void JoinZ(const CounterStore& r, const CounterStore& s,
+                    uint32_t dims, double* z);
+
+  /// Self-join per-instance squares of one word column (kernels.h
+  /// self_join_z contract).
+  void SelfJoinZ(uint32_t word, double* z) const;
+
+ private:
+  /// Physical element index of (instance, word) under the layout.
+  size_t Index(uint32_t instance, uint32_t word) const {
+    SKETCH_DCHECK(instance < instances_ && word < num_words_);
+    if (opt_.layout == CounterLayout::kFlat) {
+      return static_cast<size_t>(instance) * num_words_ + word;
+    }
+    // Blocked: 64-lane blocks, word-major within the block.
+    return (static_cast<size_t>(instance / 64) * num_words_ + word) * 64 +
+           instance % 64;
+  }
+
+  void AddNarrow(uint32_t instance, uint32_t word, int64_t delta);
+  void SetUnchecked(uint32_t instance, uint32_t word, int64_t value);
+  void Allocate();
+  void Free();
+
+  uint32_t instances_ = 0;
+  uint32_t num_words_ = 0;
+  CounterStoreOptions opt_;
+  size_t elems_ = 0;        ///< allocated elements (>= instances*num_words)
+  int64_t* data64_ = nullptr;  ///< non-null iff width == kI64 and elems_ > 0
+  int32_t* data32_ = nullptr;  ///< non-null iff width == kI32 and elems_ > 0
+  /// Staging block for TensorApply on non-fast-path configurations.
+  std::vector<int64_t> apply_scratch_;
+};
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_SKETCH_COUNTER_STORE_H_

@@ -48,13 +48,32 @@ uint64_t DatasetSketch::PointSumBudgetBytes() {
   return g_point_sum_budget_bytes.load(std::memory_order_relaxed);
 }
 
-DatasetSketch::DatasetSketch(SchemaPtr schema, Shape shape)
+DatasetSketch::DatasetSketch(SchemaPtr schema, Shape shape,
+                             CounterStoreOptions counter_opt)
     : schema_(std::move(schema)), shape_(std::move(shape)) {
   SKETCH_CHECK(schema_ != nullptr);
   SKETCH_CHECK(shape_.size() >= 1);
-  counters_.assign(
-      static_cast<size_t>(schema_->instances()) * shape_.size(), 0);
+  counters_ = CounterStore(schema_->instances(), shape_.size(), counter_opt);
   ComputeNeeds();
+}
+
+uint64_t DatasetSketch::MemoryBytes() const {
+  uint64_t bytes = counters_.MemoryBytes();
+  bytes += needs_.capacity() * sizeof(DimNeeds);
+  bytes += word_letters_.capacity();
+  for (const auto& v : scratch_ids_) bytes += v.capacity() * sizeof(uint64_t);
+  for (const auto& v : scratch_cubes_) {
+    bytes += v.capacity() * sizeof(uint64_t);
+  }
+  for (uint32_t d = 0; d < kMaxDims; ++d) {
+    for (uint32_t g = 0; g < kNumGroups; ++g) {
+      bytes += scratch_cols_[d][g].capacity() * sizeof(const uint64_t*);
+    }
+  }
+  bytes += scratch_packed_.capacity() * sizeof(uint64_t);
+  bytes += scratch_planes_.capacity() * sizeof(uint64_t);
+  bytes += scratch_wide_.capacity() * sizeof(int32_t);
+  return bytes;
 }
 
 void DatasetSketch::ComputeNeeds() {
@@ -189,6 +208,10 @@ void DatasetSketch::UpdateBitSliced(const Box& box, const Box& leaf_box,
   const uint32_t num_words = shape_.size();
   const PackedSignCache& cache = schema_->sign_cache();
   const PointSumCache& sums = schema_->point_sum_cache();
+  // Column/Counts pointers gathered below are dereferenced until the end
+  // of this update; the pins keep them valid under budget eviction.
+  const PackedSignCache::Pin sign_pin(&cache);
+  const PointSumCache::Pin sum_pin(&sums);
   const uint32_t blocks = cache.num_blocks();
   scratch_packed_.resize(static_cast<size_t>(kDims) * kNumGroups * blocks *
                          8);
@@ -282,8 +305,6 @@ void DatasetSketch::UpdateBitSliced(const Box& box, const Box& leaf_box,
       if (leaf_l_col[d] != nullptr) leaf_l_mask[d] = leaf_l_col[d][blk];
       if (leaf_u_col[d] != nullptr) leaf_u_mask[d] = leaf_u_col[d][blk];
     }
-    int64_t* row = counters_.data() + static_cast<size_t>(blk) * 64 *
-                                          num_words;
 
     if (tensor_bitmask_) {
       // Stage A — materialize the per-dimension letter-value lane arrays
@@ -350,15 +371,17 @@ void DatasetSketch::UpdateBitSliced(const Box& box, const Box& leaf_box,
       // Stage B — the kernel's iterated partial products: part[w]
       // multiplies the same letter values as the reference path, and the
       // int64 arithmetic is exact, so every kernel variant lands
-      // bit-identical counters.
-      kops.tensor_apply(lv, kDims, lanes, sign64, row);
+      // bit-identical counters. The counter store hands flat int64 rows
+      // to the kernel directly and stages every other layout/width
+      // through exact scatter-adds.
+      counters_.TensorApply(kops, blk, lanes, lv, kDims, sign64);
       continue;
     }
 
     // Generic shapes (extended join, point, box-cover, custom): per-lane
     // letter table plus per-word letter indirection.
     int64_t letter_vals[kDims][6];
-    for (uint32_t j = 0; j < lanes; ++j, row += num_words) {
+    for (uint32_t j = 0; j < lanes; ++j) {
       for (uint32_t d = 0; d < kDims; ++d) {
         int32_t gs[kNumGroups];
         for (uint32_t g = 0; g < kNumGroups; ++g) {
@@ -384,12 +407,13 @@ void DatasetSketch::UpdateBitSliced(const Box& box, const Box& leaf_box,
               1 - 2 * static_cast<int64_t>((leaf_u_mask[d] >> j) & 1);
         }
       }
+      const uint32_t inst = blk * 64 + j;
       for (uint32_t w = 0; w < num_words; ++w) {
         int64_t prod = sign64;
         for (uint32_t d = 0; d < kDims; ++d) {
           prod *= letter_vals[d][wl[w * kDims + d]];
         }
-        row[w] += prod;
+        counters_.Add(inst, w, prod);
       }
     }
   }
@@ -478,14 +502,13 @@ void DatasetSketch::UpdateReference(const Box& box, const Box& leaf_box,
             LetterValue(static_cast<Letter>(li), sums, leaf_l, leaf_u);
       }
     }
-    int64_t* row = counters_.data() + static_cast<size_t>(inst) * num_words;
     for (uint32_t w = 0; w < num_words; ++w) {
       const Word& word = shape_.word(w);
       int64_t prod = sign;
       for (uint32_t d = 0; d < dims; ++d) {
         prod *= letter_vals[d][static_cast<uint32_t>(word.letters[d])];
       }
-      row[w] += prod;
+      counters_.Add(inst, w, prod);
     }
   }
   num_objects_ += sign;
@@ -575,7 +598,17 @@ void BulkLoader::Run(uint32_t max_threads) {
   const uint32_t num_batches =
       (instances + kInstancesPerBatch - 1) / kInstancesPerBatch;
 
-  // Batches write disjoint counter ranges, so they parallelize cleanly.
+  // Batches write disjoint counter ranges, so they parallelize cleanly —
+  // but a narrow store's saturation-widening reallocates the whole block,
+  // which WOULD race. Widen narrow sketches up front (and narrow back,
+  // best effort, after the threads join).
+  std::vector<DatasetSketch*> narrowed;
+  for (const Job& job : jobs_) {
+    if (job.sketch->counters_.width() == CounterWidth::kI32) {
+      job.sketch->counters_.EnsureWide();
+      narrowed.push_back(job.sketch);
+    }
+  }
   std::atomic<uint32_t> next_batch{0};
   const kernels::KernelOps& kops = kernels::Ops();
   auto worker = [&]() {
@@ -694,15 +727,13 @@ void BulkLoader::Run(uint32_t max_threads) {
                                                    1);
                 }
               }
-              int64_t* row_out = sk.counters_.data() +
-                                 static_cast<size_t>(inst) * num_words;
               const uint8_t* wl = sk.word_letters_.data();
               for (uint32_t w = 0; w < num_words; ++w) {
                 int64_t prod = job.sign;
                 for (uint32_t d = 0; d < dims; ++d) {
                   prod *= letter_vals[d][wl[w * dims + d]];
                 }
-                row_out[w] += prod;
+                sk.counters_.Add(inst, w, prod);
               }
             }
           }
@@ -729,19 +760,25 @@ void BulkLoader::Run(uint32_t max_threads) {
         job.sign * static_cast<int64_t>(job.count);
   }
   jobs_.clear();
+
+  // Restore the compact width where the values still permit it; a sketch
+  // whose counters outgrew int32 stays wide (saturation semantics).
+  for (DatasetSketch* sk : narrowed) {
+    if (sk->counters_.FitsNarrow()) {
+      SKETCH_CHECK(sk->counters_.SetWidth(CounterWidth::kI32).ok());
+    }
+  }
 }
 
 void DatasetSketch::Reset() {
-  std::fill(counters_.begin(), counters_.end(), 0);
+  counters_.Reset();
   num_objects_ = 0;
 }
 
 void DatasetSketch::Merge(const DatasetSketch& other) {
   SKETCH_CHECK(schema_ == other.schema_);
   SKETCH_CHECK(shape_ == other.shape_);
-  for (size_t i = 0; i < counters_.size(); ++i) {
-    counters_[i] += other.counters_[i];
-  }
+  counters_.MergeFrom(other.counters_);
   num_objects_ += other.num_objects_;
 }
 
@@ -755,7 +792,9 @@ Status DatasetSketch::AdoptCountersFrom(const DatasetSketch& other) {
     return Status::FailedPrecondition(
         "AdoptCountersFrom requires equal schema configurations");
   }
-  counters_ = other.counters_;
+  // Copy VALUES only: this sketch keeps its configured layout/width (the
+  // store widens in place if the incoming values demand it).
+  counters_.CopyValuesFrom(other.counters_);
   num_objects_ = other.num_objects_;
   return Status::OK();
 }

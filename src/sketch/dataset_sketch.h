@@ -41,6 +41,7 @@
 
 #include "src/common/status.h"
 #include "src/geom/box.h"
+#include "src/sketch/counter_store.h"
 #include "src/sketch/schema.h"
 #include "src/sketch/shape.h"
 
@@ -56,8 +57,12 @@ Result<DatasetSketch> DeserializeSketch(const std::string& blob);
 /// ingest paths and the thread-safety contract).
 class DatasetSketch {
  public:
-  /// Sketch under `schema` maintaining the counters of `shape`.
-  DatasetSketch(SchemaPtr schema, Shape shape);
+  /// Sketch under `schema` maintaining the counters of `shape`. The
+  /// counter block's physical configuration (layout, width, backing) is a
+  /// per-sketch choice; every configuration holds bit-identical VALUES
+  /// (see counter_store.h), so it never affects estimates.
+  DatasetSketch(SchemaPtr schema, Shape shape,
+                CounterStoreOptions counter_opt = {});
 
   /// Streaming updates. The box must be valid within the schema domains;
   /// leaf letters (if any in the shape) use the box's own endpoints.
@@ -109,19 +114,24 @@ class DatasetSketch {
                                const std::vector<Box>& leaf_boxes,
                                int sign = +1);
 
-  /// Counter X_w of one boosting instance.
+  /// Counter X_w of one boosting instance (layout/width-independent).
   int64_t Counter(uint32_t instance, uint32_t word_index) const {
     SKETCH_DCHECK(instance < schema_->instances());
     SKETCH_DCHECK(word_index < shape_.size());
-    return counters_[static_cast<size_t>(instance) * shape_.size() +
-                     word_index];
+    return counters_.Get(instance, word_index);
   }
 
-  /// Full counter vector, [instance * shape.size() + word]-ordered. The
-  /// synopsis is linear, so two sketches of the same data under the same
-  /// schema are bit-identical here regardless of ingest path or update
-  /// interleaving — the store's correctness tests compare these directly.
-  const std::vector<int64_t>& counters() const { return counters_; }
+  /// Counter values in flat [instance * shape.size() + word] order — the
+  /// layout-independent reference representation. The synopsis is linear,
+  /// so two sketches of the same data under the same schema are
+  /// bit-identical here regardless of ingest path, update interleaving,
+  /// OR counter layout/width — the store's correctness tests compare
+  /// these directly. Returned by value (the physical layout may differ).
+  std::vector<int64_t> counters() const { return counters_.ToFlat(); }
+
+  /// The counter block itself — the layout descriptor estimators address
+  /// counters through instead of raw memory (see counter_store.h).
+  const CounterStore& counter_store() const { return counters_; }
 
   /// Net number of objects currently summarized (inserts minus deletes).
   int64_t num_objects() const { return num_objects_; }
@@ -177,6 +187,12 @@ class DatasetSketch {
   /// Paper-accounted size in words (counters + amortized seed).
   uint64_t MemoryWords() const { return schema_->WordsPerDataset(shape_); }
 
+  /// Honest accounting: ACTUAL bytes this sketch holds — the allocated
+  /// counter block (layout padding and width included) plus every scratch
+  /// buffer the update paths have grown. Joins MemoryWords() (the
+  /// paper-accounted figure) so density numbers can cite real memory.
+  uint64_t MemoryBytes() const;
+
  private:
   friend class BulkLoader;
   friend Result<DatasetSketch> DeserializeSketch(const std::string& blob);
@@ -202,7 +218,7 @@ class DatasetSketch {
 
   SchemaPtr schema_;
   Shape shape_;
-  std::vector<int64_t> counters_;  // [instance * shape.size() + word]
+  CounterStore counters_;  ///< the layout-owning counter block
   int64_t num_objects_ = 0;
   std::vector<DimNeeds> needs_;  // per dim
 

@@ -116,9 +116,9 @@ double EstimateSelfJoinSize(const DatasetSketch& sketch,
   const auto& schema = *sketch.schema();
   std::vector<double> z(schema.instances());
   // Squares are computed per instance in scalar order by every kernel
-  // variant, so estimates are bit-identical across the dispatch.
-  kernels::Ops().self_join_z(sketch.counters().data(), schema.instances(),
-                             sketch.shape().size(), word_index, z.data());
+  // variant (and by the counter store's generic walk for non-flat
+  // layouts), so estimates are bit-identical across the dispatch.
+  sketch.counter_store().SelfJoinZ(word_index, z.data());
   return MedianOfMeans(z, schema.k1(), schema.k2());
 }
 

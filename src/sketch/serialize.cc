@@ -7,7 +7,12 @@ namespace spatialsketch {
 namespace {
 
 constexpr uint32_t kMagic = 0x4B535053;  // "SPSK"
+// Version 1: int64 counters (the historical format — still emitted for
+// every default-width sketch, so v1 blobs stay byte-identical).
+// Version 2: int32 counters (emitted only when the source store is in
+// the compact narrow width; values are guaranteed to fit by construction).
 constexpr uint8_t kVersion = 1;
+constexpr uint8_t kVersionNarrow = 2;
 constexpr uint8_t kKindSchema = 1;
 constexpr uint8_t kKindSketch = 2;
 
@@ -28,6 +33,9 @@ void PutU64(std::string* out, uint64_t v) {
 }
 void PutI64(std::string* out, int64_t v) {
   PutU64(out, static_cast<uint64_t>(v));
+}
+void PutI32(std::string* out, int32_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
 }
 
 /// Bounds-checked little-endian reader over a blob.
@@ -64,6 +72,12 @@ class Reader {
     *v = static_cast<int64_t>(u);
     return true;
   }
+  bool ReadI32(int32_t* v) {
+    uint32_t u;
+    if (!ReadU32(&u)) return false;
+    *v = static_cast<int32_t>(u);
+    return true;
+  }
 
   bool AtEnd() const { return pos_ == blob_.size(); }
   size_t pos() const { return pos_; }
@@ -73,20 +87,22 @@ class Reader {
   size_t pos_ = 0;
 };
 
-void AppendHeader(std::string* out, uint8_t kind) {
+void AppendHeader(std::string* out, uint8_t version, uint8_t kind) {
   PutU32(out, kMagic);
-  PutU8(out, kVersion);
+  PutU8(out, version);
   PutU8(out, kind);
 }
 
-Status ReadHeader(Reader* r, uint8_t expected_kind) {
+/// Validates magic/kind and returns the version byte; callers decide
+/// which versions they accept (schemas are v1-only; sketches take v1/v2).
+Status ReadHeader(Reader* r, uint8_t expected_kind, uint8_t* version) {
   uint32_t magic;
-  uint8_t version, kind;
-  if (!r->ReadU32(&magic) || !r->ReadU8(&version) || !r->ReadU8(&kind)) {
+  uint8_t kind;
+  if (!r->ReadU32(&magic) || !r->ReadU8(version) || !r->ReadU8(&kind)) {
     return Status::InvalidArgument("blob truncated in header");
   }
   if (magic != kMagic) return Status::InvalidArgument("bad magic");
-  if (version != kVersion) {
+  if (*version != kVersion && *version != kVersionNarrow) {
     return Status::InvalidArgument("unsupported blob version");
   }
   if (kind != expected_kind) {
@@ -129,14 +145,18 @@ Result<SchemaPtr> ReadSchemaPayload(Reader* r) {
 
 std::string SerializeSchema(const SketchSchema& schema) {
   std::string out;
-  AppendHeader(&out, kKindSchema);
+  AppendHeader(&out, kVersion, kKindSchema);
   AppendSchemaPayload(&out, schema);
   return out;
 }
 
 Result<SchemaPtr> DeserializeSchema(const std::string& blob) {
   Reader r(blob);
-  SKETCH_RETURN_NOT_OK(ReadHeader(&r, kKindSchema));
+  uint8_t version;
+  SKETCH_RETURN_NOT_OK(ReadHeader(&r, kKindSchema, &version));
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported schema blob version");
+  }
   auto schema = ReadSchemaPayload(&r);
   if (!schema.ok()) return schema.status();
   if (!r.AtEnd()) {
@@ -146,8 +166,13 @@ Result<SchemaPtr> DeserializeSchema(const std::string& blob) {
 }
 
 std::string SerializeSketch(const DatasetSketch& sketch) {
+  // Narrow stores serialize a v2 blob with 4-byte counters (every value
+  // fits int32 by the saturation-widening invariant); default-width
+  // sketches keep emitting the byte-identical historical v1 format.
+  const bool narrow =
+      sketch.counter_store().width() == CounterWidth::kI32;
   std::string out;
-  AppendHeader(&out, kKindSketch);
+  AppendHeader(&out, narrow ? kVersionNarrow : kVersion, kKindSketch);
   AppendSchemaPayload(&out, *sketch.schema());
 
   const Shape& shape = sketch.shape();
@@ -159,10 +184,18 @@ std::string SerializeSketch(const DatasetSketch& sketch) {
     }
   }
   PutI64(&out, sketch.num_objects());
+  // Counters travel in flat instance-major order regardless of the
+  // source layout — the wire format is layout-free; layout is a restore
+  // target property (SST3 carries it in the store header).
   const uint32_t instances = sketch.schema()->instances();
   for (uint32_t inst = 0; inst < instances; ++inst) {
     for (uint32_t w = 0; w < shape.size(); ++w) {
-      PutI64(&out, sketch.Counter(inst, w));
+      const int64_t v = sketch.Counter(inst, w);
+      if (narrow) {
+        PutI32(&out, static_cast<int32_t>(v));
+      } else {
+        PutI64(&out, v);
+      }
     }
   }
   return out;
@@ -170,7 +203,8 @@ std::string SerializeSketch(const DatasetSketch& sketch) {
 
 Result<DatasetSketch> DeserializeSketch(const std::string& blob) {
   Reader r(blob);
-  SKETCH_RETURN_NOT_OK(ReadHeader(&r, kKindSketch));
+  uint8_t version;
+  SKETCH_RETURN_NOT_OK(ReadHeader(&r, kKindSketch, &version));
   auto schema = ReadSchemaPayload(&r);
   if (!schema.ok()) return schema.status();
   const uint32_t dims = (*schema)->dims();
@@ -196,15 +230,31 @@ Result<DatasetSketch> DeserializeSketch(const std::string& blob) {
     }
   }
 
-  DatasetSketch sketch(*schema, Shape(std::move(words)));
+  // A v2 blob restores into a narrow store (the width the source had);
+  // v1 restores wide. Layout is always flat here — the serving layer
+  // re-homes the values into the dataset's configured layout via
+  // AdoptCountersFrom.
+  CounterStoreOptions store_opt;
+  if (version == kVersionNarrow) store_opt.width = CounterWidth::kI32;
+  DatasetSketch sketch(*schema, Shape(std::move(words)), store_opt);
   if (!r.ReadI64(&sketch.num_objects_)) {
     return Status::InvalidArgument("blob truncated before counters");
   }
-  for (size_t i = 0; i < sketch.counters_.size(); ++i) {
-    if (!r.ReadI64(&sketch.counters_[i])) {
+  const size_t total = static_cast<size_t>((*schema)->instances()) *
+                       sketch.shape().size();
+  std::vector<int64_t> flat(total);
+  for (size_t i = 0; i < total; ++i) {
+    if (version == kVersionNarrow) {
+      int32_t v;
+      if (!r.ReadI32(&v)) {
+        return Status::InvalidArgument("blob truncated in counters");
+      }
+      flat[i] = v;
+    } else if (!r.ReadI64(&flat[i])) {
       return Status::InvalidArgument("blob truncated in counters");
     }
   }
+  sketch.counters_.FromFlat(flat);
   if (!r.AtEnd()) {
     return Status::InvalidArgument("trailing bytes after sketch blob");
   }

@@ -27,11 +27,14 @@ std::string SerializeSchema(const SketchSchema& schema);
 /// (same options => same seeds).
 Result<SchemaPtr> DeserializeSchema(const std::string& blob);
 
-/// Serialize a sketch: shape, object count and counters. The schema is
-/// serialized inline so a sketch blob is self-contained.
+/// Serialize a sketch: shape, object count and counters in flat
+/// instance-major order (the wire format is layout-free). Default-width
+/// sketches emit the historical v1 blob byte-for-byte; narrow (int32)
+/// stores emit a v2 blob with 4-byte counters — half the wire size.
 std::string SerializeSketch(const DatasetSketch& sketch);
 
-/// Reconstruct a sketch (schema included). Validates counter sizes.
+/// Reconstruct a sketch (schema included; v1 and v2 blobs accepted —
+/// v2 restores into a narrow counter store). Validates counter sizes.
 Result<DatasetSketch> DeserializeSketch(const std::string& blob);
 
 }  // namespace spatialsketch

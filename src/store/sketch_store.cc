@@ -10,6 +10,7 @@
 #include "src/estimators/eps_join_estimator.h"
 #include "src/estimators/join_estimator.h"
 #include "src/estimators/range_query_estimator.h"
+#include "src/estimators/sizing.h"
 #include "src/sketch/self_join.h"
 #include "src/sketch/serialize.h"
 #include "src/store/parallel_ingest.h"
@@ -98,6 +99,53 @@ constexpr char kSnapshotMagicV1[4] = {'S', 'S', 'T', '1'};
 constexpr size_t kSnapshotHeader =
     sizeof(kSnapshotMagic) + 1 + sizeof(uint64_t);
 constexpr size_t kSnapshotHeaderV1 = sizeof(kSnapshotMagicV1) + 1;
+// SST3 extends the SST2 header with the source counter layout and width
+// (counter_store.h) so a snapshot is a self-describing wire artifact:
+// kind + eps + layout byte + width byte over the serialize.h blob. The
+// tags are provenance — restore re-homes the values into the TARGET
+// dataset's configured layout/width — but they make blobs auditable and
+// reserve the bytes for a remote reader that wants to mmap the source
+// representation. SST2/SST1 blobs still restore.
+constexpr char kSnapshotMagicV3[4] = {'S', 'S', 'T', '3'};
+constexpr size_t kSnapshotHeaderV3 = kSnapshotHeader + 2;
+
+/// Conservative default variance ratio V/Q^2 for the Lemma-1 SLO sizing
+/// (DatasetOptions::target_epsilon), per dataset kind: the sizing.h bound
+/// with the self-join factors normalized to Q^2 (SJ(R) SJ(S) <= Q^2 holds
+/// at the paper's operating points; tenants with pilot estimates pass
+/// DatasetOptions::variance_over_q2 instead).
+double DefaultVarianceRatio(DatasetKind kind, const StoreSchemaOptions& opt) {
+  switch (kind) {
+    case DatasetKind::kRange:
+      // Range datasets sketch the endpoint-TRANSFORMED domain:
+      // log2_domain + 2 bits per dimension (Section 5.2).
+      return RangeQueryVarianceBound(1.0, opt.log2_domain + 2);
+    case DatasetKind::kJoinR:
+    case DatasetKind::kJoinS:
+      return JoinVarianceBound(1.0, 1.0, opt.dims);
+    case DatasetKind::kEpsPoints:
+    case DatasetKind::kEpsBoxes:
+      return EpsJoinVarianceBound(1.0, 1.0, opt.dims);
+    case DatasetKind::kContainInner:
+    case DatasetKind::kContainOuter:
+      // Containment joins run over the lifted 2*dims domain.
+      return JoinVarianceBound(1.0, 1.0, 2 * opt.dims);
+  }
+  SKETCH_CHECK(false);
+  return 1.0;
+}
+
+/// Actual counter bytes of k1*k2 instances under the dataset's layout and
+/// width (blocked layouts pad the last block to 64 lanes) — the same
+/// accounting CounterStore::MemoryBytes reports after creation.
+uint64_t CounterBytesFor(uint64_t instances, uint32_t shape_words,
+                         const DatasetOptions& dopt) {
+  const uint64_t width = dopt.counter_width == CounterWidth::kI32 ? 4 : 8;
+  const uint64_t lanes = dopt.layout == CounterLayout::kBlocked
+                             ? (instances + 63) / 64 * 64
+                             : instances;
+  return lanes * shape_words * width;
+}
 
 }  // namespace
 
@@ -174,6 +222,58 @@ Result<SchemaPtr> SketchStore::EnsureSchemaVariant(
   return slot;
 }
 
+Result<SchemaPtr> SketchStore::EnsureSizedVariant(
+    const std::string& schema_name, int variant_class, uint32_t k1,
+    uint32_t k2) {
+  const auto key = std::make_tuple(variant_class, k1, k2);
+  StoreSchemaOptions opt;
+  {
+    std::shared_lock<FairSharedMutex> lock(registry_mu_);
+    auto it = schemas_.find(schema_name);
+    if (it == schemas_.end()) {
+      return Status::InvalidArgument("unknown schema '" + schema_name + "'");
+    }
+    auto sit = it->second.sized.find(key);
+    if (sit != it->second.sized.end()) return sit->second;
+    opt = it->second.opt;
+  }
+
+  // Build OFF the registry lock, exactly like EnsureSchemaVariant — same
+  // domains and master seed as the registered schema, only (k1, k2)
+  // differ, so an SLO-sized dataset is the registered configuration with
+  // a different boosting grid.
+  auto build = [&]() -> Result<SchemaPtr> {
+    if (variant_class == 0) {
+      return MakeTransformedSchema(opt.dims, opt.log2_domain, opt.max_level,
+                                   /*per_dim_caps=*/nullptr, k1, k2,
+                                   opt.seed);
+    }
+    SchemaOptions so;
+    so.dims = variant_class == 2 ? 2 * opt.dims : opt.dims;
+    for (uint32_t d = 0; d < so.dims; ++d) {
+      so.domains[d].log2_size = opt.log2_domain;
+      so.domains[d].max_level = opt.max_level;
+    }
+    so.k1 = k1;
+    so.k2 = k2;
+    so.seed = opt.seed;
+    return SketchSchema::Create(so);
+  };
+  auto created = build();
+  if (!created.ok()) return created.status();
+
+  // Publish under the exclusive lock, keeping a racing winner: equal-SLO
+  // datasets must SHARE the instance to stay joinable.
+  std::unique_lock<FairSharedMutex> lock(registry_mu_);
+  auto it = schemas_.find(schema_name);
+  if (it == schemas_.end()) {
+    return Status::InvalidArgument("unknown schema '" + schema_name + "'");
+  }
+  SchemaPtr& slot = it->second.sized[key];
+  if (slot == nullptr) slot = std::move(*created);
+  return slot;
+}
+
 Status SketchStore::CreateDataset(const std::string& name,
                                   const std::string& schema_name,
                                   DatasetKind kind) {
@@ -188,6 +288,19 @@ Status SketchStore::CreateDataset(const std::string& name,
     return Status::InvalidArgument(
         "DatasetOptions::eps is only read by kEpsBoxes datasets");
   }
+  if (dopt.target_epsilon < 0 || dopt.target_epsilon >= 1) {
+    return Status::InvalidArgument(
+        "DatasetOptions::target_epsilon must be in [0, 1) (0 = unset)");
+  }
+  if (dopt.target_epsilon > 0 &&
+      (dopt.target_phi <= 0 || dopt.target_phi >= 1)) {
+    return Status::InvalidArgument(
+        "DatasetOptions::target_phi must be in (0, 1)");
+  }
+  if (dopt.variance_over_q2 < 0) {
+    return Status::InvalidArgument(
+        "DatasetOptions::variance_over_q2 must be >= 0 (0 = kind default)");
+  }
   SchemaEntry entry;
   {
     std::shared_lock<FairSharedMutex> lock(registry_mu_);
@@ -198,43 +311,93 @@ Status SketchStore::CreateDataset(const std::string& name,
     entry = it->second;
   }
 
-  SchemaPtr schema;
+  // The shape (and therefore the per-instance counter word count the
+  // memory SLO needs) follows from the kind alone; which schema VARIANT
+  // serves the kind decides the sizing key below. 0 = transformed,
+  // 1 = plain, 2 = lifted (SchemaEntry::sized).
+  int variant_class;
   Shape shape;
   switch (kind) {
     case DatasetKind::kRange:
-      schema = entry.transformed;
+      variant_class = 0;
       shape = Shape::RangeShape(entry.opt.dims);
       break;
     case DatasetKind::kJoinR:
     case DatasetKind::kJoinS:
-      schema = entry.transformed;
+      variant_class = 0;
       shape = Shape::JoinShape(entry.opt.dims);
       break;
     case DatasetKind::kEpsPoints:
-    case DatasetKind::kEpsBoxes: {
-      auto plain = EnsureSchemaVariant(schema_name, /*lifted=*/false);
-      if (!plain.ok()) return plain.status();
-      schema = std::move(*plain);
+    case DatasetKind::kEpsBoxes:
+      variant_class = 1;
       shape = kind == DatasetKind::kEpsPoints
                   ? Shape::PointShape(entry.opt.dims)
                   : Shape::BoxCoverShape(entry.opt.dims);
       break;
-    }
     case DatasetKind::kContainInner:
-    case DatasetKind::kContainOuter: {
+    case DatasetKind::kContainOuter:
       if (2 * entry.opt.dims > kMaxDims) {
         return Status::InvalidArgument(
             "containment kinds lift to 2 * dims sketch dimensions and need "
             "2 * dims <= kMaxDims (1 or 2 original dimensions)");
       }
-      auto lifted = EnsureSchemaVariant(schema_name, /*lifted=*/true);
-      if (!lifted.ok()) return lifted.status();
-      schema = std::move(*lifted);
+      variant_class = 2;
       shape = kind == DatasetKind::kContainInner
                   ? Shape::PointShape(2 * entry.opt.dims)
                   : Shape::BoxCoverShape(2 * entry.opt.dims);
       break;
+    default:
+      return Status::InvalidArgument("unknown dataset kind");
+  }
+
+  // Memory/accuracy SLO (DatasetOptions): derive (k1, k2) from the
+  // error-vs-space model instead of the registered schema's hand-picked
+  // values. Accuracy first — Lemma 1 with the kind's variance model —
+  // then the byte budget caps k1 (k2 carries the confidence and stays).
+  uint32_t k1 = entry.opt.k1;
+  uint32_t k2 = entry.opt.k2;
+  if (dopt.target_epsilon > 0) {
+    const double ratio = dopt.variance_over_q2 > 0
+                             ? dopt.variance_over_q2
+                             : DefaultVarianceRatio(kind, entry.opt);
+    auto sizing = SizeForGuarantee(dopt.target_epsilon, dopt.target_phi,
+                                   ratio, /*expected_value=*/1.0);
+    if (!sizing.ok()) return sizing.status();
+    k1 = sizing->k1;
+    k2 = sizing->k2;
+  }
+  if (dopt.max_bytes > 0) {
+    const uint64_t width =
+        dopt.counter_width == CounterWidth::kI32 ? 4 : 8;
+    const uint64_t per_instance = static_cast<uint64_t>(shape.size()) * width;
+    uint64_t cap = dopt.max_bytes / (per_instance * k2);
+    if (cap > k1) cap = k1;
+    // Blocked layouts pad the last block; walk the cap down the few
+    // lanes the padding costs (at most 63 iterations).
+    while (cap > 0 && CounterBytesFor(static_cast<uint64_t>(cap) * k2,
+                                      shape.size(), dopt) > dopt.max_bytes) {
+      --cap;
     }
+    if (cap == 0) {
+      return Status::InvalidArgument(
+          "DatasetOptions::max_bytes cannot fit even one instance per "
+          "group under this shape/width/layout");
+    }
+    k1 = static_cast<uint32_t>(cap);
+  }
+
+  SchemaPtr schema;
+  if (k1 != entry.opt.k1 || k2 != entry.opt.k2) {
+    auto sized = EnsureSizedVariant(schema_name, variant_class, k1, k2);
+    if (!sized.ok()) return sized.status();
+    schema = std::move(*sized);
+  } else if (variant_class == 0) {
+    schema = entry.transformed;
+  } else {
+    auto variant =
+        EnsureSchemaVariant(schema_name, /*lifted=*/variant_class == 2);
+    if (!variant.ok()) return variant.status();
+    schema = std::move(*variant);
   }
   SKETCH_CHECK(schema != nullptr);
 
@@ -242,7 +405,9 @@ Status SketchStore::CreateDataset(const std::string& name,
   // schemas it is the expensive part, and every store operation's name
   // lookup would stall behind it. (Schemas are never removed, so the
   // copied entry cannot go stale.)
-  DatasetSketch sketch(schema, std::move(shape));
+  const CounterStoreOptions counter_opt{dopt.layout, dopt.counter_width,
+                                        dopt.backing};
+  DatasetSketch sketch(schema, std::move(shape), counter_opt);
   auto dataset = std::make_shared<internal::DatasetState>(
       name, kind, entry.opt, dopt.eps,
       next_generation_.fetch_add(1, std::memory_order_relaxed) + 1,
@@ -611,8 +776,10 @@ Result<std::vector<QueryResult>> SketchStore::Run(
       continue;
     }
     const SchemaPtr& schema = plan.a->sketch.schema();
+    const CounterStore& counters = plan.a->sketch.counter_store();
     results[i].estimator =
-        EstimatorInfo{schema->k1(), schema->k2(), schema->instances()};
+        EstimatorInfo{schema->k1(), schema->k2(), schema->instances(),
+                      counters.layout(), counters.width()};
     plan.runnable = true;
   }
 
@@ -1046,13 +1213,18 @@ Result<std::string> SketchStore::Snapshot(const std::string& dataset) const {
   if (!found.ok()) return found.status();
   internal::DatasetState& ds = **found;
   FenceDataset(ds);
-  std::string blob(kSnapshotMagic, sizeof(kSnapshotMagic));
+  std::string blob(kSnapshotMagicV3, sizeof(kSnapshotMagicV3));
   blob.push_back(static_cast<char>(ds.kind));
   const uint64_t eps = ds.eps;
   for (int b = 0; b < 8; ++b) {
     blob.push_back(static_cast<char>((eps >> (8 * b)) & 0xff));
   }
   std::shared_lock<FairSharedMutex> lock(ds.mu);
+  // Layout + width tags (the SST3 extension) — written under the lock so
+  // they describe the exact store the counters are read from.
+  blob.push_back(
+      static_cast<char>(ds.sketch.counter_store().layout()));
+  blob.push_back(static_cast<char>(ds.sketch.counter_store().width()));
   blob += SerializeSketch(ds.sketch);
   lock.unlock();
   snapshots_.fetch_add(1, std::memory_order_relaxed);
@@ -1065,15 +1237,20 @@ Status SketchStore::Restore(const std::string& dataset,
   if (!found.ok()) return found.status();
   internal::DatasetState& ds = **found;
 
-  // Current (SST2) header, or the pre-eps SST1 header — SST1 predates
-  // the eps kinds, so those blobs carry an implicit eps of 0.
-  const bool v2 = blob.size() >= kSnapshotHeader &&
+  // Current (SST3) header, the layout-less SST2 header, or the pre-eps
+  // SST1 header — SST1 predates the eps kinds, so those blobs carry an
+  // implicit eps of 0; SST2/SST1 predate the counter store, so their
+  // implicit source representation is flat int64.
+  const bool v3 = blob.size() >= kSnapshotHeaderV3 &&
+                  blob.compare(0, sizeof(kSnapshotMagicV3), kSnapshotMagicV3,
+                               sizeof(kSnapshotMagicV3)) == 0;
+  const bool v2 = !v3 && blob.size() >= kSnapshotHeader &&
                   blob.compare(0, sizeof(kSnapshotMagic), kSnapshotMagic,
                                sizeof(kSnapshotMagic)) == 0;
-  const bool v1 = !v2 && blob.size() >= kSnapshotHeaderV1 &&
+  const bool v1 = !v3 && !v2 && blob.size() >= kSnapshotHeaderV1 &&
                   blob.compare(0, sizeof(kSnapshotMagicV1), kSnapshotMagicV1,
                                sizeof(kSnapshotMagicV1)) == 0;
-  if (!v2 && !v1) {
+  if (!v3 && !v2 && !v1) {
     return Status::InvalidArgument("not a SketchStore snapshot blob");
   }
   if (static_cast<DatasetKind>(blob[sizeof(kSnapshotMagic)]) != ds.kind) {
@@ -1081,7 +1258,7 @@ Status SketchStore::Restore(const std::string& dataset,
         "snapshot was taken from a dataset of a different kind");
   }
   uint64_t blob_eps = 0;
-  if (v2) {
+  if (v3 || v2) {
     for (int b = 0; b < 8; ++b) {
       blob_eps |= static_cast<uint64_t>(static_cast<uint8_t>(
                       blob[sizeof(kSnapshotMagic) + 1 + b]))
@@ -1091,6 +1268,21 @@ Status SketchStore::Restore(const std::string& dataset,
   if (blob_eps != ds.eps) {
     return Status::FailedPrecondition(
         "snapshot was taken from a dataset with a different ingest eps");
+  }
+  if (v3) {
+    // Provenance tags: the source's counter layout/width. Restore always
+    // re-homes the values into THIS dataset's configured representation
+    // (AdoptCountersFrom copies values, not layout), so the tags only
+    // need to parse.
+    const uint8_t layout_tag =
+        static_cast<uint8_t>(blob[kSnapshotHeader]);
+    const uint8_t width_tag =
+        static_cast<uint8_t>(blob[kSnapshotHeader + 1]);
+    if (layout_tag > static_cast<uint8_t>(CounterLayout::kBlocked) ||
+        width_tag > static_cast<uint8_t>(CounterWidth::kI32)) {
+      return Status::InvalidArgument(
+          "snapshot carries an unknown counter layout/width tag");
+    }
   }
 
   // Pre-restore shard deltas must fold BEFORE the counters are replaced:
@@ -1103,8 +1295,8 @@ Status SketchStore::Restore(const std::string& dataset,
   // lock. AdoptCountersFrom validates shape and schema-configuration
   // equality and keeps the dataset's shared schema instance, so restored
   // datasets remain joinable with their schema-mates.
-  auto restored =
-      DeserializeSketch(blob.substr(v2 ? kSnapshotHeader : kSnapshotHeaderV1));
+  auto restored = DeserializeSketch(blob.substr(
+      v3 ? kSnapshotHeaderV3 : (v2 ? kSnapshotHeader : kSnapshotHeaderV1)));
   if (!restored.ok()) return restored.status();
 
   std::unique_lock<FairSharedMutex> lock(ds.mu);
@@ -1133,6 +1325,30 @@ StoreStats SketchStore::stats() const {
   s.restores = restores_.load(std::memory_order_relaxed);
   s.epoch_folds = epoch_folds_.load(std::memory_order_relaxed);
   s.fences = fences_.load(std::memory_order_relaxed);
+  // Cache health, summed over every registered schema variant (each owns
+  // one sign cache and one point-sum cache).
+  {
+    std::shared_lock<FairSharedMutex> lock(registry_mu_);
+    auto add = [&s](const SchemaPtr& schema) {
+      if (schema == nullptr) return;
+      const XiCacheStats sign = schema->sign_cache().stats();
+      s.sign_cache_hits += sign.hits;
+      s.sign_cache_misses += sign.misses;
+      s.sign_cache_evicted += sign.evicted;
+      s.sign_cache_bytes += sign.bytes;
+      const XiCacheStats sums = schema->point_sum_cache().stats();
+      s.point_sum_hits += sums.hits;
+      s.point_sum_misses += sums.misses;
+      s.point_sum_evicted += sums.evicted;
+      s.point_sum_bytes += sums.bytes;
+    };
+    for (const auto& [name, entry] : schemas_) {
+      add(entry.transformed);
+      add(entry.plain);
+      add(entry.lifted);
+      for (const auto& [key, schema] : entry.sized) add(schema);
+    }
+  }
   return s;
 }
 

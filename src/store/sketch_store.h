@@ -61,6 +61,7 @@
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "src/api/dataset_handle.h"
@@ -98,6 +99,19 @@ struct StoreStats {
   uint64_t restores = 0;        ///< successful Restore calls
   uint64_t epoch_folds = 0;  ///< shard deltas folded into master counters
   uint64_t fences = 0;       ///< explicit + internal epoch fences taken
+
+  // Schema-owned cache health, aggregated over every schema variant's
+  // PackedSignCache / PointSumCache (see src/xi/*cache*.h): lookups that
+  // found a built entry, lookups that built one, entries evicted by the
+  // clock sweep under a memory budget, and resident bytes right now.
+  uint64_t sign_cache_hits = 0;      ///< sign-column lookups served cached
+  uint64_t sign_cache_misses = 0;    ///< sign-column lookups that built
+  uint64_t sign_cache_evicted = 0;   ///< sign columns evicted under budget
+  uint64_t sign_cache_bytes = 0;     ///< resident sign-cache bytes
+  uint64_t point_sum_hits = 0;       ///< point-sum lookups served cached
+  uint64_t point_sum_misses = 0;     ///< point-sum lookups that built
+  uint64_t point_sum_evicted = 0;    ///< point-sum entries evicted
+  uint64_t point_sum_bytes = 0;      ///< resident point-sum-cache bytes
 };
 
 /// A concurrent, named registry of dataset sketches served under shared
@@ -333,6 +347,13 @@ class SketchStore {
     SchemaPtr transformed;
     SchemaPtr plain;
     SchemaPtr lifted;
+    /// SLO-sized variants: datasets whose DatasetOptions SLO derived a
+    /// (k1, k2) different from the registered one get a schema instance
+    /// from here, keyed by (variant class, k1, k2) so equal-SLO datasets
+    /// SHARE an instance and stay joinable (pointer equality is the
+    /// estimators' compatibility test). 0 = transformed, 1 = plain,
+    /// 2 = lifted.
+    std::map<std::tuple<int, uint32_t, uint32_t>, SchemaPtr> sized;
   };
 
   Result<DatasetPtr> Find(const std::string& name) const;
@@ -343,6 +364,12 @@ class SketchStore {
   /// estimators' schema-compatibility test).
   Result<SchemaPtr> EnsureSchemaVariant(const std::string& schema_name,
                                         bool lifted);
+  /// The shared SLO-sized schema instance for (variant_class, k1, k2)
+  /// under `schema_name` (see SchemaEntry::sized), building and
+  /// publishing it under the registry's exclusive lock on first use.
+  Result<SchemaPtr> EnsureSizedVariant(const std::string& schema_name,
+                                       int variant_class, uint32_t k1,
+                                       uint32_t k2);
   /// FailedPrecondition once DropDataset has invalidated `ds`.
   static Status CheckLive(const internal::DatasetState& ds);
   Status ApplyStreaming(const std::string& dataset, const Box& box, int sign);

@@ -12,6 +12,7 @@
 
 #include "src/dyadic/dyadic_domain.h"
 #include "src/geom/box.h"
+#include "src/sketch/counter_store.h"
 
 namespace spatialsketch {
 
@@ -74,6 +75,45 @@ struct DatasetOptions {
   /// (squares degenerate to the points themselves: an exact-coincidence
   /// join).
   Coord eps = 0;
+
+  // ---- Counter storage (tenant placement; see counter_store.h) ----------
+
+  /// Physical counter order: kFlat (instance-major, the default) or
+  /// kBlocked (64-instance blocks matching the bit-sliced apply).
+  /// Bit-identical estimates either way.
+  CounterLayout layout = CounterLayout::kFlat;
+  /// Counter width: kI64 (default) or kI32 — the compact cold-tenant
+  /// mode, half the counter bytes, widened in place automatically before
+  /// any value would leave the int32 range.
+  CounterWidth counter_width = CounterWidth::kI64;
+  /// Allocation backing: kHugePage requests THP-advised aligned pages for
+  /// hot tenants (degrades to an aligned allocation off Linux).
+  CounterBacking backing = CounterBacking::kDefault;
+
+  // ---- Memory/accuracy SLO (Lemma-1 sizing at CreateDataset) ------------
+  //
+  // Instead of hand-picking k1/k2 in the schema, a tenant states a goal
+  // and the store derives the instance count from the error-vs-space
+  // model (src/estimators/sizing.h): relative error <= target_epsilon
+  // with probability >= 1 - target_phi, and/or counter memory
+  // <= max_bytes. Datasets with EQUAL derived (k1, k2) under one schema
+  // name share a schema instance and stay joinable. Both knobs unset
+  // (the default) means the schema's registered k1/k2 — no change.
+
+  /// Accuracy SLO: "ε ≤ x". 0 = unset. Requires (0, 1) otherwise;
+  /// derives k1 = ceil(8 V / (ε² Q²)) with the kind's variance model.
+  double target_epsilon = 0;
+  /// Failure probability φ for target_epsilon (k2 = smallest odd
+  /// ≥ 2·lg(1/φ)). Read only when target_epsilon is set.
+  double target_phi = 0.05;
+  /// Optional variance-ratio override V/Q² for the ε sizing. 0 = use the
+  /// kind's conservative default (see CreateDataset); supply a pilot- or
+  /// history-derived ratio for tighter sizing.
+  double variance_over_q2 = 0;
+  /// Memory SLO: "≤ N bytes" of counter storage (layout padding and
+  /// width included). 0 = unset. Caps k1 after the ε sizing; fails
+  /// CreateDataset if even k1 = 1 does not fit.
+  uint64_t max_bytes = 0;
 };
 
 }  // namespace spatialsketch

@@ -5,6 +5,25 @@
 
 namespace spatialsketch {
 
+namespace {
+std::atomic<uint64_t> g_sum_budget{0};
+std::atomic<uint64_t> g_sum_bytes{0};
+}  // namespace
+
+void PointSumCache::SetGlobalBudget(uint64_t bytes) {
+  g_sum_budget.store(bytes, std::memory_order_relaxed);
+}
+uint64_t PointSumCache::GlobalBudget() {
+  return g_sum_budget.load(std::memory_order_relaxed);
+}
+uint64_t PointSumCache::GlobalBytes() {
+  return g_sum_bytes.load(std::memory_order_relaxed);
+}
+
+size_t PointSumCache::EntryBytes() const {
+  return size_t{8} * signs_->num_blocks() * 8;
+}
+
 PointSumCache::PointSumCache(const PackedSignCache* signs,
                              std::vector<DimSpec> dims)
     : signs_(signs) {
@@ -22,19 +41,35 @@ PointSumCache::PointSumCache(const PackedSignCache* signs,
 }
 
 PointSumCache::~PointSumCache() {
+  uint64_t freed = 0;
   for (auto& dc : dims_) {
     std::atomic<uint64_t*>* slots = dc->slots.load(std::memory_order_acquire);
     if (slots != nullptr) {
       const uint64_t coords = uint64_t{1} << dc->spec.log2_size;
       for (uint64_t c = 0; c < coords; ++c) {
-        delete[] slots[c].load(std::memory_order_relaxed);
+        uint64_t* entry = slots[c].load(std::memory_order_relaxed);
+        if (entry != nullptr) ++freed;
+        delete[] entry;
       }
       delete[] slots;
     }
+    delete[] dc->refs.load(std::memory_order_relaxed);
     for (uint32_t s = 0; s < kMapShards; ++s) {
+      freed += dc->shard_map[s].size();
       for (auto& [coord, entry] : dc->shard_map[s]) delete[] entry;
     }
   }
+  for (uint64_t* entry : retired_) delete[] entry;
+  g_sum_bytes.fetch_sub(freed * EntryBytes(), std::memory_order_relaxed);
+}
+
+XiCacheStats PointSumCache::stats() const {
+  XiCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evicted = evicted_.load(std::memory_order_relaxed);
+  s.bytes = bytes_.load(std::memory_order_relaxed);
+  return s;
 }
 
 std::atomic<uint64_t*>* PointSumCache::Slots(DimCache& dc) const {
@@ -55,6 +90,9 @@ uint64_t* PointSumCache::BuildEntry(const DimCache& dc, uint32_t dim,
   // The point cover of `coord`: the leaf id and its cover_levels - 1
   // ancestors (heap ids halve per level). Resolving the columns here warms
   // the sign cache too, so queries over the same coordinates stay hot.
+  // The pin keeps those columns alive across the reduction if the sign
+  // cache is evicting under a budget.
+  PackedSignCache::Pin sign_pin(signs_);
   const uint32_t m = dc.spec.cover_levels;
   const uint64_t* cols[256];
   uint64_t id = (uint64_t{1} << dc.spec.log2_size) + coord;
@@ -72,19 +110,104 @@ uint64_t* PointSumCache::BuildEntry(const DimCache& dc, uint32_t dim,
   return packed;
 }
 
+void PointSumCache::AccountPublish(DimCache& dc) const {
+  bytes_.fetch_add(EntryBytes(), std::memory_order_relaxed);
+  const uint64_t budget = g_sum_budget.load(std::memory_order_relaxed);
+  if (budget == 0) {
+    g_sum_bytes.fetch_add(EntryBytes(), std::memory_order_relaxed);
+    return;
+  }
+  if (g_sum_bytes.fetch_add(EntryBytes(), std::memory_order_relaxed) +
+          EntryBytes() <=
+      budget) {
+    return;
+  }
+
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  uint64_t over = 0;
+  {
+    const uint64_t now = g_sum_bytes.load(std::memory_order_relaxed);
+    if (now <= budget) return;
+    over = now - budget;
+  }
+  uint64_t reclaimed = 0;
+  const uint64_t coords = uint64_t{1} << dc.spec.log2_size;
+
+  if (coords <= kDenseSlotLimit) {
+    std::atomic<uint64_t*>* slots = dc.slots.load(std::memory_order_acquire);
+    if (slots == nullptr) return;
+    std::atomic<uint8_t>* refs = dc.refs.load(std::memory_order_acquire);
+    if (refs == nullptr) {
+      refs = new std::atomic<uint8_t>[coords]();
+      dc.refs.store(refs, std::memory_order_release);
+    }
+    for (uint64_t scanned = 0; reclaimed < over && scanned < 2 * coords;
+         ++scanned) {
+      const uint64_t c = dc.clock_hand;
+      dc.clock_hand = (dc.clock_hand + 1) % coords;
+      uint64_t* entry = slots[c].load(std::memory_order_relaxed);
+      if (entry == nullptr) continue;
+      if (refs[c].exchange(0, std::memory_order_relaxed) != 0) continue;
+      if (!slots[c].compare_exchange_strong(entry, nullptr)) continue;
+      retired_.push_back(entry);
+      reclaimed += EntryBytes();
+    }
+  } else {
+    for (uint32_t dropped = 0; reclaimed < over && dropped < kMapShards;
+         ++dropped) {
+      const uint32_t s = dc.next_shard;
+      dc.next_shard = (dc.next_shard + 1) % kMapShards;
+      std::lock_guard<std::mutex> shard_lock(dc.shard_mu[s]);
+      for (auto& [coord, entry] : dc.shard_map[s]) {
+        retired_.push_back(entry);
+        reclaimed += EntryBytes();
+      }
+      dc.shard_map[s].clear();
+    }
+  }
+
+  if (reclaimed > 0) {
+    evicted_.fetch_add(reclaimed / EntryBytes(), std::memory_order_relaxed);
+    bytes_.fetch_sub(reclaimed, std::memory_order_relaxed);
+    g_sum_bytes.fetch_sub(reclaimed, std::memory_order_relaxed);
+    if (pins_.load(std::memory_order_acquire) == 0) {
+      for (uint64_t* entry : retired_) delete[] entry;
+      retired_.clear();
+    }
+  }
+}
+
+void PointSumCache::TryDrainRetired() const {
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  if (pins_.load(std::memory_order_acquire) != 0) return;
+  for (uint64_t* entry : retired_) delete[] entry;
+  retired_.clear();
+}
+
 const uint64_t* PointSumCache::CountsSparse(DimCache& dc, uint32_t dim,
                                             uint64_t coord) const {
   const uint32_t shard = static_cast<uint32_t>(coord) & (kMapShards - 1);
   {
     std::lock_guard<std::mutex> lock(dc.shard_mu[shard]);
     auto it = dc.shard_map[shard].find(coord);
-    if (it != dc.shard_map[shard].end()) return it->second;
+    if (it != dc.shard_map[shard].end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
   }
+  misses_.fetch_add(1, std::memory_order_relaxed);
   uint64_t* entry = BuildEntry(dc, dim, coord);  // off-lock; racers may dup
-  std::lock_guard<std::mutex> lock(dc.shard_mu[shard]);
-  auto [it, inserted] = dc.shard_map[shard].emplace(coord, entry);
-  if (!inserted) delete[] entry;  // another thread published first
-  return it->second;
+  {
+    std::lock_guard<std::mutex> lock(dc.shard_mu[shard]);
+    auto [it, inserted] = dc.shard_map[shard].emplace(coord, entry);
+    if (!inserted) {
+      delete[] entry;  // another thread published first
+      return it->second;
+    }
+    entry = it->second;
+  }
+  AccountPublish(dc);
+  return entry;
 }
 
 const uint64_t* PointSumCache::Counts(uint32_t dim, uint64_t coord) const {
@@ -97,7 +220,13 @@ const uint64_t* PointSumCache::Counts(uint32_t dim, uint64_t coord) const {
   std::atomic<uint64_t*>* slots = Slots(dc);
   std::atomic<uint64_t*>& slot = slots[coord];
   uint64_t* entry = slot.load(std::memory_order_acquire);
-  if (entry != nullptr) return entry;
+  if (entry != nullptr) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    std::atomic<uint8_t>* refs = dc.refs.load(std::memory_order_acquire);
+    if (refs != nullptr) refs[coord].store(1, std::memory_order_relaxed);
+    return entry;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
   entry = BuildEntry(dc, dim, coord);
   uint64_t* expected = nullptr;
   if (!slot.compare_exchange_strong(expected, entry,
@@ -106,6 +235,7 @@ const uint64_t* PointSumCache::Counts(uint32_t dim, uint64_t coord) const {
     delete[] entry;  // another thread published first; adopt its entry
     return expected;
   }
+  AccountPublish(dc);
   return entry;
 }
 

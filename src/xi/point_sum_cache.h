@@ -28,9 +28,11 @@
 // Concurrency: Counts() mirrors PackedSignCache — lock-free on the hit
 // path (one acquire load) with compare-exchange publication on miss for
 // dense coordinate universes, sharded hash maps beyond kDenseSlotLimit.
-// Entries are kept for the schema's lifetime; the working set is bounded
-// by the touched coordinate universe, exactly like the sign columns the
-// entries are derived from.
+// Eviction mirrors PackedSignCache too: entries live for the schema's
+// lifetime unless a process-wide budget (SetGlobalBudget) arms the
+// clock-style sweep, in which case readers hold a Pin and evicted
+// entries are retired until no pin remains (see sign_cache.h for the
+// full retire/pin correctness argument).
 
 #ifndef SPATIALSKETCH_XI_POINT_SUM_CACHE_H_
 #define SPATIALSKETCH_XI_POINT_SUM_CACHE_H_
@@ -60,6 +62,39 @@ class PointSumCache {
   PointSumCache(const PackedSignCache* signs, std::vector<DimSpec> dims);
   ~PointSumCache();
 
+  /// RAII read guard, the PackedSignCache::Pin twin: hold one across a
+  /// read episode so entry pointers stay valid under budget eviction.
+  class Pin {
+   public:
+    Pin() = default;
+    explicit Pin(const PointSumCache* cache) : cache_(cache) {
+      if (cache_ != nullptr) cache_->pins_.fetch_add(1);
+    }
+    ~Pin() { Release(); }
+    Pin(Pin&& other) noexcept : cache_(other.cache_) {
+      other.cache_ = nullptr;
+    }
+    Pin& operator=(Pin&& other) noexcept {
+      if (this != &other) {
+        Release();
+        cache_ = other.cache_;
+        other.cache_ = nullptr;
+      }
+      return *this;
+    }
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+
+   private:
+    void Release() {
+      if (cache_ != nullptr && cache_->pins_.fetch_sub(1) == 1) {
+        cache_->TryDrainRetired();
+      }
+      cache_ = nullptr;
+    }
+    const PointSumCache* cache_ = nullptr;
+  };
+
   /// Point-cover size of `dim` (constant across coordinates).
   uint32_t cover_size(uint32_t dim) const {
     return dims_[dim]->spec.cover_levels;
@@ -69,8 +104,20 @@ class PointSumCache {
   /// `dim`: signs->num_blocks() * 8 words laid out exactly like the
   /// streaming scratch (words [blk * 8, blk * 8 + 8) hold block blk; read
   /// lanes with bitslice::PackedLane). Built on first touch, then served
-  /// lock-free; the pointer stays valid for the cache's lifetime.
+  /// lock-free. With no global budget the pointer stays valid for the
+  /// cache's lifetime; under a budget it stays valid while the caller's
+  /// Pin is held.
   const uint64_t* Counts(uint32_t dim, uint64_t coord) const;
+
+  /// This cache's health counters (see XiCacheStats in sign_cache.h).
+  XiCacheStats stats() const;
+
+  /// Process-wide resident-byte budget across ALL PointSumCache
+  /// instances; 0 (the default) disables eviction. Live-read on misses.
+  static void SetGlobalBudget(uint64_t bytes);
+  static uint64_t GlobalBudget();
+  /// Resident bytes across all instances (the value the budget gates).
+  static uint64_t GlobalBytes();
 
   /// Largest coordinate universe served by the dense slot array; larger
   /// domains use the sharded maps (same policy as PackedSignCache).
@@ -84,6 +131,10 @@ class PointSumCache {
     // Dense representation (2^log2_size <= kDenseSlotLimit).
     std::atomic<std::atomic<uint64_t*>*> slots{nullptr};
     std::mutex init_mu;
+    // Second-chance ref bytes + clock bookkeeping (see sign_cache.h).
+    std::atomic<std::atomic<uint8_t>*> refs{nullptr};
+    uint64_t clock_hand = 0;  ///< under retire_mu_
+    uint32_t next_shard = 0;  ///< under retire_mu_
     // Sparse representation, sharded by low coordinate bits.
     std::mutex shard_mu[kMapShards];
     std::unordered_map<uint64_t, uint64_t*> shard_map[kMapShards];
@@ -94,9 +145,21 @@ class PointSumCache {
                                uint64_t coord) const;
   uint64_t* BuildEntry(const DimCache& dc, uint32_t dim,
                        uint64_t coord) const;
+  /// Bytes of one entry allocation (blocks * 8 packed words).
+  size_t EntryBytes() const;
+  void AccountPublish(DimCache& dc) const;
+  void TryDrainRetired() const;
 
   const PackedSignCache* signs_;
   mutable std::vector<std::unique_ptr<DimCache>> dims_;
+
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+  mutable std::atomic<uint64_t> evicted_{0};
+  mutable std::atomic<uint64_t> bytes_{0};
+  mutable std::atomic<uint64_t> pins_{0};
+  mutable std::mutex retire_mu_;
+  mutable std::vector<uint64_t*> retired_;
 };
 
 }  // namespace spatialsketch

@@ -6,6 +6,23 @@
 
 namespace spatialsketch {
 
+namespace {
+// Process-wide budget state (see SetGlobalBudget): live-read atomics so
+// tests and operators can arm eviction without rebuilding schemas.
+std::atomic<uint64_t> g_sign_budget{0};
+std::atomic<uint64_t> g_sign_bytes{0};
+}  // namespace
+
+void PackedSignCache::SetGlobalBudget(uint64_t bytes) {
+  g_sign_budget.store(bytes, std::memory_order_relaxed);
+}
+uint64_t PackedSignCache::GlobalBudget() {
+  return g_sign_budget.load(std::memory_order_relaxed);
+}
+uint64_t PackedSignCache::GlobalBytes() {
+  return g_sign_bytes.load(std::memory_order_relaxed);
+}
+
 PackedSignCache::PackedSignCache(
     std::vector<std::vector<XiSeed>> seeds_per_dim,
     std::vector<uint64_t> num_ids_per_dim) {
@@ -26,18 +43,35 @@ PackedSignCache::PackedSignCache(
 }
 
 PackedSignCache::~PackedSignCache() {
+  uint64_t freed = 0;
   for (auto& dc : dims_) {
     std::atomic<uint64_t*>* slots = dc->slots.load(std::memory_order_acquire);
     if (slots != nullptr) {
       for (uint64_t id = 0; id < dc->num_ids; ++id) {
-        delete[] slots[id].load(std::memory_order_relaxed);
+        uint64_t* col = slots[id].load(std::memory_order_relaxed);
+        if (col != nullptr) ++freed;
+        delete[] col;
       }
       delete[] slots;
     }
+    delete[] dc->refs.load(std::memory_order_relaxed);
     for (uint32_t s = 0; s < kMapShards; ++s) {
+      freed += dc->shard_map[s].size();
       for (auto& [id, col] : dc->shard_map[s]) delete[] col;
     }
   }
+  for (uint64_t* col : retired_) delete[] col;
+  // Retired columns were already debited at retirement.
+  g_sign_bytes.fetch_sub(freed * ColumnBytes(), std::memory_order_relaxed);
+}
+
+XiCacheStats PackedSignCache::stats() const {
+  XiCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evicted = evicted_.load(std::memory_order_relaxed);
+  s.bytes = bytes_.load(std::memory_order_relaxed);
+  return s;
 }
 
 std::atomic<uint64_t*>* PackedSignCache::Slots(DimCache& dc) const {
@@ -65,6 +99,90 @@ uint64_t* PackedSignCache::BuildColumn(const DimCache& dc,
   return col;
 }
 
+void PackedSignCache::AccountPublish(DimCache& dc) const {
+  bytes_.fetch_add(ColumnBytes(), std::memory_order_relaxed);
+  const uint64_t budget = g_sign_budget.load(std::memory_order_relaxed);
+  if (budget == 0) {
+    g_sign_bytes.fetch_add(ColumnBytes(), std::memory_order_relaxed);
+    return;
+  }
+  if (g_sign_bytes.fetch_add(ColumnBytes(), std::memory_order_relaxed) +
+          ColumnBytes() <=
+      budget) {
+    return;
+  }
+
+  // Over budget: clock-sweep the dimension that just grew. Serialized by
+  // retire_mu_ so concurrent misses don't double-sweep.
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  uint64_t over = 0;
+  {
+    const uint64_t now = g_sign_bytes.load(std::memory_order_relaxed);
+    if (now <= budget) return;
+    over = now - budget;
+  }
+  uint64_t reclaimed = 0;
+
+  if (dc.num_ids <= kDenseSlotLimit) {
+    std::atomic<uint64_t*>* slots = dc.slots.load(std::memory_order_acquire);
+    if (slots == nullptr) return;
+    std::atomic<uint8_t>* refs = dc.refs.load(std::memory_order_acquire);
+    if (refs == nullptr) {
+      // First sweep of this dimension: arm the second-chance bytes.
+      refs = new std::atomic<uint8_t>[dc.num_ids]();
+      dc.refs.store(refs, std::memory_order_release);
+    }
+    // At most two laps: lap one clears ref bytes, lap two evicts.
+    for (uint64_t scanned = 0;
+         reclaimed < over && scanned < 2 * dc.num_ids; ++scanned) {
+      const uint64_t id = dc.clock_hand;
+      dc.clock_hand = (dc.clock_hand + 1) % dc.num_ids;
+      uint64_t* col = slots[id].load(std::memory_order_relaxed);
+      if (col == nullptr) continue;
+      if (refs[id].exchange(0, std::memory_order_relaxed) != 0) {
+        continue;  // second chance: recently hit
+      }
+      if (!slots[id].compare_exchange_strong(col, nullptr)) continue;
+      retired_.push_back(col);
+      reclaimed += ColumnBytes();
+    }
+  } else {
+    // Sparse dimension: drop whole shards round-robin until under budget
+    // (coarse, but a shard is 1/16 of the touched universe — the cheap
+    // variant of the same clock idea).
+    for (uint32_t dropped = 0; reclaimed < over && dropped < kMapShards;
+         ++dropped) {
+      const uint32_t s = dc.next_shard;
+      dc.next_shard = (dc.next_shard + 1) % kMapShards;
+      std::lock_guard<std::mutex> shard_lock(dc.shard_mu[s]);
+      for (auto& [id, col] : dc.shard_map[s]) {
+        retired_.push_back(col);
+        reclaimed += ColumnBytes();
+      }
+      dc.shard_map[s].clear();
+    }
+  }
+
+  if (reclaimed > 0) {
+    evicted_.fetch_add(reclaimed / ColumnBytes(),
+                       std::memory_order_relaxed);
+    bytes_.fetch_sub(reclaimed, std::memory_order_relaxed);
+    g_sign_bytes.fetch_sub(reclaimed, std::memory_order_relaxed);
+    // Free now if no reader is pinned; otherwise the last unpin drains.
+    if (pins_.load(std::memory_order_acquire) == 0) {
+      for (uint64_t* col : retired_) delete[] col;
+      retired_.clear();
+    }
+  }
+}
+
+void PackedSignCache::TryDrainRetired() const {
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  if (pins_.load(std::memory_order_acquire) != 0) return;
+  for (uint64_t* col : retired_) delete[] col;
+  retired_.clear();
+}
+
 const uint64_t* PackedSignCache::ColumnSparse(DimCache& dc, uint32_t,
                                               uint64_t id) const {
   // Low bits shard well: the point covers of nearby coordinates differ in
@@ -73,13 +191,24 @@ const uint64_t* PackedSignCache::ColumnSparse(DimCache& dc, uint32_t,
   {
     std::lock_guard<std::mutex> lock(dc.shard_mu[shard]);
     auto it = dc.shard_map[shard].find(id);
-    if (it != dc.shard_map[shard].end()) return it->second;
+    if (it != dc.shard_map[shard].end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
   }
+  misses_.fetch_add(1, std::memory_order_relaxed);
   uint64_t* col = BuildColumn(dc, id);  // off-lock; racers may duplicate
-  std::lock_guard<std::mutex> lock(dc.shard_mu[shard]);
-  auto [it, inserted] = dc.shard_map[shard].emplace(id, col);
-  if (!inserted) delete[] col;  // another thread published first
-  return it->second;
+  {
+    std::lock_guard<std::mutex> lock(dc.shard_mu[shard]);
+    auto [it, inserted] = dc.shard_map[shard].emplace(id, col);
+    if (!inserted) {
+      delete[] col;  // another thread published first
+      return it->second;
+    }
+    col = it->second;
+  }
+  AccountPublish(dc);
+  return col;
 }
 
 const uint64_t* PackedSignCache::Column(uint32_t dim, uint64_t id) const {
@@ -90,7 +219,13 @@ const uint64_t* PackedSignCache::Column(uint32_t dim, uint64_t id) const {
   std::atomic<uint64_t*>* slots = Slots(dc);
   std::atomic<uint64_t*>& slot = slots[id];
   uint64_t* col = slot.load(std::memory_order_acquire);
-  if (col != nullptr) return col;
+  if (col != nullptr) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    std::atomic<uint8_t>* refs = dc.refs.load(std::memory_order_acquire);
+    if (refs != nullptr) refs[id].store(1, std::memory_order_relaxed);
+    return col;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
   col = BuildColumn(dc, id);
   uint64_t* expected = nullptr;
   if (!slot.compare_exchange_strong(expected, col, std::memory_order_release,
@@ -98,6 +233,7 @@ const uint64_t* PackedSignCache::Column(uint32_t dim, uint64_t id) const {
     delete[] col;  // another thread published first; adopt its column
     return expected;
   }
+  AccountPublish(dc);
   return col;
 }
 

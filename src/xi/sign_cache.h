@@ -26,9 +26,22 @@
 // 40-bit domains the schema permits. Past kDenseSlotLimit ids the cache
 // switches to sharded hash maps — a short shard lock per lookup instead
 // of a lock-free load; rare-config correctness over peak speed. Either
-// way, only TOUCHED ids ever get a column, and columns are kept for the
-// schema's lifetime (no eviction: the id working set of a workload is
-// bounded by its coordinate universe).
+// way, only TOUCHED ids ever get a column.
+//
+// Eviction: by default columns are kept for the schema's lifetime (the
+// id working set of one workload is bounded by its coordinate universe).
+// Under multi-tenant CHURN — thousands of schemas created and dropped,
+// each touching fresh coordinates — the resident bytes grow without
+// bound, so a process-wide budget (SetGlobalBudget) arms a cheap
+// clock-style sweep: dense dimensions get a second-chance ref byte per
+// slot and a clock hand, sparse dimensions drop whole shards round-robin.
+// Because readers hold raw column pointers with no per-read lock, evicted
+// columns are RETIRED, not freed: a reader takes a Pin before its first
+// lookup, and retired columns are freed only at a moment when no pin is
+// held. Any holder of a retired pointer pinned BEFORE the column was
+// unpublished, so observing zero pins after retirement proves no holder
+// remains. With no budget set (the default) nothing is ever evicted and
+// pointers keep their historical cache-lifetime validity.
 
 #ifndef SPATIALSKETCH_XI_SIGN_CACHE_H_
 #define SPATIALSKETCH_XI_SIGN_CACHE_H_
@@ -44,6 +57,15 @@
 
 namespace spatialsketch {
 
+/// Health counters of one schema-owned cache (relaxed atomics snapshot;
+/// approximate under concurrency, exact once quiescent).
+struct XiCacheStats {
+  uint64_t hits = 0;     ///< lookups served from a published entry
+  uint64_t misses = 0;   ///< lookups that built (or raced to build)
+  uint64_t evicted = 0;  ///< entries retired by the budget sweep
+  uint64_t bytes = 0;    ///< resident entry bytes right now
+};
+
 class PackedSignCache {
  public:
   /// One entry of seeds_per_dim per dimension, each holding that
@@ -54,6 +76,42 @@ class PackedSignCache {
                   std::vector<uint64_t> num_ids_per_dim);
   ~PackedSignCache();
 
+  /// RAII read guard: while any Pin is alive, no column pointer obtained
+  /// from this cache is freed (eviction retires instead). Take one
+  /// BEFORE the first Column() call of a read episode and hold it for as
+  /// long as the returned pointers are dereferenced. Cheap (one atomic
+  /// RMW each way); movable, not copyable.
+  class Pin {
+   public:
+    Pin() = default;
+    explicit Pin(const PackedSignCache* cache) : cache_(cache) {
+      if (cache_ != nullptr) cache_->pins_.fetch_add(1);
+    }
+    ~Pin() { Release(); }
+    Pin(Pin&& other) noexcept : cache_(other.cache_) {
+      other.cache_ = nullptr;
+    }
+    Pin& operator=(Pin&& other) noexcept {
+      if (this != &other) {
+        Release();
+        cache_ = other.cache_;
+        other.cache_ = nullptr;
+      }
+      return *this;
+    }
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+
+   private:
+    void Release() {
+      if (cache_ != nullptr && cache_->pins_.fetch_sub(1) == 1) {
+        cache_->TryDrainRetired();
+      }
+      cache_ = nullptr;
+    }
+    const PackedSignCache* cache_ = nullptr;
+  };
+
   uint32_t num_instances() const { return num_instances_; }
 
   /// Packed words per column: ceil(num_instances / 64).
@@ -61,9 +119,21 @@ class PackedSignCache {
 
   /// Packed sign column of `id` in `dim`: num_blocks() words, bit j of
   /// word b set iff xi = -1 for instance 64b + j. Bits of lanes beyond
-  /// num_instances() are zero. The pointer stays valid for the cache's
-  /// lifetime (i.e. the schema's).
+  /// num_instances() are zero. With no global budget set the pointer
+  /// stays valid for the cache's lifetime (i.e. the schema's); under a
+  /// budget it stays valid while the caller's Pin is held.
   const uint64_t* Column(uint32_t dim, uint64_t id) const;
+
+  /// This cache's health counters (see XiCacheStats).
+  XiCacheStats stats() const;
+
+  /// Process-wide resident-byte budget across ALL PackedSignCache
+  /// instances; 0 (the default) disables eviction entirely. Read live on
+  /// every miss, so it can be armed or resized at any time.
+  static void SetGlobalBudget(uint64_t bytes);
+  static uint64_t GlobalBudget();
+  /// Resident bytes across all instances (the value the budget gates).
+  static uint64_t GlobalBytes();
 
   /// Largest id universe served by the dense slot array (32 MB of
   /// pointers per dimension); larger domains use the sharded maps.
@@ -78,6 +148,11 @@ class PackedSignCache {
     // Dense representation (num_ids <= kDenseSlotLimit).
     std::atomic<std::atomic<uint64_t*>*> slots{nullptr};
     std::mutex init_mu;
+    // Second-chance ref bytes beside the dense slots, allocated lazily by
+    // the first budget sweep; hits set them (relaxed) once present.
+    std::atomic<std::atomic<uint8_t>*> refs{nullptr};
+    uint64_t clock_hand = 0;  ///< dense sweep position (under retire_mu_)
+    uint32_t next_shard = 0;  ///< sparse round-robin drop (under retire_mu_)
     // Sparse representation, sharded by low id bits.
     std::mutex shard_mu[kMapShards];
     std::unordered_map<uint64_t, uint64_t*> shard_map[kMapShards];
@@ -87,10 +162,26 @@ class PackedSignCache {
   const uint64_t* ColumnSparse(DimCache& dc, uint32_t dim,
                                uint64_t id) const;
   uint64_t* BuildColumn(const DimCache& dc, uint64_t id) const;
+  /// Bytes of one column allocation.
+  size_t ColumnBytes() const { return size_t{8} * num_blocks_; }
+  /// Account a newly published column and clock-sweep `dc` if the global
+  /// budget is exceeded.
+  void AccountPublish(DimCache& dc) const;
+  /// Free retired columns iff no pin is held (see the file comment).
+  void TryDrainRetired() const;
 
   uint32_t num_instances_;
   uint32_t num_blocks_;
   mutable std::vector<std::unique_ptr<DimCache>> dims_;
+
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+  mutable std::atomic<uint64_t> evicted_{0};
+  mutable std::atomic<uint64_t> bytes_{0};
+  mutable std::atomic<uint64_t> pins_{0};
+  /// Serializes sweeps and guards `retired_` + the clock bookkeeping.
+  mutable std::mutex retire_mu_;
+  mutable std::vector<uint64_t*> retired_;
 };
 
 }  // namespace spatialsketch

@@ -1,0 +1,599 @@
+// CounterStore tests: every (layout x width x kernel variant)
+// combination holds counters AND estimates bit-identical to the flat
+// int64 reference (the linearity invariant is layout-independent and the
+// generic z-walks replicate the scalar kernel's FP order exactly);
+// narrow stores widen with saturation checking before any value could
+// clip; snapshots round-trip through the SST3 store format from every
+// configuration and the SST2/SST1 legacy formats still restore; dataset
+// churn across layouts/widths leaves re-created datasets bit-identical
+// and stale handles failing fast; and the schema-cache eviction budget
+// bounds resident bytes under churn without changing any counter.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/dyadic/endpoint_transform.h"
+#include "src/estimators/range_query_estimator.h"
+#include "src/sketch/counter_store.h"
+#include "src/sketch/dataset_sketch.h"
+#include "src/sketch/serialize.h"
+#include "src/store/sketch_store.h"
+#include "src/workload/zipf_boxes.h"
+#include "src/xi/kernels.h"
+#include "src/xi/point_sum_cache.h"
+#include "src/xi/sign_cache.h"
+
+namespace spatialsketch {
+namespace {
+
+// Every storage configuration under test; [0] is the reference.
+const CounterStoreOptions kConfigs[] = {
+    {CounterLayout::kFlat, CounterWidth::kI64, CounterBacking::kDefault},
+    {CounterLayout::kFlat, CounterWidth::kI32, CounterBacking::kDefault},
+    {CounterLayout::kBlocked, CounterWidth::kI64, CounterBacking::kDefault},
+    {CounterLayout::kBlocked, CounterWidth::kI32, CounterBacking::kDefault},
+    {CounterLayout::kFlat, CounterWidth::kI64, CounterBacking::kHugePage},
+    {CounterLayout::kBlocked, CounterWidth::kI32, CounterBacking::kHugePage},
+};
+
+std::string ConfigName(const CounterStoreOptions& opt) {
+  return std::string(CounterLayoutName(opt.layout)) + "/" +
+         CounterWidthName(opt.width) + "/" + CounterBackingName(opt.backing);
+}
+
+SchemaPtr MakeSchema(uint32_t dims, uint32_t h, uint32_t k1, uint32_t k2,
+                     uint64_t seed) {
+  SchemaOptions opt;
+  opt.dims = dims;
+  for (uint32_t i = 0; i < dims; ++i) opt.domains[i].log2_size = h;
+  opt.k1 = k1;
+  opt.k2 = k2;
+  opt.seed = seed;
+  auto schema = SketchSchema::Create(opt);
+  EXPECT_TRUE(schema.ok());
+  return *schema;
+}
+
+std::vector<Box> MakeBoxes(uint32_t dims, uint32_t log2_domain,
+                           uint64_t count, uint64_t seed) {
+  SyntheticBoxOptions gen;
+  gen.dims = dims;
+  gen.log2_domain = log2_domain;
+  gen.count = count;
+  gen.seed = seed;
+  return GenerateSyntheticBoxes(gen);
+}
+
+TEST(CounterStoreUnit, NamesParseAndRoundTrip) {
+  for (const auto& opt : kConfigs) {
+    auto layout = ParseCounterLayout(CounterLayoutName(opt.layout));
+    ASSERT_TRUE(layout.ok());
+    EXPECT_EQ(*layout, opt.layout);
+    auto width = ParseCounterWidth(CounterWidthName(opt.width));
+    ASSERT_TRUE(width.ok());
+    EXPECT_EQ(*width, opt.width);
+  }
+  EXPECT_FALSE(ParseCounterLayout("diagonal").ok());
+  EXPECT_FALSE(ParseCounterWidth("i128").ok());
+}
+
+TEST(CounterStoreUnit, GetAddRoundTripsEveryConfig) {
+  // 70 instances straddles a 64-lane block boundary, so the blocked
+  // layout's padded tail block is exercised.
+  for (const auto& opt : kConfigs) {
+    SCOPED_TRACE(ConfigName(opt));
+    CounterStore store(70, 4, opt);
+    for (uint32_t i = 0; i < 70; ++i) {
+      for (uint32_t w = 0; w < 4; ++w) {
+        EXPECT_EQ(store.Get(i, w), 0);
+        store.Add(i, w, static_cast<int64_t>(i) * 7 - w);
+      }
+    }
+    for (uint32_t i = 0; i < 70; ++i) {
+      for (uint32_t w = 0; w < 4; ++w) {
+        EXPECT_EQ(store.Get(i, w), static_cast<int64_t>(i) * 7 - w);
+      }
+    }
+    const std::vector<int64_t> flat = store.ToFlat();
+    CounterStore copy(70, 4, opt);
+    copy.FromFlat(flat);
+    EXPECT_EQ(copy.ToFlat(), flat);
+  }
+}
+
+TEST(CounterStoreUnit, NarrowStoreWidensBeforeSaturation) {
+  CounterStore store(2, 2, {CounterLayout::kFlat, CounterWidth::kI32});
+  EXPECT_EQ(store.width(), CounterWidth::kI32);
+  const int64_t near_max = std::numeric_limits<int32_t>::max() - 1;
+  store.Add(1, 1, near_max);
+  EXPECT_EQ(store.width(), CounterWidth::kI32);  // still fits
+  store.Add(1, 1, 5);  // would overflow int32: must widen, not clip
+  EXPECT_EQ(store.width(), CounterWidth::kI64);
+  EXPECT_EQ(store.Get(1, 1), near_max + 5);
+  // The negative edge widens too.
+  CounterStore neg(1, 1, {CounterLayout::kBlocked, CounterWidth::kI32});
+  neg.Add(0, 0, std::numeric_limits<int32_t>::min());
+  EXPECT_EQ(neg.width(), CounterWidth::kI32);
+  neg.Add(0, 0, -1);
+  EXPECT_EQ(neg.width(), CounterWidth::kI64);
+  EXPECT_EQ(neg.Get(0, 0),
+            static_cast<int64_t>(std::numeric_limits<int32_t>::min()) - 1);
+}
+
+TEST(CounterStoreUnit, SetWidthRoundTripsAndRefusesLossyNarrowing) {
+  CounterStore store(65, 2, {CounterLayout::kBlocked, CounterWidth::kI64});
+  store.Add(64, 1, 123456);
+  EXPECT_TRUE(store.FitsNarrow());
+  ASSERT_TRUE(store.SetWidth(CounterWidth::kI32).ok());
+  EXPECT_EQ(store.width(), CounterWidth::kI32);
+  EXPECT_EQ(store.Get(64, 1), 123456);
+  ASSERT_TRUE(store.SetWidth(CounterWidth::kI64).ok());
+  EXPECT_EQ(store.Get(64, 1), 123456);
+
+  store.Add(0, 0, int64_t{1} << 40);
+  EXPECT_FALSE(store.FitsNarrow());
+  EXPECT_EQ(store.SetWidth(CounterWidth::kI32).code(),
+            StatusCode::kFailedPrecondition);
+  // The refused narrowing left everything unchanged.
+  EXPECT_EQ(store.width(), CounterWidth::kI64);
+  EXPECT_EQ(store.Get(0, 0), int64_t{1} << 40);
+  EXPECT_EQ(store.Get(64, 1), 123456);
+}
+
+TEST(CounterStoreUnit, MemoryBytesIsHonestAboutPaddingAndWidth) {
+  // 65 instances x 3 words: flat allocates 195 elements; blocked pads to
+  // two 64-lane blocks = 384 elements.
+  CounterStore flat64(65, 3, {CounterLayout::kFlat, CounterWidth::kI64});
+  CounterStore flat32(65, 3, {CounterLayout::kFlat, CounterWidth::kI32});
+  CounterStore blk64(65, 3, {CounterLayout::kBlocked, CounterWidth::kI64});
+  CounterStore blk32(65, 3, {CounterLayout::kBlocked, CounterWidth::kI32});
+  EXPECT_EQ(flat64.MemoryBytes(), 195u * 8);
+  EXPECT_EQ(flat32.MemoryBytes(), 195u * 4);
+  EXPECT_EQ(blk64.MemoryBytes(), 384u * 8);
+  EXPECT_EQ(blk32.MemoryBytes(), 384u * 4);
+}
+
+TEST(CounterStoreUnit, MergeFromCrossesLayoutsAndWidths) {
+  // Writer-shard deltas stay flat int64 while the master may be blocked
+  // or narrow; MergeFrom must bridge any pairing.
+  for (const auto& master_opt : kConfigs) {
+    SCOPED_TRACE(ConfigName(master_opt));
+    CounterStore master(70, 2, master_opt);
+    CounterStore delta(70, 2);  // flat int64
+    std::vector<int64_t> expect(70 * 2);
+    for (uint32_t i = 0; i < 70; ++i) {
+      for (uint32_t w = 0; w < 2; ++w) {
+        master.Add(i, w, i + w);
+        delta.Add(i, w, 1000 - static_cast<int64_t>(i) * 3);
+        expect[i * 2 + w] = (i + w) + (1000 - static_cast<int64_t>(i) * 3);
+      }
+    }
+    master.MergeFrom(delta);
+    EXPECT_EQ(master.ToFlat(), expect);
+    master.Reset();
+    EXPECT_EQ(master.ToFlat(), std::vector<int64_t>(70 * 2, 0));
+  }
+}
+
+// The tentpole differential gate: same update stream through every
+// (layout x width), counters and estimates bit-identical to flat int64 —
+// streamed inserts, deletes, AND bulk loads (which widen narrow stores up
+// front and narrow them back after the merge).
+TEST(CounterStoreDifferential, SketchPathsBitIdenticalAcrossConfigs) {
+  // 210 instances = 3 blocks + a 18-lane tail block for kBlocked.
+  auto schema =
+      MakeTransformedSchema(2, 7, DyadicDomain::kNoCap, nullptr, 70, 3, 2026);
+  ASSERT_TRUE(schema.ok());
+  std::vector<Box> boxes;
+  for (const Box& b : MakeBoxes(2, 7, 120, 9)) {
+    boxes.push_back(EndpointTransform::MapR(b, 2));
+  }
+  const Box query = MakeRect(10, 90, 15, 100);  // ORIGINAL coordinates
+
+  DatasetSketch reference(*schema, Shape::RangeShape(2));
+  for (size_t i = 0; i < 60; ++i) reference.Insert(boxes[i]);
+  for (size_t i = 0; i < 10; ++i) reference.Delete(boxes[i]);
+  reference.BulkLoad({boxes.begin() + 60, boxes.end()});
+  const std::vector<int64_t> ref_counters = reference.counters();
+  const double ref_estimate = EstimateRangeCount(reference, query);
+
+  for (const auto& opt : kConfigs) {
+    SCOPED_TRACE(ConfigName(opt));
+    DatasetSketch sketch(*schema, Shape::RangeShape(2), opt);
+    for (size_t i = 0; i < 60; ++i) sketch.Insert(boxes[i]);
+    for (size_t i = 0; i < 10; ++i) sketch.Delete(boxes[i]);
+    sketch.BulkLoad({boxes.begin() + 60, boxes.end()});
+    EXPECT_EQ(sketch.counters(), ref_counters);
+    // FP bit-identity: the generic z-walks replicate the scalar kernel's
+    // per-instance, word-ascending order exactly.
+    EXPECT_EQ(EstimateRangeCount(sketch, query), ref_estimate);
+  }
+}
+
+TEST(CounterStoreDifferential, KernelVariantsAgreeOnEveryConfig) {
+  auto schema =
+      MakeTransformedSchema(1, 8, DyadicDomain::kNoCap, nullptr, 130, 3, 7);
+  ASSERT_TRUE(schema.ok());
+  std::vector<Box> boxes;
+  for (const Box& b : MakeBoxes(1, 8, 80, 3)) {
+    boxes.push_back(EndpointTransform::MapR(b, 1));
+  }
+  const Box query = MakeInterval(40, 200);  // ORIGINAL coordinates
+
+  const kernels::Kind variants[] = {kernels::Kind::kScalar,
+                                    kernels::Kind::kAvx2,
+                                    kernels::Kind::kAvx512};
+  std::vector<int64_t> ref_counters;
+  double ref_estimate = 0;
+  bool have_ref = false;
+  for (kernels::Kind k : variants) {
+    if (!kernels::ForceKernels(k).ok()) continue;  // not compiled/available
+    for (const auto& opt : kConfigs) {
+      SCOPED_TRACE(ConfigName(opt));
+      DatasetSketch sketch(*schema, Shape::RangeShape(1), opt);
+      for (const Box& b : boxes) sketch.Insert(b);
+      const double estimate = EstimateRangeCount(sketch, query);
+      if (!have_ref) {
+        ref_counters = sketch.counters();
+        ref_estimate = estimate;
+        have_ref = true;
+      } else {
+        EXPECT_EQ(sketch.counters(), ref_counters);
+        EXPECT_EQ(estimate, ref_estimate);
+      }
+    }
+  }
+  ASSERT_TRUE(have_ref);  // scalar at least is always available
+  // Back to the startup selection (env override included) for the rest
+  // of the binary.
+  kernels::ApplyOverride(std::getenv("SPATIALSKETCH_KERNELS"));
+}
+
+TEST(CounterStoreSerialize, SketchRoundTripsEveryConfig) {
+  auto schema = MakeSchema(2, 7, 6, 3, 55);
+  const auto boxes = MakeBoxes(2, 7, 90, 12);
+  DatasetSketch reference(schema, Shape::JoinShape(2));
+  reference.BulkLoad(boxes);
+  const std::vector<int64_t> ref_counters = reference.counters();
+
+  for (const auto& opt : kConfigs) {
+    SCOPED_TRACE(ConfigName(opt));
+    DatasetSketch sketch(schema, Shape::JoinShape(2), opt);
+    sketch.BulkLoad(boxes);
+    const std::string blob = SerializeSketch(sketch);
+    auto restored = DeserializeSketch(blob);
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ(restored->counters(), ref_counters);
+    EXPECT_EQ(restored->num_objects(), reference.num_objects());
+    // Narrow stores emit the half-size v2 wire format; wide stores emit
+    // v1 byte-identically to the pre-CounterStore serializer.
+    if (sketch.counter_store().width() == CounterWidth::kI32) {
+      EXPECT_LT(blob.size(),
+                SerializeSketch(reference).size() - ref_counters.size());
+    } else {
+      EXPECT_EQ(blob, SerializeSketch(reference));
+    }
+  }
+}
+
+// ---- Store-level: SLO sizing, churn, snapshots, handles, eviction ------
+
+StoreSchemaOptions SmallSchema(uint32_t dims, uint32_t log2_domain = 8,
+                               uint32_t k1 = 6, uint32_t k2 = 3,
+                               uint64_t seed = 42) {
+  StoreSchemaOptions opt;
+  opt.dims = dims;
+  opt.log2_domain = log2_domain;
+  opt.k1 = k1;
+  opt.k2 = k2;
+  opt.seed = seed;
+  return opt;
+}
+
+DatasetOptions WithConfig(const CounterStoreOptions& copt) {
+  DatasetOptions dopt;
+  dopt.layout = copt.layout;
+  dopt.counter_width = copt.width;
+  dopt.backing = copt.backing;
+  return dopt;
+}
+
+TEST(CounterStoreSlo, EpsilonKnobDerivesInstancesAndKeepsSharing) {
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterSchema("s", SmallSchema(1)).ok());
+
+  DatasetOptions slo;
+  slo.target_epsilon = 0.5;
+  slo.target_phi = 0.05;
+  ASSERT_TRUE(
+      store.CreateDataset("r1", "s", DatasetKind::kJoinR, slo).ok());
+  ASSERT_TRUE(
+      store.CreateDataset("s1", "s", DatasetKind::kJoinS, slo).ok());
+  const auto boxes = MakeBoxes(1, 8, 50, 4);
+  ASSERT_TRUE(store.BulkLoad("r1", boxes).ok());
+  ASSERT_TRUE(store.BulkLoad("s1", boxes).ok());
+
+  // Equal SLOs share one sized schema instance, so the pair is joinable,
+  // and the derived grid is surfaced through EstimatorInfo.
+  auto results = store.Run({QuerySpec::JoinCardinality("r1", "s1")});
+  ASSERT_TRUE(results.ok());
+  ASSERT_TRUE((*results)[0].ok());
+  const EstimatorInfo& info = (*results)[0].estimator;
+  // k2 = smallest odd >= 2 lg(1/0.05) ~ 8.64 -> 9; k1 from the kind's
+  // conservative variance default — larger than the registered 6 x 3.
+  EXPECT_EQ(info.k2, 9u);
+  EXPECT_GT(info.k1, 6u);
+  EXPECT_EQ(info.instances, info.k1 * info.k2);
+
+  // A different phi lands on a different sized variant; the pair with
+  // mismatched schema instances must refuse to join.
+  DatasetOptions other = slo;
+  other.target_phi = 0.005;
+  ASSERT_TRUE(
+      store.CreateDataset("s2", "s", DatasetKind::kJoinS, other).ok());
+  auto mixed = store.Run({QuerySpec::JoinCardinality("r1", "s2")});
+  ASSERT_TRUE(mixed.ok());
+  EXPECT_FALSE((*mixed)[0].ok());
+
+  // Invalid knobs are rejected up front.
+  DatasetOptions bad;
+  bad.target_epsilon = 1.5;
+  EXPECT_FALSE(
+      store.CreateDataset("bad", "s", DatasetKind::kJoinR, bad).ok());
+  bad.target_epsilon = 0.5;
+  bad.target_phi = 0;
+  EXPECT_FALSE(
+      store.CreateDataset("bad", "s", DatasetKind::kJoinR, bad).ok());
+}
+
+TEST(CounterStoreSlo, MaxBytesCapsInstancesAcrossLayoutsAndWidths) {
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterSchema("s", SmallSchema(1)).ok());
+
+  // A tight ε demands far more instances than any budget below allows,
+  // so every dataset here is memory-capped — and the cap must bound the
+  // ACTUAL allocation: the narrow width fits twice the instances of the
+  // wide one in the same bytes, and the blocked layout pays for its
+  // whole-block padding.
+  DatasetOptions capped;
+  capped.target_epsilon = 0.01;  // uncapped k1 would be enormous
+  capped.max_bytes = 2880;       // JoinShape 1-d = 2 words; k2 = 9
+  ASSERT_TRUE(
+      store.CreateDataset("flat64", "s", DatasetKind::kJoinR, capped).ok());
+  auto flat = store.Run({QuerySpec::SelfJoinSize("flat64")});
+  ASSERT_TRUE(flat.ok() && (*flat)[0].ok());
+  const uint32_t flat64_inst = (*flat)[0].estimator.instances;
+  EXPECT_GT(flat64_inst, 0u);
+  EXPECT_LE(flat64_inst * 2u * 8u, capped.max_bytes);
+
+  DatasetOptions narrow = capped;
+  narrow.counter_width = CounterWidth::kI32;
+  ASSERT_TRUE(
+      store.CreateDataset("flat32", "s", DatasetKind::kJoinR, narrow).ok());
+  auto i32 = store.Run({QuerySpec::SelfJoinSize("flat32")});
+  ASSERT_TRUE(i32.ok() && (*i32)[0].ok());
+  EXPECT_GT((*i32)[0].estimator.instances, flat64_inst);
+  EXPECT_LE((*i32)[0].estimator.instances * 2u * 4u, capped.max_bytes);
+  EXPECT_EQ((*i32)[0].estimator.counter_width, CounterWidth::kI32);
+
+  DatasetOptions blocked = capped;
+  blocked.layout = CounterLayout::kBlocked;
+  ASSERT_TRUE(
+      store.CreateDataset("blk64", "s", DatasetKind::kJoinR, blocked).ok());
+  auto blk = store.Run({QuerySpec::SelfJoinSize("blk64")});
+  ASSERT_TRUE(blk.ok() && (*blk)[0].ok());
+  // Padded to whole 64-lane blocks, the PADDED allocation obeys the cap,
+  // so fewer instances fit than under the flat layout.
+  const uint32_t blk_inst = (*blk)[0].estimator.instances;
+  EXPECT_LE(blk_inst, flat64_inst);
+  EXPECT_LE((blk_inst + 63) / 64 * 64 * 2u * 8u, capped.max_bytes);
+
+  // A budget too small for even one instance (blocked: one whole block
+  // of 2 wide words = 1024 bytes) fails loudly instead of
+  // under-delivering.
+  DatasetOptions impossible;
+  impossible.max_bytes = 7;
+  EXPECT_FALSE(
+      store.CreateDataset("tiny", "s", DatasetKind::kJoinR, impossible)
+          .ok());
+  impossible.layout = CounterLayout::kBlocked;
+  impossible.max_bytes = 1023;
+  EXPECT_FALSE(
+      store.CreateDataset("tiny", "s", DatasetKind::kJoinR, impossible)
+          .ok());
+}
+
+TEST(CounterStoreChurn, RecreatedDatasetsStayBitIdenticalAcrossConfigs) {
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterSchema("s", SmallSchema(1)).ok());
+  const auto boxes = MakeBoxes(1, 8, 40, 77);
+
+  // The flat/wide reference counters for this update history.
+  ASSERT_TRUE(store.CreateDataset("ref", "s", DatasetKind::kRange).ok());
+  for (const Box& b : boxes) ASSERT_TRUE(store.Insert("ref", b).ok());
+  auto ref = store.CounterSnapshot("ref");
+  ASSERT_TRUE(ref.ok());
+
+  // Thousands of create / load / verify / drop rounds cycling through
+  // every configuration under ONE name: generations must keep stale
+  // handles failing, and every re-creation must reproduce the reference
+  // counters exactly.
+  constexpr int kRounds = 1500;
+  uint64_t last_generation = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    const auto& opt = kConfigs[round % (sizeof(kConfigs) /
+                                        sizeof(kConfigs[0]))];
+    SCOPED_TRACE(ConfigName(opt) + " round " + std::to_string(round));
+    ASSERT_TRUE(store
+                    .CreateDataset("churn", "s", DatasetKind::kRange,
+                                   WithConfig(opt))
+                    .ok());
+    auto handle = store.OpenDataset("churn");
+    ASSERT_TRUE(handle.ok());
+    EXPECT_GT(handle->generation(), last_generation);
+    last_generation = handle->generation();
+    // Light verification every round, the full stream on a sample.
+    if (round % 100 == 0) {
+      ASSERT_TRUE(store.BulkLoad("churn", boxes).ok());
+      auto counters = store.CounterSnapshot("churn");
+      ASSERT_TRUE(counters.ok());
+      ASSERT_EQ(*counters, *ref);
+    } else {
+      ASSERT_TRUE(handle->Insert(boxes[round % boxes.size()]).ok());
+    }
+    ASSERT_TRUE(store.DropDataset("churn").ok());
+    // The dropped generation fails fast forever after.
+    EXPECT_EQ(handle->Insert(boxes[0]).code(),
+              StatusCode::kFailedPrecondition);
+  }
+}
+
+TEST(CounterStoreSnapshot, Sst3RoundTripsEveryConfigAndLegacyRestores) {
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterSchema("s", SmallSchema(1)).ok());
+  const auto boxes = MakeBoxes(1, 8, 60, 5);
+  ASSERT_TRUE(store.CreateDataset("src", "s", DatasetKind::kRange).ok());
+  ASSERT_TRUE(store.BulkLoad("src", boxes).ok());
+  auto ref = store.CounterSnapshot("src");
+  ASSERT_TRUE(ref.ok());
+
+  for (const auto& from : kConfigs) {
+    for (const auto& to : kConfigs) {
+      SCOPED_TRACE(ConfigName(from) + " -> " + ConfigName(to));
+      ASSERT_TRUE(store.DropDataset("src").ok());
+      ASSERT_TRUE(store
+                      .CreateDataset("src", "s", DatasetKind::kRange,
+                                     WithConfig(from))
+                      .ok());
+      ASSERT_TRUE(store.BulkLoad("src", boxes).ok());
+      auto blob = store.Snapshot("src");
+      ASSERT_TRUE(blob.ok());
+      EXPECT_EQ(blob->substr(0, 4), "SST3");
+
+      const std::string dst = "dst";
+      store.DropDataset(dst);  // ok to fail on the first round
+      ASSERT_TRUE(store
+                      .CreateDataset(dst, "s", DatasetKind::kRange,
+                                     WithConfig(to))
+                      .ok());
+      ASSERT_TRUE(store.Restore(dst, *blob).ok());
+      auto counters = store.CounterSnapshot(dst);
+      ASSERT_TRUE(counters.ok());
+      // Restore re-homes the values into the target's configuration; the
+      // VALUES are the layout-free truth and must match exactly.
+      EXPECT_EQ(*counters, *ref);
+    }
+  }
+
+  // Legacy formats: rewrite the SST3 blob (15-byte header) as SST2
+  // (13-byte header, no layout/width tags) and SST1 (5 bytes, no eps)
+  // and restore both.
+  ASSERT_TRUE(store.DropDataset("src").ok());
+  ASSERT_TRUE(store.CreateDataset("src", "s", DatasetKind::kRange).ok());
+  ASSERT_TRUE(store.BulkLoad("src", boxes).ok());
+  auto blob = store.Snapshot("src");
+  ASSERT_TRUE(blob.ok());
+  std::string v2_blob = "SST2" + blob->substr(4, 1 + 8) + blob->substr(15);
+  std::string v1_blob = "SST1" + blob->substr(4, 1) + blob->substr(15);
+  for (const std::string* legacy : {&v2_blob, &v1_blob}) {
+    ASSERT_TRUE(store.DropDataset("dst").ok());
+    ASSERT_TRUE(store
+                    .CreateDataset("dst", "s", DatasetKind::kRange,
+                                   WithConfig(kConfigs[3]))
+                    .ok());
+    ASSERT_TRUE(store.Restore("dst", *legacy).ok());
+    auto counters = store.CounterSnapshot("dst");
+    ASSERT_TRUE(counters.ok());
+    EXPECT_EQ(*counters, *ref);
+  }
+
+  // Corrupt SST3 tags are rejected, not misread.
+  std::string bad = *blob;
+  bad[13] = 9;  // no such layout
+  EXPECT_EQ(store.Restore("dst", bad).code(), StatusCode::kInvalidArgument);
+  bad = *blob;
+  bad[14] = 9;  // no such width
+  EXPECT_EQ(store.Restore("dst", bad).code(), StatusCode::kInvalidArgument);
+}
+
+// RAII reset so a failing assertion cannot leave the process-wide budget
+// armed for later tests.
+struct BudgetGuard {
+  ~BudgetGuard() {
+    PackedSignCache::SetGlobalBudget(0);
+    PointSumCache::SetGlobalBudget(0);
+  }
+};
+
+TEST(CounterStoreEviction, BudgetBoundsCacheBytesUnderChurnWithoutDrift) {
+  BudgetGuard guard;
+  const auto boxes = MakeBoxes(1, 10, 30, 21);
+
+  // Unbudgeted reference counters for the update stream.
+  std::vector<int64_t> ref;
+  {
+    SketchStore store;
+    ASSERT_TRUE(store.RegisterSchema("s", SmallSchema(1, 10)).ok());
+    ASSERT_TRUE(store.CreateDataset("d", "s", DatasetKind::kRange).ok());
+    for (const Box& b : boxes) ASSERT_TRUE(store.Insert("d", b).ok());
+    auto counters = store.CounterSnapshot("d");
+    ASSERT_TRUE(counters.ok());
+    ref = *counters;
+  }
+
+  // Arm tight budgets and churn MANY schemas (each owns fresh caches):
+  // eviction must kick in, resident bytes must stay near the budget, and
+  // the streamed counters must not change by a bit.
+  const uint64_t kBudget = 2048;
+  PackedSignCache::SetGlobalBudget(kBudget);
+  PointSumCache::SetGlobalBudget(kBudget);
+  uint64_t total_evicted = 0;
+  for (int round = 0; round < 6; ++round) {
+    SketchStore store;
+    ASSERT_TRUE(
+        store.RegisterSchema("s", SmallSchema(1, 10, 6, 3, 42)).ok());
+    ASSERT_TRUE(store.CreateDataset("d", "s", DatasetKind::kRange).ok());
+    for (const Box& b : boxes) ASSERT_TRUE(store.Insert("d", b).ok());
+    auto counters = store.CounterSnapshot("d");
+    ASSERT_TRUE(counters.ok());
+    ASSERT_EQ(*counters, ref);
+
+    const StoreStats stats = store.stats();
+    total_evicted += stats.sign_cache_evicted + stats.point_sum_evicted;
+    EXPECT_EQ(stats.sign_cache_bytes, PackedSignCache::GlobalBytes());
+    // A sweep reclaims down toward the budget; recently-hit entries keep
+    // their second chance, so allow a burst of slack over it.
+    EXPECT_LE(PackedSignCache::GlobalBytes(), kBudget + 8 * 1024);
+    EXPECT_LE(PointSumCache::GlobalBytes(), kBudget + 8 * 1024);
+  }
+  EXPECT_GT(total_evicted, 0u);
+
+  // Dropping the last store returns both global gauges to zero: the
+  // accounting has no leak across churn.
+  EXPECT_EQ(PackedSignCache::GlobalBytes(), 0u);
+  EXPECT_EQ(PointSumCache::GlobalBytes(), 0u);
+
+  // Budget off again: a fresh run neither evicts nor counts bytes
+  // against the (disabled) sweep.
+  PackedSignCache::SetGlobalBudget(0);
+  PointSumCache::SetGlobalBudget(0);
+  SketchStore store;
+  ASSERT_TRUE(store.RegisterSchema("s", SmallSchema(1, 10)).ok());
+  ASSERT_TRUE(store.CreateDataset("d", "s", DatasetKind::kRange).ok());
+  for (const Box& b : boxes) ASSERT_TRUE(store.Insert("d", b).ok());
+  const StoreStats stats = store.stats();
+  EXPECT_EQ(stats.sign_cache_evicted, 0u);
+  EXPECT_EQ(stats.point_sum_evicted, 0u);
+  EXPECT_GT(stats.sign_cache_hits + stats.sign_cache_misses, 0u);
+  auto counters = store.CounterSnapshot("d");
+  ASSERT_TRUE(counters.ok());
+  EXPECT_EQ(*counters, ref);
+}
+
+}  // namespace
+}  // namespace spatialsketch
