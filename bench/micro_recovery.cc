@@ -1,0 +1,153 @@
+// Durability microbenchmark: what the WAL costs on the ingest path and
+// what recovery costs on the reopen path.
+//
+//   build/micro_recovery [--n=20000] [--dims=2] [--log2_domain=12]
+//       [--k1=8] [--k2=5] [--sync=epoch|none|always]
+//       [--dir=/tmp/spatialsketch_micro_recovery] [--json_out=<path>]
+//
+// The driver opens a durable store, ingests n updates (timed: durable
+// updates/sec), checkpoints (timed), ingests n more so a WAL tail exists,
+// "crashes" by destroying the store, and reopens the directory (timed:
+// recovery seconds, replayed records/sec). The recovered counters are
+// checked bit-identical to the pre-crash snapshot — a recovery number
+// only counts if the recovery was exact.
+
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/common/flags.h"
+#include "src/common/stopwatch.h"
+#include "src/store/durability/fs.h"
+#include "src/store/sketch_store.h"
+#include "src/workload/zipf_boxes.h"
+
+using namespace spatialsketch;  // NOLINT: benchmark brevity
+
+int main(int argc, char** argv) {
+  auto flags = Flags::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
+    return 2;
+  }
+  const uint64_t n = flags->GetInt("n", 20000);
+  const uint32_t dims = static_cast<uint32_t>(flags->GetInt("dims", 2));
+  const uint32_t log2_domain =
+      static_cast<uint32_t>(flags->GetInt("log2_domain", 12));
+  const std::string dir =
+      flags->GetString("dir", "/tmp/spatialsketch_micro_recovery");
+  const std::string sync_name = flags->GetString("sync", "epoch");
+
+  DurabilityOptions dopt;
+  if (sync_name == "none") {
+    dopt.sync = WalSyncPolicy::kNone;
+  } else if (sync_name == "always") {
+    dopt.sync = WalSyncPolicy::kAlways;
+  } else if (sync_name == "epoch") {
+    dopt.sync = WalSyncPolicy::kEpoch;
+  } else {
+    std::fprintf(stderr, "unknown --sync=%s\n", sync_name.c_str());
+    return 2;
+  }
+
+  StoreSchemaOptions schema;
+  schema.dims = dims;
+  schema.log2_domain = log2_domain;
+  schema.k1 = static_cast<uint32_t>(flags->GetInt("k1", 8));
+  schema.k2 = static_cast<uint32_t>(flags->GetInt("k2", 5));
+  schema.seed = 7;
+
+  // A stale directory would replay someone else's history into the
+  // numbers: start from an empty one.
+  SKETCH_CHECK(durability::EnsureDir(dir).ok());
+  {
+    auto files = durability::ListDir(dir);
+    SKETCH_CHECK(files.ok());
+    for (const auto& f : *files) {
+      SKETCH_CHECK(durability::RemoveFile(dir + "/" + f).ok());
+    }
+  }
+
+  SyntheticBoxOptions gen;
+  gen.dims = dims;
+  gen.log2_domain = log2_domain;
+  gen.count = 2 * n;
+  gen.seed = 11;
+  const std::vector<Box> boxes = GenerateSyntheticBoxes(gen);
+
+  std::vector<int64_t> expect_counters;
+  double ingest_elapsed = 0, checkpoint_elapsed = 0;
+  uint64_t wal_bytes = 0;
+  {
+    auto opened = SketchStore::OpenDurable(dir, dopt);
+    SKETCH_CHECK(opened.ok());
+    SketchStore& store = **opened;
+    SKETCH_CHECK(store.RegisterSchema("bench", schema).ok());
+    SKETCH_CHECK(store.CreateDataset("d", "bench", DatasetKind::kRange).ok());
+
+    Stopwatch ingest;
+    for (uint64_t i = 0; i < n; ++i) {
+      SKETCH_CHECK(store.Insert("d", boxes[i]).ok());
+    }
+    SKETCH_CHECK(store.SyncWal().ok());
+    ingest_elapsed = ingest.Seconds();
+
+    Stopwatch ckpt;
+    SKETCH_CHECK(store.Checkpoint().ok());
+    checkpoint_elapsed = ckpt.Seconds();
+
+    // The WAL tail recovery will have to replay.
+    for (uint64_t i = n; i < 2 * n; ++i) {
+      SKETCH_CHECK(store.Insert("d", boxes[i]).ok());
+    }
+    SKETCH_CHECK(store.SyncWal().ok());
+    auto counters = store.CounterSnapshot("d");
+    SKETCH_CHECK(counters.ok());
+    expect_counters = *counters;
+    wal_bytes = store.stats().wal_bytes;
+  }  // crash
+
+  Stopwatch recover;
+  auto reopened = SketchStore::OpenDurable(dir, dopt);
+  const double recovery_elapsed = recover.Seconds();
+  SKETCH_CHECK(reopened.ok());
+  const uint64_t replayed = (*reopened)->stats().wal_replayed;
+  auto counters = (*reopened)->CounterSnapshot("d");
+  SKETCH_CHECK(counters.ok());
+  SKETCH_CHECK(*counters == expect_counters);
+
+  std::printf("recovery: dims=%u domain=2^%u n=%" PRIu64
+              " k1=%u k2=%u sync=%s\n",
+              dims, log2_domain, n, schema.k1, schema.k2, sync_name.c_str());
+  std::printf("  durable updates/sec  : %.0f\n", n / ingest_elapsed);
+  std::printf("  wal bytes appended   : %" PRIu64 "\n", wal_bytes);
+  std::printf("  checkpoint seconds   : %.4f\n", checkpoint_elapsed);
+  std::printf("  recovery seconds     : %.4f\n", recovery_elapsed);
+  std::printf("  records replayed     : %" PRIu64 "\n", replayed);
+  std::printf("  replay records/sec   : %.0f\n",
+              replayed / (recovery_elapsed > 0 ? recovery_elapsed : 1e-9));
+  std::printf("  counters vs pre-crash: bit-identical\n");
+
+  bench::BenchResult result;
+  result.name = "recovery";
+  result.Param("dims", static_cast<int64_t>(dims));
+  result.Param("log2_domain", static_cast<int64_t>(log2_domain));
+  result.Param("n", static_cast<int64_t>(n));
+  result.Param("k1", static_cast<int64_t>(schema.k1));
+  result.Param("k2", static_cast<int64_t>(schema.k2));
+  result.Param("sync", sync_name);
+  result.Metric("durable_updates_per_sec", n / ingest_elapsed);
+  result.Metric("wal_bytes", static_cast<double>(wal_bytes));
+  result.Metric("checkpoint_seconds", checkpoint_elapsed);
+  result.Metric("recovery_seconds", recovery_elapsed);
+  result.Metric("replayed_records", static_cast<double>(replayed));
+  result.Metric("replay_records_per_sec",
+                replayed / (recovery_elapsed > 0 ? recovery_elapsed : 1e-9));
+  const Status st = bench::MaybeWriteBenchJson(*flags, {result});
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
+  return 0;
+}

@@ -70,8 +70,7 @@ Result<int64_t> DatasetHandle::NumObjects() const {
 Status DatasetHandle::Fence() const {
   if (!valid()) return InvalidHandle();
   SKETCH_RETURN_NOT_OK(SketchStore::CheckLive(*state_));
-  store_->FenceDataset(*state_);
-  return Status::OK();
+  return store_->FenceDataset(*state_);
 }
 
 }  // namespace spatialsketch

@@ -1,0 +1,60 @@
+#include "src/common/crc32c.h"
+
+#include <array>
+
+namespace spatialsketch {
+
+namespace {
+
+// Reflected Castagnoli polynomial.
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+struct Tables {
+  // t[k][b]: CRC of byte b followed by k zero bytes — the slice-by-4
+  // decomposition.
+  std::array<std::array<uint32_t, 256>, 4> t;
+};
+
+constexpr Tables BuildTables() {
+  Tables tables{};
+  for (uint32_t b = 0; b < 256; ++b) {
+    uint32_t crc = b;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    tables.t[0][b] = crc;
+  }
+  for (uint32_t b = 0; b < 256; ++b) {
+    for (int k = 1; k < 4; ++k) {
+      tables.t[k][b] =
+          (tables.t[k - 1][b] >> 8) ^ tables.t[0][tables.t[k - 1][b] & 0xFF];
+    }
+  }
+  return tables;
+}
+
+constexpr Tables kTables = BuildTables();
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t init, const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~init;
+  while (n >= 4) {
+    crc ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = kTables.t[3][crc & 0xFF] ^ kTables.t[2][(crc >> 8) & 0xFF] ^
+          kTables.t[1][(crc >> 16) & 0xFF] ^ kTables.t[0][crc >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n > 0) {
+    crc = (crc >> 8) ^ kTables.t[0][(crc ^ *p) & 0xFF];
+    ++p;
+    --n;
+  }
+  return ~crc;
+}
+
+}  // namespace spatialsketch

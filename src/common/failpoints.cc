@@ -1,0 +1,171 @@
+#include "src/common/failpoints.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace spatialsketch {
+namespace failpoints {
+
+namespace {
+
+struct Site {
+  uint64_t skip = 0;       // hits to pass through before firing
+  uint64_t count = 0;      // firings remaining; 0 = unlimited
+  bool unlimited = false;
+  uint64_t hits = 0;       // total hits while armed
+  uint64_t fires = 0;      // total firings (survives disarm via fire_log)
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Site> sites;          // armed sites
+  std::map<std::string, uint64_t> fire_log;   // cumulative firings by name
+};
+
+Registry& GetRegistry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+// Count of armed sites; the SKETCH_FAILPOINT fast path reads this with a
+// relaxed load so un-armed runs pay one predictable branch.
+std::atomic<uint64_t> g_armed_count{0};
+
+// Parse SPATIALSKETCH_FAILPOINTS="name[=skip[:count]],..." once.
+void ArmFromEnvLocked(Registry& r) {
+  const char* env = std::getenv("SPATIALSKETCH_FAILPOINTS");
+  if (env == nullptr) return;
+  std::string spec(env);
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+    Site site;
+    std::string name = entry;
+    size_t eq = entry.find('=');
+    if (eq != std::string::npos) {
+      name = entry.substr(0, eq);
+      std::string rest = entry.substr(eq + 1);
+      size_t colon = rest.find(':');
+      site.skip = std::strtoull(rest.substr(0, colon).c_str(), nullptr, 10);
+      if (colon != std::string::npos) {
+        site.count = std::strtoull(rest.substr(colon + 1).c_str(), nullptr, 10);
+      }
+    }
+    site.unlimited = (site.count == 0);
+    if (!name.empty() && r.sites.find(name) == r.sites.end()) {
+      r.sites[name] = site;
+      g_armed_count.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::once_flag g_env_once;
+
+void EnsureEnvParsed(Registry& r) {
+  std::call_once(g_env_once, [&r] {
+    std::lock_guard<std::mutex> lock(r.mu);
+    ArmFromEnvLocked(r);
+  });
+}
+
+}  // namespace
+
+#if SPATIALSKETCH_FAILPOINTS_ENABLED
+
+bool AnyArmed() {
+  // Env-armed sites must be visible before the first fast-path check
+  // can short-circuit them.
+  EnsureEnvParsed(GetRegistry());
+  return g_armed_count.load(std::memory_order_relaxed) != 0;
+}
+
+bool Hit(const char* name) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(name);
+  if (it == r.sites.end()) return false;
+  Site& s = it->second;
+  ++s.hits;
+  if (s.hits <= s.skip) return false;
+  if (!s.unlimited && s.fires >= s.count) return false;
+  ++s.fires;
+  ++r.fire_log[name];
+  return true;
+}
+
+#endif  // SPATIALSKETCH_FAILPOINTS_ENABLED
+
+void Arm(const std::string& name, uint64_t skip, uint64_t count) {
+#if SPATIALSKETCH_FAILPOINTS_ENABLED
+  if (name.empty()) return;
+  Registry& r = GetRegistry();
+  EnsureEnvParsed(r);
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (r.sites.find(name) == r.sites.end()) {
+    g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  Site site;
+  site.skip = skip;
+  site.count = count;
+  site.unlimited = (count == 0);
+  r.sites[name] = site;
+#else
+  (void)name;
+  (void)skip;
+  (void)count;
+#endif
+}
+
+void Disarm(const std::string& name) {
+#if SPATIALSKETCH_FAILPOINTS_ENABLED
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  if (r.sites.erase(name) != 0) {
+    g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+#else
+  (void)name;
+#endif
+}
+
+void DisarmAll() {
+#if SPATIALSKETCH_FAILPOINTS_ENABLED
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  g_armed_count.fetch_sub(r.sites.size(), std::memory_order_relaxed);
+  r.sites.clear();
+  r.fire_log.clear();
+#endif
+}
+
+uint64_t FireCount(const std::string& name) {
+#if SPATIALSKETCH_FAILPOINTS_ENABLED
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.fire_log.find(name);
+  return it == r.fire_log.end() ? 0 : it->second;
+#else
+  (void)name;
+  return 0;
+#endif
+}
+
+std::vector<std::string> ArmedSites() {
+  std::vector<std::string> out;
+#if SPATIALSKETCH_FAILPOINTS_ENABLED
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  out.reserve(r.sites.size());
+  for (const auto& kv : r.sites) out.push_back(kv.first);
+#endif
+  return out;
+}
+
+}  // namespace failpoints
+}  // namespace spatialsketch

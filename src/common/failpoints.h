@@ -1,0 +1,86 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Named fault-injection sites for the durability layer. A failpoint is a
+// string-named hook compiled into the WAL / checkpoint / restore / fold
+// paths; tests (or the environment) arm a site to make it fire, which the
+// call site turns into a simulated crash, torn write, or I/O error.
+//
+// Cost model: in builds where failpoints are compiled out (Release without
+// -DSPATIALSKETCH_FAILPOINTS=ON), SKETCH_FAILPOINT(name) is the literal
+// constant `false` — zero instructions on the hot path. In enabled builds
+// the fast path is a single relaxed atomic load of the global armed-site
+// count (one predictable branch when nothing is armed).
+//
+// Arming:
+//   - programmatic: failpoints::Arm("wal-append", /*skip=*/2, /*count=*/1)
+//     fires on the 3rd hit, once.
+//   - environment:  SPATIALSKETCH_FAILPOINTS="fsync=2:1,wal-append-torn"
+//     (comma-separated name[=skip[:count]]; omitted skip/count default to
+//     0/unlimited). Parsed once at first use.
+//
+// The catalog of sites lives in docs/DURABILITY.md.
+
+#ifndef SPATIALSKETCH_COMMON_FAILPOINTS_H_
+#define SPATIALSKETCH_COMMON_FAILPOINTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+// Failpoints are compiled in for Debug builds always, and for Release
+// builds only when the SPATIALSKETCH_FAILPOINTS CMake option defines the
+// macro. Everything else sees a constant-false macro.
+#if !defined(NDEBUG) || defined(SPATIALSKETCH_FAILPOINTS)
+#define SPATIALSKETCH_FAILPOINTS_ENABLED 1
+#else
+#define SPATIALSKETCH_FAILPOINTS_ENABLED 0
+#endif
+
+namespace spatialsketch {
+namespace failpoints {
+
+#if SPATIALSKETCH_FAILPOINTS_ENABLED
+
+/// True iff any site is currently armed (relaxed load; the fast path of
+/// SKETCH_FAILPOINT). Exposed for the macro, not for direct use.
+bool AnyArmed();
+
+/// Full check: returns true (and consumes one firing) iff `name` is armed
+/// and its skip count has been exhausted. Thread-safe.
+bool Hit(const char* name);
+
+#endif  // SPATIALSKETCH_FAILPOINTS_ENABLED
+
+/// Arm a site: the first `skip` hits pass through, the next `count` hits
+/// fire (count 0 = unlimited firings). Re-arming replaces the previous
+/// configuration for that name. No-op when failpoints are compiled out.
+void Arm(const std::string& name, uint64_t skip = 0, uint64_t count = 0);
+
+/// Disarm one site (no-op if it was not armed or failpoints are compiled
+/// out).
+void Disarm(const std::string& name);
+
+/// Disarm every site and reset hit counters. Tests call this in teardown.
+void DisarmAll();
+
+/// Number of times `name` fired (0 when compiled out). Lets tests assert
+/// the injected fault was actually reached.
+uint64_t FireCount(const std::string& name);
+
+/// Names of currently armed sites (empty when compiled out). Diagnostic.
+std::vector<std::string> ArmedSites();
+
+}  // namespace failpoints
+}  // namespace spatialsketch
+
+#if SPATIALSKETCH_FAILPOINTS_ENABLED
+/// Evaluates to true when the named site is armed and fires on this hit.
+/// Usage: `if (SKETCH_FAILPOINT("fsync")) return Status::IOError(...);`
+#define SKETCH_FAILPOINT(name)               \
+  (::spatialsketch::failpoints::AnyArmed() && \
+   ::spatialsketch::failpoints::Hit(name))
+#else
+#define SKETCH_FAILPOINT(name) (false)
+#endif
+
+#endif  // SPATIALSKETCH_COMMON_FAILPOINTS_H_

@@ -17,6 +17,8 @@ const char* CodeName(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kIOError:
+      return "IOError";
   }
   return "Unknown";
 }

@@ -23,6 +23,7 @@ enum class StatusCode {
   kFailedPrecondition = 3,
   kUnimplemented = 4,
   kInternal = 5,
+  kIOError = 6,
 };
 
 /// Value-semantic status object. `Status::OK()` is cheap (no allocation).
@@ -45,6 +46,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -782,6 +782,20 @@ void DatasetSketch::Merge(const DatasetSketch& other) {
   num_objects_ += other.num_objects_;
 }
 
+Status DatasetSketch::MergeFrom(const DatasetSketch& other) {
+  if (!(shape_ == other.shape_)) {
+    return Status::FailedPrecondition("MergeFrom requires equal shapes");
+  }
+  if (schema_ != other.schema_ &&
+      !(schema_->options() == other.schema_->options())) {
+    return Status::FailedPrecondition(
+        "MergeFrom requires equal schema configurations");
+  }
+  counters_.MergeFrom(other.counters_);
+  num_objects_ += other.num_objects_;
+  return Status::OK();
+}
+
 Status DatasetSketch::AdoptCountersFrom(const DatasetSketch& other) {
   if (!(shape_ == other.shape_)) {
     return Status::FailedPrecondition(

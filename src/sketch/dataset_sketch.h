@@ -146,6 +146,13 @@ class DatasetSketch {
   /// exclusive access to this sketch and stable counters on `other`.
   void Merge(const DatasetSketch& other);
 
+  /// Merge accepting a configuration-EQUAL (not necessarily pointer-
+  /// equal) schema, with the same validation AdoptCountersFrom applies —
+  /// the durability layer's WAL replay deserializes delta sketches into
+  /// fresh schema instances and folds them in through this. Counter
+  /// values add regardless of the two sketches' layout/width.
+  Status MergeFrom(const DatasetSketch& other);
+
   /// Reset to the empty sketch (all counters zero, zero objects), keeping
   /// the schema, shape, and warm scratch. O(counters). The store's writer
   /// shards recycle their epoch delta sketches through this instead of

@@ -43,19 +43,27 @@ namespace internal {
 struct DatasetState {
   /// Assembles the immutable identity and takes ownership of the (empty)
   /// master sketch.
-  DatasetState(std::string name_in, DatasetKind kind_in,
-               StoreSchemaOptions opt_in, Coord eps_in, uint64_t generation_in,
+  DatasetState(std::string name_in, std::string schema_name_in,
+               DatasetKind kind_in, StoreSchemaOptions opt_in,
+               DatasetOptions dopt_in, uint64_t generation_in,
                DatasetSketch sketch_in)
       : name(std::move(name_in)),
+        schema_name(std::move(schema_name_in)),
         kind(kind_in),
         opt(opt_in),
-        eps(eps_in),
+        dopt(dopt_in),
+        eps(dopt_in.eps),
         generation(generation_in),
         sketch(std::move(sketch_in)) {}
 
-  const std::string name;        ///< registry name at creation time
+  const std::string name;         ///< registry name at creation time
+  const std::string schema_name;  ///< registered schema the dataset is under
   const DatasetKind kind;        ///< shape + ingest mapping + schema variant
   const StoreSchemaOptions opt;  ///< original-domain configuration
+  /// Full creation options — with schema_name and kind, the complete
+  /// deterministic recipe a durable checkpoint needs to re-create this
+  /// dataset (including its SLO-derived schema sizing).
+  const DatasetOptions dopt;
   const Coord eps;               ///< kEpsBoxes ingest radius (else 0)
   const uint64_t generation;     ///< store-wide creation sequence number
   DatasetSketch sketch;          ///< the master counters; guarded by mu

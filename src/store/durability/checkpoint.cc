@@ -1,0 +1,257 @@
+#include "src/store/durability/checkpoint.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "src/common/crc32c.h"
+#include "src/store/durability/fs.h"
+#include "src/store/durability/wal.h"
+
+namespace spatialsketch {
+namespace durability {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'P', 'C', 'K'};
+constexpr uint32_t kVersion = 1;
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double BitsToDouble(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+void PutSchemaOptions(std::string* out, const StoreSchemaOptions& opt) {
+  PutU32(out, opt.dims);
+  PutU32(out, opt.log2_domain);
+  PutU32(out, opt.max_level);
+  PutU32(out, opt.k1);
+  PutU32(out, opt.k2);
+  PutU64(out, opt.seed);
+}
+
+bool GetSchemaOptions(BodyReader* r, StoreSchemaOptions* opt) {
+  return r->GetU32(&opt->dims) && r->GetU32(&opt->log2_domain) &&
+         r->GetU32(&opt->max_level) && r->GetU32(&opt->k1) &&
+         r->GetU32(&opt->k2) && r->GetU64(&opt->seed);
+}
+
+void PutDatasetOptions(std::string* out, const DatasetOptions& dopt) {
+  PutU64(out, dopt.eps);
+  PutU8(out, static_cast<uint8_t>(dopt.layout));
+  PutU8(out, static_cast<uint8_t>(dopt.counter_width));
+  PutU8(out, static_cast<uint8_t>(dopt.backing));
+  PutU64(out, DoubleBits(dopt.target_epsilon));
+  PutU64(out, DoubleBits(dopt.target_phi));
+  PutU64(out, DoubleBits(dopt.variance_over_q2));
+  PutU64(out, dopt.max_bytes);
+}
+
+bool GetDatasetOptions(BodyReader* r, DatasetOptions* dopt) {
+  uint8_t layout, width, backing;
+  uint64_t eps_bits, phi_bits, var_bits;
+  if (!r->GetU64(&dopt->eps) || !r->GetU8(&layout) || !r->GetU8(&width) ||
+      !r->GetU8(&backing) || !r->GetU64(&eps_bits) || !r->GetU64(&phi_bits) ||
+      !r->GetU64(&var_bits) || !r->GetU64(&dopt->max_bytes)) {
+    return false;
+  }
+  if (layout > static_cast<uint8_t>(CounterLayout::kBlocked) ||
+      width > static_cast<uint8_t>(CounterWidth::kI32) ||
+      backing > static_cast<uint8_t>(CounterBacking::kHugePage)) {
+    return false;
+  }
+  dopt->layout = static_cast<CounterLayout>(layout);
+  dopt->counter_width = static_cast<CounterWidth>(width);
+  dopt->backing = static_cast<CounterBacking>(backing);
+  dopt->target_epsilon = BitsToDouble(eps_bits);
+  dopt->target_phi = BitsToDouble(phi_bits);
+  dopt->variance_over_q2 = BitsToDouble(var_bits);
+  return true;
+}
+
+std::string EncodeCheckpoint(const CheckpointImage& image) {
+  std::string out(kMagic, sizeof(kMagic));
+  PutU32(&out, kVersion);
+  PutU64(&out, image.lsn);
+  PutU32(&out, static_cast<uint32_t>(image.schemas.size()));
+  for (const CheckpointSchema& schema : image.schemas) {
+    PutBytes(&out, schema.name);
+    PutSchemaOptions(&out, schema.opt);
+  }
+  PutU32(&out, static_cast<uint32_t>(image.datasets.size()));
+  for (const CheckpointDataset& ds : image.datasets) {
+    PutBytes(&out, ds.name);
+    PutBytes(&out, ds.schema_name);
+    PutU8(&out, static_cast<uint8_t>(ds.kind));
+    PutDatasetOptions(&out, ds.dopt);
+    PutBytes(&out, ds.blob);
+  }
+  PutU32(&out, Crc32c(out));
+  return out;
+}
+
+Result<CheckpointImage> DecodeCheckpoint(const std::string& data) {
+  const Status corrupt =
+      Status::InvalidArgument("corrupt or truncated checkpoint file");
+  if (data.size() < sizeof(kMagic) + 4 + 8 + 4 + 4 + 4 ||
+      std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    return corrupt;
+  }
+  // Trailer CRC over everything before it.
+  const size_t body_size = data.size() - 4;
+  BodyReader trailer(data.data() + body_size, 4);
+  uint32_t stored_crc = 0;
+  trailer.GetU32(&stored_crc);
+  if (Crc32c(data.data(), body_size) != stored_crc) return corrupt;
+
+  BodyReader r(data.data() + sizeof(kMagic), body_size - sizeof(kMagic));
+  uint32_t version = 0;
+  CheckpointImage image;
+  uint32_t num_schemas = 0;
+  if (!r.GetU32(&version) || version != kVersion || !r.GetU64(&image.lsn) ||
+      !r.GetU32(&num_schemas)) {
+    return corrupt;
+  }
+  image.schemas.reserve(num_schemas);
+  for (uint32_t i = 0; i < num_schemas; ++i) {
+    CheckpointSchema schema;
+    if (!r.GetBytes(&schema.name) || !GetSchemaOptions(&r, &schema.opt)) {
+      return corrupt;
+    }
+    image.schemas.push_back(std::move(schema));
+  }
+  uint32_t num_datasets = 0;
+  if (!r.GetU32(&num_datasets)) return corrupt;
+  image.datasets.reserve(num_datasets);
+  for (uint32_t i = 0; i < num_datasets; ++i) {
+    CheckpointDataset ds;
+    uint8_t kind = 0;
+    if (!r.GetBytes(&ds.name) || !r.GetBytes(&ds.schema_name) ||
+        !r.GetU8(&kind) ||
+        kind > static_cast<uint8_t>(DatasetKind::kContainOuter) ||
+        !GetDatasetOptions(&r, &ds.dopt) || !r.GetBytes(&ds.blob)) {
+      return corrupt;
+    }
+    ds.kind = static_cast<DatasetKind>(kind);
+    image.datasets.push_back(std::move(ds));
+  }
+  if (!r.AtEnd()) return corrupt;
+  return image;
+}
+
+std::string CheckpointFileName(uint64_t lsn) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "checkpoint-%020" PRIu64 ".ckpt", lsn);
+  return buf;
+}
+
+std::string WalFileName(uint64_t first_lsn) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "wal-%020" PRIu64 ".log", first_lsn);
+  return buf;
+}
+
+namespace {
+
+bool ParseNumberedName(const std::string& name, const char* prefix,
+                       const char* suffix, uint64_t* value) {
+  const size_t prefix_len = std::strlen(prefix);
+  const size_t suffix_len = std::strlen(suffix);
+  if (name.size() <= prefix_len + suffix_len ||
+      name.compare(0, prefix_len, prefix) != 0 ||
+      name.compare(name.size() - suffix_len, suffix_len, suffix) != 0) {
+    return false;
+  }
+  uint64_t v = 0;
+  for (size_t i = prefix_len; i < name.size() - suffix_len; ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *value = v;
+  return true;
+}
+
+}  // namespace
+
+bool ParseCheckpointFileName(const std::string& name, uint64_t* lsn) {
+  return ParseNumberedName(name, "checkpoint-", ".ckpt", lsn);
+}
+
+bool ParseWalFileName(const std::string& name, uint64_t* first_lsn) {
+  return ParseNumberedName(name, "wal-", ".log", first_lsn);
+}
+
+Status WriteCheckpoint(const std::string& dir, const CheckpointImage& image) {
+  const std::string path = dir + "/" + CheckpointFileName(image.lsn);
+  SKETCH_RETURN_NOT_OK(WriteFileAtomic(path, EncodeCheckpoint(image),
+                                       "checkpoint-tmp", "checkpoint-rename"));
+  // Publish as current. A crash before this rewrite leaves the previous
+  // checkpoint current with its WAL tail intact — LoadCurrentCheckpoint
+  // also falls back to the highest-LSN decodable file.
+  return WriteFileAtomic(dir + "/CURRENT", CheckpointFileName(image.lsn),
+                         nullptr, "checkpoint-current");
+}
+
+Result<CheckpointImage> LoadCurrentCheckpoint(const std::string& dir,
+                                              bool* found) {
+  *found = false;
+
+  // First choice: the file CURRENT names.
+  if (PathExists(dir + "/CURRENT")) {
+    auto current = ReadFileToString(dir + "/CURRENT");
+    if (current.ok()) {
+      // Tolerate a trailing newline from manual inspection/edits.
+      std::string name = *current;
+      while (!name.empty() && (name.back() == '\n' || name.back() == '\r')) {
+        name.pop_back();
+      }
+      uint64_t lsn = 0;
+      if (ParseCheckpointFileName(name, &lsn) &&
+          PathExists(dir + "/" + name)) {
+        auto data = ReadFileToString(dir + "/" + name);
+        if (data.ok()) {
+          auto image = DecodeCheckpoint(*data);
+          if (image.ok()) {
+            *found = true;
+            return image;
+          }
+        }
+      }
+    }
+  }
+
+  // Fallback: the highest-LSN checkpoint file that decodes cleanly.
+  auto names = ListDir(dir);
+  if (!names.ok()) return names.status();
+  CheckpointImage best;
+  bool have_best = false;
+  for (const std::string& name : *names) {
+    uint64_t lsn = 0;
+    if (!ParseCheckpointFileName(name, &lsn)) continue;
+    if (have_best && lsn <= best.lsn) continue;
+    auto data = ReadFileToString(dir + "/" + name);
+    if (!data.ok()) continue;
+    auto image = DecodeCheckpoint(*data);
+    if (!image.ok()) continue;
+    best = std::move(*image);
+    have_best = true;
+  }
+  if (have_best) {
+    *found = true;
+    return best;
+  }
+  return CheckpointImage{};
+}
+
+}  // namespace durability
+}  // namespace spatialsketch

@@ -1,0 +1,116 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Crash-consistent checkpoints of a durable SketchStore.
+//
+// A checkpoint file is a self-contained image of the whole store at one
+// LSN: every registered schema's options, every dataset's identity
+// (name, schema name, kind, full DatasetOptions — enough to re-create it
+// deterministically, including the SLO-derived k1/k2) and its snapshot
+// blob, all under a trailing CRC32C. Files are published atomically
+// (tmp + fsync + rename + dir fsync) and made current by atomically
+// rewriting the CURRENT manifest, after which the WAL truncates to the
+// checkpoint LSN (old segments and checkpoints are garbage-collected).
+// A crash at ANY step leaves either the previous checkpoint current or
+// the new one — never a half state:
+//   - before the rename: the tmp file is garbage; CURRENT still names
+//     the old checkpoint, and recovery ignores tmp files.
+//   - between the rename and the CURRENT rewrite: both checkpoints
+//     exist; CURRENT still names the old one, whose WAL tail is intact.
+//   - after CURRENT, before GC: recovery uses the new checkpoint and
+//     skips replayed-LSN records in the not-yet-deleted old segments.
+//
+// File layout inside the store directory:
+//   CURRENT                   — names the current checkpoint file
+//   checkpoint-<lsn>.ckpt     — checkpoint images
+//   wal-<first_lsn>.log       — log segments, replayed in LSN order
+
+#ifndef SPATIALSKETCH_STORE_DURABILITY_CHECKPOINT_H_
+#define SPATIALSKETCH_STORE_DURABILITY_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/store/store_types.h"
+
+namespace spatialsketch {
+namespace durability {
+
+/// One registered schema in a checkpoint image.
+struct CheckpointSchema {
+  std::string name;
+  StoreSchemaOptions opt;
+};
+
+/// One dataset in a checkpoint image: its full creation identity plus a
+/// store snapshot blob of its counters.
+struct CheckpointDataset {
+  std::string name;
+  std::string schema_name;
+  DatasetKind kind = DatasetKind::kRange;
+  DatasetOptions dopt;
+  std::string blob;  ///< SketchStore snapshot (SST4) of the counters
+};
+
+/// A whole-store image at `lsn`: recovery re-registers the schemas,
+/// re-creates the datasets (deterministic — equal options derive equal
+/// schema instances and SLO sizes), restores the blobs, then replays WAL
+/// records with LSN > lsn.
+struct CheckpointImage {
+  uint64_t lsn = 0;
+  std::vector<CheckpointSchema> schemas;
+  std::vector<CheckpointDataset> datasets;
+};
+
+class BodyReader;
+
+/// Wire encoding of the option structs, shared by checkpoint images and
+/// the WAL's kRegisterSchema/kCreateDataset record bodies (recovery.cc) —
+/// one encoding, one decoder, both validated the same way. The Get*
+/// variants return false on truncation or an out-of-range enum value.
+void PutSchemaOptions(std::string* out, const StoreSchemaOptions& opt);
+bool GetSchemaOptions(BodyReader* r, StoreSchemaOptions* opt);
+void PutDatasetOptions(std::string* out, const DatasetOptions& dopt);
+bool GetDatasetOptions(BodyReader* r, DatasetOptions* dopt);
+
+/// Serialize an image ("SPCK" magic, versioned, CRC32C trailer).
+std::string EncodeCheckpoint(const CheckpointImage& image);
+
+/// Decode and fully validate a checkpoint file's bytes (magic, version,
+/// structure, trailer CRC). InvalidArgument on any corruption.
+Result<CheckpointImage> DecodeCheckpoint(const std::string& data);
+
+/// File name of the checkpoint at `lsn` (zero-padded so lexical order is
+/// LSN order).
+std::string CheckpointFileName(uint64_t lsn);
+
+/// File name of the WAL segment whose first record is `first_lsn`.
+std::string WalFileName(uint64_t first_lsn);
+
+/// Parse a "checkpoint-<lsn>.ckpt" / "wal-<lsn>.log" name; false if the
+/// name is not of that form.
+bool ParseCheckpointFileName(const std::string& name, uint64_t* lsn);
+bool ParseWalFileName(const std::string& name, uint64_t* first_lsn);
+
+/// Write `image` into `dir` following the atomic protocol above and make
+/// it current. Failpoint sites: "checkpoint-tmp" (fail before the tmp
+/// write — clean abort, old checkpoint stays current), "checkpoint-
+/// rename" (fail between tmp and rename), "checkpoint-current" (fail
+/// before the CURRENT rewrite, leaving the new file published but not
+/// current).
+Status WriteCheckpoint(const std::string& dir, const CheckpointImage& image);
+
+/// Load the current checkpoint of `dir`. Resolution order: the file
+/// CURRENT names if it decodes cleanly, else the highest-LSN checkpoint
+/// file that does (a crash between rename and CURRENT leaves such a
+/// file; a flipped bit in one file must not lose the store). *found is
+/// false — with an empty image returned — when the directory holds no
+/// checkpoint at all (a fresh store).
+Result<CheckpointImage> LoadCurrentCheckpoint(const std::string& dir,
+                                              bool* found);
+
+}  // namespace durability
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_STORE_DURABILITY_CHECKPOINT_H_

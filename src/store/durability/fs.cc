@@ -1,0 +1,152 @@
+#include "src/store/durability/fs.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "src/common/failpoints.h"
+
+namespace spatialsketch {
+namespace durability {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& op, const std::string& path) {
+  return op + " '" + path + "': " + std::strerror(errno);
+}
+
+Status WriteFully(int fd, const char* data, size_t n,
+                  const std::string& path) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(ErrnoMessage("write", path));
+    }
+    off += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status EnsureDir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0) return Status::OK();
+  if (errno == EEXIST) {
+    struct stat st;
+    if (::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+      return Status::OK();
+    }
+    return Status::IOError("'" + path + "' exists and is not a directory");
+  }
+  return Status::IOError(ErrnoMessage("mkdir", path));
+}
+
+Status FsyncFd(int fd, const std::string& what) {
+  if (SKETCH_FAILPOINT("fsync")) {
+    return Status::IOError("injected fsync failure on " + what);
+  }
+  if (::fsync(fd) != 0) {
+    return Status::IOError(ErrnoMessage("fsync", what));
+  }
+  return Status::OK();
+}
+
+Status FsyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Status::IOError(ErrnoMessage("open dir", dir));
+  Status st = FsyncFd(fd, dir);
+  ::close(fd);
+  return st;
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IOError(ErrnoMessage("open", path));
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      const Status st = Status::IOError(ErrnoMessage("read", path));
+      ::close(fd);
+      return st;
+    }
+    if (r == 0) break;
+    out.append(buf, static_cast<size_t>(r));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& data,
+                       const char* fp_tmp, const char* fp_rename) {
+  const std::string tmp = path + ".tmp";
+  if (fp_tmp != nullptr && SKETCH_FAILPOINT(fp_tmp)) {
+    return Status::IOError(std::string("injected failure at failpoint '") +
+                           fp_tmp + "'");
+  }
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IOError(ErrnoMessage("open", tmp));
+  Status st = WriteFully(fd, data.data(), data.size(), tmp);
+  if (st.ok()) st = FsyncFd(fd, tmp);
+  ::close(fd);
+  if (!st.ok()) {
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  if (fp_rename != nullptr && SKETCH_FAILPOINT(fp_rename)) {
+    // Simulated crash between the tmp publish and the rename: the tmp
+    // file is left behind exactly as a real crash would leave it.
+    return Status::IOError(std::string("injected failure at failpoint '") +
+                           fp_rename + "'");
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status rn = Status::IOError(ErrnoMessage("rename", tmp));
+    ::unlink(tmp.c_str());
+    return rn;
+  }
+  // Make the rename itself durable.
+  const size_t slash = path.find_last_of('/');
+  return FsyncDir(slash == std::string::npos ? "." : path.substr(0, slash));
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return Status::IOError(ErrnoMessage("opendir", dir));
+  std::vector<std::string> names;
+  while (struct dirent* ent = ::readdir(d)) {
+    const std::string name = ent->d_name;
+    if (name == "." || name == "..") continue;
+    struct stat st;
+    if (::stat((dir + "/" + name).c_str(), &st) == 0 && S_ISREG(st.st_mode)) {
+      names.push_back(name);
+    }
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::IOError(ErrnoMessage("unlink", path));
+  }
+  return Status::OK();
+}
+
+bool PathExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace durability
+}  // namespace spatialsketch

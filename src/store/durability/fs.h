@@ -1,0 +1,54 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Thin POSIX file-system primitives for the durability layer (WAL +
+// checkpoint files). Every fallible call returns Status::IOError with
+// errno context instead of crashing, and the fsync primitive carries the
+// "fsync" failpoint so tests can fail the Nth sync anywhere in the stack.
+
+#ifndef SPATIALSKETCH_STORE_DURABILITY_FS_H_
+#define SPATIALSKETCH_STORE_DURABILITY_FS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace spatialsketch {
+namespace durability {
+
+/// Create `path` as a directory if it does not exist (one level; parents
+/// must exist). OK if it already is a directory.
+Status EnsureDir(const std::string& path);
+
+/// fsync an open descriptor. Failpoint site: "fsync" (arm with skip=N to
+/// fail the N+1th sync in the process).
+Status FsyncFd(int fd, const std::string& what);
+
+/// fsync a directory by path — the rename-durability step of every
+/// atomic file publish.
+Status FsyncDir(const std::string& dir);
+
+/// Whole-file read.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Write `data` to `path + ".tmp"`, fsync it, rename over `path`, and
+/// fsync the parent directory — the standard atomic-publish sequence: a
+/// crash anywhere leaves either the old file or the new one, never a
+/// partial write. `fp_tmp` / `fp_rename` (nullable) name failpoints fired
+/// before the tmp write and before the rename, for crash-protocol tests.
+Status WriteFileAtomic(const std::string& path, const std::string& data,
+                       const char* fp_tmp, const char* fp_rename);
+
+/// Names (not paths) of regular files in `dir`, sorted.
+Result<std::vector<std::string>> ListDir(const std::string& dir);
+
+/// Delete one file (OK if already gone).
+Status RemoveFile(const std::string& path);
+
+/// True if `path` exists (any file type).
+bool PathExists(const std::string& path);
+
+}  // namespace durability
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_STORE_DURABILITY_FS_H_

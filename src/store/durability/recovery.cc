@@ -1,0 +1,370 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// DurabilityManager method bodies plus the SketchStore durability entry
+// points that need the full durability machinery (OpenDurable,
+// Checkpoint, replay) — kept here so sketch_store.cc stays focused on
+// serving and only calls through the thin Log*/CommitShared seams.
+
+#include "src/store/durability/recovery.h"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/failpoints.h"
+#include "src/sketch/serialize.h"
+#include "src/store/dataset_state.h"
+#include "src/store/durability/fs.h"
+#include "src/store/sketch_store.h"
+
+namespace spatialsketch {
+namespace internal {
+
+namespace {
+
+// One framed record costs the 8-byte frame header plus the 13-byte
+// payload prefix (type + lsn + name length) over the name and body — the
+// WAL's wire format (wal.h). Computed here (not read back from the
+// writer) so the byte accounting is race-free under concurrent appends.
+uint64_t FrameBytes(const std::string& name, const std::string& body) {
+  return 8 + 13 + name.size() + body.size();
+}
+
+}  // namespace
+
+Status DurabilityManager::Append(durability::WalRecordType type,
+                                 const std::string& name,
+                                 const std::string& body,
+                                 bool epoch_granular) {
+  // Recovery drives the normal store entry points; it must not re-log
+  // what it replays.
+  if (replaying()) return Status::OK();
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition(
+        "durable store has no open WAL segment");
+  }
+  const bool sync = opt_.sync == WalSyncPolicy::kAlways ||
+                    (opt_.sync == WalSyncPolicy::kEpoch && epoch_granular);
+  SKETCH_RETURN_NOT_OK(wal_->Append(type, name, body, sync,
+                                    /*lsn_out=*/nullptr));
+  wal_records_.fetch_add(1, std::memory_order_relaxed);
+  wal_bytes_.fetch_add(FrameBytes(name, body), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status DurabilityManager::LogRegisterSchema(const std::string& name,
+                                            const StoreSchemaOptions& opt) {
+  std::string body;
+  durability::PutSchemaOptions(&body, opt);
+  return Append(durability::WalRecordType::kRegisterSchema, name, body,
+                /*epoch_granular=*/true);
+}
+
+Status DurabilityManager::LogCreateDataset(const std::string& name,
+                                           const std::string& schema_name,
+                                           DatasetKind kind,
+                                           const DatasetOptions& dopt) {
+  std::string body;
+  durability::PutBytes(&body, schema_name);
+  durability::PutU8(&body, static_cast<uint8_t>(kind));
+  durability::PutDatasetOptions(&body, dopt);
+  return Append(durability::WalRecordType::kCreateDataset, name, body,
+                /*epoch_granular=*/true);
+}
+
+Status DurabilityManager::LogDropDataset(const std::string& name) {
+  return Append(durability::WalRecordType::kDropDataset, name, std::string(),
+                /*epoch_granular=*/true);
+}
+
+Status DurabilityManager::LogUpdate(const std::string& dataset,
+                                    const Box& mapped, int sign) {
+  std::string body;
+  durability::PutU8(&body, sign > 0 ? 1 : 0);
+  for (uint32_t d = 0; d < kMaxDims; ++d) {
+    durability::PutU64(&body, mapped.lo[d]);
+  }
+  for (uint32_t d = 0; d < kMaxDims; ++d) {
+    durability::PutU64(&body, mapped.hi[d]);
+  }
+  return Append(durability::WalRecordType::kUpdate, dataset, body,
+                /*epoch_granular=*/false);
+}
+
+Status DurabilityManager::LogDelta(const std::string& dataset,
+                                   const std::string& delta_blob) {
+  if (SKETCH_FAILPOINT("wal-fold")) {
+    return Status::IOError("injected failure: wal-fold");
+  }
+  return Append(durability::WalRecordType::kDelta, dataset, delta_blob,
+                /*epoch_granular=*/true);
+}
+
+Status DurabilityManager::LogRestore(const std::string& dataset,
+                                     const std::string& blob) {
+  return Append(durability::WalRecordType::kRestore, dataset, blob,
+                /*epoch_granular=*/true);
+}
+
+Status DurabilityManager::Sync() {
+  if (wal_ == nullptr) return Status::OK();
+  return wal_->Sync();
+}
+
+Status DurabilityManager::OpenWalSegment(uint64_t first_lsn) {
+  const std::string path = dir_ + "/" + durability::WalFileName(first_lsn);
+  // A same-named file can linger from a previous incarnation (a crash
+  // between a checkpoint's CURRENT rewrite and its segment GC, with the
+  // segment holding only a torn frame). Its clean records are covered by
+  // the checkpoint that names this first_lsn; appending AFTER torn bytes
+  // would make the new records unreachable — start the segment fresh.
+  SKETCH_RETURN_NOT_OK(durability::RemoveFile(path));
+  auto writer = durability::WalWriter::Open(path, first_lsn);
+  if (!writer.ok()) return writer.status();
+  wal_ = std::move(*writer);
+  // Make the segment's directory entry durable so recovery can find it.
+  return durability::FsyncDir(dir_);
+}
+
+uint64_t DurabilityManager::last_lsn() const {
+  return wal_ != nullptr ? wal_->last_lsn() : base_lsn_;
+}
+
+uint64_t DurabilityManager::bytes_since_checkpoint() const {
+  return wal_bytes_.load(std::memory_order_relaxed) -
+         checkpoint_wal_bytes_.load(std::memory_order_relaxed);
+}
+
+Status DurabilityManager::InstallCheckpoint(
+    const durability::CheckpointImage& image) {
+  SKETCH_RETURN_NOT_OK(durability::WriteCheckpoint(dir_, image));
+  checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  checkpoint_wal_bytes_.store(wal_bytes_.load(std::memory_order_relaxed),
+                              std::memory_order_relaxed);
+  // Rotate to a fresh segment. The checkpoint was a stop-the-world cut
+  // (caller holds commit_mu exclusively), so every record in every
+  // existing segment has lsn <= image.lsn — the old segments are fully
+  // superseded the moment the rotation succeeds.
+  if (SKETCH_FAILPOINT("checkpoint-rotate")) {
+    return Status::IOError("injected failure: checkpoint-rotate");
+  }
+  SKETCH_RETURN_NOT_OK(OpenWalSegment(image.lsn + 1));
+  // Garbage-collect superseded segments and older checkpoints. Best
+  // effort: a leftover file is re-collected by the next checkpoint, and
+  // recovery tolerates it (replay skips covered LSNs; checkpoint loading
+  // prefers CURRENT).
+  auto names = durability::ListDir(dir_);
+  if (!names.ok()) return names.status();
+  for (const std::string& name : *names) {
+    uint64_t value = 0;
+    if (durability::ParseWalFileName(name, &value)) {
+      if (value <= image.lsn) {
+        (void)durability::RemoveFile(dir_ + "/" + name);
+      }
+    } else if (durability::ParseCheckpointFileName(name, &value)) {
+      if (value < image.lsn) {
+        (void)durability::RemoveFile(dir_ + "/" + name);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace internal
+
+// ---- SketchStore durability entry points --------------------------------
+
+Result<std::unique_ptr<SketchStore>> SketchStore::OpenDurable(
+    const std::string& dir, const DurabilityOptions& opt) {
+  SKETCH_RETURN_NOT_OK(durability::EnsureDir(dir));
+  bool found = false;
+  auto image = durability::LoadCurrentCheckpoint(dir, &found);
+  if (!image.ok()) return image.status();
+
+  auto store = std::make_unique<SketchStore>();
+  store->durability_ =
+      std::make_unique<internal::DurabilityManager>(dir, opt);
+  internal::DurabilityManager* mgr = store->durability_.get();
+  mgr->set_replaying(true);
+
+  // Rebuild the checkpoint state through the NORMAL entry points:
+  // re-creation is deterministic (equal options derive equal schema
+  // instances and SLO sizing), then the counters adopt the snapshot
+  // blobs. Log* calls no-op while replaying.
+  for (const durability::CheckpointSchema& schema : image->schemas) {
+    SKETCH_RETURN_NOT_OK(store->RegisterSchema(schema.name, schema.opt));
+  }
+  for (const durability::CheckpointDataset& ds : image->datasets) {
+    SKETCH_RETURN_NOT_OK(
+        store->CreateDataset(ds.name, ds.schema_name, ds.kind, ds.dopt));
+    auto state = store->Find(ds.name);
+    if (!state.ok()) return state.status();
+    SKETCH_RETURN_NOT_OK(store->RestoreOn(**state, ds.blob, /*log=*/false));
+  }
+
+  // Replay the WAL tail in segment order, skipping records the
+  // checkpoint covers. A torn or corrupt trailing frame is a CLEAN stop:
+  // everything before it is applied, nothing after it is read — and the
+  // torn record's operation was never applied pre-crash either
+  // (log-before-apply), so the recovered state equals the accepted one.
+  uint64_t base = image->lsn;
+  uint64_t replayed = 0;
+  auto names = durability::ListDir(dir);
+  if (!names.ok()) return names.status();
+  std::vector<std::pair<uint64_t, std::string>> segments;
+  for (const std::string& name : *names) {
+    uint64_t first = 0;
+    if (durability::ParseWalFileName(name, &first)) {
+      segments.emplace_back(first, name);
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+  for (const auto& [first, name] : segments) {
+    auto read = durability::ReadWalSegment(dir + "/" + name);
+    if (!read.ok()) return read.status();
+    for (const durability::WalRecord& rec : read->records) {
+      if (rec.lsn <= image->lsn) continue;
+      SKETCH_RETURN_NOT_OK(store->ReplayWalRecord(rec));
+      if (rec.lsn > base) base = rec.lsn;
+      ++replayed;
+    }
+    if (read->torn_tail) break;
+  }
+  mgr->set_base_lsn(base);
+  mgr->set_replayed_records(replayed);
+  mgr->set_replaying(false);
+
+  // Recovery IS a checkpoint: persist the recovered state, rotate to a
+  // fresh segment, and GC — so a torn tail is retired for good (a second
+  // crash cannot trip over it) and reopen cost stays one log epoch.
+  {
+    std::unique_lock<FairSharedMutex> commit(mgr->commit_mu);
+    SKETCH_RETURN_NOT_OK(store->CheckpointLocked());
+  }
+  return store;
+}
+
+Status SketchStore::Checkpoint() {
+  if (durability_ == nullptr) {
+    return Status::FailedPrecondition(
+        "Checkpoint() requires a store opened via OpenDurable");
+  }
+  // Exclusive commit lock: a true stop-the-world cut — every logged
+  // mutation is fully applied or not yet logged. Readers keep being
+  // served (they never take the commit lock).
+  std::unique_lock<FairSharedMutex> commit(durability_->commit_mu);
+  return CheckpointLocked();
+}
+
+Status SketchStore::CheckpointLocked() {
+  durability::CheckpointImage image;
+  SKETCH_RETURN_NOT_OK(BuildCheckpointImage(&image));
+  // The cut LSN is read AFTER the image's fences: a fence can fold shard
+  // deltas, appending kDelta records the image already reflects.
+  image.lsn = durability_->last_lsn();
+  return durability_->InstallCheckpoint(image);
+}
+
+Status SketchStore::BuildCheckpointImage(durability::CheckpointImage* out) {
+  if (SKETCH_FAILPOINT("snapshot-alloc")) {
+    return Status::IOError("injected failure: snapshot-alloc");
+  }
+  std::shared_lock<FairSharedMutex> lock(registry_mu_);
+  out->schemas.reserve(schemas_.size());
+  for (const auto& [name, entry] : schemas_) {
+    out->schemas.push_back(durability::CheckpointSchema{name, entry.opt});
+  }
+  out->datasets.reserve(datasets_.size());
+  for (const auto& [name, state] : datasets_) {
+    // No-commit fence: the caller already holds commit_mu exclusively,
+    // and the fold hook's WAL appends are what the image.lsn cut (taken
+    // after this) accounts for.
+    SKETCH_RETURN_NOT_OK(FenceDatasetNoCommit(*state));
+    durability::CheckpointDataset ds;
+    ds.name = name;
+    ds.schema_name = state->schema_name;
+    ds.kind = state->kind;
+    ds.dopt = state->dopt;
+    ds.blob = BuildSnapshotBlob(*state);
+    out->datasets.push_back(std::move(ds));
+  }
+  return Status::OK();
+}
+
+Status SketchStore::ReplayWalRecord(const durability::WalRecord& rec) {
+  using durability::WalRecordType;
+  const Status corrupt =
+      Status::InvalidArgument("corrupt WAL record body");
+  durability::BodyReader r(rec.body);
+  switch (static_cast<WalRecordType>(rec.type)) {
+    case WalRecordType::kRegisterSchema: {
+      StoreSchemaOptions opt;
+      if (!durability::GetSchemaOptions(&r, &opt) || !r.AtEnd()) {
+        return corrupt;
+      }
+      return RegisterSchema(rec.name, opt);
+    }
+    case WalRecordType::kCreateDataset: {
+      std::string schema_name;
+      uint8_t kind = 0;
+      DatasetOptions dopt;
+      if (!r.GetBytes(&schema_name) || !r.GetU8(&kind) ||
+          kind > static_cast<uint8_t>(DatasetKind::kContainOuter) ||
+          !durability::GetDatasetOptions(&r, &dopt) || !r.AtEnd()) {
+        return corrupt;
+      }
+      return CreateDataset(rec.name, schema_name,
+                           static_cast<DatasetKind>(kind), dopt);
+    }
+    case WalRecordType::kDropDataset:
+      return DropDataset(rec.name);
+    case WalRecordType::kUpdate: {
+      // The logged box is already MAPPED (post-MapForIngest); apply it
+      // directly — re-validating or re-mapping would double-transform.
+      uint8_t sign = 0;
+      Box mapped;
+      bool ok = r.GetU8(&sign);
+      for (uint32_t d = 0; ok && d < kMaxDims; ++d) {
+        ok = r.GetU64(&mapped.lo[d]);
+      }
+      for (uint32_t d = 0; ok && d < kMaxDims; ++d) {
+        ok = r.GetU64(&mapped.hi[d]);
+      }
+      if (!ok || !r.AtEnd()) return corrupt;
+      auto found = Find(rec.name);
+      // Unknown target: the dataset was dropped later in the log (drop
+      // records replay through DropDataset above) — skip, don't fail.
+      if (!found.ok()) return Status::OK();
+      internal::DatasetState& ds = **found;
+      std::unique_lock<FairSharedMutex> lock(ds.mu);
+      if (sign != 0) {
+        ds.sketch.Insert(mapped);
+      } else {
+        ds.sketch.Delete(mapped);
+      }
+      return Status::OK();
+    }
+    case WalRecordType::kDelta: {
+      auto found = Find(rec.name);
+      if (!found.ok()) return Status::OK();
+      auto delta = DeserializeSketch(rec.body);
+      if (!delta.ok()) return delta.status();
+      internal::DatasetState& ds = **found;
+      std::unique_lock<FairSharedMutex> lock(ds.mu);
+      // MergeFrom (not Merge): the replayed delta deserialized a FRESH
+      // schema instance — configuration equality is the right test here.
+      return ds.sketch.MergeFrom(*delta);
+    }
+    case WalRecordType::kRestore: {
+      auto found = Find(rec.name);
+      if (!found.ok()) return Status::OK();
+      return RestoreOn(**found, rec.body, /*log=*/false);
+    }
+  }
+  return Status::InvalidArgument("unknown WAL record type");
+}
+
+}  // namespace spatialsketch

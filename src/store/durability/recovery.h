@@ -1,0 +1,163 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// DurabilityManager: the per-store object tying the WAL (wal.h) and
+// checkpoints (checkpoint.h) to the serving layer. SketchStore owns one
+// when opened via OpenDurable; a default-constructed store has none and
+// pays nothing.
+//
+// Concurrency — the commit lock: every logged mutation path takes
+// `commit_mu` SHARED around {WAL append + counter mutation}; a
+// checkpoint takes it EXCLUSIVE, so the image it writes is a true
+// stop-the-world cut: every record at or below the checkpoint LSN is
+// fully applied, none above it is. Lock order is commit_mu → registry /
+// shard / dataset locks → the WAL's internal append mutex; nothing is
+// acquired while holding the append mutex, so the order is acyclic.
+// Per-dataset WAL order equals apply order because both happen under the
+// dataset's exclusive lock.
+//
+// Broken state: a failed append (including an injected torn write)
+// poisons the WAL — further durable mutations fail with
+// FailedPrecondition until the directory is reopened. The torn record's
+// operation was never applied (log-before-apply), so the on-disk clean
+// prefix still equals the accepted in-memory state; reopening recovers
+// exactly that.
+//
+// Recovery (SketchStore::OpenDurable) is itself a checkpoint: load the
+// current image, re-create schemas/datasets, restore blobs, replay the
+// WAL tail in order (clean stop at the first torn frame), then
+// immediately write a FRESH checkpoint and start a new segment. The torn
+// tail is thereby retired — a second crash cannot trip over it — and
+// recovery time stays bounded by one epoch of log, not the store's
+// lifetime.
+
+#ifndef SPATIALSKETCH_STORE_DURABILITY_RECOVERY_H_
+#define SPATIALSKETCH_STORE_DURABILITY_RECOVERY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/common/macros.h"
+#include "src/common/status.h"
+#include "src/geom/box.h"
+#include "src/store/durability/checkpoint.h"
+#include "src/store/durability/wal.h"
+#include "src/store/fair_shared_mutex.h"
+#include "src/store/store_types.h"
+
+namespace spatialsketch {
+namespace internal {
+
+/// Durability state of one SketchStore (see the file comment). All Log*
+/// methods are no-ops while `replaying()` (recovery drives the normal
+/// store entry points and must not re-log what it replays) and once the
+/// WAL is broken they fail with FailedPrecondition.
+class DurabilityManager {
+ public:
+  DurabilityManager(std::string dir, DurabilityOptions opt)
+      : dir_(std::move(dir)), opt_(opt) {}
+
+  /// Shared by logged mutations, exclusive by checkpoints (file comment).
+  FairSharedMutex commit_mu;
+
+  const std::string& dir() const { return dir_; }
+  const DurabilityOptions& options() const { return opt_; }
+
+  bool replaying() const {
+    return replaying_.load(std::memory_order_relaxed);
+  }
+  void set_replaying(bool v) {
+    replaying_.store(v, std::memory_order_relaxed);
+  }
+
+  // ---- Logging (called under commit shared + the relevant inner lock) ----
+
+  Status LogRegisterSchema(const std::string& name,
+                           const StoreSchemaOptions& opt);
+  Status LogCreateDataset(const std::string& name,
+                          const std::string& schema_name, DatasetKind kind,
+                          const DatasetOptions& dopt);
+  Status LogDropDataset(const std::string& name);
+  /// `mapped` is the post-MapForIngest sketch-domain box: replay applies
+  /// it directly, bypassing validation and mapping.
+  Status LogUpdate(const std::string& dataset, const Box& mapped, int sign);
+  /// `delta_blob` is SerializeSketch() of a delta sketch (an epoch fold
+  /// or a bulk load's private delta). Failpoint site: "wal-fold".
+  Status LogDelta(const std::string& dataset, const std::string& delta_blob);
+  Status LogRestore(const std::string& dataset, const std::string& blob);
+
+  /// Force every appended record to stable storage.
+  Status Sync();
+
+  // ---- Checkpoint / recovery plumbing (driven by SketchStore) ----------
+
+  /// Install `image` (checkpoint files + CURRENT), then rotate to a new
+  /// WAL segment and garbage-collect segments and checkpoints the image
+  /// supersedes. Caller holds commit_mu EXCLUSIVE with the image built
+  /// from the current state. A failure before the image file's rename is
+  /// a clean abort (the store keeps serving and logging); a failure
+  /// after it may leave the WAL un-rotated, which is safe (replay skips
+  /// LSNs the checkpoint covers) but reported.
+  /// Failpoint site: "checkpoint-rotate" (fail creating the new segment).
+  Status InstallCheckpoint(const durability::CheckpointImage& image);
+
+  /// Open the WAL writer on `segment_first_lsn`'s segment file (used by
+  /// recovery after replay; InstallCheckpoint rotates thereafter).
+  Status OpenWalSegment(uint64_t first_lsn);
+
+  /// Last LSN assigned by the WAL (or the base LSN recovery seeded).
+  uint64_t last_lsn() const;
+  /// Seed the LSN floor from recovery (checkpoint LSN / last replayed).
+  void set_base_lsn(uint64_t lsn) { base_lsn_ = lsn; }
+
+  // ---- Introspection ----------------------------------------------------
+
+  bool broken() const { return wal_ != nullptr && wal_->broken(); }
+  uint64_t wal_records() const {
+    return wal_records_.load(std::memory_order_relaxed);
+  }
+  uint64_t wal_bytes() const {
+    return wal_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t checkpoints() const {
+    return checkpoints_.load(std::memory_order_relaxed);
+  }
+  uint64_t replayed_records() const { return replayed_records_; }
+  void set_replayed_records(uint64_t n) { replayed_records_ = n; }
+
+  /// WAL bytes accumulated since the last checkpoint — the auto-
+  /// checkpoint trigger reads this off-lock.
+  uint64_t bytes_since_checkpoint() const;
+
+  /// True while another thread runs the auto-checkpoint (test-and-set).
+  bool TryBeginAutoCheckpoint() {
+    return !auto_checkpoint_running_.test_and_set(std::memory_order_acquire);
+  }
+  void EndAutoCheckpoint() {
+    auto_checkpoint_running_.clear(std::memory_order_release);
+  }
+
+ private:
+  Status Append(durability::WalRecordType type, const std::string& name,
+                const std::string& body, bool epoch_granular);
+
+  const std::string dir_;
+  const DurabilityOptions opt_;
+  std::unique_ptr<durability::WalWriter> wal_;
+  uint64_t base_lsn_ = 0;  ///< LSN floor when the WAL is empty
+  std::atomic<uint64_t> wal_records_{0};
+  std::atomic<uint64_t> wal_bytes_{0};
+  std::atomic<uint64_t> checkpoints_{0};
+  std::atomic<uint64_t> checkpoint_wal_bytes_{0};  ///< wal_bytes_ at last ckpt
+  uint64_t replayed_records_ = 0;
+  std::atomic<bool> replaying_{false};
+  std::atomic_flag auto_checkpoint_running_ = ATOMIC_FLAG_INIT;
+
+  SKETCH_DISALLOW_COPY_AND_ASSIGN(DurabilityManager);
+};
+
+}  // namespace internal
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_STORE_DURABILITY_RECOVERY_H_

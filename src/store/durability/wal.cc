@@ -1,0 +1,233 @@
+#include "src/store/durability/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/common/crc32c.h"
+#include "src/common/failpoints.h"
+#include "src/store/durability/fs.h"
+
+namespace spatialsketch {
+namespace durability {
+
+namespace {
+
+// Frames larger than this are treated as corruption by the reader: no
+// legitimate record (the largest is a checkpoint-scale snapshot blob)
+// approaches it, and it stops a flipped length prefix from driving a
+// multi-gigabyte allocation.
+constexpr uint32_t kMaxPayloadBytes = 1u << 30;
+
+constexpr size_t kFrameHeaderBytes = 8;  // u32 len + u32 crc
+// Payload prefix ahead of the body: type + lsn + name length.
+constexpr size_t kPayloadPrefixBytes = 1 + 8 + 4;
+
+uint32_t ReadU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int b = 0; b < 4; ++b) {
+    out->push_back(static_cast<char>((v >> (8 * b)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int b = 0; b < 8; ++b) {
+    out->push_back(static_cast<char>((v >> (8 * b)) & 0xff));
+  }
+}
+
+void PutBytes(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+bool BodyReader::GetU8(uint8_t* v) {
+  if (size_ - pos_ < 1) return false;
+  *v = static_cast<uint8_t>(data_[pos_++]);
+  return true;
+}
+
+bool BodyReader::GetU32(uint32_t* v) {
+  if (size_ - pos_ < 4) return false;
+  uint32_t out = 0;
+  for (int b = 0; b < 4; ++b) {
+    out |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + b]))
+           << (8 * b);
+  }
+  pos_ += 4;
+  *v = out;
+  return true;
+}
+
+bool BodyReader::GetU64(uint64_t* v) {
+  if (size_ - pos_ < 8) return false;
+  uint64_t out = 0;
+  for (int b = 0; b < 8; ++b) {
+    out |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + b]))
+           << (8 * b);
+  }
+  pos_ += 8;
+  *v = out;
+  return true;
+}
+
+bool BodyReader::GetBytes(std::string* s) {
+  uint32_t len = 0;
+  if (!GetU32(&len)) return false;
+  if (size_ - pos_ < len) return false;
+  s->assign(data_ + pos_, len);
+  pos_ += len;
+  return true;
+}
+
+WalWriter::WalWriter(std::string path, int fd, uint64_t first_lsn)
+    : path_(std::move(path)), fd_(fd), next_lsn_(first_lsn) {}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
+                                                   uint64_t first_lsn) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::IOError("open wal '" + path + "': " + std::strerror(errno));
+  }
+  return std::unique_ptr<WalWriter>(new WalWriter(path, fd, first_lsn));
+}
+
+Status WalWriter::Append(WalRecordType type, const std::string& name,
+                         const std::string& body, bool sync,
+                         uint64_t* lsn_out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (broken_) {
+    return Status::FailedPrecondition(
+        "wal '" + path_ + "' is broken after a failed append; reopen the "
+        "store to recover the accepted prefix");
+  }
+  if (SKETCH_FAILPOINT("wal-append")) {
+    // Fail BEFORE any byte lands: the record was never durable and its
+    // operation must not apply, so the writer poisons itself.
+    broken_ = true;
+    return Status::IOError("injected wal append failure");
+  }
+
+  std::string payload;
+  payload.reserve(kPayloadPrefixBytes + name.size() + body.size());
+  PutU8(&payload, static_cast<uint8_t>(type));
+  const uint64_t lsn = next_lsn_;
+  PutU64(&payload, lsn);
+  PutBytes(&payload, name);
+  payload.append(body);
+
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU32(&frame, Crc32c(payload));
+  frame.append(payload);
+
+  size_t to_write = frame.size();
+  if (SKETCH_FAILPOINT("wal-append-torn")) {
+    // The injected torn write: half the frame reaches the file, then the
+    // "crash". The reader's CRC/length check stops cleanly before it.
+    to_write = frame.size() / 2;
+  }
+  size_t off = 0;
+  while (off < to_write) {
+    const ssize_t w = ::write(fd_, frame.data() + off, to_write - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      broken_ = true;
+      return Status::IOError("write wal '" + path_ +
+                             "': " + std::strerror(errno));
+    }
+    off += static_cast<size_t>(w);
+  }
+  if (to_write != frame.size()) {
+    broken_ = true;
+    return Status::IOError("injected torn wal write");
+  }
+
+  next_lsn_ = lsn + 1;
+  bytes_appended_ += frame.size();
+  ++records_appended_;
+  if (lsn_out != nullptr) *lsn_out = lsn;
+  if (sync) {
+    Status st = FsyncFd(fd_, path_);
+    if (!st.ok()) {
+      // After a failed fsync the kernel may have dropped dirty pages; the
+      // only safe claim is "reopen and trust the on-disk prefix".
+      broken_ = true;
+      return st;
+    }
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (broken_) {
+    return Status::FailedPrecondition("wal '" + path_ + "' is broken");
+  }
+  Status st = FsyncFd(fd_, path_);
+  if (!st.ok()) broken_ = true;
+  return st;
+}
+
+Result<WalReadResult> ReadWalSegment(const std::string& path) {
+  auto data = ReadFileToString(path);
+  if (!data.ok()) return data.status();
+  const std::string& buf = *data;
+
+  WalReadResult out;
+  size_t pos = 0;
+  while (pos < buf.size()) {
+    if (buf.size() - pos < kFrameHeaderBytes) {
+      out.torn_tail = true;
+      break;
+    }
+    const uint32_t len = ReadU32(buf.data() + pos);
+    const uint32_t crc = ReadU32(buf.data() + pos + 4);
+    if (len < kPayloadPrefixBytes || len > kMaxPayloadBytes ||
+        buf.size() - pos - kFrameHeaderBytes < len) {
+      out.torn_tail = true;
+      break;
+    }
+    const char* payload = buf.data() + pos + kFrameHeaderBytes;
+    if (Crc32c(payload, len) != crc) {
+      out.torn_tail = true;
+      break;
+    }
+    BodyReader reader(payload, len);
+    WalRecord rec;
+    std::string name;
+    if (!reader.GetU8(&rec.type) || !reader.GetU64(&rec.lsn) ||
+        !reader.GetBytes(&rec.name)) {
+      // CRC-valid but structurally short — treat as the end of the clean
+      // prefix rather than guessing.
+      out.torn_tail = true;
+      break;
+    }
+    rec.body = reader.Rest();
+    out.records.push_back(std::move(rec));
+    pos += kFrameHeaderBytes + len;
+    out.valid_bytes = pos;
+  }
+  return out;
+}
+
+}  // namespace durability
+}  // namespace spatialsketch

@@ -1,0 +1,156 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Write-ahead delta log of one durable SketchStore.
+//
+// Frame format (little-endian):
+//   [u32 payload_len][u32 crc32c(payload)][payload]
+// Payload:
+//   [u8 type][u64 lsn][u32 name_len][name bytes][body bytes]
+//
+// Records are appended BEFORE the counters mutate (log-before-apply,
+// taken under the same per-dataset lock as the mutation, so the log order
+// of one dataset's records equals its apply order), and the synopsis is
+// LINEAR — counters add exactly — so replaying a log prefix reproduces
+// the pre-crash store bit for bit. Sharded ingest logs one compact
+// kDelta record per epoch fold (the WriterShardSet fold hook), not one
+// record per update: the stream is group-durable at fold/fence
+// granularity, and un-folded shard deltas at a crash are lost BY DESIGN
+// (they were never merged into the served master either).
+//
+// A torn or bit-flipped trailing frame (short read or CRC mismatch) is a
+// CLEAN end of log: the reader stops before it and reports torn_tail,
+// never undefined behavior — and because the torn record's operation was
+// never applied under log-before-apply, the replayed prefix is exactly
+// the accepted pre-crash state.
+
+#ifndef SPATIALSKETCH_STORE_DURABILITY_WAL_H_
+#define SPATIALSKETCH_STORE_DURABILITY_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/macros.h"
+#include "src/common/status.h"
+
+namespace spatialsketch {
+namespace durability {
+
+/// WAL record types. Values are the on-disk type byte — append-only.
+enum class WalRecordType : uint8_t {
+  kRegisterSchema = 1,  ///< body: StoreSchemaOptions fields
+  kCreateDataset = 2,   ///< body: schema name, kind, full DatasetOptions
+  kDropDataset = 3,     ///< body: empty
+  kUpdate = 4,          ///< body: sign + the MAPPED sketch-domain box
+  kDelta = 5,           ///< body: a serialized delta sketch (fold / bulk)
+  kRestore = 6,         ///< body: a store snapshot blob
+};
+
+/// One decoded WAL record.
+struct WalRecord {
+  uint8_t type = 0;
+  uint64_t lsn = 0;
+  std::string name;  ///< dataset or schema name the record targets
+  std::string body;  ///< type-specific payload (see WalRecordType)
+};
+
+// ---- Little-endian body encoding helpers (shared with checkpoint.cc) ----
+
+void PutU8(std::string* out, uint8_t v);
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+/// u32 length prefix + bytes.
+void PutBytes(std::string* out, const std::string& s);
+
+/// Bounds-checked sequential reader over an encoded body; every getter
+/// returns false (instead of reading out of bounds) once the input is
+/// exhausted or a length prefix overruns it.
+class BodyReader {
+ public:
+  BodyReader(const char* data, size_t size) : data_(data), size_(size) {}
+  explicit BodyReader(const std::string& s) : BodyReader(s.data(), s.size()) {}
+
+  bool GetU8(uint8_t* v);
+  bool GetU32(uint32_t* v);
+  bool GetU64(uint64_t* v);
+  bool GetBytes(std::string* s);
+  bool AtEnd() const { return pos_ == size_; }
+  /// The un-consumed remainder as a string (for records whose body tail
+  /// is an opaque blob).
+  std::string Rest() const { return std::string(data_ + pos_, size_ - pos_); }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// Append-only writer over one log segment file. Appends are serialized
+/// by an internal mutex (callers already order same-dataset records via
+/// the dataset lock; the mutex makes cross-dataset frames byte-atomic)
+/// and each record is assigned the next LSN under that mutex, so file
+/// order equals LSN order. Any write or sync error — including an
+/// injected torn write — permanently BREAKS the writer: further appends
+/// fail with FailedPrecondition, because bytes after a torn frame would
+/// be unreachable to the reader anyway (it stops at the tear).
+///
+/// Failpoint sites: "wal-append" (fail before writing), "wal-append-torn"
+/// (write only a prefix of the frame, then fail — the injected torn
+/// write), "fsync" (inside the sync).
+class WalWriter {
+ public:
+  /// Open (create or append to) `path`, assigning LSNs from `first_lsn`.
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path,
+                                                 uint64_t first_lsn);
+  ~WalWriter();
+
+  /// Frame and append one record; `sync` additionally fsyncs the segment.
+  /// Sets *lsn_out (if non-null) to the record's assigned LSN.
+  Status Append(WalRecordType type, const std::string& name,
+                const std::string& body, bool sync, uint64_t* lsn_out);
+
+  /// fsync the segment (durability point for every prior append).
+  Status Sync();
+
+  const std::string& path() const { return path_; }
+  /// Last assigned LSN (first_lsn - 1 when nothing was appended).
+  uint64_t last_lsn() const { return next_lsn_ - 1; }
+  /// Bytes appended through this writer (not the file size on open).
+  uint64_t bytes_appended() const { return bytes_appended_; }
+  /// Records appended through this writer.
+  uint64_t records_appended() const { return records_appended_; }
+  bool broken() const { return broken_; }
+
+ private:
+  WalWriter(std::string path, int fd, uint64_t first_lsn);
+
+  std::string path_;
+  int fd_;
+  std::mutex mu_;
+  uint64_t next_lsn_;
+  uint64_t bytes_appended_ = 0;
+  uint64_t records_appended_ = 0;
+  bool broken_ = false;
+
+  SKETCH_DISALLOW_COPY_AND_ASSIGN(WalWriter);
+};
+
+/// Result of reading one segment: the records that decoded cleanly, in
+/// file order, and whether the segment ended in a torn/corrupt frame.
+struct WalReadResult {
+  std::vector<WalRecord> records;
+  bool torn_tail = false;     ///< stopped early at a bad frame
+  uint64_t valid_bytes = 0;   ///< file offset of the clean prefix end
+};
+
+/// Decode a whole segment file. Only I/O errors (missing file, read
+/// failure) are Status errors; corruption is reported via torn_tail with
+/// every record before the tear returned — the clean-stop contract.
+Result<WalReadResult> ReadWalSegment(const std::string& path);
+
+}  // namespace durability
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_STORE_DURABILITY_WAL_H_

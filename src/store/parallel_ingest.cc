@@ -6,9 +6,9 @@
 
 namespace spatialsketch {
 
-void ShardedBulkLoad(DatasetSketch* target, const std::vector<Box>& boxes,
-                     int sign, const ShardedLoadOptions& opt) {
-  if (boxes.empty()) return;
+Status ShardedBulkLoad(DatasetSketch* target, const std::vector<Box>& boxes,
+                       int sign, const ShardedLoadOptions& opt) {
+  if (boxes.empty()) return Status::OK();
 
   const uint64_t threads = opt.num_threads != 0
                          ? opt.num_threads
@@ -36,8 +36,10 @@ void ShardedBulkLoad(DatasetSketch* target, const std::vector<Box>& boxes,
       // Below the table-build crossover BulkLoad streams the boxes
       // through the sign cache on the calling thread; delegate so the
       // small-batch pick applies to store loads too.
-      SKETCH_CHECK(target->BulkLoad(boxes.data(), boxes.size(), sign).ok());
-      return;
+      return target->BulkLoad(boxes.data(), boxes.size(), sign);
+    }
+    if (sign != 1 && sign != -1) {
+      return Status::InvalidArgument("bulk-load sign must be +1 or -1");
     }
     // Pure delegation — but still honor the caller's thread budget: the
     // loader's internal batch fan-out is capped at `threads`.
@@ -45,7 +47,7 @@ void ShardedBulkLoad(DatasetSketch* target, const std::vector<Box>& boxes,
     loader.Add(target, boxes.data(), boxes.size(), nullptr, sign);
     loader.Run(static_cast<uint32_t>(
         std::min<uint64_t>(threads, std::numeric_limits<uint32_t>::max())));
-    return;
+    return Status::OK();
   }
 
   // Contiguous slices; the last shard absorbs the remainder.
@@ -56,20 +58,27 @@ void ShardedBulkLoad(DatasetSketch* target, const std::vector<Box>& boxes,
     parts.emplace_back(target->schema(), target->shape());
   }
 
+  // Each worker records its own slot; the first non-OK status (by shard
+  // index, a deterministic pick) is propagated after the join instead of
+  // aborting the process from a worker thread.
+  std::vector<Status> results(shards);
   std::vector<std::thread> workers;
   workers.reserve(shards);
   for (uint64_t i = 0; i < shards; ++i) {
     const uint64_t begin = i * per_shard;
     const uint64_t end = (i + 1 == shards) ? boxes.size() : begin + per_shard;
     workers.emplace_back([&, i, begin, end] {
-      // Sign was validated by the caller; a failure here is a bug.
-      SKETCH_CHECK(
-          parts[i].BulkLoad(boxes.data() + begin, end - begin, sign).ok());
+      results[i] = parts[i].BulkLoad(boxes.data() + begin, end - begin, sign);
     });
   }
   for (std::thread& t : workers) t.join();
+  for (const Status& st : results) {
+    // No shard merges on failure, so the target is untouched.
+    if (!st.ok()) return st;
+  }
 
   for (const DatasetSketch& part : parts) target->Merge(part);
+  return Status::OK();
 }
 
 }  // namespace spatialsketch

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/geom/box.h"
 #include "src/sketch/dataset_sketch.h"
 
@@ -39,8 +40,13 @@ struct ShardedLoadOptions {
 /// budget rather than multiplying against it. Wide schemas whose batch
 /// count alone meets the budget degenerate to a single plain BulkLoad
 /// with no shard sketches at all.
-void ShardedBulkLoad(DatasetSketch* target, const std::vector<Box>& boxes,
-                     int sign, const ShardedLoadOptions& opt = {});
+///
+/// Errors: a failing per-shard BulkLoad (e.g. an invalid sign) is
+/// collected from its worker and the FIRST shard's failure is returned
+/// after all workers join — never a process abort. On any failure no
+/// shard is merged, so `target` is unchanged.
+Status ShardedBulkLoad(DatasetSketch* target, const std::vector<Box>& boxes,
+                       int sign, const ShardedLoadOptions& opt = {});
 
 }  // namespace spatialsketch
 

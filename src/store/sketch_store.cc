@@ -5,6 +5,7 @@
 #include <mutex>
 #include <utility>
 
+#include "src/common/crc32c.h"
 #include "src/dyadic/endpoint_transform.h"
 #include "src/estimators/containment_estimator.h"
 #include "src/estimators/eps_join_estimator.h"
@@ -13,6 +14,7 @@
 #include "src/estimators/sizing.h"
 #include "src/sketch/self_join.h"
 #include "src/sketch/serialize.h"
+#include "src/store/durability/recovery.h"
 #include "src/store/parallel_ingest.h"
 
 namespace spatialsketch {
@@ -108,6 +110,14 @@ constexpr size_t kSnapshotHeaderV1 = sizeof(kSnapshotMagicV1) + 1;
 // representation. SST2/SST1 blobs still restore.
 constexpr char kSnapshotMagicV3[4] = {'S', 'S', 'T', '3'};
 constexpr size_t kSnapshotHeaderV3 = kSnapshotHeader + 2;
+// SST4 appends a CRC32C of the sketch payload to the SST3 header: kind +
+// eps + layout + width + payload CRC over the serialize.h blob. Restore
+// verifies it BEFORE deserializing, so a bit-flipped or truncated blob
+// (storage rot, a torn copy) fails fast with InvalidArgument instead of
+// being decoded — the restore fuzz tests drive exactly this. SST3 and
+// older blobs still restore (no CRC to check).
+constexpr char kSnapshotMagicV4[4] = {'S', 'S', 'T', '4'};
+constexpr size_t kSnapshotHeaderV4 = kSnapshotHeaderV3 + sizeof(uint32_t);
 
 /// Conservative default variance ratio V/Q^2 for the Lemma-1 SLO sizing
 /// (DatasetOptions::target_epsilon), per dataset kind: the sizing.h bound
@@ -149,6 +159,8 @@ uint64_t CounterBytesFor(uint64_t instances, uint32_t shape_words,
 
 }  // namespace
 
+SketchStore::SketchStore() = default;
+
 SketchStore::~SketchStore() {
   // Open handles keep DatasetStates alive past this destructor but reach
   // the store only AFTER their liveness check; marking every state
@@ -167,13 +179,19 @@ Status SketchStore::RegisterSchema(const std::string& name,
                             /*per_dim_caps=*/nullptr, opt.k1, opt.k2, opt.seed);
   if (!transformed.ok()) return transformed.status();
 
+  auto commit = CommitShared();
   std::unique_lock<FairSharedMutex> lock(registry_mu_);
-  if (!schemas_
-           .emplace(name, SchemaEntry{opt, *transformed, /*plain=*/nullptr,
-                                      /*lifted=*/nullptr})
-           .second) {
+  if (schemas_.find(name) != schemas_.end()) {
     return Status::InvalidArgument("schema '" + name + "' already exists");
   }
+  // Log AFTER the duplicate check (a rejected registration must not reach
+  // the WAL) and BEFORE the map insert (log-before-apply). No-op while
+  // replaying.
+  if (durability_ != nullptr) {
+    SKETCH_RETURN_NOT_OK(durability_->LogRegisterSchema(name, opt));
+  }
+  schemas_.emplace(name, SchemaEntry{opt, *transformed, /*plain=*/nullptr,
+                                     /*lifted=*/nullptr});
   return Status::OK();
 }
 
@@ -409,14 +427,25 @@ Status SketchStore::CreateDataset(const std::string& name,
                                         dopt.backing};
   DatasetSketch sketch(schema, std::move(shape), counter_opt);
   auto dataset = std::make_shared<internal::DatasetState>(
-      name, kind, entry.opt, dopt.eps,
+      name, schema_name, kind, entry.opt, dopt,
       next_generation_.fetch_add(1, std::memory_order_relaxed) + 1,
       std::move(sketch));
 
+  auto commit = CommitShared();
   std::unique_lock<FairSharedMutex> lock(registry_mu_);
-  if (!datasets_.emplace(name, std::move(dataset)).second) {
+  if (datasets_.find(name) != datasets_.end()) {
     return Status::InvalidArgument("dataset '" + name + "' already exists");
   }
+  // The logged record is the creation RECIPE (schema name, kind, full
+  // options): replay re-derives the identical SLO sizing and schema
+  // instances, so the re-created dataset is configured bit-identically.
+  // Logged after the duplicate check, before the insert; no-op while
+  // replaying.
+  if (durability_ != nullptr) {
+    SKETCH_RETURN_NOT_OK(
+        durability_->LogCreateDataset(name, schema_name, kind, dopt));
+  }
+  datasets_.emplace(name, std::move(dataset));
   return Status::OK();
 }
 
@@ -430,10 +459,14 @@ Result<DatasetHandle> SketchStore::OpenDataset(const std::string& name) {
 Status SketchStore::DropDataset(const std::string& name) {
   DatasetPtr victim;
   {
+    auto commit = CommitShared();
     std::unique_lock<FairSharedMutex> lock(registry_mu_);
     auto it = datasets_.find(name);
     if (it == datasets_.end()) {
       return Status::InvalidArgument("unknown dataset '" + name + "'");
+    }
+    if (durability_ != nullptr) {
+      SKETCH_RETURN_NOT_OK(durability_->LogDropDataset(name));
     }
     victim = std::move(it->second);
     datasets_.erase(it);
@@ -498,24 +531,40 @@ Status SketchStore::ApplyStreamingTo(internal::DatasetState& ds,
     return Status::OK();
   }
 
-  // Sharded fast path: one acquire load; the pointer is published once
-  // and never cleared, so a non-null read is safe without the dataset
-  // lock. The update lands in the calling thread's shard delta and folds
-  // into the master only at epoch boundaries.
-  if (WriterShardSet* ws = ds.shards_live.load(std::memory_order_acquire)) {
-    const uint32_t folds = ws->Apply(mapped, sign, &ds.sketch, &ds.mu);
-    if (folds > 0) {
-      epoch_folds_.fetch_add(folds, std::memory_order_relaxed);
-    }
-  } else {
-    std::unique_lock<FairSharedMutex> lock(ds.mu);
-    if (sign > 0) {
-      ds.sketch.Insert(mapped);
+  {
+    auto commit = CommitShared();
+    // Sharded fast path: one acquire load; the pointer is published once
+    // and never cleared, so a non-null read is safe without the dataset
+    // lock. The update lands in the calling thread's shard delta and
+    // folds into the master only at epoch boundaries — on a durable
+    // store the FOLD is the logged (and thus durable) unit, not the
+    // individual update (see WalSyncPolicy::kEpoch).
+    if (WriterShardSet* ws =
+            ds.shards_live.load(std::memory_order_acquire)) {
+      uint32_t folds = 0;
+      const Status st = ws->Apply(mapped, sign, &ds.sketch, &ds.mu, &folds);
+      if (folds > 0) {
+        epoch_folds_.fetch_add(folds, std::memory_order_relaxed);
+      }
+      SKETCH_RETURN_NOT_OK(st);
     } else {
-      ds.sketch.Delete(mapped);
+      std::unique_lock<FairSharedMutex> lock(ds.mu);
+      // Log-before-apply under the SAME exclusive lock as the mutation,
+      // so the per-dataset WAL order equals the apply order. The logged
+      // box is the MAPPED one: replay applies it directly, bypassing
+      // validation and ingest mapping.
+      if (durability_ != nullptr) {
+        SKETCH_RETURN_NOT_OK(durability_->LogUpdate(ds.name, mapped, sign));
+      }
+      if (sign > 0) {
+        ds.sketch.Insert(mapped);
+      } else {
+        ds.sketch.Delete(mapped);
+      }
     }
   }
   (sign > 0 ? inserts_ : deletes_).fetch_add(1, std::memory_order_relaxed);
+  MaybeAutoCheckpoint();
   return Status::OK();
 }
 
@@ -537,25 +586,43 @@ Status SketchStore::ConfigureShardedWriters(const std::string& dataset,
   }
   ds.shards = std::make_unique<WriterShardSet>(ds.sketch.schema(),
                                                ds.sketch.shape(), opt);
+  // Durable stores log each epoch fold as ONE compact delta record (the
+  // serialized shard delta) before it merges — the hook runs under the
+  // master's exclusive lock, so per-dataset log order equals apply order
+  // exactly as on the unsharded path. Installed BEFORE the shard set is
+  // published, so no fold can slip through unlogged.
+  if (durability_ != nullptr) {
+    internal::DurabilityManager* mgr = durability_.get();
+    const std::string name = ds.name;
+    ds.shards->SetFoldHook([mgr, name](const DatasetSketch& delta) {
+      return mgr->LogDelta(name, SerializeSketch(delta));
+    });
+  }
   ds.shards_live.store(ds.shards.get(), std::memory_order_release);
   return Status::OK();
 }
 
-void SketchStore::FenceDataset(internal::DatasetState& ds) const {
+Status SketchStore::FenceDatasetNoCommit(internal::DatasetState& ds) const {
   WriterShardSet* ws = ds.shards_live.load(std::memory_order_acquire);
-  if (ws == nullptr) return;
-  const uint32_t folded = ws->Fence(&ds.sketch, &ds.mu);
+  if (ws == nullptr) return Status::OK();
+  uint32_t folded = 0;
+  const Status st = ws->Fence(&ds.sketch, &ds.mu, &folded);
   if (folded > 0) {
     epoch_folds_.fetch_add(folded, std::memory_order_relaxed);
   }
   fences_.fetch_add(1, std::memory_order_relaxed);
+  return st;
+}
+
+Status SketchStore::FenceDataset(internal::DatasetState& ds) const {
+  auto commit = CommitShared();
+  return FenceDatasetNoCommit(ds);
 }
 
 Status SketchStore::Fence(const std::string& dataset) {
   auto found = Find(dataset);
   if (!found.ok()) return found.status();
-  FenceDataset(**found);
-  return Status::OK();
+  return FenceDataset(**found);
 }
 
 Status SketchStore::Insert(const std::string& dataset, const Box& box) {
@@ -593,18 +660,31 @@ Status SketchStore::MergeDelta(const std::string& name,
   }
 
   // Build the delta OFF the dataset lock; readers keep being served from
-  // the live sketch until the (cheap, counter-addition) Merge below.
+  // the live sketch until the (cheap, counter-addition) Merge below. A
+  // failed shard leaves the target untouched (ShardedBulkLoad merges
+  // nothing on failure), so the batch rejects atomically.
   DatasetSketch delta(ds.sketch.schema(), ds.sketch.shape());
   ShardedLoadOptions opt;
   opt.num_threads = num_threads;  // 0 keeps the auto-detect documented there
-  ShardedBulkLoad(&delta, mapped, sign, opt);
+  SKETCH_RETURN_NOT_OK(ShardedBulkLoad(&delta, mapped, sign, opt));
 
+  // Serialize the delta record off-lock too — only the append + Merge
+  // run under the locks.
+  std::string delta_blob;
+  if (durability_ != nullptr && !mapped.empty()) {
+    delta_blob = SerializeSketch(delta);
+  }
   {
+    auto commit = CommitShared();
     std::unique_lock<FairSharedMutex> lock(ds.mu);
+    if (durability_ != nullptr && !mapped.empty()) {
+      SKETCH_RETURN_NOT_OK(durability_->LogDelta(ds.name, delta_blob));
+    }
     ds.sketch.Merge(delta);
   }
   dropped_.fetch_add(dropped_count, std::memory_order_relaxed);
   bulk_boxes_.fetch_add(mapped.size(), std::memory_order_relaxed);
+  MaybeAutoCheckpoint();
   return Status::OK();
 }
 
@@ -1187,7 +1267,7 @@ Result<double> SketchStore::RangeCountOn(const internal::DatasetState& ds,
 }
 
 Result<int64_t> SketchStore::NumObjectsOn(internal::DatasetState& ds) const {
-  FenceDataset(ds);
+  SKETCH_RETURN_NOT_OK(FenceDataset(ds));
   std::shared_lock<FairSharedMutex> lock(ds.mu);
   return ds.sketch.num_objects();
 }
@@ -1203,17 +1283,14 @@ Result<std::vector<int64_t>> SketchStore::CounterSnapshot(
   auto found = Find(dataset);
   if (!found.ok()) return found.status();
   internal::DatasetState& ds = **found;
-  FenceDataset(ds);
+  SKETCH_RETURN_NOT_OK(FenceDataset(ds));
   std::shared_lock<FairSharedMutex> lock(ds.mu);
   return ds.sketch.counters();
 }
 
-Result<std::string> SketchStore::Snapshot(const std::string& dataset) const {
-  auto found = Find(dataset);
-  if (!found.ok()) return found.status();
-  internal::DatasetState& ds = **found;
-  FenceDataset(ds);
-  std::string blob(kSnapshotMagicV3, sizeof(kSnapshotMagicV3));
+std::string SketchStore::BuildSnapshotBlob(
+    const internal::DatasetState& ds) const {
+  std::string blob(kSnapshotMagicV4, sizeof(kSnapshotMagicV4));
   blob.push_back(static_cast<char>(ds.kind));
   const uint64_t eps = ds.eps;
   for (int b = 0; b < 8; ++b) {
@@ -1222,35 +1299,48 @@ Result<std::string> SketchStore::Snapshot(const std::string& dataset) const {
   std::shared_lock<FairSharedMutex> lock(ds.mu);
   // Layout + width tags (the SST3 extension) — written under the lock so
   // they describe the exact store the counters are read from.
-  blob.push_back(
-      static_cast<char>(ds.sketch.counter_store().layout()));
+  blob.push_back(static_cast<char>(ds.sketch.counter_store().layout()));
   blob.push_back(static_cast<char>(ds.sketch.counter_store().width()));
-  blob += SerializeSketch(ds.sketch);
+  const std::string payload = SerializeSketch(ds.sketch);
   lock.unlock();
+  const uint32_t crc = Crc32c(payload);
+  for (int b = 0; b < 4; ++b) {
+    blob.push_back(static_cast<char>((crc >> (8 * b)) & 0xff));
+  }
+  blob += payload;
+  return blob;
+}
+
+Result<std::string> SketchStore::Snapshot(const std::string& dataset) const {
+  auto found = Find(dataset);
+  if (!found.ok()) return found.status();
+  internal::DatasetState& ds = **found;
+  SKETCH_RETURN_NOT_OK(FenceDataset(ds));
+  std::string blob = BuildSnapshotBlob(ds);
   snapshots_.fetch_add(1, std::memory_order_relaxed);
   return blob;
 }
 
-Status SketchStore::Restore(const std::string& dataset,
-                            const std::string& blob) {
-  auto found = Find(dataset);
-  if (!found.ok()) return found.status();
-  internal::DatasetState& ds = **found;
-
-  // Current (SST3) header, the layout-less SST2 header, or the pre-eps
-  // SST1 header — SST1 predates the eps kinds, so those blobs carry an
-  // implicit eps of 0; SST2/SST1 predate the counter store, so their
-  // implicit source representation is flat int64.
-  const bool v3 = blob.size() >= kSnapshotHeaderV3 &&
+Status SketchStore::RestoreOn(internal::DatasetState& ds,
+                              const std::string& blob, bool log) {
+  // Current (SST4, payload-CRC'd) header, the CRC-less SST3 header, the
+  // layout-less SST2 header, or the pre-eps SST1 header — SST1 predates
+  // the eps kinds, so those blobs carry an implicit eps of 0; SST2/SST1
+  // predate the counter store, so their implicit source representation
+  // is flat int64.
+  const bool v4 = blob.size() >= kSnapshotHeaderV4 &&
+                  blob.compare(0, sizeof(kSnapshotMagicV4), kSnapshotMagicV4,
+                               sizeof(kSnapshotMagicV4)) == 0;
+  const bool v3 = !v4 && blob.size() >= kSnapshotHeaderV3 &&
                   blob.compare(0, sizeof(kSnapshotMagicV3), kSnapshotMagicV3,
                                sizeof(kSnapshotMagicV3)) == 0;
-  const bool v2 = !v3 && blob.size() >= kSnapshotHeader &&
+  const bool v2 = !v4 && !v3 && blob.size() >= kSnapshotHeader &&
                   blob.compare(0, sizeof(kSnapshotMagic), kSnapshotMagic,
                                sizeof(kSnapshotMagic)) == 0;
-  const bool v1 = !v3 && !v2 && blob.size() >= kSnapshotHeaderV1 &&
+  const bool v1 = !v4 && !v3 && !v2 && blob.size() >= kSnapshotHeaderV1 &&
                   blob.compare(0, sizeof(kSnapshotMagicV1), kSnapshotMagicV1,
                                sizeof(kSnapshotMagicV1)) == 0;
-  if (!v3 && !v2 && !v1) {
+  if (!v4 && !v3 && !v2 && !v1) {
     return Status::InvalidArgument("not a SketchStore snapshot blob");
   }
   if (static_cast<DatasetKind>(blob[sizeof(kSnapshotMagic)]) != ds.kind) {
@@ -1258,7 +1348,7 @@ Status SketchStore::Restore(const std::string& dataset,
         "snapshot was taken from a dataset of a different kind");
   }
   uint64_t blob_eps = 0;
-  if (v3 || v2) {
+  if (v4 || v3 || v2) {
     for (int b = 0; b < 8; ++b) {
       blob_eps |= static_cast<uint64_t>(static_cast<uint8_t>(
                       blob[sizeof(kSnapshotMagic) + 1 + b]))
@@ -1269,7 +1359,7 @@ Status SketchStore::Restore(const std::string& dataset,
     return Status::FailedPrecondition(
         "snapshot was taken from a dataset with a different ingest eps");
   }
-  if (v3) {
+  if (v4 || v3) {
     // Provenance tags: the source's counter layout/width. Restore always
     // re-homes the values into THIS dataset's configured representation
     // (AdoptCountersFrom copies values, not layout), so the tags only
@@ -1284,26 +1374,86 @@ Status SketchStore::Restore(const std::string& dataset,
           "snapshot carries an unknown counter layout/width tag");
     }
   }
+  const size_t header = v4 ? kSnapshotHeaderV4
+                           : (v3 ? kSnapshotHeaderV3
+                                 : (v2 ? kSnapshotHeader : kSnapshotHeaderV1));
+  const std::string payload = blob.substr(header);
+  if (v4) {
+    // Payload CRC BEFORE deserializing: a bit-flipped or truncated blob
+    // fails fast here instead of being decoded.
+    uint32_t stored_crc = 0;
+    for (int b = 0; b < 4; ++b) {
+      stored_crc |= static_cast<uint32_t>(static_cast<uint8_t>(
+                        blob[kSnapshotHeaderV3 + b]))
+                    << (8 * b);
+    }
+    if (Crc32c(payload) != stored_crc) {
+      return Status::InvalidArgument(
+          "snapshot payload fails its CRC (corrupt or truncated blob)");
+    }
+  }
 
   // Pre-restore shard deltas must fold BEFORE the counters are replaced:
   // folded later they would silently add pre-restore updates to the
   // restored state. Updates racing past this fence land after the
   // restore, as some sequential order must place them.
-  FenceDataset(ds);
+  SKETCH_RETURN_NOT_OK(FenceDataset(ds));
 
   // Deserialize off-lock (the expensive part), adopt under the writer
   // lock. AdoptCountersFrom validates shape and schema-configuration
   // equality and keeps the dataset's shared schema instance, so restored
   // datasets remain joinable with their schema-mates.
-  auto restored = DeserializeSketch(blob.substr(
-      v3 ? kSnapshotHeaderV3 : (v2 ? kSnapshotHeader : kSnapshotHeaderV1)));
+  auto restored = DeserializeSketch(payload);
   if (!restored.ok()) return restored.status();
 
-  std::unique_lock<FairSharedMutex> lock(ds.mu);
-  SKETCH_RETURN_NOT_OK(ds.sketch.AdoptCountersFrom(*restored));
-  lock.unlock();
-  restores_.fetch_add(1, std::memory_order_relaxed);
+  {
+    auto commit = CommitShared();
+    std::unique_lock<FairSharedMutex> lock(ds.mu);
+    // Log-before-apply under the dataset's exclusive lock, exactly like
+    // streaming updates, so replay re-applies the restore at the same
+    // per-dataset position. Replay itself calls with log=false.
+    if (log && durability_ != nullptr) {
+      SKETCH_RETURN_NOT_OK(durability_->LogRestore(ds.name, blob));
+    }
+    SKETCH_RETURN_NOT_OK(ds.sketch.AdoptCountersFrom(*restored));
+  }
+  if (log) {
+    restores_.fetch_add(1, std::memory_order_relaxed);
+    MaybeAutoCheckpoint();
+  }
   return Status::OK();
+}
+
+Status SketchStore::Restore(const std::string& dataset,
+                            const std::string& blob) {
+  auto found = Find(dataset);
+  if (!found.ok()) return found.status();
+  return RestoreOn(**found, blob, /*log=*/true);
+}
+
+std::shared_lock<FairSharedMutex> SketchStore::CommitShared() const {
+  if (durability_ == nullptr) return std::shared_lock<FairSharedMutex>();
+  return std::shared_lock<FairSharedMutex>(durability_->commit_mu);
+}
+
+Status SketchStore::SyncWal() {
+  if (durability_ == nullptr) return Status::OK();
+  return durability_->Sync();
+}
+
+void SketchStore::MaybeAutoCheckpoint() {
+  if (durability_ == nullptr) return;
+  const uint64_t every = durability_->options().checkpoint_every_bytes;
+  if (every == 0 || durability_->replaying()) return;
+  if (durability_->bytes_since_checkpoint() < every) return;
+  // One checkpointer at a time; everyone else returns to their caller —
+  // the trigger re-fires on a later mutation if bytes are still over.
+  if (!durability_->TryBeginAutoCheckpoint()) return;
+  // Best-effort: the triggering mutation is already durable in the WAL,
+  // so a failed auto-checkpoint must not fail it; the failure will
+  // resurface on the next explicit Checkpoint()/auto attempt.
+  (void)Checkpoint();
+  durability_->EndAutoCheckpoint();
 }
 
 StoreStats SketchStore::stats() const {
@@ -1325,6 +1475,12 @@ StoreStats SketchStore::stats() const {
   s.restores = restores_.load(std::memory_order_relaxed);
   s.epoch_folds = epoch_folds_.load(std::memory_order_relaxed);
   s.fences = fences_.load(std::memory_order_relaxed);
+  if (durability_ != nullptr) {
+    s.wal_records = durability_->wal_records();
+    s.wal_bytes = durability_->wal_bytes();
+    s.checkpoints = durability_->checkpoints();
+    s.wal_replayed = durability_->replayed_records();
+  }
   // Cache health, summed over every registered schema variant (each owns
   // one sign cache and one point-sum cache).
   {

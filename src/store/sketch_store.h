@@ -81,6 +81,17 @@
 /// Core namespace of the spatialsketch library.
 namespace spatialsketch {
 
+/// Durability primitives (WAL, checkpoints) behind SketchStore::
+/// OpenDurable; see src/store/durability/ and docs/DURABILITY.md.
+namespace durability {
+struct CheckpointImage;
+struct WalRecord;
+}  // namespace durability
+
+namespace internal {
+class DurabilityManager;
+}  // namespace internal
+
 /// Monotonic operation counters (relaxed atomics; approximate under
 /// concurrency, exact once the store is quiescent).
 struct StoreStats {
@@ -99,6 +110,12 @@ struct StoreStats {
   uint64_t restores = 0;        ///< successful Restore calls
   uint64_t epoch_folds = 0;  ///< shard deltas folded into master counters
   uint64_t fences = 0;       ///< explicit + internal epoch fences taken
+
+  // Durability (all 0 on a non-durable store; see docs/DURABILITY.md).
+  uint64_t wal_records = 0;   ///< WAL records appended this session
+  uint64_t wal_bytes = 0;     ///< WAL bytes appended this session
+  uint64_t checkpoints = 0;   ///< checkpoints installed this session
+  uint64_t wal_replayed = 0;  ///< WAL records replayed by OpenDurable
 
   // Schema-owned cache health, aggregated over every schema variant's
   // PackedSignCache / PointSumCache (see src/xi/*cache*.h): lookups that
@@ -120,8 +137,38 @@ struct StoreStats {
 
 class SketchStore {
  public:
-  /// An empty store: no schemas, no datasets, lazy query pool.
-  SketchStore() = default;
+  /// An empty store: no schemas, no datasets, lazy query pool. Defined
+  /// out of line (with the destructor) so this header only needs the
+  /// DurabilityManager forward declaration.
+  SketchStore();
+
+  /// Open (or create) a DURABLE store rooted at directory `dir`: loads
+  /// the latest valid checkpoint, replays the write-ahead-log tail in
+  /// order — stopping cleanly at the first torn or corrupt trailing
+  /// record — and immediately writes a fresh checkpoint, so the
+  /// recovered counters are bit-identical to the accepted pre-crash
+  /// state (the linearity of the synopsis makes this exact, and the
+  /// kill-point tests assert it). Every subsequent mutation is logged
+  /// before it applies; sharded ingest logs one compact delta record per
+  /// epoch fold, so its durability is group-granular at folds/fences
+  /// (un-folded shard deltas at a crash are lost by design — they were
+  /// never served from the master either). See docs/DURABILITY.md.
+  static Result<std::unique_ptr<SketchStore>> OpenDurable(
+      const std::string& dir, const DurabilityOptions& opt = {});
+
+  /// Write a checkpoint of the whole store now (atomic publish: temp +
+  /// fsync + rename), then truncate the WAL to it. Stop-the-world with
+  /// respect to mutations (they block for the duration); readers keep
+  /// being served. Fails with FailedPrecondition on a non-durable store.
+  Status Checkpoint();
+
+  /// Force every appended WAL record to stable storage (the explicit
+  /// durability point under WalSyncPolicy::kNone/kEpoch). No-op OK on a
+  /// non-durable store.
+  Status SyncWal();
+
+  /// True when the store was opened via OpenDurable.
+  bool durable() const { return durability_ != nullptr; }
 
   /// Marks every dataset dropped, so a DatasetHandle that outlives the
   /// store fails fast (FailedPrecondition) instead of dereferencing the
@@ -385,10 +432,39 @@ class SketchStore {
   Result<int64_t> NumObjectsOn(internal::DatasetState& ds) const;
   /// Folds any pending writer-shard deltas of `ds` (no-op when unsharded
   /// or idle) and accounts the folds; shared by Fence and every surface
-  /// that must observe the full stream.
-  void FenceDataset(internal::DatasetState& ds) const;
+  /// that must observe the full stream. Takes the commit lock shared on
+  /// a durable store (folds append WAL records); fails only when the
+  /// fold's WAL append fails.
+  Status FenceDataset(internal::DatasetState& ds) const;
+  /// FenceDataset body without the commit acquisition — for callers
+  /// already holding the commit lock (checkpoints hold it exclusively).
+  Status FenceDatasetNoCommit(internal::DatasetState& ds) const;
   Status MergeDelta(const std::string& name, const std::vector<Box>& boxes,
                     uint32_t num_threads, int sign);
+  /// Commit-lock shared guard; an empty (no-op) lock when not durable.
+  std::shared_lock<FairSharedMutex> CommitShared() const;
+  /// Shared body of Restore and WAL replay: parse + validate a snapshot
+  /// blob and adopt it into `ds`, logging a kRestore record first when
+  /// `log` (fences pending shard deltas before adopting either way).
+  Status RestoreOn(internal::DatasetState& ds, const std::string& blob,
+                   bool log);
+  /// The snapshot wire blob of `ds` under its shared lock — no fence, no
+  /// commit lock (callers handle both).
+  std::string BuildSnapshotBlob(const internal::DatasetState& ds) const;
+  /// Checkpoint body; caller holds the commit lock exclusively.
+  /// Defined in src/store/durability/recovery.cc.
+  Status CheckpointLocked();
+  /// Assemble the whole-store checkpoint image (schemas, dataset
+  /// identities, snapshot blobs); caller holds the commit lock
+  /// exclusively. Defined in src/store/durability/recovery.cc.
+  Status BuildCheckpointImage(durability::CheckpointImage* out);
+  /// Apply one replayed WAL record through the normal mutation paths
+  /// (updates/deltas bypass validation and ingest mapping — they carry
+  /// already-mapped data). Defined in src/store/durability/recovery.cc.
+  Status ReplayWalRecord(const durability::WalRecord& rec);
+  /// Fire-and-forget auto-checkpoint trigger (DurabilityOptions::
+  /// checkpoint_every_bytes); called AFTER the commit lock is released.
+  void MaybeAutoCheckpoint();
   /// The lazily created batch-serving pool (first batch call pays the
   /// thread spawn; single-query serving never does).
   QueryPool& Pool() const;
@@ -415,6 +491,10 @@ class SketchStore {
   mutable std::atomic<uint64_t> restores_{0};
   mutable std::atomic<uint64_t> epoch_folds_{0};
   mutable std::atomic<uint64_t> fences_{0};
+
+  /// Null on a default-constructed store; set once by OpenDurable before
+  /// the store is published, so every reader sees one stable value.
+  std::unique_ptr<internal::DurabilityManager> durability_;
 
   SKETCH_DISALLOW_COPY_AND_ASSIGN(SketchStore);
 };

@@ -116,6 +116,33 @@ struct DatasetOptions {
   uint64_t max_bytes = 0;
 };
 
+/// When the write-ahead log fsyncs (SketchStore::OpenDurable). Appends
+/// always reach the OS immediately; the policy decides when they are
+/// forced to stable storage. Checkpoints fsync regardless.
+enum class WalSyncPolicy : uint8_t {
+  /// Never sync on append — only at checkpoints and explicit SyncWal().
+  /// Fastest; a POWER loss can lose everything since the last sync (a
+  /// process crash alone loses nothing: the OS holds the pages).
+  kNone = 0,
+  /// Sync on epoch-granular records — delta folds, bulk loads, restores,
+  /// and every metadata record — but not on per-update records. The
+  /// default: matches the store's group-durability story (sharded ingest
+  /// is durable at fold/fence granularity anyway).
+  kEpoch = 1,
+  /// Sync on every record, per-update included. Strongest, slowest.
+  kAlways = 2,
+};
+
+/// Options of a durable store (SketchStore::OpenDurable).
+struct DurabilityOptions {
+  /// WAL fsync policy (see WalSyncPolicy).
+  WalSyncPolicy sync = WalSyncPolicy::kEpoch;
+  /// Auto-checkpoint once this many WAL bytes accumulate since the last
+  /// checkpoint (checked after a logged mutation completes, off the
+  /// commit lock). 0 = manual checkpoints only (SketchStore::Checkpoint).
+  uint64_t checkpoint_every_bytes = 0;
+};
+
 }  // namespace spatialsketch
 
 #endif  // SPATIALSKETCH_STORE_STORE_TYPES_H_

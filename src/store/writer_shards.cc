@@ -27,22 +27,30 @@ WriterShardSet::WriterShardSet(SchemaPtr schema, const Shape& shape,
   }
 }
 
-bool WriterShardSet::FoldLocked(Shard* shard, DatasetSketch* master,
-                                FairSharedMutex* master_mu) {
-  if (shard->pending == 0) return false;
+Status WriterShardSet::FoldLocked(Shard* shard, DatasetSketch* master,
+                                  FairSharedMutex* master_mu, bool* folded) {
+  *folded = false;
+  if (shard->pending == 0) return Status::OK();
   {
     std::unique_lock<FairSharedMutex> lock(*master_mu);
+    // Log-before-merge: if the hook (the WAL append) fails, the delta
+    // stays pending and the master is untouched, so recovery's replay of
+    // the log prefix still equals the master exactly.
+    if (fold_hook_) {
+      SKETCH_RETURN_NOT_OK(fold_hook_(shard->delta));
+    }
     master->Merge(shard->delta);
   }
   shard->delta.Reset();
   total_pending_.fetch_sub(shard->pending, std::memory_order_relaxed);
   shard->pending = 0;
-  return true;
+  *folded = true;
+  return Status::OK();
 }
 
-uint32_t WriterShardSet::Apply(const Box& box, int sign,
-                               DatasetSketch* master,
-                               FairSharedMutex* master_mu) {
+Status WriterShardSet::Apply(const Box& box, int sign, DatasetSketch* master,
+                             FairSharedMutex* master_mu, uint32_t* folds) {
+  *folds = 0;
   Shard& shard = *shards_[ThreadToken() % shards_.size()];
   std::lock_guard<std::mutex> lock(shard.mu);
   if (sign > 0) {
@@ -52,21 +60,26 @@ uint32_t WriterShardSet::Apply(const Box& box, int sign,
   }
   ++shard.pending;
   total_pending_.fetch_add(1, std::memory_order_relaxed);
-  if (shard.pending < epoch_updates_) return 0;
-  return FoldLocked(&shard, master, master_mu) ? 1 : 0;
+  if (shard.pending < epoch_updates_) return Status::OK();
+  bool folded = false;
+  Status st = FoldLocked(&shard, master, master_mu, &folded);
+  if (folded) *folds = 1;
+  return st;
 }
 
-uint32_t WriterShardSet::Fence(DatasetSketch* master,
-                               FairSharedMutex* master_mu) {
+Status WriterShardSet::Fence(DatasetSketch* master, FairSharedMutex* master_mu,
+                             uint32_t* folds) {
+  *folds = 0;
   // Fast path: nothing pending anywhere — the common steady state between
   // epochs, and the reason per-read fencing is affordable.
-  if (total_pending_.load(std::memory_order_relaxed) == 0) return 0;
-  uint32_t folded = 0;
+  if (total_pending_.load(std::memory_order_relaxed) == 0) return Status::OK();
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
-    if (FoldLocked(shard.get(), master, master_mu)) ++folded;
+    bool folded = false;
+    SKETCH_RETURN_NOT_OK(FoldLocked(shard.get(), master, master_mu, &folded));
+    if (folded) ++(*folds);
   }
-  return folded;
+  return Status::OK();
 }
 
 }  // namespace spatialsketch

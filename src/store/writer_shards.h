@@ -34,11 +34,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "src/common/macros.h"
+#include "src/common/status.h"
 #include "src/geom/box.h"
 #include "src/sketch/dataset_sketch.h"
 #include "src/store/fair_shared_mutex.h"
@@ -67,6 +70,19 @@ class WriterShardSet {
   uint32_t writers() const { return static_cast<uint32_t>(shards_.size()); }
   uint64_t epoch_updates() const { return epoch_updates_; }
 
+  /// Pre-fold hook: called with a shard's delta sketch right before it
+  /// merges into the master, under the master's EXCLUSIVE lock (and the
+  /// shard's mutex). The durability layer installs this to append one
+  /// compact WAL record per epoch fold — sharded ingest is group-durable
+  /// at fold granularity. A non-OK return ABORTS the fold: the delta
+  /// stays pending in the shard (nothing merged, nothing reset) and the
+  /// error propagates out of Apply/Fence, so the master never holds
+  /// updates the log missed. Install before publishing the shard set to
+  /// writers (SketchStore does so under the dataset's exclusive lock);
+  /// the hook itself must not acquire the master lock or shard mutexes.
+  using FoldHook = std::function<Status(const DatasetSketch& delta)>;
+  void SetFoldHook(FoldHook hook) { fold_hook_ = std::move(hook); }
+
   /// Approximate count of updates applied to shards but not yet folded
   /// into the master (relaxed read; exact once writers are quiescent).
   uint64_t pending() const {
@@ -77,18 +93,22 @@ class WriterShardSet {
   /// domain) to the calling thread's shard. Takes that shard's mutex —
   /// NOT the master lock — unless this update fills the shard's epoch, in
   /// which case the shard folds into `master` under `master_mu` held
-  /// exclusively. Returns the number of epoch folds performed (0 or 1),
-  /// for stats. Thread-safe.
-  uint32_t Apply(const Box& box, int sign, DatasetSketch* master,
-                 FairSharedMutex* master_mu);
+  /// exclusively. `*folds` receives the number of epoch folds performed
+  /// (0 or 1), for stats. Fails only when a fold's hook fails (the
+  /// update itself is absorbed and stays pending for the next fold
+  /// attempt). Thread-safe.
+  Status Apply(const Box& box, int sign, DatasetSketch* master,
+               FairSharedMutex* master_mu, uint32_t* folds);
 
   /// Epoch fence: fold every shard with pending updates into `master`, so
   /// the master counters reflect every Apply() that returned before this
   /// call. Costs one atomic load (no locks) when nothing is pending.
-  /// Returns the number of shards folded. Thread-safe; may run
-  /// concurrently with Apply (updates racing past the fence simply land
-  /// in the next epoch).
-  uint32_t Fence(DatasetSketch* master, FairSharedMutex* master_mu);
+  /// `*folds` receives the number of shards folded; on a hook failure the
+  /// first error is returned with the failing shard (and any later ones)
+  /// left pending. Thread-safe; may run concurrently with Apply (updates
+  /// racing past the fence simply land in the next epoch).
+  Status Fence(DatasetSketch* master, FairSharedMutex* master_mu,
+               uint32_t* folds);
 
  private:
   struct Shard {
@@ -100,13 +120,15 @@ class WriterShardSet {
   };
 
   // Folds `shard` (whose mutex the caller holds) into the master under
-  // the master's exclusive lock; true if anything was pending.
-  bool FoldLocked(Shard* shard, DatasetSketch* master,
-                  FairSharedMutex* master_mu);
+  // the master's exclusive lock; *folded reports whether anything was
+  // pending. A failing fold hook aborts before the merge (delta intact).
+  Status FoldLocked(Shard* shard, DatasetSketch* master,
+                    FairSharedMutex* master_mu, bool* folded);
 
   const uint64_t epoch_updates_;
   std::atomic<uint64_t> total_pending_{0};
   std::vector<std::unique_ptr<Shard>> shards_;
+  FoldHook fold_hook_;
 
   SKETCH_DISALLOW_COPY_AND_ASSIGN(WriterShardSet);
 };

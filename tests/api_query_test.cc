@@ -542,13 +542,13 @@ TEST_F(ApiQueryTest, SnapshotCarriesKindAndEpsTags) {
             StatusCode::kFailedPrecondition);
 
   // Pre-eps SST1 blobs (magic "SST1", no eps field — implicitly eps 0)
-  // still restore: rewrite a fresh snapshot (SST3: magic + kind + eps +
-  // layout + width = 15-byte header) into the old format.
+  // still restore: rewrite a fresh snapshot (SST4: magic + kind + eps +
+  // layout + width + payload CRC = 19-byte header) into the old format.
   auto range_blob = store_.Snapshot("range");
   ASSERT_TRUE(range_blob.ok());
   std::string v1_blob = "SST1";
-  v1_blob.push_back((*range_blob)[4]);            // the kind byte
-  v1_blob += range_blob->substr(4 + 1 + 8 + 2);   // payload minus eps/tags
+  v1_blob.push_back((*range_blob)[4]);  // the kind byte
+  v1_blob += range_blob->substr(4 + 1 + 8 + 2 + 4);  // payload minus tags/CRC
   ASSERT_TRUE(
       store_.CreateDataset("range_v1", "s2", DatasetKind::kRange).ok());
   ASSERT_TRUE(store_.Restore("range_v1", v1_blob).ok());

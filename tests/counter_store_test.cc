@@ -3,7 +3,7 @@
 // int64 reference (the linearity invariant is layout-independent and the
 // generic z-walks replicate the scalar kernel's FP order exactly);
 // narrow stores widen with saturation checking before any value could
-// clip; snapshots round-trip through the SST3 store format from every
+// clip; snapshots round-trip through the SST4 store format from every
 // configuration and the SST2/SST1 legacy formats still restore; dataset
 // churn across layouts/widths leaves re-created datasets bit-identical
 // and stale handles failing fast; and the schema-cache eviction budget
@@ -453,7 +453,7 @@ TEST(CounterStoreChurn, RecreatedDatasetsStayBitIdenticalAcrossConfigs) {
   }
 }
 
-TEST(CounterStoreSnapshot, Sst3RoundTripsEveryConfigAndLegacyRestores) {
+TEST(CounterStoreSnapshot, Sst4RoundTripsEveryConfigAndLegacyRestores) {
   SketchStore store;
   ASSERT_TRUE(store.RegisterSchema("s", SmallSchema(1)).ok());
   const auto boxes = MakeBoxes(1, 8, 60, 5);
@@ -473,7 +473,7 @@ TEST(CounterStoreSnapshot, Sst3RoundTripsEveryConfigAndLegacyRestores) {
       ASSERT_TRUE(store.BulkLoad("src", boxes).ok());
       auto blob = store.Snapshot("src");
       ASSERT_TRUE(blob.ok());
-      EXPECT_EQ(blob->substr(0, 4), "SST3");
+      EXPECT_EQ(blob->substr(0, 4), "SST4");
 
       const std::string dst = "dst";
       store.DropDataset(dst);  // ok to fail on the first round
@@ -490,17 +490,19 @@ TEST(CounterStoreSnapshot, Sst3RoundTripsEveryConfigAndLegacyRestores) {
     }
   }
 
-  // Legacy formats: rewrite the SST3 blob (15-byte header) as SST2
-  // (13-byte header, no layout/width tags) and SST1 (5 bytes, no eps)
-  // and restore both.
+  // Legacy formats: rewrite the SST4 blob (19-byte header with a payload
+  // CRC) as SST3 (15-byte header, no CRC), SST2 (13-byte header, no
+  // layout/width tags) and SST1 (5 bytes, no eps) and restore all three.
   ASSERT_TRUE(store.DropDataset("src").ok());
   ASSERT_TRUE(store.CreateDataset("src", "s", DatasetKind::kRange).ok());
   ASSERT_TRUE(store.BulkLoad("src", boxes).ok());
   auto blob = store.Snapshot("src");
   ASSERT_TRUE(blob.ok());
-  std::string v2_blob = "SST2" + blob->substr(4, 1 + 8) + blob->substr(15);
-  std::string v1_blob = "SST1" + blob->substr(4, 1) + blob->substr(15);
-  for (const std::string* legacy : {&v2_blob, &v1_blob}) {
+  std::string v3_blob =
+      "SST3" + blob->substr(4, 1 + 8 + 2) + blob->substr(19);
+  std::string v2_blob = "SST2" + blob->substr(4, 1 + 8) + blob->substr(19);
+  std::string v1_blob = "SST1" + blob->substr(4, 1) + blob->substr(19);
+  for (const std::string* legacy : {&v3_blob, &v2_blob, &v1_blob}) {
     ASSERT_TRUE(store.DropDataset("dst").ok());
     ASSERT_TRUE(store
                     .CreateDataset("dst", "s", DatasetKind::kRange,
@@ -512,12 +514,16 @@ TEST(CounterStoreSnapshot, Sst3RoundTripsEveryConfigAndLegacyRestores) {
     EXPECT_EQ(*counters, *ref);
   }
 
-  // Corrupt SST3 tags are rejected, not misread.
+  // Corrupt SST4 tags are rejected, not misread.
   std::string bad = *blob;
   bad[13] = 9;  // no such layout
   EXPECT_EQ(store.Restore("dst", bad).code(), StatusCode::kInvalidArgument);
   bad = *blob;
   bad[14] = 9;  // no such width
+  EXPECT_EQ(store.Restore("dst", bad).code(), StatusCode::kInvalidArgument);
+  // A flipped payload byte fails the CRC before deserialization runs.
+  bad = *blob;
+  bad[bad.size() / 2] ^= 0x40;
   EXPECT_EQ(store.Restore("dst", bad).code(), StatusCode::kInvalidArgument);
 }
 

@@ -1,0 +1,523 @@
+// Durability tests: the WAL/checkpoint/recovery layer behind
+// SketchStore::OpenDurable. The core assertion throughout is EXACT
+// equality — the synopsis is linear, so a store recovered from
+// checkpoint + WAL replay must hold counters (and therefore estimates)
+// bit-identical to a reference store that applied exactly the accepted
+// operation prefix. The kill-point matrix arms every failpoint site in
+// the durability layer in turn, runs a scripted workload until the
+// injected fault fires, "crashes" (destroys the store), reopens the
+// directory, and asserts that exact equality; it runs under both the
+// scalar and the best available SIMD kernels.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "src/common/failpoints.h"
+#include "src/common/status.h"
+#include "src/store/durability/fs.h"
+#include "src/store/sketch_store.h"
+#include "src/store/writer_shards.h"
+#include "src/workload/zipf_boxes.h"
+#include "src/xi/kernels.h"
+
+namespace spatialsketch {
+namespace {
+
+StoreSchemaOptions SmallSchema(uint32_t dims, uint32_t log2_domain = 8,
+                               uint32_t k1 = 5, uint32_t k2 = 3,
+                               uint64_t seed = 42) {
+  StoreSchemaOptions opt;
+  opt.dims = dims;
+  opt.log2_domain = log2_domain;
+  opt.k1 = k1;
+  opt.k2 = k2;
+  opt.seed = seed;
+  return opt;
+}
+
+std::vector<Box> MakeBoxes(uint32_t dims, uint32_t log2_domain,
+                           uint64_t count, uint64_t seed) {
+  SyntheticBoxOptions gen;
+  gen.dims = dims;
+  gen.log2_domain = log2_domain;
+  gen.count = count;
+  gen.seed = seed;
+  return GenerateSyntheticBoxes(gen);
+}
+
+// A fresh per-test directory under the gtest temp root. Leftovers from a
+// previous run of the same test are removed so recovery never sees stale
+// state the test did not write.
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "spatialsketch_" + name +
+                          "_" + std::to_string(::getpid());
+  auto files = durability::ListDir(dir);
+  if (files.ok()) {
+    for (const auto& f : *files) (void)durability::RemoveFile(dir + "/" + f);
+  }
+  EXPECT_TRUE(durability::EnsureDir(dir).ok());
+  return dir;
+}
+
+// RAII: a failing assertion must not leave a site armed for later tests.
+struct FailpointGuard {
+  ~FailpointGuard() { failpoints::DisarmAll(); }
+};
+
+// ---- Failpoint framework unit tests ------------------------------------
+
+TEST(Failpoints, ArmSkipCountAndDisarm) {
+  FailpointGuard guard;
+  failpoints::DisarmAll();
+#if SPATIALSKETCH_FAILPOINTS_ENABLED
+  // skip=2, count=2: hits 1-2 pass, 3-4 fire, 5+ pass.
+  failpoints::Arm("unit-test-site", /*skip=*/2, /*count=*/2);
+  EXPECT_FALSE(SKETCH_FAILPOINT("unit-test-site"));
+  EXPECT_FALSE(SKETCH_FAILPOINT("unit-test-site"));
+  EXPECT_TRUE(SKETCH_FAILPOINT("unit-test-site"));
+  EXPECT_TRUE(SKETCH_FAILPOINT("unit-test-site"));
+  EXPECT_FALSE(SKETCH_FAILPOINT("unit-test-site"));
+  EXPECT_EQ(failpoints::FireCount("unit-test-site"), 2u);
+  // Unarmed sites never fire; armed sites show up in the diagnostic list.
+  EXPECT_FALSE(SKETCH_FAILPOINT("never-armed"));
+  EXPECT_EQ(failpoints::ArmedSites().size(), 1u);
+  // count=0 = unlimited firings until disarmed.
+  failpoints::Arm("unit-test-site");
+  EXPECT_TRUE(SKETCH_FAILPOINT("unit-test-site"));
+  EXPECT_TRUE(SKETCH_FAILPOINT("unit-test-site"));
+  failpoints::Disarm("unit-test-site");
+  EXPECT_FALSE(SKETCH_FAILPOINT("unit-test-site"));
+  failpoints::DisarmAll();
+  EXPECT_TRUE(failpoints::ArmedSites().empty());
+#else
+  // Compiled out: the macro is the literal constant false.
+  failpoints::Arm("unit-test-site");
+  EXPECT_FALSE(SKETCH_FAILPOINT("unit-test-site"));
+  EXPECT_EQ(failpoints::FireCount("unit-test-site"), 0u);
+#endif
+}
+
+// ---- Basic durable lifecycle -------------------------------------------
+
+TEST(Durability, RoundTripReplaysAndRecoveryCheckpointTruncates) {
+  const std::string dir = FreshDir("roundtrip");
+  const auto boxes = MakeBoxes(2, 8, 40, 7);
+
+  std::vector<int64_t> expect_counters;
+  double expect_estimate = 0;
+  {
+    auto store = SketchStore::OpenDurable(dir);
+    ASSERT_TRUE(store.ok());
+    EXPECT_TRUE((*store)->durable());
+    ASSERT_TRUE((*store)->RegisterSchema("s", SmallSchema(2)).ok());
+    ASSERT_TRUE((*store)->CreateDataset("d", "s", DatasetKind::kRange).ok());
+    for (const auto& b : boxes) ASSERT_TRUE((*store)->Insert("d", b).ok());
+    ASSERT_TRUE((*store)->Delete("d", boxes[0]).ok());
+    auto counters = (*store)->CounterSnapshot("d");
+    ASSERT_TRUE(counters.ok());
+    expect_counters = *counters;
+    auto est = (*store)->EstimateRangeCount("d", boxes[1]);
+    ASSERT_TRUE(est.ok());
+    expect_estimate = *est;
+    const StoreStats s = (*store)->stats();
+    EXPECT_GT(s.wal_records, 0u);
+    EXPECT_GT(s.wal_bytes, 0u);
+    EXPECT_GE(s.checkpoints, 1u);  // the recovery-as-checkpoint at open
+    ASSERT_TRUE((*store)->SyncWal().ok());
+  }  // "crash": destroy without a clean shutdown protocol
+
+  {
+    auto store = SketchStore::OpenDurable(dir);
+    ASSERT_TRUE(store.ok());
+    // The mutations after the open-time checkpoint replay from the WAL.
+    EXPECT_GT((*store)->stats().wal_replayed, 0u);
+    auto counters = (*store)->CounterSnapshot("d");
+    ASSERT_TRUE(counters.ok());
+    EXPECT_EQ(*counters, expect_counters);
+    auto est = (*store)->EstimateRangeCount("d", boxes[1]);
+    ASSERT_TRUE(est.ok());
+    EXPECT_EQ(*est, expect_estimate);
+  }
+
+  {
+    // Recovery itself checkpointed, so a third open replays nothing.
+    auto store = SketchStore::OpenDurable(dir);
+    ASSERT_TRUE(store.ok());
+    EXPECT_EQ((*store)->stats().wal_replayed, 0u);
+    auto counters = (*store)->CounterSnapshot("d");
+    ASSERT_TRUE(counters.ok());
+    EXPECT_EQ(*counters, expect_counters);
+  }
+}
+
+TEST(Durability, ExplicitCheckpointTruncatesTheLog) {
+  const std::string dir = FreshDir("checkpoint");
+  const auto boxes = MakeBoxes(1, 8, 30, 11);
+  std::vector<int64_t> expect_counters;
+  {
+    auto store = SketchStore::OpenDurable(dir);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->RegisterSchema("s", SmallSchema(1)).ok());
+    ASSERT_TRUE((*store)->CreateDataset("d", "s", DatasetKind::kRange).ok());
+    for (const auto& b : boxes) ASSERT_TRUE((*store)->Insert("d", b).ok());
+    ASSERT_TRUE((*store)->Checkpoint().ok());
+    EXPECT_GE((*store)->stats().checkpoints, 2u);
+    auto counters = (*store)->CounterSnapshot("d");
+    ASSERT_TRUE(counters.ok());
+    expect_counters = *counters;
+  }
+  {
+    auto store = SketchStore::OpenDurable(dir);
+    ASSERT_TRUE(store.ok());
+    // Everything sits in the checkpoint image: nothing to replay.
+    EXPECT_EQ((*store)->stats().wal_replayed, 0u);
+    auto counters = (*store)->CounterSnapshot("d");
+    ASSERT_TRUE(counters.ok());
+    EXPECT_EQ(*counters, expect_counters);
+  }
+}
+
+TEST(Durability, AutoCheckpointTriggersOnWalGrowth) {
+  const std::string dir = FreshDir("autockpt");
+  DurabilityOptions opt;
+  opt.checkpoint_every_bytes = 2048;
+  auto store = SketchStore::OpenDurable(dir, opt);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->RegisterSchema("s", SmallSchema(1)).ok());
+  ASSERT_TRUE((*store)->CreateDataset("d", "s", DatasetKind::kRange).ok());
+  const auto boxes = MakeBoxes(1, 8, 200, 13);
+  for (const auto& b : boxes) ASSERT_TRUE((*store)->Insert("d", b).ok());
+  // 200 updates log far more than 2 KiB, so auto-checkpoints fired beyond
+  // the recovery one.
+  EXPECT_GT((*store)->stats().checkpoints, 1u);
+}
+
+TEST(Durability, DropAndRecreateReplayExactly) {
+  const std::string dir = FreshDir("droprec");
+  const auto boxes = MakeBoxes(1, 8, 25, 17);
+  std::vector<int64_t> expect_counters;
+  {
+    auto store = SketchStore::OpenDurable(dir);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->RegisterSchema("s", SmallSchema(1)).ok());
+    ASSERT_TRUE((*store)->CreateDataset("d", "s", DatasetKind::kRange).ok());
+    for (const auto& b : boxes) ASSERT_TRUE((*store)->Insert("d", b).ok());
+    ASSERT_TRUE((*store)->DropDataset("d").ok());
+    // Re-created under the same name with different contents: replay must
+    // honor the drop, not merge the generations.
+    ASSERT_TRUE((*store)->CreateDataset("d", "s", DatasetKind::kRange).ok());
+    for (size_t i = 0; i < 5; ++i) {
+      ASSERT_TRUE((*store)->Insert("d", boxes[i]).ok());
+    }
+    auto counters = (*store)->CounterSnapshot("d");
+    ASSERT_TRUE(counters.ok());
+    expect_counters = *counters;
+  }
+  auto store = SketchStore::OpenDurable(dir);
+  ASSERT_TRUE(store.ok());
+  auto counters = (*store)->CounterSnapshot("d");
+  ASSERT_TRUE(counters.ok());
+  EXPECT_EQ(*counters, expect_counters);
+}
+
+TEST(Durability, NonDurableStoreRejectsCheckpointAndAllowsSync) {
+  SketchStore store;
+  EXPECT_FALSE(store.durable());
+  EXPECT_EQ(store.Checkpoint().code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(store.SyncWal().ok());  // explicit no-op
+  const StoreStats s = store.stats();
+  EXPECT_EQ(s.wal_records, 0u);
+  EXPECT_EQ(s.checkpoints, 0u);
+}
+
+#if SPATIALSKETCH_FAILPOINTS_ENABLED
+
+TEST(Durability, BrokenWalFailsFastUntilReopen) {
+  FailpointGuard guard;
+  const std::string dir = FreshDir("broken");
+  const auto boxes = MakeBoxes(1, 8, 10, 19);
+  std::vector<int64_t> expect_counters;
+  {
+    auto store = SketchStore::OpenDurable(dir);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->RegisterSchema("s", SmallSchema(1)).ok());
+    ASSERT_TRUE((*store)->CreateDataset("d", "s", DatasetKind::kRange).ok());
+    for (const auto& b : boxes) ASSERT_TRUE((*store)->Insert("d", b).ok());
+    auto counters = (*store)->CounterSnapshot("d");
+    ASSERT_TRUE(counters.ok());
+    expect_counters = *counters;
+
+    failpoints::Arm("wal-append", /*skip=*/0, /*count=*/1);
+    // The injected failure: IOError, operation NOT applied.
+    EXPECT_EQ((*store)->Insert("d", boxes[0]).code(), StatusCode::kIOError);
+    // Every durable mutation thereafter fails fast on the poisoned WAL.
+    EXPECT_EQ((*store)->Insert("d", boxes[1]).code(),
+              StatusCode::kFailedPrecondition);
+    EXPECT_EQ((*store)->DropDataset("d").code(),
+              StatusCode::kFailedPrecondition);
+    // Reads keep serving the accepted in-memory state.
+    auto counters2 = (*store)->CounterSnapshot("d");
+    ASSERT_TRUE(counters2.ok());
+    EXPECT_EQ(*counters2, expect_counters);
+    failpoints::DisarmAll();
+  }
+  // Reopen recovers exactly the accepted prefix.
+  auto store = SketchStore::OpenDurable(dir);
+  ASSERT_TRUE(store.ok());
+  auto counters = (*store)->CounterSnapshot("d");
+  ASSERT_TRUE(counters.ok());
+  EXPECT_EQ(*counters, expect_counters);
+}
+
+TEST(Durability, ShardedDurabilityIsFoldGranular) {
+  FailpointGuard guard;
+  const std::string dir = FreshDir("sharded");
+  const auto boxes = MakeBoxes(1, 8, 20, 23);
+  std::vector<int64_t> fenced_counters;
+  {
+    auto store = SketchStore::OpenDurable(dir);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->RegisterSchema("s", SmallSchema(1)).ok());
+    ASSERT_TRUE((*store)->CreateDataset("d", "s", DatasetKind::kRange).ok());
+    ShardedWriterOptions sw;
+    sw.writers = 2;
+    sw.epoch_updates = 64;  // nothing folds until the fence
+    ASSERT_TRUE((*store)->ConfigureShardedWriters("d", sw).ok());
+    for (size_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE((*store)->Insert("d", boxes[i]).ok());
+    }
+    // The fence folds the shard deltas and logs them as one compact delta
+    // record per shard — the group-granular durability point.
+    ASSERT_TRUE((*store)->Fence("d").ok());
+    {
+      SketchStore ref;
+      ASSERT_TRUE(ref.RegisterSchema("s", SmallSchema(1)).ok());
+      ASSERT_TRUE(ref.CreateDataset("d", "s", DatasetKind::kRange).ok());
+      for (size_t i = 0; i < 10; ++i) ASSERT_TRUE(ref.Insert("d", boxes[i]).ok());
+      auto counters = ref.CounterSnapshot("d");
+      ASSERT_TRUE(counters.ok());
+      fenced_counters = *counters;
+    }
+    // Five more updates stay un-folded in the shards: accepted in memory,
+    // lost by design at a crash (they never reached the master either).
+    for (size_t i = 10; i < 15; ++i) {
+      ASSERT_TRUE((*store)->Insert("d", boxes[i]).ok());
+    }
+  }  // crash with pending shard deltas
+  auto store = SketchStore::OpenDurable(dir);
+  ASSERT_TRUE(store.ok());
+  auto counters = (*store)->CounterSnapshot("d");
+  ASSERT_TRUE(counters.ok());
+  EXPECT_EQ(*counters, fenced_counters);
+}
+
+// ---- The kill-point matrix ---------------------------------------------
+//
+// A scripted, deterministic workload runs against a durable store with one
+// failpoint site armed. Each operation is also recorded so reference
+// stores can replay exactly the ACCEPTED prefix. After the "crash"
+// (store destruction) the directory is reopened and the recovered state
+// must exactly equal one of two references:
+//
+//  - the accepted prefix (torn/failed appends: the record never became
+//    durable), or
+//  - the accepted prefix plus the single injected-failure operation (a
+//    failed WAL fsync leaves the record fully framed on disk, and a
+//    failed fold leaves the update pending in its shard where the next
+//    successful fold carries it — in both cases the op was reported
+//    failed but its effect legitimately survives; at-least-once on
+//    failure, never corruption).
+//
+// Only ONE operation can be ambiguous this way: each site is armed with
+// count=1, and a poisoned WAL rejects everything after it up front.
+
+struct ScriptedOp {
+  bool mutates;  // replayed onto reference stores (Checkpoint/Sync are not)
+  std::function<Status(SketchStore&)> run;
+};
+
+// The workload touches every record type: schema registration, dataset
+// creation, streaming updates (plain and sharded), deletes, a bulk-load
+// delta, drop + re-create, snapshot/restore, fence, checkpoint, sync.
+std::vector<ScriptedOp> BuildWorkload(const std::vector<Box>& boxes) {
+  std::vector<ScriptedOp> ops;
+  auto add = [&ops](bool mutates, std::function<Status(SketchStore&)> fn) {
+    ops.push_back({mutates, std::move(fn)});
+  };
+  add(true, [](SketchStore& s) {
+    return s.RegisterSchema("s", SmallSchema(2));
+  });
+  add(true, [](SketchStore& s) {
+    return s.CreateDataset("a", "s", DatasetKind::kRange);
+  });
+  add(true, [](SketchStore& s) {
+    DatasetOptions dopt;
+    dopt.layout = CounterLayout::kBlocked;
+    dopt.counter_width = CounterWidth::kI32;
+    return s.CreateDataset("b", "s", DatasetKind::kRange, dopt);
+  });
+  // epoch_updates=1: every sharded update folds (and logs) immediately,
+  // so accepted == durable and the exact-equality check stays exact.
+  add(true, [](SketchStore& s) {
+    ShardedWriterOptions sw;
+    sw.writers = 1;
+    sw.epoch_updates = 1;
+    return s.ConfigureShardedWriters("b", sw);
+  });
+  for (size_t i = 0; i < 12; ++i) {
+    add(true, [&boxes, i](SketchStore& s) { return s.Insert("a", boxes[i]); });
+  }
+  for (size_t i = 12; i < 20; ++i) {
+    add(true, [&boxes, i](SketchStore& s) { return s.Insert("b", boxes[i]); });
+  }
+  add(true, [&boxes](SketchStore& s) { return s.Delete("a", boxes[0]); });
+  add(true, [&boxes](SketchStore& s) { return s.Delete("a", boxes[1]); });
+  add(false, [](SketchStore& s) { return s.Checkpoint(); });
+  add(true, [&boxes](SketchStore& s) {
+    return s.BulkLoad("b", {boxes.begin() + 20, boxes.begin() + 30});
+  });
+  for (size_t i = 30; i < 36; ++i) {
+    add(true, [&boxes, i](SketchStore& s) { return s.Insert("a", boxes[i]); });
+  }
+  add(true, [](SketchStore& s) {
+    return s.CreateDataset("c", "s", DatasetKind::kRange);
+  });
+  add(true, [&boxes](SketchStore& s) { return s.Insert("c", boxes[36]); });
+  add(true, [](SketchStore& s) { return s.DropDataset("c"); });
+  add(true, [](SketchStore& s) {
+    return s.CreateDataset("d", "s", DatasetKind::kRange);
+  });
+  add(true, [](SketchStore& s) {
+    auto blob = s.Snapshot("a");
+    if (!blob.ok()) return blob.status();
+    return s.Restore("d", *blob);
+  });
+  add(true, [](SketchStore& s) { return s.Fence("b"); });
+  add(false, [](SketchStore& s) { return s.SyncWal(); });
+  for (size_t i = 37; i < 42; ++i) {
+    add(true, [&boxes, i](SketchStore& s) { return s.Insert("a", boxes[i]); });
+  }
+  add(false, [](SketchStore& s) { return s.Checkpoint(); });
+  return ops;
+}
+
+// Everything observable about the datasets the workload touches: presence
+// (status codes), exact counters, exact estimates.
+struct Fingerprint {
+  std::vector<StatusCode> codes;
+  std::vector<std::vector<int64_t>> counters;
+  std::vector<double> estimates;
+
+  bool operator==(const Fingerprint& o) const {
+    return codes == o.codes && counters == o.counters &&
+           estimates == o.estimates;
+  }
+};
+
+Fingerprint FingerprintStore(SketchStore& store, const Box& query) {
+  Fingerprint fp;
+  for (const char* name : {"a", "b", "c", "d"}) {
+    auto counters = store.CounterSnapshot(name);
+    fp.codes.push_back(counters.status().code());
+    if (counters.ok()) {
+      fp.counters.push_back(*counters);
+      auto est = store.EstimateRangeCount(name, query);
+      EXPECT_TRUE(est.ok());
+      fp.estimates.push_back(est.ok() ? *est : 0.0);
+    }
+  }
+  return fp;
+}
+
+// One matrix cell: open durable, arm `site` (skipping its first `skip`
+// hits), run the workload, crash, reopen, compare against the accepted
+// prefix (and against accepted + the injected op where that op's effect
+// can legitimately survive — see the block comment above).
+void RunKillPoint(const std::string& site, uint64_t skip,
+                  const std::string& dir_tag) {
+  SCOPED_TRACE(site + " skip=" + std::to_string(skip));
+  const std::string dir = FreshDir(dir_tag);
+  const auto boxes = MakeBoxes(2, 8, 42, 31);
+  const auto ops = BuildWorkload(boxes);
+
+  std::vector<bool> accepted(ops.size(), false);
+  int first_failed_mutation = -1;
+  {
+    auto store = SketchStore::OpenDurable(dir);
+    ASSERT_TRUE(store.ok());
+    failpoints::Arm(site, skip, /*count=*/1);
+    for (size_t i = 0; i < ops.size(); ++i) {
+      const Status st = ops[i].run(**store);
+      accepted[i] = st.ok();
+      if (!st.ok() && ops[i].mutates && first_failed_mutation < 0) {
+        first_failed_mutation = static_cast<int>(i);
+      }
+    }
+    failpoints::DisarmAll();
+  }  // crash
+
+  auto recovered = SketchStore::OpenDurable(dir);
+  ASSERT_TRUE(recovered.ok());
+  const Fingerprint got = FingerprintStore(**recovered, boxes[2]);
+
+  // Reference 1: exactly the accepted prefix.
+  SketchStore ref_accepted;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (accepted[i] && ops[i].mutates) (void)ops[i].run(ref_accepted);
+  }
+  if (got == FingerprintStore(ref_accepted, boxes[2])) return;
+
+  // Reference 2: accepted prefix + the one injected-failure op.
+  ASSERT_GE(first_failed_mutation, 0)
+      << "recovered state differs from the accepted prefix but no "
+         "mutation failed";
+  SketchStore ref_plus;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if ((accepted[i] || static_cast<int>(i) == first_failed_mutation) &&
+        ops[i].mutates) {
+      (void)ops[i].run(ref_plus);
+    }
+  }
+  EXPECT_EQ(got, FingerprintStore(ref_plus, boxes[2]))
+      << "recovered state matches neither the accepted prefix nor "
+         "accepted + the injected op";
+}
+
+TEST(DurabilityKillPoints, MatrixUnderScalarAndBestKernels) {
+  FailpointGuard guard;
+  const char* kSites[] = {
+      "wal-append",       "wal-append-torn",  "wal-fold",
+      "fsync",            "checkpoint-tmp",   "checkpoint-rename",
+      "checkpoint-current", "checkpoint-rotate", "snapshot-alloc",
+  };
+  // Two arming positions per site: an early hit (the first mutations) and
+  // a later one (mid-stream, after the explicit checkpoint for the
+  // checkpoint-path sites). Sites a position never reaches simply do not
+  // fire — the cell then asserts clean recovery of the full workload.
+  const uint64_t kSkips[] = {0, 2};
+  for (kernels::Kind k : {kernels::Kind::kScalar, kernels::Best()}) {
+    ASSERT_TRUE(kernels::ForceKernels(k).ok());
+    SCOPED_TRACE(std::string("kernel=") + kernels::SelectedName());
+    int cell = 0;
+    for (const char* site : kSites) {
+      for (uint64_t skip : kSkips) {
+        RunKillPoint(site, skip, "kill_" + std::to_string(cell++));
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+    if (k == kernels::Best()) break;  // scalar may BE the best variant
+  }
+  ASSERT_TRUE(kernels::ForceKernels(kernels::Best()).ok());
+}
+
+#endif  // SPATIALSKETCH_FAILPOINTS_ENABLED
+
+}  // namespace
+}  // namespace spatialsketch
