@@ -1,0 +1,766 @@
+#include "bench/accuracy_harness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "src/api/query.h"
+#include "src/common/stopwatch.h"
+#include "src/dyadic/endpoint_transform.h"
+#include "src/estimators/adaptive.h"
+#include "src/estimators/sizing.h"
+#include "src/exact/interval_join.h"
+#include "src/exact/rect_join.h"
+#include "src/histogram/euler_histogram.h"
+#include "src/histogram/geometric_histogram.h"
+#include "src/store/sketch_store.h"
+#include "src/workload/zipf_boxes.h"
+
+namespace spatialsketch {
+namespace bench {
+
+namespace {
+
+// Default point grids (objects). The non-full grids are what the
+// committed BENCH_accuracy_*.json baselines and the CI accuracy job run;
+// --full is the paper-scale sweep.
+std::vector<uint64_t> SizeGrid(const FigureRunOptions& opt) {
+  if (!opt.sizes.empty()) return opt.sizes;
+  std::vector<uint64_t> sizes = opt.full
+      ? std::vector<uint64_t>{30000, 100000, 200000, 300000, 400000, 500000}
+      : std::vector<uint64_t>{30000, 60000, 125000};
+  for (uint64_t& n : sizes) {
+    n = std::max<uint64_t>(512, static_cast<uint64_t>(
+        static_cast<double>(n) * opt.scale));
+  }
+  return sizes;
+}
+
+std::vector<uint64_t> BudgetGrid(const FigureRunOptions& opt) {
+  if (!opt.budgets.empty()) return opt.budgets;
+  return opt.full ? std::vector<uint64_t>{2209, 5000, 8929, 15000, 20000,
+                                          25000, 30000, 36481, 40000}
+                  : std::vector<uint64_t>{5000, 15000, 36481};
+}
+
+// "n30k_r1" style size labels; sub-1000 sizes keep the raw count.
+std::string SizeLabel(uint64_t n, int run) {
+  std::ostringstream out;
+  if (n % 1000 == 0) {
+    out << "n" << n / 1000 << "k_r" << run;
+  } else {
+    out << "n" << n << "_r" << run;
+  }
+  return out.str();
+}
+
+// Lemma-1 relative-error bound for a join point: sqrt(8 V / (k1 Q^2))
+// with V the Theorem-3 variance model over the (store-served) self-join
+// sizes. 0 when the exact value is degenerate.
+double JoinGuaranteeBound(double sj_r, double sj_s, uint32_t dims,
+                          uint32_t k1, double exact) {
+  if (exact <= 0 || k1 == 0) return 0;
+  const double v = JoinVarianceBound(sj_r, sj_s, dims);
+  return std::sqrt(8.0 * v / (static_cast<double>(k1) * exact * exact));
+}
+
+void StampServing(FigureAccuracy* fig, const ServingConfig& serving) {
+  fig->Param("layout", serving.LayoutName());
+  fig->Param("width", serving.WidthName());
+  fig->Param("writer_shards", static_cast<int64_t>(serving.writer_shards));
+  fig->Param("stream_tail", static_cast<int64_t>(serving.stream_tail));
+}
+
+void StampRun(FigureAccuracy* fig, const FigureRunOptions& opt) {
+  fig->Param("seed", static_cast<int64_t>(opt.seed));
+  fig->Param("runs", static_cast<int64_t>(opt.runs));
+  fig->ParamF("scale", opt.scale);
+  fig->Param("grid", opt.full ? "full" : "default");
+  StampServing(fig, opt.serving);
+}
+
+// EH/GH comparison baselines of one 2-d join at one budget (the paper
+// plots all three techniques at equal space). Deterministic in the data.
+void HistogramBaselines(const std::vector<Box>& r, const std::vector<Box>& s,
+                        uint32_t log2_domain, uint64_t budget, double exact,
+                        AccuracyPoint* point) {
+  const double extent = static_cast<double>(Coord{1} << log2_domain);
+  const uint32_t eh_grid = EulerGridForBudget(budget);
+  const uint32_t gh_grid = GeometricGridForBudget(budget);
+  EulerHistogram ehr(extent, eh_grid), ehs(extent, eh_grid);
+  GeometricHistogram ghr(extent, gh_grid), ghs(extent, gh_grid);
+  for (const Box& b : r) {
+    ehr.Add(b);
+    ghr.Add(b);
+  }
+  for (const Box& b : s) {
+    ehs.Add(b);
+    ghs.Add(b);
+  }
+  point->extra.emplace_back(
+      "eh_error", RelativeError(EulerHistogram::EstimateJoin(ehr, ehs), exact));
+  point->extra.emplace_back(
+      "gh_error",
+      RelativeError(GeometricHistogram::EstimateJoin(ghr, ghs), exact));
+}
+
+// Uniform Section-6.5 cap for the store schema from the per-dimension
+// adaptive choice (the store's schema carries one cap for all
+// dimensions; iid synthetic dimensions pick equal caps in practice —
+// the max keeps every dimension's chosen levels available).
+uint32_t UniformCap(const std::vector<uint32_t>& caps) {
+  uint32_t cap = 0;
+  for (uint32_t c : caps) cap = std::max(cap, c);
+  return cap == 0 ? DyadicDomain::kNoCap : cap;
+}
+
+// Transformed copies of a join's two sides (MapR / ShrinkS), the inputs
+// of the adaptive cap selection — exactly what the sketches summarize.
+void TransformSides(const std::vector<Box>& r, const std::vector<Box>& s,
+                    uint32_t dims, std::vector<Box>* rt,
+                    std::vector<Box>* st) {
+  rt->clear();
+  st->clear();
+  rt->reserve(r.size());
+  st->reserve(s.size());
+  for (const Box& b : r) rt->push_back(EndpointTransform::MapR(b, dims));
+  for (const Box& b : s) st->push_back(EndpointTransform::ShrinkS(b, dims));
+}
+
+}  // namespace
+
+const char* ServingConfig::LayoutName() const {
+  return layout == CounterLayout::kBlocked ? "blocked" : "flat";
+}
+
+const char* ServingConfig::WidthName() const {
+  return width == CounterWidth::kI32 ? "i32" : "i64";
+}
+
+ServingConfig ServingConfigFromFlags(const Flags& flags) {
+  ServingConfig out;
+  const std::string layout = flags.GetString("layout", "flat");
+  if (layout == "blocked") {
+    out.layout = CounterLayout::kBlocked;
+  } else if (layout != "flat") {
+    std::fprintf(stderr, "--layout=%s: expected flat|blocked\n",
+                 layout.c_str());
+    std::exit(2);
+  }
+  const std::string width = flags.GetString("width", "i64");
+  if (width == "i32") {
+    out.width = CounterWidth::kI32;
+  } else if (width != "i64") {
+    std::fprintf(stderr, "--width=%s: expected i64|i32\n", width.c_str());
+    std::exit(2);
+  }
+  const int64_t writers = flags.GetInt("writers", out.writer_shards);
+  out.writer_shards = writers < 0 ? 0 : static_cast<uint32_t>(writers);
+  const int64_t tail = flags.GetInt("stream_tail",
+                                    static_cast<int64_t>(out.stream_tail));
+  out.stream_tail = tail < 0 ? 0 : static_cast<uint64_t>(tail);
+  return out;
+}
+
+void FigureAccuracy::Finalize() {
+  max_rel_error = 0;
+  mean_rel_error = 0;
+  failure_rate = 0;
+  uint64_t bounded = 0, failed = 0;
+  for (AccuracyPoint& p : points) {
+    p.rel_error = RelativeError(p.estimate, p.exact);
+    max_rel_error = std::max(max_rel_error, p.rel_error);
+    mean_rel_error += p.rel_error;
+    if (p.bound > 0) {
+      ++bounded;
+      if (p.rel_error > p.bound) ++failed;
+    }
+  }
+  if (!points.empty()) {
+    mean_rel_error /= static_cast<double>(points.size());
+  }
+  if (bounded > 0) {
+    failure_rate = static_cast<double>(failed) / static_cast<double>(bounded);
+  }
+}
+
+void FigureAccuracy::Param(const std::string& key, const std::string& value) {
+  params.emplace_back(key, value);
+}
+
+void FigureAccuracy::Param(const std::string& key, int64_t value) {
+  params.emplace_back(key, std::to_string(value));
+}
+
+void FigureAccuracy::ParamF(const std::string& key, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  params.emplace_back(key, buf);
+}
+
+Result<StoreJoinOutcome> RunStoreJoin(const StoreJoinCase& c,
+                                      const std::vector<Box>& r,
+                                      const std::vector<Box>& s) {
+  SketchStore store;
+  StoreSchemaOptions so;
+  so.dims = c.dims;
+  so.log2_domain = c.log2_domain;
+  so.max_level = c.max_level;
+  so.k1 = c.k1;
+  so.k2 = c.k2;
+  so.seed = c.seed;
+  SKETCH_RETURN_NOT_OK(store.RegisterSchema("fig", so));
+  DatasetOptions dopt;
+  dopt.layout = c.serving.layout;
+  dopt.counter_width = c.serving.width;
+  SKETCH_RETURN_NOT_OK(
+      store.CreateDataset("r", "fig", DatasetKind::kJoinR, dopt));
+  SKETCH_RETURN_NOT_OK(
+      store.CreateDataset("s", "fig", DatasetKind::kJoinS, dopt));
+  auto hr = store.OpenDataset("r");
+  SKETCH_RETURN_NOT_OK(hr.status());
+  auto hs = store.OpenDataset("s");
+  SKETCH_RETURN_NOT_OK(hs.status());
+
+  Stopwatch load;
+  // R side: bulk prefix, then the streaming tail through the handle
+  // (behind sharded writers when configured) — the linear synopsis makes
+  // the split exact, so the serving surface is exercised without paying
+  // per-update cost for the whole workload.
+  const uint64_t tail = std::min<uint64_t>(c.serving.stream_tail, r.size());
+  if (r.size() > tail) {
+    const std::vector<Box> prefix(r.begin(),
+                                  r.end() - static_cast<ptrdiff_t>(tail));
+    SKETCH_RETURN_NOT_OK(store.ParallelBulkLoad("r", prefix, 2));
+  }
+  if (tail > 0) {
+    if (c.serving.writer_shards > 0) {
+      ShardedWriterOptions sw;
+      sw.writers = c.serving.writer_shards;
+      SKETCH_RETURN_NOT_OK(store.ConfigureShardedWriters("r", sw));
+    }
+    for (uint64_t i = r.size() - tail; i < r.size(); ++i) {
+      SKETCH_RETURN_NOT_OK(hr->Insert(r[i]));
+    }
+    SKETCH_RETURN_NOT_OK(hr->Fence());
+  }
+  SKETCH_RETURN_NOT_OK(store.ParallelBulkLoad("s", s, 2));
+  StoreJoinOutcome out;
+  out.load_seconds = load.Seconds();
+
+  // One heterogeneous batch: the join estimate plus both sides' self-join
+  // sizes (the SJ inputs of the Lemma-1 bound) from one consistent
+  // counter state.
+  Stopwatch compute;
+  QueryBatch batch;
+  batch.Add(QuerySpec::JoinCardinality(*hr, *hs));
+  batch.Add(QuerySpec::SelfJoinSize(*hr));
+  batch.Add(QuerySpec::SelfJoinSize(*hs));
+  auto results = store.Run(batch);
+  SKETCH_RETURN_NOT_OK(results.status());
+  for (const QueryResult& qr : *results) {
+    SKETCH_RETURN_NOT_OK(qr.status);
+  }
+  out.compute_seconds = compute.Seconds();
+  out.estimate = (*results)[0].value;
+  out.sj_r = (*results)[1].value;
+  out.sj_s = (*results)[2].value;
+  return out;
+}
+
+Result<FigureAccuracy> RunFigureErrorVsSize(const std::string& figure_id,
+                                            double zipf_z,
+                                            const FigureRunOptions& opt) {
+  constexpr uint32_t kLog2Domain = 14;
+  // EH level 6 over the 2^14 domain: 36481 words for every technique.
+  const uint64_t budget = opt.budget_words > 0 ? opt.budget_words : 36481;
+  const SpaceBudget sk = SplitBudget(budget, /*shape_words=*/4);
+
+  FigureAccuracy fig;
+  fig.figure_id = figure_id;
+  fig.Param("workload", "zipf_boxes");
+  fig.ParamF("zipf_z", zipf_z);
+  fig.Param("log2_domain", kLog2Domain);
+  fig.Param("budget_words", static_cast<int64_t>(budget));
+  fig.Param("k1", sk.k1);
+  fig.Param("k2", sk.k2);
+  StampRun(&fig, opt);
+
+  std::vector<Box> rt, st;
+  for (const uint64_t n : SizeGrid(opt)) {
+    for (int run = 0; run < opt.runs; ++run) {
+      SyntheticBoxOptions gen;
+      gen.dims = 2;
+      gen.log2_domain = kLog2Domain;
+      gen.zipf_z = zipf_z;
+      gen.count = n;
+      gen.seed = opt.seed + 1000 * static_cast<uint64_t>(run) + 17;
+      const auto r = GenerateSyntheticBoxes(gen);
+      gen.seed = opt.seed + 1000 * static_cast<uint64_t>(run) + 42;
+      const auto s = GenerateSyntheticBoxes(gen);
+
+      const double exact = static_cast<double>(ExactRectJoinCount(r, s));
+
+      // Section 6.5 adaptive caps, chosen over the transformed data the
+      // sketches actually summarize.
+      TransformSides(r, s, 2, &rt, &st);
+      const uint32_t cap = UniformCap(SelectMaxLevelPerDim(
+          rt, st, 2, EndpointTransform::TransformedLog2(kLog2Domain)));
+
+      StoreJoinCase c;
+      c.dims = 2;
+      c.log2_domain = kLog2Domain;
+      c.max_level = cap;
+      c.k1 = sk.k1;
+      c.k2 = sk.k2;
+      c.seed = opt.seed + 7919 * static_cast<uint64_t>(run) + 5;
+      c.serving = opt.serving;
+      auto served = RunStoreJoin(c, r, s);
+      SKETCH_RETURN_NOT_OK(served.status());
+
+      AccuracyPoint p;
+      p.label = SizeLabel(n, run);
+      p.x = static_cast<double>(n) / 1000.0;
+      p.exact = exact;
+      p.estimate = served->estimate;
+      p.bound = JoinGuaranteeBound(served->sj_r, served->sj_s, 2, sk.k1,
+                                   exact);
+      p.load_seconds = served->load_seconds;
+      p.compute_seconds = served->compute_seconds;
+      p.extra.emplace_back("max_level", cap);
+      p.extra.emplace_back("sj_r", served->sj_r);
+      p.extra.emplace_back("sj_s", served->sj_s);
+      HistogramBaselines(r, s, kLog2Domain, budget, exact, &p);
+      fig.points.push_back(std::move(p));
+    }
+  }
+  fig.Finalize();
+  return fig;
+}
+
+namespace {
+
+// Shared body of Figures 7 and 8: the Lemma-1 sizing of a 1-d interval
+// join for the epsilon = 0.3, phi = 0.01 guarantee. Figure 7 then runs
+// the sized sketch through the store; Figure 8 only records the size.
+struct GuaranteeCase {
+  std::vector<Box> r, s;
+  double exact = 0;
+  MaxLevelChoice cap;
+  SizingResult sizing;
+};
+
+Result<GuaranteeCase> BuildGuaranteeCase(uint64_t n, int run,
+                                         const FigureRunOptions& opt,
+                                         uint32_t log2_domain, double epsilon,
+                                         double phi) {
+  GuaranteeCase out;
+  SyntheticBoxOptions gen;
+  gen.dims = 1;
+  gen.log2_domain = log2_domain;
+  gen.count = n;
+  // Short intervals relative to the Section 7.2 domains keep the join
+  // selective, the regime where guarantee-driven sizing matters.
+  gen.mean_side_factor = 0.25;
+  gen.seed = opt.seed + 100 * static_cast<uint64_t>(run) + 3;
+  out.r = GenerateSyntheticBoxes(gen);
+  gen.seed = opt.seed + 100 * static_cast<uint64_t>(run) + 77;
+  out.s = GenerateSyntheticBoxes(gen);
+
+  out.exact = static_cast<double>(ExactIntervalJoinCount(out.r, out.s));
+
+  // Lemma-1 sizing from the exact self-join sizes of the TRANSFORMED
+  // data under the adaptive Section-6.5 cap, targeting the known E[Z]
+  // (the Figures 7/8 protocol).
+  std::vector<Box> rt, st;
+  TransformSides(out.r, out.s, 1, &rt, &st);
+  out.cap = SelectMaxLevel1D(rt, st,
+                             EndpointTransform::TransformedLog2(log2_domain));
+  auto sizing = SizeForGuarantee(
+      epsilon, phi, JoinVarianceBound(out.cap.sj_r, out.cap.sj_s, 1),
+      out.exact);
+  SKETCH_RETURN_NOT_OK(sizing.status());
+  out.sizing = *sizing;
+  return out;
+}
+
+}  // namespace
+
+Result<FigureAccuracy> RunFigureGuarantee(const FigureRunOptions& opt) {
+  constexpr uint32_t kLog2Domain = 16;
+  constexpr double kEpsilon = 0.3;
+  constexpr double kPhi = 0.01;
+
+  FigureAccuracy fig;
+  fig.figure_id = "fig07";
+  fig.Param("workload", "zipf_boxes");
+  fig.Param("log2_domain", kLog2Domain);
+  fig.ParamF("epsilon", kEpsilon);
+  fig.ParamF("phi", kPhi);
+  StampRun(&fig, opt);
+
+  for (const uint64_t n : SizeGrid(opt)) {
+    for (int run = 0; run < opt.runs; ++run) {
+      auto gc = BuildGuaranteeCase(n, run, opt, kLog2Domain, kEpsilon, kPhi);
+      SKETCH_RETURN_NOT_OK(gc.status());
+
+      StoreJoinCase c;
+      c.dims = 1;
+      c.log2_domain = kLog2Domain;
+      c.max_level = gc->cap.max_level;
+      c.k1 = gc->sizing.k1;
+      c.k2 = gc->sizing.k2;
+      c.seed = opt.seed + 7919 * static_cast<uint64_t>(run) + 11;
+      c.serving = opt.serving;
+      auto served = RunStoreJoin(c, gc->r, gc->s);
+      SKETCH_RETURN_NOT_OK(served.status());
+
+      AccuracyPoint p;
+      p.label = SizeLabel(n, run);
+      p.x = static_cast<double>(n) / 1000.0;
+      p.exact = gc->exact;
+      p.estimate = served->estimate;
+      // The guarantee itself: rel_error <= epsilon with probability
+      // >= 1 - phi; the checker gates the observed failure rate.
+      p.bound = kEpsilon;
+      p.load_seconds = served->load_seconds;
+      p.compute_seconds = served->compute_seconds;
+      p.extra.emplace_back("k1", gc->sizing.k1);
+      p.extra.emplace_back("k2", gc->sizing.k2);
+      p.extra.emplace_back("max_level", gc->cap.max_level);
+      p.extra.emplace_back(
+          "kwords",
+          static_cast<double>(gc->sizing.WordsPerDataset(2)) / 1000.0);
+      fig.points.push_back(std::move(p));
+    }
+  }
+  fig.Finalize();
+  return fig;
+}
+
+Result<FigureAccuracy> RunFigureSpace(const FigureRunOptions& opt) {
+  constexpr uint32_t kLog2Domain = 16;
+  constexpr double kEpsilon = 0.3;
+  constexpr double kPhi = 0.01;
+
+  FigureAccuracy fig;
+  fig.figure_id = "fig08";
+  fig.Param("workload", "zipf_boxes");
+  fig.Param("log2_domain", kLog2Domain);
+  fig.ParamF("epsilon", kEpsilon);
+  fig.ParamF("phi", kPhi);
+  StampRun(&fig, opt);
+
+  for (const uint64_t n : SizeGrid(opt)) {
+    for (int run = 0; run < opt.runs; ++run) {
+      auto gc = BuildGuaranteeCase(n, run, opt, kLog2Domain, kEpsilon, kPhi);
+      SKETCH_RETURN_NOT_OK(gc.status());
+      const double kwords =
+          static_cast<double>(gc->sizing.WordsPerDataset(2)) / 1000.0;
+      AccuracyPoint p;
+      p.label = SizeLabel(n, run);
+      p.x = static_cast<double>(n) / 1000.0;
+      // A space figure: the gated value is the sizing output itself, so
+      // exact mirrors estimate (rel_error 0) and the tolerance window
+      // [min, max]_point_value carries the gate — the Lemma-1 space
+      // requirement is nearly flat in the dataset size.
+      p.exact = kwords;
+      p.estimate = kwords;
+      p.extra.emplace_back("k1", gc->sizing.k1);
+      p.extra.emplace_back("k2", gc->sizing.k2);
+      p.extra.emplace_back("max_level", gc->cap.max_level);
+      fig.points.push_back(std::move(p));
+    }
+  }
+  fig.Finalize();
+  return fig;
+}
+
+Result<FigureAccuracy> RunFigureRealWorld(const std::string& figure_id,
+                                          RealWorldLayer left,
+                                          RealWorldLayer right,
+                                          const FigureRunOptions& opt) {
+  FigureAccuracy fig;
+  fig.figure_id = figure_id;
+  fig.Param("workload", "real_world");
+  fig.Param("join", RealWorldLayerName(left) + "+" + RealWorldLayerName(right));
+  fig.Param("log2_domain", kRealWorldLog2Domain);
+  StampRun(&fig, opt);
+
+  RealWorldOptions rw;
+  // --seed=1 (the default) is the canonical layer generation.
+  rw.seed = opt.seed - 1;
+  rw.scale = opt.scale;
+  const auto r = GenerateRealWorldLayer(left, rw);
+  const auto s = GenerateRealWorldLayer(right, rw);
+  const double exact = static_cast<double>(ExactRectJoinCount(r, s));
+  fig.Param("r_objects", static_cast<int64_t>(r.size()));
+  fig.Param("s_objects", static_cast<int64_t>(s.size()));
+
+  // Adaptive caps depend on the data only — computed once per join.
+  std::vector<Box> rt, st;
+  TransformSides(r, s, 2, &rt, &st);
+  const uint32_t cap = UniformCap(SelectMaxLevelPerDim(
+      rt, st, 2, EndpointTransform::TransformedLog2(kRealWorldLog2Domain)));
+
+  for (const uint64_t budget : BudgetGrid(opt)) {
+    const SpaceBudget sk = SplitBudget(budget, /*shape_words=*/4);
+    for (int run = 0; run < opt.runs; ++run) {
+      StoreJoinCase c;
+      c.dims = 2;
+      c.log2_domain = kRealWorldLog2Domain;
+      c.max_level = cap;
+      c.k1 = sk.k1;
+      c.k2 = sk.k2;
+      c.seed = opt.seed + 101 * static_cast<uint64_t>(run) + 13;
+      c.serving = opt.serving;
+      auto served = RunStoreJoin(c, r, s);
+      SKETCH_RETURN_NOT_OK(served.status());
+
+      AccuracyPoint p;
+      std::ostringstream label;
+      label << "w" << budget << "_r" << run;
+      p.label = label.str();
+      p.x = static_cast<double>(budget) / 1000.0;
+      p.exact = exact;
+      p.estimate = served->estimate;
+      p.bound =
+          JoinGuaranteeBound(served->sj_r, served->sj_s, 2, sk.k1, exact);
+      p.load_seconds = served->load_seconds;
+      p.compute_seconds = served->compute_seconds;
+      p.extra.emplace_back("k1", sk.k1);
+      p.extra.emplace_back("k2", sk.k2);
+      p.extra.emplace_back("max_level", cap);
+      HistogramBaselines(r, s, kRealWorldLog2Domain, budget, exact, &p);
+      fig.points.push_back(std::move(p));
+    }
+  }
+  fig.Finalize();
+  return fig;
+}
+
+Result<FigureAccuracy> RunRealWorldSuite(const FigureRunOptions& opt) {
+  const std::pair<RealWorldLayer, RealWorldLayer> joins[] = {
+      {RealWorldLayer::kLandc, RealWorldLayer::kLando},
+      {RealWorldLayer::kLandc, RealWorldLayer::kSoil},
+      {RealWorldLayer::kLando, RealWorldLayer::kSoil},
+  };
+  FigureAccuracy all;
+  all.figure_id = "real_world";
+  all.Param("workload", "real_world");
+  StampRun(&all, opt);
+  for (const auto& [left, right] : joins) {
+    auto fig = RunFigureRealWorld("real_world", left, right, opt);
+    SKETCH_RETURN_NOT_OK(fig.status());
+    const std::string join =
+        RealWorldLayerName(left) + "+" + RealWorldLayerName(right);
+    for (AccuracyPoint& p : fig->points) {
+      p.label = join + "_" + p.label;
+      all.points.push_back(std::move(p));
+    }
+  }
+  all.Finalize();
+  return all;
+}
+
+std::vector<BenchResult> AccuracyToBenchResults(const FigureAccuracy& fig) {
+  std::vector<BenchResult> out;
+  out.reserve(fig.points.size() + 1);
+  for (const AccuracyPoint& p : fig.points) {
+    BenchResult r;
+    r.name = fig.figure_id;
+    r.Param("point", p.label);
+    for (const auto& [k, v] : fig.params) r.Param(k, v);
+    r.Metric("x", p.x);
+    r.Metric("exact", p.exact);
+    r.Metric("estimate", p.estimate);
+    r.Metric("rel_error", p.rel_error);
+    r.Metric("bound", p.bound);
+    r.Metric("load_seconds", p.load_seconds);
+    r.Metric("compute_seconds", p.compute_seconds);
+    for (const auto& [k, v] : p.extra) r.Metric(k, v);
+    out.push_back(std::move(r));
+  }
+  BenchResult summary;
+  summary.name = fig.figure_id + "_summary";
+  for (const auto& [k, v] : fig.params) summary.Param(k, v);
+  summary.Metric("points", static_cast<double>(fig.points.size()));
+  summary.Metric("max_rel_error", fig.max_rel_error);
+  summary.Metric("mean_rel_error", fig.mean_rel_error);
+  summary.Metric("failure_rate", fig.failure_rate);
+  out.push_back(std::move(summary));
+  return out;
+}
+
+Result<ToleranceBounds> FigureTolerance(const std::string& figure_id) {
+  // The regression gate for the DEFAULT-scale grids. Two layers per
+  // figure: the empirical ceilings (max/mean relative error observed on
+  // the pinned default seeds, widened ~2.5-3x so only a real accuracy
+  // regression — not noise across kernels/layouts/hosts — can breach
+  // them) and the Lemma-1 failure-rate ceiling over the per-point
+  // guarantee bounds. Derivations and the observed baseline numbers are
+  // documented in docs/BENCH.md "Accuracy bench JSONs".
+  ToleranceBounds b;
+  if (figure_id == "fig05") {
+    // Observed (seed 1, default grid): max 0.164, mean 0.125 — the
+    // smallest dataset (n=30k) dominates the max.
+    b.max_rel_error = 0.40;
+    b.mean_rel_error = 0.30;
+    b.max_failure_rate = 0.01;
+  } else if (figure_id == "fig06") {
+    // Observed (seed 1, default grid): max 0.019, mean 0.013 — the
+    // skewed workload's dense join is much easier than fig05's.
+    b.max_rel_error = 0.10;
+    b.mean_rel_error = 0.06;
+    b.max_failure_rate = 0.01;
+  } else if (figure_id == "fig07") {
+    // The probabilistic guarantee experiment: every point's bound is the
+    // target epsilon = 0.3, and the gate holds the max error to epsilon
+    // itself. Observed (seed 1): max 0.022, mean 0.008, failure rate 0;
+    // max_failure_rate = phi = 0.01 plus slack so one bad point in a
+    // --full sweep (18 points) does not trip the gate.
+    b.max_rel_error = 0.30;
+    b.mean_rel_error = 0.10;
+    b.max_failure_rate = 0.12;
+  } else if (figure_id == "fig08") {
+    // Space figure: the Lemma-1 sizing output in kwords must stay nearly
+    // flat (observed: 11.3 .. 14.4 kwords over the default grid).
+    b.min_point_value = 8.0;
+    b.max_point_value = 25.0;
+  } else if (figure_id == "fig09" || figure_id == "fig10" ||
+             figure_id == "fig11" || figure_id == "real_world") {
+    // Real-world joins swept over word budgets; the smallest budget
+    // (5k words) dominates the max. Observed (seed 1, default budgets):
+    // max 0.16 / 0.19 / 0.18 and mean 0.090 / 0.072 / 0.084 for
+    // LANDC+LANDO / LANDC+SOIL / LANDO+SOIL respectively.
+    b.max_rel_error = 0.45;
+    b.mean_rel_error = 0.25;
+    b.max_failure_rate = 0.01;
+  } else {
+    return Status::InvalidArgument("no tolerance bounds for figure '" +
+                                   figure_id + "'");
+  }
+  return b;
+}
+
+Status CheckTolerance(const FigureAccuracy& fig, const ToleranceBounds& b) {
+  std::ostringstream breach;
+  if (fig.points.empty()) {
+    return Status::FailedPrecondition("accuracy gate: no points measured");
+  }
+  if (b.max_rel_error > 0 && fig.max_rel_error > b.max_rel_error) {
+    breach << " max_rel_error " << fig.max_rel_error << " > "
+           << b.max_rel_error << ";";
+  }
+  if (b.mean_rel_error > 0 && fig.mean_rel_error > b.mean_rel_error) {
+    breach << " mean_rel_error " << fig.mean_rel_error << " > "
+           << b.mean_rel_error << ";";
+  }
+  if (b.max_failure_rate > 0 && fig.failure_rate > b.max_failure_rate) {
+    breach << " guarantee failure_rate " << fig.failure_rate << " > "
+           << b.max_failure_rate << ";";
+  }
+  if (b.min_point_value > 0 || b.max_point_value > 0) {
+    for (const AccuracyPoint& p : fig.points) {
+      if (b.min_point_value > 0 && p.estimate < b.min_point_value) {
+        breach << " point " << p.label << " value " << p.estimate << " < "
+               << b.min_point_value << ";";
+      }
+      if (b.max_point_value > 0 && p.estimate > b.max_point_value) {
+        breach << " point " << p.label << " value " << p.estimate << " > "
+               << b.max_point_value << ";";
+      }
+    }
+  }
+  const std::string msg = breach.str();
+  if (!msg.empty()) {
+    return Status::FailedPrecondition("accuracy gate [" + fig.figure_id +
+                                      "]:" + msg);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// "30000,60000" style comma-separated uint64 lists.
+std::vector<uint64_t> ParseU64List(const std::string& value) {
+  std::vector<uint64_t> out;
+  std::istringstream in(value);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (item.empty()) continue;
+    out.push_back(std::strtoull(item.c_str(), nullptr, 10));
+  }
+  return out;
+}
+
+}  // namespace
+
+FigureRunOptions FigureRunOptionsFromFlags(const Flags& flags) {
+  ApplyKernelsFlagOrDie(flags);
+  FigureRunOptions opt;
+  opt.full = flags.GetBool("full");
+  opt.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  opt.runs = static_cast<int>(flags.GetInt("runs", opt.full ? 3 : 1));
+  if (opt.runs < 1) opt.runs = 1;
+  opt.scale = flags.GetDouble("scale", 1.0);
+  if (flags.Has("sizes")) opt.sizes = ParseU64List(flags.GetString("sizes"));
+  if (flags.Has("budgets")) {
+    opt.budgets = ParseU64List(flags.GetString("budgets"));
+  }
+  opt.budget_words = static_cast<uint64_t>(flags.GetInt("words", 0));
+  opt.serving = ServingConfigFromFlags(flags);
+  return opt;
+}
+
+int ReportAndCheck(const FigureAccuracy& fig, const Flags& flags) {
+  std::printf("# fig=%s", fig.figure_id.c_str());
+  for (const auto& [k, v] : fig.params) {
+    std::printf(" %s=%s", k.c_str(), v.c_str());
+  }
+  std::printf("\n# point  x  exact  estimate  rel_err  bound  load_s  "
+              "compute_s\n");
+  for (const AccuracyPoint& p : fig.points) {
+    std::printf("%-18s %8.1f  %12.0f  %12.1f  %.4f  %.4f  %6.2f  %6.3f\n",
+                p.label.c_str(), p.x, p.exact, p.estimate, p.rel_error,
+                p.bound, p.load_seconds, p.compute_seconds);
+  }
+  std::printf("# summary points=%zu max_rel_error=%.4f mean_rel_error=%.4f "
+              "failure_rate=%.3f\n",
+              fig.points.size(), fig.max_rel_error, fig.mean_rel_error,
+              fig.failure_rate);
+  std::fflush(stdout);
+
+  const Status json = MaybeWriteBenchJson(flags, AccuracyToBenchResults(fig));
+  if (!json.ok()) {
+    std::fprintf(stderr, "%s\n", json.ToString().c_str());
+    return 1;
+  }
+
+  if (!flags.GetBool("check", true)) return 0;
+  const double scale = flags.GetDouble("scale", 1.0);
+  if (scale != 1.0 || flags.Has("sizes") || flags.Has("budgets") ||
+      flags.Has("words")) {
+    std::printf("# accuracy gate SKIPPED: non-default grid (the committed "
+                "bounds cover the default-scale grids only)\n");
+    return 0;
+  }
+  auto bounds = FigureTolerance(fig.figure_id);
+  if (!bounds.ok()) {
+    std::fprintf(stderr, "%s\n", bounds.status().ToString().c_str());
+    return 1;
+  }
+  const Status gate = CheckTolerance(fig, *bounds);
+  if (!gate.ok()) {
+    std::fprintf(stderr, "ACCURACY GATE BREACH: %s\n",
+                 gate.ToString().c_str());
+    return 1;
+  }
+  std::printf("# accuracy gate OK\n");
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace spatialsketch

@@ -1,0 +1,245 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Accuracy-regression harness: the paper's figure suite (Figures 5-11 and
+// the real-world joins) rebuilt as store-driven accuracy experiments.
+//
+// Every figure workload is ingested through the CURRENT serving surface —
+// SketchStore + DatasetHandle, a ParallelBulkLoad body plus a
+// sharded-writer streaming tail, estimates served by one heterogeneous
+// Run(QueryBatch) — under the runtime-dispatched kernels and the
+// configured counter layout/width. Each point compares the served
+// estimate against an exact reference and the completed figure is checked
+// against tolerance bounds (committed per-figure empirical bounds plus
+// per-point Lemma-1 guarantee bounds), so perf work can never silently
+// bend accuracy: the figure drivers exit non-zero on a breach and
+// tests/accuracy_regression_test.cc runs shrunk versions of every figure
+// under every {kernel} x {layout} x {width} configuration.
+//
+// Benchmark hygiene (Datalog-benchmarking review): load (ingest) and
+// compute (estimate) seconds are reported separately per point, and every
+// workload seed is pinned and stamped into the emitted JSON so error
+// numbers reproduce run-to-run. JSON document shape: docs/BENCH.md.
+
+#ifndef SPATIALSKETCH_BENCH_ACCURACY_HARNESS_H_
+#define SPATIALSKETCH_BENCH_ACCURACY_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/common/status.h"
+#include "src/dyadic/dyadic_domain.h"
+#include "src/geom/box.h"
+#include "src/sketch/counter_store.h"
+#include "src/workload/real_world.h"
+
+namespace spatialsketch {
+namespace bench {
+
+/// Physical/serving configuration a figure workload is served under: the
+/// datasets' counter layout and width plus how much of the R-side ingest
+/// streams through DatasetHandle::Insert behind sharded writers (the rest
+/// bulk-loads). Accuracy must be invariant to ALL of it — the synopsis is
+/// linear, so every configuration yields identical counters; the harness
+/// exists to keep that true for the ESTIMATES as the fast paths evolve.
+struct ServingConfig {
+  CounterLayout layout = CounterLayout::kFlat;   ///< counter order
+  CounterWidth width = CounterWidth::kI64;       ///< counter width
+  /// Writer shards for the streamed ingest tail (0 = plain exclusive-lock
+  /// streaming; the tail still goes through DatasetHandle::Insert).
+  uint32_t writer_shards = 2;
+  /// R-side boxes streamed one-by-one through the handle (capped at the
+  /// dataset size); the prefix bulk-loads. Exercises the streaming path
+  /// without paying per-update cost for the whole workload.
+  uint64_t stream_tail = 2048;
+
+  /// "flat" / "blocked".
+  const char* LayoutName() const;
+  /// "i64" / "i32".
+  const char* WidthName() const;
+};
+
+/// Shared --layout= / --width= / --writers= / --stream_tail= flags.
+ServingConfig ServingConfigFromFlags(const Flags& flags);
+
+/// One measured figure point: a served estimate against its exact
+/// reference, with the Lemma-1 guarantee bound of the configuration that
+/// produced it and separate load/compute timings.
+struct AccuracyPoint {
+  std::string label;        ///< stable point id, e.g. "n30k_r0"
+  double x = 0;             ///< figure x-axis value (size_k or kwords)
+  double exact = 0;         ///< exact reference value
+  double estimate = 0;      ///< store-served estimate
+  double rel_error = 0;     ///< |estimate - exact| / exact
+  /// Lemma-1 relative-error bound for this point's boosting grid
+  /// (sqrt(8 V / (k1 Q^2)) with the figure's variance model; the target
+  /// epsilon for the guarantee figures; 0 = no per-point bound).
+  double bound = 0;
+  double load_seconds = 0;     ///< ingest wall time (never mixed into
+  double compute_seconds = 0;  ///< estimate wall time — reported apart)
+  /// Extra per-point metrics (eh_error / gh_error comparison baselines,
+  /// sizing outputs, ...), emitted verbatim into the JSON metrics block.
+  std::vector<std::pair<std::string, double>> extra;
+};
+
+/// A completed figure run: points plus the derived summary the tolerance
+/// checker gates on.
+struct FigureAccuracy {
+  std::string figure_id;  ///< "fig05".."fig11" or "real_world"
+  /// Workload/configuration parameters stamped into every emitted JSON
+  /// result (seed, k1/k2, layout, width, shards, scale, ...).
+  std::vector<std::pair<std::string, std::string>> params;
+  std::vector<AccuracyPoint> points;
+
+  // Derived by Finalize().
+  double max_rel_error = 0;   ///< max over points
+  double mean_rel_error = 0;  ///< mean over points
+  /// Fraction of bound-carrying points whose rel_error exceeds bound
+  /// (the observed Lemma-1 failure rate; must stay under the figure's
+  /// max_failure_rate tolerance).
+  double failure_rate = 0;
+
+  /// Recompute rel_error per point from exact/estimate and the three
+  /// summary fields. Call after points change (the bent-estimator gate
+  /// test bends estimates and re-finalizes).
+  void Finalize();
+
+  /// Append one ("key", value) param (numbers via std::to_string).
+  void Param(const std::string& key, const std::string& value);
+  void Param(const std::string& key, int64_t value);
+  void ParamF(const std::string& key, double value);
+};
+
+/// Per-figure tolerance bounds. Zero-valued fields are not checked.
+struct ToleranceBounds {
+  double max_rel_error = 0;   ///< ceiling on FigureAccuracy::max_rel_error
+  double mean_rel_error = 0;  ///< ceiling on FigureAccuracy::mean_rel_error
+  /// Ceiling on the observed Lemma-1 failure rate (bound-carrying points
+  /// only). For the guarantee figure this is phi plus slack; elsewhere it
+  /// absorbs the <= 2^(-k2/2) per-point failure probability.
+  double max_failure_rate = 0;
+  /// Window on every point's estimate value (the space figure gates the
+  /// Lemma-1 sizing output in kwords instead of an error).
+  double min_point_value = 0;
+  double max_point_value = 0;
+};
+
+/// The committed tolerance table for the DEFAULT-scale figure runs (the
+/// grids the committed BENCH_accuracy_*.json baselines and the CI
+/// accuracy job use). Bounds are the paper-guarantee ceilings tightened
+/// by committed empirical slack — see docs/BENCH.md "Accuracy bench
+/// JSONs" for the derivation. Unknown figure ids fail.
+Result<ToleranceBounds> FigureTolerance(const std::string& figure_id);
+
+/// The accuracy gate: checks `fig`'s summary (and per-point values)
+/// against `b`; returns FailedPrecondition naming every breached bound.
+Status CheckTolerance(const FigureAccuracy& fig, const ToleranceBounds& b);
+
+/// Options shared by every figure runner. Defaults reproduce the
+/// committed baseline grids; tests shrink sizes/budgets to stay fast.
+struct FigureRunOptions {
+  uint64_t seed = 1;  ///< base workload seed (stamped into the JSON)
+  int runs = 1;       ///< independent sketch seeds per grid point
+  bool full = false;  ///< paper-scale point grid (--full)
+  /// Multiplies every dataset size (and the real-world layer
+  /// cardinalities); the shrunk gtest tier uses < 1.
+  double scale = 1.0;
+  /// Explicit size grid in OBJECTS (empty = the figure's default grid).
+  std::vector<uint64_t> sizes;
+  /// Explicit space grid in words (empty = the figure's default grid;
+  /// used by the error-vs-space figures).
+  std::vector<uint64_t> budgets;
+  /// Space budget override in words for the error-vs-size figures
+  /// (0 = the figure's Euler-level-6 default, 36481).
+  uint64_t budget_words = 0;
+  ServingConfig serving;  ///< layout / width / sharded streaming tail
+};
+
+/// Figures 5-6: relative error vs dataset size for 2-d rectangle joins
+/// (zipf_z 0 = uniform, 1 = skewed) at a fixed space budget, with
+/// adaptive Section-6.5 level caps, plus EH/GH comparison baselines as
+/// extra metrics. One point per (size, run).
+Result<FigureAccuracy> RunFigureErrorVsSize(const std::string& figure_id,
+                                            double zipf_z,
+                                            const FigureRunOptions& opt);
+
+/// Figure 7: 1-d interval joins sized by Lemma 1 for epsilon = 0.3 at
+/// phi = 0.01; each point carries bound = epsilon and the gate asserts
+/// the observed failure rate stays under phi + slack.
+Result<FigureAccuracy> RunFigureGuarantee(const FigureRunOptions& opt);
+
+/// Figure 8: sketch space (kwords) required for the epsilon = 0.3,
+/// phi = 0.01 guarantee as the dataset grows. Points carry the sizing
+/// output as estimate (and exact, so rel_error = 0); the gate is the
+/// [min, max]_point_value window — nearly flat in the dataset size.
+Result<FigureAccuracy> RunFigureSpace(const FigureRunOptions& opt);
+
+/// Figures 9-11 and the combined real-world suite: relative error vs
+/// space for one pairwise join of the real-world-like layers. One point
+/// per (budget, run); EH/GH baselines as extra metrics.
+Result<FigureAccuracy> RunFigureRealWorld(const std::string& figure_id,
+                                          RealWorldLayer left,
+                                          RealWorldLayer right,
+                                          const FigureRunOptions& opt);
+
+/// The combined real-world suite: all three pairwise layer joins
+/// (LANDC+LANDO, LANDC+SOIL, LANDO+SOIL) in one figure_id "real_world"
+/// run whose point labels carry the join name — the
+/// BENCH_accuracy_real_world.json producer.
+Result<FigureAccuracy> RunRealWorldSuite(const FigureRunOptions& opt);
+
+/// The BENCH_accuracy_* JSON shape: one BenchResult per point (metrics:
+/// x, exact, estimate, rel_error, bound, load/compute seconds, extras)
+/// plus one "<figure_id>_summary" result (points, max/mean rel error,
+/// failure_rate). See docs/BENCH.md.
+std::vector<BenchResult> AccuracyToBenchResults(const FigureAccuracy& fig);
+
+/// Shared main body of the figure drivers: prints one row per point,
+/// honors --json_out, and applies the accuracy gate (--check, default
+/// on) against the committed FigureTolerance table. Returns the process
+/// exit code (non-zero on a tolerance breach).
+int ReportAndCheck(const FigureAccuracy& fig, const Flags& flags);
+
+/// Builds FigureRunOptions from the shared driver flags (--seed, --runs,
+/// --full, --scale, --sizes, --words, --layout, --width, --writers,
+/// --stream_tail) and applies --kernels.
+FigureRunOptions FigureRunOptionsFromFlags(const Flags& flags);
+
+/// One store-served join case: both sides ingested into a fresh
+/// SketchStore under the given schema configuration and ServingConfig.
+struct StoreJoinCase {
+  uint32_t dims = 2;
+  uint32_t log2_domain = 14;                  ///< ORIGINAL domain bits
+  uint32_t max_level = DyadicDomain::kNoCap;  ///< Section 6.5 cap
+  uint32_t k1 = 64;
+  uint32_t k2 = 9;
+  uint64_t seed = 1;
+  ServingConfig serving;
+};
+
+/// What RunStoreJoin measured: the join estimate plus the store's own
+/// self-join estimates of both sides (the SJ inputs of the Lemma-1
+/// bound), with ingest and estimate time kept apart.
+struct StoreJoinOutcome {
+  double estimate = 0;  ///< served join-cardinality estimate
+  double sj_r = 0;      ///< served self-join-size estimate of R
+  double sj_s = 0;      ///< served self-join-size estimate of S
+  double load_seconds = 0;
+  double compute_seconds = 0;
+};
+
+/// Ingests r/s as kJoinR/kJoinS datasets into a fresh SketchStore
+/// (ParallelBulkLoad prefix + DatasetHandle::Insert streaming tail behind
+/// the configured writer shards, fenced) and serves ONE heterogeneous
+/// Run(QueryBatch) holding the join spec and both self-join specs. The
+/// exact path every figure gates.
+Result<StoreJoinOutcome> RunStoreJoin(const StoreJoinCase& c,
+                                      const std::vector<Box>& r,
+                                      const std::vector<Box>& s);
+
+}  // namespace bench
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_BENCH_ACCURACY_HARNESS_H_

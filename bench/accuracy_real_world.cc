@@ -1,0 +1,22 @@
+// The combined real-world accuracy suite: all three pairwise joins of the
+// real-world-like layers (LANDC+LANDO, LANDC+SOIL, LANDO+SOIL) served
+// through the store in one gated run. --json_out emits
+// BENCH_accuracy_real_world.json.
+
+#include <cstdio>
+
+#include "bench/accuracy_harness.h"
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace spatialsketch::bench;  // NOLINT(build/namespaces)
+  const auto flags = ParseFlagsOrDie(argc, argv);
+  const FigureRunOptions opt = FigureRunOptionsFromFlags(flags);
+  auto fig = RunRealWorldSuite(opt);
+  if (!fig.ok()) {
+    std::fprintf(stderr, "real_world suite failed: %s\n",
+                 fig.status().ToString().c_str());
+    return 1;
+  }
+  return ReportAndCheck(*fig, flags);
+}

@@ -1,15 +1,9 @@
 #include "bench/error_vs_size.h"
 
 #include <cstdio>
-#include <vector>
 
+#include "bench/accuracy_harness.h"
 #include "bench/bench_common.h"
-#include "src/common/stopwatch.h"
-#include "src/estimators/join_estimator.h"
-#include "src/exact/rect_join.h"
-#include "src/histogram/euler_histogram.h"
-#include "src/histogram/geometric_histogram.h"
-#include "src/workload/zipf_boxes.h"
 
 namespace spatialsketch {
 namespace bench {
@@ -17,89 +11,14 @@ namespace bench {
 int RunErrorVsSize(const char* figure_id, double zipf_z, int argc,
                    char** argv) {
   const Flags flags = ParseFlagsOrDie(argc, argv);
-  const bool full = flags.GetBool("full");
-  const uint64_t base_seed = flags.GetInt("seed", 1);
-  const int runs = static_cast<int>(flags.GetInt("runs", full ? 3 : 1));
-  const uint32_t log2_domain =
-      static_cast<uint32_t>(flags.GetInt("log2-domain", 14));
-  // EH level 6 over the 2^14 domain: 36481 words for every technique.
-  const uint64_t budget = flags.GetInt("words", 36481);
-
-  std::vector<uint64_t> sizes;
-  if (flags.Has("sizes")) {
-    // comma-free simple form: --sizes accepts one value in thousands.
-    sizes.push_back(flags.GetInt("sizes", 30) * 1000);
-  } else if (full) {
-    sizes = {30000, 100000, 200000, 300000, 400000, 500000};
-  } else {
-    sizes = {30000, 60000, 125000};
+  const FigureRunOptions opt = FigureRunOptionsFromFlags(flags);
+  auto fig = RunFigureErrorVsSize(figure_id, zipf_z, opt);
+  if (!fig.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", figure_id,
+                 fig.status().ToString().c_str());
+    return 1;
   }
-
-  const double extent = static_cast<double>(Coord{1} << log2_domain);
-  const uint32_t eh_grid = EulerGridForBudget(budget);
-  const uint32_t gh_grid = GeometricGridForBudget(budget);
-  const SpaceBudget sk = SplitBudget(budget, /*shape_words=*/4);
-
-  std::printf("# fig=%s zipf=%.2f budget_words=%llu sketch_k1=%u "
-              "sketch_k2=%u eh_grid=%u gh_grid=%u runs=%d\n",
-              figure_id, zipf_z, static_cast<unsigned long long>(budget),
-              sk.k1, sk.k2, eh_grid, gh_grid, runs);
-  std::printf("# size_k  exact  sketch_err  eh_err  gh_err  secs\n");
-
-  for (const uint64_t n : sizes) {
-    Stopwatch watch;
-    std::vector<double> sketch_errs, eh_errs, gh_errs;
-    double exact = 0.0;
-    for (int run = 0; run < runs; ++run) {
-      SyntheticBoxOptions gen;
-      gen.dims = 2;
-      gen.log2_domain = log2_domain;
-      gen.zipf_z = zipf_z;
-      gen.count = n;
-      gen.seed = base_seed + 1000 * run + 17;
-      const auto r = GenerateSyntheticBoxes(gen);
-      gen.seed = base_seed + 1000 * run + 42;
-      const auto s = GenerateSyntheticBoxes(gen);
-
-      exact = static_cast<double>(ExactRectJoinCount(r, s));
-
-      JoinPipelineOptions opt;
-      opt.dims = 2;
-      opt.log2_domain = log2_domain;
-      opt.auto_max_level = true;  // Section 6.5 adaptive sketches
-      opt.k1 = sk.k1;
-      opt.k2 = sk.k2;
-      opt.seed = base_seed + 7919 * run + 5;
-      auto sketch = SketchSpatialJoin(r, s, opt);
-      if (!sketch.ok()) {
-        std::fprintf(stderr, "sketch pipeline failed: %s\n",
-                     sketch.status().ToString().c_str());
-        return 1;
-      }
-      sketch_errs.push_back(RelativeError(sketch->estimate, exact));
-
-      EulerHistogram ehr(extent, eh_grid), ehs(extent, eh_grid);
-      GeometricHistogram ghr(extent, gh_grid), ghs(extent, gh_grid);
-      for (const Box& b : r) {
-        ehr.Add(b);
-        ghr.Add(b);
-      }
-      for (const Box& b : s) {
-        ehs.Add(b);
-        ghs.Add(b);
-      }
-      eh_errs.push_back(
-          RelativeError(EulerHistogram::EstimateJoin(ehr, ehs), exact));
-      gh_errs.push_back(
-          RelativeError(GeometricHistogram::EstimateJoin(ghr, ghs), exact));
-    }
-    std::printf("%7llu  %.0f  %.4f  %.4f  %.4f  %.1f\n",
-                static_cast<unsigned long long>(n / 1000), exact,
-                Mean(sketch_errs), Mean(eh_errs), Mean(gh_errs),
-                watch.Seconds());
-    std::fflush(stdout);
-  }
-  return 0;
+  return ReportAndCheck(*fig, flags);
 }
 
 }  // namespace bench

@@ -3,7 +3,9 @@
 // Shared driver for Figures 5 and 6: relative error of SKETCH / EH / GH
 // on 2-d synthetic rectangle joins as the dataset size grows, all three
 // techniques at the Euler-histogram-level-6 space allocation (36481 words
-// per dataset, Section 7.1).
+// per dataset, Section 7.1). The sketch estimates are served through the
+// store surface (bench/accuracy_harness.h) and gated against the
+// committed tolerance table; --json_out emits BENCH_accuracy_figNN.json.
 
 #ifndef SPATIALSKETCH_BENCH_ERROR_VS_SIZE_H_
 #define SPATIALSKETCH_BENCH_ERROR_VS_SIZE_H_
@@ -11,8 +13,9 @@
 namespace spatialsketch {
 namespace bench {
 
-/// Runs the experiment and prints one row per dataset size:
-///   size_k  exact  sketch_err  eh_err  gh_err
+/// Runs the experiment and prints one row per (size, run) point:
+///   point  x  exact  estimate  rel_err  bound  load_s  compute_s
+/// Returns non-zero on a failure or an accuracy-gate breach.
 int RunErrorVsSize(const char* figure_id, double zipf_z, int argc,
                    char** argv);
 

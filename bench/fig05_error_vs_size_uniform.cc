@@ -1,8 +1,10 @@
 // Figure 5 reproduction: relative error vs dataset size for uniform
-// (Zipf z = 0) 2-d rectangle joins; SKETCH / EH / GH at equal space.
+// (Zipf z = 0) 2-d rectangle joins; SKETCH served through the store, EH /
+// GH baselines at equal space. Gated; --json_out emits
+// BENCH_accuracy_fig05.json.
 
 #include "bench/error_vs_size.h"
 
 int main(int argc, char** argv) {
-  return spatialsketch::bench::RunErrorVsSize("5", 0.0, argc, argv);
+  return spatialsketch::bench::RunErrorVsSize("fig05", 0.0, argc, argv);
 }

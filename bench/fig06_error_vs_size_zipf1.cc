@@ -1,8 +1,10 @@
 // Figure 6 reproduction: relative error vs dataset size for skewed
-// (Zipf z = 1) 2-d rectangle joins; SKETCH / EH / GH at equal space.
+// (Zipf z = 1) 2-d rectangle joins; SKETCH served through the store, EH /
+// GH baselines at equal space. Gated; --json_out emits
+// BENCH_accuracy_fig06.json.
 
 #include "bench/error_vs_size.h"
 
 int main(int argc, char** argv) {
-  return spatialsketch::bench::RunErrorVsSize("6", 1.0, argc, argv);
+  return spatialsketch::bench::RunErrorVsSize("fig06", 1.0, argc, argv);
 }

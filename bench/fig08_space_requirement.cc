@@ -1,9 +1,12 @@
 // Figure 8 reproduction: sketch space (thousands of words) needed for the
 // epsilon = 0.3, phi = 0.01 guarantee as the dataset grows; nearly flat
 // because SJ(R) SJ(S) / E[Z]^2 is scale-free for a fixed distribution.
+// The gate holds every point inside a committed kwords window.
+// --json_out emits BENCH_accuracy_fig08.json.
 
 #include "bench/guarantee_experiment.h"
 
 int main(int argc, char** argv) {
-  return spatialsketch::bench::RunGuaranteeExperiment("8", 's', argc, argv);
+  return spatialsketch::bench::RunGuaranteeExperiment("fig08", 's', argc,
+                                                      argv);
 }

@@ -1,9 +1,10 @@
-// Figure 9 reproduction: LANDC join LANDO relative error vs space.
+// Figure 9 reproduction: LANDC join LANDO relative error vs space, served
+// through the store. Gated; --json_out emits BENCH_accuracy_fig09.json.
 
 #include "bench/real_world_experiment.h"
 
 int main(int argc, char** argv) {
   using spatialsketch::RealWorldLayer;
   return spatialsketch::bench::RunRealWorldJoin(
-      "9", RealWorldLayer::kLandc, RealWorldLayer::kLando, argc, argv);
+      "fig09", RealWorldLayer::kLandc, RealWorldLayer::kLando, argc, argv);
 }

@@ -1,9 +1,10 @@
-// Figure 10 reproduction: LANDC join SOIL relative error vs space.
+// Figure 10 reproduction: LANDC join SOIL relative error vs space, served
+// through the store. Gated; --json_out emits BENCH_accuracy_fig10.json.
 
 #include "bench/real_world_experiment.h"
 
 int main(int argc, char** argv) {
   using spatialsketch::RealWorldLayer;
   return spatialsketch::bench::RunRealWorldJoin(
-      "10", RealWorldLayer::kLandc, RealWorldLayer::kSoil, argc, argv);
+      "fig10", RealWorldLayer::kLandc, RealWorldLayer::kSoil, argc, argv);
 }

@@ -1,9 +1,10 @@
-// Figure 11 reproduction: LANDO join SOIL relative error vs space.
+// Figure 11 reproduction: LANDO join SOIL relative error vs space, served
+// through the store. Gated; --json_out emits BENCH_accuracy_fig11.json.
 
 #include "bench/real_world_experiment.h"
 
 int main(int argc, char** argv) {
   using spatialsketch::RealWorldLayer;
   return spatialsketch::bench::RunRealWorldJoin(
-      "11", RealWorldLayer::kLando, RealWorldLayer::kSoil, argc, argv);
+      "fig11", RealWorldLayer::kLando, RealWorldLayer::kSoil, argc, argv);
 }

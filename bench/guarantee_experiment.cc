@@ -1,17 +1,9 @@
 #include "bench/guarantee_experiment.h"
 
 #include <cstdio>
-#include <vector>
 
+#include "bench/accuracy_harness.h"
 #include "bench/bench_common.h"
-#include "src/common/stopwatch.h"
-#include "src/dyadic/endpoint_transform.h"
-#include "src/estimators/adaptive.h"
-#include "src/estimators/join_estimator.h"
-#include "src/estimators/sizing.h"
-#include "src/exact/interval_join.h"
-#include "src/sketch/self_join.h"
-#include "src/workload/zipf_boxes.h"
 
 namespace spatialsketch {
 namespace bench {
@@ -19,104 +11,14 @@ namespace bench {
 int RunGuaranteeExperiment(const char* figure_id, char mode, int argc,
                            char** argv) {
   const Flags flags = ParseFlagsOrDie(argc, argv);
-  const bool full = flags.GetBool("full");
-  const uint64_t base_seed = flags.GetInt("seed", 1);
-  const int runs = static_cast<int>(flags.GetInt("runs", full ? 3 : 1));
-  const double epsilon = flags.GetDouble("epsilon", 0.3);
-  const double phi = flags.GetDouble("phi", 0.01);
-  const uint32_t log2_domain =
-      static_cast<uint32_t>(flags.GetInt("log2-domain", 16));
-  // Short intervals relative to the Section 7.2 domains keep the join
-  // selective, the regime where guarantee-driven sizing matters.
-  const double side_factor = flags.GetDouble("side-factor", 0.25);
-
-  std::vector<uint64_t> sizes;
-  if (full) {
-    sizes = {30000, 100000, 200000, 300000, 400000, 500000};
-  } else {
-    sizes = {30000, 60000, 125000};
+  const FigureRunOptions opt = FigureRunOptionsFromFlags(flags);
+  auto fig = mode == 'e' ? RunFigureGuarantee(opt) : RunFigureSpace(opt);
+  if (!fig.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", figure_id,
+                 fig.status().ToString().c_str());
+    return 1;
   }
-
-  std::printf("# fig=%s epsilon=%.2f phi=%.3f log2_domain=%u runs=%d\n",
-              figure_id, epsilon, phi, log2_domain, runs);
-  if (mode == 'e') {
-    std::printf("# size_k  true_err  guaranteed_bound  secs\n");
-  } else {
-    std::printf("# size_k  sketch_kwords  k1  k2  secs\n");
-  }
-
-  for (const uint64_t n : sizes) {
-    Stopwatch watch;
-    std::vector<double> errs;
-    std::vector<double> kwords;
-    uint32_t last_k1 = 0, last_k2 = 0;
-    for (int run = 0; run < runs; ++run) {
-      SyntheticBoxOptions gen;
-      gen.dims = 1;
-      gen.log2_domain = log2_domain;
-      gen.count = n;
-      gen.mean_side_factor = side_factor;
-      gen.seed = base_seed + 100 * run + 3;
-      const auto r = GenerateSyntheticBoxes(gen);
-      gen.seed = base_seed + 100 * run + 77;
-      const auto s = GenerateSyntheticBoxes(gen);
-
-      const double exact =
-          static_cast<double>(ExactIntervalJoinCount(r, s));
-
-      // Lemma-1 sizing from the exact self-join sizes of the TRANSFORMED
-      // data (what the sketches actually summarize) under the adaptive
-      // Section-6.5 level cap, and the expected join size; the paper
-      // sizes from sanity bounds/pilot values, here we follow its
-      // Figures 7/8 protocol of targeting the known E[Z].
-      std::vector<Box> rt, st;
-      rt.reserve(r.size());
-      st.reserve(s.size());
-      for (const Box& b : r) rt.push_back(EndpointTransform::MapR(b, 1));
-      for (const Box& b : s) st.push_back(EndpointTransform::ShrinkS(b, 1));
-      const auto cap = SelectMaxLevel1D(
-          rt, st, EndpointTransform::TransformedLog2(log2_domain));
-      auto sizing = SizeForGuarantee(
-          epsilon, phi, JoinVarianceBound(cap.sj_r, cap.sj_s, 1), exact);
-      if (!sizing.ok()) {
-        std::fprintf(stderr, "sizing failed: %s\n",
-                     sizing.status().ToString().c_str());
-        return 1;
-      }
-      last_k1 = sizing->k1;
-      last_k2 = sizing->k2;
-      kwords.push_back(
-          static_cast<double>(sizing->WordsPerDataset(2)) / 1000.0);
-
-      if (mode == 'e') {
-        JoinPipelineOptions opt;
-        opt.dims = 1;
-        opt.log2_domain = log2_domain;
-        opt.max_level = cap.max_level;
-        opt.k1 = sizing->k1;
-        opt.k2 = sizing->k2;
-        opt.seed = base_seed + 7919 * run + 11;
-        auto est = SketchSpatialJoin(r, s, opt);
-        if (!est.ok()) {
-          std::fprintf(stderr, "pipeline failed: %s\n",
-                       est.status().ToString().c_str());
-          return 1;
-        }
-        errs.push_back(RelativeError(est->estimate, exact));
-      }
-    }
-    if (mode == 'e') {
-      std::printf("%7llu  %.4f  %.2f  %.1f\n",
-                  static_cast<unsigned long long>(n / 1000), Mean(errs),
-                  epsilon, watch.Seconds());
-    } else {
-      std::printf("%7llu  %.1f  %u  %u  %.1f\n",
-                  static_cast<unsigned long long>(n / 1000), Mean(kwords),
-                  last_k1, last_k2, watch.Seconds());
-    }
-    std::fflush(stdout);
-  }
-  return 0;
+  return ReportAndCheck(*fig, flags);
 }
 
 }  // namespace bench

@@ -3,9 +3,11 @@
 // Shared driver for Figures 7 and 8: 1-d interval joins of uniformly
 // distributed intervals, sketch sized by the Lemma-1 formula for a
 // guaranteed relative error bound (epsilon = 0.3 at 99% confidence).
-// Figure 7 reports the actual relative error against the guaranteed
-// bound; Figure 8 reports the sketch size in thousands of words, which is
-// nearly flat in the dataset size.
+// Figure 7 serves each sized sketch through the store surface
+// (bench/accuracy_harness.h) and gates the observed failure rate against
+// phi + slack; Figure 8 reports the sketch size in thousands of words
+// (nearly flat in the dataset size) and gates it into a committed window.
+// --json_out emits BENCH_accuracy_fig07/08.json.
 
 #ifndef SPATIALSKETCH_BENCH_GUARANTEE_EXPERIMENT_H_
 #define SPATIALSKETCH_BENCH_GUARANTEE_EXPERIMENT_H_
@@ -13,8 +15,9 @@
 namespace spatialsketch {
 namespace bench {
 
-/// mode = 'e': print size_k true_err guaranteed_bound (Figure 7).
-/// mode = 's': print size_k sketch_kwords (Figure 8).
+/// mode = 'e': accuracy points vs the epsilon bound (Figure 7).
+/// mode = 's': Lemma-1 sizing output in kwords per point (Figure 8).
+/// Returns non-zero on a failure or an accuracy-gate breach.
 int RunGuaranteeExperiment(const char* figure_id, char mode, int argc,
                            char** argv);
 

@@ -1,14 +1,9 @@
 #include "bench/real_world_experiment.h"
 
 #include <cstdio>
-#include <vector>
 
+#include "bench/accuracy_harness.h"
 #include "bench/bench_common.h"
-#include "src/common/stopwatch.h"
-#include "src/estimators/join_estimator.h"
-#include "src/exact/rect_join.h"
-#include "src/histogram/euler_histogram.h"
-#include "src/histogram/geometric_histogram.h"
 
 namespace spatialsketch {
 namespace bench {
@@ -16,75 +11,14 @@ namespace bench {
 int RunRealWorldJoin(const char* figure_id, RealWorldLayer left,
                      RealWorldLayer right, int argc, char** argv) {
   const Flags flags = ParseFlagsOrDie(argc, argv);
-  const bool full = flags.GetBool("full");
-  const uint64_t base_seed = flags.GetInt("seed", 1);
-  const int runs = static_cast<int>(flags.GetInt("runs", full ? 3 : 1));
-
-  // Space budgets include the natural Euler-histogram sizes (levels 4-6).
-  std::vector<uint64_t> budgets;
-  if (full) {
-    budgets = {2209, 5000, 8929, 15000, 20000, 25000, 30000, 36481, 40000};
-  } else {
-    budgets = {5000, 15000, 36481};
+  const FigureRunOptions opt = FigureRunOptionsFromFlags(flags);
+  auto fig = RunFigureRealWorld(figure_id, left, right, opt);
+  if (!fig.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", figure_id,
+                 fig.status().ToString().c_str());
+    return 1;
   }
-
-  const auto r = GenerateRealWorldLayer(left);
-  const auto s = GenerateRealWorldLayer(right);
-  const double exact = static_cast<double>(ExactRectJoinCount(r, s));
-  const double extent =
-      static_cast<double>(Coord{1} << kRealWorldLog2Domain);
-
-  std::printf("# fig=%s join=%s+%s |R|=%zu |S|=%zu exact=%.0f runs=%d\n",
-              figure_id, RealWorldLayerName(left).c_str(),
-              RealWorldLayerName(right).c_str(), r.size(), s.size(), exact,
-              runs);
-  std::printf("# kwords  sketch_err  eh_err  gh_err  secs\n");
-
-  for (const uint64_t budget : budgets) {
-    Stopwatch watch;
-    const uint32_t eh_grid = EulerGridForBudget(budget);
-    const uint32_t gh_grid = GeometricGridForBudget(budget);
-    const SpaceBudget sk = SplitBudget(budget, /*shape_words=*/4);
-
-    // Histograms are deterministic; sketches are averaged over runs.
-    EulerHistogram ehr(extent, eh_grid), ehs(extent, eh_grid);
-    GeometricHistogram ghr(extent, gh_grid), ghs(extent, gh_grid);
-    for (const Box& b : r) {
-      ehr.Add(b);
-      ghr.Add(b);
-    }
-    for (const Box& b : s) {
-      ehs.Add(b);
-      ghs.Add(b);
-    }
-    const double eh_err =
-        RelativeError(EulerHistogram::EstimateJoin(ehr, ehs), exact);
-    const double gh_err =
-        RelativeError(GeometricHistogram::EstimateJoin(ghr, ghs), exact);
-
-    std::vector<double> sketch_errs;
-    for (int run = 0; run < runs; ++run) {
-      JoinPipelineOptions opt;
-      opt.dims = 2;
-      opt.log2_domain = kRealWorldLog2Domain;
-      opt.auto_max_level = true;  // Section 6.5 adaptive sketches
-      opt.k1 = sk.k1;
-      opt.k2 = sk.k2;
-      opt.seed = base_seed + 101 * run + 13;
-      auto est = SketchSpatialJoin(r, s, opt);
-      if (!est.ok()) {
-        std::fprintf(stderr, "pipeline failed: %s\n",
-                     est.status().ToString().c_str());
-        return 1;
-      }
-      sketch_errs.push_back(RelativeError(est->estimate, exact));
-    }
-    std::printf("%6.1f  %.4f  %.4f  %.4f  %.1f\n",
-                static_cast<double>(budget) / 1000.0, Mean(sketch_errs),
-                eh_err, gh_err, watch.Seconds());
-    std::fflush(stdout);
-  }
-  return 0;
+  return ReportAndCheck(*fig, flags);
 }
 
 }  // namespace bench

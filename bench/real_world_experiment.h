@@ -2,7 +2,10 @@
 //
 // Shared driver for Figures 9-11: relative error vs allocated space for
 // the three pairwise joins of the real-world-like layers (LANDO, LANDC,
-// SOIL stand-ins; see DESIGN.md Substitutions).
+// SOIL stand-ins; see DESIGN.md Substitutions). Estimates are served
+// through the store surface (bench/accuracy_harness.h) and gated against
+// the committed tolerance table; --json_out emits
+// BENCH_accuracy_figNN.json.
 
 #ifndef SPATIALSKETCH_BENCH_REAL_WORLD_EXPERIMENT_H_
 #define SPATIALSKETCH_BENCH_REAL_WORLD_EXPERIMENT_H_
@@ -12,8 +15,9 @@
 namespace spatialsketch {
 namespace bench {
 
-/// Prints one row per space budget:
-///   kwords  sketch_err  eh_err  gh_err
+/// Runs one pairwise layer join over the budget grid and prints one row
+/// per (budget, run) point. Returns non-zero on a failure or an
+/// accuracy-gate breach.
 int RunRealWorldJoin(const char* figure_id, RealWorldLayer left,
                      RealWorldLayer right, int argc, char** argv);
 

@@ -17,10 +17,20 @@
 
 namespace spatialsketch {
 
+/// Distribution parameters of one clustered 2-d layer. The terrain
+/// (num_clusters Gaussian cluster centers with per-cluster weights and
+/// spread cluster_sigma_frac * domain) is drawn from terrain_seed ALONE;
+/// objects then mix cluster draws with a background_fraction of
+/// uniformly-placed boxes, with log-normal side lengths
+/// (exp(N(ln(median_side), side_log_sigma^2)), clamped to the domain).
+/// Two layers with equal terrain_seed but different layer_seed are
+/// independent samples over the SAME geography — the cross-layer join
+/// regime the real-world figures need. Identical options reproduce the
+/// identical stream.
 struct ClusteredBoxOptions {
   uint32_t log2_domain = 14;  ///< 2-d domain [0, 2^log2_domain)^2
-  uint64_t count = 30000;
-  uint32_t num_clusters = 64;
+  uint64_t count = 30000;     ///< rectangles generated
+  uint32_t num_clusters = 64;  ///< Gaussian mixture components
   double cluster_sigma_frac = 0.02;  ///< cluster spread / domain size
   double median_side = 48.0;         ///< log-normal size median
   double side_log_sigma = 0.9;       ///< log-normal sigma (in ln units)

@@ -1,5 +1,7 @@
 #include "src/workload/real_world.h"
 
+#include <algorithm>
+
 #include "src/common/macros.h"
 #include "src/workload/clustered_boxes.h"
 
@@ -35,11 +37,14 @@ std::string RealWorldLayerName(RealWorldLayer layer) {
   return "?";
 }
 
-std::vector<Box> GenerateRealWorldLayer(RealWorldLayer layer) {
+std::vector<Box> GenerateRealWorldLayer(RealWorldLayer layer,
+                                        const RealWorldOptions& rw) {
   ClusteredBoxOptions opt;
   opt.log2_domain = kRealWorldLog2Domain;
-  opt.terrain_seed = kTerrainSeed;
-  opt.count = RealWorldLayerCount(layer);
+  opt.terrain_seed = kTerrainSeed + rw.seed;
+  opt.count = std::max<uint64_t>(
+      16, static_cast<uint64_t>(
+              static_cast<double>(RealWorldLayerCount(layer)) * rw.scale));
   switch (layer) {
     case RealWorldLayer::kLando:
       // Ownership parcels: many, small-to-mid, tightly clustered.
@@ -69,7 +74,12 @@ std::vector<Box> GenerateRealWorldLayer(RealWorldLayer layer) {
       opt.layer_seed = 3003;
       break;
   }
+  opt.layer_seed += rw.seed;
   return GenerateClusteredBoxes(opt);
+}
+
+std::vector<Box> GenerateRealWorldLayer(RealWorldLayer layer) {
+  return GenerateRealWorldLayer(layer, RealWorldOptions{});
 }
 
 }  // namespace spatialsketch

@@ -21,22 +21,46 @@
 
 namespace spatialsketch {
 
+/// The three GIS-like layers of the shared synthetic "state" terrain.
+/// Per-layer shape parameters (cluster count, size distribution,
+/// background fraction) are fixed in real_world.cc; they are part of the
+/// workload's identity, not knobs.
 enum class RealWorldLayer {
-  kLando,  ///< land ownership, 33860 objects
-  kLandc,  ///< land cover, 14731 objects
-  kSoil,   ///< soils, 29662 objects
+  kLando,  ///< land ownership: 33860 small, tightly clustered parcels
+  kLandc,  ///< land cover: 14731 mid-sized, moderately clustered polygons
+  kSoil,   ///< soils: 29662 larger polygons in fewer clusters
 };
 
-/// Domain bits shared by all real-world-like layers.
+/// Domain bits shared by all real-world-like layers: every layer lives in
+/// the 2-d domain [0, 2^14)^2.
 inline constexpr uint32_t kRealWorldLog2Domain = 14;
 
-/// Paper cardinality of a layer.
+/// Reproducibility/scale knobs of a layer generation. The default-value
+/// options reproduce the CANONICAL layers — the exact streams the
+/// committed accuracy baselines and the paper-cardinality tests pin.
+struct RealWorldOptions {
+  /// Additive offset applied to the layer's fixed internal seed
+  /// (terrain AND per-layer randomness move together, so differently
+  /// seeded layer sets are independent "states" that still share their
+  /// cluster geography within one set). 0 = the canonical layers.
+  uint64_t seed = 0;
+  /// Multiplies the paper cardinality of the layer (result floored at
+  /// 16 objects); 1.0 = the paper's object counts. The shrunk accuracy
+  /// test tier uses < 1 for fast exact-join references.
+  double scale = 1.0;
+};
+
+/// Paper cardinality of a layer (the scale = 1 object count).
 uint64_t RealWorldLayerCount(RealWorldLayer layer);
 
-/// Layer name ("LANDO" etc.) for reporting.
+/// Layer name ("LANDO" / "LANDC" / "SOIL") for reporting.
 std::string RealWorldLayerName(RealWorldLayer layer);
 
-/// Deterministically generate a layer.
+/// Deterministically generate a layer under explicit options.
+std::vector<Box> GenerateRealWorldLayer(RealWorldLayer layer,
+                                        const RealWorldOptions& opt);
+
+/// Canonical layer generation: GenerateRealWorldLayer(layer, {}).
 std::vector<Box> GenerateRealWorldLayer(RealWorldLayer layer);
 
 }  // namespace spatialsketch

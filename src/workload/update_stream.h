@@ -17,14 +17,25 @@
 
 namespace spatialsketch {
 
+/// One stream event: insert or delete one box.
 struct Update {
-  enum class Op { kInsert, kDelete } op;
-  Box box;
+  /// The two stream operations.
+  enum class Op {
+    kInsert,  ///< add the box to the dataset
+    kDelete   ///< remove a previously inserted box
+  };
+  Op op;    ///< the operation applied to `box`
+  Box box;  ///< the object inserted or deleted
 };
 
+/// Shuffle/churn parameters of MakeUpdateStream. Identical options over
+/// identical inputs reproduce the identical stream.
 struct UpdateStreamOptions {
-  double churn_factor = 0.5;  ///< transient objects / final objects
-  uint64_t seed = 1;
+  /// Fraction of the supplied transient pool actually woven into the
+  /// stream as insert-then-delete pairs, relative to the final dataset
+  /// size (each transient object contributes 2 events).
+  double churn_factor = 0.5;
+  uint64_t seed = 1;  ///< PRNG seed for interleaving order
 };
 
 /// Build a randomized update stream whose net effect is exactly

@@ -15,13 +15,21 @@
 
 namespace spatialsketch {
 
+/// Distribution parameters of a Section-7.1 synthetic box set. Every
+/// dimension is generated independently: the lower endpoint of each
+/// projection is drawn Zipf(zipf_z) over the domain (z = 0 degenerates to
+/// uniform; larger z piles lower endpoints onto low coordinates — the
+/// "skewed" workloads of Figures 6-8), and the side length is drawn
+/// geometrically with mean mean_side_factor * sqrt(2^log2_domain), then
+/// clamped so the box stays inside the domain and non-degenerate.
+/// Identical options (seed included) reproduce the identical stream.
 struct SyntheticBoxOptions {
-  uint32_t dims = 2;
+  uint32_t dims = 2;           ///< box dimensionality (1..kMaxDims)
   uint32_t log2_domain = 14;   ///< domain [0, 2^log2_domain) per dimension
   double zipf_z = 0.0;         ///< lower-endpoint skew; 0 = uniform
   double mean_side_factor = 1.0;  ///< mean side = factor * sqrt(domain)
-  uint64_t count = 10000;
-  uint64_t seed = 1;
+  uint64_t count = 10000;      ///< boxes generated
+  uint64_t seed = 1;           ///< PRNG seed; pins the whole stream
 };
 
 /// Generate `count` non-degenerate boxes. Deterministic in the options.

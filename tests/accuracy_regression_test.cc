@@ -1,0 +1,313 @@
+// The fast accuracy-regression tier: shrunk versions of every figure
+// workload (Figures 5-11 and the real-world joins) served through
+// SketchStore + DatasetHandle + Run(QueryBatch) under EVERY
+// {scalar, best-available} kernel x {flat, blocked} layout x {i64, i32}
+// width configuration. Two invariants are enforced per figure:
+//
+//  1. Bit-identity: every configuration produces EXACTLY the same
+//     estimates (the synopsis is linear and the kernels/layouts/widths
+//     are bit-identical by contract) — compared with EXPECT_EQ on the
+//     doubles, no tolerance.
+//  2. Accuracy: the estimates stay inside committed error bounds for the
+//     pinned seeds (workloads are deterministic, so these bounds are
+//     regression pins, not statistical hopes), and every point respects
+//     its own Lemma-1 guarantee bound (failure_rate == 0).
+//
+// A deliberately bent estimator fixture proves the tolerance gate can
+// actually FAIL — the harness detects accuracy regressions rather than
+// vacuously passing.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/accuracy_harness.h"
+#include "src/workload/real_world.h"
+#include "src/xi/kernels.h"
+
+namespace spatialsketch {
+namespace bench {
+namespace {
+
+struct TestConfig {
+  kernels::Kind kernel;
+  CounterLayout layout;
+  CounterWidth width;
+
+  std::string Name() const {
+    std::string n = kernel == kernels::Kind::kScalar
+                        ? "scalar"
+                        : std::string("best:") +
+                              (kernels::OpsFor(kernel)
+                                   ? kernels::OpsFor(kernel)->name
+                                   : "?");
+    n += layout == CounterLayout::kBlocked ? "/blocked" : "/flat";
+    n += width == CounterWidth::kI32 ? "/i32" : "/i64";
+    return n;
+  }
+};
+
+// Every {scalar, best} x {flat, blocked} x {i64, i32} configuration.
+// When this host's best kernel IS scalar the kernel axis collapses and
+// 4 configurations remain.
+std::vector<TestConfig> AllConfigs() {
+  std::vector<kernels::Kind> kinds = {kernels::Kind::kScalar};
+  if (kernels::Best() != kernels::Kind::kScalar) {
+    kinds.push_back(kernels::Best());
+  }
+  std::vector<TestConfig> out;
+  for (const kernels::Kind k : kinds) {
+    for (const CounterLayout layout :
+         {CounterLayout::kFlat, CounterLayout::kBlocked}) {
+      for (const CounterWidth width :
+           {CounterWidth::kI64, CounterWidth::kI32}) {
+        out.push_back({k, layout, width});
+      }
+    }
+  }
+  return out;
+}
+
+// Shrunk figure options under one serving configuration. Small sizes and
+// a small word budget keep the whole suite fast; the exact references
+// make the error measurement exact at any scale.
+FigureRunOptions ShrunkOptions(const TestConfig& c) {
+  FigureRunOptions opt;
+  opt.seed = 1;
+  opt.runs = 1;
+  opt.serving.layout = c.layout;
+  opt.serving.width = c.width;
+  opt.serving.writer_shards = 2;
+  opt.serving.stream_tail = 200;  // still exercises handle streaming
+  return opt;
+}
+
+void ExpectSamePoints(const FigureAccuracy& ref, const FigureAccuracy& got,
+                      const std::string& config_name) {
+  ASSERT_EQ(ref.points.size(), got.points.size()) << config_name;
+  for (size_t i = 0; i < ref.points.size(); ++i) {
+    EXPECT_EQ(ref.points[i].label, got.points[i].label) << config_name;
+    // Bit-identity across kernels/layouts/widths: EXACT double equality.
+    EXPECT_EQ(ref.points[i].estimate, got.points[i].estimate)
+        << config_name << " point " << ref.points[i].label;
+    EXPECT_EQ(ref.points[i].exact, got.points[i].exact)
+        << config_name << " point " << ref.points[i].label;
+  }
+}
+
+// Runs `run` under every configuration, asserts cross-config
+// bit-identity, and stores the reference result for accuracy checks.
+// (ASSERT_* requires a void function, hence the out-parameter.)
+template <typename RunFn>
+void RunUnderAllConfigs(RunFn&& run, FigureAccuracy* ref) {
+  bool have_ref = false;
+  for (const TestConfig& c : AllConfigs()) {
+    ASSERT_TRUE(kernels::ForceKernels(c.kernel).ok()) << c.Name();
+    auto fig = run(ShrunkOptions(c));
+    ASSERT_TRUE(fig.ok()) << c.Name() << ": " << fig.status().ToString();
+    if (!have_ref) {
+      *ref = *fig;
+      have_ref = true;
+    } else {
+      ExpectSamePoints(*ref, *fig, c.Name());
+    }
+  }
+  (void)kernels::ForceKernels(kernels::Best());
+}
+
+void ExpectGatePasses(const FigureAccuracy& fig, const ToleranceBounds& b) {
+  const Status gate = CheckTolerance(fig, b);
+  EXPECT_TRUE(gate.ok()) << gate.ToString();
+  // Every bound-carrying point inside its own Lemma-1 guarantee bound.
+  EXPECT_EQ(fig.failure_rate, 0.0);
+}
+
+TEST(AccuracyRegression, Fig05UniformErrorVsSizeAllConfigs) {
+  FigureAccuracy fig;
+  RunUnderAllConfigs(
+      [](FigureRunOptions opt) {
+        opt.sizes = {1500, 3000};
+        opt.budget_words = 6000;
+        return RunFigureErrorVsSize("fig05", 0.0, opt);
+      },
+      &fig);
+  if (::testing::Test::HasFatalFailure()) return;
+  ASSERT_EQ(fig.points.size(), 2u);
+  // Shrunk-grid regression pin for the pinned seeds: high variance is
+  // expected at these tiny join cardinalities — the pin catches the
+  // estimator going WRONG (transform, cap, or combine bugs yield errors
+  // orders of magnitude past this), not noise.
+  ToleranceBounds b;
+  b.max_rel_error = 3.0;
+  b.mean_rel_error = 2.0;
+  b.max_failure_rate = 0.01;
+  ExpectGatePasses(fig, b);
+}
+
+TEST(AccuracyRegression, Fig06SkewedErrorVsSizeAllConfigs) {
+  FigureAccuracy fig;
+  RunUnderAllConfigs(
+      [](FigureRunOptions opt) {
+        opt.sizes = {1500, 3000};
+        opt.budget_words = 6000;
+        return RunFigureErrorVsSize("fig06", 1.0, opt);
+      },
+      &fig);
+  if (::testing::Test::HasFatalFailure()) return;
+  ASSERT_EQ(fig.points.size(), 2u);
+  ToleranceBounds b;
+  b.max_rel_error = 3.0;
+  b.mean_rel_error = 2.0;
+  b.max_failure_rate = 0.01;
+  ExpectGatePasses(fig, b);
+}
+
+TEST(AccuracyRegression, Fig07GuaranteeAllConfigs) {
+  FigureAccuracy fig;
+  RunUnderAllConfigs(
+      [](FigureRunOptions opt) {
+        opt.sizes = {2000, 4000};
+        return RunFigureGuarantee(opt);
+      },
+      &fig);
+  if (::testing::Test::HasFatalFailure()) return;
+  ASSERT_EQ(fig.points.size(), 2u);
+  // The guarantee experiment: every point carries bound = epsilon = 0.3
+  // and the Lemma-1 sized sketch must honor it on the pinned seeds.
+  ToleranceBounds b;
+  b.max_rel_error = 0.3;
+  b.max_failure_rate = 0.01;
+  ExpectGatePasses(fig, b);
+}
+
+TEST(AccuracyRegression, Fig08SpaceSizingAllConfigs) {
+  FigureAccuracy fig;
+  RunUnderAllConfigs(
+      [](FigureRunOptions opt) {
+        opt.sizes = {2000, 4000};
+        return RunFigureSpace(opt);
+      },
+      &fig);
+  if (::testing::Test::HasFatalFailure()) return;
+  ASSERT_EQ(fig.points.size(), 2u);
+  // At these tiny sizes the join is selective, so V/Q^2 (and the sized
+  // kwords) is far larger than at paper scale (~11-12 kwords); hold every
+  // point inside a window pinned from the observed shrunk-grid sizing.
+  ToleranceBounds b;
+  b.min_point_value = 5.0;
+  b.max_point_value = 300.0;
+  ExpectGatePasses(fig, b);
+  for (const AccuracyPoint& p : fig.points) {
+    EXPECT_EQ(p.rel_error, 0.0) << "space points carry no error";
+  }
+}
+
+TEST(AccuracyRegression, RealWorldSuiteAllConfigs) {
+  FigureAccuracy fig;
+  RunUnderAllConfigs(
+      [](FigureRunOptions opt) {
+        opt.scale = 0.12;  // ~1767 / 4063 / 3559 objects per layer
+        opt.budgets = {6000, 12000};
+        return RunFigureRealWorld("fig09", RealWorldLayer::kLandc,
+                                  RealWorldLayer::kLando, opt);
+      },
+      &fig);
+  if (::testing::Test::HasFatalFailure()) return;
+  ASSERT_EQ(fig.points.size(), 2u);
+  ToleranceBounds b;
+  b.max_rel_error = 3.0;
+  b.mean_rel_error = 2.0;
+  b.max_failure_rate = 0.01;
+  ExpectGatePasses(fig, b);
+}
+
+// ---------------------------------------------------------------------------
+// The gate itself must be able to FAIL: a deliberately bent estimator
+// (estimates scaled away from their exacts) has to breach the tolerance
+// table. This is the proof the harness detects accuracy regressions
+// instead of vacuously passing.
+// ---------------------------------------------------------------------------
+
+FigureAccuracy HealthyFixture() {
+  FigureAccuracy fig;
+  fig.figure_id = "fig05";
+  const char* labels[] = {"p0", "p1", "p2", "p3"};
+  for (int i = 0; i < 4; ++i) {
+    AccuracyPoint p;
+    p.label = labels[i];
+    p.x = i;
+    p.exact = 1000.0;
+    p.estimate = 1010.0 + i;  // ~1% error
+    p.bound = 0.3;
+    fig.points.push_back(p);
+  }
+  fig.Finalize();
+  return fig;
+}
+
+TEST(ToleranceGate, BentEstimatorFailsTheGate) {
+  FigureAccuracy fig = HealthyFixture();
+  const auto bounds = FigureTolerance(fig.figure_id);
+  ASSERT_TRUE(bounds.ok());
+  ASSERT_TRUE(CheckTolerance(fig, *bounds).ok());
+
+  // Bend the estimator: a silent 2x accuracy regression.
+  for (AccuracyPoint& p : fig.points) p.estimate *= 2.0;
+  fig.Finalize();
+  const Status bent = CheckTolerance(fig, *bounds);
+  EXPECT_FALSE(bent.ok());
+  EXPECT_NE(bent.ToString().find("max_rel_error"), std::string::npos)
+      << bent.ToString();
+}
+
+TEST(ToleranceGate, GuaranteeFailureRateBreachIsCaught) {
+  FigureAccuracy fig = HealthyFixture();
+  fig.figure_id = "fig07";
+  // Push half the points past their epsilon bound: observed failure rate
+  // 0.5 >> phi + slack.
+  fig.points[0].estimate = 1500.0;
+  fig.points[1].estimate = 400.0;
+  fig.Finalize();
+  EXPECT_EQ(fig.failure_rate, 0.5);
+  const auto bounds = FigureTolerance("fig07");
+  ASSERT_TRUE(bounds.ok());
+  const Status gate = CheckTolerance(fig, *bounds);
+  EXPECT_FALSE(gate.ok());
+  EXPECT_NE(gate.ToString().find("failure_rate"), std::string::npos)
+      << gate.ToString();
+}
+
+TEST(ToleranceGate, SpaceWindowBreachIsCaught) {
+  FigureAccuracy fig;
+  fig.figure_id = "fig08";
+  AccuracyPoint p;
+  p.label = "p0";
+  p.exact = p.estimate = 500.0;  // kwords, way past any sane sizing
+  fig.points.push_back(p);
+  fig.Finalize();
+  const auto bounds = FigureTolerance("fig08");
+  ASSERT_TRUE(bounds.ok());
+  EXPECT_FALSE(CheckTolerance(fig, *bounds).ok());
+}
+
+TEST(ToleranceGate, EmptyFigureFails) {
+  FigureAccuracy fig;
+  fig.figure_id = "fig05";
+  fig.Finalize();
+  ToleranceBounds b;
+  b.max_rel_error = 1.0;
+  EXPECT_FALSE(CheckTolerance(fig, b).ok());
+}
+
+TEST(ToleranceGate, EveryFigureHasCommittedBounds) {
+  for (const char* id : {"fig05", "fig06", "fig07", "fig08", "fig09",
+                         "fig10", "fig11", "real_world"}) {
+    EXPECT_TRUE(FigureTolerance(id).ok()) << id;
+  }
+  EXPECT_FALSE(FigureTolerance("fig99").ok());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace spatialsketch

@@ -68,6 +68,57 @@ TEST(SyntheticBoxes, ZipfSkewConcentratesLowerEndpoints) {
   EXPECT_GT(low_fraction(skewed), 0.40);
 }
 
+// FNV-1a over every coordinate of a stream: the golden-seed pins below
+// fail if a generator's output changes AT ALL, because the committed
+// accuracy baselines (BENCH_accuracy_*.json) are measurements of these
+// exact streams.
+uint64_t StreamFingerprint(const std::vector<Box>& v, uint32_t dims) {
+  uint64_t h = 1469598103934665603ull;
+  for (const Box& b : v) {
+    for (uint32_t d = 0; d < dims; ++d) {
+      for (const uint64_t word : {static_cast<uint64_t>(b.lo[d]),
+                                  static_cast<uint64_t>(b.hi[d])}) {
+        for (int i = 0; i < 8; ++i) {
+          h ^= (word >> (8 * i)) & 0xff;
+          h *= 1099511628211ull;
+        }
+      }
+    }
+  }
+  return h;
+}
+
+TEST(SyntheticBoxes, GoldenSeedFingerprint) {
+  SyntheticBoxOptions opt;
+  opt.dims = 2;
+  opt.log2_domain = 12;
+  opt.zipf_z = 1.0;
+  opt.count = 1000;
+  opt.seed = 42;
+  EXPECT_EQ(StreamFingerprint(GenerateSyntheticBoxes(opt), 2),
+            0xa7d691728ac8df24ull);
+}
+
+TEST(SyntheticBoxes, ZipfSkewMonotoneInZ) {
+  SyntheticBoxOptions opt;
+  opt.dims = 1;
+  opt.log2_domain = 12;
+  opt.count = 20000;
+  opt.seed = 6;
+  auto low_fraction = [&](double z) {
+    opt.zipf_z = z;
+    const auto v = GenerateSyntheticBoxes(opt);
+    uint64_t low = 0;
+    for (const Box& b : v) low += (b.lo[0] < 256);
+    return static_cast<double>(low) / v.size();
+  };
+  const double f0 = low_fraction(0.0);
+  const double f_half = low_fraction(0.5);
+  const double f1 = low_fraction(1.0);
+  EXPECT_LT(f0, f_half);
+  EXPECT_LT(f_half, f1);
+}
+
 TEST(SyntheticBoxes, DifferentSeedsProduceDifferentData) {
   SyntheticBoxOptions opt;
   opt.count = 100;
@@ -93,6 +144,15 @@ TEST(ClusteredBoxes, DeterministicBoundedNonDegenerate) {
       EXPECT_LE(box.hi[d], max_coord);
     }
   }
+}
+
+TEST(ClusteredBoxes, GoldenSeedFingerprint) {
+  ClusteredBoxOptions opt;
+  opt.count = 1000;
+  opt.terrain_seed = 7;
+  opt.layer_seed = 11;
+  EXPECT_EQ(StreamFingerprint(GenerateClusteredBoxes(opt), 2),
+            0xa1fd26e714fb0bf8ull);
 }
 
 TEST(ClusteredBoxes, ClusteringProducesSpatialSkew) {
@@ -148,6 +208,34 @@ TEST(RealWorldLayers, LayersDifferButShareExtent) {
     return m / v.size();
   };
   EXPECT_LT(mean_side(lando), mean_side(soil));
+}
+
+TEST(RealWorldLayers, DefaultOptionsReproduceCanonicalLayers) {
+  // The no-options overload and default RealWorldOptions must be the SAME
+  // stream — the committed baselines and the paper-cardinality pins both
+  // ride on it.
+  const auto canonical = GenerateRealWorldLayer(RealWorldLayer::kSoil);
+  const auto via_options =
+      GenerateRealWorldLayer(RealWorldLayer::kSoil, RealWorldOptions{});
+  EXPECT_TRUE(canonical == via_options);
+}
+
+TEST(RealWorldLayers, SeedOffsetChangesLayersScaleShrinksThem) {
+  RealWorldOptions rw;
+  rw.seed = 5;
+  rw.scale = 1.0;
+  const auto reseeded = GenerateRealWorldLayer(RealWorldLayer::kLandc, rw);
+  EXPECT_EQ(reseeded.size(), 14731u);
+  EXPECT_FALSE(reseeded == GenerateRealWorldLayer(RealWorldLayer::kLandc));
+
+  RealWorldOptions small;
+  small.scale = 0.05;
+  const auto scaled = GenerateRealWorldLayer(RealWorldLayer::kLandc, small);
+  EXPECT_EQ(scaled.size(), 736u);  // floor(0.05 * 14731)
+  EXPECT_EQ(StreamFingerprint(scaled, 2), 0xf8cc67b831e45c78ull);
+
+  small.scale = 1e-9;  // cardinality floors at 16, never 0
+  EXPECT_EQ(GenerateRealWorldLayer(RealWorldLayer::kSoil, small).size(), 16u);
 }
 
 TEST(UpdateStream, NetEffectEqualsFinalDataset) {
