@@ -56,6 +56,31 @@ double Median(std::vector<double> v) {
   return v[mid];
 }
 
+double Percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  if (q <= 0.0) return *std::min_element(v.begin(), v.end());
+  if (q >= 100.0) return *std::max_element(v.begin(), v.end());
+  // Nearest rank: ceil(q/100 * n), 1-based -> index rank-1.
+  const size_t n = v.size();
+  size_t rank = static_cast<size_t>(
+      std::ceil(q / 100.0 * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  std::nth_element(v.begin(), v.begin() + (rank - 1), v.end());
+  return v[rank - 1];
+}
+
+void StampLatencyMetrics(BenchResult* result, const std::string& prefix,
+                         std::vector<double> latencies_us) {
+  result->Metric(prefix + "_count",
+                 static_cast<double>(latencies_us.size()));
+  result->Metric(prefix + "_mean_us", Mean(latencies_us));
+  result->Metric(prefix + "_p50_us", Percentile(latencies_us, 50.0));
+  result->Metric(prefix + "_p99_us", Percentile(latencies_us, 99.0));
+  result->Metric(prefix + "_p999_us",
+                 Percentile(std::move(latencies_us), 99.9));
+}
+
 void ApplyKernelsFlagOrDie(const Flags& flags) {
   if (!flags.Has("kernels")) return;
   const std::string name = flags.GetString("kernels");

@@ -50,6 +50,12 @@ double Mean(const std::vector<double>& v);
 /// so the result is always an actually-measured value).
 double Median(std::vector<double> v);
 
+/// The q-th percentile (q in [0, 100]) by nearest rank: the smallest
+/// element with at least q% of the sample at or below it — always an
+/// actually-measured value, which is what a tail-latency number should
+/// be (no interpolation smoothing the p999 spike away). 0 for empty.
+double Percentile(std::vector<double> v, double q);
+
 /// Parse flags or die with a message.
 Flags ParseFlagsOrDie(int argc, char** argv);
 
@@ -97,6 +103,14 @@ struct BenchResult {
     metrics.emplace_back(key, value);
   }
 };
+
+/// Stamp the standard tail-latency metric set onto a bench result:
+/// `<prefix>_p50_us`, `<prefix>_p99_us`, `<prefix>_p999_us`,
+/// `<prefix>_mean_us`, and `<prefix>_count` from per-operation
+/// latencies in MICROSECONDS. The fixed field names keep every
+/// latency-reporting bench's JSON schema identical (docs/BENCH.md).
+void StampLatencyMetrics(BenchResult* result, const std::string& prefix,
+                         std::vector<double> latencies_us);
 
 /// Render results as a stable JSON document:
 ///   {"results": [{"name": ..., "params": {...}, "metrics": {...}}, ...]}

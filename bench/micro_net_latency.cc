@@ -1,0 +1,251 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// micro_net_latency: tail latency and throughput of the framed-TCP
+// serving layer (src/net/, docs/NETWORK.md). Spawns an in-process
+// SketchServer on an ephemeral loopback port, bulk-loads a dataset
+// through the async SubmitLoad/CheckJob path (timed separately as
+// load_seconds), then drives N concurrent clients — one connection per
+// client, exactly the intended concurrency model — through a closed
+// loop of RPCs per kind, recording every round trip in microseconds:
+//
+//   update  one-op streamed Update frame (the write hot path)
+//   query   one-spec Run batch (range count)
+//   batch   eight-spec Run batch (amortized framing)
+//   stats   Stats snapshot (the monitoring probe)
+//
+// Emits per-kind p50/p99/p999/mean via the shared latency-metric
+// stamper plus rpcs_per_sec, with load_seconds and compute_seconds
+// reported apart so ingest cost never pollutes the serving numbers.
+//
+//   --clients=N   concurrent client connections   (default 4)
+//   --ops=N       RPCs per kind per client        (default 500)
+//   --rows=N      rows bulk-loaded up front       (default 20000)
+//   --json_out=F  write BENCH_net_latency-style JSON
+
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
+#include "src/store/sketch_store.h"
+
+namespace spatialsketch {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct ClientLatencies {
+  std::vector<double> update_us;
+  std::vector<double> query_us;
+  std::vector<double> batch_us;
+  std::vector<double> stats_us;
+};
+
+constexpr uint32_t kDims = 2;
+constexpr uint32_t kLog2Domain = 12;
+
+Box RandomQueryBox(std::mt19937_64* rng) {
+  std::uniform_int_distribution<Coord> coord(0, (1u << kLog2Domain) - 1);
+  Box box;
+  for (uint32_t d = 0; d < kDims; ++d) {
+    Coord a = coord(*rng);
+    Coord b = coord(*rng);
+    if (a > b) std::swap(a, b);
+    box.lo[d] = a;
+    box.hi[d] = b;
+  }
+  return box;
+}
+
+void ClientLoop(uint16_t port, uint64_t seed, uint32_t ops,
+                ClientLatencies* out, Status* status) {
+  net::SketchClientOptions copt;
+  copt.port = port;
+  auto client = net::SketchClient::Connect(copt);
+  if (!client.ok()) {
+    *status = client.status();
+    return;
+  }
+  std::mt19937_64 rng(seed);
+  out->update_us.reserve(ops);
+  out->query_us.reserve(ops);
+  out->batch_us.reserve(ops);
+  out->stats_us.reserve(ops);
+
+  auto timed = [](std::vector<double>* sink, auto&& op) -> Status {
+    const Clock::time_point start = Clock::now();
+    Status st = op();
+    sink->push_back(SecondsSince(start) * 1e6);
+    return st;
+  };
+
+  for (uint32_t i = 0; i < ops; ++i) {
+    Status st = timed(&out->update_us, [&] {
+      return (*client)->Insert("range", RandomQueryBox(&rng));
+    });
+    if (st.ok()) {
+      st = timed(&out->query_us, [&] {
+        QueryBatch batch;
+        batch.specs.push_back(
+            QuerySpec::RangeCount("range", RandomQueryBox(&rng)));
+        return (*client)->Run(batch).status();
+      });
+    }
+    if (st.ok()) {
+      st = timed(&out->batch_us, [&] {
+        QueryBatch batch;
+        for (int q = 0; q < 8; ++q) {
+          batch.specs.push_back(
+              QuerySpec::RangeCount("range", RandomQueryBox(&rng)));
+        }
+        return (*client)->Run(batch).status();
+      });
+    }
+    if (st.ok()) {
+      st = timed(&out->stats_us, [&] { return (*client)->Stats().status(); });
+    }
+    if (!st.ok()) {
+      *status = st;
+      return;
+    }
+  }
+  *status = Status::OK();
+}
+
+int Run(int argc, char** argv) {
+  const Flags flags = bench::ParseFlagsOrDie(argc, argv);
+  bench::ApplyKernelsFlagOrDie(flags);
+  const uint32_t clients =
+      static_cast<uint32_t>(flags.GetInt("clients", 4));
+  const uint32_t ops = static_cast<uint32_t>(flags.GetInt("ops", 500));
+  const uint64_t rows = static_cast<uint64_t>(flags.GetInt("rows", 20000));
+
+  SketchStore store;
+  StoreSchemaOptions sopt;
+  sopt.dims = kDims;
+  sopt.log2_domain = kLog2Domain;
+  sopt.k1 = 8;
+  sopt.k2 = 3;
+  sopt.seed = 7;
+  Status st = store.RegisterSchema("s", sopt);
+  if (st.ok()) {
+    st = store.CreateDataset("range", "s", DatasetKind::kRange);
+  }
+  if (!st.ok()) {
+    std::fprintf(stderr, "setup: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto server = net::SketchServer::Start(&store);
+  if (!server.ok()) {
+    std::fprintf(stderr, "server: %s\n", server.status().ToString().c_str());
+    return 1;
+  }
+  const uint16_t port = (*server)->port();
+
+  // Load phase: the async SubmitLoad/CheckJob path, timed on its own.
+  const Clock::time_point load_start = Clock::now();
+  double load_seconds = 0;
+  {
+    net::SketchClientOptions copt;
+    copt.port = port;
+    auto loader = net::SketchClient::Connect(copt);
+    if (!loader.ok()) {
+      std::fprintf(stderr, "load: %s\n",
+                   loader.status().ToString().c_str());
+      return 1;
+    }
+    SyntheticBoxOptions gen;
+    gen.dims = kDims;
+    gen.log2_domain = kLog2Domain;
+    gen.count = rows;
+    gen.seed = 11;
+    auto job = (*loader)->SubmitLoadSynthetic("range", gen);
+    Result<net::JobStatusReport> done =
+        job.ok() ? (*loader)->WaitJob(*job)
+                 : Result<net::JobStatusReport>(job.status());
+    if (!done.ok() || done->state != net::JobState::kDone) {
+      std::fprintf(stderr, "load: %s\n",
+                   done.ok() ? done->error.c_str()
+                             : done.status().ToString().c_str());
+      return 1;
+    }
+    load_seconds = SecondsSince(load_start);
+  }
+
+  // Compute phase: N concurrent closed-loop clients.
+  std::vector<ClientLatencies> latencies(clients);
+  std::vector<Status> statuses(clients);
+  std::vector<std::thread> threads;
+  const Clock::time_point compute_start = Clock::now();
+  for (uint32_t c = 0; c < clients; ++c) {
+    threads.emplace_back(ClientLoop, port, /*seed=*/100 + c, ops,
+                         &latencies[c], &statuses[c]);
+  }
+  for (std::thread& t : threads) t.join();
+  const double compute_seconds = SecondsSince(compute_start);
+  for (const Status& s : statuses) {
+    if (!s.ok()) {
+      std::fprintf(stderr, "client: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  (*server)->Stop();
+
+  ClientLatencies all;
+  for (ClientLatencies& one : latencies) {
+    all.update_us.insert(all.update_us.end(), one.update_us.begin(),
+                         one.update_us.end());
+    all.query_us.insert(all.query_us.end(), one.query_us.begin(),
+                        one.query_us.end());
+    all.batch_us.insert(all.batch_us.end(), one.batch_us.begin(),
+                        one.batch_us.end());
+    all.stats_us.insert(all.stats_us.end(), one.stats_us.begin(),
+                        one.stats_us.end());
+  }
+  const double total_rpcs = static_cast<double>(
+      all.update_us.size() + all.query_us.size() + all.batch_us.size() +
+      all.stats_us.size());
+
+  bench::BenchResult result;
+  result.name = "net_latency";
+  result.Param("clients", static_cast<int64_t>(clients));
+  result.Param("ops_per_kind", static_cast<int64_t>(ops));
+  result.Param("rows", static_cast<int64_t>(rows));
+  result.Metric("load_seconds", load_seconds);
+  result.Metric("compute_seconds", compute_seconds);
+  result.Metric("rpcs_per_sec",
+                compute_seconds > 0 ? total_rpcs / compute_seconds : 0);
+  bench::StampLatencyMetrics(&result, "update", std::move(all.update_us));
+  bench::StampLatencyMetrics(&result, "query", std::move(all.query_us));
+  bench::StampLatencyMetrics(&result, "batch", std::move(all.batch_us));
+  bench::StampLatencyMetrics(&result, "stats", std::move(all.stats_us));
+
+  std::printf("# bench=net_latency clients=%u ops=%u rows=%llu\n", clients,
+              ops, static_cast<unsigned long long>(rows));
+  std::printf("load_seconds %.3f\ncompute_seconds %.3f\nrpcs_per_sec %.0f\n",
+              load_seconds, compute_seconds,
+              compute_seconds > 0 ? total_rpcs / compute_seconds : 0);
+  for (const auto& [key, value] : result.metrics) {
+    std::printf("%s %.3f\n", key.c_str(), value);
+  }
+
+  st = bench::MaybeWriteBenchJson(flags, {result});
+  if (!st.ok()) {
+    std::fprintf(stderr, "json: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace spatialsketch
+
+int main(int argc, char** argv) { return spatialsketch::Run(argc, argv); }

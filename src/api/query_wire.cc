@@ -1,0 +1,152 @@
+#include "src/api/query_wire.h"
+
+#include <algorithm>
+
+namespace spatialsketch {
+
+namespace {
+
+// The spec's primary/partner dataset as a wire name: a valid handle wins
+// over the name field beside it, exactly as Run() resolves.
+const std::string& SpecName(const DatasetHandle& handle,
+                            const std::string& name) {
+  return handle.valid() ? handle.name() : name;
+}
+
+}  // namespace
+
+Status StatusFromWire(uint8_t code, std::string message) {
+  switch (static_cast<StatusCode>(code)) {
+    case StatusCode::kOk:
+      return Status::OK();
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(message));
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(std::move(message));
+    case StatusCode::kFailedPrecondition:
+      return Status::FailedPrecondition(std::move(message));
+    case StatusCode::kUnimplemented:
+      return Status::Unimplemented(std::move(message));
+    case StatusCode::kInternal:
+      return Status::Internal(std::move(message));
+    case StatusCode::kIOError:
+      return Status::IOError(std::move(message));
+  }
+  return Status::InvalidArgument("unknown wire status code");
+}
+
+void AppendQuerySpec(std::string* out, const QuerySpec& spec) {
+  net::PutU8(out, static_cast<uint8_t>(spec.kind));
+  net::PutString(out, SpecName(spec.handle, spec.dataset));
+  net::PutString(out, SpecName(spec.handle2, spec.dataset2));
+  net::PutBox(out, spec.query);
+  net::PutU64(out, spec.eps);
+}
+
+Status DecodeQuerySpec(net::WireReader* r, QuerySpec* out) {
+  uint8_t kind = 0;
+  SKETCH_RETURN_NOT_OK(r->GetU8(&kind));
+  if (kind > static_cast<uint8_t>(QueryKind::kContainmentJoin)) {
+    return Status::InvalidArgument("query spec: unknown kind byte");
+  }
+  out->kind = static_cast<QueryKind>(kind);
+  out->handle = DatasetHandle();
+  out->handle2 = DatasetHandle();
+  SKETCH_RETURN_NOT_OK(r->GetString(&out->dataset));
+  SKETCH_RETURN_NOT_OK(r->GetString(&out->dataset2));
+  SKETCH_RETURN_NOT_OK(r->GetBox(&out->query));
+  SKETCH_RETURN_NOT_OK(r->GetU64(&out->eps));
+  return Status::OK();
+}
+
+void AppendQueryBatch(std::string* out, const QueryBatch& batch) {
+  net::PutU8(out, kQueryWireVersion);
+  net::PutU32(out, static_cast<uint32_t>(batch.specs.size()));
+  for (const QuerySpec& spec : batch.specs) AppendQuerySpec(out, spec);
+}
+
+Status DecodeQueryBatch(net::WireReader* r, QueryBatch* out) {
+  uint8_t version = 0;
+  SKETCH_RETURN_NOT_OK(r->GetU8(&version));
+  if (version != kQueryWireVersion) {
+    return Status::InvalidArgument("query batch: unsupported wire version");
+  }
+  uint32_t count = 0;
+  SKETCH_RETURN_NOT_OK(r->GetU32(&count));
+  out->specs.clear();
+  // A spec encodes to well over one byte, so a count beyond the bytes
+  // actually present is hostile — cap the reserve at what could fit
+  // (the parse below still rejects the short payload).
+  out->specs.reserve(std::min<size_t>(count, r->remaining()));
+  for (uint32_t i = 0; i < count; ++i) {
+    QuerySpec spec;
+    SKETCH_RETURN_NOT_OK(DecodeQuerySpec(r, &spec));
+    out->specs.push_back(std::move(spec));
+  }
+  return Status::OK();
+}
+
+void AppendQueryResult(std::string* out, const QueryResult& result) {
+  net::PutU8(out, static_cast<uint8_t>(result.status.code()));
+  net::PutString(out, result.status.message());
+  net::PutF64(out, result.value);
+  net::PutU32(out, result.estimator.k1);
+  net::PutU32(out, result.estimator.k2);
+  net::PutU32(out, result.estimator.instances);
+  net::PutU8(out, static_cast<uint8_t>(result.estimator.layout));
+  net::PutU8(out, static_cast<uint8_t>(result.estimator.counter_width));
+}
+
+Status DecodeQueryResult(net::WireReader* r, QueryResult* out) {
+  uint8_t code = 0;
+  std::string message;
+  SKETCH_RETURN_NOT_OK(r->GetU8(&code));
+  SKETCH_RETURN_NOT_OK(r->GetString(&message));
+  if (code > static_cast<uint8_t>(StatusCode::kIOError)) {
+    return Status::InvalidArgument("query result: unknown status code");
+  }
+  out->status = StatusFromWire(code, std::move(message));
+  SKETCH_RETURN_NOT_OK(r->GetF64(&out->value));
+  SKETCH_RETURN_NOT_OK(r->GetU32(&out->estimator.k1));
+  SKETCH_RETURN_NOT_OK(r->GetU32(&out->estimator.k2));
+  SKETCH_RETURN_NOT_OK(r->GetU32(&out->estimator.instances));
+  uint8_t layout = 0;
+  uint8_t width = 0;
+  SKETCH_RETURN_NOT_OK(r->GetU8(&layout));
+  SKETCH_RETURN_NOT_OK(r->GetU8(&width));
+  if (layout > static_cast<uint8_t>(CounterLayout::kBlocked) ||
+      width > static_cast<uint8_t>(CounterWidth::kI32)) {
+    return Status::InvalidArgument("query result: bad estimator tag byte");
+  }
+  out->estimator.layout = static_cast<CounterLayout>(layout);
+  out->estimator.counter_width = static_cast<CounterWidth>(width);
+  return Status::OK();
+}
+
+void AppendQueryResults(std::string* out,
+                        const std::vector<QueryResult>& results) {
+  net::PutU8(out, kQueryWireVersion);
+  net::PutU32(out, static_cast<uint32_t>(results.size()));
+  for (const QueryResult& result : results) AppendQueryResult(out, result);
+}
+
+Status DecodeQueryResults(net::WireReader* r,
+                          std::vector<QueryResult>* out) {
+  uint8_t version = 0;
+  SKETCH_RETURN_NOT_OK(r->GetU8(&version));
+  if (version != kQueryWireVersion) {
+    return Status::InvalidArgument("query results: unsupported wire version");
+  }
+  uint32_t count = 0;
+  SKETCH_RETURN_NOT_OK(r->GetU32(&count));
+  out->clear();
+  out->reserve(std::min<size_t>(count, r->remaining()));
+  for (uint32_t i = 0; i < count; ++i) {
+    QueryResult result;
+    SKETCH_RETURN_NOT_OK(DecodeQueryResult(r, &result));
+    out->push_back(std::move(result));
+  }
+  return Status::OK();
+}
+
+}  // namespace spatialsketch

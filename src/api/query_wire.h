@@ -1,0 +1,73 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Versioned wire serialization of the typed query surface (src/api/
+// query.h) — the encoding a QueryBatch travels in over the network
+// serving layer (src/net/). The structs were designed to be
+// serializable: every field is a scalar, a box, or a name string.
+//
+// Encoding rules (version 1, docs/NETWORK.md):
+//  - A batch is [u8 version][u32 count][count * spec]; results are
+//    [u8 version][u32 count][count * result]. The version byte is
+//    checked on decode, so a future layout change bumps the constant
+//    and old peers fail with a clean error instead of misparsing.
+//  - Specs travel NAME-addressed: DatasetHandle is a process-local
+//    pointer and never crosses the wire (the server resolves names in
+//    its own registry, inside the tenant's namespace).
+//  - Doubles travel as IEEE-754 bit patterns, so a decoded estimate is
+//    BIT-IDENTICAL to the served one — the round-trip equivalence tests
+//    compare with operator== and must not lose a ulp.
+
+#ifndef SPATIALSKETCH_API_QUERY_WIRE_H_
+#define SPATIALSKETCH_API_QUERY_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/api/query.h"
+#include "src/common/status.h"
+#include "src/net/wire.h"
+
+namespace spatialsketch {
+
+/// Version byte every encoded QueryBatch / result vector leads with.
+inline constexpr uint8_t kQueryWireVersion = 1;
+
+/// Append one QuerySpec (kind, dataset names, query box, eps). The
+/// spec's handles, if any, are reduced to their dataset NAMES — the wire
+/// form is always name-addressed.
+void AppendQuerySpec(std::string* out, const QuerySpec& spec);
+
+/// Decode one QuerySpec. Fails with InvalidArgument on a truncated
+/// payload or an out-of-range kind byte.
+Status DecodeQuerySpec(net::WireReader* r, QuerySpec* out);
+
+/// Append a whole batch: [u8 version][u32 count][specs].
+void AppendQueryBatch(std::string* out, const QueryBatch& batch);
+
+/// Decode a whole batch; checks the version byte first.
+Status DecodeQueryBatch(net::WireReader* r, QueryBatch* out);
+
+/// Append one QueryResult (status code + message, value bits, estimator
+/// metadata).
+void AppendQueryResult(std::string* out, const QueryResult& result);
+
+/// Decode one QueryResult; validates the status code, layout, and width
+/// bytes.
+Status DecodeQueryResult(net::WireReader* r, QueryResult* out);
+
+/// Append a result vector: [u8 version][u32 count][results].
+void AppendQueryResults(std::string* out,
+                        const std::vector<QueryResult>& results);
+
+/// Decode a result vector; checks the version byte first.
+Status DecodeQueryResults(net::WireReader* r,
+                          std::vector<QueryResult>* out);
+
+/// Rebuild a Status from its wire code byte and message; an unknown
+/// code byte yields InvalidArgument (never a fabricated OK).
+Status StatusFromWire(uint8_t code, std::string message);
+
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_API_QUERY_WIRE_H_

@@ -1,0 +1,315 @@
+#include "src/net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "src/api/query_wire.h"
+
+namespace spatialsketch {
+namespace net {
+
+Result<std::unique_ptr<SketchClient>> SketchClient::Connect(
+    const SketchClientOptions& opt) {
+  if (opt.port == 0) {
+    return Status::InvalidArgument("SketchClient needs a port");
+  }
+  if (!WireNameOk(opt.tenant)) {
+    return Status::InvalidArgument("invalid tenant key");
+  }
+  std::unique_ptr<SketchClient> client(new SketchClient(opt));
+  SKETCH_RETURN_NOT_OK(client->Dial());
+  SKETCH_RETURN_NOT_OK(client->Ping());
+  return client;
+}
+
+SketchClient::~SketchClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status SketchClient::Dial() {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opt_.port);
+  if (::inet_pton(AF_INET, opt_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad server host: " + opt_.host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Status::IOError("connect " + opt_.host + ":" +
+                           std::to_string(opt_.port) + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status SketchClient::Call(MsgType type, const std::string& body,
+                          std::string* reply) {
+  std::string request;
+  PutU8(&request, kProtocolVersion);
+  PutU8(&request, static_cast<uint8_t>(type));
+  PutString(&request, opt_.tenant);
+  request.append(body);
+  SKETCH_RETURN_NOT_OK(WriteFrame(fd_, request));
+
+  std::string payload;
+  SKETCH_RETURN_NOT_OK(ReadFrame(fd_, &payload, opt_.max_frame_bytes));
+  WireReader r(payload);
+  uint8_t version = 0;
+  uint8_t echoed = 0;
+  uint8_t code = 0;
+  std::string message;
+  SKETCH_RETURN_NOT_OK(r.GetU8(&version));
+  SKETCH_RETURN_NOT_OK(r.GetU8(&echoed));
+  SKETCH_RETURN_NOT_OK(r.GetU8(&code));
+  SKETCH_RETURN_NOT_OK(r.GetString(&message));
+  if (version != kProtocolVersion) {
+    return Status::InvalidArgument("server speaks protocol version " +
+                                   std::to_string(version));
+  }
+  const Status st = StatusFromWire(code, std::move(message));
+  SKETCH_RETURN_NOT_OK(st);
+  // Only a successful response carries a body — and must echo our type.
+  if (echoed != static_cast<uint8_t>(type)) {
+    return Status::Internal("response type mismatch: sent " +
+                            std::to_string(static_cast<int>(type)) +
+                            ", got " + std::to_string(echoed));
+  }
+  if (reply != nullptr) {
+    reply->assign(payload, payload.size() - r.remaining(), r.remaining());
+  }
+  return Status::OK();
+}
+
+Status SketchClient::Ping() { return Call(MsgType::kPing, "", nullptr); }
+
+Status SketchClient::RegisterSchema(const std::string& name,
+                                    const StoreSchemaOptions& opt) {
+  std::string body;
+  PutString(&body, name);
+  PutU32(&body, opt.dims);
+  PutU32(&body, opt.log2_domain);
+  PutU32(&body, opt.max_level);
+  PutU32(&body, opt.k1);
+  PutU32(&body, opt.k2);
+  PutU64(&body, opt.seed);
+  return Call(MsgType::kRegisterSchema, body, nullptr);
+}
+
+Status SketchClient::CreateDataset(const std::string& name,
+                                   const std::string& schema,
+                                   DatasetKind kind,
+                                   const DatasetOptions& opt) {
+  std::string body;
+  PutString(&body, name);
+  PutString(&body, schema);
+  PutU8(&body, static_cast<uint8_t>(kind));
+  PutU64(&body, opt.eps);
+  PutU8(&body, static_cast<uint8_t>(opt.layout));
+  PutU8(&body, static_cast<uint8_t>(opt.counter_width));
+  PutU8(&body, static_cast<uint8_t>(opt.backing));
+  PutF64(&body, opt.target_epsilon);
+  PutF64(&body, opt.target_phi);
+  PutF64(&body, opt.variance_over_q2);
+  PutU64(&body, opt.max_bytes);
+  return Call(MsgType::kCreateDataset, body, nullptr);
+}
+
+Status SketchClient::DropDataset(const std::string& name) {
+  std::string body;
+  PutString(&body, name);
+  return Call(MsgType::kDropDataset, body, nullptr);
+}
+
+Result<std::vector<std::string>> SketchClient::ListDatasets() {
+  std::string reply;
+  SKETCH_RETURN_NOT_OK(Call(MsgType::kListDatasets, "", &reply));
+  WireReader r(reply);
+  uint32_t count = 0;
+  SKETCH_RETURN_NOT_OK(r.GetU32(&count));
+  std::vector<std::string> names;
+  names.reserve(std::min<size_t>(count, r.remaining()));
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    SKETCH_RETURN_NOT_OK(r.GetString(&name));
+    names.push_back(std::move(name));
+  }
+  return names;
+}
+
+Result<uint64_t> SketchClient::Update(const std::string& dataset,
+                                      const std::vector<UpdateOp>& ops) {
+  std::string body;
+  PutString(&body, dataset);
+  PutU32(&body, static_cast<uint32_t>(ops.size()));
+  for (const UpdateOp& op : ops) {
+    PutU8(&body, op.is_delete ? 1 : 0);
+    PutBox(&body, op.box);
+  }
+  std::string reply;
+  SKETCH_RETURN_NOT_OK(Call(MsgType::kUpdate, body, &reply));
+  WireReader r(reply);
+  uint64_t applied = 0;
+  SKETCH_RETURN_NOT_OK(r.GetU64(&applied));
+  return applied;
+}
+
+Status SketchClient::Insert(const std::string& dataset, const Box& box) {
+  return Update(dataset, {{false, box}}).status();
+}
+
+Status SketchClient::Delete(const std::string& dataset, const Box& box) {
+  return Update(dataset, {{true, box}}).status();
+}
+
+Status SketchClient::ConfigureShards(const std::string& dataset,
+                                     uint32_t writers,
+                                     uint64_t epoch_updates) {
+  std::string body;
+  PutString(&body, dataset);
+  PutU32(&body, writers);
+  PutU64(&body, epoch_updates);
+  return Call(MsgType::kConfigureShards, body, nullptr);
+}
+
+Result<std::vector<QueryResult>> SketchClient::Run(const QueryBatch& batch) {
+  std::string body;
+  AppendQueryBatch(&body, batch);
+  std::string reply;
+  SKETCH_RETURN_NOT_OK(Call(MsgType::kRun, body, &reply));
+  WireReader r(reply);
+  std::vector<QueryResult> results;
+  SKETCH_RETURN_NOT_OK(DecodeQueryResults(&r, &results));
+  return results;
+}
+
+Result<uint64_t> SketchClient::SubmitLoadFrame(const std::string& body) {
+  std::string reply;
+  SKETCH_RETURN_NOT_OK(Call(MsgType::kSubmitLoad, body, &reply));
+  WireReader r(reply);
+  uint64_t id = 0;
+  SKETCH_RETURN_NOT_OK(r.GetU64(&id));
+  return id;
+}
+
+Result<uint64_t> SketchClient::SubmitLoadInline(const std::string& dataset,
+                                                const std::vector<Box>& boxes,
+                                                int sign) {
+  std::string body;
+  PutString(&body, dataset);
+  PutU8(&body, sign >= 0 ? 0 : 1);
+  PutU8(&body, static_cast<uint8_t>(LoadSource::kInline));
+  PutU32(&body, static_cast<uint32_t>(boxes.size()));
+  for (const Box& box : boxes) PutBox(&body, box);
+  return SubmitLoadFrame(body);
+}
+
+Result<uint64_t> SketchClient::SubmitLoadFile(const std::string& dataset,
+                                              const std::string& server_path,
+                                              int sign) {
+  std::string body;
+  PutString(&body, dataset);
+  PutU8(&body, sign >= 0 ? 0 : 1);
+  PutU8(&body, static_cast<uint8_t>(LoadSource::kFile));
+  PutString(&body, server_path);
+  return SubmitLoadFrame(body);
+}
+
+Result<uint64_t> SketchClient::SubmitLoadSynthetic(
+    const std::string& dataset, const SyntheticBoxOptions& opt, int sign) {
+  std::string body;
+  PutString(&body, dataset);
+  PutU8(&body, sign >= 0 ? 0 : 1);
+  PutU8(&body, static_cast<uint8_t>(LoadSource::kSynthetic));
+  PutU32(&body, opt.dims);
+  PutU32(&body, opt.log2_domain);
+  PutF64(&body, opt.zipf_z);
+  PutF64(&body, opt.mean_side_factor);
+  PutU64(&body, opt.count);
+  PutU64(&body, opt.seed);
+  return SubmitLoadFrame(body);
+}
+
+Result<JobStatusReport> SketchClient::CheckJob(uint64_t id) {
+  std::string body;
+  PutU64(&body, id);
+  std::string reply;
+  SKETCH_RETURN_NOT_OK(Call(MsgType::kCheckJob, body, &reply));
+  WireReader r(reply);
+  uint8_t state = 0;
+  JobStatusReport report;
+  SKETCH_RETURN_NOT_OK(r.GetU8(&state));
+  SKETCH_RETURN_NOT_OK(r.GetU64(&report.rows_applied));
+  SKETCH_RETURN_NOT_OK(r.GetU64(&report.rows_total));
+  double fraction = 0;  // server-computed; recomputed locally by callers
+  SKETCH_RETURN_NOT_OK(r.GetF64(&fraction));
+  SKETCH_RETURN_NOT_OK(r.GetString(&report.error));
+  if (state > static_cast<uint8_t>(JobState::kFailed)) {
+    return Status::InvalidArgument("bad job state byte");
+  }
+  report.state = static_cast<JobState>(state);
+  return report;
+}
+
+Result<JobStatusReport> SketchClient::WaitJob(uint64_t id,
+                                              uint32_t poll_millis) {
+  for (;;) {
+    auto report = CheckJob(id);
+    if (!report.ok()) return report.status();
+    if (report->state == JobState::kDone ||
+        report->state == JobState::kFailed) {
+      return report;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(poll_millis));
+  }
+}
+
+Result<std::map<std::string, uint64_t>> SketchClient::Stats() {
+  std::string reply;
+  SKETCH_RETURN_NOT_OK(Call(MsgType::kStats, "", &reply));
+  WireReader r(reply);
+  uint32_t count = 0;
+  SKETCH_RETURN_NOT_OK(r.GetU32(&count));
+  std::map<std::string, uint64_t> stats;
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string key;
+    uint64_t value = 0;
+    SKETCH_RETURN_NOT_OK(r.GetString(&key));
+    SKETCH_RETURN_NOT_OK(r.GetU64(&value));
+    stats.emplace(std::move(key), value);
+  }
+  return stats;
+}
+
+Result<int64_t> SketchClient::NumObjects(const std::string& dataset) {
+  std::string body;
+  PutString(&body, dataset);
+  std::string reply;
+  SKETCH_RETURN_NOT_OK(Call(MsgType::kNumObjects, body, &reply));
+  WireReader r(reply);
+  int64_t count = 0;
+  SKETCH_RETURN_NOT_OK(r.GetI64(&count));
+  return count;
+}
+
+Status SketchClient::Fence(const std::string& dataset) {
+  std::string body;
+  PutString(&body, dataset);
+  return Call(MsgType::kFence, body, nullptr);
+}
+
+}  // namespace net
+}  // namespace spatialsketch

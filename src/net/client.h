@@ -1,0 +1,145 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// SketchClient: the typed client for the framed-TCP serving layer
+// (src/net/server.h, docs/NETWORK.md). One client owns one connection
+// and speaks the protocol.h RPC catalog; every method is a synchronous
+// request/response round trip that surfaces the server's Status
+// verbatim (same code, same message) — so remote error handling reads
+// exactly like in-process error handling.
+//
+// Tenancy: the tenant key is fixed at Connect and stamped on every
+// request. An empty tenant addresses the root namespace, whose names
+// are exactly the store's own names.
+//
+// Thread safety: NONE — a client is one ordered byte stream, so use one
+// client per thread (the latency bench and the equivalence tests do
+// exactly that; connections are cheap).
+
+#ifndef SPATIALSKETCH_NET_CLIENT_H_
+#define SPATIALSKETCH_NET_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/api/query.h"
+#include "src/common/status.h"
+#include "src/net/protocol.h"
+#include "src/net/wire.h"
+#include "src/store/sketch_store.h"
+#include "src/workload/zipf_boxes.h"
+
+namespace spatialsketch {
+namespace net {
+
+/// Where and as whom a SketchClient connects.
+struct SketchClientOptions {
+  std::string host = "127.0.0.1";  ///< server address
+  uint16_t port = 0;        ///< required (no default serving port)
+  std::string tenant;       ///< namespace key; empty = root namespace
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;  ///< response bound
+};
+
+/// One streamed update: insert (sign +1) or delete (sign -1) of a box.
+struct UpdateOp {
+  bool is_delete = false;  ///< false = insert, true = delete
+  Box box;                 ///< the object
+};
+
+/// Typed synchronous client over one framed-TCP connection.
+class SketchClient {
+ public:
+  /// Connect and verify liveness with a Ping round trip.
+  static Result<std::unique_ptr<SketchClient>> Connect(
+      const SketchClientOptions& opt);
+
+  /// Closes the connection (no server-side teardown needed).
+  ~SketchClient();
+
+  /// No-op round trip; proves the connection and protocol version.
+  Status Ping();
+
+  // -- Schema / dataset management (mirrors SketchStore) -----------------
+  /// SketchStore::RegisterSchema inside this client's namespace.
+  Status RegisterSchema(const std::string& name,
+                        const StoreSchemaOptions& opt);
+  /// SketchStore::CreateDataset; `schema` names a registered schema.
+  Status CreateDataset(const std::string& name, const std::string& schema,
+                       DatasetKind kind, const DatasetOptions& opt = {});
+  /// SketchStore::DropDataset; in-flight handles invalidate server-side.
+  Status DropDataset(const std::string& name);
+  /// The namespace's dataset names (un-prefixed), sorted.
+  Result<std::vector<std::string>> ListDatasets();
+
+  // -- Streaming updates -------------------------------------------------
+  /// Apply a batch of inserts/deletes in frame order; returns the number
+  /// applied. On error, ops before the failing one remain applied (same
+  /// semantics as issuing them as separate frames).
+  Result<uint64_t> Update(const std::string& dataset,
+                          const std::vector<UpdateOp>& ops);
+  /// One-op Update convenience: insert `box`.
+  Status Insert(const std::string& dataset, const Box& box);
+  /// One-op Update convenience: delete `box`.
+  Status Delete(const std::string& dataset, const Box& box);
+  /// SketchStore::ConfigureShardedWriters on the dataset.
+  Status ConfigureShards(const std::string& dataset, uint32_t writers,
+                         uint64_t epoch_updates);
+
+  // -- Queries -----------------------------------------------------------
+  /// Run a batch of query specs; the returned vector is positionally
+  /// aligned with the batch and every double is bit-identical to the
+  /// server's in-process answer.
+  Result<std::vector<QueryResult>> Run(const QueryBatch& batch);
+
+  // -- Async bulk loads (SubmitLoad / CheckJob) --------------------------
+  /// Submit the boxes themselves in the request; returns the job id.
+  Result<uint64_t> SubmitLoadInline(const std::string& dataset,
+                                    const std::vector<Box>& boxes,
+                                    int sign = +1);
+  /// The file path is SERVER-local (the "raw data stays put" idiom: the
+  /// recipe travels, the rows do not).
+  Result<uint64_t> SubmitLoadFile(const std::string& dataset,
+                                  const std::string& server_path,
+                                  int sign = +1);
+  /// Submit a synthetic-workload recipe; rows generate server-side.
+  Result<uint64_t> SubmitLoadSynthetic(const std::string& dataset,
+                                       const SyntheticBoxOptions& opt,
+                                       int sign = +1);
+  /// The job's state/progress snapshot (protocol.h JobStatusReport).
+  Result<JobStatusReport> CheckJob(uint64_t id);
+  /// Poll CheckJob until the job is terminal (convenience used by
+  /// sketchctl and the tests); `poll_millis` between probes.
+  Result<JobStatusReport> WaitJob(uint64_t id, uint32_t poll_millis = 20);
+
+  // -- Introspection -----------------------------------------------------
+  /// Store-wide StoreStats as key/value pairs (store-wide: counts cover
+  /// every tenant, not just this client's namespace).
+  Result<std::map<std::string, uint64_t>> Stats();
+  /// Net object count (inserts minus deletes) of the dataset.
+  Result<int64_t> NumObjects(const std::string& dataset);
+  /// SketchStore::Fence: fold pending writer-shard deltas now.
+  Status Fence(const std::string& dataset);
+
+ private:
+  explicit SketchClient(const SketchClientOptions& opt) : opt_(opt) {}
+
+  Status Dial();
+  /// One round trip: frame [ver][type][tenant][body], read the reply,
+  /// verify the envelope echo, surface the server Status; on OK the
+  /// response body is left in `*reply`.
+  Status Call(MsgType type, const std::string& body, std::string* reply);
+  Result<uint64_t> SubmitLoadFrame(const std::string& body);
+
+  const SketchClientOptions opt_;
+  int fd_ = -1;
+
+  SKETCH_DISALLOW_COPY_AND_ASSIGN(SketchClient);
+};
+
+}  // namespace net
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_NET_CLIENT_H_

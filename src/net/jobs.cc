@@ -1,0 +1,156 @@
+#include "src/net/jobs.h"
+
+#include <utility>
+
+#include "src/net/wire.h"
+
+namespace spatialsketch {
+namespace net {
+
+JobManager::JobManager(SketchStore* store, uint32_t workers,
+                       uint32_t load_threads)
+    : store_(store), load_threads_(load_threads) {
+  if (workers == 0) workers = 1;
+  workers_.reserve(workers);
+  for (uint32_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+JobManager::~JobManager() { Stop(); }
+
+uint64_t JobManager::Submit(LoadRequest request) {
+  auto job = std::make_unique<Job>();
+  job->request = std::move(request);
+  // Inline sources know their total up front; file/synthetic totals are
+  // published by the worker once the rows are materialized.
+  if (job->request.source == LoadSource::kInline) {
+    job->rows_total.store(job->request.inline_boxes.size(),
+                          std::memory_order_relaxed);
+  } else if (job->request.source == LoadSource::kSynthetic) {
+    job->rows_total.store(job->request.synthetic.count,
+                          std::memory_order_relaxed);
+  }
+  Job* raw = job.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  raw->id = next_id_++;
+  jobs_.emplace(raw->id, std::move(job));
+  if (stopping_) {
+    raw->state.store(JobState::kFailed, std::memory_order_release);
+    raw->error = "server shutting down";
+  } else {
+    queue_.push_back(raw);
+    cv_.notify_one();
+  }
+  return raw->id;
+}
+
+Result<JobStatusReport> JobManager::Check(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::InvalidArgument("unknown job id " + std::to_string(id));
+  }
+  const Job& job = *it->second;
+  JobStatusReport report;
+  // Acquire on the state pairs with the worker's release after its last
+  // progress store, so a kDone observer reads the final counts.
+  report.state = job.state.load(std::memory_order_acquire);
+  report.rows_applied = job.rows_applied.load(std::memory_order_relaxed);
+  report.rows_total = job.rows_total.load(std::memory_order_relaxed);
+  if (report.state == JobState::kFailed) report.error = job.error;
+  return report;
+}
+
+Result<JobStatusReport> JobManager::Wait(uint64_t id) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::InvalidArgument("unknown job id " + std::to_string(id));
+  }
+  const Job* job = it->second.get();
+  cv_.wait(lock, [job] {
+    const JobState s = job->state.load(std::memory_order_acquire);
+    return s == JobState::kDone || s == JobState::kFailed;
+  });
+  lock.unlock();
+  return Check(id);
+}
+
+void JobManager::Stop() {
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ && workers_.empty()) return;
+    stopping_ = true;
+    // Never-started jobs resolve now so a late CheckJob sees a terminal
+    // state instead of an eternal "pending".
+    for (Job* job : queue_) {
+      job->state.store(JobState::kFailed, std::memory_order_release);
+      job->error = "server shutting down";
+    }
+    queue_.clear();
+    workers.swap(workers_);
+    cv_.notify_all();
+  }
+  for (std::thread& t : workers) t.join();
+}
+
+void JobManager::WorkerLoop() {
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_, nothing left to run
+      job = queue_.front();
+      queue_.pop_front();
+      job->state.store(JobState::kRunning, std::memory_order_release);
+    }
+    RunJob(job);
+    cv_.notify_all();  // wake Wait()ers
+  }
+}
+
+void JobManager::RunJob(Job* job) {
+  LoadRequest& req = job->request;
+
+  // Materialize the rows. File and synthetic sources produce them here,
+  // on the worker — the submit RPC stayed O(1) regardless of load size.
+  std::vector<Box> boxes;
+  Status st;
+  switch (req.source) {
+    case LoadSource::kInline:
+      boxes = std::move(req.inline_boxes);
+      break;
+    case LoadSource::kFile: {
+      uint32_t dims = 0;
+      st = ReadBoxFile(req.file_path, &boxes, &dims);
+      break;
+    }
+    case LoadSource::kSynthetic:
+      boxes = GenerateSyntheticBoxes(req.synthetic);
+      break;
+  }
+  if (st.ok()) {
+    job->rows_total.store(boxes.size(), std::memory_order_relaxed);
+    st = store_->ParallelBulkLoad(req.dataset, boxes, load_threads_,
+                                  req.sign, &job->rows_applied);
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (st.ok()) {
+    // Degenerate rows are dropped by ingest (counted in store stats),
+    // so the applied count can come up short of the materialized total;
+    // a finished job still reports a complete bar.
+    job->rows_applied.store(job->rows_total.load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    job->state.store(JobState::kDone, std::memory_order_release);
+  } else {
+    job->error = st.ToString();
+    job->state.store(JobState::kFailed, std::memory_order_release);
+  }
+}
+
+}  // namespace net
+}  // namespace spatialsketch

@@ -1,0 +1,116 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// The async bulk-load job layer behind SubmitLoad/CheckJob (the DAS
+// load/check idiom): SubmitLoad returns a job id immediately, a
+// background worker materializes the rows (inline batch, server-local
+// box file, or a synthetic recipe) and runs SketchStore::
+// ParallelBulkLoad with a per-job rows-applied sink, and CheckJob
+// reports pending/running/done/failed plus a real progress fraction —
+// so a multi-GB ingest never blocks the serving threads, and a client
+// watching the job sees monotone progress instead of a spinner.
+//
+// Concurrency: Submit enqueues under the manager's mutex and returns;
+// a small fixed worker pool pops jobs FIFO. Job state and progress are
+// atomics, so CheckJob never contends with a running load (it takes
+// the mutex only to look the id up and to copy a failed job's error
+// string). Stop() drains nothing: it marks the queue closed, wakes the
+// workers, and joins them — queued-but-unstarted jobs finish as
+// kFailed("server shutting down") so a late CheckJob gets an answer.
+
+#ifndef SPATIALSKETCH_NET_JOBS_H_
+#define SPATIALSKETCH_NET_JOBS_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/geom/box.h"
+#include "src/net/protocol.h"
+#include "src/store/sketch_store.h"
+#include "src/workload/zipf_boxes.h"
+
+namespace spatialsketch {
+namespace net {
+
+/// What one submitted load will ingest: exactly one of the three source
+/// kinds (see LoadSource), plus the target dataset (already
+/// tenant-scoped) and the ingest sign.
+struct LoadRequest {
+  std::string dataset;  ///< internal (tenant-scoped) dataset name
+  int sign = +1;        ///< +1 adds, -1 removes (linear synopsis)
+  LoadSource source = LoadSource::kInline;  ///< which payload field applies
+  std::vector<Box> inline_boxes;   ///< kInline: the rows themselves
+  std::string file_path;           ///< kFile: server-local box file
+  SyntheticBoxOptions synthetic;   ///< kSynthetic: generator recipe
+};
+
+/// FIFO worker pool executing async bulk loads against one SketchStore.
+/// Thread-safe; one instance per SketchServer.
+class JobManager {
+ public:
+  /// Worker pool of `workers` threads (min 1) loading into `store`
+  /// (not owned; must outlive the manager). `load_threads` is handed to
+  /// ParallelBulkLoad per job (0 = auto).
+  JobManager(SketchStore* store, uint32_t workers, uint32_t load_threads);
+
+  /// Stops and joins the workers (see the file comment).
+  ~JobManager();
+
+  /// Enqueue a load and return its job id (ids start at 1 and increase;
+  /// 0 is never issued). The request's dataset must already be resolved
+  /// against the store by the caller — Submit itself never blocks on
+  /// store locks.
+  uint64_t Submit(LoadRequest request);
+
+  /// The job's current state/progress snapshot; InvalidArgument for an
+  /// unknown id. A kDone report always shows rows_applied == rows_total
+  /// and fraction() == 1.
+  Result<JobStatusReport> Check(uint64_t id) const;
+
+  /// Block until the job leaves the pending/running states (the ctl
+  /// convenience used by tests and `sketchctl wait`); InvalidArgument
+  /// for an unknown id.
+  Result<JobStatusReport> Wait(uint64_t id) const;
+
+  /// Mark the queue closed and join the workers. Idempotent. Queued
+  /// jobs that never started report kFailed; the running job (if any)
+  /// completes first — a load already applying is not torn mid-shard.
+  void Stop();
+
+ private:
+  struct Job {
+    uint64_t id = 0;
+    LoadRequest request;
+    std::atomic<JobState> state{JobState::kPending};
+    std::atomic<uint64_t> rows_applied{0};
+    std::atomic<uint64_t> rows_total{0};
+    std::string error;  ///< guarded by the manager mutex
+  };
+
+  void WorkerLoop();
+  void RunJob(Job* job);
+
+  SketchStore* const store_;
+  const uint32_t load_threads_;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::deque<Job*> queue_;
+  std::map<uint64_t, std::unique_ptr<Job>> jobs_;
+  uint64_t next_id_ = 1;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace net
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_NET_JOBS_H_

@@ -1,0 +1,144 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// The RPC catalog of the network serving layer: message types, the
+// request/response envelope, and the shared tenant-keying rule. Both
+// SketchServer and SketchClient encode against this header only — the
+// byte layouts themselves are the src/net/wire.h codec, and the full
+// catalog with per-RPC body layouts is documented in docs/NETWORK.md.
+//
+// Envelope (inside every CRC32C-checked frame):
+//   request  = [u8 protocol version][u8 MsgType][string tenant][body]
+//   response = [u8 protocol version][u8 MsgType echo][u8 status code]
+//              [string status message][body iff status == OK]
+//
+// Tenant keying: a non-empty tenant key prefixes every schema and
+// dataset name as "<tenant>\x1f<name>" inside the shared SketchStore,
+// so tenants address disjoint namespaces through one store and one
+// port (the DAS --das-key idiom). The empty tenant is the root
+// namespace — names map through unchanged, which is what lets a test
+// compare networked answers bit-identically against direct calls on
+// the same store. Names and tenant keys must not contain the '\x1f'
+// separator; the server validates both.
+
+#ifndef SPATIALSKETCH_NET_PROTOCOL_H_
+#define SPATIALSKETCH_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace spatialsketch {
+namespace net {
+
+/// Envelope version byte; a mismatch is a clean request-level error.
+inline constexpr uint8_t kProtocolVersion = 1;
+
+/// The namespace separator tenant keys are joined with ('\x1f', the
+/// ASCII unit separator — rejected inside names and tenant keys).
+inline constexpr char kTenantSeparator = '\x1f';
+
+/// Request message types. Stable wire values: append new RPCs at the
+/// end, never renumber.
+enum class MsgType : uint8_t {
+  kPing = 0,             ///< liveness probe; empty body both ways
+  kRegisterSchema = 1,   ///< SketchStore::RegisterSchema
+  kCreateDataset = 2,    ///< SketchStore::CreateDataset (full options)
+  kDropDataset = 3,      ///< SketchStore::DropDataset
+  kListDatasets = 4,     ///< the tenant's dataset names (un-prefixed)
+  kUpdate = 5,           ///< streamed update frame: batched signed boxes
+  kConfigureShards = 6,  ///< SketchStore::ConfigureShardedWriters
+  kRun = 7,              ///< one batched Run(QueryBatch) round trip
+  kSubmitLoad = 8,       ///< async bulk load; returns a job id
+  kCheckJob = 9,         ///< job state/progress (the DAS check idiom)
+  kStats = 10,           ///< store-wide StoreStats as key/value pairs
+  kNumObjects = 11,      ///< net object count of one dataset
+  kFence = 12,           ///< epoch fence of one dataset
+};
+
+/// The MsgType a response echoes when the request envelope itself could
+/// not be parsed (no type to echo).
+inline constexpr uint8_t kMsgTypeUnparseable = 0xff;
+
+/// Bulk-load source kinds of a kSubmitLoad body (docs/NETWORK.md). The
+/// file and synthetic sources keep the raw rows server-side — only the
+/// recipe travels, per the federated "summaries travel, data stays put"
+/// pattern.
+enum class LoadSource : uint8_t {
+  kInline = 0,     ///< boxes in the request body (small batches)
+  kFile = 1,       ///< a server-local box file (wire.h WriteBoxFile)
+  kSynthetic = 2,  ///< SyntheticBoxOptions generated server-side
+};
+
+/// Async job states reported by kCheckJob.
+enum class JobState : uint8_t {
+  kPending = 0,  ///< queued; no worker picked it up yet
+  kRunning = 1,  ///< load in progress; progress fields advance
+  kDone = 2,     ///< completed; rows_applied == rows_total
+  kFailed = 3,   ///< terminated with the reported error
+};
+
+/// Stable lowercase job-state names ("pending", "running", ...).
+inline const char* JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kPending:
+      return "pending";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+/// One job's observable status — the kCheckJob response body. Progress
+/// is rows applied out of rows total; `fraction()` is the real number
+/// the DAS idiom's bare state enum lacked.
+struct JobStatusReport {
+  JobState state = JobState::kPending;  ///< lifecycle state
+  uint64_t rows_applied = 0;            ///< boxes absorbed so far
+  uint64_t rows_total = 0;   ///< boxes the job will apply (0 until known)
+  std::string error;         ///< failure reason iff state == kFailed
+
+  /// Completed fraction in [0, 1]; 0 while the total is still unknown,
+  /// exactly 1 when done.
+  double fraction() const {
+    if (state == JobState::kDone) return 1.0;
+    if (rows_total == 0) return 0.0;
+    const double f =
+        static_cast<double>(rows_applied) / static_cast<double>(rows_total);
+    return f > 1.0 ? 1.0 : f;
+  }
+};
+
+/// True iff `name` is usable as a tenant key or a schema/dataset name:
+/// no separator byte, no newline, length under 256 (tenant keys may be
+/// empty; the server enforces non-emptiness for names separately).
+inline bool WireNameOk(const std::string& name) {
+  if (name.size() >= 256) return false;
+  for (char c : name) {
+    if (c == kTenantSeparator || c == '\n' || c == '\0') return false;
+  }
+  return true;
+}
+
+/// The internal (store-registry) name of `name` inside `tenant`'s
+/// namespace: the name itself for the root tenant, otherwise
+/// "<tenant>\x1f<name>".
+inline std::string TenantScopedName(const std::string& tenant,
+                                    const std::string& name) {
+  if (tenant.empty()) return name;
+  std::string out;
+  out.reserve(tenant.size() + 1 + name.size());
+  out.append(tenant);
+  out.push_back(kTenantSeparator);
+  out.append(name);
+  return out;
+}
+
+}  // namespace net
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_NET_PROTOCOL_H_

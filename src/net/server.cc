@@ -1,0 +1,587 @@
+#include "src/net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <iterator>
+#include <utility>
+#include <vector>
+
+#include "src/api/query_wire.h"
+
+namespace spatialsketch {
+namespace net {
+
+namespace {
+
+/// Response envelope: version, echoed type, status, then the body only
+/// when the status is OK (an error response never carries a body).
+std::string MakeResponse(uint8_t type, const Status& st,
+                         const std::string& body) {
+  std::string out;
+  PutU8(&out, kProtocolVersion);
+  PutU8(&out, type);
+  PutU8(&out, static_cast<uint8_t>(st.code()));
+  PutString(&out, st.message());
+  if (st.ok()) out.append(body);
+  return out;
+}
+
+/// The trailing-garbage check every handler ends its body parse with.
+Status ExpectDone(const WireReader& r) {
+  if (!r.done()) {
+    return Status::InvalidArgument("request body has trailing bytes");
+  }
+  return Status::OK();
+}
+
+/// Schema/dataset names must be non-empty and separator-free.
+Status CheckName(const std::string& name, const char* what) {
+  if (name.empty() || !WireNameOk(name)) {
+    return Status::InvalidArgument(std::string("invalid ") + what + " name");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+SketchServer::SketchServer(SketchStore* store, const SketchServerOptions& opt)
+    : store_(store),
+      opt_(opt),
+      jobs_(store, opt.job_workers, opt.load_threads) {}
+
+Result<std::unique_ptr<SketchServer>> SketchServer::Start(
+    SketchStore* store, const SketchServerOptions& opt) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("SketchServer needs a store");
+  }
+  std::unique_ptr<SketchServer> server(new SketchServer(store, opt));
+  SKETCH_RETURN_NOT_OK(server->Listen());
+  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  return server;
+}
+
+SketchServer::~SketchServer() { Stop(); }
+
+Status SketchServer::Listen() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opt_.port);
+  if (::inet_pton(AF_INET, opt_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad listen host: " + opt_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status st =
+        Status::IOError(std::string("bind: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    const Status st =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    const Status st =
+        Status::IOError(std::string("getsockname: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  port_ = ntohs(bound.sin_port);
+  return Status::OK();
+}
+
+void SketchServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (stopping_.load(std::memory_order_acquire)) {
+      if (fd >= 0) ::close(fd);
+      return;
+    }
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed under us (Stop) or fatal accept error
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    ReapFinished();
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    conns_.emplace(next_conn_id_++, std::move(conn));
+    raw->thread = std::thread([this, raw] { ServeConnection(raw); });
+  }
+}
+
+void SketchServer::ReapFinished() {
+  // Caller holds conns_mu_.
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    Connection& conn = *it->second;
+    if (conn.done.load(std::memory_order_acquire)) {
+      conn.thread.join();
+      ::close(conn.fd);
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SketchServer::ServeConnection(Connection* conn) {
+  // One cached handle per dataset this connection streams updates to:
+  // the per-frame hot path skips the registry lookup exactly like an
+  // in-process DatasetHandle user.
+  std::map<std::string, DatasetHandle> handles;
+  for (;;) {
+    std::string payload;
+    const Status st = ReadFrame(conn->fd, &payload, opt_.max_frame_bytes);
+    if (!st.ok()) {
+      if (st.code() == StatusCode::kInvalidArgument) {
+        // Oversized length or CRC mismatch: the stream is poisoned.
+        // Best-effort error reply, then close this connection only.
+        (void)WriteFrame(conn->fd,
+                         MakeResponse(kMsgTypeUnparseable, st, ""));
+      }
+      break;  // eof, truncation, or poisoned stream
+    }
+    const std::string response = HandleRequest(payload, &handles);
+    if (!WriteFrame(conn->fd, response).ok()) break;
+  }
+  ::shutdown(conn->fd, SHUT_RDWR);
+  conn->done.store(true, std::memory_order_release);
+}
+
+std::string SketchServer::HandleRequest(
+    const std::string& payload,
+    std::map<std::string, DatasetHandle>* handles) {
+  WireReader r(payload);
+  uint8_t version = 0;
+  uint8_t type = 0;
+  std::string tenant;
+  if (!r.GetU8(&version).ok() || !r.GetU8(&type).ok() ||
+      !r.GetString(&tenant).ok()) {
+    return MakeResponse(kMsgTypeUnparseable,
+                        Status::InvalidArgument("unparseable request envelope"),
+                        "");
+  }
+  if (version != kProtocolVersion) {
+    return MakeResponse(type,
+                        Status::InvalidArgument("unsupported protocol version"),
+                        "");
+  }
+  if (!WireNameOk(tenant)) {
+    return MakeResponse(type, Status::InvalidArgument("invalid tenant key"),
+                        "");
+  }
+
+  Status st;
+  std::string body;
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kPing:
+      st = ExpectDone(r);
+      break;
+    case MsgType::kRegisterSchema:
+      st = HandleRegisterSchema(&r, tenant);
+      break;
+    case MsgType::kCreateDataset:
+      st = HandleCreateDataset(&r, tenant);
+      break;
+    case MsgType::kDropDataset:
+      st = HandleDropDataset(&r, tenant);
+      break;
+    case MsgType::kListDatasets:
+      st = ExpectDone(r);
+      if (st.ok()) st = HandleListDatasets(tenant, &body);
+      break;
+    case MsgType::kUpdate:
+      st = HandleUpdate(&r, tenant, handles, &body);
+      break;
+    case MsgType::kConfigureShards:
+      st = HandleConfigureShards(&r, tenant);
+      break;
+    case MsgType::kRun:
+      st = HandleRun(&r, tenant, &body);
+      break;
+    case MsgType::kSubmitLoad:
+      st = HandleSubmitLoad(&r, tenant, &body);
+      break;
+    case MsgType::kCheckJob:
+      st = HandleCheckJob(&r, &body);
+      break;
+    case MsgType::kStats:
+      st = ExpectDone(r);
+      if (st.ok()) st = HandleStats(&body);
+      break;
+    case MsgType::kNumObjects:
+      st = HandleNumObjects(&r, tenant, &body);
+      break;
+    case MsgType::kFence:
+      st = HandleFence(&r, tenant);
+      break;
+    default:
+      st = Status::Unimplemented("unknown message type");
+      break;
+  }
+  return MakeResponse(type, st, body);
+}
+
+Status SketchServer::HandleRegisterSchema(WireReader* r,
+                                          const std::string& tenant) {
+  std::string name;
+  StoreSchemaOptions opt;
+  SKETCH_RETURN_NOT_OK(r->GetString(&name));
+  SKETCH_RETURN_NOT_OK(r->GetU32(&opt.dims));
+  SKETCH_RETURN_NOT_OK(r->GetU32(&opt.log2_domain));
+  SKETCH_RETURN_NOT_OK(r->GetU32(&opt.max_level));
+  SKETCH_RETURN_NOT_OK(r->GetU32(&opt.k1));
+  SKETCH_RETURN_NOT_OK(r->GetU32(&opt.k2));
+  SKETCH_RETURN_NOT_OK(r->GetU64(&opt.seed));
+  SKETCH_RETURN_NOT_OK(ExpectDone(*r));
+  SKETCH_RETURN_NOT_OK(CheckName(name, "schema"));
+  return store_->RegisterSchema(TenantScopedName(tenant, name), opt);
+}
+
+Status SketchServer::HandleCreateDataset(WireReader* r,
+                                         const std::string& tenant) {
+  std::string name;
+  std::string schema;
+  uint8_t kind = 0;
+  uint8_t layout = 0;
+  uint8_t width = 0;
+  uint8_t backing = 0;
+  DatasetOptions dopt;
+  SKETCH_RETURN_NOT_OK(r->GetString(&name));
+  SKETCH_RETURN_NOT_OK(r->GetString(&schema));
+  SKETCH_RETURN_NOT_OK(r->GetU8(&kind));
+  SKETCH_RETURN_NOT_OK(r->GetU64(&dopt.eps));
+  SKETCH_RETURN_NOT_OK(r->GetU8(&layout));
+  SKETCH_RETURN_NOT_OK(r->GetU8(&width));
+  SKETCH_RETURN_NOT_OK(r->GetU8(&backing));
+  SKETCH_RETURN_NOT_OK(r->GetF64(&dopt.target_epsilon));
+  SKETCH_RETURN_NOT_OK(r->GetF64(&dopt.target_phi));
+  SKETCH_RETURN_NOT_OK(r->GetF64(&dopt.variance_over_q2));
+  SKETCH_RETURN_NOT_OK(r->GetU64(&dopt.max_bytes));
+  SKETCH_RETURN_NOT_OK(ExpectDone(*r));
+  SKETCH_RETURN_NOT_OK(CheckName(name, "dataset"));
+  SKETCH_RETURN_NOT_OK(CheckName(schema, "schema"));
+  if (kind > static_cast<uint8_t>(DatasetKind::kContainOuter)) {
+    return Status::InvalidArgument("unknown dataset kind byte");
+  }
+  if (layout > static_cast<uint8_t>(CounterLayout::kBlocked) ||
+      width > static_cast<uint8_t>(CounterWidth::kI32) ||
+      backing > static_cast<uint8_t>(CounterBacking::kHugePage)) {
+    return Status::InvalidArgument("bad counter storage tag byte");
+  }
+  dopt.layout = static_cast<CounterLayout>(layout);
+  dopt.counter_width = static_cast<CounterWidth>(width);
+  dopt.backing = static_cast<CounterBacking>(backing);
+  return store_->CreateDataset(TenantScopedName(tenant, name),
+                               TenantScopedName(tenant, schema),
+                               static_cast<DatasetKind>(kind), dopt);
+}
+
+Status SketchServer::HandleDropDataset(WireReader* r,
+                                       const std::string& tenant) {
+  std::string name;
+  SKETCH_RETURN_NOT_OK(r->GetString(&name));
+  SKETCH_RETURN_NOT_OK(ExpectDone(*r));
+  SKETCH_RETURN_NOT_OK(CheckName(name, "dataset"));
+  return store_->DropDataset(TenantScopedName(tenant, name));
+}
+
+Status SketchServer::HandleListDatasets(const std::string& tenant,
+                                        std::string* body) {
+  const std::vector<std::string> all = store_->ListDatasets();
+  std::vector<std::string> mine;
+  if (tenant.empty()) {
+    // Root namespace: exactly the names with no tenant separator.
+    for (const std::string& name : all) {
+      if (name.find(kTenantSeparator) == std::string::npos) {
+        mine.push_back(name);
+      }
+    }
+  } else {
+    const std::string prefix = tenant + kTenantSeparator;
+    for (const std::string& name : all) {
+      if (name.rfind(prefix, 0) == 0) mine.push_back(name.substr(prefix.size()));
+    }
+  }
+  PutU32(body, static_cast<uint32_t>(mine.size()));
+  for (const std::string& name : mine) PutString(body, name);
+  return Status::OK();
+}
+
+Status SketchServer::HandleUpdate(WireReader* r, const std::string& tenant,
+                                  std::map<std::string, DatasetHandle>* handles,
+                                  std::string* body) {
+  std::string name;
+  uint32_t count = 0;
+  SKETCH_RETURN_NOT_OK(r->GetString(&name));
+  SKETCH_RETURN_NOT_OK(r->GetU32(&count));
+  SKETCH_RETURN_NOT_OK(CheckName(name, "dataset"));
+  const std::string scoped = TenantScopedName(tenant, name);
+
+  // Resolve through the connection's handle cache; a dropped/re-created
+  // dataset surfaces as FailedPrecondition, upon which the stale cache
+  // entry is refreshed once before the update is declared failed.
+  auto it = handles->find(scoped);
+  if (it == handles->end()) {
+    auto opened = store_->OpenDataset(scoped);
+    if (!opened.ok()) return opened.status();
+    it = handles->emplace(scoped, *opened).first;
+  }
+
+  uint64_t applied = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint8_t op = 0;
+    Box box;
+    SKETCH_RETURN_NOT_OK(r->GetU8(&op));
+    SKETCH_RETURN_NOT_OK(r->GetBox(&box));
+    if (op > 1) return Status::InvalidArgument("update op byte must be 0 or 1");
+    Status st = op == 0 ? it->second.Insert(box) : it->second.Delete(box);
+    if (st.code() == StatusCode::kFailedPrecondition) {
+      auto reopened = store_->OpenDataset(scoped);
+      if (reopened.ok()) {
+        it->second = *reopened;
+        st = op == 0 ? it->second.Insert(box) : it->second.Delete(box);
+      }
+    }
+    if (!st.ok()) {
+      // Streamed semantics: earlier updates in the frame remain applied
+      // (they already streamed through the writer path), exactly as if
+      // they had been separate frames; the error names the failing row.
+      return StatusFromWire(static_cast<uint8_t>(st.code()),
+                            "update " + std::to_string(i) + ": " +
+                                st.message());
+    }
+    ++applied;
+  }
+  SKETCH_RETURN_NOT_OK(ExpectDone(*r));
+  PutU64(body, applied);
+  return Status::OK();
+}
+
+Status SketchServer::HandleConfigureShards(WireReader* r,
+                                           const std::string& tenant) {
+  std::string name;
+  ShardedWriterOptions opt;
+  uint32_t writers = 0;
+  uint64_t epoch = 0;
+  SKETCH_RETURN_NOT_OK(r->GetString(&name));
+  SKETCH_RETURN_NOT_OK(r->GetU32(&writers));
+  SKETCH_RETURN_NOT_OK(r->GetU64(&epoch));
+  SKETCH_RETURN_NOT_OK(ExpectDone(*r));
+  SKETCH_RETURN_NOT_OK(CheckName(name, "dataset"));
+  opt.writers = writers;
+  opt.epoch_updates = epoch;
+  return store_->ConfigureShardedWriters(TenantScopedName(tenant, name), opt);
+}
+
+Status SketchServer::HandleRun(WireReader* r, const std::string& tenant,
+                               std::string* body) {
+  QueryBatch batch;
+  SKETCH_RETURN_NOT_OK(DecodeQueryBatch(r, &batch));
+  SKETCH_RETURN_NOT_OK(ExpectDone(*r));
+  // Scope every spec into the tenant's namespace. Wire specs are
+  // name-addressed by construction (handles never cross the wire).
+  for (QuerySpec& spec : batch.specs) {
+    if (!WireNameOk(spec.dataset) || !WireNameOk(spec.dataset2)) {
+      return Status::InvalidArgument("invalid dataset name in query spec");
+    }
+    spec.dataset = TenantScopedName(tenant, spec.dataset);
+    if (!spec.dataset2.empty()) {
+      spec.dataset2 = TenantScopedName(tenant, spec.dataset2);
+    }
+  }
+  auto run = store_->Run(batch);
+  if (!run.ok()) return run.status();
+  AppendQueryResults(body, *run);
+  return Status::OK();
+}
+
+Status SketchServer::HandleSubmitLoad(WireReader* r, const std::string& tenant,
+                                      std::string* body) {
+  LoadRequest req;
+  std::string name;
+  uint8_t sign_code = 0;
+  uint8_t source = 0;
+  SKETCH_RETURN_NOT_OK(r->GetString(&name));
+  SKETCH_RETURN_NOT_OK(r->GetU8(&sign_code));
+  SKETCH_RETURN_NOT_OK(r->GetU8(&source));
+  SKETCH_RETURN_NOT_OK(CheckName(name, "dataset"));
+  if (sign_code > 1) {
+    return Status::InvalidArgument("load sign byte must be 0 (+1) or 1 (-1)");
+  }
+  req.sign = sign_code == 0 ? +1 : -1;
+  switch (static_cast<LoadSource>(source)) {
+    case LoadSource::kInline: {
+      uint32_t count = 0;
+      SKETCH_RETURN_NOT_OK(r->GetU32(&count));
+      // Cap the reserve at what the payload could hold — a hostile
+      // count must not translate into a giant allocation.
+      req.inline_boxes.reserve(
+          std::min<size_t>(count, r->remaining() / (2 * 8) + 1));
+      for (uint32_t i = 0; i < count; ++i) {
+        Box box;
+        SKETCH_RETURN_NOT_OK(r->GetBox(&box));
+        req.inline_boxes.push_back(box);
+      }
+      req.source = LoadSource::kInline;
+      break;
+    }
+    case LoadSource::kFile:
+      SKETCH_RETURN_NOT_OK(r->GetString(&req.file_path));
+      req.source = LoadSource::kFile;
+      break;
+    case LoadSource::kSynthetic: {
+      SKETCH_RETURN_NOT_OK(r->GetU32(&req.synthetic.dims));
+      SKETCH_RETURN_NOT_OK(r->GetU32(&req.synthetic.log2_domain));
+      SKETCH_RETURN_NOT_OK(r->GetF64(&req.synthetic.zipf_z));
+      SKETCH_RETURN_NOT_OK(r->GetF64(&req.synthetic.mean_side_factor));
+      SKETCH_RETURN_NOT_OK(r->GetU64(&req.synthetic.count));
+      SKETCH_RETURN_NOT_OK(r->GetU64(&req.synthetic.seed));
+      req.source = LoadSource::kSynthetic;
+      break;
+    }
+    default:
+      return Status::InvalidArgument("unknown load source byte");
+  }
+  SKETCH_RETURN_NOT_OK(ExpectDone(*r));
+  req.dataset = TenantScopedName(tenant, name);
+  // Fail unknown datasets at submit time (cheap registry probe) so the
+  // client learns immediately; the job itself re-fails if the dataset
+  // is dropped between submit and execution.
+  auto probe = store_->OpenDataset(req.dataset);
+  if (!probe.ok()) return probe.status();
+  PutU64(body, jobs_.Submit(std::move(req)));
+  return Status::OK();
+}
+
+Status SketchServer::HandleCheckJob(WireReader* r, std::string* body) {
+  uint64_t id = 0;
+  SKETCH_RETURN_NOT_OK(r->GetU64(&id));
+  SKETCH_RETURN_NOT_OK(ExpectDone(*r));
+  auto check = jobs_.Check(id);
+  if (!check.ok()) return check.status();
+  PutU8(body, static_cast<uint8_t>(check->state));
+  PutU64(body, check->rows_applied);
+  PutU64(body, check->rows_total);
+  PutF64(body, check->fraction());
+  PutString(body, check->error);
+  return Status::OK();
+}
+
+Status SketchServer::HandleStats(std::string* body) {
+  const StoreStats s = store_->stats();
+  const std::pair<const char*, uint64_t> kv[] = {
+      {"inserts", s.inserts},
+      {"deletes", s.deletes},
+      {"dropped", s.dropped},
+      {"bulk_boxes", s.bulk_boxes},
+      {"bulk_rows_applied", s.bulk_rows_applied},
+      {"range_estimates", s.range_estimates},
+      {"join_estimates", s.join_estimates},
+      {"self_join_estimates", s.self_join_estimates},
+      {"eps_join_estimates", s.eps_join_estimates},
+      {"containment_estimates", s.containment_estimates},
+      {"query_batches", s.query_batches},
+      {"handles_opened", s.handles_opened},
+      {"snapshots", s.snapshots},
+      {"restores", s.restores},
+      {"epoch_folds", s.epoch_folds},
+      {"fences", s.fences},
+      {"wal_records", s.wal_records},
+      {"wal_bytes", s.wal_bytes},
+      {"checkpoints", s.checkpoints},
+      {"wal_replayed", s.wal_replayed},
+      {"sign_cache_hits", s.sign_cache_hits},
+      {"sign_cache_misses", s.sign_cache_misses},
+      {"sign_cache_evicted", s.sign_cache_evicted},
+      {"sign_cache_bytes", s.sign_cache_bytes},
+      {"point_sum_hits", s.point_sum_hits},
+      {"point_sum_misses", s.point_sum_misses},
+      {"point_sum_evicted", s.point_sum_evicted},
+      {"point_sum_bytes", s.point_sum_bytes},
+  };
+  PutU32(body, static_cast<uint32_t>(std::size(kv)));
+  for (const auto& [key, value] : kv) {
+    PutString(body, key);
+    PutU64(body, value);
+  }
+  return Status::OK();
+}
+
+Status SketchServer::HandleNumObjects(WireReader* r, const std::string& tenant,
+                                      std::string* body) {
+  std::string name;
+  SKETCH_RETURN_NOT_OK(r->GetString(&name));
+  SKETCH_RETURN_NOT_OK(ExpectDone(*r));
+  SKETCH_RETURN_NOT_OK(CheckName(name, "dataset"));
+  auto count = store_->NumObjects(TenantScopedName(tenant, name));
+  if (!count.ok()) return count.status();
+  PutI64(body, *count);
+  return Status::OK();
+}
+
+Status SketchServer::HandleFence(WireReader* r, const std::string& tenant) {
+  std::string name;
+  SKETCH_RETURN_NOT_OK(r->GetString(&name));
+  SKETCH_RETURN_NOT_OK(ExpectDone(*r));
+  SKETCH_RETURN_NOT_OK(CheckName(name, "dataset"));
+  return store_->Fence(TenantScopedName(tenant, name));
+}
+
+void SketchServer::Stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) {
+    return;  // idempotent; first caller does the teardown
+  }
+  // Unblock accept() and refuse new connections.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Unblock every connection's blocking recv, then join.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& [id, conn] : conns_) {
+      ::shutdown(conn->fd, SHUT_RDWR);
+    }
+    for (auto& [id, conn] : conns_) {
+      conn->thread.join();
+      ::close(conn->fd);
+    }
+    conns_.clear();
+  }
+  jobs_.Stop();
+}
+
+}  // namespace net
+}  // namespace spatialsketch

@@ -1,0 +1,149 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// SketchServer: the framed-TCP front end that turns the in-process
+// SketchStore into a network service (docs/NETWORK.md). One server
+// wraps one store — plain or OpenDurable — and exposes the full
+// serving surface over the src/net/protocol.h RPC catalog: schema and
+// dataset management, streamed update frames, one batched Run RPC
+// serving all six QueryKinds, async SubmitLoad/CheckJob bulk loads
+// (src/net/jobs.h), and Stats. Tenants address disjoint namespaces
+// through one port via the tenant key every request carries.
+//
+// Threading model: one accept-loop thread plus one thread per live
+// connection (requests on a connection execute in order; concurrency
+// comes from concurrent connections, which is exactly how the store's
+// own locking is meant to be driven), plus the JobManager's load
+// workers. All request handling funnels into the SAME SketchStore entry
+// points in-process callers use, so a networked answer is bit-identical
+// to the equivalent direct call — the round-trip equivalence tests
+// assert exactly that.
+//
+// Failure containment: a request whose payload fails to parse is a
+// request-level error response and the connection survives; a frame
+// whose length bound or CRC fails has poisoned the byte stream, so the
+// server sends a best-effort error and closes THAT connection — the
+// listener, every other connection, and the store are untouched (the
+// wire fuzz tests sweep every truncation and bit flip to prove it).
+
+#ifndef SPATIALSKETCH_NET_SERVER_H_
+#define SPATIALSKETCH_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/common/status.h"
+#include "src/net/jobs.h"
+#include "src/net/protocol.h"
+#include "src/net/wire.h"
+#include "src/store/sketch_store.h"
+
+namespace spatialsketch {
+namespace net {
+
+/// Listening and resource options of a SketchServer.
+struct SketchServerOptions {
+  /// Listen address. The serving layer is localhost-first (the
+  /// scale-out story ships summaries between co-located processes);
+  /// binding a public interface is the deployment's decision.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// Per-frame payload bound; larger frames are rejected before any
+  /// allocation and the offending connection is closed.
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Async-load worker threads (JobManager pool size).
+  uint32_t job_workers = 1;
+  /// Threads per bulk load handed to ParallelBulkLoad (0 = auto).
+  uint32_t load_threads = 0;
+};
+
+/// The framed-TCP sketch server (see the file comment). Thread-safe:
+/// Start/Stop/port from any thread; request handling is internal.
+class SketchServer {
+ public:
+  /// Bind, listen, and start the accept loop over `store` (not owned;
+  /// must outlive the server). Fails with IOError if the address
+  /// cannot be bound.
+  static Result<std::unique_ptr<SketchServer>> Start(
+      SketchStore* store, const SketchServerOptions& opt = {});
+
+  /// Stops and joins everything (see Stop()).
+  ~SketchServer();
+
+  /// The bound TCP port (the ephemeral pick when options said 0).
+  uint16_t port() const { return port_; }
+
+  /// Shut down: close the listener, close every live connection, join
+  /// the accept and connection threads, stop the job workers (a load
+  /// already applying completes first). Idempotent.
+  void Stop();
+
+ private:
+  /// One live connection's thread + socket, tracked for Stop/reap.
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  SketchServer(SketchStore* store, const SketchServerOptions& opt);
+
+  Status Listen();
+  void AcceptLoop();
+  void ServeConnection(Connection* conn);
+  /// Join and erase finished connection threads (called from the
+  /// accept loop so a long-lived server does not accumulate them).
+  void ReapFinished();
+
+  /// Decode one request payload and produce the response payload
+  /// (never throws, never kills the connection — framing errors are
+  /// handled a level up in ServeConnection).
+  std::string HandleRequest(const std::string& payload,
+                            std::map<std::string, DatasetHandle>* handles);
+
+  // Per-RPC handlers: parse the body out of `r` (envelope already
+  // consumed), execute against the store, append the response body to
+  // `body`. tenant is the request's namespace key.
+  Status HandleRegisterSchema(WireReader* r, const std::string& tenant);
+  Status HandleCreateDataset(WireReader* r, const std::string& tenant);
+  Status HandleDropDataset(WireReader* r, const std::string& tenant);
+  Status HandleListDatasets(const std::string& tenant, std::string* body);
+  Status HandleUpdate(WireReader* r, const std::string& tenant,
+                      std::map<std::string, DatasetHandle>* handles,
+                      std::string* body);
+  Status HandleConfigureShards(WireReader* r, const std::string& tenant);
+  Status HandleRun(WireReader* r, const std::string& tenant,
+                   std::string* body);
+  Status HandleSubmitLoad(WireReader* r, const std::string& tenant,
+                          std::string* body);
+  Status HandleCheckJob(WireReader* r, std::string* body);
+  Status HandleStats(std::string* body);
+  Status HandleNumObjects(WireReader* r, const std::string& tenant,
+                          std::string* body);
+  Status HandleFence(WireReader* r, const std::string& tenant);
+
+  SketchStore* const store_;
+  const SketchServerOptions opt_;
+  JobManager jobs_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex conns_mu_;
+  std::map<uint64_t, std::unique_ptr<Connection>> conns_;
+  uint64_t next_conn_id_ = 0;
+
+  SKETCH_DISALLOW_COPY_AND_ASSIGN(SketchServer);
+};
+
+}  // namespace net
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_NET_SERVER_H_

@@ -1,0 +1,245 @@
+#include "src/net/wire.h"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "src/common/crc32c.h"
+
+namespace spatialsketch {
+namespace net {
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+void PutF64(std::string* out, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+void PutBox(std::string* out, const Box& b) {
+  for (uint32_t d = 0; d < kMaxDims; ++d) PutU64(out, b.lo[d]);
+  for (uint32_t d = 0; d < kMaxDims; ++d) PutU64(out, b.hi[d]);
+}
+
+Status WireReader::GetU8(uint8_t* v) {
+  if (remaining() < 1) return Status::InvalidArgument("wire: short payload");
+  *v = data_[pos_++];
+  return Status::OK();
+}
+
+Status WireReader::GetU32(uint32_t* v) {
+  if (remaining() < 4) return Status::InvalidArgument("wire: short payload");
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  *v = out;
+  return Status::OK();
+}
+
+Status WireReader::GetU64(uint64_t* v) {
+  if (remaining() < 8) return Status::InvalidArgument("wire: short payload");
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  *v = out;
+  return Status::OK();
+}
+
+Status WireReader::GetI64(int64_t* v) {
+  uint64_t bits;
+  SKETCH_RETURN_NOT_OK(GetU64(&bits));
+  *v = static_cast<int64_t>(bits);
+  return Status::OK();
+}
+
+Status WireReader::GetF64(double* v) {
+  uint64_t bits;
+  SKETCH_RETURN_NOT_OK(GetU64(&bits));
+  std::memcpy(v, &bits, sizeof(bits));
+  return Status::OK();
+}
+
+Status WireReader::GetString(std::string* v) {
+  uint32_t len;
+  SKETCH_RETURN_NOT_OK(GetU32(&len));
+  if (remaining() < len) {
+    return Status::InvalidArgument("wire: string length exceeds payload");
+  }
+  v->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return Status::OK();
+}
+
+Status WireReader::GetBox(Box* v) {
+  for (uint32_t d = 0; d < kMaxDims; ++d) {
+    SKETCH_RETURN_NOT_OK(GetU64(&v->lo[d]));
+  }
+  for (uint32_t d = 0; d < kMaxDims; ++d) {
+    SKETCH_RETURN_NOT_OK(GetU64(&v->hi[d]));
+  }
+  return Status::OK();
+}
+
+std::string EncodeFrame(const std::string& payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  PutU32(&out, Crc32c(payload));
+  out.append(payload);
+  return out;
+}
+
+namespace {
+
+// Full-buffer send; MSG_NOSIGNAL so a vanished peer surfaces as EPIPE
+// instead of killing the process.
+Status SendAll(int fd, const char* data, size_t n) {
+  size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    if (w == 0) return Status::IOError("send: peer closed");
+    sent += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+// Full-buffer receive. `*got` reports how many bytes arrived before a
+// clean end-of-stream, so the caller can tell "closed between frames"
+// from "closed mid-frame".
+Status RecvAll(int fd, char* data, size_t n, size_t* got) {
+  *got = 0;
+  while (*got < n) {
+    const ssize_t r = ::recv(fd, data + *got, n - *got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (r == 0) return Status::OK();  // eof; *got says how far we came
+    *got += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, const std::string& payload) {
+  const std::string frame = EncodeFrame(payload);
+  return SendAll(fd, frame.data(), frame.size());
+}
+
+Status ReadFrame(int fd, std::string* payload, uint32_t max_frame_bytes) {
+  char header[kFrameHeaderBytes];
+  size_t got = 0;
+  SKETCH_RETURN_NOT_OK(RecvAll(fd, header, sizeof(header), &got));
+  if (got == 0) return Status::IOError("eof");
+  if (got < sizeof(header)) {
+    return Status::IOError("eof inside frame header");
+  }
+  WireReader hr(header, sizeof(header));
+  uint32_t len = 0;
+  uint32_t crc = 0;
+  (void)hr.GetU32(&len);
+  (void)hr.GetU32(&crc);
+  if (len > max_frame_bytes) {
+    return Status::InvalidArgument("frame length exceeds the endpoint bound");
+  }
+  payload->resize(len);
+  if (len > 0) {
+    SKETCH_RETURN_NOT_OK(RecvAll(fd, payload->data(), len, &got));
+    if (got < len) return Status::IOError("eof inside frame payload");
+  }
+  if (Crc32c(*payload) != crc) {
+    return Status::InvalidArgument("frame payload CRC mismatch");
+  }
+  return Status::OK();
+}
+
+Status WriteBoxFile(const std::string& path, const std::vector<Box>& boxes,
+                    uint32_t dims) {
+  if (dims < 1 || dims > kMaxDims) {
+    return Status::InvalidArgument("box file dims must be 1..kMaxDims");
+  }
+  std::string out;
+  out.reserve(sizeof(kBoxFileMagic) + 12 + boxes.size() * 2 * 8 * kMaxDims);
+  out.append(kBoxFileMagic, sizeof(kBoxFileMagic));
+  PutU32(&out, dims);
+  PutU64(&out, boxes.size());
+  for (const Box& b : boxes) PutBox(&out, b);
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return Status::IOError("cannot open box file for write: " + path);
+  f.write(out.data(), static_cast<std::streamsize>(out.size()));
+  f.close();
+  if (!f) return Status::IOError("short write to box file: " + path);
+  return Status::OK();
+}
+
+Status ReadBoxFile(const std::string& path, std::vector<Box>* boxes,
+                   uint32_t* dims) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Status::IOError("cannot open box file: " + path);
+  std::string bytes((std::istreambuf_iterator<char>(f)),
+                    std::istreambuf_iterator<char>());
+  if (bytes.size() < sizeof(kBoxFileMagic) + 12 ||
+      std::memcmp(bytes.data(), kBoxFileMagic, sizeof(kBoxFileMagic)) != 0) {
+    return Status::InvalidArgument("not a box file: " + path);
+  }
+  WireReader r(bytes.data() + sizeof(kBoxFileMagic),
+               bytes.size() - sizeof(kBoxFileMagic));
+  uint64_t count = 0;
+  SKETCH_RETURN_NOT_OK(r.GetU32(dims));
+  SKETCH_RETURN_NOT_OK(r.GetU64(&count));
+  if (*dims < 1 || *dims > kMaxDims) {
+    return Status::InvalidArgument("box file dims out of range");
+  }
+  if (r.remaining() != count * 2 * 8 * kMaxDims) {
+    return Status::InvalidArgument("box file size does not match its count");
+  }
+  boxes->clear();
+  boxes->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Box b;
+    SKETCH_RETURN_NOT_OK(r.GetBox(&b));
+    boxes->push_back(b);
+  }
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace spatialsketch

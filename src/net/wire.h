@@ -1,0 +1,144 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Wire primitives of the network serving layer (src/net/): a bounds-
+// checked little-endian byte codec and the CRC32C-framed length-prefixed
+// frame format every SketchServer/SketchClient message travels in.
+//
+// Frame format (docs/NETWORK.md):
+//
+//   [u32 payload_len][u32 crc32c(payload)][payload bytes]
+//
+// Both header fields are little-endian. The CRC (src/common/crc32c.h —
+// the same polynomial the WAL and SST4 snapshots use) covers exactly the
+// payload bytes, so any bit flip in transit is detected before one
+// payload byte is parsed; payload_len is bounded by a per-endpoint
+// maximum so a corrupted length cannot drive an unbounded allocation.
+// A frame that fails the length bound or the CRC poisons the byte stream
+// (framing is lost), so the connection is closed after a best-effort
+// error reply; a frame that passes but whose payload fails to PARSE is a
+// clean request-level error and the connection survives.
+//
+// The codec functions are the shared vocabulary of every layer above:
+// src/api/query_wire.h (QuerySpec/QueryResult), src/net/protocol.h (the
+// RPC catalog), and the box-file format bulk loads read server-side.
+
+#ifndef SPATIALSKETCH_NET_WIRE_H_
+#define SPATIALSKETCH_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/geom/box.h"
+
+namespace spatialsketch {
+/// The network serving layer: framed-TCP server, client, async load
+/// jobs (see docs/NETWORK.md).
+namespace net {
+
+/// Frame header bytes: u32 payload length + u32 payload CRC32C.
+inline constexpr size_t kFrameHeaderBytes = 8;
+
+/// Default per-endpoint payload-size bound (64 MiB). A header whose
+/// length field exceeds the bound is rejected before any allocation.
+inline constexpr uint32_t kDefaultMaxFrameBytes = 64u << 20;
+
+// ---- Little-endian append codec -------------------------------------------
+
+/// Append one byte.
+void PutU8(std::string* out, uint8_t v);
+/// Append a little-endian u32.
+void PutU32(std::string* out, uint32_t v);
+/// Append a little-endian u64.
+void PutU64(std::string* out, uint64_t v);
+/// Append an i64 (two's-complement bit pattern of a u64).
+void PutI64(std::string* out, int64_t v);
+/// Append a double's IEEE-754 bit pattern as a u64 (exact round trip —
+/// the equivalence tests compare estimates bit-identically).
+void PutF64(std::string* out, double v);
+/// Append a u32 length prefix followed by the string's bytes.
+void PutString(std::string* out, const std::string& s);
+/// Append a box: kMaxDims lo coordinates then kMaxDims hi coordinates.
+void PutBox(std::string* out, const Box& b);
+
+/// Bounds-checked reader over an encoded payload. Every getter fails
+/// with InvalidArgument instead of reading past the end, so a truncated
+/// or garbage payload can never crash the decoder; `done()` is the
+/// trailing-garbage check message decoders end with.
+class WireReader {
+ public:
+  /// Read over `n` bytes at `data` (not owned; must outlive the reader).
+  WireReader(const void* data, size_t n)
+      : data_(static_cast<const uint8_t*>(data)), size_(n) {}
+  /// Read over a string's bytes (not owned).
+  explicit WireReader(const std::string& s) : WireReader(s.data(), s.size()) {}
+
+  /// Read one byte.
+  Status GetU8(uint8_t* v);
+  /// Read a little-endian u32.
+  Status GetU32(uint32_t* v);
+  /// Read a little-endian u64.
+  Status GetU64(uint64_t* v);
+  /// Read an i64.
+  Status GetI64(int64_t* v);
+  /// Read a double from its u64 bit pattern.
+  Status GetF64(double* v);
+  /// Read a length-prefixed string; rejects lengths beyond the
+  /// remaining payload (so a corrupt length cannot over-allocate).
+  Status GetString(std::string* v);
+  /// Read a box (kMaxDims lo + kMaxDims hi coordinates).
+  Status GetBox(Box* v);
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return size_ - pos_; }
+  /// True iff the payload was consumed exactly.
+  bool done() const { return pos_ == size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+// ---- Framing over file descriptors ----------------------------------------
+
+/// Encode `payload` into a complete frame (header + payload).
+std::string EncodeFrame(const std::string& payload);
+
+/// Write a whole frame to `fd` (retrying short writes; EINTR-safe, no
+/// SIGPIPE). IOError on a closed or failing peer.
+Status WriteFrame(int fd, const std::string& payload);
+
+/// Read one whole frame from `fd` into `payload`. Distinguishes the
+/// three failure classes callers must treat differently:
+///  - clean end-of-stream BEFORE any header byte: IOError with message
+///    exactly "eof" (the peer hung up between frames — not an error for
+///    a server connection loop);
+///  - truncation mid-frame (eof inside header or payload): IOError;
+///  - length bound exceeded or CRC mismatch: InvalidArgument (the stream
+///    is poisoned; close the connection).
+Status ReadFrame(int fd, std::string* payload, uint32_t max_frame_bytes);
+
+// ---- Box files (bulk-load source; "raw data stays put") -------------------
+
+/// Magic prefix of a box file: "SBX1".
+inline constexpr char kBoxFileMagic[4] = {'S', 'B', 'X', '1'};
+
+/// Write `boxes` to `path` in the box-file format ([magic "SBX1"]
+/// [u32 dims][u64 count][count * box]); overwrites. The format is what
+/// SketchClient::SubmitLoadFile names server-side, so a multi-GB load
+/// travels as one small RPC while the rows stay on the server's disk.
+Status WriteBoxFile(const std::string& path, const std::vector<Box>& boxes,
+                    uint32_t dims);
+
+/// Read a box file back; validates magic, dims (1..kMaxDims), and that
+/// the byte count matches the declared box count exactly.
+Status ReadBoxFile(const std::string& path, std::vector<Box>* boxes,
+                   uint32_t* dims);
+
+}  // namespace net
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_NET_WIRE_H_

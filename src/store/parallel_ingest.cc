@@ -31,12 +31,20 @@ Status ShardedBulkLoad(DatasetSketch* target, const std::vector<Box>& boxes,
   const uint64_t shards = std::max<uint64_t>(
       1, std::min(threads / num_batches, max_useful));
 
+  const auto advance = [&opt](uint64_t rows) {
+    if (opt.progress != nullptr) {
+      opt.progress->fetch_add(rows, std::memory_order_relaxed);
+    }
+  };
+
   if (shards == 1) {
     if (boxes.size() <= target->SmallBulkCrossover()) {
       // Below the table-build crossover BulkLoad streams the boxes
       // through the sign cache on the calling thread; delegate so the
       // small-batch pick applies to store loads too.
-      return target->BulkLoad(boxes.data(), boxes.size(), sign);
+      const Status st = target->BulkLoad(boxes.data(), boxes.size(), sign);
+      if (st.ok()) advance(boxes.size());
+      return st;
     }
     if (sign != 1 && sign != -1) {
       return Status::InvalidArgument("bulk-load sign must be +1 or -1");
@@ -47,6 +55,7 @@ Status ShardedBulkLoad(DatasetSketch* target, const std::vector<Box>& boxes,
     loader.Add(target, boxes.data(), boxes.size(), nullptr, sign);
     loader.Run(static_cast<uint32_t>(
         std::min<uint64_t>(threads, std::numeric_limits<uint32_t>::max())));
+    advance(boxes.size());
     return Status::OK();
   }
 
@@ -69,6 +78,10 @@ Status ShardedBulkLoad(DatasetSketch* target, const std::vector<Box>& boxes,
     const uint64_t end = (i + 1 == shards) ? boxes.size() : begin + per_shard;
     workers.emplace_back([&, i, begin, end] {
       results[i] = parts[i].BulkLoad(boxes.data() + begin, end - begin, sign);
+      // Progress advances as shards complete even if a sibling later
+      // fails; observers treat it as "rows absorbed into shard deltas",
+      // and the job layer reconciles it against the final Status.
+      if (results[i].ok()) advance(end - begin);
     });
   }
   for (std::thread& t : workers) t.join();

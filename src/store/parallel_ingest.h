@@ -12,6 +12,7 @@
 #ifndef SPATIALSKETCH_STORE_PARALLEL_INGEST_H_
 #define SPATIALSKETCH_STORE_PARALLEL_INGEST_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -29,6 +30,15 @@ struct ShardedLoadOptions {
   /// boxes (a single shard degenerates to a plain BulkLoad on the calling
   /// thread, with no thread spawned).
   uint64_t min_boxes_per_shard = 1024;
+  /// Optional rows-applied sink (not owned; must outlive the call).
+  /// Incremented with relaxed adds by each shard's box count as that
+  /// shard's private load completes, so a concurrent observer — the
+  /// async-job CheckJob protocol, SketchStore::Stats — sees a monotone
+  /// fraction of a large load instead of a bare running/done bit. The
+  /// granularity is one increment per shard (per the whole batch when
+  /// the load degenerates to a single shard); the sum over a successful
+  /// call is exactly the batch size.
+  std::atomic<uint64_t>* progress = nullptr;
 };
 
 /// Bulk-load `boxes` (already in the target's coordinate space) into

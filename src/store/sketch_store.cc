@@ -635,7 +635,8 @@ Status SketchStore::Delete(const std::string& dataset, const Box& box) {
 
 Status SketchStore::MergeDelta(const std::string& name,
                                const std::vector<Box>& boxes,
-                               uint32_t num_threads, int sign) {
+                               uint32_t num_threads, int sign,
+                               std::atomic<uint64_t>* progress) {
   if (sign != 1 && sign != -1) {
     return Status::InvalidArgument("bulk-load sign must be +1 or -1");
   }
@@ -666,7 +667,15 @@ Status SketchStore::MergeDelta(const std::string& name,
   DatasetSketch delta(ds.sketch.schema(), ds.sketch.shape());
   ShardedLoadOptions opt;
   opt.num_threads = num_threads;  // 0 keeps the auto-detect documented there
+  // Live rows-applied gauge: the caller's sink when one was supplied
+  // (async-load jobs polling their own fraction), else the store-wide
+  // stat directly; either way StoreStats::bulk_rows_applied ends up
+  // advanced by exactly the mapped row count.
+  opt.progress = progress != nullptr ? progress : &bulk_rows_applied_;
   SKETCH_RETURN_NOT_OK(ShardedBulkLoad(&delta, mapped, sign, opt));
+  if (progress != nullptr) {
+    bulk_rows_applied_.fetch_add(mapped.size(), std::memory_order_relaxed);
+  }
 
   // Serialize the delta record off-lock too — only the append + Merge
   // run under the locks.
@@ -702,6 +711,13 @@ Status SketchStore::ParallelBulkLoad(const std::string& dataset,
                                      const std::vector<Box>& boxes,
                                      uint32_t num_threads, int sign) {
   return MergeDelta(dataset, boxes, num_threads, sign);
+}
+
+Status SketchStore::ParallelBulkLoad(const std::string& dataset,
+                                     const std::vector<Box>& boxes,
+                                     uint32_t num_threads, int sign,
+                                     std::atomic<uint64_t>* progress) {
+  return MergeDelta(dataset, boxes, num_threads, sign, progress);
 }
 
 namespace {
@@ -1462,6 +1478,7 @@ StoreStats SketchStore::stats() const {
   s.deletes = deletes_.load(std::memory_order_relaxed);
   s.dropped = dropped_.load(std::memory_order_relaxed);
   s.bulk_boxes = bulk_boxes_.load(std::memory_order_relaxed);
+  s.bulk_rows_applied = bulk_rows_applied_.load(std::memory_order_relaxed);
   s.range_estimates = range_estimates_.load(std::memory_order_relaxed);
   s.join_estimates = join_estimates_.load(std::memory_order_relaxed);
   s.self_join_estimates =

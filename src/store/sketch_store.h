@@ -99,6 +99,14 @@ struct StoreStats {
   uint64_t deletes = 0;  ///< streaming Delete calls applied
   uint64_t dropped = 0;  ///< degenerate boxes ignored by ingest
   uint64_t bulk_boxes = 0;       ///< boxes absorbed through bulk loads
+  /// Rows applied by bulk-load delta builds, advancing LIVE at shard
+  /// granularity while a load is still running (bulk_boxes moves only
+  /// when a load completes) — the store-wide progress gauge behind the
+  /// network layer's CheckJob fractions. Loads that supply their own
+  /// progress sink (the ParallelBulkLoad overload) fold their row count
+  /// in here on completion instead, so the stat stays a monotone total
+  /// of rows applied either way.
+  uint64_t bulk_rows_applied = 0;
   uint64_t range_estimates = 0;  ///< range count/selectivity estimates served
   uint64_t join_estimates = 0;   ///< spatial-join estimates served
   uint64_t self_join_estimates = 0;    ///< self-join-size estimates served
@@ -274,6 +282,17 @@ class SketchStore {
                           const std::vector<Box>& boxes,
                           uint32_t num_threads, int sign = +1);
 
+  /// ParallelBulkLoad with a caller-owned rows-applied sink: `progress`
+  /// (which must outlive the call) is advanced with relaxed adds as
+  /// load shards complete, summing to the batch's non-degenerate row
+  /// count on success — what the network layer's async-load jobs poll
+  /// to report a real CheckJob fraction while a multi-GB ingest runs.
+  /// Identical counters and locking to the overload above.
+  Status ParallelBulkLoad(const std::string& dataset,
+                          const std::vector<Box>& boxes,
+                          uint32_t num_threads, int sign,
+                          std::atomic<uint64_t>* progress);
+
   // ---- Typed serving (safe to call concurrently with all ingest paths) ----
 
   /// Execute a heterogeneous QueryBatch (src/api/query.h): every
@@ -440,7 +459,8 @@ class SketchStore {
   /// already holding the commit lock (checkpoints hold it exclusively).
   Status FenceDatasetNoCommit(internal::DatasetState& ds) const;
   Status MergeDelta(const std::string& name, const std::vector<Box>& boxes,
-                    uint32_t num_threads, int sign);
+                    uint32_t num_threads, int sign,
+                    std::atomic<uint64_t>* progress = nullptr);
   /// Commit-lock shared guard; an empty (no-op) lock when not durable.
   std::shared_lock<FairSharedMutex> CommitShared() const;
   /// Shared body of Restore and WAL replay: parse + validate a snapshot
@@ -480,6 +500,7 @@ class SketchStore {
   mutable std::atomic<uint64_t> deletes_{0};
   mutable std::atomic<uint64_t> dropped_{0};
   mutable std::atomic<uint64_t> bulk_boxes_{0};
+  mutable std::atomic<uint64_t> bulk_rows_applied_{0};
   mutable std::atomic<uint64_t> range_estimates_{0};
   mutable std::atomic<uint64_t> join_estimates_{0};
   mutable std::atomic<uint64_t> self_join_estimates_{0};

@@ -1,0 +1,422 @@
+// Round-trip equivalence of the network serving layer (src/net/,
+// docs/NETWORK.md): answers served over the framed-TCP protocol must be
+// BIT-IDENTICAL to direct SketchStore::Run calls on the same store —
+// for all six query kinds, from >= 4 concurrent clients, while an async
+// bulk load is applying, and across a server restart from a durable
+// directory. The SubmitLoad/CheckJob protocol is proven end to end:
+// submit returns immediately, progress is monotone, and the terminal
+// report shows a complete bar. Tenant-keyed namespaces are disjoint.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
+#include "src/store/durability/fs.h"
+#include "src/store/sketch_store.h"
+#include "src/workload/zipf_boxes.h"
+
+namespace spatialsketch {
+namespace {
+
+using net::JobState;
+using net::SketchClient;
+using net::SketchClientOptions;
+using net::SketchServer;
+using net::SketchServerOptions;
+using net::UpdateOp;
+
+std::vector<Box> MakeBoxes(uint32_t dims, uint32_t h, size_t count,
+                           uint64_t seed) {
+  Rng rng(seed);
+  const Coord domain = Coord{1} << h;
+  std::vector<Box> boxes(count);
+  for (Box& b : boxes) {
+    for (uint32_t d = 0; d < dims; ++d) {
+      const Coord side = 1 + rng.Uniform(domain / 2);
+      const Coord lo = rng.Uniform(domain - side);
+      b.lo[d] = lo;
+      b.hi[d] = lo + side;
+    }
+  }
+  return boxes;
+}
+
+std::vector<Box> MakePoints(uint32_t dims, uint32_t h, size_t count,
+                            uint64_t seed) {
+  Rng rng(seed);
+  const Coord domain = Coord{1} << h;
+  std::vector<Box> points(count);
+  for (Box& p : points) {
+    for (uint32_t d = 0; d < dims; ++d) {
+      const Coord c = rng.Uniform(domain);
+      p.lo[d] = c;
+      p.hi[d] = c;
+    }
+  }
+  return points;
+}
+
+StoreSchemaOptions SmallSchema(uint32_t dims, uint32_t h) {
+  StoreSchemaOptions opt;
+  opt.dims = dims;
+  opt.log2_domain = h;
+  opt.k1 = 8;
+  opt.k2 = 3;
+  opt.seed = 5;
+  return opt;
+}
+
+/// Bit-level equality: the serving contract is "not a ulp lost", which
+/// operator== would water down around NaN and signed zero.
+bool SameBits(double a, double b) {
+  uint64_t ab = 0;
+  uint64_t bb = 0;
+  std::memcpy(&ab, &a, sizeof(ab));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ab == bb;
+}
+
+void ExpectSameResults(const std::vector<QueryResult>& direct,
+                       const std::vector<QueryResult>& served) {
+  ASSERT_EQ(direct.size(), served.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(direct[i].status.code(), served[i].status.code()) << i;
+    EXPECT_EQ(direct[i].status.message(), served[i].status.message()) << i;
+    EXPECT_TRUE(SameBits(direct[i].value, served[i].value))
+        << i << ": " << direct[i].value << " vs " << served[i].value;
+    EXPECT_EQ(direct[i].estimator.k1, served[i].estimator.k1) << i;
+    EXPECT_EQ(direct[i].estimator.k2, served[i].estimator.k2) << i;
+    EXPECT_EQ(direct[i].estimator.instances, served[i].estimator.instances)
+        << i;
+  }
+}
+
+// One dataset of every kind, loaded, behind a running server — the
+// api_query_test fixture with a TCP port in front of it.
+class NetServerTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kH = 9;
+  static constexpr Coord kEps = 12;
+
+  void SetUp() override {
+    ASSERT_TRUE(store_.RegisterSchema("s2", SmallSchema(2, kH)).ok());
+    ASSERT_TRUE(store_.RegisterSchema("s1", SmallSchema(1, kH)).ok());
+    ASSERT_TRUE(store_.CreateDataset("range", "s2", DatasetKind::kRange).ok());
+    ASSERT_TRUE(store_.CreateDataset("r", "s2", DatasetKind::kJoinR).ok());
+    ASSERT_TRUE(store_.CreateDataset("sA", "s2", DatasetKind::kJoinS).ok());
+    ASSERT_TRUE(
+        store_.CreateDataset("pts", "s2", DatasetKind::kEpsPoints).ok());
+    DatasetOptions eps_opt;
+    eps_opt.eps = kEps;
+    ASSERT_TRUE(
+        store_.CreateDataset("eps", "s2", DatasetKind::kEpsBoxes, eps_opt)
+            .ok());
+    ASSERT_TRUE(
+        store_.CreateDataset("inner", "s1", DatasetKind::kContainInner).ok());
+    ASSERT_TRUE(
+        store_.CreateDataset("outer", "s1", DatasetKind::kContainOuter).ok());
+
+    ASSERT_TRUE(store_.BulkLoad("range", MakeBoxes(2, kH, 400, 11)).ok());
+    ASSERT_TRUE(store_.BulkLoad("r", MakeBoxes(2, kH, 300, 12)).ok());
+    ASSERT_TRUE(store_.BulkLoad("sA", MakeBoxes(2, kH, 200, 13)).ok());
+    ASSERT_TRUE(store_.BulkLoad("pts", MakePoints(2, kH, 250, 15)).ok());
+    ASSERT_TRUE(store_.BulkLoad("eps", MakePoints(2, kH, 250, 16)).ok());
+    ASSERT_TRUE(store_.BulkLoad("inner", MakeBoxes(1, kH, 300, 17)).ok());
+    ASSERT_TRUE(store_.BulkLoad("outer", MakeBoxes(1, kH, 300, 18)).ok());
+
+    auto server = SketchServer::Start(&store_);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    server_ = std::move(*server);
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Stop();
+  }
+
+  std::unique_ptr<SketchClient> Connect(const std::string& tenant = "") {
+    SketchClientOptions opt;
+    opt.port = server_->port();
+    opt.tenant = tenant;
+    auto client = SketchClient::Connect(opt);
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return client.ok() ? std::move(*client) : nullptr;
+  }
+
+  /// One batch exercising all six query kinds.
+  QueryBatch AllKindsBatch() const {
+    Box q;
+    q.lo = {10, 20, 0, 0};
+    q.hi = {200, 300, 0, 0};
+    QueryBatch batch;
+    batch.specs.push_back(QuerySpec::RangeCount("range", q));
+    batch.specs.push_back(QuerySpec::RangeSelectivity("range", q));
+    batch.specs.push_back(QuerySpec::SelfJoinSize("range"));
+    batch.specs.push_back(QuerySpec::JoinCardinality("r", "sA"));
+    batch.specs.push_back(QuerySpec::EpsJoin("pts", "eps", kEps));
+    batch.specs.push_back(QuerySpec::ContainmentJoin("inner", "outer"));
+    return batch;
+  }
+
+  SketchStore store_;
+  std::unique_ptr<SketchServer> server_;
+};
+
+TEST_F(NetServerTest, AllKindsBitIdenticalOverFourConcurrentClients) {
+  const QueryBatch batch = AllKindsBatch();
+  auto direct = store_.Run(batch);
+  ASSERT_TRUE(direct.ok());
+
+  constexpr int kClients = 4;
+  constexpr int kRoundsPerClient = 8;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = Connect();
+      ASSERT_NE(client, nullptr);
+      for (int round = 0; round < kRoundsPerClient; ++round) {
+        auto served = client->Run(batch);
+        ASSERT_TRUE(served.ok()) << served.status().ToString();
+        ExpectSameResults(*direct, *served);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+TEST_F(NetServerTest, ManagementSurfaceOverTheWire) {
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+  EXPECT_TRUE(client->Ping().ok());
+
+  auto names = client->ListDatasets();
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names->size(), 7u);
+
+  ASSERT_TRUE(
+      client->CreateDataset("extra", "s2", DatasetKind::kRange).ok());
+  EXPECT_TRUE(client->ConfigureShards("extra", 2, 64).ok());
+  const std::vector<Box> rows = MakeBoxes(2, kH, 40, 77);
+  std::vector<UpdateOp> ops;
+  for (const Box& b : rows) ops.push_back({false, b});
+  ops.push_back({true, rows[0]});
+  auto applied = client->Update("extra", ops);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_EQ(*applied, rows.size() + 1);
+  EXPECT_TRUE(client->Fence("extra").ok());
+  auto count = client->NumObjects("extra");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, static_cast<int64_t>(rows.size()) - 1);
+
+  // Server-side state matches what the wire reported.
+  auto direct_count = store_.NumObjects("extra");
+  ASSERT_TRUE(direct_count.ok());
+  EXPECT_EQ(*count, *direct_count);
+
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->at("inserts"), store_.stats().inserts);
+
+  EXPECT_TRUE(client->DropDataset("extra").ok());
+  EXPECT_FALSE(client->NumObjects("extra").ok());
+}
+
+TEST_F(NetServerTest, NetworkedUpdatesMatchDirectHandleUpdates) {
+  // Same schema, same rows: one dataset fed over the wire, its twin fed
+  // through a direct handle — their estimates must not differ by a bit.
+  ASSERT_TRUE(store_.CreateDataset("u_net", "s2", DatasetKind::kRange).ok());
+  ASSERT_TRUE(store_.CreateDataset("u_dir", "s2", DatasetKind::kRange).ok());
+  const std::vector<Box> rows = MakeBoxes(2, kH, 120, 99);
+
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+  std::vector<UpdateOp> ops;
+  for (const Box& b : rows) ops.push_back({false, b});
+  ASSERT_TRUE(client->Update("u_net", ops).ok());
+
+  auto handle = store_.OpenDataset("u_dir");
+  ASSERT_TRUE(handle.ok());
+  for (const Box& b : rows) ASSERT_TRUE(handle->Insert(b).ok());
+
+  Box q;
+  q.lo = {0, 0, 0, 0};
+  q.hi = {333, 444, 0, 0};
+  QueryBatch net_batch;
+  net_batch.specs.push_back(QuerySpec::RangeCount("u_net", q));
+  QueryBatch dir_batch;
+  dir_batch.specs.push_back(QuerySpec::RangeCount("u_dir", q));
+  auto net_res = client->Run(net_batch);
+  auto dir_res = store_.Run(dir_batch);
+  ASSERT_TRUE(net_res.ok());
+  ASSERT_TRUE(dir_res.ok());
+  EXPECT_TRUE(SameBits((*net_res)[0].value, (*dir_res)[0].value));
+}
+
+TEST_F(NetServerTest, AsyncLoadProtocolServesDuringLoadWithMonotoneProgress) {
+  ASSERT_TRUE(store_.CreateDataset("bulk", "s2", DatasetKind::kRange).ok());
+  auto client = Connect();
+  ASSERT_NE(client, nullptr);
+
+  SyntheticBoxOptions gen;
+  gen.dims = 2;
+  gen.log2_domain = kH;
+  gen.count = 60000;
+  gen.seed = 21;
+  auto job = client->SubmitLoadSynthetic("bulk", gen);
+  ASSERT_TRUE(job.ok()) << job.status().ToString();
+  EXPECT_GT(*job, 0u);
+
+  // While the load applies: CheckJob progress is monotone, and the
+  // server keeps serving queries bit-identically from OTHER clients.
+  const QueryBatch batch = AllKindsBatch();
+  auto direct = store_.Run(batch);
+  ASSERT_TRUE(direct.ok());
+  auto prober = Connect();
+  ASSERT_NE(prober, nullptr);
+
+  uint64_t last_applied = 0;
+  for (;;) {
+    auto report = client->CheckJob(*job);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_GE(report->rows_applied, last_applied);
+    last_applied = report->rows_applied;
+    EXPECT_GE(report->fraction(), 0.0);
+    EXPECT_LE(report->fraction(), 1.0);
+
+    auto served = prober->Run(batch);
+    ASSERT_TRUE(served.ok());
+    ExpectSameResults(*direct, *served);
+
+    if (report->state == JobState::kDone ||
+        report->state == JobState::kFailed) {
+      ASSERT_EQ(report->state, JobState::kDone) << report->error;
+      EXPECT_EQ(report->rows_applied, report->rows_total);
+      EXPECT_EQ(report->rows_total, gen.count);
+      EXPECT_EQ(report->fraction(), 1.0);
+      break;
+    }
+  }
+
+  // The load really landed (synthetic rows are never degenerate).
+  auto count = client->NumObjects("bulk");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, static_cast<int64_t>(gen.count));
+
+  // Protocol edges: unknown job, unknown dataset at submit.
+  EXPECT_FALSE(client->CheckJob(999999).ok());
+  EXPECT_FALSE(client->SubmitLoadSynthetic("no_such", gen).ok());
+}
+
+TEST_F(NetServerTest, TenantNamespacesAreDisjoint) {
+  auto acme = Connect("acme");
+  ASSERT_NE(acme, nullptr);
+
+  // The tenant starts empty even though the root namespace is populated,
+  // and can reuse the root's names without collision.
+  auto names = acme->ListDatasets();
+  ASSERT_TRUE(names.ok());
+  EXPECT_TRUE(names->empty());
+  ASSERT_TRUE(acme->RegisterSchema("s2", SmallSchema(2, kH)).ok());
+  ASSERT_TRUE(acme->CreateDataset("range", "s2", DatasetKind::kRange).ok());
+  const std::vector<Box> rows = MakeBoxes(2, kH, 25, 123);
+  std::vector<UpdateOp> ops;
+  for (const Box& b : rows) ops.push_back({false, b});
+  ASSERT_TRUE(acme->Update("range", ops).ok());
+
+  auto acme_count = acme->NumObjects("range");
+  ASSERT_TRUE(acme_count.ok());
+  EXPECT_EQ(*acme_count, 25);
+
+  // The root namespace still sees ITS "range" (400 rows), and a second
+  // tenant sees nothing at all.
+  auto root = Connect();
+  ASSERT_NE(root, nullptr);
+  auto root_count = root->NumObjects("range");
+  ASSERT_TRUE(root_count.ok());
+  EXPECT_EQ(*root_count, 400);
+  auto root_names = root->ListDatasets();
+  ASSERT_TRUE(root_names.ok());
+  EXPECT_EQ(root_names->size(), 7u);
+
+  auto other = Connect("other");
+  ASSERT_NE(other, nullptr);
+  EXPECT_FALSE(other->NumObjects("range").ok());
+
+  // Tenant keys that could forge scoped names are rejected outright.
+  SketchClientOptions bad;
+  bad.port = server_->port();
+  bad.tenant = std::string("evil") + net::kTenantSeparator + "x";
+  EXPECT_FALSE(SketchClient::Connect(bad).ok());
+
+  ASSERT_TRUE(acme->DropDataset("range").ok());
+  EXPECT_TRUE(root->NumObjects("range").ok());
+}
+
+TEST(NetServerRestartTest, ServedAnswersSurviveRestartFromDurableDir) {
+  const std::string dir = ::testing::TempDir() + "spatialsketch_net_restart_" +
+                          std::to_string(::getpid());
+  auto files = durability::ListDir(dir);
+  if (files.ok()) {
+    for (const auto& f : *files) (void)durability::RemoveFile(dir + "/" + f);
+  }
+  ASSERT_TRUE(durability::EnsureDir(dir).ok());
+
+  Box q;
+  q.lo = {5, 5, 0, 0};
+  q.hi = {400, 400, 0, 0};
+  QueryBatch batch;
+  batch.specs.push_back(QuerySpec::RangeCount("range", q));
+  batch.specs.push_back(QuerySpec::SelfJoinSize("range"));
+  std::vector<QueryResult> before;
+
+  {
+    auto store = SketchStore::OpenDurable(dir);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    auto server = SketchServer::Start(store->get());
+    ASSERT_TRUE(server.ok());
+    SketchClientOptions copt;
+    copt.port = (*server)->port();
+    auto client = SketchClient::Connect(copt);
+    ASSERT_TRUE(client.ok());
+
+    ASSERT_TRUE((*client)->RegisterSchema("s2", SmallSchema(2, 9)).ok());
+    ASSERT_TRUE(
+        (*client)->CreateDataset("range", "s2", DatasetKind::kRange).ok());
+    auto job =
+        (*client)->SubmitLoadInline("range", MakeBoxes(2, 9, 300, 31));
+    ASSERT_TRUE(job.ok());
+    auto done = (*client)->WaitJob(*job);
+    ASSERT_TRUE(done.ok());
+    ASSERT_EQ(done->state, JobState::kDone) << done->error;
+
+    auto served = (*client)->Run(batch);
+    ASSERT_TRUE(served.ok());
+    before = *served;
+    (*server)->Stop();
+  }
+
+  // A NEW server over a NEW store recovered from the same directory
+  // serves the same bits on a fresh port.
+  auto store = SketchStore::OpenDurable(dir);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  auto server = SketchServer::Start(store->get());
+  ASSERT_TRUE(server.ok());
+  SketchClientOptions copt;
+  copt.port = (*server)->port();
+  auto client = SketchClient::Connect(copt);
+  ASSERT_TRUE(client.ok());
+  auto after = (*client)->Run(batch);
+  ASSERT_TRUE(after.ok());
+  ExpectSameResults(before, *after);
+  (*server)->Stop();
+}
+
+}  // namespace
+}  // namespace spatialsketch

@@ -1,0 +1,318 @@
+// Wire-format fuzzing for the framed-TCP serving layer (src/net/), in
+// the restore_fuzz_test idiom: a request frame that has been truncated
+// at every possible length, or bit-flipped anywhere in its header or
+// payload, must be REJECTED with a clean error — never an OK response,
+// never a crash (what makes this suite meaningful under ASan), never a
+// partially-applied update. Frame-level corruption (length/CRC) poisons
+// the byte stream, so the server may close that connection — but the
+// LISTENER must survive every attack, and CRC-valid frames with fuzzed
+// payloads must leave the connection itself serving (the next frame on
+// the same socket gets a well-formed answer).
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/api/query_wire.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
+#include "src/store/sketch_store.h"
+#include "src/workload/zipf_boxes.h"
+
+namespace spatialsketch {
+namespace {
+
+using net::MsgType;
+using net::SketchServer;
+using net::SketchServerOptions;
+using net::WireReader;
+
+// ---- Raw socket helpers (the attacker does not use the client) ---------
+
+int DialOrDie(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+void SendRaw(int fd, const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;  // server already closed on us — that is fine
+    sent += static_cast<size_t>(n);
+  }
+}
+
+/// Read every response frame until the server closes, asserting none of
+/// them reports an OK status (corrupted input must never look accepted).
+void DrainExpectNoOk(int fd) {
+  for (;;) {
+    std::string payload;
+    const Status st = net::ReadFrame(fd, &payload, net::kDefaultMaxFrameBytes);
+    if (!st.ok()) return;  // clean close (or truncated reply) — done
+    WireReader r(payload);
+    uint8_t version = 0;
+    uint8_t type = 0;
+    uint8_t code = 0;
+    ASSERT_TRUE(r.GetU8(&version).ok());
+    ASSERT_TRUE(r.GetU8(&type).ok());
+    ASSERT_TRUE(r.GetU8(&code).ok());
+    EXPECT_NE(code, 0u) << "corrupted frame was answered with OK";
+  }
+}
+
+std::string Envelope(MsgType type, const std::string& tenant,
+                     const std::string& body) {
+  std::string payload;
+  net::PutU8(&payload, net::kProtocolVersion);
+  net::PutU8(&payload, static_cast<uint8_t>(type));
+  net::PutString(&payload, tenant);
+  payload.append(body);
+  return payload;
+}
+
+// The update-frame vehicle: one insert into root dataset "range". If any
+// corrupted variant of this frame were accepted, stats().inserts and the
+// dataset fingerprint would move.
+std::string InsertRequest() {
+  std::string body;
+  net::PutString(&body, "range");
+  net::PutU32(&body, 1);
+  net::PutU8(&body, 0);  // insert
+  Box box;
+  box.lo = {100, 100, 0, 0};
+  box.hi = {300, 300, 0, 0};
+  net::PutBox(&body, box);
+  return Envelope(MsgType::kUpdate, "", body);
+}
+
+class NetWireFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StoreSchemaOptions sopt;
+    sopt.dims = 2;
+    sopt.log2_domain = 9;
+    sopt.k1 = 5;
+    sopt.k2 = 3;
+    sopt.seed = 42;
+    ASSERT_TRUE(store_.RegisterSchema("s", sopt).ok());
+    ASSERT_TRUE(store_.CreateDataset("range", "s", DatasetKind::kRange).ok());
+    SyntheticBoxOptions gen;
+    gen.dims = 2;
+    gen.log2_domain = 9;
+    gen.count = 80;
+    gen.seed = 3;
+    ASSERT_TRUE(store_.BulkLoad("range", GenerateSyntheticBoxes(gen)).ok());
+
+    auto server = SketchServer::Start(&store_);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    server_ = std::move(*server);
+    fingerprint_ = Fingerprint();
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Stop();
+  }
+
+  /// The server-state witness: ingest counters plus an estimate's exact
+  /// bits. Any accepted mutation moves at least one component.
+  std::string Fingerprint() {
+    const StoreStats s = store_.stats();
+    auto count = store_.NumObjects("range");
+    EXPECT_TRUE(count.ok());
+    Box q;
+    q.lo = {0, 0, 0, 0};
+    q.hi = {511, 511, 0, 0};
+    QueryBatch batch;
+    batch.specs.push_back(QuerySpec::RangeCount("range", q));
+    auto run = store_.Run(batch);
+    EXPECT_TRUE(run.ok());
+    std::string fp;
+    net::PutU64(&fp, s.inserts);
+    net::PutU64(&fp, s.deletes);
+    net::PutU64(&fp, s.bulk_boxes);
+    net::PutI64(&fp, count.ok() ? *count : -1);
+    net::PutF64(&fp, run.ok() ? (*run)[0].value : 0);
+    return fp;
+  }
+
+  /// The server still accepts fresh connections and serves correctly.
+  void ExpectServerAlive() {
+    net::SketchClientOptions opt;
+    opt.port = server_->port();
+    auto client = net::SketchClient::Connect(opt);
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    auto count = (*client)->NumObjects("range");
+    ASSERT_TRUE(count.ok());
+    EXPECT_EQ(*count, 80);
+  }
+
+  SketchStore store_;
+  std::unique_ptr<SketchServer> server_;
+  std::string fingerprint_;
+};
+
+TEST_F(NetWireFuzzTest, EveryTruncationRejectedStateUntouched) {
+  const std::string frame = net::EncodeFrame(InsertRequest());
+  for (size_t len = 0; len < frame.size(); ++len) {
+    const int fd = DialOrDie(server_->port());
+    SendRaw(fd, frame.substr(0, len));
+    ::shutdown(fd, SHUT_WR);  // EOF: the frame will never complete
+    DrainExpectNoOk(fd);
+    ::close(fd);
+  }
+  EXPECT_EQ(Fingerprint(), fingerprint_);
+  ExpectServerAlive();
+}
+
+TEST_F(NetWireFuzzTest, EveryBitFlipRejectedStateUntouched) {
+  // Stale-CRC sweep: flipping ANY bit — length field, CRC field, or
+  // payload — must fail the frame check (or the envelope parse) and
+  // never apply the insert.
+  const std::string frame = net::EncodeFrame(InsertRequest());
+  for (size_t byte = 0; byte < frame.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = frame;
+      corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+      const int fd = DialOrDie(server_->port());
+      SendRaw(fd, corrupt);
+      ::shutdown(fd, SHUT_WR);
+      DrainExpectNoOk(fd);
+      ::close(fd);
+    }
+  }
+  EXPECT_EQ(Fingerprint(), fingerprint_);
+  ExpectServerAlive();
+}
+
+TEST_F(NetWireFuzzTest, ValidCrcPayloadFuzzKeepsConnectionServing) {
+  // Request-level fuzz: flip each body bit of a CRC-valid QUERY frame
+  // (queries never mutate, and the "fuzz" tenant namespace is empty, so
+  // even an accidentally well-formed request touches nothing). The
+  // connection must answer every frame and keep serving: a Ping follows
+  // every fuzzed frame on the SAME socket and must come back OK.
+  Box q;
+  q.lo = {0, 0, 0, 0};
+  q.hi = {511, 511, 0, 0};
+  QueryBatch batch;
+  batch.specs.push_back(QuerySpec::RangeCount("range", q));
+  std::string body;
+  AppendQueryBatch(&body, batch);
+  const std::string payload = Envelope(MsgType::kRun, "fuzz", body);
+  const std::string ping = Envelope(MsgType::kPing, "fuzz", "");
+  const size_t body_start = payload.size() - body.size();
+
+  const int fd = DialOrDie(server_->port());
+  for (size_t byte = body_start; byte < payload.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = payload;
+      corrupt[byte] = static_cast<char>(corrupt[byte] ^ (1 << bit));
+      SendRaw(fd, net::EncodeFrame(corrupt));
+      std::string reply;
+      ASSERT_TRUE(
+          net::ReadFrame(fd, &reply, net::kDefaultMaxFrameBytes).ok())
+          << "connection died on a CRC-valid frame (byte " << byte << ")";
+
+      SendRaw(fd, net::EncodeFrame(ping));
+      ASSERT_TRUE(
+          net::ReadFrame(fd, &reply, net::kDefaultMaxFrameBytes).ok());
+      WireReader r(reply);
+      uint8_t version = 0;
+      uint8_t type = 0;
+      uint8_t code = 0;
+      ASSERT_TRUE(r.GetU8(&version).ok());
+      ASSERT_TRUE(r.GetU8(&type).ok());
+      ASSERT_TRUE(r.GetU8(&code).ok());
+      EXPECT_EQ(code, 0u) << "ping after fuzzed frame failed";
+    }
+  }
+  ::close(fd);
+  EXPECT_EQ(Fingerprint(), fingerprint_);
+  ExpectServerAlive();
+}
+
+TEST_F(NetWireFuzzTest, OversizedLengthRejectedBeforeAllocation) {
+  // A header promising a payload over the server bound must be refused
+  // outright (no 4 GiB allocation, no waiting for bytes that never
+  // come) with a clean error before the connection closes.
+  std::string header;
+  net::PutU32(&header, net::kDefaultMaxFrameBytes + 1);
+  net::PutU32(&header, 0);  // CRC never reached
+  const int fd = DialOrDie(server_->port());
+  SendRaw(fd, header);
+  std::string reply;
+  const Status st =
+      net::ReadFrame(fd, &reply, net::kDefaultMaxFrameBytes);
+  if (st.ok()) {
+    WireReader r(reply);
+    uint8_t version = 0;
+    uint8_t type = 0;
+    uint8_t code = 0;
+    ASSERT_TRUE(r.GetU8(&version).ok());
+    ASSERT_TRUE(r.GetU8(&type).ok());
+    ASSERT_TRUE(r.GetU8(&code).ok());
+    EXPECT_EQ(type, net::kMsgTypeUnparseable);
+    EXPECT_NE(code, 0u);
+  }
+  // Either way the stream must now be closed.
+  std::string rest;
+  EXPECT_FALSE(
+      net::ReadFrame(fd, &rest, net::kDefaultMaxFrameBytes).ok());
+  ::close(fd);
+  EXPECT_EQ(Fingerprint(), fingerprint_);
+  ExpectServerAlive();
+}
+
+TEST_F(NetWireFuzzTest, EmptyAndGarbagePayloadsAreRequestLevelErrors) {
+  // An empty payload passes framing (it has a valid CRC) but fails the
+  // envelope parse — a request-level error the connection survives.
+  const int fd = DialOrDie(server_->port());
+  SendRaw(fd, net::EncodeFrame(""));
+  std::string reply;
+  ASSERT_TRUE(net::ReadFrame(fd, &reply, net::kDefaultMaxFrameBytes).ok());
+  {
+    WireReader r(reply);
+    uint8_t version = 0;
+    uint8_t type = 0;
+    uint8_t code = 0;
+    ASSERT_TRUE(r.GetU8(&version).ok());
+    ASSERT_TRUE(r.GetU8(&type).ok());
+    ASSERT_TRUE(r.GetU8(&code).ok());
+    EXPECT_EQ(type, net::kMsgTypeUnparseable);
+    EXPECT_NE(code, 0u);
+  }
+  // Same connection, now a well-formed request: still served.
+  SendRaw(fd, net::EncodeFrame(Envelope(MsgType::kPing, "", "")));
+  ASSERT_TRUE(net::ReadFrame(fd, &reply, net::kDefaultMaxFrameBytes).ok());
+  {
+    WireReader r(reply);
+    uint8_t version = 0;
+    uint8_t type = 0;
+    uint8_t code = 0;
+    ASSERT_TRUE(r.GetU8(&version).ok());
+    ASSERT_TRUE(r.GetU8(&type).ok());
+    ASSERT_TRUE(r.GetU8(&code).ok());
+    EXPECT_EQ(code, 0u);
+  }
+  ::close(fd);
+  EXPECT_EQ(Fingerprint(), fingerprint_);
+}
+
+}  // namespace
+}  // namespace spatialsketch

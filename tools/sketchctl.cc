@@ -1,0 +1,373 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// sketchctl: the command-line face of the network serving layer
+// (docs/NETWORK.md). One binary covers both sides of the wire:
+//
+//   sketchctl serve     run a SketchServer (plain or durable store)
+//   sketchctl ping      liveness + protocol-version round trip
+//   sketchctl create    register a schema and create a dataset under it
+//   sketchctl load      submit an async bulk load (inline/file/synthetic)
+//   sketchctl check     one CheckJob probe (state + progress fraction)
+//   sketchctl wait      poll CheckJob until the job is terminal
+//   sketchctl query     run one query spec and print the estimate
+//   sketchctl list      list the tenant's datasets
+//   sketchctl stats     dump the server's StoreStats counters
+//   sketchctl drop      drop a dataset
+//   sketchctl genboxes  write a synthetic SBX1 box file (local, offline)
+//
+// Every remote subcommand takes --port (required), --host
+// (default 127.0.0.1), and --tenant (default: root namespace). Exit
+// status is 0 on success, 1 with the Status printed to stderr
+// otherwise — the CI smoke job scripts against exactly that contract.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/common/status.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
+#include "src/net/wire.h"
+#include "src/store/sketch_store.h"
+#include "src/workload/zipf_boxes.h"
+
+namespace spatialsketch {
+namespace {
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+void HandleStopSignal(int) { g_stop_requested = 1; }
+
+int Die(const Status& st) {
+  std::fprintf(stderr, "sketchctl: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+int DieUsage(const char* message) {
+  std::fprintf(stderr, "sketchctl: %s\n", message);
+  std::fprintf(stderr,
+               "usage: sketchctl "
+               "<serve|ping|create|load|check|wait|query|list|stats|drop|"
+               "genboxes> [--flags]\n");
+  return 1;
+}
+
+net::SketchClientOptions ClientOptions(const Flags& flags) {
+  net::SketchClientOptions opt;
+  opt.host = flags.GetString("host", "127.0.0.1");
+  opt.port = static_cast<uint16_t>(flags.GetInt("port", 0));
+  opt.tenant = flags.GetString("tenant", "");
+  return opt;
+}
+
+Result<std::unique_ptr<net::SketchClient>> ConnectOrStatus(
+    const Flags& flags) {
+  return net::SketchClient::Connect(ClientOptions(flags));
+}
+
+/// Parse "--box=lo,hi,lo,hi,..." (one lo,hi pair per dimension).
+Status ParseBox(const std::string& text, Box* out) {
+  std::vector<uint64_t> values;
+  std::string token;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == ',') {
+      if (token.empty()) return Status::InvalidArgument("empty box coord");
+      values.push_back(std::strtoull(token.c_str(), nullptr, 10));
+      token.clear();
+    } else {
+      token.push_back(text[i]);
+    }
+  }
+  if (values.size() < 2 || values.size() % 2 != 0 ||
+      values.size() > 2 * kMaxDims) {
+    return Status::InvalidArgument(
+        "--box wants lo,hi pairs (one per dimension), got " +
+        std::to_string(values.size()) + " numbers");
+  }
+  // Dimensions beyond the supplied pairs stay zero; the schema's dims
+  // decides how many the estimator reads.
+  for (size_t d = 0; d < values.size() / 2; ++d) {
+    out->lo[d] = values[2 * d];
+    out->hi[d] = values[2 * d + 1];
+  }
+  return Status::OK();
+}
+
+SyntheticBoxOptions SyntheticFromFlags(const Flags& flags) {
+  SyntheticBoxOptions opt;
+  opt.dims = static_cast<uint32_t>(flags.GetInt("dims", opt.dims));
+  opt.log2_domain =
+      static_cast<uint32_t>(flags.GetInt("log2_domain", opt.log2_domain));
+  opt.zipf_z = flags.GetDouble("zipf", opt.zipf_z);
+  opt.mean_side_factor =
+      flags.GetDouble("side_factor", opt.mean_side_factor);
+  opt.count = static_cast<uint64_t>(flags.GetInt("count", 10000));
+  opt.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  return opt;
+}
+
+int RunServe(const Flags& flags) {
+  const std::string dir = flags.GetString("dir", "");
+  std::unique_ptr<SketchStore> durable;
+  SketchStore plain;
+  SketchStore* store = &plain;
+  if (!dir.empty()) {
+    auto opened = SketchStore::OpenDurable(dir);
+    if (!opened.ok()) return Die(opened.status());
+    durable = std::move(*opened);
+    store = durable.get();
+  }
+
+  net::SketchServerOptions opt;
+  opt.host = flags.GetString("host", opt.host);
+  opt.port = static_cast<uint16_t>(flags.GetInt("port", 0));
+  opt.job_workers =
+      static_cast<uint32_t>(flags.GetInt("workers", opt.job_workers));
+  opt.load_threads =
+      static_cast<uint32_t>(flags.GetInt("load_threads", opt.load_threads));
+  auto server = net::SketchServer::Start(store, opt);
+  if (!server.ok()) return Die(server.status());
+
+  // The CI smoke job and scripts parse this exact line for the port.
+  std::printf("sketchctl: serving on %s:%u%s%s\n", opt.host.c_str(),
+              static_cast<unsigned>((*server)->port()),
+              dir.empty() ? "" : " dir=", dir.c_str());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  sigset_t empty;
+  sigemptyset(&empty);
+  while (g_stop_requested == 0) {
+    sigsuspend(&empty);  // sleep until a signal arrives
+  }
+  (*server)->Stop();
+  std::printf("sketchctl: stopped\n");
+  return 0;
+}
+
+int RunPing(const Flags& flags) {
+  auto client = ConnectOrStatus(flags);
+  if (!client.ok()) return Die(client.status());
+  std::printf("ok\n");
+  return 0;
+}
+
+int RunCreate(const Flags& flags) {
+  auto client = ConnectOrStatus(flags);
+  if (!client.ok()) return Die(client.status());
+  const std::string schema = flags.GetString("schema", "");
+  const std::string dataset = flags.GetString("dataset", "");
+  if (schema.empty() || dataset.empty()) {
+    return DieUsage("create wants --schema=NAME and --dataset=NAME");
+  }
+
+  if (!flags.GetBool("existing_schema")) {
+    StoreSchemaOptions sopt;
+    sopt.dims = static_cast<uint32_t>(flags.GetInt("dims", sopt.dims));
+    sopt.log2_domain = static_cast<uint32_t>(
+        flags.GetInt("log2_domain", sopt.log2_domain));
+    sopt.max_level =
+        static_cast<uint32_t>(flags.GetInt("max_level", sopt.max_level));
+    sopt.k1 = static_cast<uint32_t>(flags.GetInt("k1", sopt.k1));
+    sopt.k2 = static_cast<uint32_t>(flags.GetInt("k2", sopt.k2));
+    sopt.seed = static_cast<uint64_t>(flags.GetInt("seed", sopt.seed));
+    const Status st = (*client)->RegisterSchema(schema, sopt);
+    if (!st.ok()) return Die(st);
+  }
+
+  const std::string kind_name = flags.GetString("kind", "range");
+  DatasetKind kind;
+  if (kind_name == "range") {
+    kind = DatasetKind::kRange;
+  } else if (kind_name == "join_r") {
+    kind = DatasetKind::kJoinR;
+  } else if (kind_name == "join_s") {
+    kind = DatasetKind::kJoinS;
+  } else if (kind_name == "eps_points") {
+    kind = DatasetKind::kEpsPoints;
+  } else if (kind_name == "eps_boxes") {
+    kind = DatasetKind::kEpsBoxes;
+  } else if (kind_name == "contain_inner") {
+    kind = DatasetKind::kContainInner;
+  } else if (kind_name == "contain_outer") {
+    kind = DatasetKind::kContainOuter;
+  } else {
+    return DieUsage(
+        "--kind wants range|join_r|join_s|eps_points|eps_boxes|"
+        "contain_inner|contain_outer");
+  }
+  DatasetOptions dopt;
+  dopt.eps = static_cast<Coord>(flags.GetInt("eps", 0));
+  const Status st = (*client)->CreateDataset(dataset, schema, kind, dopt);
+  if (!st.ok()) return Die(st);
+  std::printf("created %s (schema %s, kind %s)\n", dataset.c_str(),
+              schema.c_str(), kind_name.c_str());
+  return 0;
+}
+
+int PrintJob(uint64_t id, const net::JobStatusReport& report) {
+  std::printf("job %llu: %s applied=%llu total=%llu fraction=%.4f%s%s\n",
+              static_cast<unsigned long long>(id),
+              net::JobStateName(report.state),
+              static_cast<unsigned long long>(report.rows_applied),
+              static_cast<unsigned long long>(report.rows_total),
+              report.fraction(), report.error.empty() ? "" : " error=",
+              report.error.c_str());
+  return report.state == net::JobState::kFailed ? 1 : 0;
+}
+
+int RunLoad(const Flags& flags) {
+  auto client = ConnectOrStatus(flags);
+  if (!client.ok()) return Die(client.status());
+  const std::string dataset = flags.GetString("dataset", "");
+  if (dataset.empty()) return DieUsage("load wants --dataset=NAME");
+  const int sign = flags.GetInt("sign", +1) < 0 ? -1 : +1;
+
+  Result<uint64_t> job = Status::InvalidArgument("unreachable");
+  const std::string file = flags.GetString("file", "");
+  if (!file.empty()) {
+    job = (*client)->SubmitLoadFile(dataset, file, sign);
+  } else {
+    job = (*client)->SubmitLoadSynthetic(dataset, SyntheticFromFlags(flags),
+                                         sign);
+  }
+  if (!job.ok()) return Die(job.status());
+  std::printf("job %llu submitted\n", static_cast<unsigned long long>(*job));
+  if (!flags.GetBool("wait")) return 0;
+  auto report = (*client)->WaitJob(*job);
+  if (!report.ok()) return Die(report.status());
+  return PrintJob(*job, *report);
+}
+
+int RunCheck(const Flags& flags, bool wait) {
+  auto client = ConnectOrStatus(flags);
+  if (!client.ok()) return Die(client.status());
+  if (!flags.Has("job")) return DieUsage("check/wait want --job=ID");
+  const uint64_t id = static_cast<uint64_t>(flags.GetInt("job", 0));
+  auto report = wait ? (*client)->WaitJob(id) : (*client)->CheckJob(id);
+  if (!report.ok()) return Die(report.status());
+  return PrintJob(id, *report);
+}
+
+int RunQuery(const Flags& flags) {
+  auto client = ConnectOrStatus(flags);
+  if (!client.ok()) return Die(client.status());
+  const std::string dataset = flags.GetString("dataset", "");
+  if (dataset.empty()) return DieUsage("query wants --dataset=NAME");
+  const std::string kind = flags.GetString("kind", "range_count");
+
+  QuerySpec spec;
+  Box box;
+  const bool has_box = flags.Has("box");
+  if (has_box) {
+    const Status st = ParseBox(flags.GetString("box"), &box);
+    if (!st.ok()) return Die(st);
+  }
+  if (kind == "range_count" || kind == "range_selectivity") {
+    if (!has_box) return DieUsage("range queries want --box=lo,hi,...");
+    spec = kind == "range_count"
+               ? QuerySpec::RangeCount(dataset, box)
+               : QuerySpec::RangeSelectivity(dataset, box);
+  } else if (kind == "self_join") {
+    spec = QuerySpec::SelfJoinSize(dataset);
+  } else if (kind == "join" || kind == "eps_join" || kind == "containment") {
+    const std::string dataset2 = flags.GetString("dataset2", "");
+    if (dataset2.empty()) {
+      return DieUsage("join queries want --dataset2=NAME");
+    }
+    if (kind == "join") {
+      spec = QuerySpec::JoinCardinality(dataset, dataset2);
+    } else if (kind == "eps_join") {
+      spec = QuerySpec::EpsJoin(dataset, dataset2,
+                                static_cast<Coord>(flags.GetInt("eps", 0)));
+    } else {
+      spec = QuerySpec::ContainmentJoin(dataset, dataset2);
+    }
+  } else {
+    return DieUsage(
+        "--kind wants range_count|range_selectivity|self_join|join|"
+        "eps_join|containment");
+  }
+
+  QueryBatch batch;
+  batch.specs.push_back(spec);
+  auto results = (*client)->Run(batch);
+  if (!results.ok()) return Die(results.status());
+  const QueryResult& result = (*results)[0];
+  if (!result.status.ok()) return Die(result.status);
+  std::printf("%.17g\n", result.value);
+  return 0;
+}
+
+int RunList(const Flags& flags) {
+  auto client = ConnectOrStatus(flags);
+  if (!client.ok()) return Die(client.status());
+  auto names = (*client)->ListDatasets();
+  if (!names.ok()) return Die(names.status());
+  for (const std::string& name : *names) std::printf("%s\n", name.c_str());
+  return 0;
+}
+
+int RunStats(const Flags& flags) {
+  auto client = ConnectOrStatus(flags);
+  if (!client.ok()) return Die(client.status());
+  auto stats = (*client)->Stats();
+  if (!stats.ok()) return Die(stats.status());
+  for (const auto& [key, value] : *stats) {
+    std::printf("%s %llu\n", key.c_str(),
+                static_cast<unsigned long long>(value));
+  }
+  return 0;
+}
+
+int RunDrop(const Flags& flags) {
+  auto client = ConnectOrStatus(flags);
+  if (!client.ok()) return Die(client.status());
+  const std::string dataset = flags.GetString("dataset", "");
+  if (dataset.empty()) return DieUsage("drop wants --dataset=NAME");
+  const Status st = (*client)->DropDataset(dataset);
+  if (!st.ok()) return Die(st);
+  std::printf("dropped %s\n", dataset.c_str());
+  return 0;
+}
+
+int RunGenBoxes(const Flags& flags) {
+  const std::string out = flags.GetString("out", "");
+  if (out.empty()) return DieUsage("genboxes wants --out=PATH");
+  const SyntheticBoxOptions opt = SyntheticFromFlags(flags);
+  const std::vector<Box> boxes = GenerateSyntheticBoxes(opt);
+  const Status st = net::WriteBoxFile(out, boxes, opt.dims);
+  if (!st.ok()) return Die(st);
+  std::printf("wrote %zu boxes (dims=%u) to %s\n", boxes.size(), opt.dims,
+              out.c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return DieUsage("missing subcommand");
+  const std::string command = argv[1];
+  auto flags = Flags::Parse(argc - 1, argv + 1);
+  if (!flags.ok()) return Die(flags.status());
+
+  if (command == "serve") return RunServe(*flags);
+  if (command == "ping") return RunPing(*flags);
+  if (command == "create") return RunCreate(*flags);
+  if (command == "load") return RunLoad(*flags);
+  if (command == "check") return RunCheck(*flags, /*wait=*/false);
+  if (command == "wait") return RunCheck(*flags, /*wait=*/true);
+  if (command == "query") return RunQuery(*flags);
+  if (command == "list") return RunList(*flags);
+  if (command == "stats") return RunStats(*flags);
+  if (command == "drop") return RunDrop(*flags);
+  if (command == "genboxes") return RunGenBoxes(*flags);
+  return DieUsage(("unknown subcommand '" + command + "'").c_str());
+}
+
+}  // namespace
+}  // namespace spatialsketch
+
+int main(int argc, char** argv) { return spatialsketch::Main(argc, argv); }
