@@ -1,0 +1,300 @@
+#include "src/net/poller.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#if defined(__linux__)
+#define SPATIALSKETCH_HAVE_EPOLL 1
+#include <sys/epoll.h>
+#endif
+
+namespace spatialsketch {
+namespace net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+}
+
+// Self-pipe both backends use to interrupt a blocked wait. Nonblocking
+// on both ends so a flood of Wake() calls can never block the waker and
+// the drain can never block the loop.
+Status MakeWakePipe(int fds[2]) {
+  if (::pipe(fds) != 0) return Errno("pipe");
+  for (int i = 0; i < 2; ++i) {
+    const int flags = ::fcntl(fds[i], F_GETFL, 0);
+    ::fcntl(fds[i], F_SETFL, flags | O_NONBLOCK);
+  }
+  return Status::OK();
+}
+
+void DrainPipe(int fd) {
+  char buf[256];
+  while (::read(fd, buf, sizeof(buf)) > 0) {
+  }
+}
+
+void NudgePipe(int fd) {
+  const char byte = 1;
+  // EAGAIN means a nudge is already pending — exactly as good.
+  (void)!::write(fd, &byte, 1);
+}
+
+#if SPATIALSKETCH_HAVE_EPOLL
+
+// epoll backend: EPOLLONESHOT gives the one-shot discipline natively
+// (a fired fd is delivered to exactly one of the concurrent epoll_wait
+// callers), and epoll_ctl from worker threads takes effect inside a
+// concurrent epoll_wait without any wakeup dance.
+class EpollPoller final : public Poller {
+ public:
+  static Result<std::unique_ptr<Poller>> Make() {
+    auto p = std::unique_ptr<EpollPoller>(new EpollPoller());
+    p->epfd_ = ::epoll_create1(0);
+    if (p->epfd_ < 0) return Errno("epoll_create1");
+    SKETCH_RETURN_NOT_OK(MakeWakePipe(p->wake_));
+    epoll_event ev{};
+    ev.events = EPOLLIN;  // level-triggered, NOT one-shot: always armed
+    ev.data.u64 = kWakeToken;
+    if (::epoll_ctl(p->epfd_, EPOLL_CTL_ADD, p->wake_[0], &ev) != 0) {
+      return Errno("epoll_ctl(wake)");
+    }
+    return std::unique_ptr<Poller>(std::move(p));
+  }
+
+  ~EpollPoller() override {
+    if (epfd_ >= 0) ::close(epfd_);
+    for (int fd : wake_) {
+      if (fd >= 0) ::close(fd);
+    }
+  }
+
+  Status Add(int fd, uint64_t token, bool want_write) override {
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLONESHOT | (want_write ? EPOLLOUT : 0u);
+    ev.data.u64 = token;
+    if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      return Errno("epoll_ctl(add)");
+    }
+    return Status::OK();
+  }
+
+  Status Rearm(int fd, uint64_t token, bool want_read,
+               bool want_write) override {
+    epoll_event ev{};
+    ev.events = EPOLLONESHOT | (want_read ? EPOLLIN : 0u) |
+                (want_write ? EPOLLOUT : 0u);
+    ev.data.u64 = token;
+    if (::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+      return Errno("epoll_ctl(mod)");
+    }
+    return Status::OK();
+  }
+
+  Status Remove(int fd) override {
+    if (::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr) != 0) {
+      return Errno("epoll_ctl(del)");
+    }
+    return Status::OK();
+  }
+
+  void Wake() override {
+    // Sticky: the readable nudge byte is never drained once woken_ is
+    // set, so the level-triggered wake entry keeps firing and EVERY
+    // current and future Wait returns immediately (the whole worker
+    // pool sees one shutdown signal).
+    woken_.store(true, std::memory_order_release);
+    NudgePipe(wake_[1]);
+  }
+
+  Status Wait(std::vector<Event>* out) override {
+    out->clear();
+    if (woken_.load(std::memory_order_acquire)) return Status::OK();
+    epoll_event fired[64];
+    int n;
+    do {
+      n = ::epoll_wait(epfd_, fired, 64, -1);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) return Errno("epoll_wait");
+    for (int i = 0; i < n; ++i) {
+      if (fired[i].data.u64 == kWakeToken) {
+        if (!woken_.load(std::memory_order_acquire)) DrainPipe(wake_[0]);
+        continue;
+      }
+      Event ev;
+      ev.token = fired[i].data.u64;
+      ev.readable = (fired[i].events & EPOLLIN) != 0;
+      ev.writable = (fired[i].events & EPOLLOUT) != 0;
+      ev.error = (fired[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+      out->push_back(ev);
+    }
+    return Status::OK();
+  }
+
+ private:
+  static constexpr uint64_t kWakeToken = ~uint64_t{0};
+
+  EpollPoller() = default;
+
+  int epfd_ = -1;
+  int wake_[2] = {-1, -1};
+  std::atomic<bool> woken_{false};
+};
+
+#endif  // SPATIALSKETCH_HAVE_EPOLL
+
+// poll(2) backend: an interest map guarded by a mutex, rebuilt into a
+// pollfd array per wait. One-shot is emulated by zeroing the entry's
+// interest mask before reporting — under the mutex, so when several
+// workers poll the same descriptors concurrently, exactly one claims a
+// firing and the rest skip it. Rearm/Add/Remove nudge the self-pipe so
+// a blocked poll picks the change up.
+class PollPoller final : public Poller {
+ public:
+  static Result<std::unique_ptr<Poller>> Make() {
+    auto p = std::unique_ptr<PollPoller>(new PollPoller());
+    SKETCH_RETURN_NOT_OK(MakeWakePipe(p->wake_));
+    return std::unique_ptr<Poller>(std::move(p));
+  }
+
+  ~PollPoller() override {
+    for (int fd : wake_) {
+      if (fd >= 0) ::close(fd);
+    }
+  }
+
+  Status Add(int fd, uint64_t token, bool want_write) override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      Entry& e = entries_[fd];
+      e.token = token;
+      e.events = POLLIN | (want_write ? POLLOUT : 0);
+    }
+    NudgePipe(wake_[1]);
+    return Status::OK();
+  }
+
+  Status Rearm(int fd, uint64_t token, bool want_read,
+               bool want_write) override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = entries_.find(fd);
+      if (it == entries_.end()) {
+        return Status::InvalidArgument("poll rearm of unregistered fd");
+      }
+      it->second.token = token;
+      it->second.events =
+          (want_read ? POLLIN : 0) | (want_write ? POLLOUT : 0);
+    }
+    NudgePipe(wake_[1]);
+    return Status::OK();
+  }
+
+  Status Remove(int fd) override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      entries_.erase(fd);
+    }
+    NudgePipe(wake_[1]);
+    return Status::OK();
+  }
+
+  void Wake() override {
+    // Sticky shutdown signal, same contract as the epoll backend: the
+    // nudge byte stays in the pipe, so every waiter unblocks.
+    woken_.store(true, std::memory_order_release);
+    NudgePipe(wake_[1]);
+  }
+
+  Status Wait(std::vector<Event>* out) override {
+    out->clear();
+    if (woken_.load(std::memory_order_acquire)) return Status::OK();
+    std::vector<pollfd> fds;
+    std::vector<uint64_t> tokens;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      fds.reserve(entries_.size() + 1);
+      tokens.reserve(entries_.size() + 1);
+      fds.push_back(pollfd{wake_[0], POLLIN, 0});
+      tokens.push_back(0);
+      for (const auto& [fd, entry] : entries_) {
+        if (entry.events == 0) continue;  // fired, not yet re-armed
+        fds.push_back(pollfd{fd, entry.events, 0});
+        tokens.push_back(entry.token);
+      }
+    }
+    int n;
+    do {
+      n = ::poll(fds.data(), fds.size(), -1);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) return Errno("poll");
+    if (fds[0].revents != 0 && !woken_.load(std::memory_order_acquire)) {
+      DrainPipe(wake_[0]);
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 1; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      auto it = entries_.find(fds[i].fd);
+      // Skip entries Removed or re-registered while poll slept.
+      if (it == entries_.end() || it->second.token != tokens[i] ||
+          it->second.events == 0) {
+        continue;
+      }
+      it->second.events = 0;  // one-shot: disarm before reporting
+      Event ev;
+      ev.token = tokens[i];
+      ev.readable = (fds[i].revents & POLLIN) != 0;
+      ev.writable = (fds[i].revents & POLLOUT) != 0;
+      ev.error = (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+      out->push_back(ev);
+    }
+    return Status::OK();
+  }
+
+ private:
+  struct Entry {
+    uint64_t token = 0;
+    short events = 0;  ///< current interest mask; 0 = disarmed
+  };
+
+  PollPoller() = default;
+
+  std::mutex mu_;
+  std::map<int, Entry> entries_;
+  int wake_[2] = {-1, -1};
+  std::atomic<bool> woken_{false};
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Poller>> Poller::Create(PollerBackend backend) {
+  switch (backend) {
+    case PollerBackend::kAuto:
+#if SPATIALSKETCH_HAVE_EPOLL
+      return EpollPoller::Make();
+#else
+      return PollPoller::Make();
+#endif
+    case PollerBackend::kEpoll:
+#if SPATIALSKETCH_HAVE_EPOLL
+      return EpollPoller::Make();
+#else
+      return Status::Unimplemented("epoll is not available on this platform");
+#endif
+    case PollerBackend::kPoll:
+      return PollPoller::Make();
+  }
+  return Status::InvalidArgument("unknown poller backend");
+}
+
+}  // namespace net
+}  // namespace spatialsketch

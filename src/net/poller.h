@@ -1,0 +1,95 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// Readiness polling for the event-driven serving core (src/net/server.h
+// "evented" I/O mode): a one-shot readiness multiplexer with an epoll
+// backend on Linux and a portable poll(2) fallback, behind one tiny
+// interface.
+//
+// One-shot discipline: once Wait() reports a descriptor, that
+// descriptor is DISARMED — it produces no further events until Rearm().
+// This is the mutual-exclusion mechanism of the serving core: a fired
+// connection is delivered to exactly one worker, the worker owns the
+// connection (buffers, scratch, socket) without any per-connection
+// lock, and re-arms when it is done. Epoll gets this from EPOLLONESHOT;
+// the poll backend emulates it by dropping the entry's interest mask
+// before reporting (under its mutex, so the claim is exactly-once even
+// with concurrent waiters).
+//
+// Thread contract: EVERY method, including Wait(), is safe from any
+// thread — the serving core's I/O workers all block in Wait() on the
+// same poller and the one-shot discipline shards fired descriptors
+// across them (this is what deletes the dispatcher-thread handoff, and
+// with it two context switches, from the RPC hot path). Add, Rearm,
+// and Remove take effect inside a concurrent Wait (the poll backend
+// rebuilds its pollfd set after a self-pipe nudge; epoll_ctl takes
+// effect inside epoll_wait natively).
+
+#ifndef SPATIALSKETCH_NET_POLLER_H_
+#define SPATIALSKETCH_NET_POLLER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace spatialsketch {
+namespace net {
+
+/// Which readiness backend a Poller uses.
+enum class PollerBackend : uint8_t {
+  kAuto = 0,   ///< epoll where available (Linux), else poll
+  kEpoll = 1,  ///< epoll(7); Create fails where unsupported
+  kPoll = 2,   ///< portable poll(2) loop (also the fallback under test)
+};
+
+/// One-shot readiness multiplexer (see the file comment).
+class Poller {
+ public:
+  /// One fired descriptor: the caller's token plus what fired. After
+  /// delivery the descriptor is disarmed until Rearm().
+  struct Event {
+    uint64_t token = 0;    ///< the token registered with Add/Rearm
+    bool readable = false; ///< POLLIN-class readiness
+    bool writable = false; ///< POLLOUT-class readiness
+    bool error = false;    ///< POLLERR/POLLHUP-class condition
+  };
+
+  /// Build a poller for `backend` (kAuto picks epoll on Linux).
+  static Result<std::unique_ptr<Poller>> Create(PollerBackend backend);
+
+  virtual ~Poller() = default;
+
+  /// Register `fd`, armed one-shot for read (and write if `want_write`).
+  /// `token` is returned verbatim in the Event. Thread-safe.
+  virtual Status Add(int fd, uint64_t token, bool want_write) = 0;
+
+  /// Re-arm a previously fired descriptor for read and/or write. At
+  /// least one of the two must be requested. Thread-safe.
+  virtual Status Rearm(int fd, uint64_t token, bool want_read,
+                       bool want_write) = 0;
+
+  /// Deregister `fd` entirely (before closing it). Thread-safe.
+  virtual Status Remove(int fd) = 0;
+
+  /// Unblock EVERY Wait() — current and future: Wake is sticky, the
+  /// shutdown signal of the worker pool. After Wake every Wait returns
+  /// immediately (OK, zero events) forever; callers are expected to
+  /// observe their own stop flag and exit. Thread-safe.
+  virtual void Wake() = 0;
+
+  /// Block until at least one armed descriptor fires or Wake() is
+  /// called; fired descriptors are disarmed and appended to `out`
+  /// (cleared first). May return OK with zero events (a Wake, or a
+  /// concurrent waiter claimed the firing first). Safe to call from
+  /// many threads at once.
+  virtual Status Wait(std::vector<Event>* out) = 0;
+
+ protected:
+  Poller() = default;
+};
+
+}  // namespace net
+}  // namespace spatialsketch
+
+#endif  // SPATIALSKETCH_NET_POLLER_H_

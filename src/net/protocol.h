@@ -60,6 +60,14 @@ enum class MsgType : uint8_t {
 /// not be parsed (no type to echo).
 inline constexpr uint8_t kMsgTypeUnparseable = 0xff;
 
+/// The MsgType of the one unsolicited frame the server ever sends: the
+/// clean rejection a connection over the server's connection cap
+/// receives before its socket closes (backpressure, never a hang). The
+/// frame is a normal response envelope — version, this type, a non-OK
+/// status — so an unmodified SketchClient surfaces the rejection as the
+/// Status of its Connect-time Ping.
+inline constexpr uint8_t kMsgTypeOverCapacity = 0xfe;
+
 /// Bulk-load source kinds of a kSubmitLoad body (docs/NETWORK.md). The
 /// file and synthetic sources keep the raw rows server-side — only the
 /// recipe travels, per the federated "summaries travel, data stays put"

@@ -1,9 +1,11 @@
 #include "src/net/server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -14,23 +16,48 @@
 #include <vector>
 
 #include "src/api/query_wire.h"
+#include "src/common/crc32c.h"
 
 namespace spatialsketch {
 namespace net {
 
 namespace {
 
-/// Response envelope: version, echoed type, status, then the body only
-/// when the status is OK (an error response never carries a body).
-std::string MakeResponse(uint8_t type, const Status& st,
-                         const std::string& body) {
-  std::string out;
-  PutU8(&out, kProtocolVersion);
-  PutU8(&out, type);
-  PutU8(&out, static_cast<uint8_t>(st.code()));
-  PutString(&out, st.message());
-  if (st.ok()) out.append(body);
-  return out;
+/// Poller token of the listening socket (connection ids count up from
+/// zero and can never reach it; the pollers' internal wake token is
+/// ~uint64_t{0}).
+constexpr uint64_t kListenerToken = ~uint64_t{0} - 1;
+
+/// recv(2) chunk the evented read path grows the buffer by.
+constexpr size_t kReadChunk = 64 * 1024;
+
+/// Per-dispatch read bound: after this many buffered bytes the worker
+/// executes what it has and re-arms, so one fire-hosing connection
+/// cannot starve the rest of the pool.
+constexpr size_t kMaxReadPerPass = 1024 * 1024;
+
+/// Write high-watermark: a connection with this much unflushed
+/// response stops having its requests read until the peer drains
+/// (per-connection backpressure instead of unbounded buffering).
+constexpr size_t kOutHighWatermark = 4 * 1024 * 1024;
+
+/// Consumed-prefix size past which the read buffer is compacted (below
+/// it the memmove would cost more than the slack is worth).
+constexpr size_t kCompactThreshold = 64 * 1024;
+
+/// iovec fan-in of one gathered write.
+constexpr int kMaxIov = 64;
+
+/// Append the response envelope: version, echoed type, status, then
+/// the body only when the status is OK (an error response never
+/// carries a body).
+void AppendResponse(std::string* out, uint8_t type, const Status& st,
+                    const std::string& body) {
+  PutU8(out, kProtocolVersion);
+  PutU8(out, type);
+  PutU8(out, static_cast<uint8_t>(st.code()));
+  PutString(out, st.message());
+  if (st.ok()) out->append(body);
 }
 
 /// The trailing-garbage check every handler ends its body parse with.
@@ -49,6 +76,20 @@ Status CheckName(const std::string& name, const char* what) {
   return Status::OK();
 }
 
+/// Little-endian u32 out of a raw byte pointer (frame header fields).
+uint32_t LoadLE32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
 }  // namespace
 
 SketchServer::SketchServer(SketchStore* store, const SketchServerOptions& opt)
@@ -63,11 +104,27 @@ Result<std::unique_ptr<SketchServer>> SketchServer::Start(
   }
   std::unique_ptr<SketchServer> server(new SketchServer(store, opt));
   SKETCH_RETURN_NOT_OK(server->Listen());
-  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  if (opt.io_mode == IoMode::kEvented) {
+    SKETCH_RETURN_NOT_OK(server->StartEvented());
+  } else {
+    server->accept_thread_ =
+        std::thread([s = server.get()] { s->AcceptLoop(); });
+  }
   return server;
 }
 
 SketchServer::~SketchServer() { Stop(); }
+
+IoStats SketchServer::io_stats() const {
+  IoStats s;
+  s.recv_calls = io_.recv_calls.load(std::memory_order_relaxed);
+  s.recv_bytes = io_.recv_bytes.load(std::memory_order_relaxed);
+  s.frames_in = io_.frames_in.load(std::memory_order_relaxed);
+  s.send_calls = io_.send_calls.load(std::memory_order_relaxed);
+  s.send_bytes = io_.send_bytes.load(std::memory_order_relaxed);
+  s.frames_out = io_.frames_out.load(std::memory_order_relaxed);
+  return s;
+}
 
 Status SketchServer::Listen() {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -93,7 +150,7 @@ Status SketchServer::Listen() {
     listen_fd_ = -1;
     return st;
   }
-  if (::listen(listen_fd_, 128) != 0) {
+  if (::listen(listen_fd_, opt_.accept_backlog) != 0) {
     const Status st =
         Status::IOError(std::string("listen: ") + std::strerror(errno));
     ::close(listen_fd_);
@@ -114,6 +171,284 @@ Status SketchServer::Listen() {
   return Status::OK();
 }
 
+// ---- Evented engine --------------------------------------------------------
+
+Status SketchServer::StartEvented() {
+  auto poller = Poller::Create(opt_.poller);
+  if (!poller.ok()) return poller.status();
+  poller_ = std::move(*poller);
+  SetNonBlocking(listen_fd_);
+  SKETCH_RETURN_NOT_OK(poller_->Add(listen_fd_, kListenerToken, false));
+  uint32_t n = opt_.io_workers;
+  if (n == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    n = std::max(2u, std::min(8u, hw == 0 ? 2u : hw));
+  }
+  workers_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void SketchServer::WorkerLoop() {
+  // Every worker blocks in the same poller; the one-shot discipline
+  // delivers each fired descriptor to exactly one of them, so the
+  // kernel wakes the thread that will do the work — no dispatcher, no
+  // queue, no handoff context switch on the RPC path.
+  std::vector<Poller::Event> events;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    if (!poller_->Wait(&events).ok()) return;
+    if (stopping_.load(std::memory_order_acquire)) return;
+    for (const Poller::Event& ev : events) {
+      if (ev.token == kListenerToken) {
+        AcceptReady();
+        (void)poller_->Rearm(listen_fd_, kListenerToken, true, false);
+        continue;
+      }
+      // The token IS the connection. This is safe without a lookup or
+      // lock because of the one-shot discipline: an armed descriptor
+      // fires once and is delivered to exactly one worker, and only the
+      // worker holding the delivery may close the connection (Stop()
+      // tears down only after the workers are joined). So a delivered
+      // token always refers to a live, exclusively owned connection.
+      EventedConn* conn = reinterpret_cast<EventedConn*>(
+          static_cast<uintptr_t>(ev.token));
+      // Pair with the release increment the previous owning worker did
+      // before re-arming: everything it wrote to the connection
+      // happens-before this worker touches it.
+      (void)conn->epoch.load(std::memory_order_acquire);
+      ProcessConn(conn);
+    }
+  }
+}
+
+void SketchServer::AcceptReady() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN (queue drained) or listener closed
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    SetNonBlocking(fd);
+    std::unique_lock<std::mutex> lock(conns_mu_);
+    if (opt_.max_connections != 0 &&
+        econns_.size() >= opt_.max_connections) {
+      lock.unlock();
+      RejectOverCapacity(fd);
+      continue;
+    }
+    auto conn = std::make_unique<EventedConn>();
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    EventedConn* raw = conn.get();
+    econns_.emplace(raw->id, std::move(conn));
+    lock.unlock();
+    const uint64_t token =
+        static_cast<uint64_t>(reinterpret_cast<uintptr_t>(raw));
+    if (!poller_->Add(fd, token, false).ok()) {
+      std::lock_guard<std::mutex> relock(conns_mu_);
+      econns_.erase(raw->id);
+      ::close(fd);
+    }
+  }
+}
+
+void SketchServer::RejectOverCapacity(int fd) {
+  std::string payload;
+  AppendResponse(&payload, kMsgTypeOverCapacity,
+                 Status::FailedPrecondition("server at connection capacity"),
+                 "");
+  // Best effort: the socket is fresh, so one small frame fits its send
+  // buffer; if the peer vanished first we just close. Drain whatever
+  // request the peer already sent before closing, so the close is a
+  // clean FIN and the rejection frame is not torn down by an RST.
+  (void)WriteFrame(fd, payload, &io_);
+  char discard[4096];
+  while (::recv(fd, discard, sizeof(discard), MSG_DONTWAIT) > 0) {
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+}
+
+void SketchServer::ReadIntoBuffer(EventedConn* conn, bool* dead) {
+  size_t total = 0;
+  while (total < kMaxReadPerPass) {
+    // Only raise the high-water mark; resize() zero-fills what it adds,
+    // so resizing per recv would memset a whole chunk on every RPC.
+    if (conn->in.size() < conn->in_len + kReadChunk) {
+      conn->in.resize(conn->in_len + kReadChunk);
+    }
+    const ssize_t r =
+        ::recv(conn->fd, conn->in.data() + conn->in_len, kReadChunk, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      *dead = true;  // hard socket error (ECONNRESET and friends)
+      return;
+    }
+    if (r == 0) {
+      conn->eof = true;  // buffered complete frames still execute
+      return;
+    }
+    conn->in_len += static_cast<size_t>(r);
+    io_.recv_calls.fetch_add(1, std::memory_order_relaxed);
+    io_.recv_bytes.fetch_add(static_cast<uint64_t>(r),
+                             std::memory_order_relaxed);
+    total += static_cast<size_t>(r);
+    if (static_cast<size_t>(r) < kReadChunk) return;  // socket drained
+  }
+}
+
+void SketchServer::PoisonConn(EventedConn* conn, const Status& st) {
+  const size_t header_off = BeginFrame(&conn->out);
+  AppendResponse(&conn->out, kMsgTypeUnparseable, st, "");
+  EndFrame(&conn->out, header_off);
+  conn->out_frames.push_back(conn->out.size());
+  io_.frames_out.fetch_add(1, std::memory_order_relaxed);
+  conn->closing = true;
+}
+
+void SketchServer::DrainFrames(EventedConn* conn) {
+  while (!conn->closing) {
+    const size_t avail = conn->in_len - conn->in_off;
+    if (avail < kFrameHeaderBytes) break;
+    const char* header = conn->in.data() + conn->in_off;
+    const uint32_t len = LoadLE32(header);
+    const uint32_t crc = LoadLE32(header + 4);
+    if (len > opt_.max_frame_bytes) {
+      PoisonConn(conn, Status::InvalidArgument(
+                           "frame length exceeds the endpoint bound"));
+      break;
+    }
+    if (avail < kFrameHeaderBytes + len) break;  // frame still in flight
+    const char* payload = header + kFrameHeaderBytes;
+    if (Crc32c(payload, len) != crc) {
+      PoisonConn(conn,
+                 Status::InvalidArgument("frame payload CRC mismatch"));
+      break;
+    }
+    io_.frames_in.fetch_add(1, std::memory_order_relaxed);
+    // Execute in place: the request parses straight out of the read
+    // buffer (zero copy) and the response builds straight into the
+    // write buffer between BeginFrame/EndFrame.
+    const size_t header_off = BeginFrame(&conn->out);
+    HandleRequestInto(payload, len, &conn->scratch, &conn->out);
+    EndFrame(&conn->out, header_off);
+    conn->out_frames.push_back(conn->out.size());
+    io_.frames_out.fetch_add(1, std::memory_order_relaxed);
+    conn->in_off += kFrameHeaderBytes + len;
+    if (conn->out.size() - conn->out_off >= kOutHighWatermark) break;
+  }
+  if (conn->in_off == conn->in_len) {
+    conn->in_len = 0;  // storage stays at its high-water mark
+    conn->in_off = 0;
+  } else if (conn->in_off >= kCompactThreshold) {
+    std::memmove(conn->in.data(), conn->in.data() + conn->in_off,
+                 conn->in_len - conn->in_off);
+    conn->in_len -= conn->in_off;
+    conn->in_off = 0;
+  }
+}
+
+Status SketchServer::FlushOut(EventedConn* conn, bool* would_block) {
+  *would_block = false;
+  while (conn->out_off < conn->out.size()) {
+    // Gather the pending response frames into one vectored write: the
+    // first iovec is the tail of a partially sent frame, the rest are
+    // whole frames back to back.
+    iovec iov[kMaxIov];
+    int niov = 0;
+    size_t pos = conn->out_off;
+    size_t frame_ix = conn->out_frame_ix;
+    while (niov < kMaxIov && pos < conn->out.size()) {
+      const size_t end = frame_ix < conn->out_frames.size()
+                             ? conn->out_frames[frame_ix]
+                             : conn->out.size();
+      iov[niov].iov_base = conn->out.data() + pos;
+      iov[niov].iov_len = end - pos;
+      ++niov;
+      pos = end;
+      ++frame_ix;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<size_t>(niov);
+    // sendmsg is writev with flags: MSG_NOSIGNAL turns a vanished peer
+    // into EPIPE instead of killing the process.
+    const ssize_t w = ::sendmsg(conn->fd, &msg, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        *would_block = true;  // re-arm for write readiness
+        return Status::OK();
+      }
+      return Status::IOError(std::string("sendmsg: ") + std::strerror(errno));
+    }
+    io_.send_calls.fetch_add(1, std::memory_order_relaxed);
+    io_.send_bytes.fetch_add(static_cast<uint64_t>(w),
+                             std::memory_order_relaxed);
+    conn->out_off += static_cast<size_t>(w);
+    while (conn->out_frame_ix < conn->out_frames.size() &&
+           conn->out_frames[conn->out_frame_ix] <= conn->out_off) {
+      ++conn->out_frame_ix;
+    }
+  }
+  conn->out.clear();
+  conn->out_off = 0;
+  conn->out_frames.clear();
+  conn->out_frame_ix = 0;
+  return Status::OK();
+}
+
+void SketchServer::CloseConn(EventedConn* conn) {
+  (void)poller_->Remove(conn->fd);
+  ::close(conn->fd);
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  econns_.erase(conn->id);
+}
+
+void SketchServer::ProcessConn(EventedConn* conn) {
+  bool dead = false;
+  bool would_block = false;
+  // Flush first so a backpressured connection frees room before it
+  // reads more work.
+  if (!FlushOut(conn, &would_block).ok()) dead = true;
+  if (!dead && !conn->closing && !conn->eof &&
+      conn->out.size() - conn->out_off < kOutHighWatermark) {
+    ReadIntoBuffer(conn, &dead);
+  }
+  if (!dead) {
+    DrainFrames(conn);
+    if (!FlushOut(conn, &would_block).ok()) dead = true;
+  }
+  const bool out_pending = conn->out_off < conn->out.size();
+  if (dead || ((conn->closing || conn->eof) && !out_pending)) {
+    CloseConn(conn);
+    return;
+  }
+  const bool want_write = out_pending;
+  const bool want_read =
+      !conn->closing && !conn->eof &&
+      conn->out.size() - conn->out_off < kOutHighWatermark;
+  if (!want_read && !want_write) {
+    CloseConn(conn);  // nothing left to wait for
+    return;
+  }
+  // Release everything this worker wrote before the connection can
+  // fire again (the event loop's acquire load pairs with this).
+  conn->epoch.fetch_add(1, std::memory_order_release);
+  const uint64_t token =
+      static_cast<uint64_t>(reinterpret_cast<uintptr_t>(conn));
+  if (!poller_->Rearm(conn->fd, token, want_read, want_write).ok()) {
+    CloseConn(conn);
+  }
+}
+
+// ---- Legacy threaded engine ------------------------------------------------
+
 void SketchServer::AcceptLoop() {
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
@@ -129,6 +464,11 @@ void SketchServer::AcceptLoop() {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     std::lock_guard<std::mutex> lock(conns_mu_);
     ReapFinished();
+    if (opt_.max_connections != 0 &&
+        conns_.size() >= opt_.max_connections) {
+      RejectOverCapacity(fd);
+      continue;
+    }
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
     Connection* raw = conn.get();
@@ -152,54 +492,61 @@ void SketchServer::ReapFinished() {
 }
 
 void SketchServer::ServeConnection(Connection* conn) {
-  // One cached handle per dataset this connection streams updates to:
-  // the per-frame hot path skips the registry lookup exactly like an
-  // in-process DatasetHandle user.
-  std::map<std::string, DatasetHandle> handles;
+  RequestScratch scratch;
+  std::string payload;
+  std::string response;
   for (;;) {
-    std::string payload;
-    const Status st = ReadFrame(conn->fd, &payload, opt_.max_frame_bytes);
+    const Status st = ReadFrame(conn->fd, &payload, opt_.max_frame_bytes, &io_);
     if (!st.ok()) {
       if (st.code() == StatusCode::kInvalidArgument) {
         // Oversized length or CRC mismatch: the stream is poisoned.
         // Best-effort error reply, then close this connection only.
-        (void)WriteFrame(conn->fd,
-                         MakeResponse(kMsgTypeUnparseable, st, ""));
+        response.clear();
+        AppendResponse(&response, kMsgTypeUnparseable, st, "");
+        (void)WriteFrame(conn->fd, response, &io_);
       }
       break;  // eof, truncation, or poisoned stream
     }
-    const std::string response = HandleRequest(payload, &handles);
-    if (!WriteFrame(conn->fd, response).ok()) break;
+    response.clear();
+    HandleRequestInto(payload.data(), payload.size(), &scratch, &response);
+    if (!WriteFrame(conn->fd, response, &io_).ok()) break;
   }
   ::shutdown(conn->fd, SHUT_RDWR);
   conn->done.store(true, std::memory_order_release);
 }
 
-std::string SketchServer::HandleRequest(
-    const std::string& payload,
-    std::map<std::string, DatasetHandle>* handles) {
-  WireReader r(payload);
+// ---- Request execution (shared by both engines) ----------------------------
+
+void SketchServer::HandleRequestInto(const char* payload, size_t n,
+                                     RequestScratch* scratch,
+                                     std::string* out) {
+  WireReader r(payload, n);
   uint8_t version = 0;
   uint8_t type = 0;
-  std::string tenant;
+  std::string& tenant = scratch->tenant;
+  tenant.clear();
   if (!r.GetU8(&version).ok() || !r.GetU8(&type).ok() ||
       !r.GetString(&tenant).ok()) {
-    return MakeResponse(kMsgTypeUnparseable,
-                        Status::InvalidArgument("unparseable request envelope"),
-                        "");
+    AppendResponse(out, kMsgTypeUnparseable,
+                   Status::InvalidArgument("unparseable request envelope"),
+                   "");
+    return;
   }
   if (version != kProtocolVersion) {
-    return MakeResponse(type,
-                        Status::InvalidArgument("unsupported protocol version"),
-                        "");
+    AppendResponse(out, type,
+                   Status::InvalidArgument("unsupported protocol version"),
+                   "");
+    return;
   }
   if (!WireNameOk(tenant)) {
-    return MakeResponse(type, Status::InvalidArgument("invalid tenant key"),
-                        "");
+    AppendResponse(out, type, Status::InvalidArgument("invalid tenant key"),
+                   "");
+    return;
   }
 
   Status st;
-  std::string body;
+  std::string& body = scratch->body;
+  body.clear();
   switch (static_cast<MsgType>(type)) {
     case MsgType::kPing:
       st = ExpectDone(r);
@@ -218,13 +565,13 @@ std::string SketchServer::HandleRequest(
       if (st.ok()) st = HandleListDatasets(tenant, &body);
       break;
     case MsgType::kUpdate:
-      st = HandleUpdate(&r, tenant, handles, &body);
+      st = HandleUpdate(&r, tenant, &scratch->handles, &body);
       break;
     case MsgType::kConfigureShards:
       st = HandleConfigureShards(&r, tenant);
       break;
     case MsgType::kRun:
-      st = HandleRun(&r, tenant, &body);
+      st = HandleRun(&r, tenant, scratch, &body);
       break;
     case MsgType::kSubmitLoad:
       st = HandleSubmitLoad(&r, tenant, &body);
@@ -246,7 +593,7 @@ std::string SketchServer::HandleRequest(
       st = Status::Unimplemented("unknown message type");
       break;
   }
-  return MakeResponse(type, st, body);
+  AppendResponse(out, type, st, body);
 }
 
 Status SketchServer::HandleRegisterSchema(WireReader* r,
@@ -402,24 +749,25 @@ Status SketchServer::HandleConfigureShards(WireReader* r,
 }
 
 Status SketchServer::HandleRun(WireReader* r, const std::string& tenant,
-                               std::string* body) {
-  QueryBatch batch;
+                               RequestScratch* scratch, std::string* body) {
+  QueryBatch& batch = scratch->batch;
   SKETCH_RETURN_NOT_OK(DecodeQueryBatch(r, &batch));
   SKETCH_RETURN_NOT_OK(ExpectDone(*r));
   // Scope every spec into the tenant's namespace. Wire specs are
-  // name-addressed by construction (handles never cross the wire).
+  // name-addressed by construction (handles never cross the wire). The
+  // root tenant skips the rewrite — its names map through unchanged.
   for (QuerySpec& spec : batch.specs) {
     if (!WireNameOk(spec.dataset) || !WireNameOk(spec.dataset2)) {
       return Status::InvalidArgument("invalid dataset name in query spec");
     }
+    if (tenant.empty()) continue;
     spec.dataset = TenantScopedName(tenant, spec.dataset);
     if (!spec.dataset2.empty()) {
       spec.dataset2 = TenantScopedName(tenant, spec.dataset2);
     }
   }
-  auto run = store_->Run(batch);
-  if (!run.ok()) return run.status();
-  AppendQueryResults(body, *run);
+  SKETCH_RETURN_NOT_OK(store_->Run(batch, &scratch->results));
+  AppendQueryResults(body, scratch->results);
   return Status::OK();
 }
 
@@ -555,30 +903,54 @@ Status SketchServer::HandleFence(WireReader* r, const std::string& tenant) {
   return store_->Fence(TenantScopedName(tenant, name));
 }
 
+// ---- Shutdown --------------------------------------------------------------
+
 void SketchServer::Stop() {
   if (stopping_.exchange(true, std::memory_order_acq_rel)) {
     return;  // idempotent; first caller does the teardown
   }
-  // Unblock accept() and refuse new connections.
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-  }
-  if (accept_thread_.joinable()) accept_thread_.join();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  // Unblock every connection's blocking recv, then join.
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    for (auto& [id, conn] : conns_) {
-      ::shutdown(conn->fd, SHUT_RDWR);
+  if (opt_.io_mode == IoMode::kEvented) {
+    // Workers first (Wake is sticky — every Wait returns immediately
+    // from here on, and each worker exits on the stopping_ flag),
+    // sockets last — so no fd closes under a thread still using it.
+    if (poller_) poller_->Wake();
+    for (std::thread& w : workers_) {
+      if (w.joinable()) w.join();
     }
-    for (auto& [id, conn] : conns_) {
-      conn->thread.join();
-      ::close(conn->fd);
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      for (auto& [id, conn] : econns_) {
+        (void)poller_->Remove(conn->fd);
+        ::close(conn->fd);
+      }
+      econns_.clear();
     }
-    conns_.clear();
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+  } else {
+    // Unblock accept() and refuse new connections.
+    if (listen_fd_ >= 0) {
+      ::shutdown(listen_fd_, SHUT_RDWR);
+    }
+    if (accept_thread_.joinable()) accept_thread_.join();
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    // Unblock every connection's blocking recv, then join.
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      for (auto& [id, conn] : conns_) {
+        ::shutdown(conn->fd, SHUT_RDWR);
+      }
+      for (auto& [id, conn] : conns_) {
+        conn->thread.join();
+        ::close(conn->fd);
+      }
+      conns_.clear();
+    }
   }
   jobs_.Stop();
 }

@@ -9,21 +9,53 @@
 // (src/net/jobs.h), and Stats. Tenants address disjoint namespaces
 // through one port via the tenant key every request carries.
 //
-// Threading model: one accept-loop thread plus one thread per live
-// connection (requests on a connection execute in order; concurrency
-// comes from concurrent connections, which is exactly how the store's
-// own locking is meant to be driven), plus the JobManager's load
-// workers. All request handling funnels into the SAME SketchStore entry
-// points in-process callers use, so a networked answer is bit-identical
-// to the equivalent direct call — the round-trip equivalence tests
-// assert exactly that.
+// I/O model (IoMode::kEvented, the default): a fixed pool of I/O
+// workers ALL block in the same one-shot readiness poller
+// (src/net/poller.h — epoll on Linux, poll elsewhere) over
+// nonblocking sockets; a fired connection is delivered to exactly one
+// worker (EPOLLONESHOT / the poll backend's mutex-guarded disarm), so
+// there is no dispatcher thread and no handoff — the kernel wakes the
+// worker that will do the work, which keeps the per-RPC context-switch
+// count at the thread-per-connection engine's level while one
+// epoll_wait return can carry MANY ready connections. The worker that
+// owns a fired connection drains the socket into the connection's read
+// buffer (one recv can yield MANY frames — request pipelining),
+// executes every complete frame in arrival order against the store,
+// builds the responses back-to-back in the connection's write buffer,
+// and flushes them with one gathered write (sendmsg — writev with
+// MSG_NOSIGNAL). Responses therefore come back in request order and
+// bit-identical to the thread-per-connection engine, while the
+// syscall count per RPC drops with pipeline depth. The one-shot
+// discipline is the mutual exclusion: a connection is re-armed only
+// after its worker is done, so no per-connection lock exists. Requests
+// on one connection execute in order; concurrency comes from
+// concurrent connections, which is exactly how the store's own
+// locking is meant to be driven. The listening socket lives in the
+// same poller set under the same discipline: whichever worker it
+// fires at accepts the whole backlog and re-arms it.
 //
-// Failure containment: a request whose payload fails to parse is a
-// request-level error response and the connection survives; a frame
-// whose length bound or CRC fails has poisoned the byte stream, so the
-// server sends a best-effort error and closes THAT connection — the
-// listener, every other connection, and the store are untouched (the
-// wire fuzz tests sweep every truncation and bit flip to prove it).
+// The hot path is allocation-free in steady state: read/write buffers,
+// the decode scratch (tenant/body strings, QueryBatch, results), and
+// the dataset-handle cache are all per-connection and reused across
+// requests; update frames decode directly out of the read buffer
+// (zero copy) into the cached DatasetHandle insert path.
+//
+// Backpressure: a configurable connection cap — an over-cap accept is
+// answered with one clean kMsgTypeOverCapacity error frame and closed,
+// never left hanging — and a per-connection write high-watermark that
+// pauses reading until the peer drains its responses.
+//
+// IoMode::kThreaded keeps the legacy engine (one blocking thread per
+// connection) behind the same options struct for A/B benchmarking and
+// as the portability fallback of last resort.
+//
+// Failure containment (both modes): a request whose payload fails to
+// parse is a request-level error response and the connection survives;
+// a frame whose length bound or CRC fails has poisoned the byte
+// stream, so the server sends a best-effort error and closes THAT
+// connection — the listener, every other connection, and the store are
+// untouched (the wire fuzz tests sweep every truncation and bit flip
+// against both engines to prove it).
 
 #ifndef SPATIALSKETCH_NET_SERVER_H_
 #define SPATIALSKETCH_NET_SERVER_H_
@@ -35,15 +67,42 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "src/api/query.h"
 #include "src/common/status.h"
 #include "src/net/jobs.h"
+#include "src/net/poller.h"
 #include "src/net/protocol.h"
 #include "src/net/wire.h"
 #include "src/store/sketch_store.h"
 
 namespace spatialsketch {
 namespace net {
+
+/// Which I/O engine a SketchServer runs (see the file comment).
+enum class IoMode : uint8_t {
+  kEvented = 0,   ///< nonblocking poller + worker pool (the default)
+  kThreaded = 1,  ///< legacy thread-per-connection engine
+};
+
+/// Parse "evented"/"threaded" into an IoMode (the --io flag values).
+inline bool ParseIoMode(const std::string& s, IoMode* out) {
+  if (s == "evented") {
+    *out = IoMode::kEvented;
+    return true;
+  }
+  if (s == "threaded") {
+    *out = IoMode::kThreaded;
+    return true;
+  }
+  return false;
+}
+
+/// Stable flag-value name of an IoMode.
+inline const char* IoModeName(IoMode mode) {
+  return mode == IoMode::kThreaded ? "threaded" : "evented";
+}
 
 /// Listening and resource options of a SketchServer.
 struct SketchServerOptions {
@@ -60,15 +119,43 @@ struct SketchServerOptions {
   uint32_t job_workers = 1;
   /// Threads per bulk load handed to ParallelBulkLoad (0 = auto).
   uint32_t load_threads = 0;
+  /// Which I/O engine serves connections.
+  IoMode io_mode = IoMode::kEvented;
+  /// Evented-mode I/O worker threads (0 = auto: between 2 and 8,
+  /// following the host's hardware concurrency). Ignored by kThreaded.
+  uint32_t io_workers = 0;
+  /// Live-connection cap (0 = unlimited). The connection over the cap
+  /// receives one kMsgTypeOverCapacity error frame and is closed —
+  /// clean backpressure instead of an unbounded thread/fd pile-up.
+  uint32_t max_connections = 1024;
+  /// Readiness backend of the evented engine (kAuto = epoll on Linux).
+  PollerBackend poller = PollerBackend::kAuto;
+  /// listen(2) backlog of the accept queue.
+  int accept_backlog = 128;
+};
+
+/// Snapshot of a server's wire-level I/O counters (IoCounters values at
+/// one instant). frames_in / recv_calls is the measured pipelining
+/// depth on the read side; frames_out / send_calls the response
+/// batching on the write side — the honest syscalls-per-RPC numbers
+/// BENCH_net_latency.json reports for the evented/threaded A/B.
+struct IoStats {
+  uint64_t recv_calls = 0;  ///< recv(2) calls that returned data
+  uint64_t recv_bytes = 0;  ///< bytes received
+  uint64_t frames_in = 0;   ///< complete request frames parsed
+  uint64_t send_calls = 0;  ///< send(2)/sendmsg(2) calls that wrote
+  uint64_t send_bytes = 0;  ///< bytes written
+  uint64_t frames_out = 0;  ///< complete response frames written
 };
 
 /// The framed-TCP sketch server (see the file comment). Thread-safe:
-/// Start/Stop/port from any thread; request handling is internal.
+/// Start/Stop/port/io_stats from any thread; request handling is
+/// internal.
 class SketchServer {
  public:
-  /// Bind, listen, and start the accept loop over `store` (not owned;
-  /// must outlive the server). Fails with IOError if the address
-  /// cannot be bound.
+  /// Bind, listen, and start the configured I/O engine over `store`
+  /// (not owned; must outlive the server). Fails with IOError if the
+  /// address cannot be bound.
   static Result<std::unique_ptr<SketchServer>> Start(
       SketchStore* store, const SketchServerOptions& opt = {});
 
@@ -78,13 +165,58 @@ class SketchServer {
   /// The bound TCP port (the ephemeral pick when options said 0).
   uint16_t port() const { return port_; }
 
+  /// Snapshot of the wire-level syscall/byte/frame counters.
+  IoStats io_stats() const;
+
   /// Shut down: close the listener, close every live connection, join
-  /// the accept and connection threads, stop the job workers (a load
-  /// already applying completes first). Idempotent.
+  /// the I/O threads, stop the job workers (a load already applying
+  /// completes first). Idempotent.
   void Stop();
 
  private:
-  /// One live connection's thread + socket, tracked for Stop/reap.
+  /// Reusable per-connection decode/encode scratch: every request on a
+  /// connection parses into and responds out of the same storage, so
+  /// the steady-state hot path performs no allocation.
+  struct RequestScratch {
+    std::string tenant;  ///< request envelope tenant key
+    std::string body;    ///< response body under construction
+    /// Cached dataset handles this connection streams updates to: the
+    /// per-frame hot path skips the registry lookup exactly like an
+    /// in-process DatasetHandle user.
+    std::map<std::string, DatasetHandle> handles;
+    QueryBatch batch;                  ///< decoded kRun batch
+    std::vector<QueryResult> results;  ///< kRun results (reused)
+  };
+
+  /// One evented connection: nonblocking socket plus the buffers and
+  /// scratch its owning worker uses. The one-shot poller guarantees at
+  /// most one worker touches a connection at a time; `epoch` makes the
+  /// worker-to-worker handoff explicit for the race detector (release
+  /// increment before re-arm, acquire load by the next worker the
+  /// poller delivers the connection to).
+  struct EventedConn {
+    uint64_t id = 0;               ///< econns_ key; never reused
+    int fd = -1;                   ///< nonblocking socket
+    /// Read buffer. Its SIZE is the allocation high-water mark and
+    /// never shrinks; `in_len` tracks the valid bytes. (Growing via
+    /// resize() per recv would zero-fill the whole chunk each time —
+    /// a 64 KiB memset on every RPC — so the hot path never resizes
+    /// except to raise the high-water mark.)
+    std::string in;
+    size_t in_len = 0;             ///< valid bytes in `in`
+    size_t in_off = 0;             ///< consumed-prefix offset into `in`
+    std::string out;               ///< pending response bytes
+    size_t out_off = 0;            ///< flushed-prefix offset into `out`
+    std::vector<size_t> out_frames;  ///< frame end offsets in `out`
+    size_t out_frame_ix = 0;       ///< first unflushed frame index
+    bool closing = false;          ///< poisoned: close once `out` drains
+    bool eof = false;              ///< peer finished sending
+    std::atomic<uint64_t> epoch{0};  ///< ownership-handoff fence
+    RequestScratch scratch;        ///< reusable decode/encode state
+  };
+
+  /// One legacy-mode connection's thread + socket, tracked for
+  /// Stop/reap.
   struct Connection {
     int fd = -1;
     std::thread thread;
@@ -94,17 +226,49 @@ class SketchServer {
   SketchServer(SketchStore* store, const SketchServerOptions& opt);
 
   Status Listen();
+
+  // --- evented engine ---
+  Status StartEvented();
+  /// One I/O worker: block in Poller::Wait alongside the rest of the
+  /// pool, accept when the listener fires, process fired connections.
+  void WorkerLoop();
+  /// Run one dispatched connection: flush, read, execute every
+  /// complete frame, flush again, then re-arm or close.
+  void ProcessConn(EventedConn* conn);
+  /// accept(2) until EAGAIN; over-cap connections get the rejection
+  /// frame. One-shot on the listener token serializes callers.
+  void AcceptReady();
+  /// Drain the socket into conn->in (nonblocking, bounded per pass).
+  void ReadIntoBuffer(EventedConn* conn, bool* dead);
+  /// Execute every complete frame in conn->in, appending response
+  /// frames to conn->out (may mark the connection poisoned).
+  void DrainFrames(EventedConn* conn);
+  /// Gathered flush of conn->out (sendmsg; EINTR/short-write correct).
+  /// Sets *would_block when the socket buffer filled first.
+  Status FlushOut(EventedConn* conn, bool* would_block);
+  /// Append the poisoned-stream error frame and mark the connection
+  /// closing (sent before the close, exactly like the legacy engine).
+  void PoisonConn(EventedConn* conn, const Status& st);
+  /// Deregister, close, and erase one evented connection.
+  void CloseConn(EventedConn* conn);
+  /// Best-effort kMsgTypeOverCapacity frame + close of an over-cap
+  /// accepted socket.
+  void RejectOverCapacity(int fd);
+
+  // --- legacy threaded engine ---
   void AcceptLoop();
   void ServeConnection(Connection* conn);
   /// Join and erase finished connection threads (called from the
   /// accept loop so a long-lived server does not accumulate them).
   void ReapFinished();
 
-  /// Decode one request payload and produce the response payload
-  /// (never throws, never kills the connection — framing errors are
-  /// handled a level up in ServeConnection).
-  std::string HandleRequest(const std::string& payload,
-                            std::map<std::string, DatasetHandle>* handles);
+  /// Decode one request payload and append the response ENVELOPE
+  /// (version/type/status/message/body) to `out` — the caller frames
+  /// it. Never throws, never kills the connection: framing errors are
+  /// handled a level up. Shared verbatim by both engines, which is
+  /// what keeps their answers bit-identical.
+  void HandleRequestInto(const char* payload, size_t n,
+                         RequestScratch* scratch, std::string* out);
 
   // Per-RPC handlers: parse the body out of `r` (envelope already
   // consumed), execute against the store, append the response body to
@@ -118,7 +282,7 @@ class SketchServer {
                       std::string* body);
   Status HandleConfigureShards(WireReader* r, const std::string& tenant);
   Status HandleRun(WireReader* r, const std::string& tenant,
-                   std::string* body);
+                   RequestScratch* scratch, std::string* body);
   Status HandleSubmitLoad(WireReader* r, const std::string& tenant,
                           std::string* body);
   Status HandleCheckJob(WireReader* r, std::string* body);
@@ -133,11 +297,19 @@ class SketchServer {
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;
-  std::thread accept_thread_;
   std::atomic<bool> stopping_{false};
+  IoCounters io_;
 
-  std::mutex conns_mu_;
+  // Evented engine state.
+  std::unique_ptr<Poller> poller_;
+  std::vector<std::thread> workers_;
+  std::map<uint64_t, std::unique_ptr<EventedConn>> econns_;
+
+  // Legacy threaded engine state.
+  std::thread accept_thread_;
   std::map<uint64_t, std::unique_ptr<Connection>> conns_;
+
+  std::mutex conns_mu_;  ///< guards econns_ and conns_
   uint64_t next_conn_id_ = 0;
 
   SKETCH_DISALLOW_COPY_AND_ASSIGN(SketchServer);

@@ -113,20 +113,47 @@ Status WireReader::GetBox(Box* v) {
   return Status::OK();
 }
 
+size_t BeginFrame(std::string* out) {
+  const size_t header_off = out->size();
+  out->append(kFrameHeaderBytes, '\0');
+  return header_off;
+}
+
+void EndFrame(std::string* out, size_t header_off) {
+  const size_t payload_off = header_off + kFrameHeaderBytes;
+  const size_t len = out->size() - payload_off;
+  const uint32_t crc = Crc32c(out->data() + payload_off, len);
+  // Patch the placeholder header in place (little-endian, same layout
+  // EncodeFrame writes).
+  char* header = out->data() + header_off;
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<char>((len >> (8 * i)) & 0xff);
+    header[4 + i] = static_cast<char>((crc >> (8 * i)) & 0xff);
+  }
+}
+
+void AppendFrame(std::string* out, const void* payload, size_t n) {
+  const size_t header_off = BeginFrame(out);
+  out->append(static_cast<const char*>(payload), n);
+  EndFrame(out, header_off);
+}
+
 std::string EncodeFrame(const std::string& payload) {
   std::string out;
   out.reserve(kFrameHeaderBytes + payload.size());
-  PutU32(&out, static_cast<uint32_t>(payload.size()));
-  PutU32(&out, Crc32c(payload));
-  out.append(payload);
+  AppendFrame(&out, payload.data(), payload.size());
   return out;
 }
 
 namespace {
 
 // Full-buffer send; MSG_NOSIGNAL so a vanished peer surfaces as EPIPE
-// instead of killing the process.
-Status SendAll(int fd, const char* data, size_t n) {
+// instead of killing the process. Loops over short writes and EINTR —
+// EVERY byte is out or the Status says why not (the client, the legacy
+// threaded server, and the box-file paths all funnel through here; the
+// splintered-write regression test in tests/net_evented_test.cc proves
+// the receive side reassembles no matter how the sender fragments).
+Status SendAll(int fd, const char* data, size_t n, IoCounters* counters) {
   size_t sent = 0;
   while (sent < n) {
     const ssize_t w = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
@@ -135,6 +162,11 @@ Status SendAll(int fd, const char* data, size_t n) {
       return Status::IOError(std::string("send: ") + std::strerror(errno));
     }
     if (w == 0) return Status::IOError("send: peer closed");
+    if (counters != nullptr) {
+      counters->send_calls.fetch_add(1, std::memory_order_relaxed);
+      counters->send_bytes.fetch_add(static_cast<uint64_t>(w),
+                                     std::memory_order_relaxed);
+    }
     sent += static_cast<size_t>(w);
   }
   return Status::OK();
@@ -142,8 +174,9 @@ Status SendAll(int fd, const char* data, size_t n) {
 
 // Full-buffer receive. `*got` reports how many bytes arrived before a
 // clean end-of-stream, so the caller can tell "closed between frames"
-// from "closed mid-frame".
-Status RecvAll(int fd, char* data, size_t n, size_t* got) {
+// from "closed mid-frame". Loops over partial reads and EINTR.
+Status RecvAll(int fd, char* data, size_t n, size_t* got,
+               IoCounters* counters) {
   *got = 0;
   while (*got < n) {
     const ssize_t r = ::recv(fd, data + *got, n - *got, 0);
@@ -152,6 +185,11 @@ Status RecvAll(int fd, char* data, size_t n, size_t* got) {
       return Status::IOError(std::string("recv: ") + std::strerror(errno));
     }
     if (r == 0) return Status::OK();  // eof; *got says how far we came
+    if (counters != nullptr) {
+      counters->recv_calls.fetch_add(1, std::memory_order_relaxed);
+      counters->recv_bytes.fetch_add(static_cast<uint64_t>(r),
+                                     std::memory_order_relaxed);
+    }
     *got += static_cast<size_t>(r);
   }
   return Status::OK();
@@ -159,15 +197,20 @@ Status RecvAll(int fd, char* data, size_t n, size_t* got) {
 
 }  // namespace
 
-Status WriteFrame(int fd, const std::string& payload) {
+Status WriteFrame(int fd, const std::string& payload, IoCounters* counters) {
   const std::string frame = EncodeFrame(payload);
-  return SendAll(fd, frame.data(), frame.size());
+  const Status st = SendAll(fd, frame.data(), frame.size(), counters);
+  if (st.ok() && counters != nullptr) {
+    counters->frames_out.fetch_add(1, std::memory_order_relaxed);
+  }
+  return st;
 }
 
-Status ReadFrame(int fd, std::string* payload, uint32_t max_frame_bytes) {
+Status ReadFrame(int fd, std::string* payload, uint32_t max_frame_bytes,
+                 IoCounters* counters) {
   char header[kFrameHeaderBytes];
   size_t got = 0;
-  SKETCH_RETURN_NOT_OK(RecvAll(fd, header, sizeof(header), &got));
+  SKETCH_RETURN_NOT_OK(RecvAll(fd, header, sizeof(header), &got, counters));
   if (got == 0) return Status::IOError("eof");
   if (got < sizeof(header)) {
     return Status::IOError("eof inside frame header");
@@ -182,11 +225,14 @@ Status ReadFrame(int fd, std::string* payload, uint32_t max_frame_bytes) {
   }
   payload->resize(len);
   if (len > 0) {
-    SKETCH_RETURN_NOT_OK(RecvAll(fd, payload->data(), len, &got));
+    SKETCH_RETURN_NOT_OK(RecvAll(fd, payload->data(), len, &got, counters));
     if (got < len) return Status::IOError("eof inside frame payload");
   }
   if (Crc32c(*payload) != crc) {
     return Status::InvalidArgument("frame payload CRC mismatch");
+  }
+  if (counters != nullptr) {
+    counters->frames_in.fetch_add(1, std::memory_order_relaxed);
   }
   return Status::OK();
 }

@@ -25,6 +25,7 @@
 #ifndef SPATIALSKETCH_NET_WIRE_H_
 #define SPATIALSKETCH_NET_WIRE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -102,14 +103,51 @@ class WireReader {
   size_t pos_ = 0;
 };
 
+// ---- In-place frame building ----------------------------------------------
+//
+// The zero-alloc serving path builds frames directly inside a reusable
+// per-connection output buffer instead of materializing the payload as
+// its own string first: BeginFrame appends a placeholder header and
+// returns its offset, the caller appends the payload bytes with the Put*
+// codec, and EndFrame patches the real length and CRC over exactly the
+// bytes appended since. Frames may be nested back to back in one buffer
+// (response batching) — only the innermost open frame may be ended.
+
+/// Append an 8-byte placeholder frame header to `out` and return its
+/// offset (pass it to EndFrame).
+size_t BeginFrame(std::string* out);
+
+/// Patch the header at `header_off` with the length and CRC32C of the
+/// payload bytes appended after BeginFrame.
+void EndFrame(std::string* out, size_t header_off);
+
+/// Append one complete frame (header + payload bytes) to `out`.
+void AppendFrame(std::string* out, const void* payload, size_t n);
+
 // ---- Framing over file descriptors ----------------------------------------
+
+/// Syscall/byte/frame counters a framed endpoint can thread through its
+/// send/receive paths (all relaxed atomics — the bench reads a snapshot
+/// after the clients drain). frames per recv/writev call is the honest
+/// "how pipelined was the wire really" number BENCH_net_latency.json
+/// reports for the A/B between the evented and threaded engines.
+struct IoCounters {
+  std::atomic<uint64_t> recv_calls{0};    ///< recv(2) calls that returned >0
+  std::atomic<uint64_t> recv_bytes{0};    ///< payload bytes received
+  std::atomic<uint64_t> frames_in{0};     ///< complete frames parsed
+  std::atomic<uint64_t> send_calls{0};    ///< send(2)/writev(2) calls > 0
+  std::atomic<uint64_t> send_bytes{0};    ///< bytes written
+  std::atomic<uint64_t> frames_out{0};    ///< complete frames written
+};
 
 /// Encode `payload` into a complete frame (header + payload).
 std::string EncodeFrame(const std::string& payload);
 
 /// Write a whole frame to `fd` (retrying short writes; EINTR-safe, no
-/// SIGPIPE). IOError on a closed or failing peer.
-Status WriteFrame(int fd, const std::string& payload);
+/// SIGPIPE). IOError on a closed or failing peer. `counters` (optional)
+/// accumulates syscall/byte/frame counts.
+Status WriteFrame(int fd, const std::string& payload,
+                  IoCounters* counters = nullptr);
 
 /// Read one whole frame from `fd` into `payload`. Distinguishes the
 /// three failure classes callers must treat differently:
@@ -119,7 +157,9 @@ Status WriteFrame(int fd, const std::string& payload);
 ///  - truncation mid-frame (eof inside header or payload): IOError;
 ///  - length bound exceeded or CRC mismatch: InvalidArgument (the stream
 ///    is poisoned; close the connection).
-Status ReadFrame(int fd, std::string* payload, uint32_t max_frame_bytes);
+/// `counters` (optional) accumulates syscall/byte/frame counts.
+Status ReadFrame(int fd, std::string* payload, uint32_t max_frame_bytes,
+                 IoCounters* counters = nullptr);
 
 // ---- Box files (bulk-load source; "raw data stays put") -------------------
 

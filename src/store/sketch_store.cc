@@ -813,12 +813,23 @@ Status ValidateSpec(const QuerySpec& spec, const internal::DatasetState& a,
 
 Result<std::vector<QueryResult>> SketchStore::Run(
     const QueryBatch& batch) const {
+  std::vector<QueryResult> results;
+  SKETCH_RETURN_NOT_OK(Run(batch, &results));
+  return results;
+}
+
+Status SketchStore::Run(const QueryBatch& batch,
+                        std::vector<QueryResult>* out) const {
   const std::vector<QuerySpec>& specs = batch.specs;
   if (specs.empty()) {
     return Status::InvalidArgument("query batch must be non-empty");
   }
   const size_t n = specs.size();
-  std::vector<QueryResult> results(n);
+  // Reuse the caller's capacity; clear-then-resize leaves n freshly
+  // default-constructed results behind the existing allocation.
+  out->clear();
+  out->resize(n);
+  std::vector<QueryResult>& results = *out;
 
   // ---- Resolution: one registry acquisition per distinct NAME (the memo
   // also pins every resolved state for the whole call); handle-bearing
@@ -942,7 +953,7 @@ Result<std::vector<QueryResult>> SketchStore::Run(
       }
     }
     query_batches_.fetch_add(1, std::memory_order_relaxed);
-    return results;
+    return Status::OK();
   }
 
   // ---- Grouping (per dataset / dataset pair, the lock-once unit). Range
@@ -1145,7 +1156,7 @@ Result<std::vector<QueryResult>> SketchStore::Run(
     containment_estimates_.fetch_add(contain, std::memory_order_relaxed);
   }
   query_batches_.fetch_add(1, std::memory_order_relaxed);
-  return results;
+  return Status::OK();
 }
 
 // ---- Legacy string-keyed entry points: thin shims over Run. Run's

@@ -313,6 +313,14 @@ class SketchStore {
   /// itself errors only on an empty batch. Thread-safe.
   Result<std::vector<QueryResult>> Run(const QueryBatch& batch) const;
 
+  /// Run() into a caller-owned result vector (cleared, then resized to
+  /// the batch size). Identical semantics and bit-identical values; the
+  /// out-parameter form exists so a serving loop can reuse one results
+  /// buffer across requests instead of allocating a vector per batch —
+  /// the network layer's zero-alloc RPC hot path (src/net/server.cc)
+  /// calls this overload with per-connection scratch. Thread-safe.
+  Status Run(const QueryBatch& batch, std::vector<QueryResult>* results) const;
+
   /// Range-count estimate on a kRange dataset; the query is in ORIGINAL
   /// coordinates and must be non-degenerate per dimension. Takes the
   /// dataset's shared lock; thread-safe.

@@ -1,0 +1,358 @@
+// The event-driven serving core's contracts (src/net/server.cc,
+// IoMode::kEvented), beyond what the engine-agnostic round-trip suite
+// in net_server_test.cc already pins:
+//
+//  - Request pipelining: a burst of M frames written in ONE send must
+//    come back as M responses, in request order, byte-identical to the
+//    same frames served one at a time by the legacy threaded engine —
+//    while the wire-level counters prove the burst really was read and
+//    answered in far fewer syscalls than frames.
+//  - Reassembly: a sender may splinter its frames across hundreds of
+//    1-byte writes (worst-case short writes on a real socket); the
+//    buffered reader must reassemble them exactly, on both engines.
+//  - Poisoned tail: valid frames buffered ahead of a corrupt one are
+//    served in order before the error frame and the close.
+//  - Connection cap: the accept over the cap gets one clean
+//    kMsgTypeOverCapacity error frame and a close — never a hang —
+//    and capacity frees when a live connection leaves.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/api/query_wire.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
+#include "src/store/sketch_store.h"
+#include "src/workload/zipf_boxes.h"
+
+namespace spatialsketch {
+namespace {
+
+using net::IoMode;
+using net::MsgType;
+using net::SketchServer;
+using net::SketchServerOptions;
+using net::WireReader;
+
+int DialOrDie(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+void SendRaw(int fd, const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    sent += static_cast<size_t>(n);
+  }
+}
+
+std::string Envelope(MsgType type, const std::string& tenant,
+                     const std::string& body) {
+  std::string payload;
+  net::PutU8(&payload, net::kProtocolVersion);
+  net::PutU8(&payload, static_cast<uint8_t>(type));
+  net::PutString(&payload, tenant);
+  payload.append(body);
+  return payload;
+}
+
+/// Parse just the status code out of a response envelope.
+uint8_t ResponseCode(const std::string& payload, uint8_t* type = nullptr) {
+  WireReader r(payload);
+  uint8_t version = 0;
+  uint8_t t = 0;
+  uint8_t code = 0;
+  EXPECT_TRUE(r.GetU8(&version).ok());
+  EXPECT_TRUE(r.GetU8(&t).ok());
+  EXPECT_TRUE(r.GetU8(&code).ok());
+  if (type != nullptr) *type = t;
+  return code;
+}
+
+/// Populate `store` deterministically (same bytes every call, so two
+/// stores built this way serve bit-identical estimates).
+void BuildStore(SketchStore* store) {
+  StoreSchemaOptions sopt;
+  sopt.dims = 2;
+  sopt.log2_domain = 9;
+  sopt.k1 = 5;
+  sopt.k2 = 3;
+  sopt.seed = 42;
+  ASSERT_TRUE(store->RegisterSchema("s", sopt).ok());
+  ASSERT_TRUE(store->CreateDataset("range", "s", DatasetKind::kRange).ok());
+  SyntheticBoxOptions gen;
+  gen.dims = 2;
+  gen.log2_domain = 9;
+  gen.count = 200;
+  gen.seed = 7;
+  ASSERT_TRUE(store->BulkLoad("range", GenerateSyntheticBoxes(gen)).ok());
+}
+
+/// The pipelined workload: interleaved queries, updates, pings, and
+/// NumObjects probes. The updates make ORDER observable — any engine
+/// that reordered or dropped a request would change the bytes of a
+/// later query's estimate.
+std::vector<std::string> BurstRequests(size_t count) {
+  std::vector<std::string> reqs;
+  reqs.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    switch (i % 4) {
+      case 0: {  // range query whose rectangle walks with i
+        Box q;
+        q.lo = {10 + (i % 32), 10, 0, 0};
+        q.hi = {400 + (i % 64), 450, 0, 0};
+        QueryBatch batch;
+        batch.specs.push_back(QuerySpec::RangeCount("range", q));
+        std::string body;
+        AppendQueryBatch(&body, batch);
+        reqs.push_back(Envelope(MsgType::kRun, "", body));
+        break;
+      }
+      case 1: {  // insert that the NEXT queries must observe
+        std::string body;
+        net::PutString(&body, "range");
+        net::PutU32(&body, 1);
+        net::PutU8(&body, 0);
+        Box box;
+        box.lo = {i % 300, (3 * i) % 300, 0, 0};
+        box.hi = {i % 300 + 40, (3 * i) % 300 + 40, 0, 0};
+        net::PutBox(&body, box);
+        reqs.push_back(Envelope(MsgType::kUpdate, "", body));
+        break;
+      }
+      case 2:
+        reqs.push_back(Envelope(MsgType::kPing, "", ""));
+        break;
+      default: {
+        std::string body;
+        net::PutString(&body, "range");
+        reqs.push_back(Envelope(MsgType::kNumObjects, "", body));
+        break;
+      }
+    }
+  }
+  return reqs;
+}
+
+// ---- Pipelining ------------------------------------------------------------
+
+TEST(NetPipelining, BurstInOneSegmentAnswersInOrderBitIdenticalToThreaded) {
+  constexpr size_t kBurst = 64;
+
+  // Two identically built stores: the evented server gets the whole
+  // burst in one send; the threaded server gets the same frames one
+  // round trip at a time. Every response must match byte for byte.
+  SketchStore evented_store;
+  SketchStore threaded_store;
+  BuildStore(&evented_store);
+  BuildStore(&threaded_store);
+
+  SketchServerOptions eopt;
+  eopt.io_mode = IoMode::kEvented;
+  auto evented = SketchServer::Start(&evented_store, eopt);
+  ASSERT_TRUE(evented.ok()) << evented.status().ToString();
+  SketchServerOptions topt;
+  topt.io_mode = IoMode::kThreaded;
+  auto threaded = SketchServer::Start(&threaded_store, topt);
+  ASSERT_TRUE(threaded.ok()) << threaded.status().ToString();
+
+  const std::vector<std::string> requests = BurstRequests(kBurst);
+
+  // Reference: strict request/response lockstep against the legacy
+  // engine.
+  std::vector<std::string> expected;
+  {
+    const int fd = DialOrDie((*threaded)->port());
+    for (const std::string& req : requests) {
+      SendRaw(fd, net::EncodeFrame(req));
+      std::string reply;
+      ASSERT_TRUE(
+          net::ReadFrame(fd, &reply, net::kDefaultMaxFrameBytes).ok());
+      expected.push_back(reply);
+    }
+    ::close(fd);
+  }
+
+  // Pipelined: every frame in ONE send, then read all the replies.
+  const net::IoStats before = (*evented)->io_stats();
+  {
+    std::string burst;
+    for (const std::string& req : requests) {
+      net::AppendFrame(&burst, req.data(), req.size());
+    }
+    const int fd = DialOrDie((*evented)->port());
+    SendRaw(fd, burst);
+    for (size_t i = 0; i < requests.size(); ++i) {
+      std::string reply;
+      ASSERT_TRUE(net::ReadFrame(fd, &reply, net::kDefaultMaxFrameBytes).ok())
+          << "response " << i << " never arrived";
+      EXPECT_EQ(reply, expected[i]) << "response " << i << " diverged";
+    }
+    ::close(fd);
+  }
+  const net::IoStats after = (*evented)->io_stats();
+
+  // The engine really pipelined: all frames arrived, in far fewer
+  // syscalls than one per RPC on each side of the wire.
+  EXPECT_EQ(after.frames_in - before.frames_in, kBurst);
+  EXPECT_EQ(after.frames_out - before.frames_out, kBurst);
+  EXPECT_LT(after.recv_calls - before.recv_calls, kBurst / 2);
+  EXPECT_LT(after.send_calls - before.send_calls, kBurst / 2);
+
+  (*evented)->Stop();
+  (*threaded)->Stop();
+}
+
+// ---- Engine-parameterized contracts ----------------------------------------
+
+class NetEventedTest : public ::testing::TestWithParam<IoMode> {
+ protected:
+  void SetUp() override {
+    BuildStore(&store_);
+    SketchServerOptions opt;
+    opt.io_mode = GetParam();
+    opt.max_connections = 2;
+    auto server = SketchServer::Start(&store_, opt);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    server_ = std::move(*server);
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Stop();
+  }
+
+  SketchStore store_;
+  std::unique_ptr<SketchServer> server_;
+};
+
+TEST_P(NetEventedTest, FramesSplinteredIntoOneByteWritesReassemble) {
+  // Worst-case sender fragmentation: every frame byte is its own
+  // send(2) call (TCP_NODELAY, so most become their own segment). The
+  // receiving engine must reassemble the byte stream into the same
+  // three requests and answer each correctly.
+  const std::vector<std::string> requests = BurstRequests(3);
+  const int fd = DialOrDie(server_->port());
+  for (const std::string& req : requests) {
+    const std::string frame = net::EncodeFrame(req);
+    for (char byte : frame) {
+      SendRaw(fd, std::string(1, byte));
+    }
+    std::string reply;
+    ASSERT_TRUE(net::ReadFrame(fd, &reply, net::kDefaultMaxFrameBytes).ok());
+    EXPECT_EQ(ResponseCode(reply), 0u);
+  }
+  ::close(fd);
+}
+
+TEST_P(NetEventedTest, PoisonedTailServesBufferedPrefixThenCloses) {
+  // Three valid frames and a CRC-corrupted fourth, all in one send:
+  // the three buffered requests are answered in order first, then the
+  // poisoned-stream error frame, then the close.
+  const std::vector<std::string> requests = BurstRequests(3);
+  std::string burst;
+  for (const std::string& req : requests) {
+    net::AppendFrame(&burst, req.data(), req.size());
+  }
+  std::string bad = net::EncodeFrame(Envelope(MsgType::kPing, "", ""));
+  bad.back() = static_cast<char>(bad.back() ^ 0x01);  // break the CRC
+  burst.append(bad);
+
+  const int fd = DialOrDie(server_->port());
+  SendRaw(fd, burst);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    std::string reply;
+    ASSERT_TRUE(net::ReadFrame(fd, &reply, net::kDefaultMaxFrameBytes).ok())
+        << "buffered request " << i << " was not served";
+    EXPECT_EQ(ResponseCode(reply), 0u);
+  }
+  std::string reply;
+  if (net::ReadFrame(fd, &reply, net::kDefaultMaxFrameBytes).ok()) {
+    uint8_t type = 0;
+    EXPECT_NE(ResponseCode(reply, &type), 0u);
+    EXPECT_EQ(type, net::kMsgTypeUnparseable);
+  }
+  // The stream must now be closed.
+  EXPECT_FALSE(net::ReadFrame(fd, &reply, net::kDefaultMaxFrameBytes).ok());
+  ::close(fd);
+}
+
+TEST_P(NetEventedTest, ConnectionCapRejectsCleanlyAndFreesOnClose) {
+  // Fill the cap (2) with real clients.
+  net::SketchClientOptions copt;
+  copt.port = server_->port();
+  auto c1 = net::SketchClient::Connect(copt);
+  ASSERT_TRUE(c1.ok()) << c1.status().ToString();
+  auto c2 = net::SketchClient::Connect(copt);
+  ASSERT_TRUE(c2.ok()) << c2.status().ToString();
+
+  // The connection over the cap gets one kMsgTypeOverCapacity error
+  // frame and a close — a raw passive reader sees exactly that.
+  {
+    const int fd = DialOrDie(server_->port());
+    std::string reply;
+    ASSERT_TRUE(net::ReadFrame(fd, &reply, net::kDefaultMaxFrameBytes).ok())
+        << "over-cap connection saw no rejection frame";
+    uint8_t type = 0;
+    const uint8_t code = ResponseCode(reply, &type);
+    EXPECT_EQ(type, net::kMsgTypeOverCapacity);
+    EXPECT_EQ(code, static_cast<uint8_t>(StatusCode::kFailedPrecondition));
+    EXPECT_FALSE(
+        net::ReadFrame(fd, &reply, net::kDefaultMaxFrameBytes).ok());
+    ::close(fd);
+  }
+
+  // A full client sees a prompt clean failure, never a hang.
+  {
+    auto c3 = net::SketchClient::Connect(copt);
+    EXPECT_FALSE(c3.ok());
+  }
+
+  // Closing one live connection frees capacity (the server reaps
+  // asynchronously, so poll briefly).
+  (*c1).reset();
+  bool reconnected = false;
+  for (int attempt = 0; attempt < 200 && !reconnected; ++attempt) {
+    auto again = net::SketchClient::Connect(copt);
+    if (again.ok()) {
+      auto count = (*again)->NumObjects("range");
+      ASSERT_TRUE(count.ok());
+      reconnected = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(reconnected) << "capacity never freed after a disconnect";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    IoModes, NetEventedTest,
+    ::testing::Values(IoMode::kEvented, IoMode::kThreaded),
+    [](const ::testing::TestParamInfo<IoMode>& info) {
+      return std::string(net::IoModeName(info.param));
+    });
+
+}  // namespace
+}  // namespace spatialsketch

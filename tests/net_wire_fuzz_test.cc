@@ -8,6 +8,11 @@
 // LISTENER must survive every attack, and CRC-valid frames with fuzzed
 // payloads must leave the connection itself serving (the next frame on
 // the same socket gets a well-formed answer).
+//
+// The whole suite is parameterized over BOTH I/O engines: the evented
+// engine's buffered frame reader (src/net/server.cc DrainFrames) and
+// the legacy threaded engine's blocking ReadFrame must reject every
+// corruption identically.
 
 #include <gtest/gtest.h>
 
@@ -102,7 +107,7 @@ std::string InsertRequest() {
   return Envelope(MsgType::kUpdate, "", body);
 }
 
-class NetWireFuzzTest : public ::testing::Test {
+class NetWireFuzzTest : public ::testing::TestWithParam<net::IoMode> {
  protected:
   void SetUp() override {
     StoreSchemaOptions sopt;
@@ -120,7 +125,9 @@ class NetWireFuzzTest : public ::testing::Test {
     gen.seed = 3;
     ASSERT_TRUE(store_.BulkLoad("range", GenerateSyntheticBoxes(gen)).ok());
 
-    auto server = SketchServer::Start(&store_);
+    SketchServerOptions opt;
+    opt.io_mode = GetParam();
+    auto server = SketchServer::Start(&store_, opt);
     ASSERT_TRUE(server.ok()) << server.status().ToString();
     server_ = std::move(*server);
     fingerprint_ = Fingerprint();
@@ -168,7 +175,7 @@ class NetWireFuzzTest : public ::testing::Test {
   std::string fingerprint_;
 };
 
-TEST_F(NetWireFuzzTest, EveryTruncationRejectedStateUntouched) {
+TEST_P(NetWireFuzzTest, EveryTruncationRejectedStateUntouched) {
   const std::string frame = net::EncodeFrame(InsertRequest());
   for (size_t len = 0; len < frame.size(); ++len) {
     const int fd = DialOrDie(server_->port());
@@ -181,7 +188,7 @@ TEST_F(NetWireFuzzTest, EveryTruncationRejectedStateUntouched) {
   ExpectServerAlive();
 }
 
-TEST_F(NetWireFuzzTest, EveryBitFlipRejectedStateUntouched) {
+TEST_P(NetWireFuzzTest, EveryBitFlipRejectedStateUntouched) {
   // Stale-CRC sweep: flipping ANY bit — length field, CRC field, or
   // payload — must fail the frame check (or the envelope parse) and
   // never apply the insert.
@@ -201,7 +208,7 @@ TEST_F(NetWireFuzzTest, EveryBitFlipRejectedStateUntouched) {
   ExpectServerAlive();
 }
 
-TEST_F(NetWireFuzzTest, ValidCrcPayloadFuzzKeepsConnectionServing) {
+TEST_P(NetWireFuzzTest, ValidCrcPayloadFuzzKeepsConnectionServing) {
   // Request-level fuzz: flip each body bit of a CRC-valid QUERY frame
   // (queries never mutate, and the "fuzz" tenant namespace is empty, so
   // even an accidentally well-formed request touches nothing). The
@@ -247,7 +254,7 @@ TEST_F(NetWireFuzzTest, ValidCrcPayloadFuzzKeepsConnectionServing) {
   ExpectServerAlive();
 }
 
-TEST_F(NetWireFuzzTest, OversizedLengthRejectedBeforeAllocation) {
+TEST_P(NetWireFuzzTest, OversizedLengthRejectedBeforeAllocation) {
   // A header promising a payload over the server bound must be refused
   // outright (no 4 GiB allocation, no waiting for bytes that never
   // come) with a clean error before the connection closes.
@@ -279,7 +286,7 @@ TEST_F(NetWireFuzzTest, OversizedLengthRejectedBeforeAllocation) {
   ExpectServerAlive();
 }
 
-TEST_F(NetWireFuzzTest, EmptyAndGarbagePayloadsAreRequestLevelErrors) {
+TEST_P(NetWireFuzzTest, EmptyAndGarbagePayloadsAreRequestLevelErrors) {
   // An empty payload passes framing (it has a valid CRC) but fails the
   // envelope parse — a request-level error the connection survives.
   const int fd = DialOrDie(server_->port());
@@ -313,6 +320,13 @@ TEST_F(NetWireFuzzTest, EmptyAndGarbagePayloadsAreRequestLevelErrors) {
   ::close(fd);
   EXPECT_EQ(Fingerprint(), fingerprint_);
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    IoModes, NetWireFuzzTest,
+    ::testing::Values(net::IoMode::kEvented, net::IoMode::kThreaded),
+    [](const ::testing::TestParamInfo<net::IoMode>& info) {
+      return std::string(net::IoModeName(info.param));
+    });
 
 }  // namespace
 }  // namespace spatialsketch

@@ -128,13 +128,22 @@ int RunServe(const Flags& flags) {
       static_cast<uint32_t>(flags.GetInt("workers", opt.job_workers));
   opt.load_threads =
       static_cast<uint32_t>(flags.GetInt("load_threads", opt.load_threads));
+  const std::string io = flags.GetString("io", net::IoModeName(opt.io_mode));
+  if (!net::ParseIoMode(io, &opt.io_mode)) {
+    return DieUsage("--io wants evented|threaded");
+  }
+  opt.io_workers =
+      static_cast<uint32_t>(flags.GetInt("io_workers", opt.io_workers));
+  opt.max_connections = static_cast<uint32_t>(
+      flags.GetInt("max_conns", opt.max_connections));
   auto server = net::SketchServer::Start(store, opt);
   if (!server.ok()) return Die(server.status());
 
   // The CI smoke job and scripts parse this exact line for the port.
-  std::printf("sketchctl: serving on %s:%u%s%s\n", opt.host.c_str(),
+  std::printf("sketchctl: serving on %s:%u io=%s%s%s\n", opt.host.c_str(),
               static_cast<unsigned>((*server)->port()),
-              dir.empty() ? "" : " dir=", dir.c_str());
+              net::IoModeName(opt.io_mode), dir.empty() ? "" : " dir=",
+              dir.c_str());
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleStopSignal);

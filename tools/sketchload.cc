@@ -1,0 +1,390 @@
+// Copyright (c) spatialsketch authors. Licensed under the MIT license.
+//
+// sketchload: multi-PROCESS load generator for the framed-TCP serving
+// layer (src/net/, docs/NETWORK.md). Where micro_net_latency drives an
+// in-process server from client THREADS, sketchload forks real client
+// processes against an EXTERNAL server — separate address spaces,
+// separate sockets, no shared allocator or scheduler state — which is
+// the fan-in shape a deployed server actually faces (the ROADMAP's
+// "load-generator driving the server from N client PROCESSES" item).
+//
+// Protocol: the parent connects once to set up the target dataset
+// (schema + preload through the async SubmitLoad path, timed apart as
+// load_seconds), disconnects, then forks --procs children. Each child
+// opens its own connection and runs a mixed update/query script —
+// --updates_per_query one-op update frames, then one one-spec Run
+// batch, repeated until it has issued --ops RPCs — timing every round
+// trip. Children report their latency samples back over a pipe using
+// the wire codec, and the parent aggregates: per-process
+// p50/p99/p999/mean plus the cross-process aggregate and the
+// aggregate RPCs/s over the parent-measured wall clock.
+//
+// The parent stays single-threaded until every fork has happened
+// (fork-before-threads discipline) and never runs an in-process
+// server: point --port at a `sketchctl serve` instance.
+//
+//   --host=H               server address        (default 127.0.0.1)
+//   --port=P               server port           (required)
+//   --procs=N              client processes      (default 2)
+//   --ops=N                RPCs per process      (default 2000)
+//   --rows=N               rows preloaded up front (default 20000)
+//   --updates_per_query=N  script mix            (default 3)
+//   --setup=0              skip schema/dataset/preload (reuse a
+//                          dataset a previous run left behind)
+//   --json_out=F           write BENCH_net_loadgen.json-style JSON
+//
+// Emits one "net_loadgen" bench result (docs/BENCH.md).
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/net/client.h"
+#include "src/net/wire.h"
+
+namespace spatialsketch {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+constexpr uint32_t kDims = 2;
+constexpr uint32_t kLog2Domain = 12;
+const char kSchemaName[] = "loadgen_schema";
+const char kDatasetName[] = "loadgen";
+
+Box RandomBox(std::mt19937_64* rng) {
+  std::uniform_int_distribution<Coord> coord(0, (1u << kLog2Domain) - 1);
+  Box box;
+  for (uint32_t d = 0; d < kDims; ++d) {
+    Coord a = coord(*rng);
+    Coord b = coord(*rng);
+    if (a > b) std::swap(a, b);
+    box.lo[d] = a;
+    box.hi[d] = b;
+  }
+  return box;
+}
+
+// What one child sends back over its pipe, encoded with the wire codec
+// and delimited by pipe EOF: [u8 ok] then either [string error] or
+// [f64 elapsed_seconds][u64 n][n * f64 latency_us] for updates followed
+// by the same [u64 n][n * f64] for queries.
+struct ChildReport {
+  bool ok = false;
+  std::string error;
+  double elapsed_seconds = 0;
+  std::vector<double> update_us;
+  std::vector<double> query_us;
+};
+
+// The child's whole life after fork: connect, run the script, encode
+// the report, write it to the pipe, _exit (no atexit, no flushing
+// parent-inherited state).
+void RunChild(const std::string& host, uint16_t port, uint32_t ops,
+              uint32_t updates_per_query, uint64_t seed, int pipe_fd) {
+  std::string out;
+  ChildReport report;
+  {
+    net::SketchClientOptions copt;
+    copt.host = host;
+    copt.port = port;
+    auto client = net::SketchClient::Connect(copt);
+    if (!client.ok()) {
+      report.error = client.status().ToString();
+    } else {
+      std::mt19937_64 rng(seed);
+      report.update_us.reserve(ops);
+      report.query_us.reserve(ops / (updates_per_query + 1) + 1);
+      const Clock::time_point start = Clock::now();
+      Status st;
+      uint32_t issued = 0;
+      while (st.ok() && issued < ops) {
+        for (uint32_t u = 0; st.ok() && u < updates_per_query && issued < ops;
+             ++u, ++issued) {
+          const Clock::time_point t0 = Clock::now();
+          st = (*client)->Insert(kDatasetName, RandomBox(&rng));
+          report.update_us.push_back(SecondsSince(t0) * 1e6);
+        }
+        if (!st.ok() || issued >= ops) break;
+        QueryBatch batch;
+        batch.specs.push_back(
+            QuerySpec::RangeCount(kDatasetName, RandomBox(&rng)));
+        const Clock::time_point t0 = Clock::now();
+        st = (*client)->Run(batch).status();
+        report.query_us.push_back(SecondsSince(t0) * 1e6);
+        ++issued;
+      }
+      report.elapsed_seconds = SecondsSince(start);
+      if (st.ok()) {
+        report.ok = true;
+      } else {
+        report.error = st.ToString();
+      }
+    }
+  }
+  net::PutU8(&out, report.ok ? 1 : 0);
+  if (!report.ok) {
+    net::PutString(&out, report.error);
+  } else {
+    net::PutF64(&out, report.elapsed_seconds);
+    net::PutU64(&out, report.update_us.size());
+    for (double v : report.update_us) net::PutF64(&out, v);
+    net::PutU64(&out, report.query_us.size());
+    for (double v : report.query_us) net::PutF64(&out, v);
+  }
+  size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n = ::write(pipe_fd, out.data() + off, out.size() - off);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else {
+      break;  // parent went away; nothing useful left to do
+    }
+  }
+  ::close(pipe_fd);
+  ::_exit(0);
+}
+
+// Drain one child's pipe to EOF and decode the report.
+Status ReadChildReport(int pipe_fd, ChildReport* report) {
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(pipe_fd, buf, sizeof(buf));
+    if (n > 0) {
+      raw.append(buf, static_cast<size_t>(n));
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else if (n < 0) {
+      return Status::IOError(std::string("pipe read: ") +
+                             std::strerror(errno));
+    } else {
+      break;
+    }
+  }
+  net::WireReader r(raw);
+  uint8_t ok = 0;
+  SKETCH_RETURN_NOT_OK(r.GetU8(&ok));
+  if (ok == 0) {
+    report->ok = false;
+    return r.GetString(&report->error);
+  }
+  report->ok = true;
+  SKETCH_RETURN_NOT_OK(r.GetF64(&report->elapsed_seconds));
+  uint64_t n = 0;
+  SKETCH_RETURN_NOT_OK(r.GetU64(&n));
+  report->update_us.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    SKETCH_RETURN_NOT_OK(r.GetF64(&report->update_us[i]));
+  }
+  SKETCH_RETURN_NOT_OK(r.GetU64(&n));
+  report->query_us.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    SKETCH_RETURN_NOT_OK(r.GetF64(&report->query_us[i]));
+  }
+  if (!r.done()) return Status::InvalidArgument("trailing report bytes");
+  return Status::OK();
+}
+
+int Run(int argc, char** argv) {
+  const Flags flags = bench::ParseFlagsOrDie(argc, argv);
+  const std::string host = flags.GetString("host", "127.0.0.1");
+  const uint16_t port = static_cast<uint16_t>(flags.GetInt("port", 0));
+  const uint32_t procs = static_cast<uint32_t>(flags.GetInt("procs", 2));
+  const uint32_t ops = static_cast<uint32_t>(flags.GetInt("ops", 2000));
+  const uint64_t rows = static_cast<uint64_t>(flags.GetInt("rows", 20000));
+  const uint32_t updates_per_query =
+      static_cast<uint32_t>(flags.GetInt("updates_per_query", 3));
+  const bool setup = flags.GetInt("setup", 1) != 0;
+  if (port == 0) {
+    std::fprintf(stderr,
+                 "sketchload drives an EXTERNAL server: start one with\n"
+                 "  sketchctl serve --port=P\n"
+                 "and pass --port=P (required).\n");
+    return 2;
+  }
+  if (procs == 0 || ops == 0 || updates_per_query == 0) {
+    std::fprintf(stderr, "--procs, --ops, --updates_per_query must be > 0\n");
+    return 2;
+  }
+
+  // Setup + preload on the parent's own short-lived connection, closed
+  // before any fork so children never share a byte stream.
+  double load_seconds = 0;
+  {
+    net::SketchClientOptions copt;
+    copt.host = host;
+    copt.port = port;
+    auto client = net::SketchClient::Connect(copt);
+    if (!client.ok()) {
+      std::fprintf(stderr, "connect: %s\n",
+                   client.status().ToString().c_str());
+      return 1;
+    }
+    if (setup) {
+      const Clock::time_point load_start = Clock::now();
+      StoreSchemaOptions sopt;
+      sopt.dims = kDims;
+      sopt.log2_domain = kLog2Domain;
+      sopt.k1 = 8;
+      sopt.k2 = 3;
+      sopt.seed = 7;
+      Status st = (*client)->RegisterSchema(kSchemaName, sopt);
+      if (st.ok()) {
+        st = (*client)->CreateDataset(kDatasetName, kSchemaName,
+                                      DatasetKind::kRange);
+      }
+      if (st.ok() && rows > 0) {
+        SyntheticBoxOptions gen;
+        gen.dims = kDims;
+        gen.log2_domain = kLog2Domain;
+        gen.count = rows;
+        gen.seed = 11;
+        auto job = (*client)->SubmitLoadSynthetic(kDatasetName, gen);
+        Result<net::JobStatusReport> done =
+            job.ok() ? (*client)->WaitJob(*job)
+                     : Result<net::JobStatusReport>(job.status());
+        if (!done.ok()) {
+          st = done.status();
+        } else if (done->state != net::JobState::kDone) {
+          st = Status::Internal("load failed: " + done->error);
+        }
+      }
+      if (!st.ok()) {
+        std::fprintf(stderr, "setup: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      load_seconds = SecondsSince(load_start);
+    }
+  }
+
+  // Fork the fleet. Each child gets the write end of its own pipe; the
+  // parent keeps the read ends and measures wall clock from first fork
+  // to last report drained (children time their own loops too — the
+  // pipe copy happens after a child's timed section).
+  std::vector<pid_t> pids(procs, -1);
+  std::vector<int> pipes(procs, -1);
+  const Clock::time_point wall_start = Clock::now();
+  for (uint32_t p = 0; p < procs; ++p) {
+    int fds[2];
+    if (::pipe(fds) != 0) {
+      std::fprintf(stderr, "pipe: %s\n", std::strerror(errno));
+      return 1;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::fprintf(stderr, "fork: %s\n", std::strerror(errno));
+      return 1;
+    }
+    if (pid == 0) {
+      ::close(fds[0]);
+      for (uint32_t q = 0; q < p; ++q) ::close(pipes[q]);
+      RunChild(host, port, ops, updates_per_query, /*seed=*/1000 + p, fds[1]);
+      ::_exit(0);  // unreachable; RunChild exits
+    }
+    ::close(fds[1]);
+    pids[p] = pid;
+    pipes[p] = fds[0];
+  }
+
+  // Drain every pipe (a child blocked on a full pipe resumes when its
+  // turn comes — no circular wait), then reap.
+  std::vector<ChildReport> reports(procs);
+  bool failed = false;
+  for (uint32_t p = 0; p < procs; ++p) {
+    const Status st = ReadChildReport(pipes[p], &reports[p]);
+    ::close(pipes[p]);
+    if (!st.ok()) {
+      std::fprintf(stderr, "proc %u report: %s\n", p, st.ToString().c_str());
+      failed = true;
+    } else if (!reports[p].ok) {
+      std::fprintf(stderr, "proc %u: %s\n", p, reports[p].error.c_str());
+      failed = true;
+    }
+  }
+  const double wall_seconds = SecondsSince(wall_start);
+  for (uint32_t p = 0; p < procs; ++p) {
+    int wstatus = 0;
+    while (::waitpid(pids[p], &wstatus, 0) < 0 && errno == EINTR) {
+    }
+    if (!WIFEXITED(wstatus) || WEXITSTATUS(wstatus) != 0) {
+      std::fprintf(stderr, "proc %u exited abnormally\n", p);
+      failed = true;
+    }
+  }
+  if (failed) return 1;
+
+  // Aggregate. Per-process percentiles over the process's own mixed
+  // stream; cross-process aggregates per kind and overall.
+  bench::BenchResult result;
+  result.name = "net_loadgen";
+  result.Param("procs", static_cast<int64_t>(procs));
+  result.Param("ops_per_proc", static_cast<int64_t>(ops));
+  result.Param("rows", static_cast<int64_t>(rows));
+  result.Param("updates_per_query", static_cast<int64_t>(updates_per_query));
+  result.Param("host", host);
+  result.Metric("load_seconds", load_seconds);
+  result.Metric("wall_seconds", wall_seconds);
+
+  std::vector<double> all_update, all_query, all;
+  double total_rpcs = 0;
+  for (uint32_t p = 0; p < procs; ++p) {
+    const ChildReport& rep = reports[p];
+    std::vector<double> mine;
+    mine.reserve(rep.update_us.size() + rep.query_us.size());
+    mine.insert(mine.end(), rep.update_us.begin(), rep.update_us.end());
+    mine.insert(mine.end(), rep.query_us.begin(), rep.query_us.end());
+    total_rpcs += static_cast<double>(mine.size());
+    all_update.insert(all_update.end(), rep.update_us.begin(),
+                      rep.update_us.end());
+    all_query.insert(all_query.end(), rep.query_us.begin(),
+                     rep.query_us.end());
+    all.insert(all.end(), mine.begin(), mine.end());
+    bench::StampLatencyMetrics(&result, "proc" + std::to_string(p),
+                               std::move(mine));
+    result.Metric("proc" + std::to_string(p) + "_seconds",
+                  rep.elapsed_seconds);
+  }
+  const double rpcs_per_sec =
+      wall_seconds > 0 ? total_rpcs / wall_seconds : 0;
+  result.Metric("rpcs_per_sec", rpcs_per_sec);
+  bench::StampLatencyMetrics(&result, "update", std::move(all_update));
+  bench::StampLatencyMetrics(&result, "query", std::move(all_query));
+  bench::StampLatencyMetrics(&result, "all", std::move(all));
+
+  std::printf("# bench=net_loadgen procs=%u ops=%u rows=%llu mix=%u:1\n",
+              procs, ops, static_cast<unsigned long long>(rows),
+              updates_per_query);
+  std::printf("load_seconds %.3f\nwall_seconds %.3f\nrpcs_per_sec %.0f\n",
+              load_seconds, wall_seconds, rpcs_per_sec);
+  for (const auto& [key, value] : result.metrics) {
+    std::printf("%s %.3f\n", key.c_str(), value);
+  }
+
+  const Status st = bench::MaybeWriteBenchJson(flags, {result});
+  if (!st.ok()) {
+    std::fprintf(stderr, "json: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace spatialsketch
+
+int main(int argc, char** argv) { return spatialsketch::Run(argc, argv); }
